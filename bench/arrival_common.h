@@ -1,0 +1,82 @@
+// Shared harness for the arrival-coverage experiments (Figs. 4-6): fit the
+// Poisson regression on the training split, then on every test period draw
+// `samples` counts (each with its own sampled DOH day, when enabled), build
+// the 90% prediction interval, and measure coverage of the true counts.
+#ifndef BENCH_ARRIVAL_COMMON_H_
+#define BENCH_ARRIVAL_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/arrival_model.h"
+#include "src/eval/coverage.h"
+#include "src/eval/workbench.h"
+#include "src/util/env.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+// The arrival experiments run on a higher-volume instance of each cloud
+// (4x the base arrival rate): the real providers see tens of batches per
+// period, where day-level variability — the effect Fig. 4 isolates — is not
+// masked by Poisson counting noise. These experiments never train the LSTMs,
+// so the extra volume is nearly free.
+inline CloudWorkbench MakeArrivalWorkbench(CloudKind kind) {
+  WorkbenchOptions options = DefaultWorkbenchOptions();
+  options.scale *= 4.0;
+  return CloudWorkbench(kind, options);
+}
+
+struct ArrivalCoverageResult {
+  double coverage = 0.0;
+  SeriesBands bands;
+  std::vector<double> actual;
+};
+
+inline ArrivalCoverageResult EvaluateArrivalCoverage(CloudWorkbench& workbench,
+                                                     ArrivalGranularity granularity,
+                                                     bool use_doh, DohMode doh_mode,
+                                                     uint64_t seed) {
+  ArrivalModelConfig config;
+  config.use_doh = use_doh;
+  BatchArrivalModel model;
+  model.Fit(workbench.Splits().train, granularity, config);
+
+  const Trace& test = workbench.Splits().test;
+  const std::vector<double> actual = granularity == ArrivalGranularity::kBatches
+                                         ? BatchCountsPerPeriod(test)
+                                         : JobCountsPerPeriod(test);
+
+  const auto samples =
+      std::max<size_t>(100, static_cast<size_t>(500.0 * ExperimentScale()));
+  Rng rng(seed);
+  std::vector<std::vector<double>> sampled(samples,
+                                           std::vector<double>(actual.size(), 0.0));
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t p = 0; p < actual.size(); ++p) {
+      const int64_t period = test.WindowStart() + static_cast<int64_t>(p);
+      const int doh = use_doh ? model.SampleDohDay(rng, doh_mode) : 1;
+      sampled[s][p] = static_cast<double>(model.SampleCount(period, doh, rng));
+    }
+  }
+  ArrivalCoverageResult result;
+  result.bands = ComputeBands(sampled, 0.9);
+  result.actual = actual;
+  result.coverage = CoverageFraction(result.bands, actual);
+  return result;
+}
+
+// Prints an hourly-downsampled preview of the band vs. the truth.
+inline void PrintBandPreview(const ArrivalCoverageResult& result, size_t max_rows) {
+  std::printf("%8s | %8s %8s %8s | %8s\n", "period", "p5", "p50", "p95", "actual");
+  const size_t stride = std::max<size_t>(1, result.actual.size() / max_rows);
+  for (size_t p = 0; p < result.actual.size(); p += stride) {
+    std::printf("%8zu | %8.1f %8.1f %8.1f | %8.0f\n", p, result.bands.lo[p],
+                result.bands.median[p], result.bands.hi[p], result.actual[p]);
+  }
+}
+
+}  // namespace cloudgen
+
+#endif  // BENCH_ARRIVAL_COMMON_H_

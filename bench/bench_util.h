@@ -1,0 +1,40 @@
+// Shared helpers for the experiment harnesses: table printing and the
+// ground-truth test-window view used by the §6 experiments.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/eval/workbench.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+// Prints a separator + experiment banner.
+inline void PrintBanner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+// The "actual test data" view for §6: jobs arriving in the test window with
+// their true end times (censored only at the very end of the simulation,
+// mirroring the providers' extended observation).
+inline Trace TestDataTrace(CloudWorkbench& workbench) {
+  const Trace& truth = workbench.GroundTruth();
+  return ApplyObservationWindow(truth, workbench.TestStart(), workbench.TestEnd(),
+                                truth.WindowEnd());
+}
+
+// Formats a ratio as a percentage string.
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace cloudgen
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// Shared harness for the capacity-planning experiments (Figs. 7-8): build the
+// total-CPU 90% band from a cached collection of sampled traces and measure
+// coverage of the true workload (with carry-over VMs added as a constant).
+#ifndef BENCH_CAPACITY_COMMON_H_
+#define BENCH_CAPACITY_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/eval/capacity.h"
+#include "src/eval/coverage.h"
+#include "src/eval/workbench.h"
+
+namespace cloudgen {
+
+struct CapacityRun {
+  std::string generator;
+  double coverage = 0.0;
+  SeriesBands bands;
+};
+
+inline CapacityRun EvaluateGeneratorCapacity(CloudWorkbench& workbench,
+                                             const std::string& generator_name,
+                                             const std::vector<double>& actual,
+                                             const std::vector<Job>& carry) {
+  const std::vector<Trace> traces = workbench.SampledTraces(generator_name);
+  std::vector<std::vector<double>> samples;
+  samples.reserve(traces.size());
+  for (const Trace& trace : traces) {
+    samples.push_back(
+        TotalCpusWithCarryOver(trace, carry, workbench.TestStart(), workbench.TestEnd()));
+  }
+  CapacityRun run;
+  run.generator = generator_name;
+  run.bands = ComputeBands(samples, 0.9);
+  run.coverage = CoverageFraction(run.bands, actual);
+  return run;
+}
+
+inline void PrintCapacityPreview(const CapacityRun& run, const std::vector<double>& actual,
+                                 size_t max_rows) {
+  std::printf("%8s | %10s %10s %10s | %10s\n", "period", "p5", "p50", "p95", "actual");
+  const size_t stride = std::max<size_t>(1, actual.size() / max_rows);
+  for (size_t p = 0; p < actual.size(); p += stride) {
+    std::printf("%8zu | %10.0f %10.0f %10.0f | %10.0f\n", p, run.bands.lo[p],
+                run.bands.median[p], run.bands.hi[p], actual[p]);
+  }
+}
+
+}  // namespace cloudgen
+
+#endif  // BENCH_CAPACITY_COMMON_H_

@@ -1,0 +1,118 @@
+// Exports the series behind the reproduced figures as TSV files (directory:
+// fig_data/), ready for gnuplot/matplotlib. Loads the cached models and trace
+// collections, so run it after the bench suite has populated the cache.
+//
+//   fig4_azure_arrivals.tsv   period  p5  p50  p95  actual
+//   fig7_azure_capacity.tsv   period  <per-generator p5/p50/p95>  actual
+//   fig8_huawei_capacity.tsv  (same schema)
+//   fig9_<cloud>_reuse.tsv    bucket  test  lstm  simplebatch  naive
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/arrival_common.h"
+#include "bench/bench_util.h"
+#include "bench/capacity_common.h"
+#include "src/eval/workbench.h"
+#include "src/sched/reuse_distance.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr char kOutDir[] = "fig_data";
+
+void ExportArrivals() {
+  CloudWorkbench workbench = MakeArrivalWorkbench(CloudKind::kAzureLike);
+  const ArrivalCoverageResult result = EvaluateArrivalCoverage(
+      workbench, ArrivalGranularity::kBatches, true, DohMode::kGeometricSample, 1001);
+  std::ofstream out(std::string(kOutDir) + "/fig4_azure_arrivals.tsv");
+  out << "period\tp5\tp50\tp95\tactual\n";
+  for (size_t p = 0; p < result.actual.size(); ++p) {
+    out << p << '\t' << result.bands.lo[p] << '\t' << result.bands.median[p] << '\t'
+        << result.bands.hi[p] << '\t' << result.actual[p] << '\n';
+  }
+  std::printf("wrote %s/fig4_azure_arrivals.tsv (%zu periods)\n", kOutDir,
+              result.actual.size());
+}
+
+void ExportCapacity(CloudKind kind, const char* filename) {
+  CloudWorkbench workbench(kind, DefaultWorkbenchOptions());
+  const std::vector<Job> carry =
+      CarryOverJobs(workbench.GroundTruth(), workbench.TestStart());
+  Trace truth_window(workbench.GroundTruth().Flavors(), workbench.TestStart(),
+                     workbench.TestEnd());
+  for (const Job& job : workbench.GroundTruth().Jobs()) {
+    if (job.start_period >= workbench.TestStart() && job.start_period < workbench.TestEnd()) {
+      truth_window.Add(job);
+    }
+  }
+  const std::vector<double> actual = TotalCpusWithCarryOver(
+      truth_window, carry, workbench.TestStart(), workbench.TestEnd());
+
+  const char* generators[] = {"Naive", "SimpleBatch", "LSTM"};
+  std::vector<CapacityRun> runs;
+  for (const char* name : generators) {
+    runs.push_back(EvaluateGeneratorCapacity(workbench, name, actual, carry));
+  }
+  std::ofstream out(std::string(kOutDir) + "/" + filename);
+  out << "period";
+  for (const char* name : generators) {
+    out << '\t' << name << "_p5\t" << name << "_p50\t" << name << "_p95";
+  }
+  out << "\tactual\n";
+  for (size_t p = 0; p < actual.size(); ++p) {
+    out << p;
+    for (const CapacityRun& run : runs) {
+      out << '\t' << run.bands.lo[p] << '\t' << run.bands.median[p] << '\t'
+          << run.bands.hi[p];
+    }
+    out << '\t' << actual[p] << '\n';
+  }
+  std::printf("wrote %s/%s (%zu periods)\n", kOutDir, filename, actual.size());
+}
+
+void ExportReuse(CloudKind kind, const char* filename) {
+  CloudWorkbench workbench(kind, DefaultWorkbenchOptions());
+  const std::vector<double> actual = ReuseDistanceProportions(TestDataTrace(workbench));
+  const char* generators[] = {"LSTM", "SimpleBatch", "Naive"};
+  std::vector<std::vector<double>> means;
+  for (const char* name : generators) {
+    const std::vector<Trace> traces = workbench.SampledTraces(name);
+    std::vector<double> mean(kReuseBuckets, 0.0);
+    for (const Trace& trace : traces) {
+      const std::vector<double> proportions = ReuseDistanceProportions(trace);
+      for (size_t b = 0; b < kReuseBuckets; ++b) {
+        mean[b] += proportions[b] / static_cast<double>(traces.size());
+      }
+    }
+    means.push_back(std::move(mean));
+  }
+  std::ofstream out(std::string(kOutDir) + "/" + filename);
+  out << "bucket\ttest\tlstm\tsimplebatch\tnaive\n";
+  for (size_t b = 0; b < kReuseBuckets; ++b) {
+    out << b << '\t' << actual[b];
+    for (const auto& mean : means) {
+      out << '\t' << mean[b];
+    }
+    out << '\n';
+  }
+  std::printf("wrote %s/%s\n", kOutDir, filename);
+}
+
+void Run() {
+  PrintBanner("Exporting figure data (fig_data/*.tsv)");
+  std::filesystem::create_directories(kOutDir);
+  ExportArrivals();
+  ExportCapacity(CloudKind::kAzureLike, "fig7_azure_capacity.tsv");
+  ExportCapacity(CloudKind::kHuaweiLike, "fig8_huawei_capacity.tsv");
+  ExportReuse(CloudKind::kAzureLike, "fig9_azure_reuse.tsv");
+  ExportReuse(CloudKind::kHuaweiLike, "fig9_huawei_reuse.tsv");
+}
+
+}  // namespace
+}  // namespace cloudgen
+
+int main() {
+  cloudgen::Run();
+  return 0;
+}

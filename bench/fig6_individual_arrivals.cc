@@ -1,0 +1,44 @@
+// Figure 6: modeling *individual VM* arrivals with Poisson regression — the
+// traditional approach — badly underestimates arrival variance.
+//
+// Paper reference: 90% interval coverage of true VM counts is only 18%
+// (Azure) / 52.9% (Huawei) without DOH, improving to 51.4% / 68.2% with
+// sampled DOH — all far below the batch-level model of Figs. 4-5. The shape
+// to check: job-level coverage << batch-level coverage on the same cloud.
+#include <cstdio>
+
+#include "bench/arrival_common.h"
+#include "bench/bench_util.h"
+
+namespace cloudgen {
+namespace {
+
+void RunCloud(CloudKind kind, uint64_t seed) {
+  CloudWorkbench workbench = MakeArrivalWorkbench(kind);
+  const ArrivalCoverageResult no_doh = EvaluateArrivalCoverage(
+      workbench, ArrivalGranularity::kJobs, false, DohMode::kLastDay, seed);
+  const ArrivalCoverageResult with_doh = EvaluateArrivalCoverage(
+      workbench, ArrivalGranularity::kJobs, true, DohMode::kGeometricSample, seed + 1);
+  const ArrivalCoverageResult batches = EvaluateArrivalCoverage(
+      workbench, ArrivalGranularity::kBatches, true, DohMode::kGeometricSample, seed + 2);
+  std::printf("%-12s | %16s | %16s | %22s\n", CloudName(kind), Pct(no_doh.coverage).c_str(),
+              Pct(with_doh.coverage).c_str(), Pct(batches.coverage).c_str());
+}
+
+void Run() {
+  PrintBanner("Figure 6: individual-VM Poisson arrivals under-cover");
+  std::printf("paper: Azure 18%% (jobs) / 51.4%% (jobs+DOH) vs 82.5%% (batches)\n");
+  std::printf("       Huawei 52.9%% / 68.2%% vs 94.5%%\n\n");
+  std::printf("%-12s | %16s | %16s | %22s\n", "cloud", "jobs, no DOH", "jobs, +DOH",
+              "batches, +DOH (ref)");
+  RunCloud(CloudKind::kAzureLike, 3001);
+  RunCloud(CloudKind::kHuaweiLike, 4001);
+}
+
+}  // namespace
+}  // namespace cloudgen
+
+int main() {
+  cloudgen::Run();
+  return 0;
+}

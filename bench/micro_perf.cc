@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the performance-critical substrate:
+// GEMM, LSTM forward/BPTT, single-step generation, Kaplan-Meier fitting, and
+// packing decisions. Not a paper table — engineering telemetry for the
+// library itself.
+#include <benchmark/benchmark.h>
+
+#include "src/nn/losses.h"
+#include "src/nn/sequence_network.h"
+#include "src/sched/cluster.h"
+#include "src/sched/packing.h"
+#include "src/survival/binning.h"
+#include "src/survival/kaplan_meier.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  Matrix c(n, n);
+  a.RandomUniform(rng, 1.0f);
+  b.RandomUniform(rng, 1.0f);
+  for (auto _ : state) {
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.Data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+SequenceNetwork MakeNetwork(size_t input, size_t hidden, size_t output) {
+  Rng rng(2);
+  SequenceNetworkConfig config;
+  config.input_dim = input;
+  config.hidden_dim = hidden;
+  config.num_layers = 2;
+  config.output_dim = output;
+  return SequenceNetwork(config, rng);
+}
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  const size_t steps = 64;
+  const size_t batch = 16;
+  SequenceNetwork network = MakeNetwork(64, static_cast<size_t>(state.range(0)), 20);
+  Rng rng(3);
+  std::vector<Matrix> inputs(steps);
+  std::vector<std::vector<int32_t>> targets(steps, std::vector<int32_t>(batch, 1));
+  for (auto& m : inputs) {
+    m.Resize(batch, 64);
+    m.RandomUniform(rng, 1.0f);
+  }
+  std::vector<Matrix> logits;
+  std::vector<Matrix> dlogits(steps);
+  for (auto _ : state) {
+    network.ZeroGrads();
+    network.ForwardSequence(inputs, &logits);
+    for (size_t t = 0; t < steps; ++t) {
+      SoftmaxCrossEntropy(logits[t], targets[t], &dlogits[t]);
+    }
+    network.BackwardSequence(dlogits);
+  }
+  state.SetItemsProcessed(state.iterations() * steps * batch);
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(32)->Arg(64);
+
+void BM_LstmGenerationStep(benchmark::State& state) {
+  SequenceNetwork network = MakeNetwork(96, 64, 47);
+  Rng rng(4);
+  Matrix x(1, 96);
+  x.RandomUniform(rng, 1.0f);
+  LstmState lstm_state = network.MakeState(1);
+  Matrix logits;
+  for (auto _ : state) {
+    network.StepLogits(x, &lstm_state, &logits);
+    benchmark::DoNotOptimize(logits.Data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LstmGenerationStep);
+
+void BM_KaplanMeierFit(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<size_t>(state.range(0));
+  std::vector<LifetimeObservation> observations;
+  observations.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    observations.push_back({rng.Exponential(1.0 / 7200.0), rng.Bernoulli(0.05)});
+  }
+  const LifetimeBinning binning = MakePaperBinning();
+  for (auto _ : state) {
+    const KaplanMeier km(observations, binning);
+    benchmark::DoNotOptimize(km.Hazard().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KaplanMeierFit)->Arg(10000)->Arg(100000);
+
+void BM_PackingDecision(benchmark::State& state) {
+  Rng rng(6);
+  Cluster cluster(static_cast<size_t>(state.range(0)), Resources{64.0, 256.0});
+  // Pre-fill to ~50%.
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    cluster.MutableServerAt(i).Place({32.0, 128.0});
+  }
+  const DeltaPerpDistance algorithm;
+  const Resources demand{4.0, 16.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm.ChooseServer(cluster, demand, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * cluster.NumServers());
+}
+BENCHMARK(BM_PackingDecision)->Arg(32)->Arg(1024);
+
+}  // namespace
+}  // namespace cloudgen
+
+BENCHMARK_MAIN();

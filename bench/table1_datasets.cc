@@ -1,0 +1,47 @@
+// Table 1: experimental dataset statistics — window sizes (days) and VM
+// counts for the train/dev/test splits of both simulated clouds.
+//
+// Paper reference (real providers, full scale):
+//   Azure:        20.8 / 3.5 / 5.7 days,  1.2M / 259K / 410K VMs
+//   Huawei Cloud: 274 / 14 / 17 days,     1.7M / 116K / 140K VMs
+// Our simulated providers run at reduced scale (CLOUDGEN_SCALE); the shape to
+// check is train >> dev/test in volume and the Huawei window being much
+// longer relative to its daily volume.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/workbench.h"
+#include "src/trace/stats.h"
+
+namespace cloudgen {
+namespace {
+
+void PrintRow(const char* cloud, const TraceSplits& splits) {
+  const TraceSummary train = Summarize(splits.train);
+  const TraceSummary dev = Summarize(splits.dev);
+  const TraceSummary test = Summarize(splits.test);
+  std::printf("%-12s | %6.1f %5.1f %5.1f | %9zu %9zu %9zu | %5.1f%% censored (train)\n",
+              cloud, train.window_days, dev.window_days, test.window_days,
+              train.num_jobs, dev.num_jobs, test.num_jobs,
+              train.censored_fraction * 100.0);
+}
+
+void Run() {
+  PrintBanner("Table 1: experimental datasets (simulated providers)");
+  std::printf("%-12s | %-19s | %-29s |\n", "", "window size (days)", "number of VMs");
+  std::printf("%-12s | %6s %5s %5s | %9s %9s %9s |\n", "cloud", "train", "dev", "test",
+              "train", "dev", "test");
+  const WorkbenchOptions options = DefaultWorkbenchOptions();
+  CloudWorkbench azure(CloudKind::kAzureLike, options);
+  PrintRow("AzureLike", azure.Splits());
+  CloudWorkbench huawei(CloudKind::kHuaweiLike, options);
+  PrintRow("HuaweiLike", huawei.Splits());
+}
+
+}  // namespace
+}  // namespace cloudgen
+
+int main() {
+  cloudgen::Run();
+  return 0;
+}

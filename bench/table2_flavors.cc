@@ -1,0 +1,73 @@
+// Table 2: next-flavor prediction — NLL and 1-best error for the Uniform,
+// Multinomial and RepeatFlav baselines vs. the flavor LSTM, on both clouds.
+//
+// Paper reference:            Azure             Huawei Cloud
+//   Uniform       NLL 2.83  err 93.9%     NLL 5.55  err 99.6%
+//   Multinomial   NLL 1.58  err 54.7%     NLL 3.34  err 89.7%
+//   RepeatFlav    N/A       err 29.7%     N/A       err 71.3%
+//   LSTM          NLL 0.65  err 25.7%     NLL 2.10  err 59.2%
+// Shape to check: Uniform > Multinomial > RepeatFlav > LSTM on error, and
+// the LSTM has the lowest NLL by a wide margin.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/flavor_baselines.h"
+#include "src/core/flavor_model.h"
+#include "src/eval/workbench.h"
+
+namespace cloudgen {
+namespace {
+
+void PrintRow(const char* system, double nll, double err) {
+  if (std::isnan(nll)) {
+    std::printf("%-14s | %8s | %9.1f%%\n", system, "N/A", err * 100.0);
+  } else {
+    std::printf("%-14s | %8.3f | %9.1f%%\n", system, nll, err * 100.0);
+  }
+}
+
+void RunCloud(CloudKind kind) {
+  CloudWorkbench workbench(kind, DefaultWorkbenchOptions());
+  const Trace& train = workbench.Splits().train;
+  const Trace& test = workbench.Splits().test;
+  const WorkloadModel& model = workbench.Model();
+  const int history_days = model.HistoryDays();
+  const FlavorStream stream = BuildFlavorStream(test, history_days);
+  const size_t num_flavors = test.NumFlavors();
+  const auto eob = static_cast<int32_t>(num_flavors);
+
+  std::printf("\n--- %s ---\n", CloudName(kind));
+  std::printf("%-14s | %8s | %10s\n", "system", "NLL", "1-Best-Err");
+
+  const UniformFlavorBaseline uniform(num_flavors);
+  const auto u = EvaluateFlavorBaseline(uniform, stream, num_flavors);
+  PrintRow("Uniform", u.nll, u.one_best_err);
+
+  const MultinomialFlavorBaseline multinomial(train);
+  const auto m = EvaluateFlavorBaseline(multinomial, stream, num_flavors);
+  PrintRow("Multinomial", m.nll, m.one_best_err);
+
+  const RepeatFlavorBaseline repeat(train, eob);
+  const auto r = EvaluateFlavorBaseline(repeat, stream, num_flavors);
+  PrintRow("RepeatFlav", r.nll, r.one_best_err);
+
+  const FlavorLstmModel::EvalResult lstm = model.FlavorModel().Evaluate(test);
+  PrintRow("LSTM", lstm.nll_flavor_only, lstm.one_best_err_flavor_only);
+  std::printf("(LSTM full-stream NLL incl. EOB tokens: %.3f over %zu steps)\n", lstm.nll,
+              lstm.steps);
+}
+
+void Run() {
+  PrintBanner("Table 2: flavor-sequence modeling");
+  RunCloud(CloudKind::kAzureLike);
+  RunCloud(CloudKind::kHuaweiLike);
+}
+
+}  // namespace
+}  // namespace cloudgen
+
+int main() {
+  cloudgen::Run();
+  return 0;
+}

@@ -1,0 +1,338 @@
+// cloudgen — command-line front end to the workload-generation library.
+//
+// Subcommands:
+//   synth     Generate a synthetic ground-truth trace (CSV).
+//   train     Train the three-stage model on a trace CSV; save the networks.
+//   generate  Sample synthetic workload from a trained model (CSV out).
+//   eval      Stage-wise evaluation of a trained model on a held-out window.
+//   viz       Fig.-1-style rendering of a trace window (ANSI or PPM).
+//
+// Examples:
+//   cloudgen synth --profile azure --out jobs.csv --flavors flavors.csv
+//   cloudgen train --jobs jobs.csv --flavors flavors.csv --train-days 16 \
+//                  --model model --epochs 12
+//   cloudgen generate --jobs jobs.csv --flavors flavors.csv --train-days 16 \
+//                  --model model --from-day 18 --days 2 --out gen.csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <algorithm>
+
+#include "cli/flags.h"
+#include "src/core/workload_model.h"
+#include "src/sched/reuse_distance.h"
+#include "src/synth/synthetic_cloud.h"
+#include "src/trace/stats.h"
+#include "src/trace/trace_io.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/viz/trace_viz.h"
+
+namespace cloudgen {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cloudgen <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  synth     --profile azure|huawei [--scale S] [--seed N]\n"
+      "            --out JOBS.csv --flavors FLAVORS.csv\n"
+      "  train     --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
+      "            --model PREFIX [--epochs E] [--hidden H] [--layers L]\n"
+      "  generate  --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
+      "            --model PREFIX --from-day D --days K [--arrival-scale S]\n"
+      "            [--eob-scale S] [--seed N] --out GEN.csv\n"
+      "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
+      "            --model PREFIX --eval-from-day D [--eval-days K]\n"
+      "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv\n"
+      "  viz       --jobs JOBS.csv --flavors FLAVORS.csv --from-period P\n"
+      "            [--periods K] [--ppm OUT.ppm]\n");
+  return 2;
+}
+
+bool LoadTrace(const Flags& flags, Trace* trace) {
+  const std::string jobs = flags.GetString("jobs", "");
+  const std::string flavors = flags.GetString("flavors", "");
+  if (jobs.empty() || flavors.empty()) {
+    std::fprintf(stderr, "--jobs and --flavors are required\n");
+    return false;
+  }
+  if (!ReadTraceCsv(jobs, flavors, 0, -1, trace)) {
+    std::fprintf(stderr, "failed to read %s / %s\n", jobs.c_str(), flavors.c_str());
+    return false;
+  }
+  return true;
+}
+
+WorkloadModelConfig ConfigFrom(const Flags& flags) {
+  WorkloadModelConfig config;
+  const auto epochs = static_cast<size_t>(flags.GetLong("epochs", 12));
+  const auto hidden = static_cast<size_t>(flags.GetLong("hidden", 64));
+  const auto layers = static_cast<size_t>(flags.GetLong("layers", 2));
+  config.flavor.epochs = epochs;
+  config.flavor.hidden_dim = hidden;
+  config.flavor.num_layers = layers;
+  config.flavor.learning_rate = 5e-3f;
+  config.flavor.lr_decay = 0.93f;
+  config.lifetime.epochs = epochs;
+  config.lifetime.hidden_dim = hidden;
+  config.lifetime.num_layers = layers;
+  config.lifetime.learning_rate = 5e-3f;
+  config.lifetime.lr_decay = 0.93f;
+  return config;
+}
+
+// Training window view shared by train/generate/eval.
+bool TrainWindow(const Flags& flags, const Trace& trace, Trace* train) {
+  const long train_days = flags.GetLong("train-days", 0);
+  if (train_days <= 0) {
+    std::fprintf(stderr, "--train-days is required and must be positive\n");
+    return false;
+  }
+  const int64_t end = train_days * kPeriodsPerDay;
+  *train = ApplyObservationWindow(trace, 0, end, end);
+  return true;
+}
+
+int RunSynth(const Flags& flags) {
+  const std::string profile_name = flags.GetString("profile", "azure");
+  const double scale = flags.GetDouble("scale", 1.0);
+  SynthProfile profile =
+      profile_name == "huawei" ? HuaweiLikeProfile(scale) : AzureLikeProfile(scale);
+  const auto seed = static_cast<uint64_t>(flags.GetLong("seed", 42));
+  const SyntheticCloud cloud(profile, seed);
+  const Trace trace = cloud.Generate();
+  const std::string out = flags.GetString("out", "jobs.csv");
+  const std::string flavors = flags.GetString("flavors", "flavors.csv");
+  if (!WriteTraceCsv(trace, out, flavors)) {
+    std::fprintf(stderr, "failed to write %s / %s\n", out.c_str(), flavors.c_str());
+    return 1;
+  }
+  const TraceSummary summary = Summarize(trace);
+  std::printf("wrote %zu jobs over %.0f days to %s (catalog: %s)\n", summary.num_jobs,
+              summary.window_days, out.c_str(), flavors.c_str());
+  return 0;
+}
+
+int RunTrain(const Flags& flags) {
+  Trace trace;
+  Trace train;
+  if (!LoadTrace(flags, &trace) || !TrainWindow(flags, trace, &train)) {
+    return 1;
+  }
+  const std::string prefix = flags.GetString("model", "model");
+  WorkloadModel model;
+  Rng rng(static_cast<uint64_t>(flags.GetLong("seed", 7)));
+  model.Train(train, ConfigFrom(flags), rng);
+  if (!model.SaveToFiles(prefix)) {
+    std::fprintf(stderr, "failed to write %s.*.bin\n", prefix.c_str());
+    return 1;
+  }
+  std::printf("trained on %zu jobs; saved %s.flavor.bin and %s.lifetime.bin\n",
+              train.NumJobs(), prefix.c_str(), prefix.c_str());
+  return 0;
+}
+
+int RunGenerate(const Flags& flags) {
+  Trace trace;
+  Trace train;
+  if (!LoadTrace(flags, &trace) || !TrainWindow(flags, trace, &train)) {
+    return 1;
+  }
+  const std::string prefix = flags.GetString("model", "model");
+  WorkloadModel model;
+  if (!model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags))) {
+    std::fprintf(stderr, "failed to load %s.*.bin (run `cloudgen train` first)\n",
+                 prefix.c_str());
+    return 1;
+  }
+  WorkloadModel::GenerateOptions options;
+  options.from_period = flags.GetLong("from-day", 0) * kPeriodsPerDay;
+  options.to_period = options.from_period + flags.GetLong("days", 1) * kPeriodsPerDay;
+  options.arrival_scale = flags.GetDouble("arrival-scale", 1.0);
+  options.eob_scale = flags.GetDouble("eob-scale", 1.0);
+  Rng rng(static_cast<uint64_t>(flags.GetLong("seed", 11)));
+  const Trace generated = model.Generate(options, rng);
+  const std::string out = flags.GetString("out", "generated.csv");
+  const std::string out_flavors = flags.GetString("out-flavors", out + ".flavors.csv");
+  if (!WriteTraceCsv(generated, out, out_flavors)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("generated %zu jobs into %s\n", generated.NumJobs(), out.c_str());
+  return 0;
+}
+
+int RunEval(const Flags& flags) {
+  Trace trace;
+  Trace train;
+  if (!LoadTrace(flags, &trace) || !TrainWindow(flags, trace, &train)) {
+    return 1;
+  }
+  const std::string prefix = flags.GetString("model", "model");
+  WorkloadModel model;
+  if (!model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags))) {
+    std::fprintf(stderr, "failed to load %s.*.bin\n", prefix.c_str());
+    return 1;
+  }
+  const int64_t eval_from = flags.GetLong("eval-from-day", 0) * kPeriodsPerDay;
+  const int64_t eval_to =
+      eval_from + flags.GetLong("eval-days", 1) * kPeriodsPerDay;
+  const Trace test = ApplyObservationWindow(trace, eval_from, eval_to, eval_to);
+  const auto flavor = model.FlavorModel().Evaluate(test);
+  const auto lifetime = model.LifetimeModel().Evaluate(test);
+  std::printf("flavor LSTM:   NLL %.3f, 1-best err %.1f%% over %zu steps\n",
+              flavor.nll_flavor_only, flavor.one_best_err_flavor_only * 100.0,
+              flavor.flavor_steps);
+  std::printf("lifetime LSTM: BCE %.3f, 1-best err %.1f%% over %zu uncensored steps\n",
+              lifetime.bce, lifetime.one_best_err * 100.0, lifetime.uncensored_steps);
+  return 0;
+}
+
+int RunAnalyze(const Flags& flags) {
+  Trace trace;
+  if (!LoadTrace(flags, &trace)) {
+    return 1;
+  }
+  const TraceSummary summary = Summarize(trace);
+  std::printf("=== trace characterization ===\n");
+  std::printf("window: %.1f days (%lld periods), %zu jobs, %zu users\n",
+              summary.window_days, static_cast<long long>(trace.WindowPeriods()),
+              summary.num_jobs, summary.num_users);
+  std::printf("arrivals: %.2f jobs/period, %.2f batches/period; %.1f%% censored\n",
+              summary.mean_jobs_per_period, summary.mean_batches_per_period,
+              summary.censored_fraction * 100.0);
+
+  // Diurnal profile.
+  std::vector<double> per_hour(24, 0.0);
+  for (const Job& job : trace.Jobs()) {
+    ++per_hour[static_cast<size_t>(DecomposePeriod(job.start_period).hour_of_day)];
+  }
+  const double max_hour = *std::max_element(per_hour.begin(), per_hour.end());
+  std::printf("\narrivals by hour of day:\n");
+  for (int h = 0; h < 24; ++h) {
+    const auto bar = static_cast<size_t>(40.0 * per_hour[static_cast<size_t>(h)] /
+                                         std::max(1.0, max_hour));
+    std::printf("  %02d:00 %8.0f %s\n", h, per_hour[static_cast<size_t>(h)],
+                std::string(bar, '#').c_str());
+  }
+
+  // Flavor mix (top 10 by count).
+  const std::vector<double> flavor_counts = FlavorCounts(trace);
+  std::vector<size_t> order(flavor_counts.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return flavor_counts[a] > flavor_counts[b];
+  });
+  std::printf("\ntop flavors:\n");
+  for (size_t i = 0; i < std::min<size_t>(10, order.size()); ++i) {
+    const Flavor& flavor = trace.Flavors()[order[i]];
+    std::printf("  %-16s %8.0f (%4.1f%%)  %gc / %gg\n", flavor.name.c_str(),
+                flavor_counts[order[i]],
+                100.0 * flavor_counts[order[i]] / static_cast<double>(trace.NumJobs()),
+                flavor.cpus, flavor.memory_gb);
+  }
+
+  // Batch sizes.
+  const std::vector<double> batch_sizes = BatchSizeCounts(trace);
+  double batches = 0.0;
+  double jobs_in_batches = 0.0;
+  for (size_t s = 1; s < batch_sizes.size(); ++s) {
+    batches += batch_sizes[s];
+    jobs_in_batches += batch_sizes[s] * static_cast<double>(s);
+  }
+  std::printf("\nbatches: %.0f total, mean size %.2f, max size %zu\n", batches,
+              jobs_in_batches / std::max(1.0, batches), batch_sizes.size() - 1);
+
+  // Lifetime percentiles (uncensored jobs).
+  std::vector<double> lifetimes;
+  for (const Job& job : trace.Jobs()) {
+    if (!job.censored) {
+      lifetimes.push_back(job.LifetimeSeconds() / 3600.0);
+    }
+  }
+  if (!lifetimes.empty()) {
+    std::printf("\nlifetime percentiles (hours, uncensored):\n ");
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+      std::printf(" p%.0f=%.2f", q * 100.0, Quantile(lifetimes, q));
+    }
+    std::printf("\n");
+  }
+
+  // Reuse behaviour.
+  const std::vector<double> reuse = ReuseDistanceProportions(trace);
+  std::printf("\nreuse distance: 0:%.1f%% 1:%.1f%% 2:%.1f%% 6+:%.1f%%\n",
+              reuse[0] * 100.0, reuse[1] * 100.0, reuse[2] * 100.0, reuse[6] * 100.0);
+  const std::vector<size_t> cache_sizes{1, 2, 4, 8};
+  const std::vector<double> curve = PlacementCacheCurve(trace, cache_sizes);
+  std::printf("placement-cache hit rate:");
+  for (size_t s = 0; s < cache_sizes.size(); ++s) {
+    std::printf(" size %zu: %.1f%%", cache_sizes[s], curve[s] * 100.0);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunViz(const Flags& flags) {
+  Trace trace;
+  if (!LoadTrace(flags, &trace)) {
+    return 1;
+  }
+  VizOptions options;
+  options.from_period = flags.GetLong("from-period", 0);
+  options.to_period = options.from_period + flags.GetLong("periods", 24);
+  const LifetimeBinning binning = MakePaperBinning();
+  const std::string ppm = flags.GetString("ppm", "");
+  if (!ppm.empty()) {
+    if (!WritePpm(trace, binning, options, ppm)) {
+      std::fprintf(stderr, "failed to write %s\n", ppm.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", ppm.c_str());
+  } else {
+    std::printf("%s", RenderAnsi(trace, binning, options).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  Flags flags;
+  if (!flags.Parse(argc, argv, 2)) {
+    return Usage();
+  }
+  if (command == "synth") {
+    return RunSynth(flags);
+  }
+  if (command == "train") {
+    return RunTrain(flags);
+  }
+  if (command == "generate") {
+    return RunGenerate(flags);
+  }
+  if (command == "eval") {
+    return RunEval(flags);
+  }
+  if (command == "analyze") {
+    return RunAnalyze(flags);
+  }
+  if (command == "viz") {
+    return RunViz(flags);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cloudgen
+
+int main(int argc, char** argv) { return cloudgen::Main(argc, argv); }

@@ -1,0 +1,97 @@
+#include "src/baselines/flavor_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/trace/stats.h"
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+UniformFlavorBaseline::UniformFlavorBaseline(size_t num_flavors) : num_flavors_(num_flavors) {
+  CG_CHECK(num_flavors >= 1);
+}
+
+std::vector<double> UniformFlavorBaseline::NextProbs(int32_t /*prev_token*/) const {
+  return std::vector<double>(num_flavors_, 1.0 / static_cast<double>(num_flavors_));
+}
+
+int32_t UniformFlavorBaseline::Predict(int32_t /*prev_token*/) const { return 0; }
+
+MultinomialFlavorBaseline::MultinomialFlavorBaseline(const Trace& train) {
+  std::vector<double> counts = FlavorCounts(train);
+  CG_CHECK(!counts.empty());
+  // Laplace smoothing so unseen flavors keep finite NLL.
+  double total = 0.0;
+  for (double& c : counts) {
+    c += 1.0;
+    total += c;
+  }
+  probs_.resize(counts.size());
+  for (size_t f = 0; f < counts.size(); ++f) {
+    probs_[f] = counts[f] / total;
+  }
+  most_frequent_ = static_cast<int32_t>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+std::vector<double> MultinomialFlavorBaseline::NextProbs(int32_t /*prev_token*/) const {
+  return probs_;
+}
+
+int32_t MultinomialFlavorBaseline::Predict(int32_t /*prev_token*/) const {
+  return most_frequent_;
+}
+
+RepeatFlavorBaseline::RepeatFlavorBaseline(const Trace& train, int32_t eob_token)
+    : fallback_(train), eob_token_(eob_token) {}
+
+std::vector<double> RepeatFlavorBaseline::NextProbs(int32_t prev_token) const {
+  // Not used in Table 2 (N/A), but defined for completeness: a point mass on
+  // the prediction.
+  std::vector<double> probs(fallback_.Probs().size(), 0.0);
+  probs[static_cast<size_t>(Predict(prev_token))] = 1.0;
+  return probs;
+}
+
+int32_t RepeatFlavorBaseline::Predict(int32_t prev_token) const {
+  if (prev_token == eob_token_) {
+    return fallback_.Predict(prev_token);
+  }
+  return prev_token;
+}
+
+FlavorBaselineEval EvaluateFlavorBaseline(const FlavorBaseline& baseline,
+                                          const FlavorStream& stream, size_t num_flavors) {
+  FlavorBaselineEval result;
+  const auto eob = static_cast<int32_t>(num_flavors);
+  double nll = 0.0;
+  size_t errors = 0;
+  size_t steps = 0;
+  for (size_t i = 0; i < stream.tokens.size(); ++i) {
+    const int32_t target = stream.tokens[i];
+    if (target == eob) {
+      continue;  // Flavor steps only; EOB is context.
+    }
+    const int32_t prev = i == 0 ? eob : stream.tokens[i - 1];
+    if (baseline.IsProbabilistic()) {
+      const std::vector<double> probs = baseline.NextProbs(prev);
+      CG_CHECK(static_cast<size_t>(target) < probs.size());
+      nll -= std::log(std::max(probs[static_cast<size_t>(target)], 1e-12));
+    }
+    if (baseline.Predict(prev) != target) {
+      ++errors;
+    }
+    ++steps;
+  }
+  result.steps = steps;
+  if (steps > 0) {
+    result.nll = baseline.IsProbabilistic() ? nll / static_cast<double>(steps)
+                                            : std::numeric_limits<double>::quiet_NaN();
+    result.one_best_err = static_cast<double>(errors) / static_cast<double>(steps);
+  }
+  return result;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,89 @@
+// Flavor-sequence baselines of Table 2 (§5.2).
+//
+// All baselines predict over the K flavors given the previous token (which
+// may be EOB). Evaluation is shared with the LSTM: next-step NLL and 1-best
+// classification error over the flavor steps of a test stream.
+#ifndef SRC_BASELINES_FLAVOR_BASELINES_H_
+#define SRC_BASELINES_FLAVOR_BASELINES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/flavor_model.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class FlavorBaseline {
+ public:
+  virtual ~FlavorBaseline() = default;
+
+  virtual std::string Name() const = 0;
+  // False for heuristics (RepeatFlav) whose NLL is undefined ("N/A").
+  virtual bool IsProbabilistic() const { return true; }
+  // Probability over the K flavors for the next step. Only called when
+  // IsProbabilistic().
+  virtual std::vector<double> NextProbs(int32_t prev_token) const = 0;
+  // 1-best prediction of the next flavor.
+  virtual int32_t Predict(int32_t prev_token) const = 0;
+};
+
+// Each flavor equally likely.
+class UniformFlavorBaseline : public FlavorBaseline {
+ public:
+  explicit UniformFlavorBaseline(size_t num_flavors);
+  std::string Name() const override { return "Uniform"; }
+  std::vector<double> NextProbs(int32_t prev_token) const override;
+  int32_t Predict(int32_t prev_token) const override;
+
+ private:
+  size_t num_flavors_;
+};
+
+// Empirical training-frequency of each flavor (the traditional
+// independent-arrival model).
+class MultinomialFlavorBaseline : public FlavorBaseline {
+ public:
+  explicit MultinomialFlavorBaseline(const Trace& train);
+  std::string Name() const override { return "Multinomial"; }
+  std::vector<double> NextProbs(int32_t prev_token) const override;
+  int32_t Predict(int32_t prev_token) const override;
+
+  const std::vector<double>& Probs() const { return probs_; }
+
+ private:
+  std::vector<double> probs_;
+  int32_t most_frequent_;
+};
+
+// Predicts a repeat of the previous flavor; falls back to the multinomial
+// mode after an EOB.
+class RepeatFlavorBaseline : public FlavorBaseline {
+ public:
+  RepeatFlavorBaseline(const Trace& train, int32_t eob_token);
+  std::string Name() const override { return "RepeatFlav"; }
+  bool IsProbabilistic() const override { return false; }
+  std::vector<double> NextProbs(int32_t prev_token) const override;
+  int32_t Predict(int32_t prev_token) const override;
+
+ private:
+  MultinomialFlavorBaseline fallback_;
+  int32_t eob_token_;
+};
+
+// Shared Table-2 evaluation: metrics are aggregated over the *flavor* steps
+// of `stream` (EOB targets are context only, exactly as for the LSTM).
+struct FlavorBaselineEval {
+  double nll = 0.0;  // NaN when not probabilistic.
+  double one_best_err = 0.0;
+  size_t steps = 0;
+};
+FlavorBaselineEval EvaluateFlavorBaseline(const FlavorBaseline& baseline,
+                                          const FlavorStream& stream, size_t num_flavors);
+
+}  // namespace cloudgen
+
+#endif  // SRC_BASELINES_FLAVOR_BASELINES_H_

@@ -1,0 +1,116 @@
+#include "src/baselines/generators.h"
+
+#include <cmath>
+
+#include "src/survival/hazard.h"
+#include "src/trace/stats.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+std::vector<double> FlavorCdfFrom(const Trace& train) {
+  std::vector<double> counts = FlavorCounts(train);
+  for (double& c : counts) {
+    c += 1.0;  // Smoothing, mirroring the multinomial baseline.
+  }
+  return BuildCdf(counts);
+}
+
+int64_t PeriodsFromDuration(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds / kSecondsPerPeriod));
+}
+
+}  // namespace
+
+NaiveGenerator::NaiveGenerator(const Trace& train, const LifetimeBinning& binning)
+    : flavors_(train.Flavors()),
+      flavor_cdf_(FlavorCdfFrom(train)),
+      lifetime_km_(std::make_unique<PerFlavorKmBaseline>(train, binning)),
+      binning_(binning) {
+  ArrivalModelConfig config;
+  config.use_doh = false;  // §5.1: the individual-job model has no DOH.
+  job_arrivals_.Fit(train, ArrivalGranularity::kJobs, config);
+}
+
+Trace NaiveGenerator::Generate(int64_t from, int64_t to, double arrival_scale,
+                               Rng& rng) const {
+  CG_CHECK(to > from);
+  Trace trace(flavors_, from, to);
+  int64_t next_user = 0;
+  for (int64_t period = from; period < to; ++period) {
+    const double rate = job_arrivals_.Rate(period, 1) * arrival_scale;
+    const int64_t n_jobs = rng.Poisson(rate);
+    for (int64_t j = 0; j < n_jobs; ++j) {
+      const auto flavor = static_cast<int32_t>(rng.CategoricalFromCdf(flavor_cdf_));
+      const size_t bin = SampleBinFromHazard(lifetime_km_->HazardFor(flavor), rng);
+      const double duration = SampleDurationInBin(binning_, bin, Interpolation::kCdi, rng);
+      Job job;
+      job.start_period = period;
+      job.end_period = period + PeriodsFromDuration(duration);
+      job.flavor = flavor;
+      job.user = next_user++;  // Every job independent: one job per "batch".
+      trace.Add(job);
+    }
+  }
+  return trace;
+}
+
+SimpleBatchGenerator::SimpleBatchGenerator(const Trace& train, const LifetimeBinning& binning)
+    : flavors_(train.Flavors()),
+      flavor_cdf_(FlavorCdfFrom(train)),
+      lifetime_km_(std::make_unique<PerFlavorKmBaseline>(train, binning)),
+      binning_(binning) {
+  ArrivalModelConfig config;
+  batch_arrivals_.Fit(train, ArrivalGranularity::kBatches, config);
+  std::vector<double> size_counts = BatchSizeCounts(train);
+  CG_CHECK_MSG(size_counts.size() >= 2, "training trace has no batches");
+  size_counts[0] = 0.0;  // Size-0 batches do not exist.
+  batch_size_cdf_ = BuildCdf(size_counts);
+}
+
+Trace SimpleBatchGenerator::Generate(int64_t from, int64_t to, double arrival_scale,
+                                     Rng& rng) const {
+  CG_CHECK(to > from);
+  Trace trace(flavors_, from, to);
+  const int doh_day = batch_arrivals_.SampleDohDay(rng, DohMode::kGeometricSample);
+  int64_t next_user = 0;
+  for (int64_t period = from; period < to; ++period) {
+    const double rate = batch_arrivals_.Rate(period, doh_day) * arrival_scale;
+    const int64_t n_batches = rng.Poisson(rate);
+    for (int64_t b = 0; b < n_batches; ++b) {
+      const size_t size = rng.CategoricalFromCdf(batch_size_cdf_);
+      const auto flavor = static_cast<int32_t>(rng.CategoricalFromCdf(flavor_cdf_));
+      const size_t bin = SampleBinFromHazard(lifetime_km_->HazardFor(flavor), rng);
+      const double duration = SampleDurationInBin(binning_, bin, Interpolation::kCdi, rng);
+      const int64_t user = next_user++;
+      for (size_t j = 0; j < size; ++j) {
+        Job job;
+        job.start_period = period;
+        job.end_period = period + PeriodsFromDuration(duration);
+        job.flavor = flavor;
+        job.user = user;
+        trace.Add(job);
+      }
+    }
+  }
+  return trace;
+}
+
+LstmGenerator::LstmGenerator(const WorkloadModel& model, DohMode doh_mode)
+    : model_(model), doh_mode_(doh_mode) {
+  CG_CHECK_MSG(model.IsTrained(), "LstmGenerator requires a trained WorkloadModel");
+}
+
+Trace LstmGenerator::Generate(int64_t from, int64_t to, double arrival_scale,
+                              Rng& rng) const {
+  WorkloadModel::GenerateOptions options;
+  options.from_period = from;
+  options.to_period = to;
+  options.doh_mode = doh_mode_;
+  options.arrival_scale = arrival_scale;
+  return model_.Generate(options, rng);
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,77 @@
+// End-to-end generation baselines of §6 and the LSTM adapter.
+//
+// Naive — the traditional practitioner model, ignoring all inter-job
+// correlations: (1) per-period VM counts from a Poisson regression fit on raw
+// job arrivals (no DOH), (2) i.i.d. flavors from the training multinomial,
+// (3) i.i.d. lifetimes from the per-flavor Kaplan-Meier.
+//
+// SimpleBatch — a batch-aware but RNN-free baseline: (1) per-period batch
+// counts from the paper's Poisson regression (sampled DOH), (2) batch size
+// from the empirical training distribution, (3) one flavor per batch from the
+// multinomial, (4) one lifetime per batch from the per-flavor KM, shared by
+// every VM of the batch.
+#ifndef SRC_BASELINES_GENERATORS_H_
+#define SRC_BASELINES_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/flavor_baselines.h"
+#include "src/baselines/lifetime_baselines.h"
+#include "src/core/arrival_model.h"
+#include "src/core/trace_generator.h"
+#include "src/core/workload_model.h"
+#include "src/survival/interpolation.h"
+
+namespace cloudgen {
+
+class NaiveGenerator : public TraceGenerator {
+ public:
+  NaiveGenerator(const Trace& train, const LifetimeBinning& binning);
+
+  std::string Name() const override { return "Naive"; }
+  Trace Generate(int64_t from, int64_t to, double arrival_scale, Rng& rng) const override;
+
+ private:
+  FlavorCatalog flavors_;
+  BatchArrivalModel job_arrivals_;  // Fit on raw job counts, no DOH.
+  std::vector<double> flavor_cdf_;
+  std::unique_ptr<PerFlavorKmBaseline> lifetime_km_;
+  LifetimeBinning binning_;
+};
+
+class SimpleBatchGenerator : public TraceGenerator {
+ public:
+  SimpleBatchGenerator(const Trace& train, const LifetimeBinning& binning);
+
+  std::string Name() const override { return "SimpleBatch"; }
+  Trace Generate(int64_t from, int64_t to, double arrival_scale, Rng& rng) const override;
+
+ private:
+  FlavorCatalog flavors_;
+  BatchArrivalModel batch_arrivals_;  // The paper's batch model (with DOH).
+  std::vector<double> batch_size_cdf_;  // Index s = batches of size s.
+  std::vector<double> flavor_cdf_;
+  std::unique_ptr<PerFlavorKmBaseline> lifetime_km_;
+  LifetimeBinning binning_;
+};
+
+// Adapts the trained WorkloadModel to the TraceGenerator interface.
+class LstmGenerator : public TraceGenerator {
+ public:
+  // `model` must outlive the adapter and be trained.
+  explicit LstmGenerator(const WorkloadModel& model,
+                         DohMode doh_mode = DohMode::kGeometricSample);
+
+  std::string Name() const override { return "LSTM"; }
+  Trace Generate(int64_t from, int64_t to, double arrival_scale, Rng& rng) const override;
+
+ private:
+  const WorkloadModel& model_;
+  DohMode doh_mode_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_BASELINES_GENERATORS_H_

@@ -1,0 +1,132 @@
+#include "src/baselines/lifetime_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/survival/hazard.h"
+#include "src/util/check.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr double kHazardClamp = 1e-6;
+
+double ClampedLog(double p) { return std::log(std::clamp(p, kHazardClamp, 1.0)); }
+
+}  // namespace
+
+std::vector<LifetimeObservation> ObservationsFrom(const Trace& trace) {
+  std::vector<LifetimeObservation> observations;
+  observations.reserve(trace.NumJobs());
+  for (const Job& job : trace.Jobs()) {
+    observations.push_back(LifetimeObservation{job.LifetimeSeconds(), job.censored});
+  }
+  return observations;
+}
+
+size_t LifetimeBaseline::PredictBin(const LifetimeStream& stream, size_t i) const {
+  return ArgmaxBinFromHazard(HazardAt(stream, i));
+}
+
+CoinFlipBaseline::CoinFlipBaseline(size_t num_bins) : hazard_(num_bins, 0.5) {
+  CG_CHECK(num_bins >= 1);
+  hazard_.back() = 1.0;
+}
+
+std::vector<double> CoinFlipBaseline::HazardAt(const LifetimeStream& /*stream*/,
+                                               size_t /*i*/) const {
+  return hazard_;
+}
+
+OverallKmBaseline::OverallKmBaseline(const Trace& train, const LifetimeBinning& binning,
+                                     CensoringPolicy policy) {
+  const KaplanMeier km(ObservationsFrom(train), binning, policy);
+  hazard_ = km.Hazard();
+}
+
+std::vector<double> OverallKmBaseline::HazardAt(const LifetimeStream& /*stream*/,
+                                                size_t /*i*/) const {
+  return hazard_;
+}
+
+PerFlavorKmBaseline::PerFlavorKmBaseline(const Trace& train, const LifetimeBinning& binning,
+                                         CensoringPolicy policy) {
+  std::vector<int32_t> groups;
+  groups.reserve(train.NumJobs());
+  for (const Job& job : train.Jobs()) {
+    groups.push_back(job.flavor);
+  }
+  km_ = std::make_unique<GroupedKaplanMeier>(ObservationsFrom(train), groups, binning,
+                                             policy);
+}
+
+std::vector<double> PerFlavorKmBaseline::HazardAt(const LifetimeStream& stream,
+                                                  size_t i) const {
+  return km_->HazardFor(stream.steps[i].flavor);
+}
+
+const std::vector<double>& PerFlavorKmBaseline::HazardFor(int32_t flavor) const {
+  return km_->HazardFor(flavor);
+}
+
+RepeatLifetimeBaseline::RepeatLifetimeBaseline(const Trace& train,
+                                               const LifetimeBinning& binning)
+    : fallback_(train, binning), fallback_bin_(ArgmaxBinFromHazard(fallback_.Hazard())) {}
+
+std::vector<double> RepeatLifetimeBaseline::HazardAt(const LifetimeStream& stream,
+                                                     size_t i) const {
+  // Point mass on the prediction (not used for BCE: N/A).
+  std::vector<double> hazard(fallback_.Hazard().size(), 0.0);
+  hazard[PredictBin(stream, i)] = 1.0;
+  hazard.back() = 1.0;
+  return hazard;
+}
+
+size_t RepeatLifetimeBaseline::PredictBin(const LifetimeStream& stream, size_t i) const {
+  const LifetimeStep& step = stream.steps[i];
+  if (step.first_in_batch || i == 0) {
+    return fallback_bin_;
+  }
+  return stream.steps[i - 1].bin;
+}
+
+LifetimeBaselineEval EvaluateLifetimeBaseline(const LifetimeBaseline& baseline,
+                                              const LifetimeStream& stream) {
+  LifetimeBaselineEval result;
+  double bce_sum = 0.0;
+  size_t bce_terms = 0;
+  size_t errors = 0;
+  for (size_t i = 0; i < stream.steps.size(); ++i) {
+    const LifetimeStep& step = stream.steps[i];
+    if (baseline.IsProbabilistic()) {
+      const std::vector<double> hazard = baseline.HazardAt(stream, i);
+      CG_CHECK(step.bin < hazard.size());
+      for (size_t j = 0; j < step.bin; ++j) {
+        bce_sum += -ClampedLog(1.0 - hazard[j]);
+        ++bce_terms;
+      }
+      if (!step.censored) {
+        bce_sum += -ClampedLog(hazard[step.bin]);
+        ++bce_terms;
+      }
+    }
+    if (!step.censored) {
+      if (baseline.PredictBin(stream, i) != step.bin) {
+        ++errors;
+      }
+      ++result.uncensored_steps;
+    }
+  }
+  result.steps = stream.steps.size();
+  result.bce = baseline.IsProbabilistic() && bce_terms > 0
+                   ? bce_sum / static_cast<double>(bce_terms)
+                   : std::numeric_limits<double>::quiet_NaN();
+  result.one_best_err =
+      result.uncensored_steps > 0
+          ? static_cast<double>(errors) / static_cast<double>(result.uncensored_steps)
+          : 0.0;
+  return result;
+}
+
+}  // namespace cloudgen

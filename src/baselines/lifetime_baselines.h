@@ -1,0 +1,103 @@
+// Lifetime-prediction baselines of Table 3 (§5.3).
+//
+// Each baseline produces a discrete hazard over the lifetime bins for every
+// job step; evaluation (masked BCE + 1-best error on uncensored steps) is
+// shared with the lifetime LSTM.
+#ifndef SRC_BASELINES_LIFETIME_BASELINES_H_
+#define SRC_BASELINES_LIFETIME_BASELINES_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/lifetime_model.h"
+#include "src/survival/binning.h"
+#include "src/survival/kaplan_meier.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class LifetimeBaseline {
+ public:
+  virtual ~LifetimeBaseline() = default;
+
+  virtual std::string Name() const = 0;
+  virtual bool IsProbabilistic() const { return true; }
+
+  // Hazard for step `i` of the stream, which may depend on earlier steps
+  // (RepeatLifetime) but never on step i's own outcome.
+  virtual std::vector<double> HazardAt(const LifetimeStream& stream, size_t i) const = 0;
+
+  // 1-best bin prediction; defaults to the PMF argmax of HazardAt.
+  virtual size_t PredictBin(const LifetimeStream& stream, size_t i) const;
+};
+
+// Hazard 0.5 in every bin.
+class CoinFlipBaseline : public LifetimeBaseline {
+ public:
+  explicit CoinFlipBaseline(size_t num_bins);
+  std::string Name() const override { return "CoinFlip"; }
+  std::vector<double> HazardAt(const LifetimeStream& stream, size_t i) const override;
+
+ private:
+  std::vector<double> hazard_;
+};
+
+// Pooled Kaplan-Meier hazard (all flavors together).
+class OverallKmBaseline : public LifetimeBaseline {
+ public:
+  OverallKmBaseline(const Trace& train, const LifetimeBinning& binning,
+                    CensoringPolicy policy = CensoringPolicy::kCensoringAware);
+  std::string Name() const override { return "Overall KM"; }
+  std::vector<double> HazardAt(const LifetimeStream& stream, size_t i) const override;
+  const std::vector<double>& Hazard() const { return hazard_; }
+
+ private:
+  std::vector<double> hazard_;
+};
+
+// Per-flavor Kaplan-Meier with pooled fallback.
+class PerFlavorKmBaseline : public LifetimeBaseline {
+ public:
+  PerFlavorKmBaseline(const Trace& train, const LifetimeBinning& binning,
+                      CensoringPolicy policy = CensoringPolicy::kCensoringAware);
+  std::string Name() const override { return "Per-flavor KM"; }
+  std::vector<double> HazardAt(const LifetimeStream& stream, size_t i) const override;
+  const std::vector<double>& HazardFor(int32_t flavor) const;
+
+ private:
+  std::unique_ptr<GroupedKaplanMeier> km_;
+};
+
+// Predicts the previous job's (observed) bin; falls back to the overall-KM
+// argmax for the first job of each batch. 1-best only (NLL/BCE is N/A).
+class RepeatLifetimeBaseline : public LifetimeBaseline {
+ public:
+  RepeatLifetimeBaseline(const Trace& train, const LifetimeBinning& binning);
+  std::string Name() const override { return "RepeatLifetime"; }
+  bool IsProbabilistic() const override { return false; }
+  std::vector<double> HazardAt(const LifetimeStream& stream, size_t i) const override;
+  size_t PredictBin(const LifetimeStream& stream, size_t i) const override;
+
+ private:
+  OverallKmBaseline fallback_;
+  size_t fallback_bin_;
+};
+
+// Shared Table-3 evaluation over a lifetime stream.
+struct LifetimeBaselineEval {
+  double bce = 0.0;  // NaN when not probabilistic.
+  double one_best_err = 0.0;
+  size_t steps = 0;
+  size_t uncensored_steps = 0;
+};
+LifetimeBaselineEval EvaluateLifetimeBaseline(const LifetimeBaseline& baseline,
+                                              const LifetimeStream& stream);
+
+// Extracts (lifetime, censored) observations from a trace for KM fitting.
+std::vector<LifetimeObservation> ObservationsFrom(const Trace& trace);
+
+}  // namespace cloudgen
+
+#endif  // SRC_BASELINES_LIFETIME_BASELINES_H_

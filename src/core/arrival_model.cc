@@ -1,0 +1,78 @@
+#include "src/core/arrival_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+// Intercept + HOD(24) + DOW(7) [+ DOH(N)].
+std::vector<double> BuildFeatures(int64_t period, int doh_day, int history_days,
+                                  bool use_doh) {
+  const PeriodCalendar cal = DecomposePeriod(period);
+  std::vector<double> x(1 + 24 + 7 + (use_doh ? history_days : 0), 0.0);
+  x[0] = 1.0;
+  x[1 + cal.hour_of_day] = 1.0;
+  x[1 + 24 + cal.day_of_week] = 1.0;
+  if (use_doh) {
+    CG_CHECK(doh_day >= 1 && doh_day <= history_days);
+    for (int d = 0; d < doh_day; ++d) {
+      x[1 + 24 + 7 + d] = 1.0;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+void BatchArrivalModel::Fit(const Trace& train, ArrivalGranularity granularity,
+                            const ArrivalModelConfig& config) {
+  config_ = config;
+  history_days_ = std::max<int>(
+      1, static_cast<int>((train.WindowPeriods() + kPeriodsPerDay - 1) / kPeriodsPerDay));
+
+  const std::vector<double> counts = granularity == ArrivalGranularity::kBatches
+                                         ? BatchCountsPerPeriod(train)
+                                         : JobCountsPerPeriod(train);
+  CG_CHECK(!counts.empty());
+
+  std::vector<std::vector<double>> features;
+  features.reserve(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t period = train.WindowStart() + static_cast<int64_t>(i);
+    const PeriodCalendar cal = DecomposePeriod(period);
+    const int doh_day =
+        std::clamp(static_cast<int>(cal.day_index) + 1 -
+                       static_cast<int>(train.WindowStart() / kPeriodsPerDay),
+                   1, history_days_);
+    features.push_back(BuildFeatures(period, doh_day, history_days_, config.use_doh));
+  }
+
+  PoissonRegressionConfig reg_config;
+  reg_config.penalty.lambda = config.lambda;
+  reg_config.penalty.l1_ratio = config.l1_ratio;
+  regression_.Fit(features, counts, reg_config);
+}
+
+double BatchArrivalModel::Rate(int64_t period, int doh_day) const {
+  CG_CHECK(IsFitted());
+  return regression_.PredictMean(FeaturesFor(period, doh_day));
+}
+
+int BatchArrivalModel::SampleDohDay(Rng& rng, DohMode mode) const {
+  const DohSampler sampler(history_days_, config_.doh_geometric_p, mode);
+  return sampler.Sample(rng);
+}
+
+int64_t BatchArrivalModel::SampleCount(int64_t period, int doh_day, Rng& rng) const {
+  return rng.Poisson(Rate(period, doh_day));
+}
+
+std::vector<double> BatchArrivalModel::FeaturesFor(int64_t period, int doh_day) const {
+  return BuildFeatures(period, doh_day, history_days_, config_.use_doh);
+}
+
+}  // namespace cloudgen

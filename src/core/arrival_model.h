@@ -1,0 +1,66 @@
+// Stage 1: batch-arrival model (§2.1).
+//
+// Fits an inhomogeneous Poisson regression to per-period counts (batches for
+// the paper's model; raw jobs for the Fig.-6 baseline) over temporal features
+// (HOD one-hot, DOW one-hot, DOH survival-encoded), and provides rate
+// prediction and count sampling for future periods given a DOH day.
+#ifndef SRC_CORE_ARRIVAL_MODEL_H_
+#define SRC_CORE_ARRIVAL_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/glm/features.h"
+#include "src/glm/poisson_regression.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+struct ArrivalModelConfig {
+  // Elastic-net penalty on the Poisson regression.
+  double lambda = 1e-4;
+  double l1_ratio = 0.3;
+  // Include the DOH block in the features (ablation: Fig. 6 variants).
+  bool use_doh = true;
+  // Geometric success probability for sampled-DOH generation; the paper uses
+  // 1/7 (expected sample: one week before the end of history).
+  double doh_geometric_p = 1.0 / 7.0;
+};
+
+// What to count per period when fitting.
+enum class ArrivalGranularity { kBatches, kJobs };
+
+class BatchArrivalModel {
+ public:
+  BatchArrivalModel() = default;
+
+  // Fits on a training trace; counts are batch or job arrivals per period.
+  void Fit(const Trace& train, ArrivalGranularity granularity,
+           const ArrivalModelConfig& config);
+
+  bool IsFitted() const { return regression_.IsFitted(); }
+  int HistoryDays() const { return history_days_; }
+  const ArrivalModelConfig& Config() const { return config_; }
+
+  // Poisson mean for `period` using the given DOH day (1..HistoryDays()).
+  double Rate(int64_t period, int doh_day) const;
+
+  // Samples a DOH day per the config (geometric back-off or last day).
+  int SampleDohDay(Rng& rng, DohMode mode) const;
+
+  // Convenience: samples a count for `period` with a freshly sampled DOH day.
+  int64_t SampleCount(int64_t period, int doh_day, Rng& rng) const;
+
+ private:
+  PoissonRegression regression_;
+  ArrivalModelConfig config_;
+  int history_days_ = 0;
+
+  std::vector<double> FeaturesFor(int64_t period, int doh_day) const;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_ARRIVAL_MODEL_H_

@@ -1,0 +1,65 @@
+#include "src/core/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+FlavorInputEncoder::FlavorInputEncoder(FlavorVocab vocab, TemporalFeatureEncoder temporal)
+    : vocab_(vocab), temporal_(temporal) {}
+
+void FlavorInputEncoder::EncodeInto(size_t prev_token, int64_t period, int doh_day,
+                                    float* out) const {
+  CG_CHECK(out != nullptr);
+  CG_CHECK(prev_token < vocab_.NumTokens());
+  std::fill(out, out + Dim(), 0.0f);
+  out[prev_token] = 1.0f;
+  temporal_.EncodeInto(period, doh_day, out + vocab_.NumTokens());
+}
+
+LifetimeInputEncoder::LifetimeInputEncoder(size_t num_flavors, size_t num_bins,
+                                           TemporalFeatureEncoder temporal)
+    : num_flavors_(num_flavors), num_bins_(num_bins), temporal_(temporal) {
+  CG_CHECK(num_flavors >= 1 && num_bins >= 2);
+}
+
+void LifetimeInputEncoder::EncodeInto(int64_t period, int doh_day, int32_t flavor,
+                                      size_t batch_size, const PrevLifetime& prev,
+                                      float* out) const {
+  CG_CHECK(out != nullptr);
+  CG_CHECK(flavor >= 0 && static_cast<size_t>(flavor) < num_flavors_);
+  std::fill(out, out + Dim(), 0.0f);
+  float* cursor = out;
+  temporal_.EncodeInto(period, doh_day, cursor);
+  cursor += temporal_.Dim();
+  cursor[flavor] = 1.0f;
+  cursor += num_flavors_;
+  // Batch size, compressed to roughly [0, 1.5].
+  *cursor = static_cast<float>(std::log1p(static_cast<double>(batch_size)) / std::log(32.0));
+  cursor += 1;
+
+  float* survived = cursor;
+  float* terminated = cursor + num_bins_;
+  if (prev.valid) {
+    CG_CHECK(prev.bin < num_bins_);
+    // Bins the previous job is known to have survived *through*: all bins
+    // strictly before its event/censor bin (for censored jobs we only know
+    // survival up to the censoring bin).
+    const size_t survived_until = prev.bin;
+    for (size_t j = 0; j < survived_until; ++j) {
+      survived[j] = 1.0f;
+    }
+    if (!prev.censored) {
+      // Known terminated at/after its event bin.
+      for (size_t j = prev.bin; j < num_bins_; ++j) {
+        terminated[j] = 1.0f;
+      }
+      // The event bin itself was also reached.
+      survived[prev.bin] = 1.0f;
+    }
+  }
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,81 @@
+// Input encodings for the flavor LSTM (§2.2.2) and lifetime LSTM (§2.3.3).
+//
+// Flavor-model step input:
+//   [ one-hot(previous token, K+1) | temporal(period, DOH) ]
+// where token K is the end-of-batch (EOB) marker; the first step of a period
+// sequence encodes EOB as its "previous token".
+//
+// Lifetime-model step input (one step per job):
+//   [ temporal | one-hot(flavor, K) | log-batch-size | survived-bin
+//     survival-encoding (J) | terminated-at indicators (J) ]
+// The previous job's lifetime is survival-encoded over the J bins; a second
+// J-wide block marks the bins at/after which the previous job is *known* to
+// have terminated and is all-zero when the previous job is censored (§2.3.3).
+#ifndef SRC_CORE_ENCODING_H_
+#define SRC_CORE_ENCODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/glm/features.h"
+#include "src/survival/binning.h"
+
+namespace cloudgen {
+
+// Token vocabulary for the flavor model: flavors 0..K-1 plus EOB == K.
+class FlavorVocab {
+ public:
+  explicit FlavorVocab(size_t num_flavors) : num_flavors_(num_flavors) {}
+
+  size_t NumFlavors() const { return num_flavors_; }
+  size_t EobToken() const { return num_flavors_; }
+  size_t NumTokens() const { return num_flavors_ + 1; }
+
+ private:
+  size_t num_flavors_;
+};
+
+class FlavorInputEncoder {
+ public:
+  FlavorInputEncoder(FlavorVocab vocab, TemporalFeatureEncoder temporal);
+
+  size_t Dim() const { return vocab_.NumTokens() + temporal_.Dim(); }
+  const FlavorVocab& Vocab() const { return vocab_; }
+  const TemporalFeatureEncoder& Temporal() const { return temporal_; }
+
+  // Writes the step input for (previous token, period, DOH day) into `out`
+  // (Dim() floats).
+  void EncodeInto(size_t prev_token, int64_t period, int doh_day, float* out) const;
+
+ private:
+  FlavorVocab vocab_;
+  TemporalFeatureEncoder temporal_;
+};
+
+// The previous job's observed outcome, as seen by the lifetime model.
+struct PrevLifetime {
+  bool valid = false;    // False at the start of a sequence (no previous job).
+  size_t bin = 0;        // Event bin, or censoring bin when censored.
+  bool censored = false;
+};
+
+class LifetimeInputEncoder {
+ public:
+  LifetimeInputEncoder(size_t num_flavors, size_t num_bins, TemporalFeatureEncoder temporal);
+
+  size_t Dim() const { return temporal_.Dim() + num_flavors_ + 1 + 2 * num_bins_; }
+  size_t NumBins() const { return num_bins_; }
+
+  void EncodeInto(int64_t period, int doh_day, int32_t flavor, size_t batch_size,
+                  const PrevLifetime& prev, float* out) const;
+
+ private:
+  size_t num_flavors_;
+  size_t num_bins_;
+  TemporalFeatureEncoder temporal_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_ENCODING_H_

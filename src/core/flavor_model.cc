@@ -1,0 +1,306 @@
+#include "src/core/flavor_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "src/core/trainer.h"
+#include "src/nn/losses.h"
+#include "src/util/check.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+namespace cloudgen {
+
+FlavorStream BuildFlavorStream(const Trace& trace, int history_days) {
+  FlavorStream stream;
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  const int64_t start_day = trace.WindowStart() / kPeriodsPerDay;
+  for (const PeriodBatches& period : periods) {
+    const PeriodCalendar cal = DecomposePeriod(period.period);
+    const int doh =
+        std::clamp(static_cast<int>(cal.day_index - start_day) + 1, 1, history_days);
+    for (const Batch& batch : period.batches) {
+      for (size_t idx : batch.job_indices) {
+        stream.tokens.push_back(trace.Jobs()[idx].flavor);
+        stream.periods.push_back(period.period);
+        stream.doh_days.push_back(doh);
+      }
+      stream.tokens.push_back(static_cast<int32_t>(trace.NumFlavors()));  // EOB.
+      stream.periods.push_back(period.period);
+      stream.doh_days.push_back(doh);
+    }
+  }
+  return stream;
+}
+
+FlavorStream FlavorLstmModel::BuildStream(const Trace& trace) const {
+  CG_CHECK(encoder_ != nullptr);
+  return BuildFlavorStream(trace, encoder_->Temporal().HistoryDays());
+}
+
+const FlavorVocab& FlavorLstmModel::Vocab() const {
+  CG_CHECK(encoder_ != nullptr);
+  return encoder_->Vocab();
+}
+
+void FlavorLstmModel::Train(const Trace& train, int history_days,
+                            const FlavorModelConfig& config, Rng& rng) {
+  config_ = config;
+  encoder_ = std::make_unique<FlavorInputEncoder>(FlavorVocab(train.NumFlavors()),
+                                                  TemporalFeatureEncoder(history_days));
+  SequenceNetworkConfig net_config;
+  net_config.input_dim = encoder_->Dim();
+  net_config.hidden_dim = config.hidden_dim;
+  net_config.num_layers = config.num_layers;
+  net_config.output_dim = encoder_->Vocab().NumTokens();
+  network_ = SequenceNetwork(net_config, rng);
+
+  const FlavorStream stream = BuildFlavorStream(train, history_days);
+  CG_CHECK_MSG(!stream.tokens.empty(), "empty training stream");
+
+  AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  adam_config.weight_decay = config.weight_decay;
+  adam_config.clip_norm = config.clip_norm;
+  Adam optimizer(network_.Params(), network_.Grads(), adam_config);
+
+  const SequenceBatching batching(stream.tokens.size(),
+                                  {config.seq_len, config.batch_size});
+  const size_t eob = encoder_->Vocab().EobToken();
+  const size_t dim = encoder_->Dim();
+
+  std::vector<Matrix> inputs(batching.SeqLen());
+  std::vector<Matrix> logits;
+  std::vector<Matrix> dlogits(batching.SeqLen());
+  std::vector<std::vector<int32_t>> targets(batching.SeqLen());
+
+  Timer timer;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    size_t epoch_minibatches = 0;
+    for (size_t mb : batching.EpochOrder(rng)) {
+      // Assemble the minibatch.
+      for (size_t t = 0; t < batching.SeqLen(); ++t) {
+        inputs[t].Resize(batching.BatchSize(), dim);
+        targets[t].assign(batching.BatchSize(), kIgnoreTarget);
+        for (size_t b = 0; b < batching.BatchSize(); ++b) {
+          const size_t step = batching.StepIndex(mb, t, b);
+          const size_t prev = step == 0 ? eob : static_cast<size_t>(stream.tokens[step - 1]);
+          encoder_->EncodeInto(prev, stream.periods[step], stream.doh_days[step],
+                               inputs[t].Row(b));
+          targets[t][b] = stream.tokens[step];
+        }
+      }
+      network_.ZeroGrads();
+      network_.ForwardSequence(inputs, &logits);
+      double loss = 0.0;
+      for (size_t t = 0; t < batching.SeqLen(); ++t) {
+        loss += SoftmaxCrossEntropy(logits[t], targets[t], &dlogits[t]);
+        // Average over time as well as batch.
+        dlogits[t].Scale(1.0f / static_cast<float>(batching.SeqLen()));
+      }
+      loss /= static_cast<double>(batching.SeqLen());
+      network_.BackwardSequence(dlogits);
+      optimizer.Step();
+      epoch_loss += loss;
+      ++epoch_minibatches;
+    }
+    CG_LOG_INFO(StrFormat("flavor LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)", epoch + 1,
+                          config.epochs, epoch_loss / std::max<size_t>(1, epoch_minibatches),
+                          timer.ElapsedSeconds()));
+    optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
+  }
+}
+
+FlavorLstmModel::EvalResult FlavorLstmModel::Evaluate(const Trace& test) const {
+  CG_CHECK(encoder_ != nullptr);
+  const FlavorStream stream = BuildStream(test);
+  EvalResult result;
+  if (stream.tokens.empty()) {
+    return result;
+  }
+  const size_t eob = encoder_->Vocab().EobToken();
+  // Single stateful pass over the full stream (no truncation) so every step
+  // is scored exactly once, conditioned on the entire history.
+  LstmState state = network_.MakeState(1);
+  Matrix input(1, encoder_->Dim());
+  Matrix logits;
+  double nll = 0.0;
+  size_t errors = 0;
+  double nll_flavor = 0.0;
+  size_t errors_flavor = 0;
+  size_t flavor_steps = 0;
+  for (size_t step = 0; step < stream.tokens.size(); ++step) {
+    const size_t prev = step == 0 ? eob : static_cast<size_t>(stream.tokens[step - 1]);
+    encoder_->EncodeInto(prev, stream.periods[step], stream.doh_days[step], input.Row(0));
+    network_.StepLogits(input, &state, &logits);
+
+    // NLL and argmax from the logits row.
+    const float* row = logits.Row(0);
+    const size_t classes = logits.Cols();
+    float max_v = row[0];
+    size_t argmax = 0;
+    for (size_t c = 1; c < classes; ++c) {
+      if (row[c] > max_v) {
+        max_v = row[c];
+        argmax = c;
+      }
+    }
+    double sum = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      sum += std::exp(static_cast<double>(row[c] - max_v));
+    }
+    const double log_prob =
+        static_cast<double>(row[stream.tokens[step]] - max_v) - std::log(sum);
+    const bool wrong = argmax != static_cast<size_t>(stream.tokens[step]);
+    nll -= log_prob;
+    if (wrong) {
+      ++errors;
+    }
+    if (static_cast<size_t>(stream.tokens[step]) != eob) {
+      nll_flavor -= log_prob;
+      if (wrong) {
+        ++errors_flavor;
+      }
+      ++flavor_steps;
+    }
+  }
+  result.steps = stream.tokens.size();
+  result.nll = nll / static_cast<double>(result.steps);
+  result.one_best_err = static_cast<double>(errors) / static_cast<double>(result.steps);
+  result.flavor_steps = flavor_steps;
+  if (flavor_steps > 0) {
+    result.nll_flavor_only = nll_flavor / static_cast<double>(flavor_steps);
+    result.one_best_err_flavor_only =
+        static_cast<double>(errors_flavor) / static_cast<double>(flavor_steps);
+  }
+  return result;
+}
+
+std::vector<double> FlavorLstmModel::NextTokenProbs(const FlavorStream& stream,
+                                                    size_t upto_step) const {
+  CG_CHECK(encoder_ != nullptr);
+  CG_CHECK(upto_step <= stream.tokens.size());
+  const size_t eob = encoder_->Vocab().EobToken();
+  LstmState state = network_.MakeState(1);
+  Matrix input(1, encoder_->Dim());
+  Matrix logits;
+  for (size_t step = 0; step <= upto_step; ++step) {
+    const size_t prev = step == 0 ? eob : static_cast<size_t>(stream.tokens[step - 1]);
+    const size_t ref = std::min(step, stream.tokens.size() - 1);
+    encoder_->EncodeInto(prev, stream.periods[ref], stream.doh_days[ref], input.Row(0));
+    network_.StepLogits(input, &state, &logits);
+  }
+  std::vector<double> probs(logits.Cols());
+  const float* row = logits.Row(0);
+  float max_v = row[0];
+  for (size_t c = 1; c < logits.Cols(); ++c) {
+    max_v = std::max(max_v, row[c]);
+  }
+  double sum = 0.0;
+  for (size_t c = 0; c < logits.Cols(); ++c) {
+    probs[c] = std::exp(static_cast<double>(row[c] - max_v));
+    sum += probs[c];
+  }
+  for (double& p : probs) {
+    p /= sum;
+  }
+  return probs;
+}
+
+FlavorLstmModel::Generator::Generator(const FlavorLstmModel& model, int doh_day,
+                                      double eob_scale)
+    : model_(model),
+      doh_day_(doh_day),
+      eob_scale_(eob_scale),
+      state_(model.network_.MakeState(1)),
+      prev_token_(model.Vocab().EobToken()),
+      input_(1, model.encoder_->Dim()) {
+  CG_CHECK(eob_scale > 0.0);
+}
+
+std::vector<std::vector<int32_t>> FlavorLstmModel::Generator::GeneratePeriod(
+    int64_t period, int64_t n_batches, Rng& rng, size_t max_jobs) {
+  std::vector<std::vector<int32_t>> batches;
+  if (n_batches <= 0) {
+    return batches;
+  }
+  const size_t eob = model_.Vocab().EobToken();
+  batches.emplace_back();
+  size_t total_jobs = 0;
+  while (static_cast<int64_t>(batches.size()) <= n_batches) {
+    model_.encoder_->EncodeInto(prev_token_, period, doh_day_, input_.Row(0));
+    model_.network_.StepLogits(input_, &state_, &logits_);
+
+    // Sample from the softmax distribution.
+    const float* row = logits_.Row(0);
+    const size_t classes = logits_.Cols();
+    float max_v = row[0];
+    for (size_t c = 1; c < classes; ++c) {
+      max_v = std::max(max_v, row[c]);
+    }
+    std::vector<double> probs(classes);
+    for (size_t c = 0; c < classes; ++c) {
+      probs[c] = std::exp(static_cast<double>(row[c] - max_v));
+    }
+    probs[eob] *= eob_scale_;  // What-if batch-size modification (footnote 5).
+    size_t token = rng.Categorical(probs);
+
+    // Safety: an empty batch is not representable in the data (every batch
+    // has >= 1 job), so re-interpret an immediate EOB as the most likely
+    // flavor instead.
+    if (token == eob && batches.back().empty()) {
+      size_t best = 0;
+      for (size_t c = 1; c < classes - 1; ++c) {
+        if (probs[c] > probs[best]) {
+          best = c;
+        }
+      }
+      token = best;
+    }
+
+    if (token == eob) {
+      if (static_cast<int64_t>(batches.size()) == n_batches) {
+        prev_token_ = token;
+        break;
+      }
+      batches.emplace_back();
+    } else {
+      batches.back().push_back(static_cast<int32_t>(token));
+      if (++total_jobs >= max_jobs) {
+        CG_LOG_WARN("flavor generator hit the per-period job cap; truncating period");
+        break;
+      }
+    }
+    prev_token_ = token;
+  }
+  return batches;
+}
+
+bool FlavorLstmModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  network_.Save(out);
+  return static_cast<bool>(out);
+}
+
+bool FlavorLstmModel::LoadFromFile(const std::string& path, int history_days,
+                                   size_t num_flavors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  network_.Load(in);
+  encoder_ = std::make_unique<FlavorInputEncoder>(FlavorVocab(num_flavors),
+                                                  TemporalFeatureEncoder(history_days));
+  CG_CHECK_MSG(network_.Config().input_dim == encoder_->Dim(),
+               "loaded flavor model does not match the encoder dimensions");
+  return true;
+}
+
+}  // namespace cloudgen

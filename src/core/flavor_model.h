@@ -1,0 +1,125 @@
+// Stage 2: flavor-sequence LSTM (§2.2).
+//
+// Models the per-period sequence of requested flavors as a token stream over
+// K flavors plus an end-of-batch (EOB) token. At each step the network
+// receives a one-hot of the previous token plus the period's temporal
+// features, and emits softmax logits over the K+1 tokens. Training minimizes
+// next-token NLL with Adam; generation samples tokens until the requested
+// number of batches (EOB tokens) have been produced.
+#ifndef SRC_CORE_FLAVOR_MODEL_H_
+#define SRC_CORE_FLAVOR_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/encoding.h"
+#include "src/nn/adam.h"
+#include "src/nn/sequence_network.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+struct FlavorModelConfig {
+  size_t hidden_dim = 64;
+  size_t num_layers = 2;
+  size_t seq_len = 96;
+  size_t batch_size = 24;
+  size_t epochs = 3;
+  float learning_rate = 3e-3f;
+  float weight_decay = 1e-6f;
+  float clip_norm = 5.0f;
+  // Multiplicative learning-rate decay applied after every epoch.
+  float lr_decay = 1.0f;
+};
+
+// A token-stream view of a trace (shared with evaluation).
+struct FlavorStream {
+  // Token at each step (flavor id or EOB).
+  std::vector<int32_t> tokens;
+  // Period of each step (for temporal features).
+  std::vector<int64_t> periods;
+  // In-window DOH day of each step.
+  std::vector<int32_t> doh_days;
+};
+
+class FlavorLstmModel {
+ public:
+  FlavorLstmModel() = default;
+
+  // Trains from scratch on `train`. `history_days` defines the DOH block
+  // width (shared with the arrival model). Deterministic given `rng`.
+  void Train(const Trace& train, int history_days, const FlavorModelConfig& config, Rng& rng);
+
+  bool IsTrained() const { return encoder_ != nullptr; }
+  const FlavorVocab& Vocab() const;
+  size_t NumParameters() const { return network_.NumParameters(); }
+
+  // Teacher-forced evaluation on a trace (future periods encode DOH = N).
+  struct EvalResult {
+    // Over all tokens (flavors + EOB): the full sequence likelihood view.
+    double nll = 0.0;
+    double one_best_err = 0.0;
+    size_t steps = 0;
+    // Over flavor targets only (EOB steps are context), the Table-2 view that
+    // is directly comparable to the baselines.
+    double nll_flavor_only = 0.0;
+    double one_best_err_flavor_only = 0.0;
+    size_t flavor_steps = 0;
+  };
+  EvalResult Evaluate(const Trace& test) const;
+
+  // Next-token distribution given a context; exposed for tests.
+  std::vector<double> NextTokenProbs(const FlavorStream& stream, size_t upto_step) const;
+
+  // Stateful generator: call GeneratePeriod for consecutive periods of one
+  // sampled trace (hidden state persists across periods, so cross-period
+  // momentum carries through).
+  class Generator {
+   public:
+    // `eob_scale` post-processes the EOB token's probability at every step
+    // (footnote 5 of the paper): values < 1 stretch batches, values > 1
+    // shorten them — a what-if knob for simulating larger or smaller batches
+    // without retraining. 1.0 leaves the learned distribution untouched.
+    Generator(const FlavorLstmModel& model, int doh_day, double eob_scale = 1.0);
+
+    // Generates all jobs for `period` as `n_batches` batches of flavors.
+    // A safety cap bounds runaway sequences.
+    std::vector<std::vector<int32_t>> GeneratePeriod(int64_t period, int64_t n_batches,
+                                                     Rng& rng, size_t max_jobs = 20000);
+
+   private:
+    const FlavorLstmModel& model_;
+    int doh_day_;
+    double eob_scale_;
+    LstmState state_;
+    size_t prev_token_;
+    Matrix input_;
+    Matrix logits_;
+  };
+
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path, int history_days, size_t num_flavors);
+
+ private:
+  friend class Generator;
+
+  FlavorModelConfig config_;
+  std::unique_ptr<FlavorInputEncoder> encoder_;
+  SequenceNetwork network_;
+
+  // Builds the token stream (period → batch → job, EOB after each batch).
+  FlavorStream BuildStream(const Trace& trace) const;
+};
+
+// Stream construction is exposed for baselines and tests: every baseline in
+// Table 2 is evaluated on exactly this stream.
+FlavorStream BuildFlavorStream(const Trace& trace, int history_days);
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_FLAVOR_MODEL_H_

@@ -1,0 +1,328 @@
+#include "src/core/lifetime_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "src/core/trainer.h"
+#include "src/nn/activations.h"
+#include "src/nn/adam.h"
+#include "src/nn/losses.h"
+#include "src/survival/hazard.h"
+#include "src/util/check.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+namespace cloudgen {
+namespace {
+
+// Fills one row of the BCE target and mask matrices for an observed outcome.
+void FillTargetsAndMask(size_t bin, bool censored, size_t num_bins, float* target,
+                        float* mask) {
+  std::fill(target, target + num_bins, 0.0f);
+  std::fill(mask, mask + num_bins, 0.0f);
+  for (size_t j = 0; j < bin; ++j) {
+    mask[j] = 1.0f;  // Survived this bin's hazard: target 0.
+  }
+  if (!censored) {
+    mask[bin] = 1.0f;
+    target[bin] = 1.0f;  // Suffered the hazard in the event bin.
+  }
+}
+
+PrevLifetime PrevFromStep(const LifetimeStep& step) {
+  PrevLifetime prev;
+  prev.valid = true;
+  prev.bin = step.bin;
+  prev.censored = step.censored;
+  return prev;
+}
+
+}  // namespace
+
+LifetimeStream BuildLifetimeStream(const Trace& trace, const LifetimeBinning& binning,
+                                   int history_days) {
+  LifetimeStream stream;
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  const int64_t start_day = trace.WindowStart() / kPeriodsPerDay;
+  for (const PeriodBatches& period : periods) {
+    const PeriodCalendar cal = DecomposePeriod(period.period);
+    const int doh =
+        std::clamp(static_cast<int>(cal.day_index - start_day) + 1, 1, history_days);
+    for (const Batch& batch : period.batches) {
+      bool first = true;
+      for (size_t idx : batch.job_indices) {
+        const Job& job = trace.Jobs()[idx];
+        LifetimeStep step;
+        step.period = period.period;
+        step.doh_day = doh;
+        step.flavor = job.flavor;
+        step.batch_size = batch.job_indices.size();
+        step.first_in_batch = first;
+        first = false;
+        step.bin = binning.BinOf(job.LifetimeSeconds());
+        step.censored = job.censored;
+        stream.steps.push_back(step);
+        stream.lifetimes_seconds.push_back(job.censored ? -1.0 : job.LifetimeSeconds());
+      }
+    }
+  }
+  return stream;
+}
+
+const LifetimeBinning& LifetimeLstmModel::Binning() const {
+  CG_CHECK(binning_ != nullptr);
+  return *binning_;
+}
+
+void LifetimeLstmModel::EncodeStep(const LifetimeStep& step, const PrevLifetime& prev,
+                                   float* out) const {
+  encoder_->EncodeInto(step.period, step.doh_day, step.flavor, step.batch_size, prev, out);
+}
+
+std::vector<double> LifetimeLstmModel::LogitsToHazard(const Matrix& logits) const {
+  const size_t bins = logits.Cols();
+  const float* row = logits.Row(0);
+  if (config_.head == LifetimeHead::kPmf) {
+    // Softmax → PMF → equivalent hazard.
+    std::vector<double> pmf(bins);
+    float max_v = row[0];
+    for (size_t j = 1; j < bins; ++j) {
+      max_v = std::max(max_v, row[j]);
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < bins; ++j) {
+      pmf[j] = std::exp(static_cast<double>(row[j] - max_v));
+      sum += pmf[j];
+    }
+    for (double& p : pmf) {
+      p /= sum;
+    }
+    return PmfToHazard(pmf);
+  }
+  std::vector<double> hazard(bins);
+  for (size_t j = 0; j < bins; ++j) {
+    hazard[j] = SigmoidScalar(row[j]);
+  }
+  hazard.back() = 1.0;  // Open final bin.
+  return hazard;
+}
+
+void LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning,
+                              int history_days, const LifetimeModelConfig& config, Rng& rng) {
+  config_ = config;
+  history_days_ = history_days;
+  num_flavors_ = train.NumFlavors();
+  binning_ = std::make_unique<LifetimeBinning>(binning);
+  encoder_ = std::make_unique<LifetimeInputEncoder>(num_flavors_, binning.NumBins(),
+                                                    TemporalFeatureEncoder(history_days));
+  SequenceNetworkConfig net_config;
+  net_config.input_dim = encoder_->Dim();
+  net_config.hidden_dim = config.hidden_dim;
+  net_config.num_layers = config.num_layers;
+  net_config.output_dim = binning.NumBins();
+  network_ = SequenceNetwork(net_config, rng);
+
+  const LifetimeStream stream = BuildLifetimeStream(train, binning, history_days);
+  CG_CHECK_MSG(!stream.steps.empty(), "empty lifetime training stream");
+
+  AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  adam_config.weight_decay = config.weight_decay;
+  adam_config.clip_norm = config.clip_norm;
+  Adam optimizer(network_.Params(), network_.Grads(), adam_config);
+
+  const SequenceBatching batching(stream.steps.size(), {config.seq_len, config.batch_size});
+  const size_t dim = encoder_->Dim();
+  const size_t bins = binning.NumBins();
+
+  std::vector<Matrix> inputs(batching.SeqLen());
+  std::vector<Matrix> logits;
+  std::vector<Matrix> dlogits(batching.SeqLen());
+  std::vector<Matrix> targets(batching.SeqLen());
+  std::vector<Matrix> masks(batching.SeqLen());
+  std::vector<std::vector<int32_t>> bin_targets(
+      batching.SeqLen(), std::vector<int32_t>(batching.BatchSize()));
+  std::vector<std::vector<uint8_t>> censored_flags(
+      batching.SeqLen(), std::vector<uint8_t>(batching.BatchSize()));
+
+  Timer timer;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    size_t epoch_minibatches = 0;
+    for (size_t mb : batching.EpochOrder(rng)) {
+      for (size_t t = 0; t < batching.SeqLen(); ++t) {
+        inputs[t].Resize(batching.BatchSize(), dim);
+        targets[t].Resize(batching.BatchSize(), bins);
+        masks[t].Resize(batching.BatchSize(), bins);
+        for (size_t b = 0; b < batching.BatchSize(); ++b) {
+          const size_t idx = batching.StepIndex(mb, t, b);
+          const PrevLifetime prev =
+              idx == 0 ? PrevLifetime{} : PrevFromStep(stream.steps[idx - 1]);
+          EncodeStep(stream.steps[idx], prev, inputs[t].Row(b));
+          if (config.head == LifetimeHead::kHazard) {
+            FillTargetsAndMask(stream.steps[idx].bin, stream.steps[idx].censored, bins,
+                               targets[t].Row(b), masks[t].Row(b));
+          } else {
+            bin_targets[t][b] = static_cast<int32_t>(stream.steps[idx].bin);
+            censored_flags[t][b] = stream.steps[idx].censored ? 1 : 0;
+          }
+        }
+      }
+      network_.ZeroGrads();
+      network_.ForwardSequence(inputs, &logits);
+      double loss = 0.0;
+      for (size_t t = 0; t < batching.SeqLen(); ++t) {
+        if (config.head == LifetimeHead::kHazard) {
+          loss += MaskedBceWithLogits(logits[t], targets[t], masks[t], &dlogits[t]);
+        } else {
+          loss += CensoredSoftmaxCrossEntropy(logits[t], bin_targets[t],
+                                              censored_flags[t], &dlogits[t]);
+        }
+        dlogits[t].Scale(1.0f / static_cast<float>(batching.SeqLen()));
+      }
+      loss /= static_cast<double>(batching.SeqLen());
+      network_.BackwardSequence(dlogits);
+      optimizer.Step();
+      epoch_loss += loss;
+      ++epoch_minibatches;
+    }
+    CG_LOG_INFO(StrFormat("lifetime LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)",
+                          epoch + 1, config.epochs,
+                          epoch_loss / std::max<size_t>(1, epoch_minibatches),
+                          timer.ElapsedSeconds()));
+    optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
+  }
+}
+
+LifetimeLstmModel::EvalResult LifetimeLstmModel::Evaluate(const Trace& test) const {
+  CG_CHECK(encoder_ != nullptr);
+  const LifetimeStream stream = BuildLifetimeStream(test, *binning_, history_days_);
+  EvalResult result;
+  if (stream.steps.empty()) {
+    return result;
+  }
+  LstmState state = network_.MakeState(1);
+  Matrix input(1, encoder_->Dim());
+  Matrix logits;
+  double bce_sum = 0.0;
+  size_t bce_terms = 0;
+  double job_nll_sum = 0.0;
+  size_t errors = 0;
+  constexpr double kEps = 1e-6;  // Matches the baseline-evaluation clamp.
+  for (size_t i = 0; i < stream.steps.size(); ++i) {
+    const PrevLifetime prev = i == 0 ? PrevLifetime{} : PrevFromStep(stream.steps[i - 1]);
+    EncodeStep(stream.steps[i], prev, input.Row(0));
+    network_.StepLogits(input, &state, &logits);
+
+    const LifetimeStep& step = stream.steps[i];
+    const std::vector<double> hazard = LogitsToHazard(logits);
+    for (size_t j = 0; j < step.bin; ++j) {
+      bce_sum += -std::log(std::max(1.0 - hazard[j], kEps));
+      ++bce_terms;
+    }
+    const std::vector<double> pmf = HazardToPmf(hazard);
+    if (!step.censored) {
+      bce_sum += -std::log(std::max(hazard[step.bin], kEps));
+      ++bce_terms;
+      job_nll_sum += -std::log(std::max(pmf[step.bin], kEps));
+      if (ArgmaxBinFromHazard(hazard) != step.bin) {
+        ++errors;
+      }
+      ++result.uncensored_steps;
+    } else {
+      double tail = 0.0;
+      for (size_t j = step.bin; j < pmf.size(); ++j) {
+        tail += pmf[j];
+      }
+      job_nll_sum += -std::log(std::max(tail, kEps));
+    }
+  }
+  result.steps = stream.steps.size();
+  result.bce = bce_terms > 0 ? bce_sum / static_cast<double>(bce_terms) : 0.0;
+  result.job_nll =
+      result.steps > 0 ? job_nll_sum / static_cast<double>(result.steps) : 0.0;
+  result.one_best_err =
+      result.uncensored_steps > 0
+          ? static_cast<double>(errors) / static_cast<double>(result.uncensored_steps)
+          : 0.0;
+  return result;
+}
+
+std::vector<std::vector<double>> LifetimeLstmModel::PredictHazards(const Trace& test) const {
+  CG_CHECK(encoder_ != nullptr);
+  const LifetimeStream stream = BuildLifetimeStream(test, *binning_, history_days_);
+  std::vector<std::vector<double>> hazards;
+  hazards.reserve(stream.steps.size());
+  LstmState state = network_.MakeState(1);
+  Matrix input(1, encoder_->Dim());
+  Matrix logits;
+  for (size_t i = 0; i < stream.steps.size(); ++i) {
+    const PrevLifetime prev = i == 0 ? PrevLifetime{} : PrevFromStep(stream.steps[i - 1]);
+    EncodeStep(stream.steps[i], prev, input.Row(0));
+    network_.StepLogits(input, &state, &logits);
+    hazards.push_back(LogitsToHazard(logits));
+  }
+  return hazards;
+}
+
+LifetimeLstmModel::Generator::Generator(const LifetimeLstmModel& model, int doh_day)
+    : model_(model),
+      doh_day_(doh_day),
+      state_(model.network_.MakeState(1)),
+      input_(1, model.encoder_->Dim()) {}
+
+size_t LifetimeLstmModel::Generator::StepJob(int64_t period, int32_t flavor,
+                                             size_t batch_size, Rng& rng) {
+  LifetimeStep step;
+  step.period = period;
+  step.doh_day = doh_day_;
+  step.flavor = flavor;
+  step.batch_size = batch_size;
+  model_.EncodeStep(step, prev_, input_.Row(0));
+  model_.network_.StepLogits(input_, &state_, &logits_);
+  const std::vector<double> hazard = model_.LogitsToHazard(logits_);
+  const size_t bin = SampleBinFromHazard(hazard, rng);
+  prev_.valid = true;
+  prev_.bin = bin;
+  prev_.censored = false;  // Generated lifetimes are always complete draws.
+  return bin;
+}
+
+bool LifetimeLstmModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  const uint8_t head = config_.head == LifetimeHead::kPmf ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&head), sizeof(head));
+  network_.Save(out);
+  return static_cast<bool>(out);
+}
+
+bool LifetimeLstmModel::LoadFromFile(const std::string& path, const LifetimeBinning& binning,
+                                     int history_days, size_t num_flavors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  uint8_t head = 0;
+  in.read(reinterpret_cast<char*>(&head), sizeof(head));
+  if (!in) {
+    return false;
+  }
+  config_.head = head == 1 ? LifetimeHead::kPmf : LifetimeHead::kHazard;
+  network_.Load(in);
+  history_days_ = history_days;
+  num_flavors_ = num_flavors;
+  binning_ = std::make_unique<LifetimeBinning>(binning);
+  encoder_ = std::make_unique<LifetimeInputEncoder>(num_flavors_, binning.NumBins(),
+                                                    TemporalFeatureEncoder(history_days));
+  CG_CHECK_MSG(network_.Config().input_dim == encoder_->Dim(),
+               "loaded lifetime model does not match the encoder dimensions");
+  return true;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,341 @@
+#include "src/core/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/losses.h"
+#include "src/util/check.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+// Softmax sampling / scoring over a logits row.
+size_t SampleRow(const Matrix& logits, size_t row, Rng& rng) {
+  const float* data = logits.Row(row);
+  const size_t n = logits.Cols();
+  float max_v = data[0];
+  for (size_t c = 1; c < n; ++c) {
+    max_v = std::max(max_v, data[c]);
+  }
+  std::vector<double> probs(n);
+  for (size_t c = 0; c < n; ++c) {
+    probs[c] = std::exp(static_cast<double>(data[c] - max_v));
+  }
+  return rng.Categorical(probs);
+}
+
+double RowLogProb(const Matrix& logits, size_t row, size_t target) {
+  const float* data = logits.Row(row);
+  const size_t n = logits.Cols();
+  float max_v = data[0];
+  for (size_t c = 1; c < n; ++c) {
+    max_v = std::max(max_v, data[c]);
+  }
+  double sum = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    sum += std::exp(static_cast<double>(data[c] - max_v));
+  }
+  return static_cast<double>(data[target] - max_v) - std::log(sum);
+}
+
+}  // namespace
+
+ResourceQuantizer::ResourceQuantizer(std::vector<double> levels) : levels_(std::move(levels)) {
+  CG_CHECK(!levels_.empty());
+  std::sort(levels_.begin(), levels_.end());
+  for (size_t i = 1; i < levels_.size(); ++i) {
+    CG_CHECK_MSG(levels_[i] > levels_[i - 1], "duplicate quantizer levels");
+  }
+}
+
+size_t ResourceQuantizer::ClassOf(double value) const {
+  const auto it = std::lower_bound(levels_.begin(), levels_.end(), value);
+  if (it == levels_.begin()) {
+    return 0;
+  }
+  if (it == levels_.end()) {
+    return levels_.size() - 1;
+  }
+  const auto hi = static_cast<size_t>(it - levels_.begin());
+  const size_t lo = hi - 1;
+  return (value - levels_[lo]) <= (levels_[hi] - value) ? lo : hi;
+}
+
+size_t MultiResourceLstmModel::InputDim() const {
+  return (cpu_->NumClasses() + 1) + mem_->NumClasses() + temporal_->Dim();
+}
+
+void MultiResourceLstmModel::EncodeInput(bool prev_is_eob, const ResourceRequest& prev,
+                                         int64_t period, int doh_day, float* out) const {
+  const size_t cpu_block = cpu_->NumClasses() + 1;
+  std::fill(out, out + InputDim(), 0.0f);
+  if (prev_is_eob) {
+    out[cpu_block - 1] = 1.0f;  // EOB marker; memory block stays zero.
+  } else {
+    out[prev.cpu_class] = 1.0f;
+    out[cpu_block + prev.mem_class] = 1.0f;
+  }
+  temporal_->EncodeInto(period, doh_day, out + cpu_block + mem_->NumClasses());
+}
+
+void MultiResourceLstmModel::EncodeMemInput(const Matrix& hidden, size_t row,
+                                            size_t cpu_class, Matrix* out) const {
+  const size_t h = hidden.Cols();
+  CG_CHECK(out->Cols() == h + cpu_->NumClasses());
+  float* dst = out->Row(row);
+  const float* src = hidden.Row(row);
+  std::copy(src, src + h, dst);
+  std::fill(dst + h, dst + h + cpu_->NumClasses(), 0.0f);
+  dst[h + cpu_class] = 1.0f;
+}
+
+std::vector<MultiResourceLstmModel::Step> MultiResourceLstmModel::BuildStream(
+    const Trace& trace) const {
+  std::vector<Step> stream;
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  const int64_t start_day = trace.WindowStart() / kPeriodsPerDay;
+  for (const PeriodBatches& period : periods) {
+    const PeriodCalendar cal = DecomposePeriod(period.period);
+    const int doh =
+        std::clamp(static_cast<int>(cal.day_index - start_day) + 1, 1, history_days_);
+    for (const Batch& batch : period.batches) {
+      for (size_t idx : batch.job_indices) {
+        const Flavor& flavor =
+            trace.Flavors()[static_cast<size_t>(trace.Jobs()[idx].flavor)];
+        Step step;
+        step.period = period.period;
+        step.doh_day = doh;
+        step.is_eob = false;
+        step.request.cpu_class = cpu_->ClassOf(flavor.cpus);
+        step.request.mem_class = mem_->ClassOf(flavor.memory_gb);
+        stream.push_back(step);
+      }
+      Step eob;
+      eob.period = period.period;
+      eob.doh_day = doh;
+      eob.is_eob = true;
+      stream.push_back(eob);
+    }
+  }
+  return stream;
+}
+
+void MultiResourceLstmModel::Train(const Trace& train, const ResourceQuantizer& cpu,
+                                   const ResourceQuantizer& mem, int history_days,
+                                   const ResourceModelConfig& config, Rng& rng) {
+  cpu_ = std::make_unique<ResourceQuantizer>(cpu);
+  mem_ = std::make_unique<ResourceQuantizer>(mem);
+  temporal_ = std::make_unique<TemporalFeatureEncoder>(history_days);
+  config_ = config;
+  history_days_ = history_days;
+
+  lstm_ = StackedLstm(InputDim(), config.hidden_dim, config.num_layers, rng);
+  cpu_head_ = Linear(config.hidden_dim, cpu_->NumClasses() + 1, rng);
+  mem_head_ = Linear(config.hidden_dim + cpu_->NumClasses(), mem_->NumClasses(), rng);
+
+  const std::vector<Step> stream = BuildStream(train);
+  CG_CHECK_MSG(!stream.empty(), "empty resource training stream");
+
+  std::vector<Matrix*> params = lstm_.Params();
+  std::vector<Matrix*> grads = lstm_.Grads();
+  for (Matrix* p : cpu_head_.Params()) {
+    params.push_back(p);
+  }
+  for (Matrix* g : cpu_head_.Grads()) {
+    grads.push_back(g);
+  }
+  for (Matrix* p : mem_head_.Params()) {
+    params.push_back(p);
+  }
+  for (Matrix* g : mem_head_.Grads()) {
+    grads.push_back(g);
+  }
+  AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  adam_config.weight_decay = config.weight_decay;
+  adam_config.clip_norm = config.clip_norm;
+  Adam optimizer(params, grads, adam_config);
+
+  // Layout: complete (seq_len x batch) minibatches, sequences contiguous.
+  size_t seq_len = config.seq_len;
+  while (seq_len > 1 && stream.size() / seq_len == 0) {
+    seq_len /= 2;
+  }
+  const size_t num_seqs = stream.size() / seq_len;
+  const size_t batch = std::min(config.batch_size, num_seqs);
+  const size_t minibatches = num_seqs / batch;
+  CG_CHECK(minibatches > 0);
+
+  const size_t eob_cpu_class = cpu_->NumClasses();
+  std::vector<Matrix> inputs(seq_len);
+  std::vector<Matrix> hidden;
+  std::vector<Matrix> dhidden(seq_len);
+  Matrix cpu_logits;
+  Matrix mem_logits;
+  Matrix mem_input(batch, config.hidden_dim + cpu_->NumClasses());
+  Matrix dcpu;
+  Matrix dmem;
+  Matrix dmem_input;
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (size_t mb = 0; mb < minibatches; ++mb) {
+      // Assemble inputs and targets.
+      std::vector<std::vector<int32_t>> cpu_targets(seq_len,
+                                                    std::vector<int32_t>(batch));
+      std::vector<std::vector<int32_t>> mem_targets(seq_len,
+                                                    std::vector<int32_t>(batch));
+      for (size_t t = 0; t < seq_len; ++t) {
+        inputs[t].Resize(batch, InputDim());
+        for (size_t b = 0; b < batch; ++b) {
+          const size_t idx = (mb * batch + b) * seq_len + t;
+          const bool first = idx == 0;
+          const Step& step = stream[idx];
+          const Step* prev = first ? nullptr : &stream[idx - 1];
+          EncodeInput(first || prev->is_eob, first ? ResourceRequest{} : prev->request,
+                      step.period, step.doh_day, inputs[t].Row(b));
+          cpu_targets[t][b] = step.is_eob ? static_cast<int32_t>(eob_cpu_class)
+                                          : static_cast<int32_t>(step.request.cpu_class);
+          mem_targets[t][b] = step.is_eob ? kIgnoreTarget
+                                          : static_cast<int32_t>(step.request.mem_class);
+        }
+      }
+
+      lstm_.ZeroGrads();
+      cpu_head_.ZeroGrads();
+      mem_head_.ZeroGrads();
+      lstm_.ForwardSequence(inputs, &hidden);
+
+      double loss = 0.0;
+      for (size_t t = 0; t < seq_len; ++t) {
+        // CPU head.
+        cpu_head_.Forward(hidden[t], &cpu_logits);
+        loss += SoftmaxCrossEntropy(cpu_logits, cpu_targets[t], &dcpu);
+        dcpu.Scale(1.0f / static_cast<float>(seq_len));
+        cpu_head_.Backward(dcpu, &dhidden[t]);
+
+        // Memory head, teacher-forced on the true CPU class.
+        mem_input.Resize(batch, config.hidden_dim + cpu_->NumClasses());
+        for (size_t b = 0; b < batch; ++b) {
+          const size_t cls = cpu_targets[t][b] == static_cast<int32_t>(eob_cpu_class)
+                                 ? 0
+                                 : static_cast<size_t>(cpu_targets[t][b]);
+          EncodeMemInput(hidden[t], b, cls, &mem_input);
+        }
+        mem_head_.Forward(mem_input, &mem_logits);
+        loss += SoftmaxCrossEntropy(mem_logits, mem_targets[t], &dmem);
+        dmem.Scale(1.0f / static_cast<float>(seq_len));
+        mem_head_.Backward(dmem, &dmem_input);
+        // The hidden-state slice of the memory-head input gradient flows back
+        // into the LSTM alongside the CPU head's gradient.
+        for (size_t b = 0; b < batch; ++b) {
+          const float* src = dmem_input.Row(b);
+          float* dst = dhidden[t].Row(b);
+          for (size_t h = 0; h < config.hidden_dim; ++h) {
+            dst[h] += src[h];
+          }
+        }
+      }
+      lstm_.BackwardSequence(dhidden);
+      optimizer.Step();
+      epoch_loss += loss / static_cast<double>(seq_len);
+    }
+    CG_LOG_DEBUG(StrFormat("resource LSTM epoch %zu/%zu: loss=%.4f", epoch + 1,
+                           config.epochs, epoch_loss / static_cast<double>(minibatches)));
+  }
+  trained_ = true;
+}
+
+MultiResourceLstmModel::EvalResult MultiResourceLstmModel::Evaluate(const Trace& test) const {
+  CG_CHECK(trained_);
+  const std::vector<Step> stream = BuildStream(test);
+  EvalResult result;
+  if (stream.empty()) {
+    return result;
+  }
+  LstmState state = lstm_.ZeroState(1);
+  Matrix input(1, InputDim());
+  Matrix hidden;
+  Matrix cpu_logits;
+  Matrix mem_input(1, lstm_.HiddenDim() + cpu_->NumClasses());
+  Matrix mem_logits;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Step& step = stream[i];
+    const Step* prev = i == 0 ? nullptr : &stream[i - 1];
+    EncodeInput(prev == nullptr || prev->is_eob,
+                prev == nullptr ? ResourceRequest{} : prev->request, step.period,
+                step.doh_day, input.Row(0));
+    lstm_.StepForward(input, &state, &hidden);
+    if (step.is_eob) {
+      continue;  // Chain-rule NLL over resource steps only.
+    }
+    cpu_head_.ForwardInference(hidden, &cpu_logits);
+    result.cpu_nll -= RowLogProb(cpu_logits, 0, step.request.cpu_class);
+    EncodeMemInput(hidden, 0, step.request.cpu_class, &mem_input);
+    mem_head_.ForwardInference(mem_input, &mem_logits);
+    result.mem_nll -= RowLogProb(mem_logits, 0, step.request.mem_class);
+    ++result.steps;
+  }
+  if (result.steps > 0) {
+    result.cpu_nll /= static_cast<double>(result.steps);
+    result.mem_nll /= static_cast<double>(result.steps);
+    result.joint_nll = result.cpu_nll + result.mem_nll;
+  }
+  return result;
+}
+
+MultiResourceLstmModel::Generator::Generator(const MultiResourceLstmModel& model, int doh_day)
+    : model_(model), doh_day_(doh_day), state_(model.lstm_.ZeroState(1)) {
+  CG_CHECK(model.trained_);
+}
+
+std::vector<std::vector<ResourceRequest>> MultiResourceLstmModel::Generator::GeneratePeriod(
+    int64_t period, int64_t n_batches, Rng& rng, size_t max_jobs) {
+  std::vector<std::vector<ResourceRequest>> batches;
+  if (n_batches <= 0) {
+    return batches;
+  }
+  const size_t eob = model_.cpu_->NumClasses();
+  Matrix input(1, model_.InputDim());
+  Matrix hidden;
+  Matrix cpu_logits;
+  Matrix mem_input(1, model_.lstm_.HiddenDim() + model_.cpu_->NumClasses());
+  Matrix mem_logits;
+  batches.emplace_back();
+  size_t total_jobs = 0;
+  while (static_cast<int64_t>(batches.size()) <= n_batches) {
+    model_.EncodeInput(prev_is_eob_, prev_, period, doh_day_, input.Row(0));
+    model_.lstm_.StepForward(input, &state_, &hidden);
+    model_.cpu_head_.ForwardInference(hidden, &cpu_logits);
+    size_t cpu_class = SampleRow(cpu_logits, 0, rng);
+    if (cpu_class == eob && batches.back().empty()) {
+      cpu_class = 0;  // Batches are never empty (as in the flavor model).
+    }
+    if (cpu_class == eob) {
+      prev_is_eob_ = true;
+      if (static_cast<int64_t>(batches.size()) == n_batches) {
+        break;
+      }
+      batches.emplace_back();
+      continue;
+    }
+    model_.EncodeMemInput(hidden, 0, cpu_class, &mem_input);
+    model_.mem_head_.ForwardInference(mem_input, &mem_logits);
+    ResourceRequest request;
+    request.cpu_class = cpu_class;
+    request.mem_class = SampleRow(mem_logits, 0, rng);
+    batches.back().push_back(request);
+    prev_ = request;
+    prev_is_eob_ = false;
+    if (++total_jobs >= max_jobs) {
+      CG_LOG_WARN("resource generator hit the per-period job cap; truncating period");
+      break;
+    }
+  }
+  return batches;
+}
+
+}  // namespace cloudgen

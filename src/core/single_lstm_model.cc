@@ -1,0 +1,177 @@
+#include "src/core/single_lstm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/trainer.h"
+#include "src/nn/adam.h"
+#include "src/nn/losses.h"
+#include "src/util/check.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+// Token-stream construction: period → batches (EOB-terminated) → EOP. Every
+// period of the window emits an EOP, including empty ones.
+struct TokenStream {
+  std::vector<int32_t> tokens;
+  std::vector<int64_t> periods;
+  std::vector<int32_t> doh_days;
+};
+
+TokenStream BuildEopStream(const Trace& trace, int history_days) {
+  const auto eob = static_cast<int32_t>(trace.NumFlavors());
+  const int32_t eop = eob + 1;
+  TokenStream stream;
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  const int64_t start_day = trace.WindowStart() / kPeriodsPerDay;
+  for (const PeriodBatches& period : periods) {
+    const PeriodCalendar cal = DecomposePeriod(period.period);
+    const int doh =
+        std::clamp(static_cast<int>(cal.day_index - start_day) + 1, 1, history_days);
+    for (const Batch& batch : period.batches) {
+      for (size_t idx : batch.job_indices) {
+        stream.tokens.push_back(trace.Jobs()[idx].flavor);
+        stream.periods.push_back(period.period);
+        stream.doh_days.push_back(doh);
+      }
+      stream.tokens.push_back(eob);
+      stream.periods.push_back(period.period);
+      stream.doh_days.push_back(doh);
+    }
+    stream.tokens.push_back(eop);
+    stream.periods.push_back(period.period);
+    stream.doh_days.push_back(doh);
+  }
+  return stream;
+}
+
+}  // namespace
+
+size_t SingleLstmModel::EopToken() const { return num_flavors_ + 1; }
+
+void SingleLstmModel::Train(const Trace& train, int history_days,
+                            const SingleLstmConfig& config, Rng& rng) {
+  num_flavors_ = train.NumFlavors();
+  // Vocabulary trick: a FlavorVocab over K+1 "flavors" gives K+2 tokens; slot
+  // K is EOB and slot K+1 (the vocab's own EOB slot) is EOP.
+  encoder_ = std::make_unique<FlavorInputEncoder>(FlavorVocab(num_flavors_ + 1),
+                                                  TemporalFeatureEncoder(history_days));
+  SequenceNetworkConfig net_config;
+  net_config.input_dim = encoder_->Dim();
+  net_config.hidden_dim = config.hidden_dim;
+  net_config.num_layers = config.num_layers;
+  net_config.output_dim = encoder_->Vocab().NumTokens();
+  network_ = SequenceNetwork(net_config, rng);
+
+  const TokenStream stream = BuildEopStream(train, history_days);
+  CG_CHECK_MSG(!stream.tokens.empty(), "empty EOP training stream");
+
+  AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  adam_config.weight_decay = config.weight_decay;
+  adam_config.clip_norm = config.clip_norm;
+  Adam optimizer(network_.Params(), network_.Grads(), adam_config);
+
+  const SequenceBatching batching(stream.tokens.size(),
+                                  {config.seq_len, config.batch_size});
+  const size_t eop = EopToken();
+  const size_t dim = encoder_->Dim();
+  std::vector<Matrix> inputs(batching.SeqLen());
+  std::vector<Matrix> logits;
+  std::vector<Matrix> dlogits(batching.SeqLen());
+  std::vector<std::vector<int32_t>> targets(batching.SeqLen());
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    size_t count = 0;
+    for (size_t mb : batching.EpochOrder(rng)) {
+      for (size_t t = 0; t < batching.SeqLen(); ++t) {
+        inputs[t].Resize(batching.BatchSize(), dim);
+        targets[t].assign(batching.BatchSize(), kIgnoreTarget);
+        for (size_t b = 0; b < batching.BatchSize(); ++b) {
+          const size_t step = batching.StepIndex(mb, t, b);
+          const size_t prev = step == 0 ? eop : static_cast<size_t>(stream.tokens[step - 1]);
+          encoder_->EncodeInto(prev, stream.periods[step], stream.doh_days[step],
+                               inputs[t].Row(b));
+          targets[t][b] = stream.tokens[step];
+        }
+      }
+      network_.ZeroGrads();
+      network_.ForwardSequence(inputs, &logits);
+      double loss = 0.0;
+      for (size_t t = 0; t < batching.SeqLen(); ++t) {
+        loss += SoftmaxCrossEntropy(logits[t], targets[t], &dlogits[t]);
+        dlogits[t].Scale(1.0f / static_cast<float>(batching.SeqLen()));
+      }
+      network_.BackwardSequence(dlogits);
+      optimizer.Step();
+      epoch_loss += loss / static_cast<double>(batching.SeqLen());
+      ++count;
+    }
+    CG_LOG_INFO(StrFormat("single LSTM epoch %zu/%zu: loss=%.4f", epoch + 1, config.epochs,
+                          epoch_loss / std::max<size_t>(1, count)));
+    optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
+  }
+}
+
+SingleLstmModel::Generator::Generator(const SingleLstmModel& model, int doh_day)
+    : model_(model),
+      doh_day_(doh_day),
+      state_(model.network_.MakeState(1)),
+      prev_token_(model.EopToken()),
+      input_(1, model.encoder_->Dim()) {
+  CG_CHECK(model.IsTrained());
+}
+
+std::vector<std::vector<int32_t>> SingleLstmModel::Generator::GeneratePeriod(
+    int64_t period, Rng& rng, size_t max_jobs) {
+  const size_t eob = model_.num_flavors_;
+  const size_t eop = model_.EopToken();
+  std::vector<std::vector<int32_t>> batches;
+  std::vector<int32_t> current;
+  size_t total_jobs = 0;
+  while (true) {
+    model_.encoder_->EncodeInto(prev_token_, period, doh_day_, input_.Row(0));
+    model_.network_.StepLogits(input_, &state_, &logits_);
+    const float* row = logits_.Row(0);
+    const size_t classes = logits_.Cols();
+    float max_v = row[0];
+    for (size_t c = 1; c < classes; ++c) {
+      max_v = std::max(max_v, row[c]);
+    }
+    std::vector<double> probs(classes);
+    for (size_t c = 0; c < classes; ++c) {
+      probs[c] = std::exp(static_cast<double>(row[c] - max_v));
+    }
+    const size_t token = rng.Categorical(probs);
+    prev_token_ = token;
+    if (token == eop) {
+      if (!current.empty()) {
+        batches.push_back(std::move(current));  // Implicitly close the batch.
+      }
+      break;
+    }
+    if (token == eob) {
+      if (!current.empty()) {
+        batches.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(static_cast<int32_t>(token));
+    if (++total_jobs >= max_jobs) {
+      CG_LOG_WARN("single-LSTM generator hit the per-period job cap");
+      if (!current.empty()) {
+        batches.push_back(std::move(current));
+      }
+      break;
+    }
+  }
+  return batches;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,74 @@
+// The single-LSTM alternative (§7, "Alternative Modeling Approaches"): one
+// network controls both arrivals and flavors by emitting an end-of-period
+// (EOP) token stream — no explicit Poisson arrival stage.
+//
+// Token vocabulary: K flavors, EOB (= K), EOP (= K+1). Every period
+// contributes its batches (each closed by EOB) followed by exactly one EOP —
+// including empty periods, which contribute a bare EOP.
+//
+// The paper reports that this variant "was exquisitely sensitive to the
+// timely sampling of [EOP] tokens" and offers no explicit arrival-rate
+// parameter for what-if scaling; it is implemented here to reproduce that
+// negative result (see bench/ablation_single_lstm).
+#ifndef SRC_CORE_SINGLE_LSTM_MODEL_H_
+#define SRC_CORE_SINGLE_LSTM_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/encoding.h"
+#include "src/core/flavor_model.h"
+#include "src/nn/sequence_network.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+// Reuses the flavor-model hyperparameters.
+using SingleLstmConfig = FlavorModelConfig;
+
+class SingleLstmModel {
+ public:
+  SingleLstmModel() = default;
+
+  void Train(const Trace& train, int history_days, const SingleLstmConfig& config,
+             Rng& rng);
+
+  bool IsTrained() const { return encoder_ != nullptr; }
+  size_t EopToken() const;
+
+  // Generates all batches for consecutive periods starting at `period`;
+  // every call consumes tokens until the EOP for that period is sampled.
+  // Periods must be requested in order (state persists).
+  class Generator {
+   public:
+    explicit Generator(const SingleLstmModel& model, int doh_day);
+
+    std::vector<std::vector<int32_t>> GeneratePeriod(int64_t period, Rng& rng,
+                                                     size_t max_jobs = 20000);
+
+   private:
+    const SingleLstmModel& model_;
+    int doh_day_;
+    LstmState state_;
+    size_t prev_token_;
+    Matrix input_;
+    Matrix logits_;
+  };
+
+ private:
+  friend class Generator;
+
+  // Vocabulary = flavors + EOB + EOP; encoded via FlavorInputEncoder with a
+  // (K+2)-token vocab.
+  std::unique_ptr<FlavorInputEncoder> encoder_;
+  SequenceNetwork network_;
+  size_t num_flavors_ = 0;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_SINGLE_LSTM_MODEL_H_

@@ -1,0 +1,29 @@
+// Common interface for end-to-end trace generators (§6): the LSTM model and
+// the Naive / SimpleBatch baselines all implement this, so the capacity-
+// planning and scheduling evaluations are generator-agnostic.
+#ifndef SRC_CORE_TRACE_GENERATOR_H_
+#define SRC_CORE_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Samples one trace over [from, to) with the arrival rate scaled by
+  // `arrival_scale` (1.0 = nominal; 10.0 = the paper's stress test).
+  virtual Trace Generate(int64_t from, int64_t to, double arrival_scale, Rng& rng) const = 0;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_TRACE_GENERATOR_H_

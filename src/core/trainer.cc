@@ -1,0 +1,38 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+SequenceBatching::SequenceBatching(size_t num_steps, SequenceBatchingSpec spec)
+    : seq_len_(spec.seq_len), batch_size_(spec.batch_size) {
+  CG_CHECK(num_steps > 0);
+  CG_CHECK(spec.seq_len > 0 && spec.batch_size > 0);
+  // Shrink the layout for tiny datasets so at least one minibatch exists.
+  while (seq_len_ > 1 && num_steps / seq_len_ == 0) {
+    seq_len_ /= 2;
+  }
+  size_t num_seqs = num_steps / seq_len_;
+  CG_CHECK_MSG(num_seqs > 0, "dataset smaller than a single sequence");
+  batch_size_ = std::min(batch_size_, num_seqs);
+  num_minibatches_ = num_seqs / batch_size_;
+}
+
+size_t SequenceBatching::StepIndex(size_t mb, size_t t, size_t b) const {
+  CG_DCHECK(mb < num_minibatches_ && t < seq_len_ && b < batch_size_);
+  const size_t seq = mb * batch_size_ + b;
+  return seq * seq_len_ + t;
+}
+
+std::vector<size_t> SequenceBatching::EpochOrder(Rng& rng) const {
+  std::vector<size_t> order(num_minibatches_);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  return order;
+}
+
+}  // namespace cloudgen

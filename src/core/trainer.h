@@ -1,0 +1,50 @@
+// Minibatch layout shared by the flavor and lifetime trainers (§4.2).
+//
+// The training data for each model is one long stream of step records in
+// generation order (period → batch → job). The stream is cut into
+// fixed-length sequences; `batch_size` sequences are stacked into each
+// minibatch (the paper uses 50 sequences of length 5000 on GPUs; the defaults
+// here are CPU-sized but configurable). Hidden state is zeroed before each
+// forward pass. Leftover steps that do not fill a complete minibatch are
+// dropped from training (but evaluation uses a tail-padded layout so every
+// step is scored exactly once).
+#ifndef SRC_CORE_TRAINER_H_
+#define SRC_CORE_TRAINER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudgen {
+
+class Rng;
+
+struct SequenceBatchingSpec {
+  size_t seq_len = 96;
+  size_t batch_size = 24;
+};
+
+// Maps (minibatch, time, row) to indices of the underlying step stream.
+class SequenceBatching {
+ public:
+  // Layout for training: complete minibatches only.
+  SequenceBatching(size_t num_steps, SequenceBatchingSpec spec);
+
+  size_t NumMinibatches() const { return num_minibatches_; }
+  size_t SeqLen() const { return seq_len_; }
+  size_t BatchSize() const { return batch_size_; }
+
+  // Step index for minibatch `mb`, time `t`, row `b`.
+  size_t StepIndex(size_t mb, size_t t, size_t b) const;
+
+  // Shuffled order of minibatch indices for one epoch.
+  std::vector<size_t> EpochOrder(Rng& rng) const;
+
+ private:
+  size_t seq_len_;
+  size_t batch_size_;
+  size_t num_minibatches_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_TRAINER_H_

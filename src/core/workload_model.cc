@@ -1,0 +1,104 @@
+#include "src/core/workload_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+void WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config, Rng& rng) {
+  Train(train, config, MakePaperBinning(), rng);
+}
+
+void WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config,
+                          const LifetimeBinning& binning, Rng& rng) {
+  flavors_ = train.Flavors();
+  arrival_model_.Fit(train, ArrivalGranularity::kBatches, config.arrival);
+  flavor_model_.Train(train, arrival_model_.HistoryDays(), config.flavor, rng);
+  lifetime_model_.Train(train, binning, arrival_model_.HistoryDays(), config.lifetime, rng);
+}
+
+Trace WorkloadModel::Generate(const GenerateOptions& options, Rng& rng) const {
+  return GenerateWithArrivalModel(arrival_model_, options, rng);
+}
+
+Trace WorkloadModel::GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
+                                              const GenerateOptions& options,
+                                              Rng& rng) const {
+  CG_CHECK(IsTrained());
+  CG_CHECK(arrivals.IsFitted());
+  CG_CHECK(options.to_period > options.from_period);
+  CG_CHECK(options.arrival_scale > 0.0);
+
+  Trace trace(flavors_, options.from_period, options.to_period);
+  // The LSTM stages' DOH day comes from the main model's history even when
+  // the arrival model is an override (a no-DOH arrival model has no meaningful
+  // DOH day of its own).
+  const int doh_day = arrival_model_.SampleDohDay(rng, options.doh_mode);
+
+  FlavorLstmModel::Generator flavor_gen(flavor_model_, doh_day, options.eob_scale);
+  LifetimeLstmModel::Generator lifetime_gen(lifetime_model_, doh_day);
+  const LifetimeBinning& binning = lifetime_model_.Binning();
+
+  int64_t next_user = 0;
+  for (int64_t period = options.from_period; period < options.to_period; ++period) {
+    // A no-DOH arrival override ignores the day argument internally.
+    const int arrivals_doh = std::min(doh_day, std::max(1, arrivals.HistoryDays()));
+    const double rate = arrivals.Rate(period, arrivals_doh) * options.arrival_scale;
+    const int64_t n_batches = rng.Poisson(rate);
+    if (n_batches == 0) {
+      continue;
+    }
+    const std::vector<std::vector<int32_t>> batches =
+        flavor_gen.GeneratePeriod(period, n_batches, rng);
+    for (const std::vector<int32_t>& batch : batches) {
+      const int64_t user = next_user++;
+      for (int32_t flavor : batch) {
+        const size_t bin = lifetime_gen.StepJob(period, flavor, batch.size(), rng);
+        const double duration =
+            SampleDurationInBin(binning, bin, options.interpolation, rng);
+        Job job;
+        job.start_period = period;
+        job.end_period =
+            period + static_cast<int64_t>(std::llround(duration / kSecondsPerPeriod));
+        job.flavor = flavor;
+        job.user = user;
+        job.censored = false;
+        trace.Add(job);
+      }
+    }
+  }
+  return trace;
+}
+
+std::vector<Trace> WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
+                                               Rng& rng) const {
+  std::vector<Trace> traces;
+  traces.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    traces.push_back(Generate(options, rng));
+  }
+  return traces;
+}
+
+bool WorkloadModel::SaveToFiles(const std::string& prefix) const {
+  return flavor_model_.SaveToFile(prefix + ".flavor.bin") &&
+         lifetime_model_.SaveToFile(prefix + ".lifetime.bin");
+}
+
+bool WorkloadModel::LoadNetworksFromFiles(const std::string& prefix, const Trace& train,
+                                          const WorkloadModelConfig& config) {
+  flavors_ = train.Flavors();
+  arrival_model_.Fit(train, ArrivalGranularity::kBatches, config.arrival);
+  const int history_days = arrival_model_.HistoryDays();
+  if (!flavor_model_.LoadFromFile(prefix + ".flavor.bin", history_days,
+                                  train.NumFlavors())) {
+    return false;
+  }
+  return lifetime_model_.LoadFromFile(prefix + ".lifetime.bin", MakePaperBinning(),
+                                      history_days, train.NumFlavors());
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,93 @@
+// The end-to-end three-stage workload generator (Fig. 2, §2.4).
+//
+// Stage 1 samples the number of user batches for each period from the Poisson
+// regression; stage 2 runs the flavor LSTM until that many EOB tokens have
+// been emitted; stage 3 runs the lifetime LSTM over the generated jobs and
+// samples a lifetime bin per job, converted to a real duration by CDI (or
+// stepped) interpolation. Start/end times are emitted as 5-minute periods;
+// batches receive fresh synthetic user ids (the paper generates no real ids).
+//
+// Because the arrival rate is an explicit parameter, what-if scaling (e.g.
+// the paper's 10× stress test) is a single multiplier on the sampled rate.
+#ifndef SRC_CORE_WORKLOAD_MODEL_H_
+#define SRC_CORE_WORKLOAD_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/arrival_model.h"
+#include "src/core/flavor_model.h"
+#include "src/core/lifetime_model.h"
+#include "src/survival/interpolation.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+struct WorkloadModelConfig {
+  ArrivalModelConfig arrival;
+  FlavorModelConfig flavor;
+  LifetimeModelConfig lifetime;
+};
+
+class WorkloadModel {
+ public:
+  WorkloadModel() = default;
+
+  // Trains all three stages on `train`. The lifetime binning defaults to the
+  // paper's 47-bin scheme.
+  void Train(const Trace& train, const WorkloadModelConfig& config, Rng& rng);
+  void Train(const Trace& train, const WorkloadModelConfig& config,
+             const LifetimeBinning& binning, Rng& rng);
+
+  bool IsTrained() const { return flavor_model_.IsTrained(); }
+
+  struct GenerateOptions {
+    int64_t from_period = 0;
+    int64_t to_period = 0;
+    DohMode doh_mode = DohMode::kGeometricSample;
+    double arrival_scale = 1.0;  // 10× stress test: set to 10.
+    // What-if batch-size modification (footnote 5): < 1 stretches batches,
+    // > 1 shortens them, by scaling the EOB token's sampled probability.
+    double eob_scale = 1.0;
+    Interpolation interpolation = Interpolation::kCdi;
+  };
+
+  // Samples one synthetic trace covering [from_period, to_period). One DOH
+  // day is sampled per trace so the whole sample coheres with one recent-past
+  // behaviour pattern.
+  Trace Generate(const GenerateOptions& options, Rng& rng) const;
+
+  // Ablation hook (Fig. 8's "remove the DOH features"): generate with an
+  // externally-fitted stage-1 arrival model (e.g. one fit without DOH) while
+  // keeping the trained flavor/lifetime LSTMs.
+  Trace GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
+                                 const GenerateOptions& options, Rng& rng) const;
+
+  // Repeated sampling for prediction intervals / scheduler tuning.
+  std::vector<Trace> GenerateMany(const GenerateOptions& options, size_t count,
+                                  Rng& rng) const;
+
+  // Stage accessors for stage-wise evaluation (§5).
+  const BatchArrivalModel& ArrivalModel() const { return arrival_model_; }
+  const FlavorLstmModel& FlavorModel() const { return flavor_model_; }
+  const LifetimeLstmModel& LifetimeModel() const { return lifetime_model_; }
+  const FlavorCatalog& Flavors() const { return flavors_; }
+  int HistoryDays() const { return arrival_model_.HistoryDays(); }
+
+  // Model persistence (the flavor and lifetime networks; the arrival model is
+  // cheap and is always refit).
+  bool SaveToFiles(const std::string& prefix) const;
+  bool LoadNetworksFromFiles(const std::string& prefix, const Trace& train,
+                             const WorkloadModelConfig& config);
+
+ private:
+  BatchArrivalModel arrival_model_;
+  FlavorLstmModel flavor_model_;
+  LifetimeLstmModel lifetime_model_;
+  FlavorCatalog flavors_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_WORKLOAD_MODEL_H_

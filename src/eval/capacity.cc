@@ -1,0 +1,61 @@
+#include "src/eval/capacity.h"
+
+#include "src/trace/stats.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+std::vector<Job> CarryOverJobs(const Trace& ground_truth, int64_t at_period) {
+  std::vector<Job> carry;
+  for (const Job& job : ground_truth.Jobs()) {
+    if (job.start_period < at_period && job.end_period > at_period) {
+      carry.push_back(job);
+    }
+  }
+  return carry;
+}
+
+std::vector<double> TotalCpusWithCarryOver(const Trace& trace,
+                                           const std::vector<Job>& carry_over, int64_t from,
+                                           int64_t to) {
+  std::vector<double> totals = TotalCpusPerPeriod(trace, from, to);
+  const std::vector<double> carry =
+      TotalCpusPerPeriod(carry_over, trace.Flavors(), from, to);
+  for (size_t p = 0; p < totals.size(); ++p) {
+    totals[p] += carry[p];
+  }
+  return totals;
+}
+
+CapacityEvalResult EvaluateCapacity(const TraceGenerator& generator,
+                                    const Trace& ground_truth, int64_t test_start,
+                                    int64_t test_end, size_t num_samples, double band,
+                                    Rng& rng) {
+  CG_CHECK(test_end > test_start);
+  CG_CHECK(num_samples >= 2);
+  const std::vector<Job> carry = CarryOverJobs(ground_truth, test_start);
+
+  std::vector<std::vector<double>> samples;
+  samples.reserve(num_samples);
+  for (size_t s = 0; s < num_samples; ++s) {
+    const Trace sample = generator.Generate(test_start, test_end, 1.0, rng);
+    samples.push_back(TotalCpusWithCarryOver(sample, carry, test_start, test_end));
+  }
+
+  CapacityEvalResult result;
+  result.bands = ComputeBands(samples, band);
+
+  // Ground truth restricted to the window, with true (uncensored) ends.
+  Trace actual_window(ground_truth.Flavors(), test_start, test_end);
+  for (const Job& job : ground_truth.Jobs()) {
+    if (job.start_period >= test_start && job.start_period < test_end) {
+      actual_window.Add(job);
+    }
+  }
+  result.actual = TotalCpusWithCarryOver(actual_window, carry, test_start, test_end);
+  result.coverage = CoverageFraction(result.bands, result.actual);
+  return result;
+}
+
+}  // namespace cloudgen

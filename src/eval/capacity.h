@@ -1,0 +1,44 @@
+// Capacity-planning evaluation (§6.1, Figs. 7–8): repeatedly sample traces
+// from a generator over the test window, compute the total-CPU series of each
+// sample (plus the carry-over VMs that were already running at the start of
+// the window, with their actual lifetimes — a constant across all models),
+// and measure 90%-band coverage of the true total-CPU series.
+#ifndef SRC_EVAL_CAPACITY_H_
+#define SRC_EVAL_CAPACITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/trace_generator.h"
+#include "src/eval/coverage.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+// Jobs from the ground-truth trace that are running at `at_period` (started
+// before, end at/after), with their actual end times.
+std::vector<Job> CarryOverJobs(const Trace& ground_truth, int64_t at_period);
+
+struct CapacityEvalResult {
+  SeriesBands bands;           // Total CPUs per period (median + 90% band).
+  std::vector<double> actual;  // True total CPUs per period.
+  double coverage = 0.0;       // Fraction of true points inside the band.
+};
+
+// `ground_truth` must span the test window with uncensored lifetimes.
+CapacityEvalResult EvaluateCapacity(const TraceGenerator& generator,
+                                    const Trace& ground_truth, int64_t test_start,
+                                    int64_t test_end, size_t num_samples, double band,
+                                    Rng& rng);
+
+// The total-CPU series of one trace plus carry-over jobs over [from, to).
+std::vector<double> TotalCpusWithCarryOver(const Trace& trace,
+                                           const std::vector<Job>& carry_over,
+                                           int64_t from, int64_t to);
+
+}  // namespace cloudgen
+
+#endif  // SRC_EVAL_CAPACITY_H_

@@ -1,0 +1,47 @@
+#include "src/eval/coverage.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace cloudgen {
+
+SeriesBands ComputeBands(const std::vector<std::vector<double>>& samples, double coverage) {
+  CG_CHECK(!samples.empty());
+  CG_CHECK(coverage > 0.0 && coverage < 1.0);
+  const size_t length = samples[0].size();
+  for (const auto& series : samples) {
+    CG_CHECK_MSG(series.size() == length, "sampled series lengths differ");
+  }
+  SeriesBands bands;
+  bands.median.resize(length);
+  bands.lo.resize(length);
+  bands.hi.resize(length);
+  const double tail = (1.0 - coverage) / 2.0;
+  std::vector<double> column(samples.size());
+  for (size_t p = 0; p < length; ++p) {
+    for (size_t s = 0; s < samples.size(); ++s) {
+      column[s] = samples[s][p];
+    }
+    std::sort(column.begin(), column.end());
+    bands.median[p] = QuantileSorted(column, 0.5);
+    bands.lo[p] = QuantileSorted(column, tail);
+    bands.hi[p] = QuantileSorted(column, 1.0 - tail);
+  }
+  return bands;
+}
+
+double CoverageFraction(const SeriesBands& bands, const std::vector<double>& actual) {
+  CG_CHECK(bands.Length() == actual.size());
+  CG_CHECK(!actual.empty());
+  size_t covered = 0;
+  for (size_t p = 0; p < actual.size(); ++p) {
+    if (actual[p] >= bands.lo[p] && actual[p] <= bands.hi[p]) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(actual.size());
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,29 @@
+// Prediction-interval machinery for time-series evaluation (§5.1, §6.1): from
+// repeated samples of a series, build the median and central prediction band,
+// then measure the fraction of the true series covered by the band.
+#ifndef SRC_EVAL_COVERAGE_H_
+#define SRC_EVAL_COVERAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudgen {
+
+struct SeriesBands {
+  std::vector<double> median;
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  size_t Length() const { return median.size(); }
+};
+
+// `samples[s]` is the s-th sampled series; all must share one length.
+// `coverage` is the central mass (0.9 → [5th, 95th] percentiles per point).
+SeriesBands ComputeBands(const std::vector<std::vector<double>>& samples, double coverage);
+
+// Fraction of points of `actual` lying inside [lo, hi].
+double CoverageFraction(const SeriesBands& bands, const std::vector<double>& actual);
+
+}  // namespace cloudgen
+
+#endif  // SRC_EVAL_COVERAGE_H_

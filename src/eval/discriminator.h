@@ -1,0 +1,43 @@
+// Adversarial trace-quality evaluation (§7's GAN direction, used as a
+// *metric* rather than a training signal): train an LSTM discriminator to
+// distinguish windows of a real trace's token stream from windows of a
+// generated trace's stream. Held-out accuracy near 50% means the generator is
+// statistically indistinguishable from the real workload under this probe;
+// high accuracy pinpoints generators whose sequence structure is wrong (e.g.
+// Naive's missing batch runs are trivially detectable).
+#ifndef SRC_EVAL_DISCRIMINATOR_H_
+#define SRC_EVAL_DISCRIMINATOR_H_
+
+#include <cstddef>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+struct DiscriminatorConfig {
+  size_t window = 64;      // Token-stream window length per classified sample.
+  size_t hidden_dim = 32;
+  size_t num_layers = 1;
+  size_t epochs = 30;
+  size_t batch_size = 16;
+  float learning_rate = 8e-3f;
+  double train_fraction = 0.7;  // Remaining windows are the held-out set.
+};
+
+struct DiscriminatorResult {
+  double accuracy = 0.5;  // Held-out accuracy (0.5 = indistinguishable).
+  size_t train_windows = 0;
+  size_t test_windows = 0;
+};
+
+// Both traces must share a flavor catalog. The discriminator sees one-hot
+// flavor/EOB tokens only (no temporal features), so it measures *sequence
+// structure*, not rate differences.
+DiscriminatorResult DiscriminateTraces(const Trace& real, const Trace& generated,
+                                       const DiscriminatorConfig& config, Rng& rng);
+
+}  // namespace cloudgen
+
+#endif  // SRC_EVAL_DISCRIMINATOR_H_

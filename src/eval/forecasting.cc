@@ -1,0 +1,52 @@
+#include "src/eval/forecasting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace cloudgen {
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(std::vector<double> history,
+                                                 SeasonalNaiveConfig config)
+    : history_(std::move(history)), config_(config) {
+  CG_CHECK(config_.season > 0);
+  CG_CHECK_MSG(static_cast<int64_t>(history_.size()) >= 2 * config_.season,
+               "need at least two seasons of history");
+  // Empirical distribution of one-season-ahead differences.
+  std::vector<double> diffs;
+  diffs.reserve(history_.size());
+  for (size_t t = static_cast<size_t>(config_.season); t < history_.size(); ++t) {
+    diffs.push_back(history_[t] - history_[t - static_cast<size_t>(config_.season)]);
+  }
+  const double tail = (1.0 - config_.coverage) / 2.0;
+  residual_lo_ = Quantile(diffs, tail);
+  residual_hi_ = Quantile(diffs, 1.0 - tail);
+}
+
+SeriesBands SeasonalNaiveForecaster::Forecast(int64_t horizon) const {
+  CG_CHECK(horizon > 0);
+  SeriesBands bands;
+  bands.median.resize(static_cast<size_t>(horizon));
+  bands.lo.resize(static_cast<size_t>(horizon));
+  bands.hi.resize(static_cast<size_t>(horizon));
+  const auto n = static_cast<int64_t>(history_.size());
+  for (int64_t h = 0; h < horizon; ++h) {
+    // Repeat the most recent season(s): index of the same phase in history.
+    const int64_t seasons_ahead = h / config_.season + 1;
+    int64_t src = n + h - seasons_ahead * config_.season;
+    while (src >= n) {
+      src -= config_.season;
+    }
+    CG_CHECK(src >= 0);
+    const double point = history_[static_cast<size_t>(src)];
+    const double spread = std::sqrt(static_cast<double>(seasons_ahead));
+    bands.median[static_cast<size_t>(h)] = point;
+    bands.lo[static_cast<size_t>(h)] = point + residual_lo_ * spread;
+    bands.hi[static_cast<size_t>(h)] = point + residual_hi_ * spread;
+  }
+  return bands;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,48 @@
+// Classical time-series forecasting baseline for capacity planning (§7,
+// "Workload Forecasting"): instead of generating individual start/stop
+// events, forecast the aggregate total-CPU series directly.
+//
+// The forecaster is seasonal-naive with empirical residual bands: the point
+// forecast for a future period repeats the value one season (day or week)
+// earlier in the history; the band comes from the empirical quantiles of
+// seasonal differences, widened by sqrt(k) for forecasts k seasons ahead
+// (a random-walk-style growth of uncertainty).
+//
+// This is the "simple but surprisingly strong" comparator against which the
+// generative model's advantage is that it produces *full traces* (packable,
+// per-flavor decomposable), not just an aggregate band.
+#ifndef SRC_EVAL_FORECASTING_H_
+#define SRC_EVAL_FORECASTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/coverage.h"
+
+namespace cloudgen {
+
+struct SeasonalNaiveConfig {
+  // Season length in periods (one day by default).
+  int64_t season = 288;
+  // Central band mass (0.9 → [5%, 95%] residual quantiles).
+  double coverage = 0.9;
+};
+
+class SeasonalNaiveForecaster {
+ public:
+  // `history[t]` is the series value at period `history_start + t`.
+  SeasonalNaiveForecaster(std::vector<double> history, SeasonalNaiveConfig config);
+
+  // Bands for the `horizon` periods immediately following the history.
+  SeriesBands Forecast(int64_t horizon) const;
+
+ private:
+  std::vector<double> history_;
+  SeasonalNaiveConfig config_;
+  double residual_lo_ = 0.0;  // Lower residual quantile (one season ahead).
+  double residual_hi_ = 0.0;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_EVAL_FORECASTING_H_

@@ -1,0 +1,91 @@
+// Shared experiment context for the bench harnesses.
+//
+// Every bench binary needs the same expensive artifacts: the synthetic
+// ground-truth traces, the windowed splits, and trained models. The workbench
+// builds them deterministically and caches the trained LSTM weights and
+// sampled trace collections under CLOUDGEN_CACHE_DIR (default:
+// "cloudgen_cache/"), so the full bench suite trains each model exactly once.
+//
+// CLOUDGEN_SCALE scales dataset sizes and sample counts; 1.0 (default) is
+// CPU-friendly, larger values approach paper scale.
+#ifndef SRC_EVAL_WORKBENCH_H_
+#define SRC_EVAL_WORKBENCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/generators.h"
+#include "src/core/workload_model.h"
+#include "src/synth/synthetic_cloud.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+// Which simulated provider an experiment runs against.
+enum class CloudKind { kAzureLike, kHuaweiLike };
+
+const char* CloudName(CloudKind kind);
+
+struct WorkbenchOptions {
+  double scale = 1.0;           // From CLOUDGEN_SCALE by default.
+  uint64_t seed = 20210426;     // Base seed (SOSP'21 submission date).
+  bool use_cache = true;
+  std::string cache_dir;        // From CLOUDGEN_CACHE_DIR, default "cloudgen_cache".
+};
+WorkbenchOptions DefaultWorkbenchOptions();
+
+// Everything the benches need for one cloud.
+class CloudWorkbench {
+ public:
+  CloudWorkbench(CloudKind kind, const WorkbenchOptions& options);
+
+  CloudKind Kind() const { return kind_; }
+  const SynthProfile& Profile() const { return profile_; }
+  const Trace& GroundTruth() const { return full_trace_; }
+  const TraceSplits& Splits() const { return splits_; }
+  int64_t TestStart() const { return splits_.test.WindowStart(); }
+  int64_t TestEnd() const { return splits_.test.WindowEnd(); }
+
+  // The trained three-stage model; trains on first call (or loads the cache)
+  // and memoizes.
+  const WorkloadModel& Model();
+
+  // Default number of sampled traces for the §6 experiments at this scale
+  // (the paper uses 500; the default scale uses fewer).
+  size_t NumSampleTraces() const;
+
+  // Sampled trace collections per generator over the test window, cached on
+  // disk. `generator_name` must be one of "LSTM", "SimpleBatch", "Naive".
+  std::vector<Trace> SampledTraces(const std::string& generator_name);
+
+  // Fresh baseline generators fit on the training split.
+  std::unique_ptr<NaiveGenerator> MakeNaive() const;
+  std::unique_ptr<SimpleBatchGenerator> MakeSimpleBatch() const;
+  std::unique_ptr<LstmGenerator> MakeLstm();
+
+  const WorkloadModelConfig& ModelConfig() const { return model_config_; }
+
+ private:
+  CloudKind kind_;
+  WorkbenchOptions options_;
+  SynthProfile profile_;
+  Trace full_trace_;
+  TraceSplits splits_;
+  WorkloadModelConfig model_config_;
+  WorkloadModel model_;
+  bool model_ready_ = false;
+
+  std::string CachePrefix() const;
+};
+
+// Binary serialization of trace collections (shared windows and catalog are
+// supplied by the caller at load time).
+bool SaveTraceCollection(const std::vector<Trace>& traces, const std::string& path);
+bool LoadTraceCollection(const std::string& path, const FlavorCatalog& flavors,
+                         std::vector<Trace>* out);
+
+}  // namespace cloudgen
+
+#endif  // SRC_EVAL_WORKBENCH_H_

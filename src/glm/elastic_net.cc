@@ -1,0 +1,195 @@
+#include "src/glm/elastic_net.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+double SoftThreshold(double v, double t) {
+  if (v > t) {
+    return v - t;
+  }
+  if (v < -t) {
+    return v + t;
+  }
+  return 0.0;
+}
+
+namespace {
+
+// In-place Cholesky solve of the symmetric positive-definite system A x = b.
+// A is p x p row-major and is destroyed. Returns false if A is not SPD.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, size_t p) {
+  for (size_t j = 0; j < p; ++j) {
+    double diag = a[j * p + j];
+    for (size_t k = 0; k < j; ++k) {
+      diag -= a[j * p + k] * a[j * p + k];
+    }
+    if (diag <= 0.0) {
+      return false;
+    }
+    const double l_jj = std::sqrt(diag);
+    a[j * p + j] = l_jj;
+    for (size_t i = j + 1; i < p; ++i) {
+      double v = a[i * p + j];
+      for (size_t k = 0; k < j; ++k) {
+        v -= a[i * p + k] * a[j * p + k];
+      }
+      a[i * p + j] = v / l_jj;
+    }
+  }
+  // Forward substitution: L y = b.
+  for (size_t i = 0; i < p; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) {
+      v -= a[i * p + k] * b[k];
+    }
+    b[i] = v / a[i * p + i];
+  }
+  // Back substitution: L^T x = y.
+  for (size_t i = p; i-- > 0;) {
+    double v = b[i];
+    for (size_t k = i + 1; k < p; ++k) {
+      v -= a[k * p + i] * b[k];
+    }
+    b[i] = v / a[i * p + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+void SolveRidgeWls(const DesignMatrix& x, const std::vector<double>& weights,
+                   const std::vector<double>& targets, double l2_penalty,
+                   std::vector<double>* beta) {
+  CG_CHECK(beta != nullptr && beta->size() == x.p);
+  const size_t p = x.p;
+  const double n = static_cast<double>(x.n);
+  // A = X^T W X / n + l2 * I (intercept unpenalized), b = X^T W z / n.
+  std::vector<double> a(p * p, 0.0);
+  std::vector<double> b(p, 0.0);
+  for (size_t i = 0; i < x.n; ++i) {
+    const double* row = x.Row(i);
+    const double w = weights[i];
+    if (w == 0.0) {
+      continue;
+    }
+    const double wz = w * targets[i];
+    for (size_t j = 0; j < p; ++j) {
+      const double xij = row[j];
+      if (xij == 0.0) {
+        continue;
+      }
+      b[j] += wz * xij;
+      const double wx = w * xij;
+      for (size_t k = j; k < p; ++k) {
+        a[j * p + k] += wx * row[k];
+      }
+    }
+  }
+  for (size_t j = 0; j < p; ++j) {
+    for (size_t k = j; k < p; ++k) {
+      a[j * p + k] /= n;
+      a[k * p + j] = a[j * p + k];
+    }
+    b[j] /= n;
+  }
+  // Penalty (plus a tiny jitter for rank safety; column 0 is the intercept).
+  for (size_t j = 1; j < p; ++j) {
+    a[j * p + j] += l2_penalty + 1e-10;
+  }
+  a[0] += 1e-12;
+  std::vector<double> solution = b;
+  if (CholeskySolve(a, solution, p)) {
+    *beta = solution;
+  }
+}
+
+void SolveElasticNetWls(const DesignMatrix& x, const std::vector<double>& weights,
+                        const std::vector<double>& targets, const ElasticNetConfig& config,
+                        std::vector<double>* beta) {
+  CG_CHECK(beta != nullptr);
+  CG_CHECK(x.data != nullptr && x.n > 0 && x.p > 0);
+  CG_CHECK(weights.size() == x.n && targets.size() == x.n);
+  CG_CHECK(beta->size() == x.p);
+
+  const double n = static_cast<double>(x.n);
+  const double l1_penalty = config.lambda * config.l1_ratio;
+  const double l2_penalty = config.lambda * (1.0 - config.l1_ratio);
+
+  // Exact L2 solution; with no L1 part we are done, otherwise it is the warm
+  // start for coordinate descent.
+  SolveRidgeWls(x, weights, targets, l2_penalty, beta);
+  if (l1_penalty == 0.0) {
+    return;
+  }
+
+  // Precompute per-feature weighted squared norms: a_j = (1/n) sum_i w_i x_ij^2.
+  std::vector<double> feat_norm(x.p, 0.0);
+  for (size_t i = 0; i < x.n; ++i) {
+    const double* row = x.Row(i);
+    const double w = weights[i];
+    for (size_t j = 0; j < x.p; ++j) {
+      feat_norm[j] += w * row[j] * row[j];
+    }
+  }
+  for (double& v : feat_norm) {
+    v /= n;
+  }
+
+  // Residuals r_i = z_i - x_i . beta (maintained incrementally).
+  std::vector<double> residual(x.n);
+  for (size_t i = 0; i < x.n; ++i) {
+    const double* row = x.Row(i);
+    double fit = 0.0;
+    for (size_t j = 0; j < x.p; ++j) {
+      fit += row[j] * (*beta)[j];
+    }
+    residual[i] = targets[i] - fit;
+  }
+
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (size_t j = 0; j < x.p; ++j) {
+      if (feat_norm[j] == 0.0) {
+        continue;  // Constant-zero feature.
+      }
+      const double old = (*beta)[j];
+      // rho = (1/n) sum_i w_i x_ij (r_i + x_ij * beta_j).
+      double rho = 0.0;
+      for (size_t i = 0; i < x.n; ++i) {
+        const double xij = x.Row(i)[j];
+        if (xij != 0.0) {
+          rho += weights[i] * xij * (residual[i] + xij * old);
+        }
+      }
+      rho /= n;
+
+      double updated;
+      if (j == 0) {
+        // Intercept is unpenalized.
+        updated = rho / feat_norm[j];
+      } else {
+        updated = SoftThreshold(rho, l1_penalty) / (feat_norm[j] + l2_penalty);
+      }
+      const double delta = updated - old;
+      if (delta != 0.0) {
+        for (size_t i = 0; i < x.n; ++i) {
+          const double xij = x.Row(i)[j];
+          if (xij != 0.0) {
+            residual[i] -= xij * delta;
+          }
+        }
+        (*beta)[j] = updated;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < config.tol) {
+      break;
+    }
+  }
+}
+
+}  // namespace cloudgen

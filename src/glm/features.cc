@@ -1,0 +1,62 @@
+#include "src/glm/features.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+PeriodCalendar DecomposePeriod(int64_t period) {
+  const int64_t seconds = period * kSecondsPerPeriod;
+  PeriodCalendar cal;
+  cal.hour_of_day = static_cast<int>((seconds / 3600) % 24);
+  cal.day_index = static_cast<long>(seconds / 86400);
+  cal.day_of_week = static_cast<int>(cal.day_index % 7);
+  return cal;
+}
+
+TemporalFeatureEncoder::TemporalFeatureEncoder(int history_days) : history_days_(history_days) {
+  CG_CHECK(history_days >= 1);
+}
+
+void TemporalFeatureEncoder::EncodeInto(int64_t period, int doh_day, float* out) const {
+  CG_CHECK(out != nullptr);
+  CG_CHECK_MSG(doh_day >= 1 && doh_day <= history_days_, "DOH day out of range");
+  const PeriodCalendar cal = DecomposePeriod(period);
+  std::fill(out, out + Dim(), 0.0f);
+  out[cal.hour_of_day] = 1.0f;
+  out[24 + cal.day_of_week] = 1.0f;
+  float* doh = out + 31;
+  for (int d = 0; d < doh_day; ++d) {
+    doh[d] = 1.0f;
+  }
+}
+
+std::vector<double> TemporalFeatureEncoder::Encode(int64_t period, int doh_day) const {
+  std::vector<float> buf(Dim(), 0.0f);
+  EncodeInto(period, doh_day, buf.data());
+  return std::vector<double>(buf.begin(), buf.end());
+}
+
+int TemporalFeatureEncoder::InWindowDohDay(int64_t period) const {
+  const PeriodCalendar cal = DecomposePeriod(period);
+  const int day = static_cast<int>(cal.day_index) + 1;  // 1-based.
+  return std::clamp(day, 1, history_days_);
+}
+
+DohSampler::DohSampler(int history_days, double success_prob, DohMode mode)
+    : history_days_(history_days), success_prob_(success_prob), mode_(mode) {
+  CG_CHECK(history_days >= 1);
+  CG_CHECK(success_prob > 0.0 && success_prob <= 1.0);
+}
+
+int DohSampler::Sample(Rng& rng) const {
+  if (mode_ == DohMode::kLastDay) {
+    return history_days_;
+  }
+  const auto k = rng.Geometric(success_prob_);
+  return std::max<long>(1, history_days_ - static_cast<long>(k));
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,85 @@
+// Temporal feature encoding (§2.1.2 of the paper).
+//
+// Every model stage conditions on coarse-granularity temporal information
+// about the 5-minute period being generated:
+//   * hour-of-day   (1..24)  — one-hot, captures diurnal seasonality
+//   * day-of-week   (1..7)   — one-hot, captures weekly seasonality
+//   * day-of-history(1..N)   — survival-encoded, captures trend/change-points
+//
+// A survival-encoding of n-of-N sets elements 1..n to 1 and the rest to 0, so
+// the learned weight of day d acts as the *increment* to the log-rate that
+// took effect on day d and persists afterwards.
+//
+// For periods beyond the training window, the DOH day is either pinned to the
+// last day of history or sampled k-days-back with k ~ Geometric(p) (§2.1.2);
+// sampling mitigates workload churn by letting generated futures resemble a
+// random recent past day.
+#ifndef SRC_GLM_FEATURES_H_
+#define SRC_GLM_FEATURES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cloudgen {
+
+class Rng;
+
+inline constexpr int64_t kSecondsPerPeriod = 300;  // 5-minute periods.
+inline constexpr int64_t kPeriodsPerHour = 12;
+inline constexpr int64_t kPeriodsPerDay = 288;
+
+// Calendar decomposition of a period index (period 0 = epoch 0).
+struct PeriodCalendar {
+  int hour_of_day;  // 0..23
+  int day_of_week;  // 0..6
+  long day_index;   // 0-based day since the start of the trace clock
+};
+PeriodCalendar DecomposePeriod(int64_t period);
+
+// Modes for choosing the DOH day when encoding periods beyond history.
+enum class DohMode {
+  kLastDay,         // Always encode day N.
+  kGeometricSample, // Sample N - k, k ~ Geometric(p).
+};
+
+class TemporalFeatureEncoder {
+ public:
+  // `history_days` is N, the number of days covered by the training window.
+  explicit TemporalFeatureEncoder(int history_days);
+
+  int HistoryDays() const { return history_days_; }
+  // 24 (HOD) + 7 (DOW) + N (DOH survival).
+  size_t Dim() const { return 24 + 7 + static_cast<size_t>(history_days_); }
+
+  // Encodes a period using an explicit DOH day in [1, N]. Appends to `out`
+  // starting at `offset`; `out` must already have Dim() writable slots there.
+  void EncodeInto(int64_t period, int doh_day, float* out) const;
+  std::vector<double> Encode(int64_t period, int doh_day) const;
+
+  // DOH day for a period *within* the training window (clamped to [1, N]).
+  int InWindowDohDay(int64_t period) const;
+
+ private:
+  int history_days_;
+};
+
+// Samples DOH days for future periods: day = max(1, N - k), k ~ Geometric(p).
+class DohSampler {
+ public:
+  // `success_prob` is the geometric parameter; the paper uses 1/7 so the
+  // expected sampled day is one week before the end of history.
+  DohSampler(int history_days, double success_prob, DohMode mode);
+
+  int Sample(Rng& rng) const;
+  DohMode Mode() const { return mode_; }
+
+ private:
+  int history_days_;
+  double success_prob_;
+  DohMode mode_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_GLM_FEATURES_H_

@@ -1,0 +1,123 @@
+#include "src/glm/poisson_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+namespace {
+
+double PoissonDeviance(const std::vector<double>& counts, const std::vector<double>& mu) {
+  double dev = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double y = counts[i];
+    const double m = std::max(mu[i], 1e-12);
+    if (y > 0.0) {
+      dev += 2.0 * (y * std::log(y / m) - (y - m));
+    } else {
+      dev += 2.0 * m;
+    }
+  }
+  return dev;
+}
+
+}  // namespace
+
+double PoissonRegression::Fit(const std::vector<std::vector<double>>& features,
+                              const std::vector<double>& counts,
+                              const PoissonRegressionConfig& config) {
+  CG_CHECK(!features.empty());
+  CG_CHECK(features.size() == counts.size());
+  const size_t n = features.size();
+  const size_t p = features[0].size();
+  CG_CHECK(p >= 1);
+  for (const auto& row : features) {
+    CG_CHECK_MSG(row.size() == p, "ragged feature rows");
+    CG_CHECK_MSG(row[0] == 1.0, "column 0 must be the intercept constant 1");
+  }
+  for (double y : counts) {
+    CG_CHECK_MSG(y >= 0.0, "negative count");
+  }
+  max_linear_pred_ = config.max_linear_pred;
+
+  // Flatten into a dense design matrix.
+  std::vector<double> flat(n * p);
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(features[i].begin(), features[i].end(), flat.begin() + i * p);
+  }
+  const DesignMatrix x{flat.data(), n, p};
+
+  // Initialize: intercept at log(mean count), other weights zero.
+  weights_.assign(p, 0.0);
+  double mean_count = 0.0;
+  for (double y : counts) {
+    mean_count += y;
+  }
+  mean_count /= static_cast<double>(n);
+  weights_[0] = std::log(std::max(mean_count, 1e-6));
+
+  std::vector<double> eta(n);
+  std::vector<double> mu(n);
+  std::vector<double> irls_weights(n);
+  std::vector<double> working_response(n);
+
+  double prev_deviance = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    eta[i] = LinearPredictor(features[i]);
+    mu[i] = std::exp(eta[i]);
+  }
+  prev_deviance = PoissonDeviance(counts, mu);
+
+  for (int iter = 0; iter < config.max_irls_iters; ++iter) {
+    // Working weights w_i = mu_i and response z_i = eta_i + (y_i - mu_i)/mu_i
+    // (canonical log link).
+    for (size_t i = 0; i < n; ++i) {
+      const double m = std::max(mu[i], 1e-10);
+      irls_weights[i] = m;
+      working_response[i] = eta[i] + (counts[i] - m) / m;
+    }
+    SolveElasticNetWls(x, irls_weights, working_response, config.penalty, &weights_);
+
+    for (size_t i = 0; i < n; ++i) {
+      eta[i] = LinearPredictor(features[i]);
+      mu[i] = std::exp(eta[i]);
+    }
+    const double deviance = PoissonDeviance(counts, mu);
+    const double rel_change =
+        std::fabs(prev_deviance - deviance) / (std::fabs(prev_deviance) + 1e-12);
+    prev_deviance = deviance;
+    if (rel_change < config.irls_tol) {
+      break;
+    }
+  }
+  return prev_deviance / static_cast<double>(n);
+}
+
+double PoissonRegression::LinearPredictor(const std::vector<double>& x) const {
+  CG_CHECK(IsFitted());
+  CG_CHECK(x.size() == weights_.size());
+  double eta = 0.0;
+  for (size_t j = 0; j < x.size(); ++j) {
+    eta += weights_[j] * x[j];
+  }
+  return std::clamp(eta, -max_linear_pred_, max_linear_pred_);
+}
+
+double PoissonRegression::PredictMean(const std::vector<double>& x) const {
+  return std::exp(LinearPredictor(x));
+}
+
+double PoissonRegression::MeanNll(const std::vector<std::vector<double>>& features,
+                                  const std::vector<double>& counts) const {
+  CG_CHECK(features.size() == counts.size());
+  CG_CHECK(!features.empty());
+  double nll = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double mu = PredictMean(features[i]);
+    nll += mu - counts[i] * std::log(std::max(mu, 1e-12));
+  }
+  return nll / static_cast<double>(features.size());
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,51 @@
+// Inhomogeneous Poisson regression (§2.1.1): the count of events in period p
+// is Poisson with mean mu_p = exp(w . x_p). Fit by iteratively re-weighted
+// least squares (IRLS, as in statsmodels' GLM used by the paper), with an
+// elastic-net penalty applied to the working weighted-least-squares
+// subproblem at every IRLS step (the glmnet algorithm for penalized GLMs).
+#ifndef SRC_GLM_POISSON_REGRESSION_H_
+#define SRC_GLM_POISSON_REGRESSION_H_
+
+#include <vector>
+
+#include "src/glm/elastic_net.h"
+
+namespace cloudgen {
+
+struct PoissonRegressionConfig {
+  ElasticNetConfig penalty;
+  int max_irls_iters = 50;
+  double irls_tol = 1e-8;       // Relative deviance change for convergence.
+  double max_linear_pred = 30;  // Clamp eta to avoid overflow in exp().
+};
+
+class PoissonRegression {
+ public:
+  PoissonRegression() = default;
+
+  // Fits on rows of features (each of dimension p, where column 0 must be the
+  // intercept's constant 1) and the observed counts. Overwrites any previous
+  // fit. Returns the final mean deviance.
+  double Fit(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& counts, const PoissonRegressionConfig& config);
+
+  bool IsFitted() const { return !weights_.empty(); }
+  const std::vector<double>& Weights() const { return weights_; }
+
+  // Linear predictor eta = w . x (clamped) and mean mu = exp(eta).
+  double LinearPredictor(const std::vector<double>& x) const;
+  double PredictMean(const std::vector<double>& x) const;
+
+  // Mean Poisson negative-log-likelihood (up to the data-only lgamma term,
+  // matching the paper's loss: sum_p mu_p - y_p log mu_p, averaged).
+  double MeanNll(const std::vector<std::vector<double>>& features,
+                 const std::vector<double>& counts) const;
+
+ private:
+  std::vector<double> weights_;
+  double max_linear_pred_ = 30.0;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_GLM_POISSON_REGRESSION_H_

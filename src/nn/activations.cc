@@ -1,0 +1,59 @@
+#include "src/nn/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+float SigmoidScalar(float x) {
+  // Stable in both tails.
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float TanhScalar(float x) { return std::tanh(x); }
+
+void SigmoidInPlace(Matrix* m) {
+  CG_CHECK(m != nullptr);
+  float* data = m->Data();
+  for (size_t i = 0; i < m->Size(); ++i) {
+    data[i] = SigmoidScalar(data[i]);
+  }
+}
+
+void TanhInPlace(Matrix* m) {
+  CG_CHECK(m != nullptr);
+  float* data = m->Data();
+  for (size_t i = 0; i < m->Size(); ++i) {
+    data[i] = std::tanh(data[i]);
+  }
+}
+
+void SoftmaxRowsInPlace(Matrix* logits) {
+  CG_CHECK(logits != nullptr);
+  for (size_t r = 0; r < logits->Rows(); ++r) {
+    float* row = logits->Row(r);
+    const size_t n = logits->Cols();
+    float max_v = row[0];
+    for (size_t c = 1; c < n; ++c) {
+      max_v = std::max(max_v, row[c]);
+    }
+    float sum = 0.0f;
+    for (size_t c = 0; c < n; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < n; ++c) {
+      row[c] *= inv;
+    }
+  }
+}
+
+}  // namespace cloudgen

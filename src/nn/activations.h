@@ -1,0 +1,22 @@
+// Element-wise activations and the row-softmax used by the flavor model.
+#ifndef SRC_NN_ACTIVATIONS_H_
+#define SRC_NN_ACTIVATIONS_H_
+
+#include "src/tensor/matrix.h"
+
+namespace cloudgen {
+
+float SigmoidScalar(float x);
+float TanhScalar(float x);
+
+// In-place element-wise sigmoid / tanh.
+void SigmoidInPlace(Matrix* m);
+void TanhInPlace(Matrix* m);
+
+// Row-wise numerically-stable softmax: each row of `logits` becomes a
+// probability distribution.
+void SoftmaxRowsInPlace(Matrix* logits);
+
+}  // namespace cloudgen
+
+#endif  // SRC_NN_ACTIVATIONS_H_

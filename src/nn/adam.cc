@@ -1,0 +1,62 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, AdamConfig config)
+    : params_(std::move(params)), grads_(std::move(grads)), config_(config) {
+  CG_CHECK(params_.size() == grads_.size());
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    CG_CHECK(params_[i] != nullptr && grads_[i] != nullptr);
+    CG_CHECK(params_[i]->SameShape(*grads_[i]));
+    m_.emplace_back(params_[i]->Rows(), params_[i]->Cols());
+    v_.emplace_back(params_[i]->Rows(), params_[i]->Cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  // L2 weight decay directly into the gradients.
+  if (config_.weight_decay > 0.0f) {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      grads_[i]->Axpy(config_.weight_decay, *params_[i]);
+    }
+  }
+  // Global-norm clipping.
+  double norm_sq = 0.0;
+  for (const Matrix* g : grads_) {
+    norm_sq += g->SquaredNorm();
+  }
+  last_grad_norm_ = std::sqrt(norm_sq);
+  if (config_.clip_norm > 0.0f && last_grad_norm_ > config_.clip_norm) {
+    const float scale = config_.clip_norm / static_cast<float>(last_grad_norm_ + 1e-12);
+    for (Matrix* g : grads_) {
+      g->Scale(scale);
+    }
+  }
+
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  const float lr = config_.learning_rate;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    float* p = params_[i]->Data();
+    const float* g = grads_[i]->Data();
+    float* m = m_[i].Data();
+    float* v = v_[i].Data();
+    const size_t n = params_[i]->Size();
+    for (size_t j = 0; j < n; ++j) {
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g[j];
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g[j] * g[j];
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      p[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+    }
+  }
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,52 @@
+// Adam optimizer (Kingma & Ba) with decoupled L2 weight decay folded into the
+// gradient (classic PyTorch `weight_decay` semantics, matching §4.1/§4.2 of
+// the paper) and optional global-norm gradient clipping.
+#ifndef SRC_NN_ADAM_H_
+#define SRC_NN_ADAM_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace cloudgen {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+  // 0 disables clipping.
+  float clip_norm = 0.0f;
+};
+
+class Adam {
+ public:
+  // `params` and `grads` are parallel lists of equal-shaped matrices owned by
+  // the model; they must outlive the optimizer.
+  Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, AdamConfig config);
+
+  // Applies one update using the current gradient values, then leaves the
+  // gradients untouched (caller zeroes them before the next accumulation).
+  void Step();
+
+  // Global L2 norm of all gradients as of the last Step() (after decay, before
+  // clipping). Useful for training diagnostics.
+  double LastGradNorm() const { return last_grad_norm_; }
+
+  const AdamConfig& Config() const { return config_; }
+  void SetLearningRate(float lr) { config_.learning_rate = lr; }
+
+ private:
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+  std::vector<Matrix> m_;  // First-moment estimates.
+  std::vector<Matrix> v_;  // Second-moment estimates.
+  AdamConfig config_;
+  long step_ = 0;
+  double last_grad_norm_ = 0.0;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_NN_ADAM_H_

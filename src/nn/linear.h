@@ -1,0 +1,53 @@
+// Fully-connected layer: Y = X * W + b, with X of shape (batch, in) and W of
+// shape (in, out). Used as the output head of the flavor and lifetime LSTMs.
+#ifndef SRC_NN_LINEAR_H_
+#define SRC_NN_LINEAR_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace cloudgen {
+
+class Rng;
+
+class Linear {
+ public:
+  Linear() = default;
+  // Glorot-uniform initialization.
+  Linear(size_t in_dim, size_t out_dim, Rng& rng);
+
+  size_t InDim() const { return weight_.Rows(); }
+  size_t OutDim() const { return weight_.Cols(); }
+
+  // Forward pass; caches X for the subsequent Backward call.
+  void Forward(const Matrix& x, Matrix* y);
+
+  // Inference-only forward (no caching).
+  void ForwardInference(const Matrix& x, Matrix* y) const;
+
+  // Given dL/dY, accumulates parameter gradients and writes dL/dX (optional:
+  // pass nullptr when the input gradient is not needed).
+  void Backward(const Matrix& dy, Matrix* dx);
+
+  // Parameter access for the optimizer. Order: weight, bias.
+  std::vector<Matrix*> Params();
+  std::vector<Matrix*> Grads();
+  void ZeroGrads();
+
+  void Save(std::ostream& out) const;
+  void Load(std::istream& in);
+
+ private:
+  Matrix weight_;       // (in, out)
+  Matrix bias_;         // (1, out)
+  Matrix grad_weight_;  // (in, out)
+  Matrix grad_bias_;    // (1, out)
+  Matrix cached_x_;     // (batch, in) from the last Forward.
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_NN_LINEAR_H_

@@ -1,0 +1,122 @@
+#include "src/nn/sequence_network.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+SequenceNetwork::SequenceNetwork(const SequenceNetworkConfig& config, Rng& rng)
+    : config_(config),
+      lstm_(config.input_dim, config.hidden_dim, config.num_layers, rng),
+      head_(config.hidden_dim, config.output_dim, rng) {
+  CG_CHECK(config.input_dim > 0 && config.output_dim > 0);
+  CG_CHECK(config.hidden_dim > 0 && config.num_layers > 0);
+}
+
+void SequenceNetwork::ForwardSequence(const std::vector<Matrix>& inputs,
+                                      std::vector<Matrix>* logits) {
+  CG_CHECK(logits != nullptr);
+  lstm_.ForwardSequence(inputs, &cached_hidden_);
+  const size_t steps = cached_hidden_.size();
+  logits->resize(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    // The head caches its input per call; for the sequence case we rebuild
+    // the per-step cache during backward instead, so use inference forward.
+    head_.ForwardInference(cached_hidden_[t], &(*logits)[t]);
+  }
+}
+
+void SequenceNetwork::BackwardSequence(const std::vector<Matrix>& dlogits) {
+  const size_t steps = cached_hidden_.size();
+  CG_CHECK_MSG(steps > 0, "BackwardSequence before ForwardSequence");
+  CG_CHECK(dlogits.size() == steps);
+  std::vector<Matrix> dhidden(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    // Re-prime the head's cache with this step's input, then backprop.
+    Matrix unused;
+    head_.Forward(cached_hidden_[t], &unused);
+    head_.Backward(dlogits[t], &dhidden[t]);
+  }
+  lstm_.BackwardSequence(dhidden);
+}
+
+LstmState SequenceNetwork::MakeState(size_t batch) const { return lstm_.ZeroState(batch); }
+
+void SequenceNetwork::StepLogits(const Matrix& x, LstmState* state, Matrix* logits) const {
+  CG_CHECK(state != nullptr && logits != nullptr);
+  Matrix hidden;
+  lstm_.StepForward(x, state, &hidden);
+  head_.ForwardInference(hidden, logits);
+}
+
+std::vector<Matrix*> SequenceNetwork::Params() {
+  std::vector<Matrix*> params = lstm_.Params();
+  for (Matrix* p : head_.Params()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Matrix*> SequenceNetwork::Grads() {
+  std::vector<Matrix*> grads = lstm_.Grads();
+  for (Matrix* g : head_.Grads()) {
+    grads.push_back(g);
+  }
+  return grads;
+}
+
+void SequenceNetwork::ZeroGrads() {
+  lstm_.ZeroGrads();
+  head_.ZeroGrads();
+}
+
+size_t SequenceNetwork::NumParameters() const {
+  size_t count = 0;
+  for (Matrix* p : const_cast<SequenceNetwork*>(this)->Params()) {
+    count += p->Size();
+  }
+  return count;
+}
+
+void SequenceNetwork::Save(std::ostream& out) const {
+  const uint64_t dims[4] = {config_.input_dim, config_.hidden_dim, config_.num_layers,
+                            config_.output_dim};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  lstm_.Save(out);
+  head_.Save(out);
+}
+
+void SequenceNetwork::Load(std::istream& in) {
+  uint64_t dims[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  CG_CHECK_MSG(static_cast<bool>(in), "SequenceNetwork::Load: truncated stream");
+  config_.input_dim = dims[0];
+  config_.hidden_dim = dims[1];
+  config_.num_layers = dims[2];
+  config_.output_dim = dims[3];
+  lstm_.Load(in);
+  head_.Load(in);
+}
+
+bool SequenceNetwork::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  Save(out);
+  return static_cast<bool>(out);
+}
+
+bool SequenceNetwork::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  Load(in);
+  return true;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,69 @@
+// SequenceNetwork — a stacked LSTM with a linear output head. Both paper
+// models are instances of this network; they differ only in input encoding
+// and loss:
+//  * flavor model:   logits → softmax over K flavors + EOB   (§2.2)
+//  * lifetime model: logits → J per-bin hazard logits        (§2.3)
+#ifndef SRC_NN_SEQUENCE_NETWORK_H_
+#define SRC_NN_SEQUENCE_NETWORK_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/lstm.h"
+#include "src/tensor/matrix.h"
+
+namespace cloudgen {
+
+class Rng;
+
+struct SequenceNetworkConfig {
+  size_t input_dim = 0;
+  size_t hidden_dim = 64;
+  size_t num_layers = 2;
+  size_t output_dim = 0;
+};
+
+class SequenceNetwork {
+ public:
+  SequenceNetwork() = default;
+  SequenceNetwork(const SequenceNetworkConfig& config, Rng& rng);
+
+  const SequenceNetworkConfig& Config() const { return config_; }
+
+  // Training forward over a minibatch of sequences. `inputs` is T matrices of
+  // shape (B, input_dim); `logits` receives T matrices of shape (B, output_dim).
+  // Hidden state starts at zero (per §4.2 of the paper).
+  void ForwardSequence(const std::vector<Matrix>& inputs, std::vector<Matrix>* logits);
+
+  // Backward from per-step logit gradients; accumulates into the grads.
+  void BackwardSequence(const std::vector<Matrix>& dlogits);
+
+  // Generation-time single-step inference. `state` persists across calls.
+  LstmState MakeState(size_t batch = 1) const;
+  void StepLogits(const Matrix& x, LstmState* state, Matrix* logits) const;
+
+  std::vector<Matrix*> Params();
+  std::vector<Matrix*> Grads();
+  void ZeroGrads();
+  size_t NumParameters() const;
+
+  void Save(std::ostream& out) const;
+  void Load(std::istream& in);
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  SequenceNetworkConfig config_;
+  StackedLstm lstm_;
+  Linear head_;
+  // Cached top-layer hidden states from the last ForwardSequence, needed to
+  // backprop through the shared head applied at every step.
+  std::vector<Matrix> cached_hidden_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_NN_SEQUENCE_NETWORK_H_

@@ -1,0 +1,52 @@
+#include "src/sched/cluster.h"
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+void Server::Place(const Resources& demand) {
+  CG_CHECK_MSG(CanFit(demand), "Place on a server that cannot fit the demand");
+  used_.cpus += demand.cpus;
+  used_.memory_gb += demand.memory_gb;
+}
+
+void Server::Remove(const Resources& demand) {
+  used_.cpus -= demand.cpus;
+  used_.memory_gb -= demand.memory_gb;
+  CG_CHECK_MSG(used_.cpus >= -1e-6 && used_.memory_gb >= -1e-6,
+               "Remove below zero allocation");
+  if (used_.cpus < 0.0) {
+    used_.cpus = 0.0;
+  }
+  if (used_.memory_gb < 0.0) {
+    used_.memory_gb = 0.0;
+  }
+}
+
+Cluster::Cluster(size_t num_servers, Resources per_server_capacity) {
+  CG_CHECK(num_servers > 0);
+  CG_CHECK(per_server_capacity.cpus > 0.0 && per_server_capacity.memory_gb > 0.0);
+  servers_.assign(num_servers, Server(per_server_capacity));
+}
+
+double Cluster::CpuAllocationRatio() const {
+  double used = 0.0;
+  double capacity = 0.0;
+  for (const Server& server : servers_) {
+    used += server.Used().cpus;
+    capacity += server.Capacity().cpus;
+  }
+  return used / capacity;
+}
+
+double Cluster::MemAllocationRatio() const {
+  double used = 0.0;
+  double capacity = 0.0;
+  for (const Server& server : servers_) {
+    used += server.Used().memory_gb;
+    capacity += server.Capacity().memory_gb;
+  }
+  return used / capacity;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,62 @@
+// Cluster model for the scheduling experiments (§6.2): homogeneous servers
+// with CPU and memory capacity, tracking current allocations.
+#ifndef SRC_SCHED_CLUSTER_H_
+#define SRC_SCHED_CLUSTER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudgen {
+
+// A two-dimensional resource demand or capacity.
+struct Resources {
+  double cpus = 0.0;
+  double memory_gb = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(Resources capacity) : capacity_(capacity) {}
+
+  const Resources& Capacity() const { return capacity_; }
+  const Resources& Used() const { return used_; }
+  Resources Remaining() const {
+    return {capacity_.cpus - used_.cpus, capacity_.memory_gb - used_.memory_gb};
+  }
+
+  bool CanFit(const Resources& demand) const {
+    return used_.cpus + demand.cpus <= capacity_.cpus + 1e-9 &&
+           used_.memory_gb + demand.memory_gb <= capacity_.memory_gb + 1e-9;
+  }
+
+  void Place(const Resources& demand);
+  void Remove(const Resources& demand);
+
+  // Fraction of capacity in use, per dimension.
+  double CpuUtilization() const { return used_.cpus / capacity_.cpus; }
+  double MemUtilization() const { return used_.memory_gb / capacity_.memory_gb; }
+
+ private:
+  Resources capacity_;
+  Resources used_;
+};
+
+class Cluster {
+ public:
+  Cluster(size_t num_servers, Resources per_server_capacity);
+
+  size_t NumServers() const { return servers_.size(); }
+  const Server& ServerAt(size_t i) const { return servers_[i]; }
+  Server& MutableServerAt(size_t i) { return servers_[i]; }
+
+  // Aggregate allocation ratios over the whole cluster.
+  double CpuAllocationRatio() const;
+  double MemAllocationRatio() const;
+
+ private:
+  std::vector<Server> servers_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_SCHED_CLUSTER_H_

@@ -1,0 +1,102 @@
+#include "src/sched/ffar.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace cloudgen {
+
+FfarResult RunPacking(const Trace& trace, const std::vector<Event>& events,
+                      const SchedulingTuple& tuple, const PackingAlgorithm& algorithm,
+                      Rng& rng) {
+  FfarResult result;
+  if (events.empty()) {
+    return result;
+  }
+  Cluster cluster(tuple.num_servers, tuple.server_capacity);
+  const auto start =
+      static_cast<size_t>(tuple.start_fraction * static_cast<double>(events.size()));
+
+  // job index -> server it was placed on (only jobs placed by this packing).
+  std::unordered_map<size_t, int> placements;
+  for (size_t e = start; e < events.size(); ++e) {
+    const Event& event = events[e];
+    const Job& job = trace.Jobs()[event.job_index];
+    const Flavor& flavor = trace.Flavors()[static_cast<size_t>(job.flavor)];
+    const Resources demand{flavor.cpus, flavor.memory_gb};
+    if (event.kind == EventKind::kArrival) {
+      // Demands larger than a whole server can never fit; skip them rather
+      // than counting an unavoidable failure (capacity sampling guarantees
+      // these are rare).
+      if (demand.cpus > tuple.server_capacity.cpus ||
+          demand.memory_gb > tuple.server_capacity.memory_gb) {
+        continue;
+      }
+      const int server = algorithm.ChooseServer(cluster, demand, rng);
+      if (server < 0) {
+        result.failed = true;
+        result.cpu_ffar = cluster.CpuAllocationRatio();
+        result.mem_ffar = cluster.MemAllocationRatio();
+        return result;
+      }
+      cluster.MutableServerAt(static_cast<size_t>(server)).Place(demand);
+      placements.emplace(event.job_index, server);
+      ++result.placed_jobs;
+    } else {
+      const auto it = placements.find(event.job_index);
+      if (it != placements.end()) {
+        cluster.MutableServerAt(static_cast<size_t>(it->second)).Remove(demand);
+        placements.erase(it);
+      }
+    }
+  }
+  // Whole remainder packed without failure.
+  result.cpu_ffar = cluster.CpuAllocationRatio();
+  result.mem_ffar = cluster.MemAllocationRatio();
+  return result;
+}
+
+std::vector<SchedulingTuple> SampleSchedulingTuples(size_t count, size_t num_algorithms,
+                                                    Rng& rng) {
+  CG_CHECK(num_algorithms > 0);
+  std::vector<SchedulingTuple> tuples;
+  tuples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    SchedulingTuple tuple;
+    tuple.start_fraction = rng.Uniform(0.0, 0.6);
+    tuple.num_servers = static_cast<size_t>(rng.UniformInt(8, 48));
+    // Capacities chosen so either resource can be the bottleneck: memory per
+    // core between 2 and 6 GB against a flavor menu of 1-8 GB per core.
+    tuple.server_capacity.cpus = static_cast<double>(rng.UniformInt(48, 128));
+    tuple.server_capacity.memory_gb =
+        tuple.server_capacity.cpus * rng.Uniform(2.0, 6.0);
+    tuple.algorithm_index = rng.UniformInt(static_cast<uint64_t>(num_algorithms));
+    tuples.push_back(tuple);
+  }
+  return tuples;
+}
+
+FfarSummary SummarizeFfar(const std::vector<FfarResult>& results) {
+  FfarSummary summary;
+  std::vector<double> limiting;
+  limiting.reserve(results.size());
+  size_t above = 0;
+  for (const FfarResult& result : results) {
+    limiting.push_back(result.LimitingFfar());
+    if (result.LimitingFfar() > 0.95) {
+      ++above;
+    }
+  }
+  summary.experiments = results.size();
+  if (!results.empty()) {
+    summary.median_limiting = Quantile(limiting, 0.5);
+    summary.proportion_above_95 =
+        static_cast<double>(above) / static_cast<double>(results.size());
+  }
+  return summary;
+}
+
+}  // namespace cloudgen

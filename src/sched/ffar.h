@@ -1,0 +1,62 @@
+// First-failure allocation ratio (FFAR) experiments (§6.2, Fig. 10, Table 5).
+//
+// A scheduling tuple is (start point, number of servers, per-server capacity,
+// packing algorithm). The trace's event stream is replayed from the start
+// point onto an initially-empty cluster; at the first arrival with no
+// feasible server, the experiment stops and reports the cluster's CPU and
+// memory allocation ratios.
+#ifndef SRC_SCHED_FFAR_H_
+#define SRC_SCHED_FFAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sched/cluster.h"
+#include "src/sched/packing.h"
+#include "src/trace/events.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+struct SchedulingTuple {
+  double start_fraction = 0.0;  // Start point as a fraction of the event stream.
+  size_t num_servers = 32;
+  Resources server_capacity{64.0, 256.0};
+  size_t algorithm_index = 0;  // Into MakeAllPackingAlgorithms().
+};
+
+struct FfarResult {
+  bool failed = false;  // False if the whole trace packed without failure.
+  double cpu_ffar = 0.0;
+  double mem_ffar = 0.0;
+  size_t placed_jobs = 0;
+
+  // The resource that was fuller at the failure point (§6.2 reports summary
+  // stats for "the limiting resource").
+  double LimitingFfar() const { return cpu_ffar > mem_ffar ? cpu_ffar : mem_ffar; }
+};
+
+// Replays `events` (from BuildEventStream on the trace) through one tuple.
+FfarResult RunPacking(const Trace& trace, const std::vector<Event>& events,
+                      const SchedulingTuple& tuple, const PackingAlgorithm& algorithm,
+                      Rng& rng);
+
+// Samples `count` scheduling tuples; server counts and capacities are drawn
+// from ranges calibrated so CPU and memory are each limiting in roughly half
+// the packings (per §6.2). The same tuples must be reused across generators
+// to reduce variance — callers sample once and reuse.
+std::vector<SchedulingTuple> SampleSchedulingTuples(size_t count, size_t num_algorithms,
+                                                    Rng& rng);
+
+struct FfarSummary {
+  double median_limiting = 0.0;
+  double proportion_above_95 = 0.0;
+  size_t experiments = 0;
+};
+FfarSummary SummarizeFfar(const std::vector<FfarResult>& results);
+
+}  // namespace cloudgen
+
+#endif  // SRC_SCHED_FFAR_H_

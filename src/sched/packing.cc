@@ -1,0 +1,180 @@
+#include "src/sched/packing.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+// Perpendicular distance of a server's utilization point from the balanced
+// diagonal u_cpu == u_mem.
+double PerpDistance(double cpu_util, double mem_util) {
+  return std::fabs(cpu_util - mem_util) / std::sqrt(2.0);
+}
+
+}  // namespace
+
+int RandomPlacement::ChooseServer(const Cluster& cluster, const Resources& demand,
+                                  Rng& rng) const {
+  std::vector<int> feasible;
+  feasible.reserve(cluster.NumServers());
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    if (cluster.ServerAt(i).CanFit(demand)) {
+      feasible.push_back(static_cast<int>(i));
+    }
+  }
+  if (feasible.empty()) {
+    return -1;
+  }
+  return feasible[rng.UniformInt(static_cast<uint64_t>(feasible.size()))];
+}
+
+int BusiestFit::ChooseServer(const Cluster& cluster, const Resources& demand,
+                             Rng& /*rng*/) const {
+  int best = -1;
+  double best_score = -1.0;
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    const Server& server = cluster.ServerAt(i);
+    if (!server.CanFit(demand)) {
+      continue;
+    }
+    const double score = server.CpuUtilization() + server.MemUtilization();
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int CosineSimilarityPacking::ChooseServer(const Cluster& cluster, const Resources& demand,
+                                          Rng& /*rng*/) const {
+  const double demand_norm =
+      std::sqrt(demand.cpus * demand.cpus + demand.memory_gb * demand.memory_gb);
+  int best = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    const Server& server = cluster.ServerAt(i);
+    if (!server.CanFit(demand)) {
+      continue;
+    }
+    const Resources remaining = server.Remaining();
+    const double remaining_norm = std::sqrt(remaining.cpus * remaining.cpus +
+                                            remaining.memory_gb * remaining.memory_gb);
+    double score;
+    if (remaining_norm < 1e-12 || demand_norm < 1e-12) {
+      score = 0.0;
+    } else {
+      score = (demand.cpus * remaining.cpus + demand.memory_gb * remaining.memory_gb) /
+              (demand_norm * remaining_norm);
+    }
+    // Tie-break toward fuller servers to consolidate.
+    score += 1e-6 * (server.CpuUtilization() + server.MemUtilization());
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int DeltaPerpDistance::ChooseServer(const Cluster& cluster, const Resources& demand,
+                                    Rng& /*rng*/) const {
+  int best = -1;
+  double best_delta = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    const Server& server = cluster.ServerAt(i);
+    if (!server.CanFit(demand)) {
+      continue;
+    }
+    const double before = PerpDistance(server.CpuUtilization(), server.MemUtilization());
+    const double cpu_after =
+        (server.Used().cpus + demand.cpus) / server.Capacity().cpus;
+    const double mem_after =
+        (server.Used().memory_gb + demand.memory_gb) / server.Capacity().memory_gb;
+    const double delta = PerpDistance(cpu_after, mem_after) - before;
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int FirstFit::ChooseServer(const Cluster& cluster, const Resources& demand,
+                           Rng& /*rng*/) const {
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    if (cluster.ServerAt(i).CanFit(demand)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+// Normalized remaining volume: the average of per-dimension free fractions.
+double RemainingFraction(const Server& server) {
+  const Resources remaining = server.Remaining();
+  return 0.5 * (remaining.cpus / server.Capacity().cpus +
+                remaining.memory_gb / server.Capacity().memory_gb);
+}
+
+}  // namespace
+
+int BestFit::ChooseServer(const Cluster& cluster, const Resources& demand,
+                          Rng& /*rng*/) const {
+  int best = -1;
+  double best_remaining = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    const Server& server = cluster.ServerAt(i);
+    if (!server.CanFit(demand)) {
+      continue;
+    }
+    const double remaining = RemainingFraction(server);
+    if (remaining < best_remaining) {
+      best_remaining = remaining;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int WorstFit::ChooseServer(const Cluster& cluster, const Resources& demand,
+                           Rng& /*rng*/) const {
+  int best = -1;
+  double best_remaining = -1.0;
+  for (size_t i = 0; i < cluster.NumServers(); ++i) {
+    const Server& server = cluster.ServerAt(i);
+    if (!server.CanFit(demand)) {
+      continue;
+    }
+    const double remaining = RemainingFraction(server);
+    if (remaining > best_remaining) {
+      best_remaining = remaining;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<std::unique_ptr<PackingAlgorithm>> MakeAllPackingAlgorithms() {
+  std::vector<std::unique_ptr<PackingAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<RandomPlacement>());
+  algorithms.push_back(std::make_unique<BusiestFit>());
+  algorithms.push_back(std::make_unique<CosineSimilarityPacking>());
+  algorithms.push_back(std::make_unique<DeltaPerpDistance>());
+  return algorithms;
+}
+
+std::vector<std::unique_ptr<PackingAlgorithm>> MakeExtendedPackingAlgorithms() {
+  std::vector<std::unique_ptr<PackingAlgorithm>> algorithms = MakeAllPackingAlgorithms();
+  algorithms.push_back(std::make_unique<FirstFit>());
+  algorithms.push_back(std::make_unique<BestFit>());
+  algorithms.push_back(std::make_unique<WorstFit>());
+  return algorithms;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,92 @@
+// The four packing algorithms of §6.2's FFAR experiments:
+//   * Random placement — uniform over feasible servers
+//   * Busiest-fit      — feasible server with the highest current utilization
+//   * Cosine similarity (Grandl et al., multi-resource packing) — feasible
+//     server whose remaining-capacity vector best aligns with the demand
+//   * Delta perp-distance (Ke et al., Fundy) — feasible server whose post-
+//     placement utilization point moves least away from the balanced-use
+//     diagonal (minimizes growth of resource imbalance)
+#ifndef SRC_SCHED_PACKING_H_
+#define SRC_SCHED_PACKING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/cluster.h"
+
+namespace cloudgen {
+
+class Rng;
+
+class PackingAlgorithm {
+ public:
+  virtual ~PackingAlgorithm() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Index of the chosen server, or -1 when no server fits (a scheduling
+  // failure). `rng` is used only by randomized policies.
+  virtual int ChooseServer(const Cluster& cluster, const Resources& demand,
+                           Rng& rng) const = 0;
+};
+
+class RandomPlacement : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "Random"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+class BusiestFit : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "BusiestFit"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+class CosineSimilarityPacking : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "CosineSim"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+class DeltaPerpDistance : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "DeltaPerp"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+// Classic bin-packing heuristics, provided for scheduler studies beyond the
+// paper's four (not part of the §6.2 tuple sampler).
+
+// Lowest-index feasible server.
+class FirstFit : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "FirstFit"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+// Feasible server with the least remaining capacity (tightest fit, by
+// normalized remaining volume).
+class BestFit : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "BestFit"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+// Feasible server with the most remaining capacity (load spreading).
+class WorstFit : public PackingAlgorithm {
+ public:
+  std::string Name() const override { return "WorstFit"; }
+  int ChooseServer(const Cluster& cluster, const Resources& demand, Rng& rng) const override;
+};
+
+// The standard set used by the FFAR experiment sampler (the four §6.2
+// algorithms, in paper order).
+std::vector<std::unique_ptr<PackingAlgorithm>> MakeAllPackingAlgorithms();
+
+// Every implemented algorithm, including the classic heuristics.
+std::vector<std::unique_ptr<PackingAlgorithm>> MakeExtendedPackingAlgorithms();
+
+}  // namespace cloudgen
+
+#endif  // SRC_SCHED_PACKING_H_

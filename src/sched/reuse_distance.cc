@@ -1,0 +1,76 @@
+#include "src/sched/reuse_distance.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cloudgen {
+
+std::vector<int> ReuseDistances(const Trace& trace) {
+  std::vector<int> distances;
+  distances.reserve(trace.NumJobs());
+  // For each flavor, the sequence position of its most recent request; to
+  // count *unique* types since then we walk the per-flavor last-seen
+  // positions: types with last-seen > last occurrence of v are exactly the
+  // unique types requested in between.
+  std::unordered_map<int32_t, size_t> last_seen;
+  size_t position = 0;
+  for (const Job& job : trace.Jobs()) {
+    const auto it = last_seen.find(job.flavor);
+    if (it != last_seen.end()) {
+      const size_t since = it->second;
+      int unique_between = 0;
+      for (const auto& [flavor, pos] : last_seen) {
+        if (flavor != job.flavor && pos > since) {
+          ++unique_between;
+        }
+      }
+      distances.push_back(unique_between);
+    }
+    last_seen[job.flavor] = position++;
+  }
+  return distances;
+}
+
+double PlacementCacheHitRate(const Trace& trace, size_t cache_size) {
+  return PlacementCacheCurve(trace, {cache_size})[0];
+}
+
+std::vector<double> PlacementCacheCurve(const Trace& trace,
+                                        const std::vector<size_t>& cache_sizes) {
+  const std::vector<int> distances = ReuseDistances(trace);
+  std::vector<double> hit_rates(cache_sizes.size(), 0.0);
+  // Every request is a lookup; only repeats (with a distance) can hit.
+  const auto total_requests = static_cast<double>(trace.NumJobs());
+  if (total_requests == 0.0) {
+    return hit_rates;
+  }
+  for (size_t s = 0; s < cache_sizes.size(); ++s) {
+    size_t hits = 0;
+    for (int d : distances) {
+      if (static_cast<size_t>(d) < cache_sizes[s]) {
+        ++hits;
+      }
+    }
+    hit_rates[s] = static_cast<double>(hits) / total_requests;
+  }
+  return hit_rates;
+}
+
+std::vector<double> ReuseDistanceProportions(const Trace& trace) {
+  const std::vector<int> distances = ReuseDistances(trace);
+  std::vector<double> proportions(kReuseBuckets, 0.0);
+  if (distances.empty()) {
+    return proportions;
+  }
+  for (int d : distances) {
+    const size_t bucket = std::min<size_t>(static_cast<size_t>(d), kReuseBuckets - 1);
+    proportions[bucket] += 1.0;
+  }
+  for (double& p : proportions) {
+    p /= static_cast<double>(distances.size());
+  }
+  return proportions;
+}
+
+}  // namespace cloudgen

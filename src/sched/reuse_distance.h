@@ -1,0 +1,39 @@
+// Reuse distance (§6.2, Fig. 9), following Hadary et al. (Protean): for each
+// VM request of type v, the number of *unique* VM types requested since the
+// last request of v. Small reuse distances justify Protean's caching of
+// placement evaluations; synthetic traces must match the real distribution
+// for cache tuning to transfer.
+#ifndef SRC_SCHED_REUSE_DISTANCE_H_
+#define SRC_SCHED_REUSE_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+// Raw reuse distances over the trace's arrival-ordered flavor sequence.
+// First-ever requests of a type have no previous occurrence and are skipped.
+std::vector<int> ReuseDistances(const Trace& trace);
+
+// Histogram proportions over buckets {0, 1, 2, 3, 4, 5, 6+} (Fig. 9's x-axis).
+inline constexpr size_t kReuseBuckets = 7;
+std::vector<double> ReuseDistanceProportions(const Trace& trace);
+
+// Protean-style placement cache: placement evaluations are cached per VM
+// type with LRU eviction over `cache_size` distinct types. A request hits
+// exactly when its reuse distance is below the cache size, so the hit rate is
+// the CDF of reuse distances — the statistic Protean's cache is tuned on
+// ("memory footprint and hit-rate considerations"). First-ever requests of a
+// type count as misses.
+double PlacementCacheHitRate(const Trace& trace, size_t cache_size);
+
+// Hit rate at each of the given cache sizes (shares one distance pass).
+std::vector<double> PlacementCacheCurve(const Trace& trace,
+                                        const std::vector<size_t>& cache_sizes);
+
+}  // namespace cloudgen
+
+#endif  // SRC_SCHED_REUSE_DISTANCE_H_

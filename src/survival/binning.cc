@@ -1,0 +1,99 @@
+#include "src/survival/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+LifetimeBinning::LifetimeBinning(std::vector<double> upper_edges) : edges_(std::move(upper_edges)) {
+  CG_CHECK(!edges_.empty());
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    CG_CHECK_MSG(edges_[i] > edges_[i - 1], "bin edges must be strictly increasing");
+  }
+  CG_CHECK(edges_[0] >= 0.0);
+}
+
+size_t LifetimeBinning::BinOf(double lifetime_seconds) const {
+  CG_CHECK(lifetime_seconds >= 0.0);
+  // First bin whose upper edge is >= lifetime.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), lifetime_seconds);
+  return static_cast<size_t>(it - edges_.begin());
+}
+
+double LifetimeBinning::LowerEdge(size_t bin) const {
+  CG_CHECK(bin < NumBins());
+  return bin == 0 ? 0.0 : edges_[bin - 1];
+}
+
+double LifetimeBinning::UpperEdge(size_t bin) const {
+  CG_CHECK(bin < NumBins());
+  return IsOpenBin(bin) ? OpenBinVirtualEnd() : edges_[bin];
+}
+
+double LifetimeBinning::OpenBinVirtualEnd() const { return edges_.back() * 2.0; }
+
+LifetimeBinning MakePaperBinning() {
+  constexpr double kMinute = 60.0;
+  constexpr double kHour = 3600.0;
+  constexpr double kDay = 86400.0;
+  std::vector<double> edges;
+  edges.push_back(0.0);  // Bin for zero-length (sub-period) lifetimes.
+  for (int m = 5; m <= 60; m += 5) {
+    edges.push_back(m * kMinute);
+  }
+  for (int h = 2; h <= 24; ++h) {
+    edges.push_back(h * kHour);
+  }
+  for (int d = 2; d <= 10; ++d) {
+    edges.push_back(d * kDay);
+  }
+  edges.push_back(20 * kDay);
+  // 1 + 12 + 23 + 9 + 1 = 46 edges → 47 bins.
+  return LifetimeBinning(std::move(edges));
+}
+
+LifetimeBinning MakeQuantileBinning(const std::vector<double>& lifetimes, size_t num_bins) {
+  CG_CHECK(!lifetimes.empty());
+  CG_CHECK(num_bins >= 2);
+  std::vector<double> sorted = lifetimes;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> edges;
+  edges.reserve(num_bins - 1);
+  for (size_t b = 1; b < num_bins; ++b) {
+    const double q = static_cast<double>(b) / static_cast<double>(num_bins);
+    const auto idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+    const double edge = sorted[idx];
+    if (edges.empty() || edge > edges.back()) {
+      edges.push_back(edge);
+    }
+  }
+  if (edges.empty()) {
+    edges.push_back(std::max(sorted.back(), 1.0));
+  }
+  return LifetimeBinning(std::move(edges));
+}
+
+LifetimeBinning RefineBinning(const LifetimeBinning& base, size_t factor) {
+  CG_CHECK(factor >= 1);
+  const auto& edges = base.Edges();
+  std::vector<double> refined;
+  double lower = 0.0;
+  for (double edge : edges) {
+    const double width = edge - lower;
+    if (width <= 0.0) {
+      // Degenerate first bin ({0}); keep as-is.
+      refined.push_back(edge);
+      lower = edge;
+      continue;
+    }
+    for (size_t s = 1; s <= factor; ++s) {
+      refined.push_back(lower + width * static_cast<double>(s) / static_cast<double>(factor));
+    }
+    lower = edge;
+  }
+  return LifetimeBinning(std::move(refined));
+}
+
+}  // namespace cloudgen

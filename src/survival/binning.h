@@ -1,0 +1,63 @@
+// Discrete lifetime binning (§2.3.1).
+//
+// The paper bins lifetimes with 5-minute intervals up to 1 hour, hourly
+// intervals up to a day, daily intervals up to 10 days, a (10 d, 20 d] bin,
+// and a final open bin for > 20 days, for a total of 47 bins (including a
+// bin for zero-length lifetimes, which occur because trace timestamps are
+// quantized to 5-minute periods). Boundaries are inclusive upper edges:
+// bin j covers (edge[j-1], edge[j]], bin 0 covers [0, edge[0]], and the last
+// bin is open-ended.
+//
+// A quantile-based scheme (Kvamme & Borgan) is also provided for the 495-bin
+// ablation in Table 4.
+#ifndef SRC_SURVIVAL_BINNING_H_
+#define SRC_SURVIVAL_BINNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cloudgen {
+
+class LifetimeBinning {
+ public:
+  // `upper_edges` must be strictly increasing, in seconds. The number of bins
+  // is upper_edges.size() + 1 (the final bin is open-ended).
+  explicit LifetimeBinning(std::vector<double> upper_edges);
+
+  size_t NumBins() const { return edges_.size() + 1; }
+
+  // Bin index for a lifetime in seconds (0-based).
+  size_t BinOf(double lifetime_seconds) const;
+
+  // Lower edge of bin j (0 for bin 0) and upper edge (open bins return
+  // OpenBinVirtualEnd()).
+  double LowerEdge(size_t bin) const;
+  double UpperEdge(size_t bin) const;
+  bool IsOpenBin(size_t bin) const { return bin + 1 == NumBins(); }
+
+  // Finite stand-in for the open bin's end, used by CDI interpolation and
+  // duration sampling: twice the last finite edge.
+  double OpenBinVirtualEnd() const;
+
+  const std::vector<double>& Edges() const { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+};
+
+// The paper's 47-bin scheme described above.
+LifetimeBinning MakePaperBinning();
+
+// Evenly-spaced-quantile scheme fit on (uncensored) training lifetimes, per
+// Kvamme & Borgan; duplicate quantiles are deduplicated so the realized bin
+// count can be lower than requested.
+LifetimeBinning MakeQuantileBinning(const std::vector<double>& lifetimes, size_t num_bins);
+
+// Uniform refinement of the paper scheme: splits every finite bin into
+// `factor` equal sub-bins (used for the 495-bin ablation: factor ~ 10).
+LifetimeBinning RefineBinning(const LifetimeBinning& base, size_t factor);
+
+}  // namespace cloudgen
+
+#endif  // SRC_SURVIVAL_BINNING_H_

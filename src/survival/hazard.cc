@@ -1,0 +1,81 @@
+#include "src/survival/hazard.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+void ValidateHazard(const std::vector<double>& hazard) {
+  CG_CHECK(!hazard.empty());
+  for (double h : hazard) {
+    CG_CHECK_MSG(h >= 0.0 && h <= 1.0, "hazard outside [0,1]");
+  }
+}
+
+}  // namespace
+
+std::vector<double> HazardToPmf(const std::vector<double>& hazard) {
+  ValidateHazard(hazard);
+  const size_t bins = hazard.size();
+  std::vector<double> pmf(bins, 0.0);
+  double survive = 1.0;
+  for (size_t j = 0; j + 1 < bins; ++j) {
+    pmf[j] = survive * hazard[j];
+    survive *= (1.0 - hazard[j]);
+  }
+  pmf[bins - 1] = survive;  // Final bin absorbs the remainder.
+  return pmf;
+}
+
+std::vector<double> HazardToSurvival(const std::vector<double>& hazard) {
+  ValidateHazard(hazard);
+  const size_t bins = hazard.size();
+  std::vector<double> survival(bins, 0.0);
+  double survive = 1.0;
+  for (size_t j = 0; j < bins; ++j) {
+    if (j + 1 == bins) {
+      survival[j] = 0.0;
+    } else {
+      survive *= (1.0 - hazard[j]);
+      survival[j] = survive;
+    }
+  }
+  return survival;
+}
+
+std::vector<double> PmfToHazard(const std::vector<double>& pmf) {
+  CG_CHECK(!pmf.empty());
+  std::vector<double> hazard(pmf.size(), 0.0);
+  double survive = 1.0;
+  for (size_t j = 0; j < pmf.size(); ++j) {
+    if (survive <= 1e-15) {
+      hazard[j] = 1.0;
+      continue;
+    }
+    hazard[j] = std::clamp(pmf[j] / survive, 0.0, 1.0);
+    survive -= pmf[j];
+  }
+  hazard.back() = 1.0;
+  return hazard;
+}
+
+size_t ArgmaxBinFromHazard(const std::vector<double>& hazard) {
+  const std::vector<double> pmf = HazardToPmf(hazard);
+  return static_cast<size_t>(
+      std::max_element(pmf.begin(), pmf.end()) - pmf.begin());
+}
+
+size_t SampleBinFromHazard(const std::vector<double>& hazard, Rng& rng) {
+  ValidateHazard(hazard);
+  for (size_t j = 0; j + 1 < hazard.size(); ++j) {
+    if (rng.Bernoulli(hazard[j])) {
+      return j;
+    }
+  }
+  return hazard.size() - 1;
+}
+
+}  // namespace cloudgen

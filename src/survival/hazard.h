@@ -1,0 +1,37 @@
+// Conversions between the three equivalent descriptions of a discrete
+// lifetime distribution (§2.3.1): hazard h(j), PMF f(j), and survival S(j).
+//
+//   f(j) = h(j) * prod_{i<j} (1 - h(i))
+//   S(j) = prod_{i<=j} (1 - h(i))          (probability lifetime lands in a
+//                                           bin strictly greater than j)
+#ifndef SRC_SURVIVAL_HAZARD_H_
+#define SRC_SURVIVAL_HAZARD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudgen {
+
+class Rng;
+
+// PMF from hazard. Any probability mass not absorbed by bins 0..J-1 (because
+// every hazard < 1) is assigned to the final bin so the PMF sums to 1.
+std::vector<double> HazardToPmf(const std::vector<double>& hazard);
+
+// Survival S(j) for j = 0..J-1 from hazard; S(J-1) is forced to 0 (the final
+// open bin absorbs all remaining mass).
+std::vector<double> HazardToSurvival(const std::vector<double>& hazard);
+
+// Hazard from PMF (inverse of HazardToPmf).
+std::vector<double> PmfToHazard(const std::vector<double>& pmf);
+
+// Most-likely bin under the PMF induced by a hazard (used by 1-Best-Err).
+size_t ArgmaxBinFromHazard(const std::vector<double>& hazard);
+
+// Samples a bin by walking the hazard: bin j is chosen with probability
+// h(j) * prod_{i<j}(1 - h(i)); falls through to the final bin.
+size_t SampleBinFromHazard(const std::vector<double>& hazard, Rng& rng);
+
+}  // namespace cloudgen
+
+#endif  // SRC_SURVIVAL_HAZARD_H_

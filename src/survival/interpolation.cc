@@ -1,0 +1,67 @@
+#include "src/survival/interpolation.h"
+
+#include <algorithm>
+
+#include "src/survival/hazard.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+SurvivalCurve::SurvivalCurve(const std::vector<double>& hazard, const LifetimeBinning& binning,
+                             Interpolation interpolation)
+    : interpolation_(interpolation) {
+  CG_CHECK(hazard.size() == binning.NumBins());
+  const std::vector<double> survival = HazardToSurvival(hazard);
+  edges_.reserve(binning.NumBins());
+  survival_.reserve(binning.NumBins());
+  for (size_t j = 0; j < binning.NumBins(); ++j) {
+    edges_.push_back(binning.UpperEdge(j));
+    survival_.push_back(survival[j]);
+  }
+}
+
+double SurvivalCurve::Survival(double t) const {
+  if (t < 0.0) {
+    return 1.0;
+  }
+  if (t >= edges_.back()) {
+    return 0.0;
+  }
+  // First edge strictly greater than t → t lies inside that bin.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), t);
+  const auto bin = static_cast<size_t>(it - edges_.begin());
+  if (bin >= edges_.size()) {
+    return 0.0;
+  }
+  const double s_hi = survival_[bin];  // S at this bin's upper edge.
+  const double s_lo = bin == 0 ? 1.0 : survival_[bin - 1];
+  if (interpolation_ == Interpolation::kStepped) {
+    // Terminations at edges: S stays at the previous edge's value until the
+    // bin's upper edge.
+    return s_lo;
+  }
+  const double lo = bin == 0 ? 0.0 : edges_[bin - 1];
+  const double hi = edges_[bin];
+  if (hi <= lo) {
+    return s_hi;
+  }
+  const double frac = (t - lo) / (hi - lo);
+  return s_lo + (s_hi - s_lo) * frac;
+}
+
+double SampleDurationInBin(const LifetimeBinning& binning, size_t bin, Interpolation interp,
+                           Rng& rng) {
+  CG_CHECK(bin < binning.NumBins());
+  const double lo = binning.LowerEdge(bin);
+  const double hi = binning.UpperEdge(bin);
+  if (interp == Interpolation::kStepped) {
+    return hi;
+  }
+  if (hi <= lo) {
+    return hi;
+  }
+  return rng.Uniform(lo, hi);
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,48 @@
+// Discrete → continuous lifetime reconstruction (§2.4, Table 4).
+//
+// Given a discrete hazard over lifetime bins, two interpolation schemes build
+// a continuous survival function S(t):
+//   * Stepped — all terminations happen exactly at bin upper edges, so S(t)
+//     is a right-continuous step function.
+//   * CDI (continuous-density interpolation, Kvamme & Borgan) — terminations
+//     are spread uniformly within each bin, so S(t) is piecewise linear.
+//
+// The same assumption drives duration sampling: a sampled bin is converted to
+// a real-valued duration uniformly within the bin (CDI) or at its upper edge
+// (stepped). The final open bin uses the binning's virtual end.
+#ifndef SRC_SURVIVAL_INTERPOLATION_H_
+#define SRC_SURVIVAL_INTERPOLATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/survival/binning.h"
+
+namespace cloudgen {
+
+class Rng;
+
+enum class Interpolation { kStepped, kCdi };
+
+// A continuous survival function built from a discrete hazard.
+class SurvivalCurve {
+ public:
+  SurvivalCurve(const std::vector<double>& hazard, const LifetimeBinning& binning,
+                Interpolation interpolation);
+
+  // S(t) = P(lifetime > t), t in seconds.
+  double Survival(double t) const;
+
+ private:
+  std::vector<double> edges_;     // Upper edges per bin (virtual end for open bin).
+  std::vector<double> survival_;  // S at each edge.
+  Interpolation interpolation_;
+};
+
+// Converts a sampled bin index into a real-valued duration.
+double SampleDurationInBin(const LifetimeBinning& binning, size_t bin, Interpolation interp,
+                           Rng& rng);
+
+}  // namespace cloudgen
+
+#endif  // SRC_SURVIVAL_INTERPOLATION_H_

@@ -1,0 +1,134 @@
+#include "src/survival/kaplan_meier.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+namespace {
+
+// Shared discrete-hazard fit.
+std::vector<double> FitDiscreteHazard(const std::vector<LifetimeObservation>& observations,
+                                      const LifetimeBinning& binning, CensoringPolicy policy) {
+  const size_t bins = binning.NumBins();
+  std::vector<double> events(bins, 0.0);
+  // Difference array for the at-risk counts: risk[j] = # at risk entering j.
+  std::vector<double> risk_delta(bins + 1, 0.0);
+
+  for (const auto& obs : observations) {
+    CG_CHECK(obs.lifetime_seconds >= 0.0);
+    bool censored = obs.censored;
+    if (censored && policy == CensoringPolicy::kIgnoreCensored) {
+      continue;
+    }
+    if (censored && policy == CensoringPolicy::kCensoredTerminates) {
+      censored = false;
+    }
+    const size_t bin = binning.BinOf(obs.lifetime_seconds);
+    if (censored) {
+      // At risk for bins [0, bin); no event observed.
+      if (bin > 0) {
+        risk_delta[0] += 1.0;
+        risk_delta[bin] -= 1.0;
+      }
+    } else {
+      // At risk for bins [0, bin]; event in `bin`.
+      risk_delta[0] += 1.0;
+      risk_delta[bin + 1] -= 1.0;
+      events[bin] += 1.0;
+    }
+  }
+
+  std::vector<double> hazard(bins, 0.0);
+  double at_risk = 0.0;
+  for (size_t j = 0; j < bins; ++j) {
+    at_risk += risk_delta[j];
+    hazard[j] = at_risk > 0.0 ? std::clamp(events[j] / at_risk, 0.0, 1.0) : 0.0;
+  }
+  hazard[bins - 1] = 1.0;  // The open final bin absorbs all survivors.
+  return hazard;
+}
+
+}  // namespace
+
+KaplanMeier::KaplanMeier(const std::vector<LifetimeObservation>& observations,
+                         const LifetimeBinning& binning, CensoringPolicy policy)
+    : hazard_(FitDiscreteHazard(observations, binning, policy)),
+      num_observations_(observations.size()) {}
+
+GroupedKaplanMeier::GroupedKaplanMeier(const std::vector<LifetimeObservation>& observations,
+                                       const std::vector<int32_t>& groups,
+                                       const LifetimeBinning& binning, CensoringPolicy policy,
+                                       size_t min_group_size) {
+  CG_CHECK(observations.size() == groups.size());
+  pooled_ = FitDiscreteHazard(observations, binning, policy);
+
+  std::unordered_map<int32_t, std::vector<LifetimeObservation>> by_group;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    by_group[groups[i]].push_back(observations[i]);
+  }
+  for (const auto& [group, obs] : by_group) {
+    if (obs.size() >= min_group_size) {
+      per_group_.emplace(group, FitDiscreteHazard(obs, binning, policy));
+    }
+  }
+}
+
+const std::vector<double>& GroupedKaplanMeier::HazardFor(int32_t group) const {
+  const auto it = per_group_.find(group);
+  return it != per_group_.end() ? it->second : pooled_;
+}
+
+ContinuousKaplanMeier::ContinuousKaplanMeier(
+    const std::vector<LifetimeObservation>& observations) {
+  // Sort observations by time; events before censors at ties (the usual KM
+  // convention: a subject censored at t is at risk for an event at t).
+  struct Entry {
+    double time;
+    bool event;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(observations.size());
+  for (const auto& obs : observations) {
+    entries.push_back(Entry{obs.lifetime_seconds, !obs.censored});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.event && !b.event;
+  });
+
+  double survival = 1.0;
+  size_t at_risk = entries.size();
+  size_t i = 0;
+  while (i < entries.size()) {
+    const double t = entries[i].time;
+    size_t events = 0;
+    size_t removed = 0;
+    while (i < entries.size() && entries[i].time == t) {
+      if (entries[i].event) {
+        ++events;
+      }
+      ++removed;
+      ++i;
+    }
+    if (events > 0 && at_risk > 0) {
+      survival *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      times_.push_back(t);
+      survival_.push_back(survival);
+    }
+    at_risk -= removed;
+  }
+}
+
+double ContinuousKaplanMeier::Survival(double t) const {
+  // S(t) = survival after the last event time <= t.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) {
+    return 1.0;
+  }
+  return survival_[static_cast<size_t>(it - times_.begin()) - 1];
+}
+
+}  // namespace cloudgen

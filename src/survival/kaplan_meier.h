@@ -1,0 +1,95 @@
+// Kaplan-Meier lifetime estimation (§2.3.1, §5.3).
+//
+// The discrete estimator computes a hazard per lifetime bin:
+//   h(j) = (# events in bin j) / (# at risk entering bin j)
+// where censored observations count as at-risk only for bins *before* their
+// censoring bin (they contribute survival credit, never an event), matching
+// the likelihood the paper trains the LSTM with.
+//
+// Two ablation variants from §5.3 are also provided:
+//   * kIgnoreCensored      — drop censored observations entirely (biased; the
+//                            Cortez et al. approach)
+//   * kCensoredTerminates  — pretend censored jobs died at the censor time
+//
+// A continuous product-limit estimator (no binning) supports the Table 4
+// "KM Continuous" row.
+#ifndef SRC_SURVIVAL_KAPLAN_MEIER_H_
+#define SRC_SURVIVAL_KAPLAN_MEIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/survival/binning.h"
+
+namespace cloudgen {
+
+// One lifetime observation: duration in seconds and whether it was cut short
+// by the end of the observation window.
+struct LifetimeObservation {
+  double lifetime_seconds = 0.0;
+  bool censored = false;
+};
+
+enum class CensoringPolicy {
+  kCensoringAware,
+  kIgnoreCensored,
+  kCensoredTerminates,
+};
+
+class KaplanMeier {
+ public:
+  // Fits the discrete hazard over `binning` from the observations.
+  // Bins with an empty risk set get hazard 0; the final bin's hazard is 1.
+  KaplanMeier(const std::vector<LifetimeObservation>& observations,
+              const LifetimeBinning& binning,
+              CensoringPolicy policy = CensoringPolicy::kCensoringAware);
+
+  const std::vector<double>& Hazard() const { return hazard_; }
+  size_t NumBins() const { return hazard_.size(); }
+  size_t NumObservations() const { return num_observations_; }
+
+ private:
+  std::vector<double> hazard_;
+  size_t num_observations_ = 0;
+};
+
+// Discrete KM fit independently per group (e.g. per flavor), with the pooled
+// estimator as fallback for unseen/rare groups.
+class GroupedKaplanMeier {
+ public:
+  // `groups[i]` labels observation i. Groups with fewer than `min_group_size`
+  // observations fall back to the pooled hazard.
+  GroupedKaplanMeier(const std::vector<LifetimeObservation>& observations,
+                     const std::vector<int32_t>& groups, const LifetimeBinning& binning,
+                     CensoringPolicy policy = CensoringPolicy::kCensoringAware,
+                     size_t min_group_size = 20);
+
+  // Hazard for `group`, falling back to the pooled hazard when unseen.
+  const std::vector<double>& HazardFor(int32_t group) const;
+  const std::vector<double>& PooledHazard() const { return pooled_; }
+  size_t NumGroups() const { return per_group_.size(); }
+
+ private:
+  std::vector<double> pooled_;
+  std::unordered_map<int32_t, std::vector<double>> per_group_;
+};
+
+// Continuous product-limit estimator. Survival(t) is a right-continuous step
+// function dropping at each uncensored event time.
+class ContinuousKaplanMeier {
+ public:
+  explicit ContinuousKaplanMeier(const std::vector<LifetimeObservation>& observations);
+
+  // S(t) = P(lifetime > t).
+  double Survival(double t) const;
+
+ private:
+  std::vector<double> times_;     // Sorted distinct event times.
+  std::vector<double> survival_;  // S(times_[i]).
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_SURVIVAL_KAPLAN_MEIER_H_

@@ -1,0 +1,62 @@
+#include "src/survival/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+std::vector<double> MakeSurvivalMseGrid(double horizon_seconds, size_t points) {
+  CG_CHECK(horizon_seconds > 0.0 && points > 0);
+  std::vector<double> grid(points);
+  for (size_t i = 0; i < points; ++i) {
+    grid[i] = horizon_seconds * static_cast<double>(i + 1) / static_cast<double>(points);
+  }
+  return grid;
+}
+
+double SurvivalMseForJob(const SurvivalFn& survival, double true_lifetime,
+                         const std::vector<double>& grid) {
+  CG_CHECK(!grid.empty());
+  double acc = 0.0;
+  for (double t : grid) {
+    const double truth = true_lifetime > t ? 1.0 : 0.0;
+    const double pred = survival(t);
+    acc += (pred - truth) * (pred - truth);
+  }
+  return acc / static_cast<double>(grid.size());
+}
+
+double MeanSurvivalMse(const std::vector<SurvivalFn>& survivals,
+                       const std::vector<double>& true_lifetimes,
+                       const std::vector<double>& grid) {
+  CG_CHECK(survivals.size() == true_lifetimes.size());
+  CG_CHECK(!survivals.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < survivals.size(); ++i) {
+    acc += SurvivalMseForJob(survivals[i], true_lifetimes[i], grid);
+  }
+  return acc / static_cast<double>(survivals.size());
+}
+
+double HazardBce(const std::vector<double>& hazard, size_t event_bin, bool censored) {
+  CG_CHECK(event_bin < hazard.size());
+  constexpr double kEps = 1e-6;
+  double loss = 0.0;
+  size_t terms = 0;
+  for (size_t j = 0; j < event_bin; ++j) {
+    loss += -std::log(std::max(1.0 - hazard[j], kEps));
+    ++terms;
+  }
+  if (!censored) {
+    loss += -std::log(std::max(hazard[event_bin], kEps));
+    ++terms;
+  }
+  if (terms == 0) {
+    return 0.0;
+  }
+  return loss / static_cast<double>(terms);
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,40 @@
+// Survival-specific evaluation metrics.
+//
+// Survival-MSE (Kvamme & Borgan; Table 4): for each *uncensored* job with
+// true lifetime t_i, the squared error between the predicted survival curve
+// and the ground-truth indicator 1{t_i > t}, averaged over a time grid and
+// over jobs. We use a fixed grid spanning [0, horizon] because all models
+// are compared on identical grids.
+#ifndef SRC_SURVIVAL_METRICS_H_
+#define SRC_SURVIVAL_METRICS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cloudgen {
+
+// An evaluable survival function S(t).
+using SurvivalFn = std::function<double(double)>;
+
+// Builds the evaluation grid: `points` times spaced uniformly on (0, horizon].
+std::vector<double> MakeSurvivalMseGrid(double horizon_seconds, size_t points);
+
+// MSE between S and the indicator survival of a single true lifetime.
+double SurvivalMseForJob(const SurvivalFn& survival, double true_lifetime,
+                         const std::vector<double>& grid);
+
+// Average Survival-MSE over jobs; `survivals[i]` is the model's predicted
+// curve for job i (conditioned on everything before it, for sequence models).
+double MeanSurvivalMse(const std::vector<SurvivalFn>& survivals,
+                       const std::vector<double>& true_lifetimes,
+                       const std::vector<double>& grid);
+
+// Binary cross entropy of a hazard prediction against an observed outcome
+// (event in bin `event_bin`, or censored after surviving bins < `event_bin`).
+// This is exactly the per-job term of the paper's lifetime loss (§2.3.2).
+double HazardBce(const std::vector<double>& hazard, size_t event_bin, bool censored);
+
+}  // namespace cloudgen
+
+#endif  // SRC_SURVIVAL_METRICS_H_

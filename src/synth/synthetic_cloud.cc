@@ -1,0 +1,248 @@
+#include "src/synth/synthetic_cloud.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+
+SynthProfile AzureLikeProfile(double scale) {
+  SynthProfile profile;
+  profile.name = "azure_like";
+  profile.num_flavors = 16;
+  profile.num_users = 400;
+  // Azure trains on ~3 weeks (20.8 d): several samples per weekday, so the
+  // DOW features cannot absorb the day-level effects that DOH must capture.
+  profile.train_days = 16;
+  profile.dev_days = 2;
+  profile.test_days = 3;
+  profile.base_batches_per_period = 8.0 * scale;
+  profile.diurnal_strength = 0.45;
+  profile.weekend_dip = 0.65;
+  profile.growth_per_day = 0.004;
+  profile.growth_plateau_day = 1 << 30;
+  profile.momentum_rho = 0.9;
+  profile.momentum_sigma = 0.08;
+  profile.day_effect_sigma = 0.35;
+  profile.user_burst_prob = 0.45;
+  profile.batch_size_geometric_p = 0.42;
+  profile.big_batch_prob = 0.02;
+  profile.big_batch_max = 40;
+  profile.flavor_repeat_prob = 0.88;
+  profile.lifetime_repeat_prob = 0.75;
+  return profile;
+}
+
+SynthProfile HuaweiLikeProfile(double scale) {
+  SynthProfile profile;
+  profile.name = "huawei_like";
+  profile.num_flavors = 24;
+  profile.num_users = 250;
+  profile.train_days = 24;
+  profile.dev_days = 3;
+  profile.test_days = 5;
+  profile.base_batches_per_period = 1.6 * scale;
+  profile.diurnal_strength = 0.5;
+  profile.weekend_dip = 0.55;
+  // Strong growth through most of training that levels off before the test
+  // window — the churn dynamic that makes sampled-DOH essential in Fig. 8.
+  profile.growth_per_day = 0.045;
+  profile.growth_plateau_day = 18;
+  profile.momentum_rho = 0.93;
+  profile.momentum_sigma = 0.13;
+  profile.day_effect_sigma = 0.12;
+  profile.user_burst_prob = 0.55;
+  profile.batch_size_geometric_p = 0.5;
+  profile.big_batch_prob = 0.015;
+  profile.big_batch_max = 30;
+  profile.flavor_repeat_prob = 0.92;
+  profile.lifetime_repeat_prob = 0.8;
+  // Longer-lived VMs overall (Huawei VMs skew long-running, §2.3.3).
+  profile.lifetime_mixture = {
+      {0.35, 20.0 * 60.0, 0.9},
+      {0.30, 8.0 * 3600.0, 0.8},
+      {0.25, 3.0 * 86400.0, 0.7},
+      {0.10, 20.0 * 86400.0, 0.6},
+  };
+  return profile;
+}
+
+SyntheticCloud::SyntheticCloud(SynthProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {
+  CG_CHECK(profile_.num_flavors >= 2);
+  CG_CHECK(profile_.num_users >= 1);
+  CG_CHECK(!profile_.lifetime_mixture.empty());
+  Rng rng(seed_ ^ 0xC10D0AB5ull);
+  BuildCatalog(rng);
+  BuildUsers(rng);
+}
+
+void SyntheticCloud::BuildCatalog(Rng& rng) {
+  // Flavors follow typical VM menus: CPU counts in powers of two with one of
+  // a few memory-per-core ratios.
+  static constexpr double kCpuMenu[] = {1, 2, 4, 8, 16, 32, 64};
+  static constexpr double kMemPerCore[] = {1.0, 2.0, 4.0, 8.0};
+  flavors_.reserve(static_cast<size_t>(profile_.num_flavors));
+  for (int32_t f = 0; f < profile_.num_flavors; ++f) {
+    Flavor flavor;
+    flavor.id = f;
+    flavor.cpus = kCpuMenu[rng.UniformInt(static_cast<uint64_t>(std::size(kCpuMenu)))];
+    const double ratio =
+        kMemPerCore[rng.UniformInt(static_cast<uint64_t>(std::size(kMemPerCore)))];
+    flavor.memory_gb = flavor.cpus * ratio;
+    flavor.name = StrFormat("f%d.c%d.m%d", f, static_cast<int>(flavor.cpus),
+                            static_cast<int>(flavor.memory_gb));
+    flavors_.push_back(flavor);
+  }
+  flavor_popularity_.resize(flavors_.size());
+  for (size_t f = 0; f < flavors_.size(); ++f) {
+    flavor_popularity_[f] =
+        1.0 / std::pow(static_cast<double>(f + 1), profile_.flavor_zipf_exponent);
+  }
+  flavor_lifetime_log_scale_.resize(flavors_.size());
+  for (auto& scale : flavor_lifetime_log_scale_) {
+    scale = rng.Normal(0.0, profile_.flavor_lifetime_sigma);
+  }
+}
+
+void SyntheticCloud::BuildUsers(Rng& rng) {
+  users_.resize(static_cast<size_t>(profile_.num_users));
+  for (size_t u = 0; u < users_.size(); ++u) {
+    User& user = users_[u];
+    user.activity_weight =
+        1.0 / std::pow(static_cast<double>(u + 1), profile_.user_zipf_exponent);
+    const int num_prefs =
+        1 + static_cast<int>(rng.UniformInt(static_cast<uint64_t>(profile_.user_pref_flavors)));
+    for (int k = 0; k < num_prefs; ++k) {
+      const auto flavor = static_cast<int32_t>(rng.Categorical(flavor_popularity_));
+      user.preferred_flavors.push_back(flavor);
+      user.preferred_weights.push_back(rng.Uniform(0.5, 2.0));
+    }
+    user.lifetime_log_scale = rng.Normal(0.0, profile_.user_lifetime_sigma);
+    user.diurnality = rng.Uniform(0.4, 1.0);
+  }
+  std::vector<double> weights;
+  weights.reserve(users_.size());
+  for (const auto& user : users_) {
+    weights.push_back(user.activity_weight);
+  }
+  user_activity_cdf_ = BuildCdf(weights);
+}
+
+double SyntheticCloud::SampleLifetimeSeconds(const User& user, int32_t flavor, Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(profile_.lifetime_mixture.size());
+  for (const auto& component : profile_.lifetime_mixture) {
+    weights.push_back(component.weight);
+  }
+  const auto& component = profile_.lifetime_mixture[rng.Categorical(weights)];
+  const double log_median = std::log(component.median_seconds) + user.lifetime_log_scale +
+                            flavor_lifetime_log_scale_[static_cast<size_t>(flavor)];
+  const double lifetime = std::exp(rng.Normal(log_median, component.sigma));
+  return std::max(0.0, lifetime);
+}
+
+Trace SyntheticCloud::Generate() const {
+  Rng rng(seed_);
+  const int64_t periods = profile_.TotalPeriods();
+  Trace trace(flavors_, 0, periods);
+
+  // Per-day level effects (mean-one log-normal).
+  std::vector<double> day_effect(static_cast<size_t>(profile_.TotalDays()), 1.0);
+  if (profile_.day_effect_sigma > 0.0) {
+    const double sigma = profile_.day_effect_sigma;
+    for (auto& effect : day_effect) {
+      effect = std::exp(rng.Normal(-0.5 * sigma * sigma, sigma));
+    }
+  }
+
+  double momentum = 0.0;   // AR(1) state on the log-rate.
+  long previous_user = -1;  // For bursty same-user batch sequences.
+  for (int64_t p = 0; p < periods; ++p) {
+    const PeriodCalendar cal = DecomposePeriod(p);
+
+    // Rate modulation: diurnal (sinusoid peaking mid-afternoon), weekly
+    // (weekend dip on days 5/6), trend with plateau, and AR(1) momentum.
+    const double hour_angle =
+        2.0 * M_PI * (static_cast<double>(cal.hour_of_day) - 15.0) / 24.0;
+    const double diurnal = 1.0 + profile_.diurnal_strength * std::cos(hour_angle);
+    const double weekly = (cal.day_of_week >= 5) ? profile_.weekend_dip : 1.0;
+    const double effective_growth_days =
+        std::min<double>(cal.day_index, profile_.growth_plateau_day);
+    const double trend = std::exp(profile_.growth_per_day * effective_growth_days);
+    momentum = profile_.momentum_rho * momentum +
+               rng.Normal(0.0, profile_.momentum_sigma);
+    const double rate = profile_.base_batches_per_period * diurnal * weekly * trend *
+                        day_effect[static_cast<size_t>(cal.day_index)] * std::exp(momentum);
+
+    const int64_t num_batches = rng.Poisson(rate);
+    for (int64_t b = 0; b < num_batches; ++b) {
+      // Pick the submitting user; strongly diurnal users are less likely to
+      // submit at night.
+      size_t user_idx;
+      if (previous_user >= 0 && rng.Bernoulli(profile_.user_burst_prob)) {
+        // Burst: the same user submits again (autoscaling, re-submission).
+        user_idx = static_cast<size_t>(previous_user);
+      } else {
+        while (true) {
+          user_idx = rng.CategoricalFromCdf(user_activity_cdf_);
+          const double night_factor =
+              (cal.hour_of_day < 7) ? 1.0 - 0.6 * users_[user_idx].diurnality : 1.0;
+          if (rng.Bernoulli(night_factor)) {
+            break;
+          }
+        }
+      }
+      previous_user = static_cast<long>(user_idx);
+      const User& user = users_[user_idx];
+
+      // Batch size: geometric body with a heavy burst tail.
+      int64_t size = 1 + rng.Geometric(profile_.batch_size_geometric_p);
+      if (rng.Bernoulli(profile_.big_batch_prob)) {
+        size += rng.UniformInt(5, profile_.big_batch_max);
+      }
+
+      int32_t previous_flavor = -1;
+      double previous_lifetime = -1.0;
+      for (int64_t j = 0; j < size; ++j) {
+        // Flavor: sticky within the batch, user-preferred otherwise.
+        int32_t flavor;
+        if (previous_flavor >= 0 && rng.Bernoulli(profile_.flavor_repeat_prob)) {
+          flavor = previous_flavor;
+        } else {
+          flavor = user.preferred_flavors[rng.Categorical(user.preferred_weights)];
+        }
+
+        // Lifetime: sticky within the batch — half of the repeats terminate
+        // *together* (autoscaling groups are deleted as a unit), the rest
+        // jitter slightly; fresh mixture draw otherwise.
+        double lifetime;
+        if (previous_lifetime >= 0.0 && rng.Bernoulli(profile_.lifetime_repeat_prob)) {
+          lifetime = rng.Bernoulli(0.5)
+                         ? previous_lifetime
+                         : previous_lifetime * std::exp(rng.Normal(0.0, 0.1));
+        } else {
+          lifetime = SampleLifetimeSeconds(user, flavor, rng);
+        }
+
+        Job job;
+        job.start_period = p;
+        job.end_period =
+            p + static_cast<int64_t>(std::llround(lifetime / kSecondsPerPeriod));
+        job.flavor = flavor;
+        job.user = static_cast<int64_t>(user_idx);
+        job.censored = false;
+        trace.Add(job);
+
+        previous_flavor = flavor;
+        previous_lifetime = lifetime;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace cloudgen

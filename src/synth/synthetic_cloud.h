@@ -1,0 +1,139 @@
+// Ground-truth synthetic cloud workload simulator.
+//
+// The paper evaluates on proprietary production traces from Microsoft Azure
+// and Huawei Cloud. Those traces are not available here, so this module
+// builds a *simulated provider* whose generated workload exhibits the
+// documented statistical structure that the paper's models exploit and that
+// naive models miss:
+//
+//   * arrivals come in user-specific batches, with strongly inhomogeneous
+//     rates (diurnal + weekly seasonality, growth trend with a plateau
+//     change-point, and an AR(1) momentum term that over-disperses counts
+//     relative to a plain Poisson);
+//   * within a batch, jobs have highly correlated flavors (long runs of the
+//     same flavor with occasional switches) and correlated lifetimes;
+//   * users have individual flavor affinities and lifetime scales, so flavor
+//     and lifetime sequences carry long-range structure across batches;
+//   * lifetimes are heavy-tailed mixtures (minutes / hours / days / weeks),
+//     flavor-dependent, with many jobs censored at any observation-window
+//     end.
+//
+// The simulator is the "real cloud" of every experiment: models are trained
+// on a windowed view of its output and evaluated against held-out windows,
+// exactly as the paper trains on one provider window and tests on a later
+// one.
+#ifndef SRC_SYNTH_SYNTHETIC_CLOUD_H_
+#define SRC_SYNTH_SYNTHETIC_CLOUD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+struct SynthProfile {
+  std::string name;
+
+  // Catalog and population.
+  int num_flavors = 16;
+  int num_users = 400;
+  double flavor_zipf_exponent = 1.05;  // Popularity skew of flavors.
+  double user_zipf_exponent = 0.9;     // Activity skew of users.
+  int user_pref_flavors = 3;           // Flavors in a user's preferred set.
+
+  // Window layout (days).
+  int train_days = 10;
+  int dev_days = 2;
+  int test_days = 3;
+
+  // Batch arrival process.
+  double base_batches_per_period = 6.0;
+  double diurnal_strength = 0.45;   // Peak-to-trough modulation of the rate.
+  double weekend_dip = 0.6;         // Rate multiplier on days 5 and 6.
+  double growth_per_day = 0.0;      // Exponential growth rate of the base rate.
+  int growth_plateau_day = 1 << 30; // Day at which growth levels off.
+  double momentum_rho = 0.92;       // AR(1) coefficient on the log-rate.
+  double momentum_sigma = 0.10;     // AR(1) innovation stddev.
+  // Per-day random level effect ("every day is unique", §2.1.2): each day's
+  // rate is multiplied by an i.i.d. log-normal factor with this log-sigma.
+  // This is the structure that makes sampled-DOH generation outperform
+  // pinning the DOH to the last day of history (Fig. 4).
+  double day_effect_sigma = 0.0;
+
+  // Batch composition.
+  // Users are bursty: with this probability a batch comes from the *same*
+  // user as the previous batch (re-submission storms, autoscaling groups),
+  // creating the cross-batch flavor/lifetime momentum visible in Fig. 1.
+  double user_burst_prob = 0.0;
+  double batch_size_geometric_p = 0.45;  // Size = 1 + Geometric(p).
+  double big_batch_prob = 0.02;          // Chance of a large burst batch.
+  int big_batch_max = 40;
+  double flavor_repeat_prob = 0.88;      // Within-batch flavor stickiness.
+  double lifetime_repeat_prob = 0.75;    // Within-batch lifetime stickiness.
+
+  // Lifetime mixture (log-normal components, medians in seconds).
+  // Weights need not be normalized.
+  struct LifetimeComponent {
+    double weight;
+    double median_seconds;
+    double sigma;  // Log-space standard deviation.
+  };
+  std::vector<LifetimeComponent> lifetime_mixture = {
+      {0.45, 15.0 * 60.0, 0.9},          // Short: ~minutes.
+      {0.35, 5.0 * 3600.0, 0.8},         // Medium: ~hours.
+      {0.15, 2.0 * 86400.0, 0.7},        // Long: ~days.
+      {0.05, 15.0 * 86400.0, 0.6},       // Very long: weeks (mostly censored).
+  };
+  double user_lifetime_sigma = 0.5;   // Per-user log-scale dispersion.
+  double flavor_lifetime_sigma = 0.4; // Per-flavor log-scale dispersion.
+
+  int TotalDays() const { return train_days + dev_days + test_days; }
+  int64_t TotalPeriods() const { return static_cast<int64_t>(TotalDays()) * kPeriodsPerDay; }
+};
+
+// The reduced-scale stand-ins for the two providers of §3. `scale` multiplies
+// job volume (via the base arrival rate); 1.0 is the CPU-friendly default.
+SynthProfile AzureLikeProfile(double scale = 1.0);
+SynthProfile HuaweiLikeProfile(double scale = 1.0);
+
+class SyntheticCloud {
+ public:
+  SyntheticCloud(SynthProfile profile, uint64_t seed);
+
+  const SynthProfile& Profile() const { return profile_; }
+  const FlavorCatalog& Flavors() const { return flavors_; }
+
+  // Generates the full ground-truth trace over the profile's window with
+  // *true* end periods (no censoring); callers window/censor it themselves.
+  // Deterministic for a given (profile, seed).
+  Trace Generate() const;
+
+ private:
+  struct User {
+    double activity_weight = 1.0;
+    std::vector<int32_t> preferred_flavors;
+    std::vector<double> preferred_weights;
+    double lifetime_log_scale = 0.0;  // Additive in log-space.
+    double diurnality = 1.0;          // How strongly the user follows the sun.
+  };
+
+  SynthProfile profile_;
+  uint64_t seed_;
+  FlavorCatalog flavors_;
+  std::vector<double> flavor_popularity_;
+  std::vector<User> users_;
+  std::vector<double> user_activity_cdf_;
+  std::vector<double> flavor_lifetime_log_scale_;
+
+  void BuildCatalog(Rng& rng);
+  void BuildUsers(Rng& rng);
+  double SampleLifetimeSeconds(const User& user, int32_t flavor, Rng& rng) const;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_SYNTH_SYNTHETIC_CLOUD_H_

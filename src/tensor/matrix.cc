@@ -1,0 +1,234 @@
+#include "src/tensor/matrix.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+Matrix::Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+float& Matrix::At(size_t r, size_t c) {
+  CG_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Matrix::At(size_t r, size_t c) const {
+  CG_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::Fill(float value) {
+  for (auto& v : data_) {
+    v = value;
+  }
+}
+
+void Matrix::Reshape(size_t rows, size_t cols) {
+  CG_CHECK(rows * cols == data_.size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::Scale(float s) {
+  for (auto& v : data_) {
+    v *= s;
+  }
+}
+
+void Matrix::Add(const Matrix& other) {
+  CG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  CG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) {
+    acc += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return acc;
+}
+
+void Matrix::RandomUniform(Rng& rng, float bound) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Plain kernels, all with a stride-1 inner loop over the output columns (or a
+// stride-1 dot product). A is m x k, B is k x n, C is m x n after op().
+
+void GemmNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.Rows();
+  const size_t k = a.Cols();
+  const size_t n = b.Cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* c_row = c->Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = alpha * a_row[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b.Row(p);
+      for (size_t j = 0; j < n; ++j) {
+        c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  // C(i,j) += alpha * sum_p A(p,i) * B(p,j).
+  const size_t m = a.Cols();
+  const size_t k = a.Rows();
+  const size_t n = b.Cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* a_row = a.Row(p);
+    const float* b_row = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = alpha * a_row[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* c_row = c->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        c_row[j] += av * b_row[j];
+      }
+    }
+  }
+  (void)m;
+}
+
+void GemmNT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  // C(i,j) += alpha * dot(A.row(i), B.row(j)).
+  const size_t m = a.Rows();
+  const size_t k = a.Cols();
+  const size_t n = b.Rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* c_row = c->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b.Row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+void GemmTT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  // Rare path: materialize A^T and reuse the NT kernel.
+  const Matrix at = a.Transposed();
+  GemmNT(alpha, at, b, c);
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix* c) {
+  CG_CHECK(c != nullptr);
+  const size_t m = trans_a ? a.Cols() : a.Rows();
+  const size_t ka = trans_a ? a.Rows() : a.Cols();
+  const size_t kb = trans_b ? b.Cols() : b.Rows();
+  const size_t n = trans_b ? b.Rows() : b.Cols();
+  CG_CHECK_MSG(ka == kb, "Gemm inner-dimension mismatch");
+  CG_CHECK_MSG(c->Rows() == m && c->Cols() == n, "Gemm output shape mismatch");
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    c->Scale(beta);
+  }
+  if (!trans_a && !trans_b) {
+    GemmNN(alpha, a, b, c);
+  } else if (trans_a && !trans_b) {
+    GemmTN(alpha, a, b, c);
+  } else if (!trans_a && trans_b) {
+    GemmNT(alpha, a, b, c);
+  } else {
+    GemmTT(alpha, a, b, c);
+  }
+}
+
+std::vector<float> RowSums(const Matrix& m) {
+  std::vector<float> sums(m.Rows(), 0.0f);
+  for (size_t r = 0; r < m.Rows(); ++r) {
+    const float* row = m.Row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < m.Cols(); ++c) {
+      acc += row[c];
+    }
+    sums[r] = acc;
+  }
+  return sums;
+}
+
+void AddRowBroadcast(Matrix* m, const std::vector<float>& bias) {
+  CG_CHECK(m != nullptr);
+  CG_CHECK(bias.size() == m->Cols());
+  for (size_t r = 0; r < m->Rows(); ++r) {
+    float* row = m->Row(r);
+    for (size_t c = 0; c < m->Cols(); ++c) {
+      row[c] += bias[c];
+    }
+  }
+}
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  const uint64_t rows = m.Rows();
+  const uint64_t cols = m.Cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.Data()),
+            static_cast<std::streamsize>(sizeof(float) * m.Size()));
+}
+
+Matrix ReadMatrix(std::istream& in) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  CG_CHECK_MSG(static_cast<bool>(in), "ReadMatrix: truncated header");
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.Data()),
+          static_cast<std::streamsize>(sizeof(float) * m.Size()));
+  CG_CHECK_MSG(static_cast<bool>(in), "ReadMatrix: truncated payload");
+  return m;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,93 @@
+// Dense row-major float matrix — the numeric workhorse under the neural
+// network library. Single precision is used throughout the NN stack (as in
+// the paper's PyTorch implementation); the GLM library uses double-precision
+// linear algebra of its own because IRLS is more sensitive to conditioning.
+#ifndef SRC_TENSOR_MATRIX_H_
+#define SRC_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace cloudgen {
+
+class Rng;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols);
+  Matrix(size_t rows, size_t cols, float fill);
+
+  size_t Rows() const { return rows_; }
+  size_t Cols() const { return cols_; }
+  size_t Size() const { return data_.size(); }
+  bool Empty() const { return data_.empty(); }
+
+  float* Data() { return data_.data(); }
+  const float* Data() const { return data_.data(); }
+
+  float& At(size_t r, size_t c);
+  float At(size_t r, size_t c) const;
+  // Unchecked access for hot loops.
+  float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  // Reshapes in place; total element count must be preserved.
+  void Reshape(size_t rows, size_t cols);
+
+  // Resizes, discarding contents (zero-filled).
+  void Resize(size_t rows, size_t cols);
+
+  // In-place scaling: *this *= s.
+  void Scale(float s);
+  // In-place accumulate: *this += other (same shape).
+  void Add(const Matrix& other);
+  // In-place axpy: *this += alpha * other (same shape).
+  void Axpy(float alpha, const Matrix& other);
+
+  // Sum of squared elements.
+  double SquaredNorm() const;
+
+  // Fills with Uniform(-bound, bound) — used for NN initialization.
+  void RandomUniform(Rng& rng, float bound);
+
+  Matrix Transposed() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// C = alpha * op(A) * op(B) + beta * C, where op is optional transposition.
+// Shapes are validated with CG_CHECK. The kernel uses i-k-j loop order with the
+// transposed operands materialized on the fly only when needed for stride-1
+// inner loops (all four transpose combinations are stride-1 friendly).
+void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix* c);
+
+// out[r] = sum_c m(r, c) — row sums into a vector of length Rows().
+std::vector<float> RowSums(const Matrix& m);
+
+// Adds `bias` (length Cols()) to every row of `m`.
+void AddRowBroadcast(Matrix* m, const std::vector<float>& bias);
+
+// Binary serialization (shape + raw floats).
+void WriteMatrix(std::ostream& out, const Matrix& m);
+Matrix ReadMatrix(std::istream& in);
+
+}  // namespace cloudgen
+
+#endif  // SRC_TENSOR_MATRIX_H_

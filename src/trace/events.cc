@@ -1,0 +1,57 @@
+#include "src/trace/events.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+std::vector<Event> BuildEventStream(const Trace& trace, Rng& rng) {
+  std::vector<Event> events;
+  events.reserve(trace.NumJobs() * 2);
+
+  // Arrivals: evenly spaced across each period in trace order.
+  std::unordered_map<int64_t, size_t> arrivals_in_period;
+  for (const Job& job : trace.Jobs()) {
+    ++arrivals_in_period[job.start_period];
+  }
+  std::unordered_map<int64_t, size_t> emitted_in_period;
+  for (size_t i = 0; i < trace.Jobs().size(); ++i) {
+    const Job& job = trace.Jobs()[i];
+    const size_t total = arrivals_in_period[job.start_period];
+    const size_t position = emitted_in_period[job.start_period]++;
+    const double offset = static_cast<double>(kSecondsPerPeriod) *
+                          (static_cast<double>(position) + 0.5) / static_cast<double>(total);
+    Event event;
+    event.time_seconds =
+        static_cast<double>(job.start_period) * kSecondsPerPeriod + offset;
+    event.kind = EventKind::kArrival;
+    event.job_index = i;
+    events.push_back(event);
+
+    if (!job.censored) {
+      Event departure;
+      departure.time_seconds = static_cast<double>(job.end_period) * kSecondsPerPeriod +
+                               rng.Uniform(0.0, static_cast<double>(kSecondsPerPeriod));
+      departure.kind = EventKind::kDeparture;
+      departure.job_index = i;
+      // Guarantee a departure never precedes its own arrival.
+      departure.time_seconds = std::max(departure.time_seconds, event.time_seconds + 1e-6);
+      events.push_back(departure);
+    }
+  }
+
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time_seconds != b.time_seconds) {
+      return a.time_seconds < b.time_seconds;
+    }
+    if (a.kind != b.kind) {
+      return a.kind == EventKind::kArrival;
+    }
+    return a.job_index < b.job_index;
+  });
+  return events;
+}
+
+}  // namespace cloudgen

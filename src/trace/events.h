@@ -1,0 +1,35 @@
+// Conversion of a period-quantized trace into a fine-grained event stream for
+// scheduling experiments (§2.4, §6.2).
+//
+// Arrivals within a period are spread across the 5-minute interval in their
+// generative (trace) order; departures are placed uniformly at random within
+// their period and interleaved with the arrivals.
+#ifndef SRC_TRACE_EVENTS_H_
+#define SRC_TRACE_EVENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+class Rng;
+
+enum class EventKind { kArrival, kDeparture };
+
+struct Event {
+  double time_seconds = 0.0;
+  EventKind kind = EventKind::kArrival;
+  size_t job_index = 0;  // Index into the source trace's Jobs().
+};
+
+// Builds the time-sorted event stream. Censored jobs get no departure event.
+// Ties are broken arrival-before-departure at identical timestamps, then by
+// job index, so streams are deterministic given the Rng state.
+std::vector<Event> BuildEventStream(const Trace& trace, Rng& rng);
+
+}  // namespace cloudgen
+
+#endif  // SRC_TRACE_EVENTS_H_

@@ -1,0 +1,115 @@
+#include "src/trace/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+std::vector<double> TotalCpusPerPeriod(const std::vector<Job>& jobs,
+                                       const FlavorCatalog& flavors, int64_t from, int64_t to) {
+  CG_CHECK(to >= from);
+  const auto periods = static_cast<size_t>(to - from);
+  // Difference array over [from, to].
+  std::vector<double> delta(periods + 1, 0.0);
+  for (const Job& job : jobs) {
+    const double cpus = flavors.at(static_cast<size_t>(job.flavor)).cpus;
+    // Occupied periods: [start, end) — censored jobs keep running through the
+    // horizon since their true end is unknown.
+    const int64_t begin = std::max(job.start_period, from);
+    const int64_t end = job.censored ? to : std::min(job.end_period, to);
+    if (begin >= end) {
+      continue;
+    }
+    delta[static_cast<size_t>(begin - from)] += cpus;
+    delta[static_cast<size_t>(end - from)] -= cpus;
+  }
+  std::vector<double> totals(periods, 0.0);
+  double acc = 0.0;
+  for (size_t p = 0; p < periods; ++p) {
+    acc += delta[p];
+    totals[p] = acc;
+  }
+  return totals;
+}
+
+std::vector<double> TotalCpusPerPeriod(const Trace& trace, int64_t from, int64_t to) {
+  return TotalCpusPerPeriod(trace.Jobs(), trace.Flavors(), from, to);
+}
+
+std::vector<double> FlavorCounts(const Trace& trace) {
+  std::vector<double> counts(trace.NumFlavors(), 0.0);
+  for (const Job& job : trace.Jobs()) {
+    counts[static_cast<size_t>(job.flavor)] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> BatchSizeCounts(const Trace& trace) {
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  size_t max_size = 0;
+  for (const auto& period : periods) {
+    for (const auto& batch : period.batches) {
+      max_size = std::max(max_size, batch.job_indices.size());
+    }
+  }
+  std::vector<double> counts(max_size + 1, 0.0);
+  for (const auto& period : periods) {
+    for (const auto& batch : period.batches) {
+      counts[batch.job_indices.size()] += 1.0;
+    }
+  }
+  return counts;
+}
+
+double CensoredFraction(const Trace& trace) {
+  if (trace.NumJobs() == 0) {
+    return 0.0;
+  }
+  size_t censored = 0;
+  for (const Job& job : trace.Jobs()) {
+    if (job.censored) {
+      ++censored;
+    }
+  }
+  return static_cast<double>(censored) / static_cast<double>(trace.NumJobs());
+}
+
+TraceSummary Summarize(const Trace& trace) {
+  TraceSummary summary;
+  summary.num_jobs = trace.NumJobs();
+  summary.window_days =
+      static_cast<double>(trace.WindowPeriods()) / static_cast<double>(kPeriodsPerDay);
+  summary.censored_fraction = CensoredFraction(trace);
+
+  std::unordered_set<int64_t> users;
+  double lifetime_sum = 0.0;
+  size_t lifetime_count = 0;
+  for (const Job& job : trace.Jobs()) {
+    users.insert(job.user);
+    if (!job.censored) {
+      lifetime_sum += job.LifetimeSeconds();
+      ++lifetime_count;
+    }
+  }
+  summary.num_users = users.size();
+  summary.mean_lifetime_hours =
+      lifetime_count > 0 ? lifetime_sum / static_cast<double>(lifetime_count) / 3600.0 : 0.0;
+
+  const int64_t periods = trace.WindowPeriods();
+  if (periods > 0) {
+    summary.mean_jobs_per_period =
+        static_cast<double>(trace.NumJobs()) / static_cast<double>(periods);
+    const std::vector<PeriodBatches> batches = BuildBatches(trace);
+    size_t total_batches = 0;
+    for (const auto& period : batches) {
+      total_batches += period.batches.size();
+    }
+    summary.mean_batches_per_period =
+        static_cast<double>(total_batches) / static_cast<double>(periods);
+  }
+  return summary;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,50 @@
+// Trace summary statistics used by Table 1, capacity planning and the
+// visualizer: per-period counts, total resource usage over time, flavor
+// frequency, batch-size distribution, and censoring rate.
+#ifndef SRC_TRACE_STATS_H_
+#define SRC_TRACE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+// Total CPUs in use at each period of [from, to). A job occupies CPUs for
+// periods [start_period, end_period); censored jobs occupy through `to`
+// (they are known to still be running at their censor time only if the censor
+// time is >= `to`; otherwise occupancy beyond the censor time is unknown and
+// we keep them running — the standard convention when replaying demand).
+std::vector<double> TotalCpusPerPeriod(const Trace& trace, int64_t from, int64_t to);
+
+// As above but every job's demand is taken from `jobs` directly; used to add
+// the carry-over VMs running at the start of a test window.
+std::vector<double> TotalCpusPerPeriod(const std::vector<Job>& jobs,
+                                       const FlavorCatalog& flavors, int64_t from, int64_t to);
+
+// Empirical flavor distribution (counts, length = catalog size).
+std::vector<double> FlavorCounts(const Trace& trace);
+
+// Batch-size histogram: result[s] = number of batches with s jobs (index 0
+// unused).
+std::vector<double> BatchSizeCounts(const Trace& trace);
+
+// Fraction of jobs marked censored.
+double CensoredFraction(const Trace& trace);
+
+struct TraceSummary {
+  size_t num_jobs = 0;
+  size_t num_users = 0;
+  double window_days = 0.0;
+  double censored_fraction = 0.0;
+  double mean_jobs_per_period = 0.0;
+  double mean_batches_per_period = 0.0;
+  double mean_lifetime_hours = 0.0;  // Over uncensored jobs.
+};
+TraceSummary Summarize(const Trace& trace);
+
+}  // namespace cloudgen
+
+#endif  // SRC_TRACE_STATS_H_

@@ -1,0 +1,125 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+Trace::Trace(FlavorCatalog flavors, int64_t window_start, int64_t window_end)
+    : flavors_(std::move(flavors)), window_start_(window_start), window_end_(window_end) {
+  CG_CHECK(window_end >= window_start);
+  for (size_t i = 0; i < flavors_.size(); ++i) {
+    CG_CHECK_MSG(flavors_[i].id == static_cast<int32_t>(i), "flavor ids must be 0..K-1");
+  }
+}
+
+void Trace::Add(const Job& job) {
+  CG_CHECK(job.flavor >= 0 && static_cast<size_t>(job.flavor) < flavors_.size());
+  CG_CHECK(job.end_period >= job.start_period);
+  jobs_.push_back(job);
+}
+
+void Trace::NormalizeOrder() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.start_period < b.start_period; });
+}
+
+Trace ApplyObservationWindow(const Trace& trace, int64_t start, int64_t end,
+                             int64_t censor_horizon) {
+  CG_CHECK(end > start);
+  CG_CHECK(censor_horizon >= end);
+  Trace out(trace.Flavors(), start, end);
+  for (const Job& job : trace.Jobs()) {
+    if (job.start_period < start || job.start_period >= end) {
+      continue;
+    }
+    Job copy = job;
+    if (copy.censored) {
+      // Already-censored input (e.g. from a previous windowing); re-censor if
+      // the new horizon is earlier.
+      if (copy.end_period > censor_horizon) {
+        copy.end_period = censor_horizon;
+      }
+    } else if (copy.end_period > censor_horizon) {
+      copy.end_period = censor_horizon;
+      copy.censored = true;
+    }
+    out.Add(copy);
+  }
+  return out;
+}
+
+TraceSplits SplitTrace(const Trace& trace, int64_t train_end, int64_t dev_end,
+                       int64_t test_censor_horizon) {
+  CG_CHECK(train_end > trace.WindowStart());
+  CG_CHECK(dev_end > train_end);
+  CG_CHECK(trace.WindowEnd() > dev_end);
+  TraceSplits splits;
+  splits.train = ApplyObservationWindow(trace, trace.WindowStart(), train_end, train_end);
+  splits.dev = ApplyObservationWindow(trace, train_end, dev_end, dev_end);
+  splits.test =
+      ApplyObservationWindow(trace, dev_end, trace.WindowEnd(), test_censor_horizon);
+  return splits;
+}
+
+size_t PeriodBatches::TotalJobs() const {
+  size_t total = 0;
+  for (const Batch& batch : batches) {
+    total += batch.job_indices.size();
+  }
+  return total;
+}
+
+std::vector<PeriodBatches> BuildBatches(const Trace& trace) {
+  const int64_t start = trace.WindowStart();
+  const int64_t periods = trace.WindowPeriods();
+  std::vector<PeriodBatches> out(static_cast<size_t>(periods));
+  for (int64_t p = 0; p < periods; ++p) {
+    out[static_cast<size_t>(p)].period = start + p;
+  }
+  // Within a period, a user's jobs form one batch; batches are ordered by the
+  // first arrival of each user in that period. Jobs are already in arrival
+  // order within the trace.
+  std::unordered_map<int64_t, size_t> user_to_batch;
+  int64_t current_period = -1;
+  for (size_t i = 0; i < trace.Jobs().size(); ++i) {
+    const Job& job = trace.Jobs()[i];
+    CG_CHECK_MSG(job.start_period >= start && job.start_period < trace.WindowEnd(),
+                 "job outside trace window");
+    CG_CHECK_MSG(job.start_period >= current_period, "jobs must be ordered by start period");
+    if (job.start_period != current_period) {
+      current_period = job.start_period;
+      user_to_batch.clear();
+    }
+    auto& period_entry = out[static_cast<size_t>(job.start_period - start)];
+    const auto it = user_to_batch.find(job.user);
+    if (it == user_to_batch.end()) {
+      user_to_batch.emplace(job.user, period_entry.batches.size());
+      period_entry.batches.push_back(Batch{job.user, {i}});
+    } else {
+      period_entry.batches[it->second].job_indices.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<double> BatchCountsPerPeriod(const Trace& trace) {
+  const std::vector<PeriodBatches> batches = BuildBatches(trace);
+  std::vector<double> counts(batches.size(), 0.0);
+  for (size_t p = 0; p < batches.size(); ++p) {
+    counts[p] = static_cast<double>(batches[p].batches.size());
+  }
+  return counts;
+}
+
+std::vector<double> JobCountsPerPeriod(const Trace& trace) {
+  std::vector<double> counts(static_cast<size_t>(trace.WindowPeriods()), 0.0);
+  for (const Job& job : trace.Jobs()) {
+    counts[static_cast<size_t>(job.start_period - trace.WindowStart())] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,120 @@
+// Core workload-trace data model (§2, §3).
+//
+// A trace is an ordered list of jobs (VMs): start period, end period, flavor
+// and user. Timestamps are quantized to 5-minute periods as in the Azure
+// public dataset; the order of jobs within a period reflects true arrival
+// order. Right-censoring is explicit: a censored job's end_period records the
+// censoring time (end of the observation window) and `censored` is set.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/glm/features.h"  // kSecondsPerPeriod / kPeriodsPerDay.
+
+namespace cloudgen {
+
+// A VM flavor: a named bundle of resources.
+struct Flavor {
+  int32_t id = 0;
+  double cpus = 0.0;
+  double memory_gb = 0.0;
+  std::string name;
+};
+
+using FlavorCatalog = std::vector<Flavor>;
+
+struct Job {
+  int64_t start_period = 0;
+  int64_t end_period = 0;  // End (exclusive of runtime beyond); == censor time if censored.
+  int32_t flavor = 0;
+  int64_t user = 0;
+  bool censored = false;
+
+  // Observed lifetime in seconds (full lifetime if uncensored; time observed
+  // so far if censored).
+  double LifetimeSeconds() const {
+    return static_cast<double>(end_period - start_period) * kSecondsPerPeriod;
+  }
+};
+
+// An ordered job list plus the flavor catalog and observation window.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(FlavorCatalog flavors, int64_t window_start, int64_t window_end);
+
+  const FlavorCatalog& Flavors() const { return flavors_; }
+  size_t NumFlavors() const { return flavors_.size(); }
+  int64_t WindowStart() const { return window_start_; }
+  int64_t WindowEnd() const { return window_end_; }
+  int64_t WindowPeriods() const { return window_end_ - window_start_; }
+
+  const std::vector<Job>& Jobs() const { return jobs_; }
+  std::vector<Job>& MutableJobs() { return jobs_; }
+  size_t NumJobs() const { return jobs_.size(); }
+
+  // Appends a job; jobs must be appended in arrival order.
+  void Add(const Job& job);
+
+  // Sorts jobs by (start_period, original order) — a stable normalization for
+  // traces assembled out of order.
+  void NormalizeOrder();
+
+ private:
+  FlavorCatalog flavors_;
+  std::vector<Job> jobs_;
+  int64_t window_start_ = 0;
+  int64_t window_end_ = 0;
+};
+
+// Restricts `trace` to the observation window [start, end):
+//  * jobs starting before `start` are dropped (avoids survivorship bias, §3.1)
+//  * jobs starting at/after `end` are dropped
+//  * jobs still running at `end` are right-censored at `end`
+// `censor_horizon` optionally extends censoring beyond the window end (the
+// Huawei test-set protocol of §3.2: keep observing terminations for a while,
+// then censor); pass `end` for the plain protocol.
+Trace ApplyObservationWindow(const Trace& trace, int64_t start, int64_t end,
+                             int64_t censor_horizon);
+
+// Train/dev/test split by period boundaries; each split is independently
+// censored at its own window end (Figure 3), except the test window which may
+// use a later censor horizon.
+struct TraceSplits {
+  Trace train;
+  Trace dev;
+  Trace test;
+};
+TraceSplits SplitTrace(const Trace& trace, int64_t train_end, int64_t dev_end,
+                       int64_t test_censor_horizon);
+
+// Jobs of one user within one period, in arrival order (§2: a "batch").
+struct Batch {
+  int64_t user = 0;
+  std::vector<size_t> job_indices;  // Indices into the source trace's Jobs().
+};
+
+// All batches of one period, ordered by the arrival of each batch's first job.
+struct PeriodBatches {
+  int64_t period = 0;
+  std::vector<Batch> batches;
+
+  size_t TotalJobs() const;
+};
+
+// Groups a trace into per-period user batches; periods with no arrivals are
+// included (empty batch lists) so arrival counts can be read densely.
+std::vector<PeriodBatches> BuildBatches(const Trace& trace);
+
+// Number of batch arrivals per period over the trace window (dense).
+std::vector<double> BatchCountsPerPeriod(const Trace& trace);
+// Number of job arrivals per period over the trace window (dense).
+std::vector<double> JobCountsPerPeriod(const Trace& trace);
+
+}  // namespace cloudgen
+
+#endif  // SRC_TRACE_TRACE_H_

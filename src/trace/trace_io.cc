@@ -1,0 +1,80 @@
+#include "src/trace/trace_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/util/check.h"
+#include "src/util/csv.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+
+bool WriteTraceCsv(const Trace& trace, const std::string& jobs_path,
+                   const std::string& flavors_path) {
+  {
+    CsvWriter flavors(flavors_path, {"id", "name", "cpus", "memory_gb"});
+    if (!flavors.Ok()) {
+      return false;
+    }
+    for (const Flavor& flavor : trace.Flavors()) {
+      flavors.WriteRow({std::to_string(flavor.id), flavor.name,
+                        StrFormat("%.3f", flavor.cpus), StrFormat("%.3f", flavor.memory_gb)});
+    }
+  }
+  CsvWriter jobs(jobs_path, {"start_period", "end_period", "flavor", "user", "censored"});
+  if (!jobs.Ok()) {
+    return false;
+  }
+  for (const Job& job : trace.Jobs()) {
+    jobs.WriteRow({std::to_string(job.start_period), std::to_string(job.end_period),
+                   std::to_string(job.flavor), std::to_string(job.user),
+                   job.censored ? "1" : "0"});
+  }
+  return true;
+}
+
+bool ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
+                  int64_t window_start, int64_t window_end, Trace* out) {
+  CG_CHECK(out != nullptr);
+  FlavorCatalog catalog;
+  {
+    CsvReader flavors(flavors_path);
+    if (!flavors.Ok()) {
+      return false;
+    }
+    std::vector<std::string> row;
+    while (flavors.ReadRow(&row)) {
+      Flavor flavor;
+      flavor.id = static_cast<int32_t>(std::strtol(row[0].c_str(), nullptr, 10));
+      flavor.name = row[1];
+      flavor.cpus = std::strtod(row[2].c_str(), nullptr);
+      flavor.memory_gb = std::strtod(row[3].c_str(), nullptr);
+      catalog.push_back(flavor);
+    }
+  }
+  CsvReader jobs(jobs_path);
+  if (!jobs.Ok()) {
+    return false;
+  }
+  std::vector<Job> parsed;
+  int64_t max_start = window_start;
+  std::vector<std::string> row;
+  while (jobs.ReadRow(&row)) {
+    Job job;
+    job.start_period = std::strtoll(row[0].c_str(), nullptr, 10);
+    job.end_period = std::strtoll(row[1].c_str(), nullptr, 10);
+    job.flavor = static_cast<int32_t>(std::strtol(row[2].c_str(), nullptr, 10));
+    job.user = std::strtoll(row[3].c_str(), nullptr, 10);
+    job.censored = row[4] == "1";
+    parsed.push_back(job);
+    max_start = std::max(max_start, job.start_period);
+  }
+  const int64_t end = window_end >= 0 ? window_end : max_start + 1;
+  *out = Trace(std::move(catalog), window_start, end);
+  for (const Job& job : parsed) {
+    out->Add(job);
+  }
+  return true;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,26 @@
+// CSV import/export of traces, in a vmtable-like schema:
+//   start_period,end_period,flavor,user,censored
+// plus a flavor catalog file:
+//   id,name,cpus,memory_gb
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+// Writes the jobs and catalog; returns false on I/O failure.
+bool WriteTraceCsv(const Trace& trace, const std::string& jobs_path,
+                   const std::string& flavors_path);
+
+// Reads a trace previously written by WriteTraceCsv. The window is inferred
+// as [min start, max(start)+1) unless explicit bounds are given (pass
+// window_end = -1 to infer).
+bool ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
+                  int64_t window_start, int64_t window_end, Trace* out);
+
+}  // namespace cloudgen
+
+#endif  // SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,45 @@
+// Invariant-checking macros used across the cloudgen libraries.
+//
+// CG_CHECK is active in all build modes (it guards API misuse and data invariants
+// whose violation would make results silently wrong). CG_DCHECK compiles away in
+// NDEBUG builds and is for hot-path sanity checks.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cloudgen {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CG_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace cloudgen
+
+#define CG_CHECK(cond) \
+  do { \
+    if (!(cond)) { \
+      ::cloudgen::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    } \
+  } while (0)
+
+#define CG_CHECK_MSG(cond, msg) \
+  do { \
+    if (!(cond)) { \
+      ::cloudgen::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    } \
+  } while (0)
+
+#ifdef NDEBUG
+#define CG_DCHECK(cond) \
+  do { \
+  } while (0)
+#else
+#define CG_DCHECK(cond) CG_CHECK(cond)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,56 @@
+#include "src/util/csv.h"
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  CG_CHECK(!header.empty());
+  if (out_) {
+    out_ << Join(header, ",") << '\n';
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  CG_CHECK_MSG(fields.size() == arity_, "CSV row arity mismatch");
+  out_ << Join(fields, ",") << '\n';
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path) {
+  if (!in_) {
+    return;
+  }
+  std::string line;
+  if (!std::getline(in_, line)) {
+    return;
+  }
+  header_ = Split(line, ',');
+  ok_ = true;
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>* fields) {
+  CG_CHECK(fields != nullptr);
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    *fields = Split(line, ',');
+    CG_CHECK_MSG(fields->size() == header_.size(), "CSV row arity mismatch");
+    return true;
+  }
+  return false;
+}
+
+int CsvReader::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace cloudgen

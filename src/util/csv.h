@@ -1,0 +1,52 @@
+// Minimal CSV reader/writer for trace import/export. Supports plain comma
+// separation (no quoting — trace files never contain embedded commas) plus a
+// header row, which is enough for vmtable-style files.
+#ifndef SRC_UTIL_CSV_H_
+#define SRC_UTIL_CSV_H_
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cloudgen {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Check Ok() afterwards.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool Ok() const { return static_cast<bool>(out_); }
+
+  // Writes one row; must have the same arity as the header.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ofstream out_;
+  size_t arity_;
+};
+
+class CsvReader {
+ public:
+  // Opens `path` and reads the header row. Check Ok() afterwards.
+  explicit CsvReader(const std::string& path);
+
+  bool Ok() const { return ok_; }
+  const std::vector<std::string>& Header() const { return header_; }
+
+  // Reads the next row into `fields`; returns false at EOF. Rows with a
+  // different arity than the header are rejected via CG_CHECK.
+  bool ReadRow(std::vector<std::string>* fields);
+
+  // Index of a named column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+ private:
+  std::ifstream in_;
+  bool ok_ = false;
+  std::vector<std::string> header_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_CSV_H_

@@ -1,0 +1,67 @@
+#include "src/util/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cloudgen {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("CLOUDGEN_LOG");
+  if (env == nullptr) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "off") == 0) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kInfo;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(MutableLevel())) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace cloudgen

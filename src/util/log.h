@@ -1,0 +1,26 @@
+// Lightweight leveled logging to stderr. Experiments use INFO for progress
+// lines; set CLOUDGEN_LOG=debug|info|warn|error|off to adjust verbosity.
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <string>
+
+namespace cloudgen {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Current threshold; initialized from the CLOUDGEN_LOG environment variable.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Writes "[LEVEL] message\n" to stderr when `level` >= the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+}  // namespace cloudgen
+
+#define CG_LOG_DEBUG(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kDebug, (msg))
+#define CG_LOG_INFO(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kInfo, (msg))
+#define CG_LOG_WARN(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kWarn, (msg))
+#define CG_LOG_ERROR(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kError, (msg))
+
+#endif  // SRC_UTIL_LOG_H_

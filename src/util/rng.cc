@@ -1,0 +1,252 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 for seeding, as recommended by the xoshiro authors.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(x);
+  }
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+void Rng::Jump() {
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+                                       0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  uint64_t s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ull << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+Rng Rng::Fork() {
+  Rng child = *this;
+  child.has_cached_normal_ = false;
+  Jump();
+  return child;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  CG_CHECK(n > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    const uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CG_CHECK(lo <= hi);
+  const auto span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= std::numeric_limits<double>::min()) {
+    u1 = NextDouble();
+  }
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+double Rng::Exponential(double rate) {
+  CG_CHECK(rate > 0.0);
+  double u = NextDouble();
+  while (u <= 0.0) {
+    u = NextDouble();
+  }
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::Poisson(double mu) {
+  CG_CHECK(mu >= 0.0);
+  if (mu == 0.0) {
+    return 0;
+  }
+  if (mu < 10.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mu);
+    double prod = NextDouble();
+    int64_t n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+  // PTRS: transformed rejection with squeeze (Hörmann 1993).
+  const double b = 0.931 + 2.53 * std::sqrt(mu);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  while (true) {
+    const double u = NextDouble() - 0.5;
+    const double v = NextDouble();
+    const double us = 0.5 - std::fabs(u);
+    const auto k = static_cast<int64_t>(std::floor((2.0 * a / us + b) * u + mu + 0.43));
+    if (us >= 0.07 && v <= v_r) {
+      return k;
+    }
+    if (k < 0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    const double log_mu = std::log(mu);
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * log_mu - mu - std::lgamma(static_cast<double>(k) + 1.0)) {
+      return k;
+    }
+  }
+}
+
+int64_t Rng::Geometric(double p) {
+  CG_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) {
+    return 0;
+  }
+  double u = NextDouble();
+  while (u <= 0.0) {
+    u = NextDouble();
+  }
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  CG_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CG_DCHECK(w >= 0.0);
+    total += w;
+  }
+  CG_CHECK_MSG(total > 0.0, "Categorical requires a positive total weight");
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  // Floating-point underflow: return the last index with positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::CategoricalFromCdf(const std::vector<double>& cdf) {
+  CG_CHECK(!cdf.empty());
+  const double total = cdf.back();
+  CG_CHECK_MSG(total > 0.0, "CategoricalFromCdf requires a positive total weight");
+  const double target = NextDouble() * total;
+  size_t lo = 0;
+  size_t hi = cdf.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf[mid] <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<double> BuildCdf(const std::vector<double>& weights) {
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    CG_CHECK(weights[i] >= 0.0);
+    acc += weights[i];
+    cdf[i] = acc;
+  }
+  return cdf;
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,104 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - m) * (v - m);
+  }
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) { return std::sqrt(Variance(values)); }
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  CG_CHECK(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+Interval PredictionInterval(std::vector<double> samples, double coverage) {
+  CG_CHECK(coverage > 0.0 && coverage < 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double tail = (1.0 - coverage) / 2.0;
+  return Interval{QuantileSorted(samples, tail), QuantileSorted(samples, 1.0 - tail)};
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CG_CHECK(bins > 0);
+  CG_CHECK(hi > lo);
+}
+
+void Histogram::Add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<long>(std::floor((value - lo_) / width));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::Proportion(size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,28 @@
+// Small string helpers shared across modules (CSV, logging, table printing).
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudgen {
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins elements with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,26 @@
+// Wall-clock timer for progress reporting in training loops and benches.
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cloudgen {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_TIMER_H_

@@ -1,0 +1,120 @@
+#include "src/viz/trace_viz.h"
+
+#include <array>
+#include <fstream>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+// A qualitative palette; flavors cycle through it.
+constexpr std::array<std::array<uint8_t, 3>, 12> kPalette = {{
+    {230, 25, 75},   {60, 180, 75},   {255, 225, 25}, {0, 130, 200},
+    {245, 130, 48},  {145, 30, 180},  {70, 240, 240}, {240, 50, 230},
+    {210, 245, 60},  {250, 190, 190}, {0, 128, 128},  {170, 110, 40},
+}};
+
+const std::array<uint8_t, 3>& FlavorColor(int32_t flavor) {
+  return kPalette[static_cast<size_t>(flavor) % kPalette.size()];
+}
+
+size_t CellWidth(size_t bin, const VizOptions& options) {
+  return 1 + bin / std::max<size_t>(1, options.bin_width_divisor);
+}
+
+int64_t EffectiveEnd(const Trace& trace, const VizOptions& options) {
+  return options.to_period > options.from_period ? options.to_period : trace.WindowEnd();
+}
+
+}  // namespace
+
+std::string RenderAnsi(const Trace& trace, const LifetimeBinning& binning,
+                       const VizOptions& options) {
+  const int64_t from = options.from_period;
+  const int64_t to = EffectiveEnd(trace, options);
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  std::string out;
+  for (const PeriodBatches& period : periods) {
+    if (period.period < from || period.period >= to) {
+      continue;
+    }
+    size_t cells = 0;
+    out += StrFormat("%6lld |", static_cast<long long>(period.period));
+    for (const Batch& batch : period.batches) {
+      if (cells >= options.max_row_cells) {
+        break;
+      }
+      for (size_t idx : batch.job_indices) {
+        const Job& job = trace.Jobs()[idx];
+        const size_t bin = binning.BinOf(job.LifetimeSeconds());
+        const auto& rgb = FlavorColor(job.flavor);
+        const size_t width = CellWidth(bin, options);
+        out += StrFormat("\x1b[48;2;%d;%d;%dm", rgb[0], rgb[1], rgb[2]);
+        for (size_t w = 0; w < width && cells < options.max_row_cells; ++w) {
+          out += ' ';
+          ++cells;
+        }
+        out += "\x1b[0m";
+        if (cells >= options.max_row_cells) {
+          break;
+        }
+      }
+      out += ' ';  // Batch separator.
+      ++cells;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool WritePpm(const Trace& trace, const LifetimeBinning& binning, const VizOptions& options,
+              const std::string& path, size_t row_height) {
+  const int64_t from = options.from_period;
+  const int64_t to = EffectiveEnd(trace, options);
+  CG_CHECK(to > from);
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  const size_t width = options.max_row_cells;
+  const auto num_rows = static_cast<size_t>(to - from);
+
+  std::vector<uint8_t> image(width * num_rows * row_height * 3, 255);
+  for (const PeriodBatches& period : periods) {
+    if (period.period < from || period.period >= to) {
+      continue;
+    }
+    const auto row = static_cast<size_t>(period.period - from);
+    size_t x = 0;
+    for (const Batch& batch : period.batches) {
+      for (size_t idx : batch.job_indices) {
+        if (x >= width) {
+          break;
+        }
+        const Job& job = trace.Jobs()[idx];
+        const size_t bin = binning.BinOf(job.LifetimeSeconds());
+        const auto& rgb = FlavorColor(job.flavor);
+        const size_t cell_width = CellWidth(bin, options);
+        for (size_t w = 0; w < cell_width && x < width; ++w, ++x) {
+          for (size_t h = 0; h < row_height; ++h) {
+            const size_t pixel = ((row * row_height + h) * width + x) * 3;
+            image[pixel] = rgb[0];
+            image[pixel + 1] = rgb[1];
+            image[pixel + 2] = rgb[2];
+          }
+        }
+      }
+      x += 1;  // Batch separator (white).
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << "P6\n" << width << ' ' << num_rows * row_height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,37 @@
+// Fig.-1-style workload visualization: one row per 5-minute period; each VM
+// is drawn as a block whose color encodes the flavor and whose width encodes
+// the lifetime (compressed to the discrete bin index); batches within a
+// period are separated by a gap. Rendered as ANSI-colored terminal text or a
+// PPM image.
+#ifndef SRC_VIZ_TRACE_VIZ_H_
+#define SRC_VIZ_TRACE_VIZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/survival/binning.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+
+struct VizOptions {
+  int64_t from_period = 0;
+  int64_t to_period = 0;   // Exclusive; 0 → the trace's full window.
+  size_t max_row_cells = 160;  // Truncate rows beyond this many cells.
+  // Lifetime-bin width divisor: cell width = 1 + bin / divisor.
+  size_t bin_width_divisor = 8;
+};
+
+// ANSI-colored text rendering (for terminals).
+std::string RenderAnsi(const Trace& trace, const LifetimeBinning& binning,
+                       const VizOptions& options);
+
+// PPM (P6) image rendering; each period is one pixel row scaled vertically by
+// `row_height`. Returns false on I/O failure.
+bool WritePpm(const Trace& trace, const LifetimeBinning& binning, const VizOptions& options,
+              const std::string& path, size_t row_height = 3);
+
+}  // namespace cloudgen
+
+#endif  // SRC_VIZ_TRACE_VIZ_H_

@@ -1,0 +1,115 @@
+// Tests for the batch-arrival model (stage 1).
+#include "src/core/arrival_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/synth/synthetic_cloud.h"
+#include "src/trace/stats.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+SynthProfile TinyProfile() {
+  SynthProfile profile = AzureLikeProfile(0.5);
+  profile.train_days = 4;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  return profile;
+}
+
+TEST(BatchArrivalModel, FitAndRatePositive) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 1).Generate();
+  const Trace train = ApplyObservationWindow(trace, 0, 4 * kPeriodsPerDay,
+                                             4 * kPeriodsPerDay);
+  BatchArrivalModel model;
+  model.Fit(train, ArrivalGranularity::kBatches, ArrivalModelConfig{});
+  ASSERT_TRUE(model.IsFitted());
+  EXPECT_EQ(model.HistoryDays(), 4);
+  for (int64_t p = 0; p < 4 * kPeriodsPerDay; p += 37) {
+    EXPECT_GT(model.Rate(p, 4), 0.0);
+  }
+}
+
+TEST(BatchArrivalModel, CapturesDiurnalPattern) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 2).Generate();
+  const Trace train =
+      ApplyObservationWindow(trace, 0, 4 * kPeriodsPerDay, 4 * kPeriodsPerDay);
+  BatchArrivalModel model;
+  model.Fit(train, ArrivalGranularity::kBatches, ArrivalModelConfig{});
+  // Afternoon rate should exceed the small-hours rate (the profile peaks at
+  // hour 15).
+  const double afternoon = model.Rate(15 * kPeriodsPerHour, 4);
+  const double night = model.Rate(3 * kPeriodsPerHour, 4);
+  EXPECT_GT(afternoon, night * 1.3);
+}
+
+TEST(BatchArrivalModel, DohFeatureTracksGrowth) {
+  // A strongly growing workload: the rate with DOH day N should exceed the
+  // rate with DOH day 1.
+  SynthProfile profile = HuaweiLikeProfile(1.5);
+  profile.train_days = 8;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.growth_per_day = 0.15;
+  profile.growth_plateau_day = 1 << 30;
+  const Trace trace = SyntheticCloud(profile, 3).Generate();
+  const Trace train =
+      ApplyObservationWindow(trace, 0, 8 * kPeriodsPerDay, 8 * kPeriodsPerDay);
+  BatchArrivalModel model;
+  model.Fit(train, ArrivalGranularity::kBatches, ArrivalModelConfig{});
+  const int64_t noon = 12 * kPeriodsPerHour;
+  EXPECT_GT(model.Rate(noon, 8), model.Rate(noon, 1) * 1.5);
+}
+
+TEST(BatchArrivalModel, JobGranularityGivesHigherRates) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 4).Generate();
+  const Trace train =
+      ApplyObservationWindow(trace, 0, 4 * kPeriodsPerDay, 4 * kPeriodsPerDay);
+  BatchArrivalModel batches;
+  batches.Fit(train, ArrivalGranularity::kBatches, ArrivalModelConfig{});
+  BatchArrivalModel jobs;
+  ArrivalModelConfig config;
+  config.use_doh = false;
+  jobs.Fit(train, ArrivalGranularity::kJobs, config);
+  // Mean jobs/period > mean batches/period by construction.
+  const int64_t noon = 12 * kPeriodsPerHour;
+  EXPECT_GT(jobs.Rate(noon, 1), batches.Rate(noon, 4));
+}
+
+TEST(BatchArrivalModel, SampleCountIsPoissonAroundRate) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 5).Generate();
+  const Trace train =
+      ApplyObservationWindow(trace, 0, 4 * kPeriodsPerDay, 4 * kPeriodsPerDay);
+  BatchArrivalModel model;
+  model.Fit(train, ArrivalGranularity::kBatches, ArrivalModelConfig{});
+  const int64_t noon = 12 * kPeriodsPerHour;
+  const double rate = model.Rate(noon, 4);
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(model.SampleCount(noon, 4, rng));
+  }
+  EXPECT_NEAR(sum / n, rate, 0.05 * rate + 0.05);
+}
+
+TEST(BatchArrivalModel, DohSamplerModes) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 7).Generate();
+  const Trace train =
+      ApplyObservationWindow(trace, 0, 4 * kPeriodsPerDay, 4 * kPeriodsPerDay);
+  BatchArrivalModel model;
+  model.Fit(train, ArrivalGranularity::kBatches, ArrivalModelConfig{});
+  Rng rng(8);
+  EXPECT_EQ(model.SampleDohDay(rng, DohMode::kLastDay), 4);
+  for (int i = 0; i < 100; ++i) {
+    const int day = model.SampleDohDay(rng, DohMode::kGeometricSample);
+    EXPECT_GE(day, 1);
+    EXPECT_LE(day, 4);
+  }
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,174 @@
+// Tests for the Table 2 / Table 3 baselines and the §6 end-to-end generators.
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/flavor_baselines.h"
+#include "src/baselines/generators.h"
+#include "src/baselines/lifetime_baselines.h"
+#include "src/synth/synthetic_cloud.h"
+#include "src/trace/stats.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+SynthProfile TinyProfile() {
+  SynthProfile profile = AzureLikeProfile(0.4);
+  profile.train_days = 2;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.num_flavors = 6;
+  profile.num_users = 30;
+  return profile;
+}
+
+struct Fixture {
+  Trace full;
+  Trace train;
+  Trace test;
+  LifetimeBinning binning = MakePaperBinning();
+
+  Fixture() {
+    full = SyntheticCloud(TinyProfile(), 303).Generate();
+    train = ApplyObservationWindow(full, 0, 2 * kPeriodsPerDay, 2 * kPeriodsPerDay);
+    test = ApplyObservationWindow(full, 3 * kPeriodsPerDay, 4 * kPeriodsPerDay,
+                                  4 * kPeriodsPerDay);
+  }
+};
+
+TEST(FlavorBaselines, UniformNllIsLogK) {
+  const Fixture fixture;
+  const FlavorStream stream = BuildFlavorStream(fixture.test, 2);
+  const UniformFlavorBaseline uniform(6);
+  const FlavorBaselineEval eval = EvaluateFlavorBaseline(uniform, stream, 6);
+  EXPECT_NEAR(eval.nll, std::log(6.0), 1e-9);
+  EXPECT_GT(eval.one_best_err, 0.3);
+}
+
+TEST(FlavorBaselines, MultinomialBeatsUniform) {
+  const Fixture fixture;
+  const FlavorStream stream = BuildFlavorStream(fixture.test, 2);
+  const UniformFlavorBaseline uniform(6);
+  const MultinomialFlavorBaseline multinomial(fixture.train);
+  const auto u = EvaluateFlavorBaseline(uniform, stream, 6);
+  const auto m = EvaluateFlavorBaseline(multinomial, stream, 6);
+  EXPECT_LT(m.nll, u.nll);  // Zipf-skewed flavors → multinomial wins.
+  EXPECT_LE(m.one_best_err, u.one_best_err);
+}
+
+TEST(FlavorBaselines, RepeatFlavBeatsMultinomialOnStickyData) {
+  const Fixture fixture;
+  const FlavorStream stream = BuildFlavorStream(fixture.test, 2);
+  const MultinomialFlavorBaseline multinomial(fixture.train);
+  const RepeatFlavorBaseline repeat(fixture.train, 6);
+  const auto m = EvaluateFlavorBaseline(multinomial, stream, 6);
+  const auto r = EvaluateFlavorBaseline(repeat, stream, 6);
+  EXPECT_TRUE(std::isnan(r.nll)) << "RepeatFlav NLL is N/A";
+  EXPECT_LT(r.one_best_err, m.one_best_err);
+}
+
+TEST(FlavorBaselines, RepeatFlavFallsBackAfterEob) {
+  const Fixture fixture;
+  const RepeatFlavorBaseline repeat(fixture.train, 6);
+  const MultinomialFlavorBaseline multinomial(fixture.train);
+  EXPECT_EQ(repeat.Predict(6), multinomial.Predict(6));
+  EXPECT_EQ(repeat.Predict(3), 3);
+}
+
+TEST(LifetimeBaselines, CoinFlipBceIsLog2) {
+  const Fixture fixture;
+  const LifetimeStream stream = BuildLifetimeStream(fixture.test, fixture.binning, 2);
+  const CoinFlipBaseline coin(fixture.binning.NumBins());
+  const auto eval = EvaluateLifetimeBaseline(coin, stream);
+  EXPECT_NEAR(eval.bce, std::log(2.0), 1e-6);
+}
+
+TEST(LifetimeBaselines, KmOrderingHolds) {
+  const Fixture fixture;
+  const LifetimeStream stream = BuildLifetimeStream(fixture.test, fixture.binning, 2);
+  const CoinFlipBaseline coin(fixture.binning.NumBins());
+  const OverallKmBaseline overall(fixture.train, fixture.binning);
+  const PerFlavorKmBaseline per_flavor(fixture.train, fixture.binning);
+  const auto c = EvaluateLifetimeBaseline(coin, stream);
+  const auto o = EvaluateLifetimeBaseline(overall, stream);
+  const auto p = EvaluateLifetimeBaseline(per_flavor, stream);
+  EXPECT_LT(o.bce, c.bce);       // KM is a real model.
+  EXPECT_LE(p.bce, o.bce + 0.02);  // Flavor conditioning helps (or ties).
+}
+
+TEST(LifetimeBaselines, RepeatLifetimeBeatsOverallKmOneBest) {
+  const Fixture fixture;
+  const LifetimeStream stream = BuildLifetimeStream(fixture.test, fixture.binning, 2);
+  const OverallKmBaseline overall(fixture.train, fixture.binning);
+  const RepeatLifetimeBaseline repeat(fixture.train, fixture.binning);
+  const auto o = EvaluateLifetimeBaseline(overall, stream);
+  const auto r = EvaluateLifetimeBaseline(repeat, stream);
+  EXPECT_TRUE(std::isnan(r.bce));
+  EXPECT_LT(r.one_best_err, o.one_best_err)
+      << "with 90% within-batch lifetime momentum, repeating must help";
+}
+
+TEST(Generators, NaiveProducesIndependentJobs) {
+  const Fixture fixture;
+  const NaiveGenerator naive(fixture.train, fixture.binning);
+  Rng rng(1);
+  const Trace trace = naive.Generate(0, kPeriodsPerDay, 1.0, rng);
+  ASSERT_GT(trace.NumJobs(), 100u);
+  // Every job gets its own user → all batches have size 1.
+  const std::vector<double> sizes = BatchSizeCounts(trace);
+  for (size_t s = 2; s < sizes.size(); ++s) {
+    EXPECT_DOUBLE_EQ(sizes[s], 0.0);
+  }
+}
+
+TEST(Generators, SimpleBatchSharesFlavorAndLifetimeWithinBatch) {
+  const Fixture fixture;
+  const SimpleBatchGenerator simple(fixture.train, fixture.binning);
+  Rng rng(2);
+  const Trace trace = simple.Generate(0, kPeriodsPerDay, 1.0, rng);
+  ASSERT_GT(trace.NumJobs(), 50u);
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  bool saw_multi = false;
+  for (const auto& period : periods) {
+    for (const auto& batch : period.batches) {
+      if (batch.job_indices.size() < 2) {
+        continue;
+      }
+      saw_multi = true;
+      const Job& first = trace.Jobs()[batch.job_indices[0]];
+      for (size_t idx : batch.job_indices) {
+        EXPECT_EQ(trace.Jobs()[idx].flavor, first.flavor);
+        EXPECT_EQ(trace.Jobs()[idx].end_period, first.end_period);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_multi) << "SimpleBatch must generate multi-job batches";
+}
+
+TEST(Generators, ArrivalScaleMultipliesVolume) {
+  const Fixture fixture;
+  const NaiveGenerator naive(fixture.train, fixture.binning);
+  Rng rng1(3);
+  Rng rng2(3);
+  const size_t base = naive.Generate(0, kPeriodsPerDay, 1.0, rng1).NumJobs();
+  const size_t scaled = naive.Generate(0, kPeriodsPerDay, 10.0, rng2).NumJobs();
+  EXPECT_NEAR(static_cast<double>(scaled) / static_cast<double>(base), 10.0, 1.5);
+}
+
+TEST(Generators, WindowsRespected) {
+  const Fixture fixture;
+  const SimpleBatchGenerator simple(fixture.train, fixture.binning);
+  Rng rng(4);
+  const Trace trace = simple.Generate(100, 200, 1.0, rng);
+  EXPECT_EQ(trace.WindowStart(), 100);
+  EXPECT_EQ(trace.WindowEnd(), 200);
+  for (const Job& job : trace.Jobs()) {
+    EXPECT_GE(job.start_period, 100);
+    EXPECT_LT(job.start_period, 200);
+  }
+}
+
+}  // namespace
+}  // namespace cloudgen

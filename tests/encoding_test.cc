@@ -1,0 +1,115 @@
+// Tests for the flavor and lifetime LSTM input encodings (§2.2.2, §2.3.3).
+#include "src/core/encoding.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cloudgen {
+namespace {
+
+TEST(FlavorVocab, TokenLayout) {
+  const FlavorVocab vocab(16);
+  EXPECT_EQ(vocab.NumFlavors(), 16u);
+  EXPECT_EQ(vocab.EobToken(), 16u);
+  EXPECT_EQ(vocab.NumTokens(), 17u);
+}
+
+TEST(FlavorInputEncoder, OneHotPlusTemporal) {
+  const FlavorInputEncoder encoder(FlavorVocab(4), TemporalFeatureEncoder(3));
+  EXPECT_EQ(encoder.Dim(), 5u + 24u + 7u + 3u);
+  std::vector<float> buf(encoder.Dim(), -1.0f);
+  // Previous token 2, period at hour 6 of day 0, DOH day 2.
+  encoder.EncodeInto(2, 6 * kPeriodsPerHour, 2, buf.data());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(buf[i], i == 2 ? 1.0f : 0.0f);
+  }
+  EXPECT_FLOAT_EQ(buf[5 + 6], 1.0f);       // HOD 6.
+  EXPECT_FLOAT_EQ(buf[5 + 24 + 0], 1.0f);  // DOW 0.
+  EXPECT_FLOAT_EQ(buf[5 + 31 + 0], 1.0f);  // DOH survival bits 1..2.
+  EXPECT_FLOAT_EQ(buf[5 + 31 + 1], 1.0f);
+  EXPECT_FLOAT_EQ(buf[5 + 31 + 2], 0.0f);
+}
+
+TEST(FlavorInputEncoder, EobAsPreviousToken) {
+  const FlavorInputEncoder encoder(FlavorVocab(4), TemporalFeatureEncoder(3));
+  std::vector<float> buf(encoder.Dim(), 0.0f);
+  encoder.EncodeInto(4, 0, 1, buf.data());  // Token 4 == EOB.
+  EXPECT_FLOAT_EQ(buf[4], 1.0f);
+}
+
+TEST(LifetimeInputEncoder, Dimensions) {
+  const LifetimeInputEncoder encoder(4, 10, TemporalFeatureEncoder(3));
+  // temporal (34) + flavors (4) + batch size (1) + 2 * bins (20).
+  EXPECT_EQ(encoder.Dim(), 34u + 4u + 1u + 20u);
+  EXPECT_EQ(encoder.NumBins(), 10u);
+}
+
+TEST(LifetimeInputEncoder, NoPreviousJobZeroBlocks) {
+  const LifetimeInputEncoder encoder(4, 6, TemporalFeatureEncoder(2));
+  std::vector<float> buf(encoder.Dim(), -1.0f);
+  encoder.EncodeInto(0, 1, 2, 3, PrevLifetime{}, buf.data());
+  const size_t temporal = 24 + 7 + 2;
+  EXPECT_FLOAT_EQ(buf[temporal + 2], 1.0f);  // Flavor one-hot.
+  // Both previous-lifetime blocks are all zero.
+  for (size_t j = 0; j < 12; ++j) {
+    EXPECT_FLOAT_EQ(buf[temporal + 4 + 1 + j], 0.0f) << j;
+  }
+}
+
+TEST(LifetimeInputEncoder, UncensoredPreviousJob) {
+  const LifetimeInputEncoder encoder(2, 5, TemporalFeatureEncoder(2));
+  std::vector<float> buf(encoder.Dim(), 0.0f);
+  PrevLifetime prev;
+  prev.valid = true;
+  prev.bin = 2;
+  prev.censored = false;
+  encoder.EncodeInto(0, 1, 0, 1, prev, buf.data());
+  const size_t base = (24 + 7 + 2) + 2 + 1;
+  const float* survived = buf.data() + base;
+  const float* terminated = buf.data() + base + 5;
+  // Survived through bins 0,1 and reached bin 2.
+  EXPECT_FLOAT_EQ(survived[0], 1.0f);
+  EXPECT_FLOAT_EQ(survived[1], 1.0f);
+  EXPECT_FLOAT_EQ(survived[2], 1.0f);
+  EXPECT_FLOAT_EQ(survived[3], 0.0f);
+  // Known terminated at/after bin 2.
+  EXPECT_FLOAT_EQ(terminated[0], 0.0f);
+  EXPECT_FLOAT_EQ(terminated[1], 0.0f);
+  EXPECT_FLOAT_EQ(terminated[2], 1.0f);
+  EXPECT_FLOAT_EQ(terminated[4], 1.0f);
+}
+
+TEST(LifetimeInputEncoder, CensoredPreviousJobHasNoTerminationBits) {
+  const LifetimeInputEncoder encoder(2, 5, TemporalFeatureEncoder(2));
+  std::vector<float> buf(encoder.Dim(), 0.0f);
+  PrevLifetime prev;
+  prev.valid = true;
+  prev.bin = 3;
+  prev.censored = true;
+  encoder.EncodeInto(0, 1, 0, 1, prev, buf.data());
+  const size_t base = (24 + 7 + 2) + 2 + 1;
+  const float* survived = buf.data() + base;
+  const float* terminated = buf.data() + base + 5;
+  // Known survival only through bins < 3; censoring bin itself unknown.
+  EXPECT_FLOAT_EQ(survived[0], 1.0f);
+  EXPECT_FLOAT_EQ(survived[2], 1.0f);
+  EXPECT_FLOAT_EQ(survived[3], 0.0f);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_FLOAT_EQ(terminated[j], 0.0f) << "censored job must have zero term bits";
+  }
+}
+
+TEST(LifetimeInputEncoder, BatchSizeCompressed) {
+  const LifetimeInputEncoder encoder(2, 3, TemporalFeatureEncoder(1));
+  std::vector<float> small(encoder.Dim(), 0.0f);
+  std::vector<float> large(encoder.Dim(), 0.0f);
+  encoder.EncodeInto(0, 1, 0, 1, PrevLifetime{}, small.data());
+  encoder.EncodeInto(0, 1, 0, 31, PrevLifetime{}, large.data());
+  const size_t idx = (24 + 7 + 1) + 2;
+  EXPECT_GT(large[idx], small[idx]);
+  EXPECT_NEAR(large[idx], 1.0f, 0.05f);  // log1p(31)/log(32) == 1.
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,265 @@
+// Tests for prediction-interval coverage, capacity-planning evaluation, and
+// the trace-collection cache format.
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/capacity.h"
+#include "src/eval/coverage.h"
+#include "src/eval/discriminator.h"
+#include "src/eval/forecasting.h"
+#include "src/eval/workbench.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(Coverage, BandsFromSamples) {
+  // 101 sampled series of constant value s (0..100).
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s <= 100; ++s) {
+    samples.push_back(std::vector<double>(4, static_cast<double>(s)));
+  }
+  const SeriesBands bands = ComputeBands(samples, 0.9);
+  ASSERT_EQ(bands.Length(), 4u);
+  EXPECT_NEAR(bands.median[0], 50.0, 1e-9);
+  EXPECT_NEAR(bands.lo[0], 5.0, 1e-9);
+  EXPECT_NEAR(bands.hi[0], 95.0, 1e-9);
+}
+
+TEST(Coverage, FractionCounting) {
+  SeriesBands bands;
+  bands.median = {1.0, 1.0, 1.0, 1.0};
+  bands.lo = {0.0, 0.0, 0.0, 0.0};
+  bands.hi = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(CoverageFraction(bands, {1.0, 3.0, -1.0, 2.0}), 0.5);
+}
+
+FlavorCatalog OneFlavor() { return {{0, 4.0, 16.0, "f"}}; }
+
+TEST(Capacity, CarryOverJobs) {
+  Trace trace(OneFlavor(), 0, 100);
+  Job a;
+  a.start_period = 0;
+  a.end_period = 60;
+  trace.Add(a);  // Running at 50.
+  Job b;
+  b.start_period = 10;
+  b.end_period = 40;
+  trace.Add(b);  // Ended before 50.
+  Job c;
+  c.start_period = 55;
+  c.end_period = 70;
+  trace.Add(c);  // Starts after 50.
+  const std::vector<Job> carry = CarryOverJobs(trace, 50);
+  ASSERT_EQ(carry.size(), 1u);
+  EXPECT_EQ(carry[0].end_period, 60);
+}
+
+TEST(Capacity, TotalCpusWithCarryOver) {
+  Trace trace(OneFlavor(), 50, 60);
+  Job j;
+  j.start_period = 52;
+  j.end_period = 55;
+  trace.Add(j);
+  Job carry;
+  carry.start_period = 0;
+  carry.end_period = 53;
+  const std::vector<double> totals =
+      TotalCpusWithCarryOver(trace, {carry}, 50, 60);
+  ASSERT_EQ(totals.size(), 10u);
+  EXPECT_DOUBLE_EQ(totals[0], 4.0);  // Carry only.
+  EXPECT_DOUBLE_EQ(totals[2], 8.0);  // Carry + j.
+  EXPECT_DOUBLE_EQ(totals[3], 4.0);  // j only (carry ended at 53).
+  EXPECT_DOUBLE_EQ(totals[6], 0.0);
+}
+
+// A "generator" that replays the ground truth with noise-free lifetimes:
+// coverage of the truth must be 100%.
+class EchoGenerator : public TraceGenerator {
+ public:
+  explicit EchoGenerator(const Trace& truth) : truth_(truth) {}
+  std::string Name() const override { return "Echo"; }
+  Trace Generate(int64_t from, int64_t to, double /*scale*/, Rng& /*rng*/) const override {
+    Trace out(truth_.Flavors(), from, to);
+    for (const Job& job : truth_.Jobs()) {
+      if (job.start_period >= from && job.start_period < to) {
+        out.Add(job);
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Trace& truth_;
+};
+
+TEST(Capacity, PerfectGeneratorCoversEverything) {
+  Trace truth(OneFlavor(), 0, 100);
+  Rng rng(1);
+  for (int64_t p = 0; p < 100; p += 2) {
+    Job job;
+    job.start_period = p;
+    job.end_period = p + static_cast<int64_t>(rng.UniformInt(1, 20));
+    truth.Add(job);
+  }
+  const EchoGenerator echo(truth);
+  Rng eval_rng(2);
+  const CapacityEvalResult result =
+      EvaluateCapacity(echo, truth, 50, 100, 8, 0.9, eval_rng);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  ASSERT_EQ(result.actual.size(), 50u);
+  // Bands collapse onto the actual series.
+  for (size_t p = 0; p < 50; ++p) {
+    EXPECT_DOUBLE_EQ(result.bands.median[p], result.actual[p]);
+  }
+}
+
+TEST(Forecasting, SeasonalNaiveRepeatsSeason) {
+  // Two seasons of a clean pattern; forecasting repeats the last season.
+  SeasonalNaiveConfig config;
+  config.season = 4;
+  std::vector<double> history;
+  for (int s = 0; s < 3; ++s) {
+    for (double v : {10.0, 20.0, 30.0, 40.0}) {
+      history.push_back(v);
+    }
+  }
+  const SeasonalNaiveForecaster forecaster(history, config);
+  const SeriesBands bands = forecaster.Forecast(8);
+  ASSERT_EQ(bands.Length(), 8u);
+  for (size_t h = 0; h < 8; ++h) {
+    EXPECT_DOUBLE_EQ(bands.median[h], history[h % 4 + 8]);
+    // Zero seasonal differences → degenerate band equals the point.
+    EXPECT_DOUBLE_EQ(bands.lo[h], bands.median[h]);
+    EXPECT_DOUBLE_EQ(bands.hi[h], bands.median[h]);
+  }
+}
+
+TEST(Forecasting, BandsWidenWithHorizonAndNoise) {
+  SeasonalNaiveConfig config;
+  config.season = 10;
+  Rng rng(3);
+  std::vector<double> history;
+  for (int t = 0; t < 100; ++t) {
+    history.push_back(100.0 + 10.0 * (t % 10) + rng.Normal(0.0, 5.0));
+  }
+  const SeasonalNaiveForecaster forecaster(history, config);
+  const SeriesBands bands = forecaster.Forecast(30);
+  // Width grows with the number of seasons ahead.
+  const double width_near = bands.hi[0] - bands.lo[0];
+  const double width_far = bands.hi[29] - bands.lo[29];
+  EXPECT_GT(width_near, 0.0);
+  EXPECT_GT(width_far, width_near * 1.3);
+}
+
+TEST(Discriminator, SeparatesStructuredFromIid) {
+  // Real: long runs of one flavor per batch. Fake: i.i.d. flavors. A tiny
+  // discriminator must detect the difference with high accuracy.
+  FlavorCatalog flavors;
+  for (int32_t f = 0; f < 6; ++f) {
+    flavors.push_back({f, 1.0, 1.0, "f"});
+  }
+  Rng rng(5);
+  Trace structured(flavors, 0, 600);
+  Trace iid(flavors, 0, 600);
+  int64_t user = 0;
+  for (int64_t p = 0; p < 600; ++p) {
+    const auto run_flavor = static_cast<int32_t>(rng.UniformInt(6));
+    for (int j = 0; j < 6; ++j) {
+      Job job;
+      job.start_period = p;
+      job.end_period = p + 1;
+      job.flavor = run_flavor;  // Structured: the whole batch shares a flavor.
+      job.user = user;
+      structured.Add(job);
+      Job random_job = job;
+      random_job.flavor = static_cast<int32_t>(rng.UniformInt(6));
+      iid.Add(random_job);
+    }
+    ++user;
+  }
+  DiscriminatorConfig config;
+  Rng disc_rng(6);
+  const DiscriminatorResult result = DiscriminateTraces(structured, iid, config, disc_rng);
+  EXPECT_GT(result.accuracy, 0.85) << "run-structure must be trivially detectable";
+}
+
+TEST(Discriminator, IdenticalDistributionsNearChance) {
+  // Both traces are i.i.d. draws from the same flavor distribution: held-out
+  // accuracy should hover near 50%.
+  FlavorCatalog flavors;
+  for (int32_t f = 0; f < 6; ++f) {
+    flavors.push_back({f, 1.0, 1.0, "f"});
+  }
+  Rng rng(7);
+  Trace a(flavors, 0, 500);
+  Trace b(flavors, 0, 500);
+  for (int64_t p = 0; p < 500; ++p) {
+    for (int j = 0; j < 5; ++j) {
+      Job job;
+      job.start_period = p;
+      job.end_period = p + 1;
+      job.user = p;
+      job.flavor = static_cast<int32_t>(rng.UniformInt(6));
+      a.Add(job);
+      job.flavor = static_cast<int32_t>(rng.UniformInt(6));
+      b.Add(job);
+    }
+  }
+  DiscriminatorConfig config;
+  config.epochs = 10;
+  Rng disc_rng(8);
+  const DiscriminatorResult result = DiscriminateTraces(a, b, config, disc_rng);
+  EXPECT_LT(result.accuracy, 0.65) << "identical processes must be hard to separate";
+}
+
+TEST(Workbench, TraceCollectionRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cg_traces.bin";
+  std::vector<Trace> traces;
+  for (int t = 0; t < 3; ++t) {
+    Trace trace(OneFlavor(), 10, 20);
+    for (int j = 0; j <= t; ++j) {
+      Job job;
+      job.start_period = 10 + j;
+      job.end_period = 15 + j;
+      job.flavor = 0;
+      job.user = j;
+      job.censored = j % 2 == 1;
+      trace.Add(job);
+    }
+    traces.push_back(std::move(trace));
+  }
+  ASSERT_TRUE(SaveTraceCollection(traces, path));
+
+  std::vector<Trace> loaded;
+  ASSERT_TRUE(LoadTraceCollection(path, OneFlavor(), &loaded));
+  ASSERT_EQ(loaded.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_EQ(loaded[t].NumJobs(), static_cast<size_t>(t + 1));
+    EXPECT_EQ(loaded[t].WindowStart(), 10);
+    EXPECT_EQ(loaded[t].WindowEnd(), 20);
+    for (size_t j = 0; j < loaded[t].NumJobs(); ++j) {
+      EXPECT_EQ(loaded[t].Jobs()[j].start_period, traces[t].Jobs()[j].start_period);
+      EXPECT_EQ(loaded[t].Jobs()[j].censored, traces[t].Jobs()[j].censored);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Workbench, LoadMissingCollectionFails) {
+  std::vector<Trace> loaded;
+  EXPECT_FALSE(LoadTraceCollection("/nonexistent/file.bin", OneFlavor(), &loaded));
+}
+
+TEST(Workbench, CloudNamesAndOptions) {
+  EXPECT_STREQ(CloudName(CloudKind::kAzureLike), "AzureLike");
+  EXPECT_STREQ(CloudName(CloudKind::kHuaweiLike), "HuaweiLike");
+  const WorkbenchOptions options = DefaultWorkbenchOptions();
+  EXPECT_GT(options.scale, 0.0);
+  EXPECT_FALSE(options.cache_dir.empty());
+}
+
+}  // namespace
+}  // namespace cloudgen

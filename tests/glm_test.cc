@@ -1,0 +1,218 @@
+// Tests for temporal features, the elastic-net WLS solver, and Poisson
+// regression (IRLS).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/glm/elastic_net.h"
+#include "src/glm/features.h"
+#include "src/glm/poisson_regression.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(Features, DecomposePeriod) {
+  // Period 0 → hour 0, day 0.
+  PeriodCalendar cal = DecomposePeriod(0);
+  EXPECT_EQ(cal.hour_of_day, 0);
+  EXPECT_EQ(cal.day_of_week, 0);
+  EXPECT_EQ(cal.day_index, 0);
+  // 13 hours in: 13 * 12 periods.
+  cal = DecomposePeriod(13 * kPeriodsPerHour);
+  EXPECT_EQ(cal.hour_of_day, 13);
+  // 9 days in, at 1am.
+  cal = DecomposePeriod(9 * kPeriodsPerDay + kPeriodsPerHour);
+  EXPECT_EQ(cal.day_index, 9);
+  EXPECT_EQ(cal.day_of_week, 2);
+  EXPECT_EQ(cal.hour_of_day, 1);
+}
+
+TEST(Features, TemporalEncoderLayout) {
+  const TemporalFeatureEncoder encoder(5);
+  EXPECT_EQ(encoder.Dim(), 24u + 7u + 5u);
+  // Period: day 2, 10am. DOH day 3.
+  const int64_t period = 2 * kPeriodsPerDay + 10 * kPeriodsPerHour;
+  const std::vector<double> x = encoder.Encode(period, 3);
+  ASSERT_EQ(x.size(), encoder.Dim());
+  // HOD one-hot at index 10.
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(x[static_cast<size_t>(h)], h == 10 ? 1.0 : 0.0);
+  }
+  // DOW one-hot at index 24+2.
+  for (int d = 0; d < 7; ++d) {
+    EXPECT_DOUBLE_EQ(x[24 + static_cast<size_t>(d)], d == 2 ? 1.0 : 0.0);
+  }
+  // DOH survival-encoded: first 3 of 5 set.
+  for (int d = 0; d < 5; ++d) {
+    EXPECT_DOUBLE_EQ(x[31 + static_cast<size_t>(d)], d < 3 ? 1.0 : 0.0);
+  }
+}
+
+TEST(Features, InWindowDohDayClamped) {
+  const TemporalFeatureEncoder encoder(4);
+  EXPECT_EQ(encoder.InWindowDohDay(0), 1);
+  EXPECT_EQ(encoder.InWindowDohDay(3 * kPeriodsPerDay), 4);
+  EXPECT_EQ(encoder.InWindowDohDay(100 * kPeriodsPerDay), 4);  // Clamped.
+}
+
+TEST(Features, DohSamplerLastDay) {
+  Rng rng(1);
+  const DohSampler sampler(30, 1.0 / 7.0, DohMode::kLastDay);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.Sample(rng), 30);
+  }
+}
+
+TEST(Features, DohSamplerGeometricStats) {
+  Rng rng(2);
+  const DohSampler sampler(30, 1.0 / 7.0, DohMode::kGeometricSample);
+  double sum = 0.0;
+  int min_day = 31;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const int day = sampler.Sample(rng);
+    ASSERT_GE(day, 1);
+    ASSERT_LE(day, 30);
+    sum += day;
+    min_day = std::min(min_day, day);
+  }
+  // Expected day ≈ 30 - 6 = 24 (slightly above due to clamping at 1).
+  EXPECT_NEAR(sum / n, 24.0, 0.5);
+  EXPECT_LT(min_day, 10);  // The tail reaches far back.
+}
+
+TEST(ElasticNet, SoftThreshold) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-0.5, 1.0), 0.0);
+}
+
+TEST(ElasticNet, UnpenalizedSolvesLeastSquares) {
+  // y = 2 + 3x exactly; lambda = 0 must recover the coefficients.
+  std::vector<double> flat;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    const double x = static_cast<double>(i) / 5.0;
+    flat.push_back(1.0);
+    flat.push_back(x);
+    y.push_back(2.0 + 3.0 * x);
+  }
+  const DesignMatrix design{flat.data(), 20, 2};
+  std::vector<double> beta(2, 0.0);
+  const std::vector<double> weights(20, 1.0);
+  SolveElasticNetWls(design, weights, y, ElasticNetConfig{0.0, 0.5, 500, 1e-12}, &beta);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+}
+
+TEST(ElasticNet, LassoZerosIrrelevantFeature) {
+  // Feature 2 is pure noise with tiny correlation; a strong L1 penalty should
+  // zero it while keeping the real signal.
+  Rng rng(3);
+  std::vector<double> flat;
+  std::vector<double> y;
+  const size_t n = 200;
+  for (size_t i = 0; i < n; ++i) {
+    const double x1 = rng.Normal();
+    const double noise = rng.Normal();
+    flat.push_back(1.0);
+    flat.push_back(x1);
+    flat.push_back(noise);
+    y.push_back(1.0 + 2.0 * x1 + 0.01 * rng.Normal());
+  }
+  const DesignMatrix design{flat.data(), n, 3};
+  std::vector<double> beta(3, 0.0);
+  const std::vector<double> weights(n, 1.0);
+  SolveElasticNetWls(design, weights, y, ElasticNetConfig{0.2, 1.0, 500, 1e-12}, &beta);
+  EXPECT_NEAR(beta[1], 2.0, 0.4);   // Signal survives (shrunk).
+  EXPECT_NEAR(beta[2], 0.0, 1e-9);  // Noise is zeroed exactly.
+}
+
+TEST(ElasticNet, RidgeShrinksButKeepsAll) {
+  Rng rng(4);
+  std::vector<double> flat;
+  std::vector<double> y;
+  const size_t n = 100;
+  for (size_t i = 0; i < n; ++i) {
+    const double x1 = rng.Normal();
+    flat.push_back(1.0);
+    flat.push_back(x1);
+    y.push_back(2.0 * x1);
+  }
+  const DesignMatrix design{flat.data(), n, 2};
+  std::vector<double> beta_small(2, 0.0);
+  std::vector<double> beta_large(2, 0.0);
+  const std::vector<double> weights(n, 1.0);
+  SolveElasticNetWls(design, weights, y, ElasticNetConfig{0.01, 0.0, 500, 1e-12},
+                     &beta_small);
+  SolveElasticNetWls(design, weights, y, ElasticNetConfig{10.0, 0.0, 500, 1e-12},
+                     &beta_large);
+  EXPECT_GT(std::fabs(beta_small[1]), std::fabs(beta_large[1]));
+  EXPECT_GT(std::fabs(beta_large[1]), 0.0);  // Ridge never hits exactly zero.
+}
+
+TEST(PoissonRegression, RecoversRatesByHour) {
+  // Ground truth: rate 20 during hours 8-17, rate 5 otherwise.
+  Rng rng(5);
+  std::vector<std::vector<double>> features;
+  std::vector<double> counts;
+  for (int64_t p = 0; p < 7 * kPeriodsPerDay; ++p) {
+    const PeriodCalendar cal = DecomposePeriod(p);
+    const double rate = (cal.hour_of_day >= 8 && cal.hour_of_day < 18) ? 20.0 : 5.0;
+    std::vector<double> x(25, 0.0);
+    x[0] = 1.0;
+    x[1 + static_cast<size_t>(cal.hour_of_day)] = 1.0;
+    features.push_back(std::move(x));
+    counts.push_back(static_cast<double>(rng.Poisson(rate)));
+  }
+  PoissonRegression regression;
+  PoissonRegressionConfig config;
+  config.penalty.lambda = 1e-5;
+  regression.Fit(features, counts, config);
+
+  std::vector<double> day(25, 0.0);
+  day[0] = 1.0;
+  day[1 + 12] = 1.0;
+  std::vector<double> night(25, 0.0);
+  night[0] = 1.0;
+  night[1 + 3] = 1.0;
+  EXPECT_NEAR(regression.PredictMean(day), 20.0, 1.5);
+  EXPECT_NEAR(regression.PredictMean(night), 5.0, 0.8);
+}
+
+TEST(PoissonRegression, MeanNllLowerForBetterModel) {
+  Rng rng(6);
+  std::vector<std::vector<double>> features;
+  std::vector<double> counts;
+  for (int i = 0; i < 500; ++i) {
+    const double x = (i % 2 == 0) ? 1.0 : 0.0;
+    features.push_back({1.0, x});
+    counts.push_back(static_cast<double>(rng.Poisson(x > 0.5 ? 12.0 : 2.0)));
+  }
+  PoissonRegression fitted;
+  fitted.Fit(features, counts, PoissonRegressionConfig{});
+
+  // Intercept-only model for comparison.
+  std::vector<std::vector<double>> intercept_only;
+  intercept_only.reserve(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    intercept_only.push_back({1.0, 0.0});
+  }
+  PoissonRegression constant;
+  constant.Fit(intercept_only, counts, PoissonRegressionConfig{});
+  EXPECT_LT(fitted.MeanNll(features, counts), constant.MeanNll(features, counts) - 0.5);
+}
+
+TEST(PoissonRegression, HandlesAllZeroCounts) {
+  std::vector<std::vector<double>> features(10, std::vector<double>{1.0});
+  std::vector<double> counts(10, 0.0);
+  PoissonRegression regression;
+  regression.Fit(features, counts, PoissonRegressionConfig{});
+  EXPECT_LT(regression.PredictMean({1.0}), 0.01);
+}
+
+}  // namespace
+}  // namespace cloudgen

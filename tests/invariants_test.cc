@@ -1,0 +1,80 @@
+// Invariant-enforcement tests: API misuse must fail loudly (CG_CHECK aborts),
+// never silently corrupt results.
+#include <gtest/gtest.h>
+
+#include "src/sched/cluster.h"
+#include "src/survival/binning.h"
+#include "src/survival/hazard.h"
+#include "src/tensor/matrix.h"
+#include "src/trace/trace.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+using InvariantsDeathTest = ::testing::Test;
+
+TEST(InvariantsDeathTest, GemmShapeMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(4, 5);  // Inner dimensions 3 vs 4 do not match.
+  Matrix c(2, 5);
+  EXPECT_DEATH(Gemm(false, false, 1.0f, a, b, 0.0f, &c), "inner-dimension mismatch");
+}
+
+TEST(InvariantsDeathTest, GemmOutputShapeMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(3, 5);
+  Matrix c(2, 4);
+  EXPECT_DEATH(Gemm(false, false, 1.0f, a, b, 0.0f, &c), "output shape mismatch");
+}
+
+TEST(InvariantsDeathTest, NonMonotonicBinEdgesAbort) {
+  EXPECT_DEATH(LifetimeBinning({10.0, 5.0}), "strictly increasing");
+}
+
+TEST(InvariantsDeathTest, HazardOutsideUnitIntervalAborts) {
+  EXPECT_DEATH(HazardToPmf({0.5, 1.5}), "hazard outside");
+}
+
+TEST(InvariantsDeathTest, ServerOverplacementAborts) {
+  Server server(Resources{4.0, 8.0});
+  EXPECT_DEATH(server.Place({5.0, 1.0}), "cannot fit");
+}
+
+TEST(InvariantsDeathTest, TraceRejectsUnknownFlavor) {
+  Trace trace({{0, 1.0, 1.0, "f"}}, 0, 10);
+  Job job;
+  job.flavor = 3;
+  job.end_period = 1;
+  EXPECT_DEATH(trace.Add(job), "");
+}
+
+TEST(InvariantsDeathTest, TraceRejectsNegativeLifetime) {
+  Trace trace({{0, 1.0, 1.0, "f"}}, 0, 10);
+  Job job;
+  job.start_period = 5;
+  job.end_period = 3;
+  EXPECT_DEATH(trace.Add(job), "");
+}
+
+TEST(InvariantsDeathTest, CategoricalRequiresPositiveMass) {
+  Rng rng(1);
+  const std::vector<double> zeros(3, 0.0);
+  EXPECT_DEATH(rng.Categorical(zeros), "positive total weight");
+}
+
+TEST(InvariantsDeathTest, BatchesRequireOrderedPeriods) {
+  Trace trace({{0, 1.0, 1.0, "f"}}, 0, 10);
+  Job late;
+  late.start_period = 5;
+  late.end_period = 6;
+  trace.Add(late);
+  Job early;
+  early.start_period = 2;
+  early.end_period = 3;
+  trace.Add(early);
+  EXPECT_DEATH(BuildBatches(trace), "ordered by start period");
+}
+
+}  // namespace
+}  // namespace cloudgen

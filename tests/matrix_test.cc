@@ -1,0 +1,148 @@
+// Tests for the Matrix container and GEMM kernels, validated against a naive
+// triple-loop reference across all transpose combinations.
+#include "src/tensor/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  m.RandomUniform(rng, 1.0f);
+  return m;
+}
+
+// Reference GEMM: C = alpha * op(A) op(B) + beta * C.
+Matrix ReferenceGemm(bool ta, bool tb, float alpha, const Matrix& a, const Matrix& b,
+                     float beta, const Matrix& c0) {
+  const Matrix aa = ta ? a.Transposed() : a;
+  const Matrix bb = tb ? b.Transposed() : b;
+  Matrix c = c0;
+  for (size_t i = 0; i < aa.Rows(); ++i) {
+    for (size_t j = 0; j < bb.Cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < aa.Cols(); ++k) {
+        acc += static_cast<double>(aa(i, k)) * bb(k, j);
+      }
+      c(i, j) = alpha * static_cast<float>(acc) + beta * c0(i, j);
+    }
+  }
+  return c;
+}
+
+TEST(Matrix, BasicAccessorsAndFill) {
+  Matrix m(3, 4, 2.0f);
+  EXPECT_EQ(m.Rows(), 3u);
+  EXPECT_EQ(m.Cols(), 4u);
+  EXPECT_EQ(m.Size(), 12u);
+  EXPECT_FLOAT_EQ(m.At(2, 3), 2.0f);
+  m.SetZero();
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 5.0f);
+}
+
+TEST(Matrix, ReshapePreservesData) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0f;
+  m(1, 2) = 6.0f;
+  m.Reshape(3, 2);
+  EXPECT_EQ(m.Rows(), 3u);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(2, 1), 6.0f);  // Row-major layout preserved.
+}
+
+TEST(Matrix, ScaleAddAxpy) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b(2, 2, 3.0f);
+  a.Scale(2.0f);
+  a.Add(b);
+  EXPECT_FLOAT_EQ(a(0, 0), 5.0f);
+  a.Axpy(-0.5f, b);
+  EXPECT_FLOAT_EQ(a(1, 1), 3.5f);
+  EXPECT_NEAR(a.SquaredNorm(), 4 * 3.5 * 3.5, 1e-5);
+}
+
+TEST(Matrix, TransposedCorrect) {
+  Rng rng(5);
+  const Matrix m = RandomMatrix(3, 5, rng);
+  const Matrix t = m.Transposed();
+  ASSERT_EQ(t.Rows(), 5u);
+  ASSERT_EQ(t.Cols(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_FLOAT_EQ(m(r, c), t(c, r));
+    }
+  }
+}
+
+// All four transpose combinations, with nontrivial alpha/beta, across shapes.
+class GemmTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const auto [ta, tb, m, k, n] = GetParam();
+  Rng rng(99);
+  const Matrix a = ta ? RandomMatrix(k, m, rng) : RandomMatrix(m, k, rng);
+  const Matrix b = tb ? RandomMatrix(n, k, rng) : RandomMatrix(k, n, rng);
+  Matrix c = RandomMatrix(m, n, rng);
+  const Matrix expected = ReferenceGemm(ta, tb, 0.75f, a, b, -0.5f, c);
+  Gemm(ta, tb, 0.75f, a, b, -0.5f, &c);
+  for (size_t i = 0; i < c.Rows(); ++i) {
+    for (size_t j = 0; j < c.Cols(); ++j) {
+      EXPECT_NEAR(c(i, j), expected(i, j), 1e-4f) << "at " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTransposes, GemmTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Values(1, 3, 8),
+                       ::testing::Values(1, 5), ::testing::Values(2, 7)));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(2, 3, rng);
+  const Matrix b = RandomMatrix(3, 4, rng);
+  Matrix c(2, 4, std::nanf(""));
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  for (size_t i = 0; i < c.Size(); ++i) {
+    EXPECT_FALSE(std::isnan(c.Data()[i]));
+  }
+}
+
+TEST(Matrix, RowSumsAndBroadcast) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  m(0, 2) = 3.0f;
+  m(1, 0) = -1.0f;
+  const std::vector<float> sums = RowSums(m);
+  EXPECT_FLOAT_EQ(sums[0], 6.0f);
+  EXPECT_FLOAT_EQ(sums[1], -1.0f);
+  AddRowBroadcast(&m, {10.0f, 20.0f, 30.0f});
+  EXPECT_FLOAT_EQ(m(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m(1, 2), 30.0f);
+}
+
+TEST(Matrix, SerializationRoundTrip) {
+  Rng rng(77);
+  const Matrix m = RandomMatrix(4, 6, rng);
+  std::stringstream stream;
+  WriteMatrix(stream, m);
+  const Matrix loaded = ReadMatrix(stream);
+  ASSERT_TRUE(loaded.SameShape(m));
+  for (size_t i = 0; i < m.Size(); ++i) {
+    EXPECT_FLOAT_EQ(m.Data()[i], loaded.Data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,214 @@
+// Tests for the xoshiro256++ RNG and its distribution samplers.
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cloudgen {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsRespected) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Roughly uniform: every bucket within 20% of expectation.
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 2000);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+// Poisson sampling must be correct in both the inversion (mu < 10) and PTRS
+// (mu >= 10) regimes: mean and variance both equal mu.
+class PoissonRegimeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonRegimeTest, MeanAndVarianceMatchMu) {
+  const double mu = GetParam();
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto x = static_cast<double>(rng.Poisson(mu));
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, mu, 0.05 * mu + 0.02);
+  EXPECT_NEAR(var, mu, 0.1 * mu + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossRegimes, PoissonRegimeTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 7.0, 9.9, 10.1, 25.0, 150.0));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0);
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(31);
+  const double p = 1.0 / 7.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto k = rng.Geometric(p);
+    ASSERT_GE(k, 0);
+    sum += static_cast<double>(k);
+  }
+  // Mean of failures-before-success = (1-p)/p = 6.
+  EXPECT_NEAR(sum / n, 6.0, 0.15);
+}
+
+TEST(Rng, GeometricProbabilityOneIsZero) {
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.Geometric(1.0), 0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(41);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(43);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, CategoricalFromCdfMatchesCategorical) {
+  Rng rng(47);
+  const std::vector<double> weights = {0.5, 2.0, 1.5, 0.0, 1.0};
+  const std::vector<double> cdf = BuildCdf(weights);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.CategoricalFromCdf(cdf)];
+  }
+  EXPECT_EQ(counts[3], 0);
+  const double total = 50000.0;
+  EXPECT_NEAR(counts[0] / total, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / total, 0.4, 0.015);
+  EXPECT_NEAR(counts[4] / total, 0.2, 0.012);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(51);
+  Rng child = parent.Fork();
+  Rng child2 = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t a = child.Next();
+    const uint64_t b = child2.Next();
+    if (a == b) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BuildCdfPrefixSums) {
+  const std::vector<double> cdf = BuildCdf({1.0, 2.0, 3.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2], 6.0);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace cloudgen

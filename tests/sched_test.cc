@@ -1,0 +1,317 @@
+// Tests for the scheduling substrate: cluster accounting, the four packing
+// algorithms, FFAR packing runs, and reuse distance.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/sched/cluster.h"
+#include "src/sched/ffar.h"
+#include "src/sched/packing.h"
+#include "src/sched/reuse_distance.h"
+#include "src/trace/events.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(Server, PlaceRemoveAccounting) {
+  Server server(Resources{8.0, 32.0});
+  EXPECT_TRUE(server.CanFit({8.0, 32.0}));
+  server.Place({4.0, 8.0});
+  EXPECT_DOUBLE_EQ(server.CpuUtilization(), 0.5);
+  EXPECT_DOUBLE_EQ(server.MemUtilization(), 0.25);
+  EXPECT_FALSE(server.CanFit({5.0, 1.0}));
+  EXPECT_TRUE(server.CanFit({4.0, 24.0}));
+  server.Remove({4.0, 8.0});
+  EXPECT_DOUBLE_EQ(server.Used().cpus, 0.0);
+}
+
+TEST(Cluster, AggregateRatios) {
+  Cluster cluster(2, Resources{10.0, 100.0});
+  cluster.MutableServerAt(0).Place({5.0, 20.0});
+  EXPECT_DOUBLE_EQ(cluster.CpuAllocationRatio(), 0.25);
+  EXPECT_DOUBLE_EQ(cluster.MemAllocationRatio(), 0.10);
+}
+
+TEST(Packing, RandomOnlyPicksFeasible) {
+  Rng rng(1);
+  Cluster cluster(3, Resources{4.0, 16.0});
+  cluster.MutableServerAt(0).Place({4.0, 16.0});  // Full.
+  cluster.MutableServerAt(2).Place({4.0, 16.0});  // Full.
+  const RandomPlacement random;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(random.ChooseServer(cluster, {2.0, 4.0}, rng), 1);
+  }
+  cluster.MutableServerAt(1).Place({4.0, 16.0});
+  EXPECT_EQ(random.ChooseServer(cluster, {1.0, 1.0}, rng), -1);
+}
+
+TEST(Packing, BusiestFitPrefersFullerServer) {
+  Rng rng(2);
+  Cluster cluster(3, Resources{8.0, 32.0});
+  cluster.MutableServerAt(1).Place({4.0, 16.0});
+  cluster.MutableServerAt(2).Place({6.0, 24.0});
+  const BusiestFit busiest;
+  // Server 2 is busiest and can still fit the demand.
+  EXPECT_EQ(busiest.ChooseServer(cluster, {1.0, 1.0}, rng), 2);
+  // If the demand only fits on emptier servers, it falls back.
+  EXPECT_EQ(busiest.ChooseServer(cluster, {3.0, 4.0}, rng), 1);
+}
+
+TEST(Packing, CosinePrefersAlignedRemaining) {
+  Rng rng(3);
+  Cluster cluster(2, Resources{16.0, 64.0});
+  // Server 0 remaining: CPU-heavy (12, 8). Server 1 remaining: mem-heavy (4, 48).
+  cluster.MutableServerAt(0).Place({4.0, 56.0});
+  cluster.MutableServerAt(1).Place({12.0, 16.0});
+  const CosineSimilarityPacking cosine;
+  // CPU-heavy demand aligns with server 0's remaining vector.
+  EXPECT_EQ(cosine.ChooseServer(cluster, {3.0, 2.0}, rng), 0);
+  // Mem-heavy demand aligns with server 1.
+  EXPECT_EQ(cosine.ChooseServer(cluster, {1.0, 12.0}, rng), 1);
+}
+
+TEST(Packing, DeltaPerpBalancesUtilization) {
+  Rng rng(4);
+  Cluster cluster(2, Resources{10.0, 10.0});
+  // Server 0 is CPU-skewed (cpu 0.8, mem 0.2); server 1 is memory-skewed
+  // (0.2, 0.8).
+  cluster.MutableServerAt(0).Place({8.0, 2.0});
+  cluster.MutableServerAt(1).Place({2.0, 8.0});
+  const DeltaPerpDistance perp;
+  // A mem-heavy demand reduces server 0's imbalance (delta < 0) but would
+  // worsen server 1 — it must go to server 0.
+  EXPECT_EQ(perp.ChooseServer(cluster, {0.0, 3.0}, rng), 0);
+  // A cpu-heavy demand is the mirror image: server 1 takes it.
+  EXPECT_EQ(perp.ChooseServer(cluster, {2.0, 0.0}, rng), 1);
+}
+
+TEST(Packing, FirstFitPicksLowestIndex) {
+  Rng rng(11);
+  Cluster cluster(3, Resources{8.0, 32.0});
+  cluster.MutableServerAt(0).Place({8.0, 32.0});  // Full.
+  const FirstFit first_fit;
+  EXPECT_EQ(first_fit.ChooseServer(cluster, {2.0, 4.0}, rng), 1);
+}
+
+TEST(Packing, BestFitTightensWorstFitSpreads) {
+  Rng rng(12);
+  Cluster cluster(2, Resources{10.0, 10.0});
+  cluster.MutableServerAt(0).Place({7.0, 7.0});  // Nearly full.
+  cluster.MutableServerAt(1).Place({1.0, 1.0});  // Nearly empty.
+  const BestFit best_fit;
+  const WorstFit worst_fit;
+  EXPECT_EQ(best_fit.ChooseServer(cluster, {1.0, 1.0}, rng), 0);
+  EXPECT_EQ(worst_fit.ChooseServer(cluster, {1.0, 1.0}, rng), 1);
+}
+
+// Every algorithm must only ever return feasible servers or -1 (property
+// sweep over the full algorithm set on random workloads).
+class PackingFeasibilityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PackingFeasibilityTest, NeverReturnsInfeasible) {
+  const auto algorithms = MakeExtendedPackingAlgorithms();
+  const auto& algorithm = *algorithms[GetParam()];
+  Rng rng(100 + GetParam());
+  Cluster cluster(4, Resources{16.0, 64.0});
+  for (int i = 0; i < 500; ++i) {
+    const Resources demand{static_cast<double>(rng.UniformInt(1, 8)),
+                           static_cast<double>(rng.UniformInt(1, 32))};
+    const int chosen = algorithm.ChooseServer(cluster, demand, rng);
+    if (chosen < 0) {
+      break;
+    }
+    ASSERT_TRUE(cluster.ServerAt(static_cast<size_t>(chosen)).CanFit(demand));
+    cluster.MutableServerAt(static_cast<size_t>(chosen)).Place(demand);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PackingFeasibilityTest,
+                         ::testing::Range<size_t>(0, 7));
+
+Trace MakePackingTrace() {
+  FlavorCatalog flavors{{0, 4.0, 8.0, "c4m8"}, {1, 2.0, 16.0, "c2m16"}};
+  Trace trace(flavors, 0, 100);
+  // A steady stream of long-running arrivals that must eventually fail.
+  for (int64_t p = 0; p < 100; ++p) {
+    Job job;
+    job.start_period = p;
+    job.end_period = 100;  // Never departs within the window.
+    job.flavor = static_cast<int32_t>(p % 2);
+    job.user = p;
+    trace.Add(job);
+  }
+  return trace;
+}
+
+TEST(Ffar, PackUntilFailureReportsRatios) {
+  const Trace trace = MakePackingTrace();
+  Rng rng(5);
+  const std::vector<Event> events = BuildEventStream(trace, rng);
+  SchedulingTuple tuple;
+  tuple.start_fraction = 0.0;
+  tuple.num_servers = 2;
+  tuple.server_capacity = {8.0, 32.0};  // Fits only a handful of VMs.
+  const BusiestFit algorithm;
+  const FfarResult result = RunPacking(trace, events, tuple, algorithm, rng);
+  EXPECT_TRUE(result.failed);
+  EXPECT_GT(result.placed_jobs, 2u);
+  EXPECT_GT(result.LimitingFfar(), 0.4);
+  EXPECT_LE(result.LimitingFfar(), 1.0);
+  EXPECT_GE(result.LimitingFfar(), std::min(result.cpu_ffar, result.mem_ffar));
+}
+
+TEST(Ffar, DeparturesAllowFullPacking) {
+  // Jobs depart immediately → packing never fails.
+  FlavorCatalog flavors{{0, 1.0, 1.0, "tiny"}};
+  Trace trace(flavors, 0, 50);
+  for (int64_t p = 0; p < 50; ++p) {
+    Job job;
+    job.start_period = p;
+    job.end_period = p + 1;
+    job.flavor = 0;
+    job.user = p;
+    trace.Add(job);
+  }
+  Rng rng(6);
+  const std::vector<Event> events = BuildEventStream(trace, rng);
+  SchedulingTuple tuple;
+  tuple.num_servers = 4;
+  tuple.server_capacity = {8.0, 8.0};
+  const RandomPlacement algorithm;
+  const FfarResult result = RunPacking(trace, events, tuple, algorithm, rng);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.placed_jobs, 50u);
+}
+
+TEST(Ffar, TupleSamplingRanges) {
+  Rng rng(7);
+  const auto tuples = SampleSchedulingTuples(200, 4, rng);
+  ASSERT_EQ(tuples.size(), 200u);
+  for (const auto& tuple : tuples) {
+    EXPECT_GE(tuple.start_fraction, 0.0);
+    EXPECT_LT(tuple.start_fraction, 0.6);
+    EXPECT_GE(tuple.num_servers, 8u);
+    EXPECT_LE(tuple.num_servers, 48u);
+    EXPECT_GE(tuple.server_capacity.cpus, 48.0);
+    EXPECT_LE(tuple.server_capacity.memory_gb, tuple.server_capacity.cpus * 6.0);
+    EXPECT_LT(tuple.algorithm_index, 4u);
+  }
+}
+
+TEST(Ffar, SummaryStatistics) {
+  std::vector<FfarResult> results;
+  for (double f : {0.90, 0.94, 0.96, 0.98}) {
+    FfarResult r;
+    r.failed = true;
+    r.cpu_ffar = f;
+    r.mem_ffar = f - 0.1;
+    results.push_back(r);
+  }
+  const FfarSummary summary = SummarizeFfar(results);
+  EXPECT_EQ(summary.experiments, 4u);
+  EXPECT_NEAR(summary.median_limiting, 0.95, 1e-9);
+  EXPECT_DOUBLE_EQ(summary.proportion_above_95, 0.5);
+}
+
+TEST(ReuseDistance, HandComputedSequence) {
+  FlavorCatalog flavors{{0, 1, 1, "a"}, {1, 1, 1, "b"}, {2, 1, 1, "c"}};
+  Trace trace(flavors, 0, 1);
+  // Sequence: a b a c b a → distances: a:1 (b), c: first, b:2 (a,c)... wait:
+  //   a(first) b(first) a(dist 1: {b}) c(first) b(dist 2: {a, c}) a(dist 2: {c, b}).
+  for (int32_t f : {0, 1, 0, 2, 1, 0}) {
+    Job job;
+    job.start_period = 0;
+    job.end_period = 1;
+    job.flavor = f;
+    job.user = 1;
+    trace.Add(job);
+  }
+  const std::vector<int> distances = ReuseDistances(trace);
+  EXPECT_EQ(distances, (std::vector<int>{1, 2, 2}));
+}
+
+TEST(ReuseDistance, AllSameFlavorIsZero) {
+  FlavorCatalog flavors{{0, 1, 1, "a"}};
+  Trace trace(flavors, 0, 1);
+  for (int i = 0; i < 5; ++i) {
+    Job job;
+    job.start_period = 0;
+    job.end_period = 1;
+    job.flavor = 0;
+    job.user = 1;
+    trace.Add(job);
+  }
+  const std::vector<double> proportions = ReuseDistanceProportions(trace);
+  EXPECT_DOUBLE_EQ(proportions[0], 1.0);
+}
+
+TEST(PlacementCache, HitRateFromReuseDistances) {
+  FlavorCatalog flavors{{0, 1, 1, "a"}, {1, 1, 1, "b"}, {2, 1, 1, "c"}};
+  Trace trace(flavors, 0, 1);
+  // Sequence a b a c b a → distances {1, 2, 2}; 6 requests total.
+  for (int32_t f : {0, 1, 0, 2, 1, 0}) {
+    Job job;
+    job.start_period = 0;
+    job.end_period = 1;
+    job.flavor = f;
+    job.user = 1;
+    trace.Add(job);
+  }
+  // Cache size 1: no distance < 1 → 0 hits. Size 2: the d=1 repeat hits.
+  // Size 3: all three repeats hit.
+  EXPECT_DOUBLE_EQ(PlacementCacheHitRate(trace, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PlacementCacheHitRate(trace, 2), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(PlacementCacheHitRate(trace, 3), 3.0 / 6.0);
+  const std::vector<double> curve = PlacementCacheCurve(trace, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+  EXPECT_DOUBLE_EQ(curve[2], 0.5);
+}
+
+TEST(PlacementCache, MonotoneInCacheSize) {
+  FlavorCatalog flavors;
+  for (int32_t f = 0; f < 8; ++f) {
+    flavors.push_back({f, 1, 1, "f"});
+  }
+  Trace trace(flavors, 0, 1);
+  Rng rng(9);
+  for (int i = 0; i < 400; ++i) {
+    Job job;
+    job.start_period = 0;
+    job.end_period = 1;
+    job.flavor = static_cast<int32_t>(rng.UniformInt(8));
+    job.user = 1;
+    trace.Add(job);
+  }
+  const std::vector<double> curve = PlacementCacheCurve(trace, {1, 2, 4, 8});
+  for (size_t s = 1; s < curve.size(); ++s) {
+    EXPECT_GE(curve[s], curve[s - 1]);
+  }
+  EXPECT_GT(curve.back(), 0.9);  // With 8 types and a size-8 cache, ~all repeats hit.
+}
+
+TEST(ReuseDistance, ProportionsSumToOne) {
+  FlavorCatalog flavors;
+  for (int32_t f = 0; f < 10; ++f) {
+    flavors.push_back({f, 1, 1, "f"});
+  }
+  Trace trace(flavors, 0, 1);
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    Job job;
+    job.start_period = 0;
+    job.end_period = 1;
+    job.flavor = static_cast<int32_t>(rng.UniformInt(10));
+    job.user = 1;
+    trace.Add(job);
+  }
+  const std::vector<double> proportions = ReuseDistanceProportions(trace);
+  double sum = 0.0;
+  for (double p : proportions) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,19 @@
+// Build-system smoke test: every library links and basic wiring works.
+#include <gtest/gtest.h>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(Smoke, RngAndMatrixLink) {
+  Rng rng(42);
+  Matrix m(2, 3);
+  m.RandomUniform(rng, 1.0f);
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 3u);
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,68 @@
+// Tests for string helpers and CSV round trips.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/csv.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("xyz", ','), (std::vector<std::string>{"xyz"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  a b \t\r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(Strings, JoinAndStartsWith) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(Csv, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cloudgen_csv_test.csv";
+  {
+    CsvWriter writer(path, {"a", "b", "c"});
+    ASSERT_TRUE(writer.Ok());
+    writer.WriteRow({"1", "x", "2.5"});
+    writer.WriteRow({"2", "y", "-1"});
+  }
+  CsvReader reader(path);
+  ASSERT_TRUE(reader.Ok());
+  EXPECT_EQ(reader.Header(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(reader.ColumnIndex("b"), 1);
+  EXPECT_EQ(reader.ColumnIndex("missing"), -1);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "x", "2.5"}));
+  ASSERT_TRUE(reader.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"2", "y", "-1"}));
+  EXPECT_FALSE(reader.ReadRow(&row));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileNotOk) {
+  CsvReader reader("/nonexistent/path/file.csv");
+  EXPECT_FALSE(reader.Ok());
+}
+
+}  // namespace
+}  // namespace cloudgen

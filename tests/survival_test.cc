@@ -1,0 +1,270 @@
+// Tests for lifetime binning, hazard conversions, Kaplan-Meier estimators,
+// interpolation, and survival metrics.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/survival/binning.h"
+#include "src/survival/hazard.h"
+#include "src/survival/interpolation.h"
+#include "src/survival/kaplan_meier.h"
+#include "src/survival/metrics.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+constexpr double kDay = 86400.0;
+
+TEST(Binning, PaperSchemeHas47Bins) {
+  const LifetimeBinning binning = MakePaperBinning();
+  EXPECT_EQ(binning.NumBins(), 47u);
+}
+
+TEST(Binning, PaperSchemeBoundaries) {
+  const LifetimeBinning binning = MakePaperBinning();
+  EXPECT_EQ(binning.BinOf(0.0), 0u);             // The zero-lifetime bin.
+  EXPECT_EQ(binning.BinOf(1.0), 1u);             // (0, 5 min].
+  EXPECT_EQ(binning.BinOf(5 * kMinute), 1u);     // Inclusive upper edge.
+  EXPECT_EQ(binning.BinOf(5 * kMinute + 1), 2u);
+  EXPECT_EQ(binning.BinOf(kHour), 12u);          // Last 5-minute bin.
+  EXPECT_EQ(binning.BinOf(kHour + 1), 13u);      // First hourly bin.
+  EXPECT_EQ(binning.BinOf(24 * kHour), 35u);     // Last hourly bin.
+  EXPECT_EQ(binning.BinOf(2 * kDay), 36u);       // First daily bin.
+  EXPECT_EQ(binning.BinOf(10 * kDay), 44u);      // Last daily bin.
+  EXPECT_EQ(binning.BinOf(15 * kDay), 45u);      // The (10 d, 20 d] bin.
+  EXPECT_EQ(binning.BinOf(25 * kDay), 46u);      // The open bin.
+  EXPECT_EQ(binning.BinOf(400 * kDay), 46u);
+  EXPECT_TRUE(binning.IsOpenBin(46));
+  EXPECT_FALSE(binning.IsOpenBin(45));
+}
+
+TEST(Binning, EdgesConsistent) {
+  const LifetimeBinning binning = MakePaperBinning();
+  for (size_t j = 0; j + 1 < binning.NumBins(); ++j) {
+    EXPECT_LT(binning.LowerEdge(j), binning.UpperEdge(j) + 1e-9);
+    EXPECT_DOUBLE_EQ(binning.UpperEdge(j), binning.LowerEdge(j + 1));
+  }
+  EXPECT_DOUBLE_EQ(binning.OpenBinVirtualEnd(), 40 * kDay);
+}
+
+TEST(Binning, QuantileBinningCoversData) {
+  std::vector<double> lifetimes;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    lifetimes.push_back(rng.Exponential(1.0 / kHour));
+  }
+  const LifetimeBinning binning = MakeQuantileBinning(lifetimes, 20);
+  EXPECT_GE(binning.NumBins(), 10u);
+  EXPECT_LE(binning.NumBins(), 20u);
+  // Roughly equal mass per bin.
+  std::vector<int> counts(binning.NumBins(), 0);
+  for (double t : lifetimes) {
+    ++counts[binning.BinOf(t)];
+  }
+  const double expected = 2000.0 / static_cast<double>(binning.NumBins());
+  for (size_t j = 0; j + 1 < counts.size(); ++j) {
+    EXPECT_NEAR(counts[j], expected, expected * 0.6);
+  }
+}
+
+TEST(Binning, RefineMultipliesFiniteBins) {
+  const LifetimeBinning base = MakePaperBinning();
+  const LifetimeBinning fine = RefineBinning(base, 11);
+  // 46 finite edges; the first is the degenerate {0} edge kept as-is, the
+  // remaining 45 bins split 11-ways: 1 + 45*11 edges → +1 open bin.
+  EXPECT_EQ(fine.NumBins(), 1u + 45u * 11u + 1u);
+  // Refinement preserves the original edges.
+  EXPECT_EQ(fine.BinOf(0.0), 0u);
+  EXPECT_EQ(fine.BinOf(25 * kDay), fine.NumBins() - 1);
+}
+
+TEST(Hazard, PmfSurvivalRoundTrip) {
+  const std::vector<double> hazard{0.1, 0.3, 0.5, 1.0};
+  const std::vector<double> pmf = HazardToPmf(hazard);
+  double sum = 0.0;
+  for (double p : pmf) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(pmf[0], 0.1, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.9 * 0.3, 1e-12);
+  EXPECT_NEAR(pmf[2], 0.9 * 0.7 * 0.5, 1e-12);
+  EXPECT_NEAR(pmf[3], 0.9 * 0.7 * 0.5, 1e-12);  // Remainder absorbed.
+
+  const std::vector<double> back = PmfToHazard(pmf);
+  for (size_t j = 0; j < hazard.size(); ++j) {
+    EXPECT_NEAR(back[j], hazard[j], 1e-9) << j;
+  }
+}
+
+TEST(Hazard, SurvivalDecreasesToZero) {
+  const std::vector<double> hazard{0.2, 0.2, 0.2, 0.2, 1.0};
+  const std::vector<double> survival = HazardToSurvival(hazard);
+  for (size_t j = 1; j < survival.size(); ++j) {
+    EXPECT_LE(survival[j], survival[j - 1] + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(survival.back(), 0.0);
+}
+
+// Property sweep: random hazards round-trip through the PMF.
+class HazardRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HazardRoundTripTest, PmfToHazardInverts) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> hazard(12);
+  for (auto& h : hazard) {
+    h = rng.Uniform(0.01, 0.95);
+  }
+  hazard.back() = 1.0;
+  const std::vector<double> back = PmfToHazard(HazardToPmf(hazard));
+  for (size_t j = 0; j < hazard.size(); ++j) {
+    EXPECT_NEAR(back[j], hazard[j], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HazardRoundTripTest, ::testing::Range(1, 9));
+
+TEST(Hazard, SampleMatchesPmf) {
+  Rng rng(7);
+  const std::vector<double> hazard{0.5, 0.5, 1.0};
+  const std::vector<double> pmf = HazardToPmf(hazard);
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[SampleBinFromHazard(hazard, rng)];
+  }
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, pmf[j], 0.01) << j;
+  }
+}
+
+TEST(Hazard, ArgmaxBin) {
+  EXPECT_EQ(ArgmaxBinFromHazard({0.9, 0.5, 1.0}), 0u);
+  EXPECT_EQ(ArgmaxBinFromHazard({0.05, 0.05, 1.0}), 2u);
+}
+
+TEST(KaplanMeier, HandComputedNoCensoring) {
+  // Bins: (0,10], (10,20], open. Events at 5, 5, 15, 25.
+  const LifetimeBinning binning({10.0, 20.0});
+  const std::vector<LifetimeObservation> obs = {
+      {5.0, false}, {5.0, false}, {15.0, false}, {25.0, false}};
+  const KaplanMeier km(obs, binning);
+  ASSERT_EQ(km.NumBins(), 3u);
+  EXPECT_NEAR(km.Hazard()[0], 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(km.Hazard()[1], 1.0 / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(km.Hazard()[2], 1.0);
+}
+
+TEST(KaplanMeier, CensoredGetSurvivalCreditOnly) {
+  // One event in bin 0; one censored in bin 1 (at risk only for bin 0).
+  const LifetimeBinning binning({10.0, 20.0});
+  const std::vector<LifetimeObservation> obs = {{5.0, false}, {15.0, true}};
+  const KaplanMeier km(obs, binning);
+  EXPECT_NEAR(km.Hazard()[0], 1.0 / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(km.Hazard()[1], 0.0);  // Empty risk set in bin 1.
+}
+
+TEST(KaplanMeier, CensoringPolicies) {
+  const LifetimeBinning binning({10.0, 20.0});
+  const std::vector<LifetimeObservation> obs = {
+      {5.0, false}, {5.0, false}, {15.0, true}, {15.0, true}};
+  const KaplanMeier aware(obs, binning, CensoringPolicy::kCensoringAware);
+  const KaplanMeier ignore(obs, binning, CensoringPolicy::kIgnoreCensored);
+  const KaplanMeier terminate(obs, binning, CensoringPolicy::kCensoredTerminates);
+  // Aware: bin0 hazard 2/4; bin1 risk set empty after events+censors → 0.
+  EXPECT_NEAR(aware.Hazard()[0], 0.5, 1e-12);
+  // Ignoring censored: only the two events remain → bin0 hazard 1.
+  EXPECT_NEAR(ignore.Hazard()[0], 1.0, 1e-12);
+  // Censored-terminates: bin1 gets 2 events over 2 at risk.
+  EXPECT_NEAR(terminate.Hazard()[1], 1.0, 1e-12);
+}
+
+TEST(GroupedKaplanMeier, FallsBackForRareGroups) {
+  const LifetimeBinning binning({10.0});
+  std::vector<LifetimeObservation> obs;
+  std::vector<int32_t> groups;
+  for (int i = 0; i < 50; ++i) {
+    obs.push_back({5.0, false});
+    groups.push_back(0);
+  }
+  obs.push_back({15.0, false});  // Group 1: single observation.
+  groups.push_back(1);
+  const GroupedKaplanMeier km(obs, groups, binning, CensoringPolicy::kCensoringAware, 20);
+  EXPECT_EQ(km.NumGroups(), 1u);  // Only group 0 qualifies.
+  EXPECT_NEAR(km.HazardFor(0)[0], 1.0, 1e-12);
+  // Group 1 and unseen group 7 fall back to pooled.
+  EXPECT_EQ(km.HazardFor(1), km.PooledHazard());
+  EXPECT_EQ(km.HazardFor(7), km.PooledHazard());
+  EXPECT_NEAR(km.PooledHazard()[0], 50.0 / 51.0, 1e-12);
+}
+
+TEST(ContinuousKaplanMeier, MatchesTextbookExample) {
+  // Classic PL: events at 1, 2; censor at 1.5; event at 3.
+  const std::vector<LifetimeObservation> obs = {
+      {1.0, false}, {1.5, true}, {2.0, false}, {3.0, false}};
+  const ContinuousKaplanMeier km(obs);
+  EXPECT_DOUBLE_EQ(km.Survival(0.5), 1.0);
+  EXPECT_NEAR(km.Survival(1.0), 0.75, 1e-12);           // 1 * (1 - 1/4).
+  EXPECT_NEAR(km.Survival(2.5), 0.75 * 0.5, 1e-12);     // * (1 - 1/2).
+  EXPECT_NEAR(km.Survival(3.5), 0.0, 1e-12);            // * (1 - 1/1).
+}
+
+TEST(Interpolation, SteppedVsCdi) {
+  const LifetimeBinning binning({10.0, 20.0});
+  const std::vector<double> hazard{0.5, 0.5, 1.0};
+  const SurvivalCurve stepped(hazard, binning, Interpolation::kStepped);
+  const SurvivalCurve cdi(hazard, binning, Interpolation::kCdi);
+  // At the bin edges, both agree with the discrete survival.
+  EXPECT_NEAR(stepped.Survival(10.0), 0.5, 1e-9);
+  EXPECT_NEAR(cdi.Survival(10.0), 0.5, 1e-9);
+  // Mid-bin: stepped holds the previous value, CDI interpolates linearly.
+  EXPECT_NEAR(stepped.Survival(5.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdi.Survival(5.0), 0.75, 1e-9);
+  EXPECT_NEAR(cdi.Survival(15.0), 0.375, 1e-9);
+  // Beyond the open bin's virtual end, survival is 0.
+  EXPECT_DOUBLE_EQ(cdi.Survival(100.0), 0.0);
+}
+
+TEST(Interpolation, SampleDurationWithinBin) {
+  Rng rng(9);
+  const LifetimeBinning binning({10.0, 20.0});
+  for (int i = 0; i < 200; ++i) {
+    const double d = SampleDurationInBin(binning, 1, Interpolation::kCdi, rng);
+    EXPECT_GE(d, 10.0);
+    EXPECT_LE(d, 20.0);
+  }
+  EXPECT_DOUBLE_EQ(SampleDurationInBin(binning, 1, Interpolation::kStepped, rng), 20.0);
+  // Open bin: within [20, virtual end].
+  for (int i = 0; i < 200; ++i) {
+    const double d = SampleDurationInBin(binning, 2, Interpolation::kCdi, rng);
+    EXPECT_GE(d, 20.0);
+    EXPECT_LE(d, 40.0);
+  }
+}
+
+TEST(Metrics, SurvivalMseGridAndValues) {
+  const std::vector<double> grid = MakeSurvivalMseGrid(100.0, 4);
+  EXPECT_EQ(grid, (std::vector<double>{25.0, 50.0, 75.0, 100.0}));
+  // Perfect step prediction has zero MSE.
+  const auto perfect = [](double t) { return t < 60.0 ? 1.0 : 0.0; };
+  EXPECT_NEAR(SurvivalMseForJob(perfect, 60.0, grid), 0.0, 1e-12);
+  // Constant 0.5 prediction has MSE 0.25 everywhere.
+  const auto half = [](double) { return 0.5; };
+  EXPECT_NEAR(SurvivalMseForJob(half, 60.0, grid), 0.25, 1e-12);
+}
+
+TEST(Metrics, HazardBce) {
+  // Event in bin 1 with hazard {0.5, 0.5}: terms -log(0.5) twice → mean log 2.
+  EXPECT_NEAR(HazardBce({0.5, 0.5}, 1, false), std::log(2.0), 1e-9);
+  // Censored in bin 1: only the bin-0 survival term.
+  EXPECT_NEAR(HazardBce({0.5, 0.5}, 1, true), std::log(2.0), 1e-9);
+  // Censored in bin 0: no terms at all.
+  EXPECT_DOUBLE_EQ(HazardBce({0.5, 0.5}, 0, true), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudgen

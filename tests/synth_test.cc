@@ -1,0 +1,184 @@
+// Tests for the ground-truth synthetic cloud: determinism, planted structure
+// (seasonality, batching, flavor stickiness, heavy tails, growth), and
+// windowing behaviour.
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/synth/synthetic_cloud.h"
+#include "src/trace/stats.h"
+#include "src/trace/trace.h"
+
+namespace cloudgen {
+namespace {
+
+SynthProfile TinyProfile() {
+  SynthProfile profile = AzureLikeProfile(0.5);
+  profile.train_days = 3;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.num_users = 60;
+  return profile;
+}
+
+TEST(SyntheticCloud, DeterministicForSeed) {
+  const SynthProfile profile = TinyProfile();
+  const Trace a = SyntheticCloud(profile, 7).Generate();
+  const Trace b = SyntheticCloud(profile, 7).Generate();
+  ASSERT_EQ(a.NumJobs(), b.NumJobs());
+  for (size_t i = 0; i < a.NumJobs(); ++i) {
+    EXPECT_EQ(a.Jobs()[i].start_period, b.Jobs()[i].start_period);
+    EXPECT_EQ(a.Jobs()[i].flavor, b.Jobs()[i].flavor);
+    EXPECT_EQ(a.Jobs()[i].user, b.Jobs()[i].user);
+  }
+}
+
+TEST(SyntheticCloud, SeedChangesOutput) {
+  const SynthProfile profile = TinyProfile();
+  const Trace a = SyntheticCloud(profile, 7).Generate();
+  const Trace b = SyntheticCloud(profile, 8).Generate();
+  EXPECT_NE(a.NumJobs(), b.NumJobs());
+}
+
+TEST(SyntheticCloud, JobsOrderedByPeriodAndInsideWindow) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 3).Generate();
+  ASSERT_GT(trace.NumJobs(), 100u);
+  int64_t prev = 0;
+  for (const Job& job : trace.Jobs()) {
+    EXPECT_GE(job.start_period, prev);
+    EXPECT_GE(job.start_period, 0);
+    EXPECT_LT(job.start_period, trace.WindowEnd());
+    EXPECT_GE(job.end_period, job.start_period);
+    EXPECT_FALSE(job.censored);  // Ground truth is uncensored.
+    prev = job.start_period;
+  }
+}
+
+TEST(SyntheticCloud, DiurnalSeasonalityPresent) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 11).Generate();
+  double day_jobs = 0.0;
+  double night_jobs = 0.0;
+  for (const Job& job : trace.Jobs()) {
+    const PeriodCalendar cal = DecomposePeriod(job.start_period);
+    if (cal.hour_of_day >= 12 && cal.hour_of_day < 18) {
+      day_jobs += 1.0;
+    } else if (cal.hour_of_day < 6) {
+      night_jobs += 1.0;
+    }
+  }
+  EXPECT_GT(day_jobs, night_jobs * 1.5) << "afternoon rate should exceed night rate";
+}
+
+TEST(SyntheticCloud, WithinBatchFlavorStickiness) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 13).Generate();
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  size_t same = 0;
+  size_t pairs = 0;
+  for (const auto& period : periods) {
+    for (const auto& batch : period.batches) {
+      for (size_t i = 1; i < batch.job_indices.size(); ++i) {
+        const int32_t prev = trace.Jobs()[batch.job_indices[i - 1]].flavor;
+        const int32_t cur = trace.Jobs()[batch.job_indices[i]].flavor;
+        same += prev == cur ? 1 : 0;
+        ++pairs;
+      }
+    }
+  }
+  ASSERT_GT(pairs, 50u);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(pairs), 0.7)
+      << "batches must have long runs of one flavor";
+}
+
+TEST(SyntheticCloud, LifetimesHeavyTailed) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 17).Generate();
+  size_t sub_hour = 0;
+  size_t over_day = 0;
+  for (const Job& job : trace.Jobs()) {
+    const double lifetime = job.LifetimeSeconds();
+    if (lifetime <= 3600.0) {
+      ++sub_hour;
+    }
+    if (lifetime > 86400.0) {
+      ++over_day;
+    }
+  }
+  // Both the minutes-scale mass and the multi-day tail exist.
+  EXPECT_GT(sub_hour, trace.NumJobs() / 10);
+  EXPECT_GT(over_day, trace.NumJobs() / 50);
+}
+
+TEST(SyntheticCloud, GrowthTrendRaisesRates) {
+  // Isolate the trend from weekly seasonality (no weekend dip) and compare
+  // whole weeks so the diurnal cycle averages out; strong growth so the AR(1)
+  // momentum noise cannot mask it.
+  SynthProfile profile = HuaweiLikeProfile(1.0);
+  profile.train_days = 14;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.weekend_dip = 1.0;
+  profile.growth_per_day = 0.12;
+  profile.growth_plateau_day = 1 << 30;
+  const Trace trace = SyntheticCloud(profile, 19).Generate();
+  const std::vector<double> counts = JobCountsPerPeriod(trace);
+  auto mean_over_days = [&](int from_day, int to_day) {
+    double sum = 0.0;
+    for (int64_t p = from_day * kPeriodsPerDay; p < to_day * kPeriodsPerDay; ++p) {
+      sum += counts[static_cast<size_t>(p)];
+    }
+    return sum / static_cast<double>((to_day - from_day) * kPeriodsPerDay);
+  };
+  const double week1 = mean_over_days(0, 7);
+  const double week2 = mean_over_days(7, 14);
+  // exp(0.12 * 7) ≈ 2.3× between week midpoints; demand at least 1.4×.
+  EXPECT_GT(week2, week1 * 1.4) << "growth must be visible across the training window";
+}
+
+TEST(SyntheticCloud, CensoringAppearsAfterWindowing) {
+  const Trace full = SyntheticCloud(TinyProfile(), 23).Generate();
+  const Trace windowed =
+      ApplyObservationWindow(full, 0, 2 * kPeriodsPerDay, 2 * kPeriodsPerDay);
+  const double fraction = CensoredFraction(windowed);
+  EXPECT_GT(fraction, 0.01);
+  EXPECT_LT(fraction, 0.6);
+}
+
+TEST(SyntheticCloud, ArrivalRateScalesWithProfile) {
+  SynthProfile small = TinyProfile();
+  SynthProfile big = TinyProfile();
+  big.base_batches_per_period *= 3.0;
+  const size_t small_jobs = SyntheticCloud(small, 29).Generate().NumJobs();
+  const size_t big_jobs = SyntheticCloud(big, 29).Generate().NumJobs();
+  EXPECT_GT(static_cast<double>(big_jobs), 2.0 * static_cast<double>(small_jobs));
+}
+
+TEST(SyntheticCloud, UsersHaveFlavorAffinity) {
+  const Trace trace = SyntheticCloud(TinyProfile(), 31).Generate();
+  // For each heavy user, the top flavor should dominate their requests —
+  // i.e., users are not sampling flavors globally.
+  std::unordered_map<int64_t, std::unordered_map<int32_t, size_t>> per_user;
+  for (const Job& job : trace.Jobs()) {
+    ++per_user[job.user][job.flavor];
+  }
+  size_t checked = 0;
+  size_t concentrated = 0;
+  for (const auto& [user, flavors] : per_user) {
+    size_t total = 0;
+    size_t top = 0;
+    for (const auto& [flavor, count] : flavors) {
+      total += count;
+      top = std::max(top, count);
+    }
+    if (total >= 50) {
+      ++checked;
+      if (static_cast<double>(top) / static_cast<double>(total) > 0.4) {
+        ++concentrated;
+      }
+    }
+  }
+  ASSERT_GT(checked, 3u);
+  EXPECT_GT(static_cast<double>(concentrated) / static_cast<double>(checked), 0.8);
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,206 @@
+// Tests for the trace data model: windowing/censoring, splits, batching,
+// counts, stats, events, and CSV round trips.
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/events.h"
+#include "src/trace/stats.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+FlavorCatalog TwoFlavors() {
+  return {{0, 2.0, 8.0, "small"}, {1, 8.0, 32.0, "large"}};
+}
+
+Job MakeJob(int64_t start, int64_t end, int32_t flavor, int64_t user) {
+  Job job;
+  job.start_period = start;
+  job.end_period = end;
+  job.flavor = flavor;
+  job.user = user;
+  return job;
+}
+
+TEST(Trace, LifetimeSeconds) {
+  const Job job = MakeJob(10, 22, 0, 1);
+  EXPECT_DOUBLE_EQ(job.LifetimeSeconds(), 12.0 * 300.0);
+}
+
+TEST(Trace, ObservationWindowDropsAndCensors) {
+  Trace trace(TwoFlavors(), 0, 100);
+  trace.Add(MakeJob(0, 5, 0, 1));    // Inside, ends inside.
+  trace.Add(MakeJob(10, 80, 0, 2));  // Starts inside window, ends past 50.
+  trace.Add(MakeJob(60, 70, 1, 3));  // Starts after window end.
+  const Trace windowed = ApplyObservationWindow(trace, 5, 50, 50);
+  ASSERT_EQ(windowed.NumJobs(), 1u);
+  const Job& job = windowed.Jobs()[0];
+  EXPECT_EQ(job.start_period, 10);
+  EXPECT_EQ(job.end_period, 50);  // Censored at the window end.
+  EXPECT_TRUE(job.censored);
+}
+
+TEST(Trace, ObservationWindowExtendedHorizon) {
+  Trace trace(TwoFlavors(), 0, 100);
+  trace.Add(MakeJob(10, 70, 0, 1));  // Ends within the extended horizon.
+  trace.Add(MakeJob(10, 90, 0, 2));  // Ends beyond it.
+  const Trace windowed = ApplyObservationWindow(trace, 0, 50, 80);
+  ASSERT_EQ(windowed.NumJobs(), 2u);
+  EXPECT_FALSE(windowed.Jobs()[0].censored);
+  EXPECT_EQ(windowed.Jobs()[0].end_period, 70);
+  EXPECT_TRUE(windowed.Jobs()[1].censored);
+  EXPECT_EQ(windowed.Jobs()[1].end_period, 80);
+}
+
+TEST(Trace, SplitsCensorIndependently) {
+  Trace trace(TwoFlavors(), 0, 300);
+  trace.Add(MakeJob(10, 250, 0, 1));   // Train window job running into test.
+  trace.Add(MakeJob(120, 140, 0, 2));  // Dev window job, ends in dev.
+  trace.Add(MakeJob(210, 400, 1, 3));  // Test job running past everything.
+  const TraceSplits splits = SplitTrace(trace, 100, 200, 300);
+  ASSERT_EQ(splits.train.NumJobs(), 1u);
+  EXPECT_TRUE(splits.train.Jobs()[0].censored);
+  EXPECT_EQ(splits.train.Jobs()[0].end_period, 100);
+  ASSERT_EQ(splits.dev.NumJobs(), 1u);
+  EXPECT_FALSE(splits.dev.Jobs()[0].censored);
+  ASSERT_EQ(splits.test.NumJobs(), 1u);
+  EXPECT_TRUE(splits.test.Jobs()[0].censored);
+  EXPECT_EQ(splits.test.Jobs()[0].end_period, 300);
+}
+
+TEST(Trace, BatchesGroupByUserWithinPeriod) {
+  Trace trace(TwoFlavors(), 0, 3);
+  trace.Add(MakeJob(0, 1, 0, 5));  // Period 0, user 5.
+  trace.Add(MakeJob(0, 1, 1, 9));  // Period 0, user 9.
+  trace.Add(MakeJob(0, 1, 0, 5));  // Period 0, user 5 again → same batch.
+  trace.Add(MakeJob(2, 3, 0, 5));  // Period 2, user 5 → new batch.
+  const std::vector<PeriodBatches> periods = BuildBatches(trace);
+  ASSERT_EQ(periods.size(), 3u);
+  ASSERT_EQ(periods[0].batches.size(), 2u);
+  // Batch order follows first arrival: user 5 first.
+  EXPECT_EQ(periods[0].batches[0].user, 5);
+  EXPECT_EQ(periods[0].batches[0].job_indices, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(periods[0].batches[1].user, 9);
+  EXPECT_EQ(periods[0].TotalJobs(), 3u);
+  EXPECT_TRUE(periods[1].batches.empty());
+  ASSERT_EQ(periods[2].batches.size(), 1u);
+}
+
+TEST(Trace, CountsPerPeriod) {
+  Trace trace(TwoFlavors(), 0, 3);
+  trace.Add(MakeJob(0, 1, 0, 1));
+  trace.Add(MakeJob(0, 1, 0, 1));
+  trace.Add(MakeJob(0, 1, 0, 2));
+  trace.Add(MakeJob(2, 3, 0, 1));
+  EXPECT_EQ(BatchCountsPerPeriod(trace), (std::vector<double>{2.0, 0.0, 1.0}));
+  EXPECT_EQ(JobCountsPerPeriod(trace), (std::vector<double>{3.0, 0.0, 1.0}));
+}
+
+TEST(Stats, TotalCpusPerPeriod) {
+  Trace trace(TwoFlavors(), 0, 5);
+  trace.Add(MakeJob(0, 3, 0, 1));  // 2 CPUs over periods 0-2.
+  trace.Add(MakeJob(1, 2, 1, 2));  // 8 CPUs over period 1.
+  Job censored = MakeJob(2, 4, 0, 3);
+  censored.censored = true;  // Keeps running through the horizon.
+  trace.Add(censored);
+  const std::vector<double> totals = TotalCpusPerPeriod(trace, 0, 5);
+  EXPECT_EQ(totals, (std::vector<double>{2.0, 10.0, 4.0, 2.0, 2.0}));
+}
+
+TEST(Stats, SummaryBasics) {
+  Trace trace(TwoFlavors(), 0, kPeriodsPerDay);
+  trace.Add(MakeJob(0, 12, 0, 1));
+  Job censored = MakeJob(5, 20, 1, 2);
+  censored.censored = true;
+  trace.Add(censored);
+  const TraceSummary summary = Summarize(trace);
+  EXPECT_EQ(summary.num_jobs, 2u);
+  EXPECT_EQ(summary.num_users, 2u);
+  EXPECT_DOUBLE_EQ(summary.window_days, 1.0);
+  EXPECT_DOUBLE_EQ(summary.censored_fraction, 0.5);
+  EXPECT_NEAR(summary.mean_lifetime_hours, 1.0, 1e-9);  // 12 periods = 1 h.
+}
+
+TEST(Stats, FlavorAndBatchSizeCounts) {
+  Trace trace(TwoFlavors(), 0, 1);
+  trace.Add(MakeJob(0, 1, 0, 1));
+  trace.Add(MakeJob(0, 1, 0, 1));
+  trace.Add(MakeJob(0, 1, 1, 2));
+  EXPECT_EQ(FlavorCounts(trace), (std::vector<double>{2.0, 1.0}));
+  const std::vector<double> sizes = BatchSizeCounts(trace);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_DOUBLE_EQ(sizes[1], 1.0);
+  EXPECT_DOUBLE_EQ(sizes[2], 1.0);
+}
+
+TEST(Events, StreamOrderingAndCensoring) {
+  Rng rng(1);
+  Trace trace(TwoFlavors(), 0, 10);
+  trace.Add(MakeJob(0, 2, 0, 1));
+  trace.Add(MakeJob(0, 1, 1, 2));
+  Job censored = MakeJob(1, 5, 0, 3);
+  censored.censored = true;
+  trace.Add(censored);
+  const std::vector<Event> events = BuildEventStream(trace, rng);
+  // 3 arrivals + 2 departures (censored job gets none).
+  ASSERT_EQ(events.size(), 5u);
+  // Sorted by time.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time_seconds, events[i].time_seconds);
+  }
+  // Arrivals of period-0 jobs preserve trace order.
+  EXPECT_EQ(events[0].kind, EventKind::kArrival);
+  EXPECT_EQ(events[0].job_index, 0u);
+  EXPECT_EQ(events[1].job_index, 1u);
+  // Departures always after their own arrival.
+  std::vector<double> arrival_time(3, -1.0);
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kArrival) {
+      arrival_time[event.job_index] = event.time_seconds;
+    } else {
+      EXPECT_GT(event.time_seconds, arrival_time[event.job_index]);
+    }
+  }
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const std::string jobs_path = ::testing::TempDir() + "/cg_jobs.csv";
+  const std::string flavors_path = ::testing::TempDir() + "/cg_flavors.csv";
+  Trace trace(TwoFlavors(), 0, 50);
+  trace.Add(MakeJob(1, 10, 0, 42));
+  Job censored = MakeJob(3, 50, 1, 43);
+  censored.censored = true;
+  trace.Add(censored);
+  ASSERT_TRUE(WriteTraceCsv(trace, jobs_path, flavors_path));
+
+  Trace loaded;
+  ASSERT_TRUE(ReadTraceCsv(jobs_path, flavors_path, 0, 50, &loaded));
+  ASSERT_EQ(loaded.NumJobs(), 2u);
+  EXPECT_EQ(loaded.NumFlavors(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.Flavors()[1].cpus, 8.0);
+  EXPECT_EQ(loaded.Jobs()[0].start_period, 1);
+  EXPECT_EQ(loaded.Jobs()[0].user, 42);
+  EXPECT_FALSE(loaded.Jobs()[0].censored);
+  EXPECT_TRUE(loaded.Jobs()[1].censored);
+  std::remove(jobs_path.c_str());
+  std::remove(flavors_path.c_str());
+}
+
+TEST(Trace, NormalizeOrderStableSort) {
+  Trace trace(TwoFlavors(), 0, 10);
+  trace.Add(MakeJob(5, 6, 0, 1));
+  trace.Add(MakeJob(2, 3, 0, 2));
+  trace.Add(MakeJob(5, 6, 1, 3));
+  trace.NormalizeOrder();
+  EXPECT_EQ(trace.Jobs()[0].user, 2);
+  EXPECT_EQ(trace.Jobs()[1].user, 1);  // Stable among equal start periods.
+  EXPECT_EQ(trace.Jobs()[2].user, 3);
+}
+
+}  // namespace
+}  // namespace cloudgen

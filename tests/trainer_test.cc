@@ -1,0 +1,79 @@
+// Tests for the minibatch sequence layout shared by both LSTM trainers.
+#include "src/core/trainer.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(SequenceBatching, LayoutCoversDistinctSteps) {
+  const SequenceBatching batching(1000, {10, 4});
+  EXPECT_EQ(batching.SeqLen(), 10u);
+  EXPECT_EQ(batching.BatchSize(), 4u);
+  // 100 sequences / 4 per minibatch = 25 minibatches.
+  EXPECT_EQ(batching.NumMinibatches(), 25u);
+  std::set<size_t> seen;
+  for (size_t mb = 0; mb < batching.NumMinibatches(); ++mb) {
+    for (size_t t = 0; t < batching.SeqLen(); ++t) {
+      for (size_t b = 0; b < batching.BatchSize(); ++b) {
+        const size_t idx = batching.StepIndex(mb, t, b);
+        EXPECT_LT(idx, 1000u);
+        EXPECT_TRUE(seen.insert(idx).second) << "duplicate step " << idx;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SequenceBatching, SequencesAreContiguousInTime) {
+  const SequenceBatching batching(200, {10, 2});
+  for (size_t mb = 0; mb < batching.NumMinibatches(); ++mb) {
+    for (size_t b = 0; b < batching.BatchSize(); ++b) {
+      for (size_t t = 1; t < batching.SeqLen(); ++t) {
+        EXPECT_EQ(batching.StepIndex(mb, t, b), batching.StepIndex(mb, t - 1, b) + 1);
+      }
+    }
+  }
+}
+
+TEST(SequenceBatching, ShrinksForTinyDatasets) {
+  // 7 steps cannot fill a 16-step sequence; the layout halves seq_len until a
+  // sequence fits.
+  const SequenceBatching batching(7, {16, 8});
+  EXPECT_GE(batching.NumMinibatches(), 1u);
+  EXPECT_LE(batching.SeqLen() * batching.BatchSize(), 7u);
+}
+
+TEST(SequenceBatching, DropsLeftoverTail) {
+  const SequenceBatching batching(109, {10, 2});
+  // 10 sequences → 5 minibatches; steps 100..108 dropped.
+  EXPECT_EQ(batching.NumMinibatches(), 5u);
+  size_t max_idx = 0;
+  for (size_t mb = 0; mb < batching.NumMinibatches(); ++mb) {
+    for (size_t t = 0; t < batching.SeqLen(); ++t) {
+      for (size_t b = 0; b < batching.BatchSize(); ++b) {
+        max_idx = std::max(max_idx, batching.StepIndex(mb, t, b));
+      }
+    }
+  }
+  EXPECT_LT(max_idx, 100u);
+}
+
+TEST(SequenceBatching, EpochOrderIsPermutation) {
+  const SequenceBatching batching(960, {12, 4});
+  Rng rng(1);
+  const std::vector<size_t> order = batching.EpochOrder(rng);
+  EXPECT_EQ(order.size(), batching.NumMinibatches());
+  std::set<size_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+  // A different epoch shuffles differently (overwhelmingly likely).
+  const std::vector<size_t> order2 = batching.EpochOrder(rng);
+  EXPECT_NE(order, order2);
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,66 @@
+// Tests for the Fig.-1-style trace visualizer.
+#include "src/viz/trace_viz.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/synth/synthetic_cloud.h"
+
+namespace cloudgen {
+namespace {
+
+Trace SmallTrace() {
+  SynthProfile profile = AzureLikeProfile(0.3);
+  profile.train_days = 1;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  return SyntheticCloud(profile, 404).Generate();
+}
+
+TEST(Viz, AnsiRenderNonEmptyAndBounded) {
+  const Trace trace = SmallTrace();
+  VizOptions options;
+  options.from_period = 0;
+  options.to_period = 24;
+  options.max_row_cells = 80;
+  const std::string out = RenderAnsi(trace, MakePaperBinning(), options);
+  EXPECT_FALSE(out.empty());
+  // 24 period rows.
+  size_t newlines = 0;
+  for (char c : out) {
+    newlines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(newlines, 24u);
+  EXPECT_NE(out.find("\x1b[48;2;"), std::string::npos) << "must contain ANSI colors";
+}
+
+TEST(Viz, PpmHeaderAndSize) {
+  const Trace trace = SmallTrace();
+  VizOptions options;
+  options.from_period = 0;
+  options.to_period = 12;
+  options.max_row_cells = 64;
+  const std::string path = ::testing::TempDir() + "/cg_viz.ppm";
+  ASSERT_TRUE(WritePpm(trace, MakePaperBinning(), options, path, 2));
+
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  size_t width = 0;
+  size_t height = 0;
+  int maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(width, 64u);
+  EXPECT_EQ(height, 24u);  // 12 periods × row_height 2.
+  EXPECT_EQ(maxval, 255);
+  in.get();  // The single whitespace after the header.
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(payload.size(), width * height * 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cloudgen
