@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lifetime_head"
+  "../bench/ablation_lifetime_head.pdb"
+  "CMakeFiles/ablation_lifetime_head.dir/ablation_lifetime_head.cc.o"
+  "CMakeFiles/ablation_lifetime_head.dir/ablation_lifetime_head.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lifetime_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_single_lstm"
+  "../bench/ablation_single_lstm.pdb"
+  "CMakeFiles/ablation_single_lstm.dir/ablation_single_lstm.cc.o"
+  "CMakeFiles/ablation_single_lstm.dir/ablation_single_lstm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_single_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/export_figures"
+  "../bench/export_figures.pdb"
+  "CMakeFiles/export_figures.dir/export_figures.cc.o"
+  "CMakeFiles/export_figures.dir/export_figures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_table5_packing"
+  "../bench/fig10_table5_packing.pdb"
+  "CMakeFiles/fig10_table5_packing.dir/fig10_table5_packing.cc.o"
+  "CMakeFiles/fig10_table5_packing.dir/fig10_table5_packing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_table5_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_batch_arrivals_azure"
+  "../bench/fig4_batch_arrivals_azure.pdb"
+  "CMakeFiles/fig4_batch_arrivals_azure.dir/fig4_batch_arrivals_azure.cc.o"
+  "CMakeFiles/fig4_batch_arrivals_azure.dir/fig4_batch_arrivals_azure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_batch_arrivals_azure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_batch_arrivals_huawei"
+  "../bench/fig5_batch_arrivals_huawei.pdb"
+  "CMakeFiles/fig5_batch_arrivals_huawei.dir/fig5_batch_arrivals_huawei.cc.o"
+  "CMakeFiles/fig5_batch_arrivals_huawei.dir/fig5_batch_arrivals_huawei.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_batch_arrivals_huawei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_individual_arrivals"
+  "../bench/fig6_individual_arrivals.pdb"
+  "CMakeFiles/fig6_individual_arrivals.dir/fig6_individual_arrivals.cc.o"
+  "CMakeFiles/fig6_individual_arrivals.dir/fig6_individual_arrivals.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_individual_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_capacity_azure"
+  "../bench/fig7_capacity_azure.pdb"
+  "CMakeFiles/fig7_capacity_azure.dir/fig7_capacity_azure.cc.o"
+  "CMakeFiles/fig7_capacity_azure.dir/fig7_capacity_azure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_capacity_azure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

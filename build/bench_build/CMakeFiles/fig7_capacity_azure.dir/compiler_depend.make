@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_capacity_azure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_capacity_huawei"
+  "../bench/fig8_capacity_huawei.pdb"
+  "CMakeFiles/fig8_capacity_huawei.dir/fig8_capacity_huawei.cc.o"
+  "CMakeFiles/fig8_capacity_huawei.dir/fig8_capacity_huawei.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_capacity_huawei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_reuse_distance"
+  "../bench/fig9_reuse_distance.pdb"
+  "CMakeFiles/fig9_reuse_distance.dir/fig9_reuse_distance.cc.o"
+  "CMakeFiles/fig9_reuse_distance.dir/fig9_reuse_distance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

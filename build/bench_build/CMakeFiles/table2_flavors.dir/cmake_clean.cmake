@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_flavors"
+  "../bench/table2_flavors.pdb"
+  "CMakeFiles/table2_flavors.dir/table2_flavors.cc.o"
+  "CMakeFiles/table2_flavors.dir/table2_flavors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

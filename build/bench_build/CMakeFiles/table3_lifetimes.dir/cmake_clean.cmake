@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_lifetimes"
+  "../bench/table3_lifetimes.pdb"
+  "CMakeFiles/table3_lifetimes.dir/table3_lifetimes.cc.o"
+  "CMakeFiles/table3_lifetimes.dir/table3_lifetimes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_survival_mse"
+  "../bench/table4_survival_mse.pdb"
+  "CMakeFiles/table4_survival_mse.dir/table4_survival_mse.cc.o"
+  "CMakeFiles/table4_survival_mse.dir/table4_survival_mse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_survival_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

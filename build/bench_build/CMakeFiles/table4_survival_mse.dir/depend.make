@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_survival_mse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/trace_quality_discriminator"
+  "../bench/trace_quality_discriminator.pdb"
+  "CMakeFiles/trace_quality_discriminator.dir/trace_quality_discriminator.cc.o"
+  "CMakeFiles/trace_quality_discriminator.dir/trace_quality_discriminator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_quality_discriminator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

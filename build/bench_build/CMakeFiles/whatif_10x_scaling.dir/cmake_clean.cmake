@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/whatif_10x_scaling"
+  "../bench/whatif_10x_scaling.pdb"
+  "CMakeFiles/whatif_10x_scaling.dir/whatif_10x_scaling.cc.o"
+  "CMakeFiles/whatif_10x_scaling.dir/whatif_10x_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_10x_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

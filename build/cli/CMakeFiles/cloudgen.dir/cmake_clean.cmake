@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen.dir/cloudgen_main.cc.o"
+  "CMakeFiles/cloudgen.dir/cloudgen_main.cc.o.d"
+  "cloudgen"
+  "cloudgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_flavors.dir/beyond_flavors.cpp.o"
+  "CMakeFiles/beyond_flavors.dir/beyond_flavors.cpp.o.d"
+  "beyond_flavors"
+  "beyond_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_stress.dir/scheduler_stress.cpp.o"
+  "CMakeFiles/scheduler_stress.dir/scheduler_stress.cpp.o.d"
+  "scheduler_stress"
+  "scheduler_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

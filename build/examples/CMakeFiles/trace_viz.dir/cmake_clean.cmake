@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_viz.dir/trace_viz.cpp.o"
+  "CMakeFiles/trace_viz.dir/trace_viz.cpp.o.d"
+  "trace_viz"
+  "trace_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

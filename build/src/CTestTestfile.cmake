@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("nn")
+subdirs("glm")
+subdirs("survival")
+subdirs("trace")
+subdirs("synth")
+subdirs("baselines")
+subdirs("core")
+subdirs("eval")
+subdirs("sched")
+subdirs("viz")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_baselines.dir/flavor_baselines.cc.o"
+  "CMakeFiles/cloudgen_baselines.dir/flavor_baselines.cc.o.d"
+  "CMakeFiles/cloudgen_baselines.dir/generators.cc.o"
+  "CMakeFiles/cloudgen_baselines.dir/generators.cc.o.d"
+  "CMakeFiles/cloudgen_baselines.dir/lifetime_baselines.cc.o"
+  "CMakeFiles/cloudgen_baselines.dir/lifetime_baselines.cc.o.d"
+  "libcloudgen_baselines.a"
+  "libcloudgen_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

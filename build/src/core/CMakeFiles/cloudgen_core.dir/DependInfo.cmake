@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrival_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/arrival_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/arrival_model.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/cloudgen_core.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/encoding.cc.o.d"
+  "/root/repo/src/core/flavor_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/flavor_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/flavor_model.cc.o.d"
+  "/root/repo/src/core/lifetime_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o.d"
+  "/root/repo/src/core/resource_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/resource_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/resource_model.cc.o.d"
+  "/root/repo/src/core/single_lstm_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/single_lstm_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/single_lstm_model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/cloudgen_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/workload_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/workload_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/workload_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/glm/CMakeFiles/cloudgen_glm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cloudgen_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/survival/CMakeFiles/cloudgen_survival.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cloudgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cloudgen_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_core.dir/arrival_model.cc.o"
+  "CMakeFiles/cloudgen_core.dir/arrival_model.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/encoding.cc.o"
+  "CMakeFiles/cloudgen_core.dir/encoding.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/flavor_model.cc.o"
+  "CMakeFiles/cloudgen_core.dir/flavor_model.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o"
+  "CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/resource_model.cc.o"
+  "CMakeFiles/cloudgen_core.dir/resource_model.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/single_lstm_model.cc.o"
+  "CMakeFiles/cloudgen_core.dir/single_lstm_model.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/trainer.cc.o"
+  "CMakeFiles/cloudgen_core.dir/trainer.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/workload_model.cc.o"
+  "CMakeFiles/cloudgen_core.dir/workload_model.cc.o.d"
+  "libcloudgen_core.a"
+  "libcloudgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

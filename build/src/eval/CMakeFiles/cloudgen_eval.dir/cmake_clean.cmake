@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_eval.dir/capacity.cc.o"
+  "CMakeFiles/cloudgen_eval.dir/capacity.cc.o.d"
+  "CMakeFiles/cloudgen_eval.dir/coverage.cc.o"
+  "CMakeFiles/cloudgen_eval.dir/coverage.cc.o.d"
+  "CMakeFiles/cloudgen_eval.dir/discriminator.cc.o"
+  "CMakeFiles/cloudgen_eval.dir/discriminator.cc.o.d"
+  "CMakeFiles/cloudgen_eval.dir/forecasting.cc.o"
+  "CMakeFiles/cloudgen_eval.dir/forecasting.cc.o.d"
+  "CMakeFiles/cloudgen_eval.dir/workbench.cc.o"
+  "CMakeFiles/cloudgen_eval.dir/workbench.cc.o.d"
+  "libcloudgen_eval.a"
+  "libcloudgen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glm/elastic_net.cc" "src/glm/CMakeFiles/cloudgen_glm.dir/elastic_net.cc.o" "gcc" "src/glm/CMakeFiles/cloudgen_glm.dir/elastic_net.cc.o.d"
+  "/root/repo/src/glm/features.cc" "src/glm/CMakeFiles/cloudgen_glm.dir/features.cc.o" "gcc" "src/glm/CMakeFiles/cloudgen_glm.dir/features.cc.o.d"
+  "/root/repo/src/glm/poisson_regression.cc" "src/glm/CMakeFiles/cloudgen_glm.dir/poisson_regression.cc.o" "gcc" "src/glm/CMakeFiles/cloudgen_glm.dir/poisson_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_glm.dir/elastic_net.cc.o"
+  "CMakeFiles/cloudgen_glm.dir/elastic_net.cc.o.d"
+  "CMakeFiles/cloudgen_glm.dir/features.cc.o"
+  "CMakeFiles/cloudgen_glm.dir/features.cc.o.d"
+  "CMakeFiles/cloudgen_glm.dir/poisson_regression.cc.o"
+  "CMakeFiles/cloudgen_glm.dir/poisson_regression.cc.o.d"
+  "libcloudgen_glm.a"
+  "libcloudgen_glm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_glm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

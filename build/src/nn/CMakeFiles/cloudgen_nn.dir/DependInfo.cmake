@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/cloudgen_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/cloudgen_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/cloudgen_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/cloudgen_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/cloudgen_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/cloudgen_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/cloudgen_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/cloudgen_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/cloudgen_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/cloudgen_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/sequence_network.cc" "src/nn/CMakeFiles/cloudgen_nn.dir/sequence_network.cc.o" "gcc" "src/nn/CMakeFiles/cloudgen_nn.dir/sequence_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cloudgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_nn.dir/activations.cc.o"
+  "CMakeFiles/cloudgen_nn.dir/activations.cc.o.d"
+  "CMakeFiles/cloudgen_nn.dir/adam.cc.o"
+  "CMakeFiles/cloudgen_nn.dir/adam.cc.o.d"
+  "CMakeFiles/cloudgen_nn.dir/linear.cc.o"
+  "CMakeFiles/cloudgen_nn.dir/linear.cc.o.d"
+  "CMakeFiles/cloudgen_nn.dir/losses.cc.o"
+  "CMakeFiles/cloudgen_nn.dir/losses.cc.o.d"
+  "CMakeFiles/cloudgen_nn.dir/lstm.cc.o"
+  "CMakeFiles/cloudgen_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/cloudgen_nn.dir/sequence_network.cc.o"
+  "CMakeFiles/cloudgen_nn.dir/sequence_network.cc.o.d"
+  "libcloudgen_nn.a"
+  "libcloudgen_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

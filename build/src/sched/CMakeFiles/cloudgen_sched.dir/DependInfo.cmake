@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster.cc" "src/sched/CMakeFiles/cloudgen_sched.dir/cluster.cc.o" "gcc" "src/sched/CMakeFiles/cloudgen_sched.dir/cluster.cc.o.d"
+  "/root/repo/src/sched/ffar.cc" "src/sched/CMakeFiles/cloudgen_sched.dir/ffar.cc.o" "gcc" "src/sched/CMakeFiles/cloudgen_sched.dir/ffar.cc.o.d"
+  "/root/repo/src/sched/packing.cc" "src/sched/CMakeFiles/cloudgen_sched.dir/packing.cc.o" "gcc" "src/sched/CMakeFiles/cloudgen_sched.dir/packing.cc.o.d"
+  "/root/repo/src/sched/reuse_distance.cc" "src/sched/CMakeFiles/cloudgen_sched.dir/reuse_distance.cc.o" "gcc" "src/sched/CMakeFiles/cloudgen_sched.dir/reuse_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cloudgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/glm/CMakeFiles/cloudgen_glm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_sched.dir/cluster.cc.o"
+  "CMakeFiles/cloudgen_sched.dir/cluster.cc.o.d"
+  "CMakeFiles/cloudgen_sched.dir/ffar.cc.o"
+  "CMakeFiles/cloudgen_sched.dir/ffar.cc.o.d"
+  "CMakeFiles/cloudgen_sched.dir/packing.cc.o"
+  "CMakeFiles/cloudgen_sched.dir/packing.cc.o.d"
+  "CMakeFiles/cloudgen_sched.dir/reuse_distance.cc.o"
+  "CMakeFiles/cloudgen_sched.dir/reuse_distance.cc.o.d"
+  "libcloudgen_sched.a"
+  "libcloudgen_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

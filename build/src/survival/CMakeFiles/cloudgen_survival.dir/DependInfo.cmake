@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survival/binning.cc" "src/survival/CMakeFiles/cloudgen_survival.dir/binning.cc.o" "gcc" "src/survival/CMakeFiles/cloudgen_survival.dir/binning.cc.o.d"
+  "/root/repo/src/survival/hazard.cc" "src/survival/CMakeFiles/cloudgen_survival.dir/hazard.cc.o" "gcc" "src/survival/CMakeFiles/cloudgen_survival.dir/hazard.cc.o.d"
+  "/root/repo/src/survival/interpolation.cc" "src/survival/CMakeFiles/cloudgen_survival.dir/interpolation.cc.o" "gcc" "src/survival/CMakeFiles/cloudgen_survival.dir/interpolation.cc.o.d"
+  "/root/repo/src/survival/kaplan_meier.cc" "src/survival/CMakeFiles/cloudgen_survival.dir/kaplan_meier.cc.o" "gcc" "src/survival/CMakeFiles/cloudgen_survival.dir/kaplan_meier.cc.o.d"
+  "/root/repo/src/survival/metrics.cc" "src/survival/CMakeFiles/cloudgen_survival.dir/metrics.cc.o" "gcc" "src/survival/CMakeFiles/cloudgen_survival.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_survival.dir/binning.cc.o"
+  "CMakeFiles/cloudgen_survival.dir/binning.cc.o.d"
+  "CMakeFiles/cloudgen_survival.dir/hazard.cc.o"
+  "CMakeFiles/cloudgen_survival.dir/hazard.cc.o.d"
+  "CMakeFiles/cloudgen_survival.dir/interpolation.cc.o"
+  "CMakeFiles/cloudgen_survival.dir/interpolation.cc.o.d"
+  "CMakeFiles/cloudgen_survival.dir/kaplan_meier.cc.o"
+  "CMakeFiles/cloudgen_survival.dir/kaplan_meier.cc.o.d"
+  "CMakeFiles/cloudgen_survival.dir/metrics.cc.o"
+  "CMakeFiles/cloudgen_survival.dir/metrics.cc.o.d"
+  "libcloudgen_survival.a"
+  "libcloudgen_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/synthetic_cloud.cc" "src/synth/CMakeFiles/cloudgen_synth.dir/synthetic_cloud.cc.o" "gcc" "src/synth/CMakeFiles/cloudgen_synth.dir/synthetic_cloud.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cloudgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/glm/CMakeFiles/cloudgen_glm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

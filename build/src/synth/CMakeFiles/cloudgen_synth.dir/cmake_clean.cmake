@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_synth.dir/synthetic_cloud.cc.o"
+  "CMakeFiles/cloudgen_synth.dir/synthetic_cloud.cc.o.d"
+  "libcloudgen_synth.a"
+  "libcloudgen_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

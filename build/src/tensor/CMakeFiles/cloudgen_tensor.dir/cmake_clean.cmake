@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_tensor.dir/matrix.cc.o"
+  "CMakeFiles/cloudgen_tensor.dir/matrix.cc.o.d"
+  "libcloudgen_tensor.a"
+  "libcloudgen_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_trace.dir/events.cc.o"
+  "CMakeFiles/cloudgen_trace.dir/events.cc.o.d"
+  "CMakeFiles/cloudgen_trace.dir/stats.cc.o"
+  "CMakeFiles/cloudgen_trace.dir/stats.cc.o.d"
+  "CMakeFiles/cloudgen_trace.dir/trace.cc.o"
+  "CMakeFiles/cloudgen_trace.dir/trace.cc.o.d"
+  "CMakeFiles/cloudgen_trace.dir/trace_io.cc.o"
+  "CMakeFiles/cloudgen_trace.dir/trace_io.cc.o.d"
+  "libcloudgen_trace.a"
+  "libcloudgen_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

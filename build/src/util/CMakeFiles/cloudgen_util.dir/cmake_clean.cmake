@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_util.dir/csv.cc.o"
+  "CMakeFiles/cloudgen_util.dir/csv.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/env.cc.o"
+  "CMakeFiles/cloudgen_util.dir/env.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/log.cc.o"
+  "CMakeFiles/cloudgen_util.dir/log.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/rng.cc.o"
+  "CMakeFiles/cloudgen_util.dir/rng.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/stats.cc.o"
+  "CMakeFiles/cloudgen_util.dir/stats.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/strings.cc.o"
+  "CMakeFiles/cloudgen_util.dir/strings.cc.o.d"
+  "libcloudgen_util.a"
+  "libcloudgen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

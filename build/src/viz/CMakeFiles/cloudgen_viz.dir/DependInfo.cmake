@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/trace_viz.cc" "src/viz/CMakeFiles/cloudgen_viz.dir/trace_viz.cc.o" "gcc" "src/viz/CMakeFiles/cloudgen_viz.dir/trace_viz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/survival/CMakeFiles/cloudgen_survival.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cloudgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/glm/CMakeFiles/cloudgen_glm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

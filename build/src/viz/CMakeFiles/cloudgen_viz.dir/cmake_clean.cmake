@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_viz.dir/trace_viz.cc.o"
+  "CMakeFiles/cloudgen_viz.dir/trace_viz.cc.o.d"
+  "libcloudgen_viz.a"
+  "libcloudgen_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudgen_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudgen_viz.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_model_test.dir/arrival_model_test.cc.o"
+  "CMakeFiles/arrival_model_test.dir/arrival_model_test.cc.o.d"
+  "arrival_model_test"
+  "arrival_model_test.pdb"
+  "arrival_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flavor_model_test.dir/flavor_model_test.cc.o"
+  "CMakeFiles/flavor_model_test.dir/flavor_model_test.cc.o.d"
+  "flavor_model_test"
+  "flavor_model_test.pdb"
+  "flavor_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flavor_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

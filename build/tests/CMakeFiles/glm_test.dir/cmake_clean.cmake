@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glm_test.dir/glm_test.cc.o"
+  "CMakeFiles/glm_test.dir/glm_test.cc.o.d"
+  "glm_test"
+  "glm_test.pdb"
+  "glm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

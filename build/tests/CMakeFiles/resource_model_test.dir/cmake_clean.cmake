@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_model_test.dir/resource_model_test.cc.o"
+  "CMakeFiles/resource_model_test.dir/resource_model_test.cc.o.d"
+  "resource_model_test"
+  "resource_model_test.pdb"
+  "resource_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

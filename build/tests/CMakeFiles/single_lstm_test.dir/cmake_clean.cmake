@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_lstm_test.dir/single_lstm_test.cc.o"
+  "CMakeFiles/single_lstm_test.dir/single_lstm_test.cc.o.d"
+  "single_lstm_test"
+  "single_lstm_test.pdb"
+  "single_lstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_csv_test.dir/strings_csv_test.cc.o"
+  "CMakeFiles/strings_csv_test.dir/strings_csv_test.cc.o.d"
+  "strings_csv_test"
+  "strings_csv_test.pdb"
+  "strings_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

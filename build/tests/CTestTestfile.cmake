@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/strings_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/glm_test[1]_include.cmake")
+include("/root/repo/build/tests/survival_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/arrival_model_test[1]_include.cmake")
+include("/root/repo/build/tests/flavor_model_test[1]_include.cmake")
+include("/root/repo/build/tests/lifetime_model_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_model_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_model_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/single_lstm_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
