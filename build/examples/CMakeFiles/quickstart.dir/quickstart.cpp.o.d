@@ -201,11 +201,15 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/encoding.h \
- /root/repo/src/survival/binning.h /root/repo/src/nn/adam.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/checkpoint.h /root/repo/src/nn/adam.h \
  /root/repo/src/tensor/matrix.h /root/repo/src/nn/sequence_network.h \
  /root/repo/src/nn/linear.h /root/repo/src/nn/lstm.h \
- /root/repo/src/core/lifetime_model.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/sealed_file.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/survival/binning.h /root/repo/src/core/lifetime_model.h \
  /root/repo/src/survival/interpolation.h \
- /root/repo/src/synth/synthetic_cloud.h /root/repo/src/trace/stats.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/synth/synthetic_cloud.h /root/repo/src/trace/stats.h

@@ -200,17 +200,22 @@ examples/CMakeFiles/trace_viz.dir/trace_viz.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/baselines/flavor_baselines.h /usr/include/c++/12/cstddef \
- /root/repo/src/core/flavor_model.h /root/repo/src/core/encoding.h \
- /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /root/repo/src/core/flavor_model.h /root/repo/src/core/checkpoint.h \
  /root/repo/src/nn/adam.h /root/repo/src/tensor/matrix.h \
  /root/repo/src/nn/sequence_network.h /root/repo/src/nn/linear.h \
- /root/repo/src/nn/lstm.h /root/repo/src/trace/trace.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/sealed_file.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /root/repo/src/trace/trace.h \
  /root/repo/src/baselines/lifetime_baselines.h \
  /root/repo/src/core/lifetime_model.h \
  /root/repo/src/survival/kaplan_meier.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/arrival_model.h \
@@ -218,5 +223,4 @@ examples/CMakeFiles/trace_viz.dir/trace_viz.cpp.o: \
  /root/repo/src/core/trace_generator.h \
  /root/repo/src/core/workload_model.h \
  /root/repo/src/survival/interpolation.h \
- /root/repo/src/synth/synthetic_cloud.h /root/repo/src/viz/trace_viz.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/synth/synthetic_cloud.h /root/repo/src/viz/trace_viz.h

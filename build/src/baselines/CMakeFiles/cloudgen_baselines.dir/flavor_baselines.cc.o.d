@@ -199,10 +199,15 @@ src/baselines/CMakeFiles/cloudgen_baselines.dir/flavor_baselines.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/flavor_model.h \
- /root/repo/src/core/encoding.h /root/repo/src/glm/features.h \
- /root/repo/src/survival/binning.h /root/repo/src/nn/adam.h \
+ /root/repo/src/core/checkpoint.h /root/repo/src/nn/adam.h \
  /root/repo/src/tensor/matrix.h /root/repo/src/nn/sequence_network.h \
  /root/repo/src/nn/linear.h /root/repo/src/nn/lstm.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/sealed_file.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
  /root/repo/src/trace/trace.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -232,5 +237,4 @@ src/baselines/CMakeFiles/cloudgen_baselines.dir/flavor_baselines.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/trace/stats.h \
- /root/repo/src/util/check.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/trace/stats.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/arrival_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/arrival_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/arrival_model.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/cloudgen_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/checkpoint.cc.o.d"
   "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/cloudgen_core.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/encoding.cc.o.d"
   "/root/repo/src/core/flavor_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/flavor_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/flavor_model.cc.o.d"
   "/root/repo/src/core/lifetime_model.cc" "src/core/CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o" "gcc" "src/core/CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o.d"

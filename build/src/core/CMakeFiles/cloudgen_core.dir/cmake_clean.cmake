@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cloudgen_core.dir/arrival_model.cc.o"
   "CMakeFiles/cloudgen_core.dir/arrival_model.cc.o.d"
+  "CMakeFiles/cloudgen_core.dir/checkpoint.cc.o"
+  "CMakeFiles/cloudgen_core.dir/checkpoint.cc.o.d"
   "CMakeFiles/cloudgen_core.dir/encoding.cc.o"
   "CMakeFiles/cloudgen_core.dir/encoding.cc.o.d"
   "CMakeFiles/cloudgen_core.dir/flavor_model.cc.o"

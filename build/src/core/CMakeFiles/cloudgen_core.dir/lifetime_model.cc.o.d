@@ -198,10 +198,16 @@ src/core/CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/encoding.h \
- /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/checkpoint.h \
+ /root/repo/src/nn/adam.h /root/repo/src/tensor/matrix.h \
  /root/repo/src/nn/sequence_network.h /root/repo/src/nn/linear.h \
- /root/repo/src/tensor/matrix.h /root/repo/src/nn/lstm.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/sealed_file.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
  /root/repo/src/trace/trace.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -231,17 +237,12 @@ src/core/CMakeFiles/cloudgen_core.dir/lifetime_model.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/trainer.h \
- /root/repo/src/nn/activations.h /root/repo/src/nn/adam.h \
- /root/repo/src/nn/losses.h /root/repo/src/survival/hazard.h \
- /root/repo/src/util/check.h /root/repo/src/util/log.h \
- /root/repo/src/util/rng.h /root/repo/src/util/strings.h \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/trainer.h \
+ /root/repo/src/nn/activations.h /root/repo/src/nn/losses.h \
+ /root/repo/src/survival/hazard.h /root/repo/src/util/log.h \
+ /root/repo/src/util/strings.h /root/repo/src/util/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h

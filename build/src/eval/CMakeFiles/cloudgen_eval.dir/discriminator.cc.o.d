@@ -206,9 +206,13 @@ src/eval/CMakeFiles/cloudgen_eval.dir/discriminator.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/encoding.h /root/repo/src/survival/binning.h \
- /root/repo/src/nn/adam.h /root/repo/src/tensor/matrix.h \
- /root/repo/src/nn/sequence_network.h /root/repo/src/nn/linear.h \
- /root/repo/src/nn/lstm.h /root/repo/src/nn/activations.h \
- /root/repo/src/nn/losses.h /root/repo/src/util/check.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/core/checkpoint.h /root/repo/src/nn/adam.h \
+ /root/repo/src/tensor/matrix.h /root/repo/src/nn/sequence_network.h \
+ /root/repo/src/nn/linear.h /root/repo/src/nn/lstm.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/sealed_file.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/survival/binning.h /root/repo/src/nn/activations.h \
+ /root/repo/src/nn/losses.h

@@ -8,11 +8,16 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/atomic_file.cc" "src/util/CMakeFiles/cloudgen_util.dir/atomic_file.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/atomic_file.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/util/CMakeFiles/cloudgen_util.dir/crc32.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/crc32.cc.o.d"
   "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/cloudgen_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/csv.cc.o.d"
   "/root/repo/src/util/env.cc" "src/util/CMakeFiles/cloudgen_util.dir/env.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/env.cc.o.d"
+  "/root/repo/src/util/fault.cc" "src/util/CMakeFiles/cloudgen_util.dir/fault.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/fault.cc.o.d"
   "/root/repo/src/util/log.cc" "src/util/CMakeFiles/cloudgen_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/log.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/cloudgen_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/sealed_file.cc" "src/util/CMakeFiles/cloudgen_util.dir/sealed_file.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/sealed_file.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/cloudgen_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/cloudgen_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/status.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/cloudgen_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/cloudgen_util.dir/strings.cc.o.d"
   )
 

@@ -1,14 +1,24 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/cloudgen_util.dir/atomic_file.cc.o"
+  "CMakeFiles/cloudgen_util.dir/atomic_file.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/crc32.cc.o"
+  "CMakeFiles/cloudgen_util.dir/crc32.cc.o.d"
   "CMakeFiles/cloudgen_util.dir/csv.cc.o"
   "CMakeFiles/cloudgen_util.dir/csv.cc.o.d"
   "CMakeFiles/cloudgen_util.dir/env.cc.o"
   "CMakeFiles/cloudgen_util.dir/env.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/fault.cc.o"
+  "CMakeFiles/cloudgen_util.dir/fault.cc.o.d"
   "CMakeFiles/cloudgen_util.dir/log.cc.o"
   "CMakeFiles/cloudgen_util.dir/log.cc.o.d"
   "CMakeFiles/cloudgen_util.dir/rng.cc.o"
   "CMakeFiles/cloudgen_util.dir/rng.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/sealed_file.cc.o"
+  "CMakeFiles/cloudgen_util.dir/sealed_file.cc.o.d"
   "CMakeFiles/cloudgen_util.dir/stats.cc.o"
   "CMakeFiles/cloudgen_util.dir/stats.cc.o.d"
+  "CMakeFiles/cloudgen_util.dir/status.cc.o"
+  "CMakeFiles/cloudgen_util.dir/status.cc.o.d"
   "CMakeFiles/cloudgen_util.dir/strings.cc.o"
   "CMakeFiles/cloudgen_util.dir/strings.cc.o.d"
   "libcloudgen_util.a"

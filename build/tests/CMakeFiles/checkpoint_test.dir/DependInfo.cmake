@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/checkpoint_test.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/checkpoint_test.dir/checkpoint_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cloudgen_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cloudgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cloudgen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/glm/CMakeFiles/cloudgen_glm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cloudgen_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cloudgen_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/survival/CMakeFiles/cloudgen_survival.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cloudgen_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cloudgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cloudgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/cloudgen_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -198,12 +198,18 @@ tests/CMakeFiles/flavor_model_test.dir/flavor_model_test.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/encoding.h \
- /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/checkpoint.h \
  /root/repo/src/nn/adam.h /root/repo/src/tensor/matrix.h \
  /root/repo/src/nn/sequence_network.h /root/repo/src/nn/linear.h \
- /root/repo/src/nn/lstm.h /root/repo/src/trace/trace.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/repo/src/nn/lstm.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/sealed_file.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /root/repo/src/trace/trace.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -232,10 +238,8 @@ tests/CMakeFiles/flavor_model_test.dir/flavor_model_test.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -287,8 +291,7 @@ tests/CMakeFiles/flavor_model_test.dir/flavor_model_test.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
@@ -299,4 +302,4 @@ tests/CMakeFiles/flavor_model_test.dir/flavor_model_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/baselines/flavor_baselines.h \
- /root/repo/src/synth/synthetic_cloud.h /root/repo/src/util/rng.h
+ /root/repo/src/synth/synthetic_cloud.h

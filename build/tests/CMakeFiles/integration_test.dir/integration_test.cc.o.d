@@ -317,12 +317,14 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/baselines/flavor_baselines.h \
- /root/repo/src/core/flavor_model.h /root/repo/src/core/encoding.h \
- /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /root/repo/src/core/flavor_model.h /root/repo/src/core/checkpoint.h \
  /root/repo/src/nn/adam.h /root/repo/src/tensor/matrix.h \
  /root/repo/src/nn/sequence_network.h /root/repo/src/nn/linear.h \
- /root/repo/src/nn/lstm.h /root/repo/src/trace/trace.h \
- /root/repo/src/baselines/generators.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/sealed_file.h /root/repo/src/util/status.h \
+ /root/repo/src/util/check.h /root/repo/src/core/encoding.h \
+ /root/repo/src/glm/features.h /root/repo/src/survival/binning.h \
+ /root/repo/src/trace/trace.h /root/repo/src/baselines/generators.h \
  /root/repo/src/baselines/lifetime_baselines.h \
  /root/repo/src/core/lifetime_model.h \
  /root/repo/src/survival/kaplan_meier.h \
@@ -332,4 +334,4 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/core/workload_model.h \
  /root/repo/src/survival/interpolation.h /root/repo/src/eval/capacity.h \
  /root/repo/src/eval/coverage.h /root/repo/src/sched/reuse_distance.h \
- /root/repo/src/synth/synthetic_cloud.h /root/repo/src/util/rng.h
+ /root/repo/src/synth/synthetic_cloud.h

@@ -296,4 +296,5 @@ tests/CMakeFiles/strings_csv_test.dir/strings_csv_test.cc.o: \
  /root/repo/src/util/csv.h /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/strings.h
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/status.h \
+ /root/repo/src/util/check.h /root/repo/src/util/strings.h

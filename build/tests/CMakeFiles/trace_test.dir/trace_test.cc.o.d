@@ -295,4 +295,5 @@ tests/CMakeFiles/trace_test.dir/trace_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/trace/events.h /root/repo/src/trace/trace.h \
  /root/repo/src/glm/features.h /root/repo/src/trace/stats.h \
- /root/repo/src/trace/trace_io.h /root/repo/src/util/rng.h
+ /root/repo/src/trace/trace_io.h /root/repo/src/util/status.h \
+ /root/repo/src/util/check.h /root/repo/src/util/rng.h

@@ -33,6 +33,12 @@
 namespace cloudgen {
 namespace {
 
+// Exit codes: 0 success, 1 other failure, 2 usage, 3 input/parse error,
+// 4 training failure.
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+constexpr int kExitTrain = 4;
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -43,29 +49,51 @@ int Usage() {
       "            --out JOBS.csv --flavors FLAVORS.csv\n"
       "  train     --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX [--epochs E] [--hidden H] [--layers L]\n"
+      "            [--checkpoint CKPT_PREFIX] [--resume] [--lenient]\n"
       "  generate  --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --from-day D --days K [--arrival-scale S]\n"
-      "            [--eob-scale S] [--seed N] --out GEN.csv\n"
+      "            [--eob-scale S] [--seed N] [--lenient] --out GEN.csv\n"
       "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --eval-from-day D [--eval-days K]\n"
-      "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv\n"
+      "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv [--lenient]\n"
       "  viz       --jobs JOBS.csv --flavors FLAVORS.csv --from-period P\n"
-      "            [--periods K] [--ppm OUT.ppm]\n");
-  return 2;
+      "            [--periods K] [--ppm OUT.ppm]\n"
+      "\n"
+      "flags:\n"
+      "  --lenient     skip (and count) malformed trace rows instead of failing\n"
+      "  --checkpoint  write per-epoch training checkpoints under this prefix\n"
+      "  --resume      resume training from --checkpoint files if present\n"
+      "\n"
+      "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure\n");
+  return kExitUsage;
 }
 
-bool LoadTrace(const Flags& flags, Trace* trace) {
+// Prints the full Status context chain to stderr and returns `exit_code`.
+int Fail(int exit_code, const Status& status) {
+  std::fprintf(stderr, "cloudgen: %s\n", status.ToString().c_str());
+  return exit_code;
+}
+
+// Returns 0 on success, or the exit code to propagate.
+int LoadTrace(const Flags& flags, Trace* trace) {
   const std::string jobs = flags.GetString("jobs", "");
   const std::string flavors = flags.GetString("flavors", "");
   if (jobs.empty() || flavors.empty()) {
     std::fprintf(stderr, "--jobs and --flavors are required\n");
-    return false;
+    return kExitUsage;
   }
-  if (!ReadTraceCsv(jobs, flavors, 0, -1, trace)) {
-    std::fprintf(stderr, "failed to read %s / %s\n", jobs.c_str(), flavors.c_str());
-    return false;
+  TraceCsvReadOptions options;
+  options.lenient = flags.Has("lenient");
+  TraceCsvReadReport report;
+  const Status status = ReadTraceCsv(jobs, flavors, options, trace, &report);
+  if (!status.ok()) {
+    return Fail(kExitInput, status);
   }
-  return true;
+  if (report.rows_skipped > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s); first: %s\n",
+                 report.rows_skipped, report.first_skipped.c_str());
+  }
+  return 0;
 }
 
 WorkloadModelConfig ConfigFrom(const Flags& flags) {
@@ -83,19 +111,27 @@ WorkloadModelConfig ConfigFrom(const Flags& flags) {
   config.lifetime.num_layers = layers;
   config.lifetime.learning_rate = 5e-3f;
   config.lifetime.lr_decay = 0.93f;
+  const std::string ckpt = flags.GetString("checkpoint", "");
+  if (!ckpt.empty()) {
+    config.flavor.recovery.checkpoint_path = ckpt + ".flavor.ckpt";
+    config.lifetime.recovery.checkpoint_path = ckpt + ".lifetime.ckpt";
+  }
+  const bool resume = flags.Has("resume");
+  config.flavor.recovery.resume = resume;
+  config.lifetime.recovery.resume = resume;
   return config;
 }
 
-// Training window view shared by train/generate/eval.
-bool TrainWindow(const Flags& flags, const Trace& trace, Trace* train) {
+// Training window view shared by train/generate/eval. Returns 0 on success.
+int TrainWindow(const Flags& flags, const Trace& trace, Trace* train) {
   const long train_days = flags.GetLong("train-days", 0);
   if (train_days <= 0) {
     std::fprintf(stderr, "--train-days is required and must be positive\n");
-    return false;
+    return kExitUsage;
   }
   const int64_t end = train_days * kPeriodsPerDay;
   *train = ApplyObservationWindow(trace, 0, end, end);
-  return true;
+  return 0;
 }
 
 int RunSynth(const Flags& flags) {
@@ -108,9 +144,9 @@ int RunSynth(const Flags& flags) {
   const Trace trace = cloud.Generate();
   const std::string out = flags.GetString("out", "jobs.csv");
   const std::string flavors = flags.GetString("flavors", "flavors.csv");
-  if (!WriteTraceCsv(trace, out, flavors)) {
-    std::fprintf(stderr, "failed to write %s / %s\n", out.c_str(), flavors.c_str());
-    return 1;
+  const Status written = WriteTraceCsv(trace, out, flavors);
+  if (!written.ok()) {
+    return Fail(1, written);
   }
   const TraceSummary summary = Summarize(trace);
   std::printf("wrote %zu jobs over %.0f days to %s (catalog: %s)\n", summary.num_jobs,
@@ -119,18 +155,29 @@ int RunSynth(const Flags& flags) {
 }
 
 int RunTrain(const Flags& flags) {
+  if (flags.Has("resume") && flags.GetString("checkpoint", "").empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return kExitUsage;
+  }
   Trace trace;
   Trace train;
-  if (!LoadTrace(flags, &trace) || !TrainWindow(flags, trace, &train)) {
-    return 1;
+  int rc = LoadTrace(flags, &trace);
+  if (rc == 0) {
+    rc = TrainWindow(flags, trace, &train);
+  }
+  if (rc != 0) {
+    return rc;
   }
   const std::string prefix = flags.GetString("model", "model");
   WorkloadModel model;
   Rng rng(static_cast<uint64_t>(flags.GetLong("seed", 7)));
-  model.Train(train, ConfigFrom(flags), rng);
-  if (!model.SaveToFiles(prefix)) {
-    std::fprintf(stderr, "failed to write %s.*.bin\n", prefix.c_str());
-    return 1;
+  const Status trained = model.Train(train, ConfigFrom(flags), rng);
+  if (!trained.ok()) {
+    return Fail(kExitTrain, trained);
+  }
+  const Status saved = model.SaveToFiles(prefix);
+  if (!saved.ok()) {
+    return Fail(kExitTrain, saved);
   }
   std::printf("trained on %zu jobs; saved %s.flavor.bin and %s.lifetime.bin\n",
               train.NumJobs(), prefix.c_str(), prefix.c_str());
@@ -140,15 +187,20 @@ int RunTrain(const Flags& flags) {
 int RunGenerate(const Flags& flags) {
   Trace trace;
   Trace train;
-  if (!LoadTrace(flags, &trace) || !TrainWindow(flags, trace, &train)) {
-    return 1;
+  int rc = LoadTrace(flags, &trace);
+  if (rc == 0) {
+    rc = TrainWindow(flags, trace, &train);
+  }
+  if (rc != 0) {
+    return rc;
   }
   const std::string prefix = flags.GetString("model", "model");
   WorkloadModel model;
-  if (!model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags))) {
+  const Status loaded = model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags));
+  if (!loaded.ok()) {
     std::fprintf(stderr, "failed to load %s.*.bin (run `cloudgen train` first)\n",
                  prefix.c_str());
-    return 1;
+    return Fail(kExitInput, loaded);
   }
   WorkloadModel::GenerateOptions options;
   options.from_period = flags.GetLong("from-day", 0) * kPeriodsPerDay;
@@ -159,9 +211,9 @@ int RunGenerate(const Flags& flags) {
   const Trace generated = model.Generate(options, rng);
   const std::string out = flags.GetString("out", "generated.csv");
   const std::string out_flavors = flags.GetString("out-flavors", out + ".flavors.csv");
-  if (!WriteTraceCsv(generated, out, out_flavors)) {
-    std::fprintf(stderr, "failed to write %s\n", out.c_str());
-    return 1;
+  const Status written = WriteTraceCsv(generated, out, out_flavors);
+  if (!written.ok()) {
+    return Fail(1, written);
   }
   std::printf("generated %zu jobs into %s\n", generated.NumJobs(), out.c_str());
   return 0;
@@ -170,14 +222,18 @@ int RunGenerate(const Flags& flags) {
 int RunEval(const Flags& flags) {
   Trace trace;
   Trace train;
-  if (!LoadTrace(flags, &trace) || !TrainWindow(flags, trace, &train)) {
-    return 1;
+  int rc = LoadTrace(flags, &trace);
+  if (rc == 0) {
+    rc = TrainWindow(flags, trace, &train);
+  }
+  if (rc != 0) {
+    return rc;
   }
   const std::string prefix = flags.GetString("model", "model");
   WorkloadModel model;
-  if (!model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags))) {
-    std::fprintf(stderr, "failed to load %s.*.bin\n", prefix.c_str());
-    return 1;
+  const Status loaded = model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags));
+  if (!loaded.ok()) {
+    return Fail(kExitInput, loaded);
   }
   const int64_t eval_from = flags.GetLong("eval-from-day", 0) * kPeriodsPerDay;
   const int64_t eval_to =
@@ -195,8 +251,9 @@ int RunEval(const Flags& flags) {
 
 int RunAnalyze(const Flags& flags) {
   Trace trace;
-  if (!LoadTrace(flags, &trace)) {
-    return 1;
+  const int rc = LoadTrace(flags, &trace);
+  if (rc != 0) {
+    return rc;
   }
   const TraceSummary summary = Summarize(trace);
   std::printf("=== trace characterization ===\n");
@@ -281,8 +338,9 @@ int RunAnalyze(const Flags& flags) {
 
 int RunViz(const Flags& flags) {
   Trace trace;
-  if (!LoadTrace(flags, &trace)) {
-    return 1;
+  const int rc = LoadTrace(flags, &trace);
+  if (rc != 0) {
+    return rc;
   }
   VizOptions options;
   options.from_period = flags.GetLong("from-period", 0);
@@ -290,9 +348,9 @@ int RunViz(const Flags& flags) {
   const LifetimeBinning binning = MakePaperBinning();
   const std::string ppm = flags.GetString("ppm", "");
   if (!ppm.empty()) {
-    if (!WritePpm(trace, binning, options, ppm)) {
-      std::fprintf(stderr, "failed to write %s\n", ppm.c_str());
-      return 1;
+    const Status written = WritePpm(trace, binning, options, ppm);
+    if (!written.ok()) {
+      return Fail(1, written);
     }
     std::printf("wrote %s\n", ppm.c_str());
   } else {

@@ -1,0 +1,145 @@
+#include "src/core/checkpoint.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/util/fault.h"
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+
+Status TrainCheckpoint::Write(const std::string& path, uint32_t stage_tag,
+                              uint64_t next_epoch, const std::string& payload) {
+  return WriteSealedFile(path, stage_tag, next_epoch, payload);
+}
+
+Status TrainCheckpoint::Read(const std::string& path, uint32_t stage_tag,
+                             uint64_t* next_epoch, std::string* payload) {
+  return ReadSealedFile(path, stage_tag, next_epoch, payload);
+}
+
+ResilientTrainLoop::ResilientTrainLoop(uint32_t stage_tag,
+                                       const TrainRecoveryConfig& config,
+                                       float initial_lr, float lr_decay,
+                                       SequenceNetwork* network, Adam* optimizer,
+                                       Rng* rng)
+    : stage_tag_(stage_tag),
+      config_(config),
+      lr_(initial_lr),
+      lr_decay_(lr_decay),
+      network_(network),
+      optimizer_(optimizer),
+      rng_(rng) {
+  CG_CHECK(network_ != nullptr && optimizer_ != nullptr && rng_ != nullptr);
+  CG_CHECK(config_.lr_backoff > 0.0f && config_.lr_backoff < 1.0f);
+}
+
+std::string ResilientTrainLoop::Serialize() const {
+  std::ostringstream out(std::ios::binary);
+  out.write(reinterpret_cast<const char*>(&lr_), sizeof(lr_));
+  network_->Save(out);
+  optimizer_->SaveState(out);
+  rng_->SaveState(out);
+  return std::move(out).str();
+}
+
+void ResilientTrainLoop::Restore(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  in.read(reinterpret_cast<char*>(&lr_), sizeof(lr_));
+  network_->Load(in);
+  optimizer_->LoadState(in);
+  rng_->LoadState(in);
+  CG_CHECK_MSG(static_cast<bool>(in), "corrupt training snapshot");
+}
+
+size_t ResilientTrainLoop::Begin() {
+  if (config_.resume && !config_.checkpoint_path.empty()) {
+    uint64_t next_epoch = 0;
+    std::string payload;
+    const Status status =
+        TrainCheckpoint::Read(config_.checkpoint_path, stage_tag_, &next_epoch, &payload);
+    if (status.ok()) {
+      Restore(payload);
+      last_good_ = payload;
+      CG_LOG_INFO(StrFormat("resuming from %s at epoch %llu (lr=%.2e)",
+                            config_.checkpoint_path.c_str(),
+                            static_cast<unsigned long long>(next_epoch),
+                            static_cast<double>(lr_)));
+      return static_cast<size_t>(next_epoch);
+    }
+    if (status.code() == StatusCode::kNotFound) {
+      CG_LOG_INFO("no checkpoint to resume from; starting fresh (" +
+                  config_.checkpoint_path + ")");
+    } else {
+      CG_LOG_WARN("ignoring unusable checkpoint: " + status.ToString());
+    }
+  }
+  last_good_ = Serialize();
+  return 0;
+}
+
+ResilientTrainLoop::Verdict ResilientTrainLoop::FinishEpoch(size_t epoch,
+                                                            size_t total_epochs,
+                                                            double loss, bool diverged) {
+  const bool exploded =
+      have_best_ && loss > config_.divergence_factor * (best_loss_ + 1.0);
+  if (diverged || !std::isfinite(loss) || exploded) {
+    ++rollbacks_;
+    if (rollbacks_ > config_.max_rollbacks) {
+      status_ = AbortedError(StrFormat(
+          "training diverged %d times (last epoch %zu, loss %g); giving up",
+          rollbacks_, epoch, loss));
+      return Verdict::kFailed;
+    }
+    Restore(last_good_);
+    const float backed_off = lr_ * config_.lr_backoff;
+    CG_LOG_WARN(StrFormat(
+        "divergence watchdog: epoch %zu %s (loss %g); rolled back, lr %.2e -> %.2e "
+        "(rollback %d/%d)",
+        epoch, diverged ? "hit NaN/Inf" : "exploded", loss, static_cast<double>(lr_),
+        static_cast<double>(backed_off), rollbacks_, config_.max_rollbacks));
+    lr_ = backed_off;
+    return Verdict::kRetryEpoch;
+  }
+
+  if (!have_best_ || loss < best_loss_) {
+    best_loss_ = loss;
+    have_best_ = true;
+  }
+  // Post-epoch LR decay, applied before the snapshot so resume picks up the
+  // rate the next epoch would have used.
+  lr_ *= lr_decay_;
+  last_good_ = Serialize();
+  if (!config_.checkpoint_path.empty()) {
+    const Status status = TrainCheckpoint::Write(config_.checkpoint_path, stage_tag_,
+                                                 epoch + 1, last_good_);
+    if (!status.ok()) {
+      // Best-effort: a failed checkpoint write (e.g. injected io_write fault)
+      // must not kill training, and the atomic write left any previous
+      // checkpoint intact.
+      CG_LOG_WARN("checkpoint write failed: " + status.ToString());
+    }
+  }
+  if (config_.stop_after_epoch > 0 && epoch + 1 >= config_.stop_after_epoch &&
+      epoch + 1 < total_epochs) {
+    CG_LOG_WARN(StrFormat("stop_after_epoch: halting after epoch %zu of %zu", epoch + 1,
+                          total_epochs));
+    return Verdict::kStop;
+  }
+  return Verdict::kNextEpoch;
+}
+
+bool MaybeInjectGradientFault(SequenceNetwork* network) {
+  if (!FaultInjector::Global().ShouldInject(FaultKind::kNanGrad)) {
+    return false;
+  }
+  std::vector<Matrix*> grads = network->Grads();
+  if (!grads.empty() && grads[0]->Size() > 0) {
+    grads[0]->Data()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  return true;
+}
+
+}  // namespace cloudgen

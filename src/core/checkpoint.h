@@ -1,0 +1,127 @@
+// Training resilience: per-epoch checkpointing and the divergence watchdog.
+//
+// Both LSTM trainers drive their epoch loop through ResilientTrainLoop, which
+// owns three concerns:
+//
+//  1. Checkpointing. After every completed epoch the full training state —
+//     network weights, Adam moments + step count, RNG stream, and current
+//     learning rate — is serialized. With a checkpoint path configured it is
+//     also written to disk (atomic temp+rename, CRC-validated header), so a
+//     SIGKILL at any instant leaves either the previous or the new checkpoint
+//     intact, never a torn file. Resuming restores the exact state, making an
+//     interrupted-then-resumed run bitwise identical to an uninterrupted one.
+//
+//  2. Divergence watchdog. An epoch that produces a NaN/Inf loss, a
+//     non-finite gradient norm, or an exploding loss is rolled back: the last
+//     good state is restored, the learning rate is multiplied by
+//     `lr_backoff`, and the epoch is rerun. After `max_rollbacks` failed
+//     attempts the loop gives up with an ABORTED status.
+//
+//  3. Fault hooks. MaybeInjectGradientFault plants a NaN in the gradients
+//     when CLOUDGEN_FAULT arms nan_grad, exercising path 2 deterministically.
+//
+// Checkpoints are sealed files (src/util/sealed_file.h): a CRC-validated
+// header whose `extra` word stores the next epoch to run.
+#ifndef SRC_CORE_CHECKPOINT_H_
+#define SRC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/nn/adam.h"
+#include "src/nn/sequence_network.h"
+#include "src/util/rng.h"
+#include "src/util/sealed_file.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+// Stage tags keep a flavor checkpoint from being resumed into the lifetime
+// trainer (and vice versa).
+inline constexpr uint32_t kCheckpointStageFlavor = kSealFlavorCheckpoint;
+inline constexpr uint32_t kCheckpointStageLifetime = kSealLifetimeCheckpoint;
+
+struct TrainRecoveryConfig {
+  // Checkpoint file path; empty keeps snapshots in memory only (the watchdog
+  // still works, but a crash loses progress).
+  std::string checkpoint_path;
+  // Resume from `checkpoint_path` if it holds a valid checkpoint; a missing
+  // file starts from scratch, a corrupt one is reported and ignored.
+  bool resume = false;
+  // Learning-rate multiplier applied on every watchdog rollback.
+  float lr_backoff = 0.5f;
+  // An epoch whose loss exceeds divergence_factor * (best loss + 1) is
+  // treated as diverged even if finite.
+  double divergence_factor = 100.0;
+  // Rollbacks tolerated across the whole run before giving up.
+  int max_rollbacks = 8;
+  // Testing/crash-simulation hook: stop (successfully) after this many
+  // completed epochs, as if the process had been killed right after the
+  // checkpoint write. 0 disables.
+  size_t stop_after_epoch = 0;
+};
+
+// Raw checkpoint container I/O (exposed for tests and tooling).
+struct TrainCheckpoint {
+  static Status Write(const std::string& path, uint32_t stage_tag, uint64_t next_epoch,
+                      const std::string& payload);
+  static Status Read(const std::string& path, uint32_t stage_tag, uint64_t* next_epoch,
+                     std::string* payload);
+};
+
+class ResilientTrainLoop {
+ public:
+  // The network, optimizer, and rng must outlive the loop; they are the state
+  // that is snapshotted and restored. `initial_lr`/`lr_decay` mirror the
+  // trainer's schedule so rollback and resume agree with it exactly.
+  ResilientTrainLoop(uint32_t stage_tag, const TrainRecoveryConfig& config,
+                     float initial_lr, float lr_decay, SequenceNetwork* network,
+                     Adam* optimizer, Rng* rng);
+
+  // Restores the checkpoint when resuming (or snapshots the initial state)
+  // and returns the first epoch index to run.
+  size_t Begin();
+
+  // Learning rate the optimizer should use for the upcoming epoch.
+  float LearningRate() const { return lr_; }
+
+  enum class Verdict {
+    kNextEpoch,   // Epoch accepted; advance.
+    kRetryEpoch,  // Diverged; state rolled back, LR backed off — rerun.
+    kStop,        // stop_after_epoch reached; return success.
+    kFailed,      // Watchdog exhausted max_rollbacks; see status().
+  };
+
+  // Reports the finished epoch. `diverged` marks mid-epoch NaN/Inf detection
+  // (non-finite minibatch loss or gradient norm).
+  Verdict FinishEpoch(size_t epoch, size_t total_epochs, double loss, bool diverged);
+
+  // Non-OK after kFailed.
+  const Status& status() const { return status_; }
+  int Rollbacks() const { return rollbacks_; }
+
+ private:
+  std::string Serialize() const;
+  void Restore(const std::string& payload);
+
+  uint32_t stage_tag_;
+  TrainRecoveryConfig config_;
+  float lr_;
+  float lr_decay_;
+  SequenceNetwork* network_;
+  Adam* optimizer_;
+  Rng* rng_;
+  std::string last_good_;
+  double best_loss_ = 0.0;
+  bool have_best_ = false;
+  int rollbacks_ = 0;
+  Status status_;
+};
+
+// Plants a NaN in the first gradient when the nan_grad fault fires. Call
+// after backward, before the optimizer step. Returns true when injected.
+bool MaybeInjectGradientFault(SequenceNetwork* network);
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_CHECKPOINT_H_

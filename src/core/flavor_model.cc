@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 
 #include "src/core/trainer.h"
 #include "src/nn/losses.h"
 #include "src/util/check.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
+#include "src/util/sealed_file.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
 
@@ -46,8 +47,8 @@ const FlavorVocab& FlavorLstmModel::Vocab() const {
   return encoder_->Vocab();
 }
 
-void FlavorLstmModel::Train(const Trace& train, int history_days,
-                            const FlavorModelConfig& config, Rng& rng) {
+Status FlavorLstmModel::Train(const Trace& train, int history_days,
+                              const FlavorModelConfig& config, Rng& rng) {
   config_ = config;
   encoder_ = std::make_unique<FlavorInputEncoder>(FlavorVocab(train.NumFlavors()),
                                                   TemporalFeatureEncoder(history_days));
@@ -59,7 +60,9 @@ void FlavorLstmModel::Train(const Trace& train, int history_days,
   network_ = SequenceNetwork(net_config, rng);
 
   const FlavorStream stream = BuildFlavorStream(train, history_days);
-  CG_CHECK_MSG(!stream.tokens.empty(), "empty training stream");
+  if (stream.tokens.empty()) {
+    return InvalidArgumentError("flavor training stream is empty");
+  }
 
   AdamConfig adam_config;
   adam_config.learning_rate = config.learning_rate;
@@ -77,10 +80,15 @@ void FlavorLstmModel::Train(const Trace& train, int history_days,
   std::vector<Matrix> dlogits(batching.SeqLen());
   std::vector<std::vector<int32_t>> targets(batching.SeqLen());
 
+  ResilientTrainLoop loop(kCheckpointStageFlavor, config.recovery, config.learning_rate,
+                          config.lr_decay, &network_, &optimizer, &rng);
   Timer timer;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  size_t epoch = loop.Begin();
+  while (epoch < config.epochs) {
+    optimizer.SetLearningRate(loop.LearningRate());
     double epoch_loss = 0.0;
     size_t epoch_minibatches = 0;
+    bool diverged = false;
     for (size_t mb : batching.EpochOrder(rng)) {
       // Assemble the minibatch.
       for (size_t t = 0; t < batching.SeqLen(); ++t) {
@@ -104,15 +112,33 @@ void FlavorLstmModel::Train(const Trace& train, int history_days,
       }
       loss /= static_cast<double>(batching.SeqLen());
       network_.BackwardSequence(dlogits);
+      MaybeInjectGradientFault(&network_);
       optimizer.Step();
+      if (!std::isfinite(loss) || !std::isfinite(optimizer.LastGradNorm())) {
+        // The update that just happened is contaminated; bail out of the
+        // epoch so the watchdog can roll the whole state back.
+        diverged = true;
+        break;
+      }
       epoch_loss += loss;
       ++epoch_minibatches;
     }
+    const double mean_loss = epoch_loss / std::max<size_t>(1, epoch_minibatches);
+    switch (loop.FinishEpoch(epoch, config.epochs, mean_loss, diverged)) {
+      case ResilientTrainLoop::Verdict::kRetryEpoch:
+        continue;
+      case ResilientTrainLoop::Verdict::kStop:
+        return OkStatus();
+      case ResilientTrainLoop::Verdict::kFailed:
+        return loop.status().WithContext("flavor LSTM training");
+      case ResilientTrainLoop::Verdict::kNextEpoch:
+        break;
+    }
     CG_LOG_INFO(StrFormat("flavor LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)", epoch + 1,
-                          config.epochs, epoch_loss / std::max<size_t>(1, epoch_minibatches),
-                          timer.ElapsedSeconds()));
-    optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
+                          config.epochs, mean_loss, timer.ElapsedSeconds()));
+    ++epoch;
   }
+  return OkStatus();
 }
 
 FlavorLstmModel::EvalResult FlavorLstmModel::Evaluate(const Trace& test) const {
@@ -280,27 +306,34 @@ std::vector<std::vector<int32_t>> FlavorLstmModel::Generator::GeneratePeriod(
   return batches;
 }
 
-bool FlavorLstmModel::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return false;
+Status FlavorLstmModel::SaveToFile(const std::string& path) const {
+  if (!IsTrained()) {
+    return FailedPreconditionError("flavor model is not trained");
   }
-  network_.Save(out);
-  return static_cast<bool>(out);
+  std::ostringstream payload(std::ios::binary);
+  network_.Save(payload);
+  CG_RETURN_IF_ERROR(WriteSealedFile(path, kSealFlavorModel, 0, std::move(payload).str()));
+  return OkStatus();
 }
 
-bool FlavorLstmModel::LoadFromFile(const std::string& path, int history_days,
-                                   size_t num_flavors) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
+Status FlavorLstmModel::LoadFromFile(const std::string& path, int history_days,
+                                     size_t num_flavors) {
+  std::string payload;
+  CG_RETURN_IF_ERROR(ReadSealedFile(path, kSealFlavorModel, nullptr, &payload)
+                         .WithContext("flavor model"));
+  // The CRC above guarantees payload integrity; Load's internal invariant
+  // checks cannot fire on environmental corruption past this point.
+  std::istringstream in(payload, std::ios::binary);
   network_.Load(in);
   encoder_ = std::make_unique<FlavorInputEncoder>(FlavorVocab(num_flavors),
                                                   TemporalFeatureEncoder(history_days));
-  CG_CHECK_MSG(network_.Config().input_dim == encoder_->Dim(),
-               "loaded flavor model does not match the encoder dimensions");
-  return true;
+  if (network_.Config().input_dim != encoder_->Dim()) {
+    encoder_.reset();
+    return FailedPreconditionError(StrFormat(
+        "flavor model %s input dim %zu does not match the encoder dim (%d flavors)",
+        path.c_str(), network_.Config().input_dim, static_cast<int>(num_flavors)));
+  }
+  return OkStatus();
 }
 
 }  // namespace cloudgen

@@ -15,10 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "src/core/checkpoint.h"
 #include "src/core/encoding.h"
 #include "src/nn/adam.h"
 #include "src/nn/sequence_network.h"
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace cloudgen {
 
@@ -35,6 +37,8 @@ struct FlavorModelConfig {
   float clip_norm = 5.0f;
   // Multiplicative learning-rate decay applied after every epoch.
   float lr_decay = 1.0f;
+  // Checkpointing, resume, and divergence-watchdog behaviour.
+  TrainRecoveryConfig recovery;
 };
 
 // A token-stream view of a trace (shared with evaluation).
@@ -51,9 +55,13 @@ class FlavorLstmModel {
  public:
   FlavorLstmModel() = default;
 
-  // Trains from scratch on `train`. `history_days` defines the DOH block
-  // width (shared with the arrival model). Deterministic given `rng`.
-  void Train(const Trace& train, int history_days, const FlavorModelConfig& config, Rng& rng);
+  // Trains on `train` (from scratch, or resuming from a checkpoint when
+  // `config.recovery` says so). `history_days` defines the DOH block width
+  // (shared with the arrival model). Deterministic given `rng`. Fails with
+  // ABORTED when the divergence watchdog exhausts its rollback budget and
+  // with INVALID_ARGUMENT on an empty training stream.
+  Status Train(const Trace& train, int history_days, const FlavorModelConfig& config,
+               Rng& rng);
 
   bool IsTrained() const { return encoder_ != nullptr; }
   const FlavorVocab& Vocab() const;
@@ -102,8 +110,9 @@ class FlavorLstmModel {
     Matrix logits_;
   };
 
-  bool SaveToFile(const std::string& path) const;
-  bool LoadFromFile(const std::string& path, int history_days, size_t num_flavors);
+  // Atomic (temp + rename) model persistence.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path, int history_days, size_t num_flavors);
 
  private:
   friend class Generator;

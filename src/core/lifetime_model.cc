@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 
 #include "src/core/trainer.h"
 #include "src/nn/activations.h"
@@ -12,6 +12,7 @@
 #include "src/util/check.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
+#include "src/util/sealed_file.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
 
@@ -110,8 +111,9 @@ std::vector<double> LifetimeLstmModel::LogitsToHazard(const Matrix& logits) cons
   return hazard;
 }
 
-void LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning,
-                              int history_days, const LifetimeModelConfig& config, Rng& rng) {
+Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning,
+                                int history_days, const LifetimeModelConfig& config,
+                                Rng& rng) {
   config_ = config;
   history_days_ = history_days;
   num_flavors_ = train.NumFlavors();
@@ -126,7 +128,9 @@ void LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning
   network_ = SequenceNetwork(net_config, rng);
 
   const LifetimeStream stream = BuildLifetimeStream(train, binning, history_days);
-  CG_CHECK_MSG(!stream.steps.empty(), "empty lifetime training stream");
+  if (stream.steps.empty()) {
+    return InvalidArgumentError("lifetime training stream is empty");
+  }
 
   AdamConfig adam_config;
   adam_config.learning_rate = config.learning_rate;
@@ -148,10 +152,15 @@ void LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning
   std::vector<std::vector<uint8_t>> censored_flags(
       batching.SeqLen(), std::vector<uint8_t>(batching.BatchSize()));
 
+  ResilientTrainLoop loop(kCheckpointStageLifetime, config.recovery, config.learning_rate,
+                          config.lr_decay, &network_, &optimizer, &rng);
   Timer timer;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  size_t epoch = loop.Begin();
+  while (epoch < config.epochs) {
+    optimizer.SetLearningRate(loop.LearningRate());
     double epoch_loss = 0.0;
     size_t epoch_minibatches = 0;
+    bool diverged = false;
     for (size_t mb : batching.EpochOrder(rng)) {
       for (size_t t = 0; t < batching.SeqLen(); ++t) {
         inputs[t].Resize(batching.BatchSize(), dim);
@@ -185,16 +194,33 @@ void LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning
       }
       loss /= static_cast<double>(batching.SeqLen());
       network_.BackwardSequence(dlogits);
+      MaybeInjectGradientFault(&network_);
       optimizer.Step();
+      if (!std::isfinite(loss) || !std::isfinite(optimizer.LastGradNorm())) {
+        // The update that just happened is contaminated; bail out of the
+        // epoch so the watchdog can roll the whole state back.
+        diverged = true;
+        break;
+      }
       epoch_loss += loss;
       ++epoch_minibatches;
     }
+    const double mean_loss = epoch_loss / std::max<size_t>(1, epoch_minibatches);
+    switch (loop.FinishEpoch(epoch, config.epochs, mean_loss, diverged)) {
+      case ResilientTrainLoop::Verdict::kRetryEpoch:
+        continue;
+      case ResilientTrainLoop::Verdict::kStop:
+        return OkStatus();
+      case ResilientTrainLoop::Verdict::kFailed:
+        return loop.status().WithContext("lifetime LSTM training");
+      case ResilientTrainLoop::Verdict::kNextEpoch:
+        break;
+    }
     CG_LOG_INFO(StrFormat("lifetime LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)",
-                          epoch + 1, config.epochs,
-                          epoch_loss / std::max<size_t>(1, epoch_minibatches),
-                          timer.ElapsedSeconds()));
-    optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
+                          epoch + 1, config.epochs, mean_loss, timer.ElapsedSeconds()));
+    ++epoch;
   }
+  return OkStatus();
 }
 
 LifetimeLstmModel::EvalResult LifetimeLstmModel::Evaluate(const Trace& test) const {
@@ -291,27 +317,30 @@ size_t LifetimeLstmModel::Generator::StepJob(int64_t period, int32_t flavor,
   return bin;
 }
 
-bool LifetimeLstmModel::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return false;
+Status LifetimeLstmModel::SaveToFile(const std::string& path) const {
+  if (!IsTrained()) {
+    return FailedPreconditionError("lifetime model is untrained; nothing to save");
   }
+  std::ostringstream out(std::ios::binary);
   const uint8_t head = config_.head == LifetimeHead::kPmf ? 1 : 0;
   out.write(reinterpret_cast<const char*>(&head), sizeof(head));
   network_.Save(out);
-  return static_cast<bool>(out);
+  return WriteSealedFile(path, kSealLifetimeModel, 0, std::move(out).str());
 }
 
-bool LifetimeLstmModel::LoadFromFile(const std::string& path, const LifetimeBinning& binning,
-                                     int history_days, size_t num_flavors) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
+Status LifetimeLstmModel::LoadFromFile(const std::string& path,
+                                       const LifetimeBinning& binning, int history_days,
+                                       size_t num_flavors) {
+  std::string payload;
+  CG_RETURN_IF_ERROR(
+      ReadSealedFile(path, kSealLifetimeModel, nullptr, &payload).WithContext("lifetime model"));
+  // The CRC above guarantees the payload is exactly what Save wrote, so the
+  // raw stream parse below only CG_CHECKs true invariants.
+  std::istringstream in(payload, std::ios::binary);
   uint8_t head = 0;
   in.read(reinterpret_cast<char*>(&head), sizeof(head));
   if (!in) {
-    return false;
+    return DataLossError(path + ": lifetime model payload is empty");
   }
   config_.head = head == 1 ? LifetimeHead::kPmf : LifetimeHead::kHazard;
   network_.Load(in);
@@ -320,9 +349,12 @@ bool LifetimeLstmModel::LoadFromFile(const std::string& path, const LifetimeBinn
   binning_ = std::make_unique<LifetimeBinning>(binning);
   encoder_ = std::make_unique<LifetimeInputEncoder>(num_flavors_, binning.NumBins(),
                                                     TemporalFeatureEncoder(history_days));
-  CG_CHECK_MSG(network_.Config().input_dim == encoder_->Dim(),
-               "loaded lifetime model does not match the encoder dimensions");
-  return true;
+  if (network_.Config().input_dim != encoder_->Dim()) {
+    encoder_.reset();
+    return FailedPreconditionError(
+        path + ": loaded lifetime model does not match the encoder dimensions");
+  }
+  return OkStatus();
 }
 
 }  // namespace cloudgen

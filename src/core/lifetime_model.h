@@ -21,10 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "src/core/checkpoint.h"
 #include "src/core/encoding.h"
 #include "src/nn/sequence_network.h"
 #include "src/survival/binning.h"
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace cloudgen {
 
@@ -47,6 +49,8 @@ struct LifetimeModelConfig {
   float clip_norm = 5.0f;
   // Multiplicative learning-rate decay applied after every epoch.
   float lr_decay = 1.0f;
+  // Checkpointing, resume, and divergence-watchdog behaviour.
+  TrainRecoveryConfig recovery;
 };
 
 // One job step of the lifetime stream.
@@ -74,8 +78,11 @@ class LifetimeLstmModel {
  public:
   LifetimeLstmModel() = default;
 
-  void Train(const Trace& train, const LifetimeBinning& binning, int history_days,
-             const LifetimeModelConfig& config, Rng& rng);
+  // Trains on `train` (from scratch, or resuming from a checkpoint when
+  // `config.recovery` says so). Fails with ABORTED when the divergence
+  // watchdog exhausts its rollback budget.
+  Status Train(const Trace& train, const LifetimeBinning& binning, int history_days,
+               const LifetimeModelConfig& config, Rng& rng);
 
   bool IsTrained() const { return encoder_ != nullptr; }
   const LifetimeBinning& Binning() const;
@@ -114,9 +121,10 @@ class LifetimeLstmModel {
     Matrix logits_;
   };
 
-  bool SaveToFile(const std::string& path) const;
-  bool LoadFromFile(const std::string& path, const LifetimeBinning& binning,
-                    int history_days, size_t num_flavors);
+  // Atomic (temp + rename) model persistence.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path, const LifetimeBinning& binning,
+                      int history_days, size_t num_flavors);
 
  private:
   LifetimeModelConfig config_;

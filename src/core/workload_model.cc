@@ -8,16 +8,20 @@
 
 namespace cloudgen {
 
-void WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config, Rng& rng) {
-  Train(train, config, MakePaperBinning(), rng);
+Status WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config,
+                            Rng& rng) {
+  return Train(train, config, MakePaperBinning(), rng);
 }
 
-void WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config,
-                          const LifetimeBinning& binning, Rng& rng) {
+Status WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config,
+                            const LifetimeBinning& binning, Rng& rng) {
   flavors_ = train.Flavors();
   arrival_model_.Fit(train, ArrivalGranularity::kBatches, config.arrival);
-  flavor_model_.Train(train, arrival_model_.HistoryDays(), config.flavor, rng);
-  lifetime_model_.Train(train, binning, arrival_model_.HistoryDays(), config.lifetime, rng);
+  CG_RETURN_IF_ERROR(
+      flavor_model_.Train(train, arrival_model_.HistoryDays(), config.flavor, rng));
+  CG_RETURN_IF_ERROR(lifetime_model_.Train(train, binning, arrival_model_.HistoryDays(),
+                                           config.lifetime, rng));
+  return OkStatus();
 }
 
 Trace WorkloadModel::Generate(const GenerateOptions& options, Rng& rng) const {
@@ -83,22 +87,23 @@ std::vector<Trace> WorkloadModel::GenerateMany(const GenerateOptions& options, s
   return traces;
 }
 
-bool WorkloadModel::SaveToFiles(const std::string& prefix) const {
-  return flavor_model_.SaveToFile(prefix + ".flavor.bin") &&
-         lifetime_model_.SaveToFile(prefix + ".lifetime.bin");
+Status WorkloadModel::SaveToFiles(const std::string& prefix) const {
+  CG_RETURN_IF_ERROR(flavor_model_.SaveToFile(prefix + ".flavor.bin"));
+  CG_RETURN_IF_ERROR(lifetime_model_.SaveToFile(prefix + ".lifetime.bin"));
+  return OkStatus();
 }
 
-bool WorkloadModel::LoadNetworksFromFiles(const std::string& prefix, const Trace& train,
-                                          const WorkloadModelConfig& config) {
+Status WorkloadModel::LoadNetworksFromFiles(const std::string& prefix, const Trace& train,
+                                            const WorkloadModelConfig& config) {
   flavors_ = train.Flavors();
   arrival_model_.Fit(train, ArrivalGranularity::kBatches, config.arrival);
   const int history_days = arrival_model_.HistoryDays();
-  if (!flavor_model_.LoadFromFile(prefix + ".flavor.bin", history_days,
-                                  train.NumFlavors())) {
-    return false;
-  }
-  return lifetime_model_.LoadFromFile(prefix + ".lifetime.bin", MakePaperBinning(),
-                                      history_days, train.NumFlavors());
+  CG_RETURN_IF_ERROR(
+      flavor_model_.LoadFromFile(prefix + ".flavor.bin", history_days, train.NumFlavors()));
+  CG_RETURN_IF_ERROR(lifetime_model_.LoadFromFile(prefix + ".lifetime.bin",
+                                                  MakePaperBinning(), history_days,
+                                                  train.NumFlavors()));
+  return OkStatus();
 }
 
 }  // namespace cloudgen

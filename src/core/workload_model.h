@@ -21,6 +21,7 @@
 #include "src/core/lifetime_model.h"
 #include "src/survival/interpolation.h"
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace cloudgen {
 
@@ -35,10 +36,11 @@ class WorkloadModel {
   WorkloadModel() = default;
 
   // Trains all three stages on `train`. The lifetime binning defaults to the
-  // paper's 47-bin scheme.
-  void Train(const Trace& train, const WorkloadModelConfig& config, Rng& rng);
-  void Train(const Trace& train, const WorkloadModelConfig& config,
-             const LifetimeBinning& binning, Rng& rng);
+  // paper's 47-bin scheme. Fails when a stage's training stream is empty or
+  // its divergence watchdog gives up.
+  Status Train(const Trace& train, const WorkloadModelConfig& config, Rng& rng);
+  Status Train(const Trace& train, const WorkloadModelConfig& config,
+               const LifetimeBinning& binning, Rng& rng);
 
   bool IsTrained() const { return flavor_model_.IsTrained(); }
 
@@ -76,10 +78,12 @@ class WorkloadModel {
   int HistoryDays() const { return arrival_model_.HistoryDays(); }
 
   // Model persistence (the flavor and lifetime networks; the arrival model is
-  // cheap and is always refit).
-  bool SaveToFiles(const std::string& prefix) const;
-  bool LoadNetworksFromFiles(const std::string& prefix, const Trace& train,
-                             const WorkloadModelConfig& config);
+  // cheap and is always refit). Each network file is written atomically and
+  // carries a CRC-validated header, so a torn or corrupted file is detected
+  // at load time rather than aborting mid-parse.
+  Status SaveToFiles(const std::string& prefix) const;
+  Status LoadNetworksFromFiles(const std::string& prefix, const Trace& train,
+                               const WorkloadModelConfig& config);
 
  private:
   BatchArrivalModel arrival_model_;

@@ -126,21 +126,30 @@ const WorkloadModel& CloudWorkbench::Model() {
   const std::string prefix = CachePrefix();
   if (options_.use_cache) {
     std::filesystem::create_directories(options_.cache_dir);
-    if (model_.LoadNetworksFromFiles(prefix, splits_.train, model_config_)) {
+    const Status load = model_.LoadNetworksFromFiles(prefix, splits_.train, model_config_);
+    if (load.ok()) {
       CG_LOG_INFO(StrFormat("%s: loaded cached model from %s.*", CloudName(kind_),
                             prefix.c_str()));
       model_ready_ = true;
       return model_;
     }
+    if (load.code() != StatusCode::kNotFound) {
+      CG_LOG_WARN("ignoring unusable model cache: " + load.ToString());
+    }
   }
   Timer timer;
   Rng rng(options_.seed ^ 0x7124A1Full);
-  model_.Train(splits_.train, model_config_, rng);
+  const Status trained = model_.Train(splits_.train, model_config_, rng);
+  if (!trained.ok()) {
+    CG_LOG_ERROR("workbench training failed: " + trained.ToString());
+  }
+  CG_CHECK_MSG(trained.ok(), "workbench training failed");
   CG_LOG_INFO(StrFormat("%s: trained model in %.1fs", CloudName(kind_),
                         timer.ElapsedSeconds()));
   if (options_.use_cache) {
-    if (!model_.SaveToFiles(prefix)) {
-      CG_LOG_WARN("failed to write the model cache");
+    const Status saved = model_.SaveToFiles(prefix);
+    if (!saved.ok()) {
+      CG_LOG_WARN("failed to write the model cache: " + saved.ToString());
     }
   }
   model_ready_ = true;

@@ -1,6 +1,9 @@
 #include "src/nn/adam.h"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 
 #include "src/util/check.h"
 
@@ -57,6 +60,30 @@ void Adam::Step() {
       p[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + config_.epsilon));
     }
   }
+}
+
+void Adam::SaveState(std::ostream& out) const {
+  const int64_t step = step_;
+  out.write(reinterpret_cast<const char*>(&step), sizeof(step));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    out.write(reinterpret_cast<const char*>(m_[i].Data()),
+              static_cast<std::streamsize>(m_[i].Size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(v_[i].Data()),
+              static_cast<std::streamsize>(v_[i].Size() * sizeof(float)));
+  }
+}
+
+void Adam::LoadState(std::istream& in) {
+  int64_t step = 0;
+  in.read(reinterpret_cast<char*>(&step), sizeof(step));
+  step_ = static_cast<long>(step);
+  for (size_t i = 0; i < m_.size(); ++i) {
+    in.read(reinterpret_cast<char*>(m_[i].Data()),
+            static_cast<std::streamsize>(m_[i].Size() * sizeof(float)));
+    in.read(reinterpret_cast<char*>(v_[i].Data()),
+            static_cast<std::streamsize>(v_[i].Size() * sizeof(float)));
+  }
+  CG_CHECK_MSG(static_cast<bool>(in), "Adam::LoadState: truncated stream");
 }
 
 }  // namespace cloudgen

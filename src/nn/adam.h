@@ -4,6 +4,7 @@
 #ifndef SRC_NN_ADAM_H_
 #define SRC_NN_ADAM_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "src/tensor/matrix.h"
@@ -31,11 +32,19 @@ class Adam {
   void Step();
 
   // Global L2 norm of all gradients as of the last Step() (after decay, before
-  // clipping). Useful for training diagnostics.
+  // clipping). Useful for training diagnostics; NaN/Inf here means the update
+  // was contaminated — the divergence watchdog keys off this.
   double LastGradNorm() const { return last_grad_norm_; }
 
   const AdamConfig& Config() const { return config_; }
   void SetLearningRate(float lr) { config_.learning_rate = lr; }
+
+  // Exact serialization of the optimizer state (step count + both moment
+  // estimates) for checkpoint/resume. Shapes are fixed by construction, so
+  // only the raw values are written. Load requires an optimizer constructed
+  // over identically-shaped parameters.
+  void SaveState(std::ostream& out) const;
+  void LoadState(std::istream& in);
 
  private:
   std::vector<Matrix*> params_;

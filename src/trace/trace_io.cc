@@ -1,80 +1,198 @@
 #include "src/trace/trace_io.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cmath>
+#include <cstdio>
 
+#include "src/util/atomic_file.h"
 #include "src/util/check.h"
 #include "src/util/csv.h"
+#include "src/util/log.h"
 #include "src/util/strings.h"
 
 namespace cloudgen {
+namespace {
 
-bool WriteTraceCsv(const Trace& trace, const std::string& jobs_path,
-                   const std::string& flavors_path) {
+// How many skipped rows lenient mode logs before going quiet.
+constexpr size_t kMaxLoggedSkips = 5;
+
+Status RowError(const std::string& path, size_t line, const std::string& what) {
+  return InvalidArgumentError(StrFormat("%s:%zu: %s", path.c_str(), line, what.c_str()));
+}
+
+// Parses and validates one jobs row. On success fills `job`.
+Status ParseJobRow(const std::vector<std::string>& row, const std::string& path,
+                   size_t line, size_t num_flavors, const TraceCsvReadOptions& options,
+                   Job* job) {
+  if (!ParseInt64(row[0], &job->start_period)) {
+    return RowError(path, line, "start_period '" + row[0] + "' is not an integer");
+  }
+  if (!ParseInt64(row[1], &job->end_period)) {
+    return RowError(path, line, "end_period '" + row[1] + "' is not an integer");
+  }
+  if (!ParseInt32(row[2], &job->flavor)) {
+    return RowError(path, line, "flavor '" + row[2] + "' is not an integer");
+  }
+  if (!ParseInt64(row[3], &job->user)) {
+    return RowError(path, line, "user '" + row[3] + "' is not an integer");
+  }
+  if (row[4] != "0" && row[4] != "1") {
+    return RowError(path, line, "censored '" + row[4] + "' is not 0 or 1");
+  }
+  job->censored = row[4] == "1";
+  if (job->end_period < job->start_period) {
+    return RowError(path, line,
+                    StrFormat("end_period %lld < start_period %lld",
+                              static_cast<long long>(job->end_period),
+                              static_cast<long long>(job->start_period)));
+  }
+  if (job->flavor < 0 || static_cast<size_t>(job->flavor) >= num_flavors) {
+    return RowError(path, line,
+                    StrFormat("unknown flavor id %d (catalog has %zu flavors)",
+                              job->flavor, num_flavors));
+  }
+  if (job->start_period < options.window_start) {
+    return RowError(path, line,
+                    StrFormat("start_period %lld precedes the window start %lld",
+                              static_cast<long long>(job->start_period),
+                              static_cast<long long>(options.window_start)));
+  }
+  if (options.window_end >= 0 && job->start_period >= options.window_end) {
+    return RowError(path, line,
+                    StrFormat("start_period %lld is past the window end %lld",
+                              static_cast<long long>(job->start_period),
+                              static_cast<long long>(options.window_end)));
+  }
+  return OkStatus();
+}
+
+Status ReadFlavorCatalog(const std::string& path, FlavorCatalog* catalog) {
+  CsvReader flavors(path);
+  if (!flavors.Ok()) {
+    return flavors.status().WithContext("flavor catalog " + path);
+  }
+  std::vector<std::string> row;
+  while (flavors.ReadRow(&row)) {
+    const size_t line = flavors.LineNumber();
+    Flavor flavor;
+    if (!ParseInt32(row[0], &flavor.id)) {
+      return RowError(path, line, "flavor id '" + row[0] + "' is not an integer");
+    }
+    // Flavor ids double as indices throughout the library, so the catalog
+    // must be dense and in order.
+    if (flavor.id != static_cast<int32_t>(catalog->size())) {
+      return RowError(path, line,
+                      StrFormat("flavor id %d out of order (expected %zu)", flavor.id,
+                                catalog->size()));
+    }
+    flavor.name = row[1];
+    if (!ParseDouble(row[2], &flavor.cpus) || !std::isfinite(flavor.cpus) ||
+        flavor.cpus < 0.0) {
+      return RowError(path, line, "cpus '" + row[2] + "' is not a non-negative number");
+    }
+    if (!ParseDouble(row[3], &flavor.memory_gb) || !std::isfinite(flavor.memory_gb) ||
+        flavor.memory_gb < 0.0) {
+      return RowError(path, line,
+                      "memory_gb '" + row[3] + "' is not a non-negative number");
+    }
+    catalog->push_back(flavor);
+  }
+  CG_RETURN_IF_ERROR(flavors.status().WithContext(path));
+  if (catalog->empty()) {
+    return InvalidArgumentError(path + ": flavor catalog is empty");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status WriteTraceCsv(const Trace& trace, const std::string& jobs_path,
+                     const std::string& flavors_path) {
   {
-    CsvWriter flavors(flavors_path, {"id", "name", "cpus", "memory_gb"});
+    const std::string tmp = flavors_path + ".tmp";
+    CsvWriter flavors(tmp, {"id", "name", "cpus", "memory_gb"});
     if (!flavors.Ok()) {
-      return false;
+      return UnavailableError("cannot open " + tmp + " for writing");
     }
     for (const Flavor& flavor : trace.Flavors()) {
       flavors.WriteRow({std::to_string(flavor.id), flavor.name,
                         StrFormat("%.3f", flavor.cpus), StrFormat("%.3f", flavor.memory_gb)});
     }
+    CG_RETURN_IF_ERROR(flavors.Finish());
+    CG_RETURN_IF_ERROR(CommitTempFile(tmp, flavors_path));
   }
-  CsvWriter jobs(jobs_path, {"start_period", "end_period", "flavor", "user", "censored"});
+  const std::string tmp = jobs_path + ".tmp";
+  CsvWriter jobs(tmp, {"start_period", "end_period", "flavor", "user", "censored"});
   if (!jobs.Ok()) {
-    return false;
+    return UnavailableError("cannot open " + tmp + " for writing");
   }
   for (const Job& job : trace.Jobs()) {
     jobs.WriteRow({std::to_string(job.start_period), std::to_string(job.end_period),
                    std::to_string(job.flavor), std::to_string(job.user),
                    job.censored ? "1" : "0"});
   }
-  return true;
+  CG_RETURN_IF_ERROR(jobs.Finish());
+  CG_RETURN_IF_ERROR(CommitTempFile(tmp, jobs_path));
+  return OkStatus();
 }
 
-bool ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
-                  int64_t window_start, int64_t window_end, Trace* out) {
+Status ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
+                    const TraceCsvReadOptions& options, Trace* out,
+                    TraceCsvReadReport* report) {
   CG_CHECK(out != nullptr);
+  TraceCsvReadReport local_report;
+  TraceCsvReadReport* rep = report != nullptr ? report : &local_report;
+  *rep = TraceCsvReadReport();
+
   FlavorCatalog catalog;
-  {
-    CsvReader flavors(flavors_path);
-    if (!flavors.Ok()) {
-      return false;
-    }
-    std::vector<std::string> row;
-    while (flavors.ReadRow(&row)) {
-      Flavor flavor;
-      flavor.id = static_cast<int32_t>(std::strtol(row[0].c_str(), nullptr, 10));
-      flavor.name = row[1];
-      flavor.cpus = std::strtod(row[2].c_str(), nullptr);
-      flavor.memory_gb = std::strtod(row[3].c_str(), nullptr);
-      catalog.push_back(flavor);
-    }
-  }
+  CG_RETURN_IF_ERROR(ReadFlavorCatalog(flavors_path, &catalog));
+
   CsvReader jobs(jobs_path);
   if (!jobs.Ok()) {
-    return false;
+    return jobs.status().WithContext("jobs file " + jobs_path);
   }
   std::vector<Job> parsed;
-  int64_t max_start = window_start;
+  int64_t max_start = options.window_start;
   std::vector<std::string> row;
-  while (jobs.ReadRow(&row)) {
+  while (true) {
+    if (!jobs.ReadRow(&row)) {
+      if (jobs.status().ok()) {
+        break;  // Clean EOF.
+      }
+      // Structurally bad row (wrong field count). CsvReader cannot resync
+      // past it, so even lenient mode stops here.
+      return jobs.status().WithContext(jobs_path);
+    }
     Job job;
-    job.start_period = std::strtoll(row[0].c_str(), nullptr, 10);
-    job.end_period = std::strtoll(row[1].c_str(), nullptr, 10);
-    job.flavor = static_cast<int32_t>(std::strtol(row[2].c_str(), nullptr, 10));
-    job.user = std::strtoll(row[3].c_str(), nullptr, 10);
-    job.censored = row[4] == "1";
+    const Status row_status =
+        ParseJobRow(row, jobs_path, jobs.LineNumber(), catalog.size(), options, &job);
+    if (!row_status.ok()) {
+      if (!options.lenient) {
+        return row_status;
+      }
+      ++rep->rows_skipped;
+      if (rep->first_skipped.empty()) {
+        rep->first_skipped = row_status.ToString();
+      }
+      if (rep->rows_skipped <= kMaxLoggedSkips) {
+        CG_LOG_WARN("lenient read skipping " + row_status.ToString());
+      }
+      continue;
+    }
     parsed.push_back(job);
     max_start = std::max(max_start, job.start_period);
   }
-  const int64_t end = window_end >= 0 ? window_end : max_start + 1;
-  *out = Trace(std::move(catalog), window_start, end);
+  if (rep->rows_skipped > kMaxLoggedSkips) {
+    CG_LOG_WARN(StrFormat("lenient read skipped %zu bad rows in total in %s",
+                          rep->rows_skipped, jobs_path.c_str()));
+  }
+  const int64_t end = options.window_end >= 0 ? options.window_end : max_start + 1;
+  *out = Trace(std::move(catalog), options.window_start, end);
   for (const Job& job : parsed) {
     out->Add(job);
   }
-  return true;
+  rep->jobs_read = parsed.size();
+  return OkStatus();
 }
 
 }  // namespace cloudgen

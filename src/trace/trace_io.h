@@ -2,24 +2,56 @@
 //   start_period,end_period,flavor,user,censored
 // plus a flavor catalog file:
 //   id,name,cpus,memory_gb
+//
+// Reads validate every cell: numeric fields must parse exactly, jobs must
+// satisfy end_period >= start_period, reference a catalog flavor, and start
+// inside the observation window. Errors name the file and 1-based line
+// number. Writes are atomic (temp file + rename), so an interrupted run
+// never leaves a truncated CSV behind.
 #ifndef SRC_TRACE_TRACE_IO_H_
 #define SRC_TRACE_TRACE_IO_H_
 
 #include <string>
 
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace cloudgen {
 
-// Writes the jobs and catalog; returns false on I/O failure.
-bool WriteTraceCsv(const Trace& trace, const std::string& jobs_path,
-                   const std::string& flavors_path);
+struct TraceCsvReadOptions {
+  int64_t window_start = 0;
+  // -1 infers the window end as max(start_period) + 1.
+  int64_t window_end = -1;
+  // Strict mode (default) fails on the first bad row. Lenient mode skips bad
+  // rows, counts them in the report, and logs the first few.
+  bool lenient = false;
+};
 
-// Reads a trace previously written by WriteTraceCsv. The window is inferred
-// as [min start, max(start)+1) unless explicit bounds are given (pass
-// window_end = -1 to infer).
-bool ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
-                  int64_t window_start, int64_t window_end, Trace* out);
+struct TraceCsvReadReport {
+  size_t jobs_read = 0;
+  size_t rows_skipped = 0;
+  // Rendered error of the first skipped row (lenient mode), for diagnostics.
+  std::string first_skipped;
+};
+
+// Writes the jobs and catalog atomically.
+Status WriteTraceCsv(const Trace& trace, const std::string& jobs_path,
+                     const std::string& flavors_path);
+
+// Reads a trace previously written by WriteTraceCsv. `report` (optional)
+// receives row counts; it is filled on success and on failure.
+Status ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
+                    const TraceCsvReadOptions& options, Trace* out,
+                    TraceCsvReadReport* report = nullptr);
+
+// Back-compat convenience for window-only callers.
+inline Status ReadTraceCsv(const std::string& jobs_path, const std::string& flavors_path,
+                           int64_t window_start, int64_t window_end, Trace* out) {
+  TraceCsvReadOptions options;
+  options.window_start = window_start;
+  options.window_end = window_end;
+  return ReadTraceCsv(jobs_path, flavors_path, options, out);
+}
 
 }  // namespace cloudgen
 

@@ -1,0 +1,62 @@
+#include "src/util/atomic_file.h"
+
+#include <cstdio>
+
+#include "src/util/fault.h"
+
+namespace cloudgen {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    status_ = UnavailableError("cannot open " + tmp_path_ + " for writing");
+    done_ = true;
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!done_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+Status AtomicFileWriter::Commit() {
+  CG_CHECK_MSG(!done_ || !status_.ok(), "Commit() called twice");
+  if (!status_.ok()) {
+    return status_;
+  }
+  done_ = true;
+  out_.flush();
+  const bool healthy = static_cast<bool>(out_);
+  out_.close();
+  if (!healthy) {
+    std::remove(tmp_path_.c_str());
+    status_ = UnavailableError("short write to " + tmp_path_);
+    return status_;
+  }
+  return CommitTempFile(tmp_path_, path_);
+}
+
+Status CommitTempFile(const std::string& tmp_path, const std::string& path) {
+  if (FaultInjector::Global().ShouldInject(FaultKind::kIoWrite)) {
+    std::remove(tmp_path.c_str());
+    return UnavailableError("injected io_write fault while committing " + path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return UnavailableError("rename " + tmp_path + " -> " + path + " failed");
+  }
+  return OkStatus();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  AtomicFileWriter file(path);
+  CG_RETURN_IF_ERROR(file.status());
+  writer(file.stream());
+  return file.Commit();
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,56 @@
+// Atomic file replacement: write to "<path>.tmp", then rename over the
+// destination. An interrupted or failed write leaves the previous file (if
+// any) untouched, so `--resume` and `eval` never read a truncated artifact.
+//
+// Commit() is the io_write fault-injection point: when CLOUDGEN_FAULT arms
+// io_write, Commit probabilistically fails with UNAVAILABLE, removing the
+// temp file — exactly the externally-visible behaviour of a full disk or a
+// crash before rename.
+#ifndef SRC_UTIL_ATOMIC_FILE_H_
+#define SRC_UTIL_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+class AtomicFileWriter {
+ public:
+  // Opens "<path>.tmp" for binary writing; check status() before streaming.
+  explicit AtomicFileWriter(std::string path);
+  // Discards the temp file if Commit() was never reached.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  const Status& status() const { return status_; }
+  std::ostream& stream() { return out_; }
+
+  // Flushes, verifies stream health, and renames the temp file into place.
+  // On any failure the temp file is removed and the destination is untouched.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  Status status_;
+  bool done_ = false;
+};
+
+// Convenience wrapper: open, let `writer` fill the stream, commit.
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+// Renames an already-written temp file over `path` (for writers like
+// CsvWriter that manage their own stream). Applies the same io_write fault
+// check and failure cleanup as AtomicFileWriter::Commit.
+Status CommitTempFile(const std::string& tmp_path, const std::string& path);
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_ATOMIC_FILE_H_

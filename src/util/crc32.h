@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for validating
+// checkpoint and model-file payloads against torn writes and bit rot.
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cloudgen {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view data) { return Crc32(data.data(), data.size()); }
+
+// Incremental form: seed with kCrc32Init, fold in chunks, finalize.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_CRC32_H_

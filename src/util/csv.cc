@@ -4,9 +4,18 @@
 #include "src/util/strings.h"
 
 namespace cloudgen {
+namespace {
+
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') {
+    line->pop_back();
+  }
+}
+
+}  // namespace
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
-    : out_(path), arity_(header.size()) {
+    : path_(path), out_(path), arity_(header.size()) {
   CG_CHECK(!header.empty());
   if (out_) {
     out_ << Join(header, ",") << '\n';
@@ -18,27 +27,51 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   out_ << Join(fields, ",") << '\n';
 }
 
+Status CsvWriter::Finish() {
+  out_.flush();
+  const bool healthy = static_cast<bool>(out_);
+  out_.close();
+  if (!healthy) {
+    return UnavailableError("short write to " + path_);
+  }
+  return OkStatus();
+}
+
 CsvReader::CsvReader(const std::string& path) : in_(path) {
   if (!in_) {
+    status_ = NotFoundError("cannot open " + path);
     return;
   }
   std::string line;
   if (!std::getline(in_, line)) {
+    status_ = DataLossError("missing CSV header in " + path);
     return;
   }
+  StripTrailingCr(&line);
+  line_ = 1;
   header_ = Split(line, ',');
   ok_ = true;
 }
 
 bool CsvReader::ReadRow(std::vector<std::string>* fields) {
   CG_CHECK(fields != nullptr);
+  if (!status_.ok()) {
+    return false;
+  }
   std::string line;
   while (std::getline(in_, line)) {
+    ++line_;
+    StripTrailingCr(&line);
     if (Trim(line).empty()) {
       continue;
     }
     *fields = Split(line, ',');
-    CG_CHECK_MSG(fields->size() == header_.size(), "CSV row arity mismatch");
+    if (fields->size() != header_.size()) {
+      status_ = InvalidArgumentError(
+          StrFormat("line %zu: expected %zu fields, got %zu", line_, header_.size(),
+                    fields->size()));
+      return false;
+    }
     return true;
   }
   return false;

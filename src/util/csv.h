@@ -1,6 +1,7 @@
 // Minimal CSV reader/writer for trace import/export. Supports plain comma
 // separation (no quoting — trace files never contain embedded commas) plus a
-// header row, which is enough for vmtable-style files.
+// header row, which is enough for vmtable-style files. CRLF line endings are
+// tolerated on read.
 #ifndef SRC_UTIL_CSV_H_
 #define SRC_UTIL_CSV_H_
 
@@ -8,6 +9,8 @@
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "src/util/status.h"
 
 namespace cloudgen {
 
@@ -21,7 +24,11 @@ class CsvWriter {
   // Writes one row; must have the same arity as the header.
   void WriteRow(const std::vector<std::string>& fields);
 
+  // Flushes and closes, reporting any buffered write error.
+  Status Finish();
+
  private:
+  std::string path_;
   std::ofstream out_;
   size_t arity_;
 };
@@ -34,9 +41,16 @@ class CsvReader {
   bool Ok() const { return ok_; }
   const std::vector<std::string>& Header() const { return header_; }
 
-  // Reads the next row into `fields`; returns false at EOF. Rows with a
-  // different arity than the header are rejected via CG_CHECK.
+  // Reads the next row into `fields`; returns false at EOF *or* on a
+  // malformed row — distinguish via status(). Blank lines are skipped.
   bool ReadRow(std::vector<std::string>* fields);
+
+  // Non-OK once a structurally bad row (wrong field count) is hit; names the
+  // 1-based line number. Reading stops at the first such row.
+  const Status& status() const { return status_; }
+
+  // 1-based line number of the row most recently returned by ReadRow.
+  size_t LineNumber() const { return line_; }
 
   // Index of a named column, or -1 if absent.
   int ColumnIndex(const std::string& name) const;
@@ -44,6 +58,8 @@ class CsvReader {
  private:
   std::ifstream in_;
   bool ok_ = false;
+  size_t line_ = 0;
+  Status status_;
   std::vector<std::string> header_;
 };
 

@@ -1,0 +1,124 @@
+#include "src/util/fault.h"
+
+#include <cstdlib>
+
+#include "src/util/env.h"
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+bool ParseFaultKind(std::string_view name, FaultKind* kind) {
+  if (name == "io_write") {
+    *kind = FaultKind::kIoWrite;
+  } else if (name == "read_truncate") {
+    *kind = FaultKind::kReadTruncate;
+  } else if (name == "nan_grad") {
+    *kind = FaultKind::kNanGrad;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIoWrite:
+      return "io_write";
+    case FaultKind::kReadTruncate:
+      return "read_truncate";
+    case FaultKind::kNanGrad:
+      return "nan_grad";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector() : rng_(kDefaultSeed) {}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    const char* spec = std::getenv("CLOUDGEN_FAULT");
+    if (spec != nullptr && spec[0] != '\0') {
+      const uint64_t seed = static_cast<uint64_t>(
+          GetEnvLong("CLOUDGEN_FAULT_SEED", static_cast<long>(kDefaultSeed)));
+      const Status status = inj->Configure(spec, seed);
+      if (!status.ok()) {
+        CG_LOG_ERROR("ignoring CLOUDGEN_FAULT: " + status.ToString());
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  double probability[kNumFaultKinds] = {0.0, 0.0, 0.0};
+  if (!Trim(spec).empty()) {
+    for (const std::string& entry : Split(spec, ',')) {
+      const std::string_view trimmed = Trim(entry);
+      const size_t colon = trimmed.find(':');
+      if (colon == std::string_view::npos) {
+        return InvalidArgumentError(StrFormat(
+            "fault spec entry '%.*s' is not of the form kind:probability",
+            static_cast<int>(trimmed.size()), trimmed.data()));
+      }
+      FaultKind kind;
+      if (!ParseFaultKind(trimmed.substr(0, colon), &kind)) {
+        return InvalidArgumentError(StrFormat(
+            "unknown fault kind in '%.*s' (expected io_write, read_truncate or nan_grad)",
+            static_cast<int>(trimmed.size()), trimmed.data()));
+      }
+      double p = 0.0;
+      if (!ParseDouble(trimmed.substr(colon + 1), &p) || p < 0.0 || p > 1.0) {
+        return InvalidArgumentError(StrFormat(
+            "fault probability in '%.*s' must be a number in [0, 1]",
+            static_cast<int>(trimmed.size()), trimmed.data()));
+      }
+      probability[static_cast<int>(kind)] = p;
+    }
+  }
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    probability_[i] = probability[i];
+    injected_[i] = 0;
+    if (probability[i] > 0.0) {
+      CG_LOG_WARN(StrFormat("fault injection armed: %s with p=%.3f",
+                            FaultKindName(static_cast<FaultKind>(i)), probability[i]));
+    }
+  }
+  rng_ = Rng(seed);
+  return OkStatus();
+}
+
+void FaultInjector::Disarm() {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    probability_[i] = 0.0;
+    injected_[i] = 0;
+  }
+  rng_ = Rng(kDefaultSeed);
+}
+
+bool FaultInjector::ShouldInject(FaultKind kind) {
+  const double p = probability_[static_cast<int>(kind)];
+  if (p <= 0.0) {
+    return false;
+  }
+  if (!rng_.Bernoulli(p)) {
+    return false;
+  }
+  ++injected_[static_cast<int>(kind)];
+  return true;
+}
+
+bool FaultInjector::Armed(FaultKind kind) const {
+  return probability_[static_cast<int>(kind)] > 0.0;
+}
+
+size_t FaultInjector::InjectedCount(FaultKind kind) const {
+  return injected_[static_cast<int>(kind)];
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,72 @@
+// Deterministic fault injection for exercising cloudgen's recovery paths.
+//
+// Armed from the environment:
+//   CLOUDGEN_FAULT=io_write:0.3,nan_grad:0.1     # kind:probability pairs
+//   CLOUDGEN_FAULT_SEED=1234                     # optional; fixed default
+//
+// Kinds:
+//   io_write      Commit of an atomic file write fails (the temp file is
+//                 removed; any previous file at the destination survives).
+//   read_truncate A checkpoint/model payload read behaves as if truncated.
+//   nan_grad      A NaN is planted in the gradients before an optimizer step.
+//
+// Injection sites query ShouldInject(kind); draws come from a private
+// deterministic stream, so a given spec + seed yields the same fault
+// schedule on every run — tests assert on recovery behaviour, not luck.
+// The injector is a process-wide singleton; tests reconfigure it directly
+// via Configure()/Disarm() instead of the environment.
+#ifndef SRC_UTIL_FAULT_H_
+#define SRC_UTIL_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+enum class FaultKind : int {
+  kIoWrite = 0,
+  kReadTruncate = 1,
+  kNanGrad = 2,
+};
+inline constexpr int kNumFaultKinds = 3;
+
+const char* FaultKindName(FaultKind kind);
+
+class FaultInjector {
+ public:
+  // Process-wide injector, armed once from CLOUDGEN_FAULT on first use.
+  static FaultInjector& Global();
+
+  // Parses "kind:prob[,kind:prob...]"; probabilities in [0, 1]. An empty
+  // spec disarms everything. Replaces the previous configuration and resets
+  // the injection counters and the deterministic stream.
+  Status Configure(const std::string& spec, uint64_t seed = kDefaultSeed);
+
+  // Disarms all kinds (used by tests to restore a clean state).
+  void Disarm();
+
+  // True when a fault of `kind` fires at this site. Advances the
+  // deterministic stream only when `kind` is armed.
+  bool ShouldInject(FaultKind kind);
+
+  bool Armed(FaultKind kind) const;
+  // Faults fired since the last Configure()/Disarm().
+  size_t InjectedCount(FaultKind kind) const;
+
+  static constexpr uint64_t kDefaultSeed = 0x5EEDFA17C0FFEEull;
+
+ private:
+  FaultInjector();
+
+  double probability_[kNumFaultKinds] = {0.0, 0.0, 0.0};
+  size_t injected_[kNumFaultKinds] = {0, 0, 0};
+  Rng rng_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_FAULT_H_

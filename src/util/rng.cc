@@ -1,7 +1,9 @@
 #include "src/util/rng.h"
 
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 
 #include "src/util/check.h"
 
@@ -236,6 +238,21 @@ size_t Rng::CategoricalFromCdf(const std::vector<double>& cdf) {
     }
   }
   return lo;
+}
+
+void Rng::SaveState(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(state_), sizeof(state_));
+  out.write(reinterpret_cast<const char*>(&cached_normal_), sizeof(cached_normal_));
+  const uint8_t has_cached = has_cached_normal_ ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&has_cached), sizeof(has_cached));
+}
+
+void Rng::LoadState(std::istream& in) {
+  in.read(reinterpret_cast<char*>(state_), sizeof(state_));
+  in.read(reinterpret_cast<char*>(&cached_normal_), sizeof(cached_normal_));
+  uint8_t has_cached = 0;
+  in.read(reinterpret_cast<char*>(&has_cached), sizeof(has_cached));
+  has_cached_normal_ = has_cached != 0;
 }
 
 std::vector<double> BuildCdf(const std::vector<double>& weights) {

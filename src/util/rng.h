@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace cloudgen {
@@ -73,6 +74,11 @@ class Rng {
   // Samples an index from cumulative weights (ascending, last element > 0).
   // O(log n); useful when the same distribution is sampled many times.
   size_t CategoricalFromCdf(const std::vector<double>& cdf);
+
+  // Exact binary state serialization (including the cached Box-Muller
+  // variate), so checkpoint/resume reproduces the stream bit-for-bit.
+  void SaveState(std::ostream& out) const;
+  void LoadState(std::istream& in);
 
  private:
   uint64_t state_[4];

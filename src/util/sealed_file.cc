@@ -1,0 +1,84 @@
+#include "src/util/sealed_file.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/atomic_file.h"
+#include "src/util/crc32.h"
+#include "src/util/fault.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'G', 'S', 'E', 'A', 'L', '0', '1'};
+constexpr uint32_t kVersion = 1;
+
+struct SealedHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t tag;
+  uint64_t extra;
+  uint64_t payload_size;
+  uint32_t payload_crc;
+};
+
+}  // namespace
+
+Status WriteSealedFile(const std::string& path, uint32_t tag, uint64_t extra,
+                       std::string_view payload) {
+  SealedHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.tag = tag;
+  header.extra = extra;
+  header.payload_size = payload.size();
+  header.payload_crc = Crc32(payload);
+  return WriteFileAtomic(path, [&](std::ostream& out) {
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  });
+}
+
+Status ReadSealedFile(const std::string& path, uint32_t tag, uint64_t* extra,
+                      std::string* payload) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  SealedHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError(path + ": not a sealed cloudgen file (bad magic)");
+  }
+  if (header.version != kVersion) {
+    return DataLossError(
+        StrFormat("%s: unsupported sealed-file version %u", path.c_str(), header.version));
+  }
+  if (header.tag != tag) {
+    return FailedPreconditionError(StrFormat(
+        "%s: artifact type tag %u does not match the expected tag %u", path.c_str(),
+        header.tag, tag));
+  }
+  payload->resize(header.payload_size);
+  in.read(payload->data(), static_cast<std::streamsize>(header.payload_size));
+  auto read_bytes = static_cast<uint64_t>(in.gcount());
+  if (FaultInjector::Global().ShouldInject(FaultKind::kReadTruncate)) {
+    read_bytes /= 2;  // Behave exactly like a half-written payload.
+  }
+  if (read_bytes != header.payload_size) {
+    return DataLossError(StrFormat(
+        "%s: truncated payload (%llu of %llu bytes)", path.c_str(),
+        static_cast<unsigned long long>(read_bytes),
+        static_cast<unsigned long long>(header.payload_size)));
+  }
+  if (Crc32(*payload) != header.payload_crc) {
+    return DataLossError(path + ": payload CRC mismatch (corrupt file)");
+  }
+  if (extra != nullptr) {
+    *extra = header.extra;
+  }
+  return OkStatus();
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,68 @@
+#include "src/util/status.h"
+
+#include <cstring>
+
+namespace cloudgen {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status AbortedError(std::string message) {
+  return Status(StatusCode::kAborted, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+namespace status_internal {
+
+std::string LocationTag(const char* file, int line) {
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  return std::string(base) + ":" + std::to_string(line);
+}
+
+}  // namespace status_internal
+
+}  // namespace cloudgen

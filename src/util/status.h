@@ -1,0 +1,145 @@
+// Structured error propagation for cloudgen's fallible seams (I/O, parsing,
+// model persistence, training recovery).
+//
+// Conventions (see docs/ARCHITECTURE.md, "Error handling & recovery"):
+//  * CG_CHECK guards programmer errors and internal invariants — conditions
+//    that can only be false because of a bug. It aborts.
+//  * Status/StatusOr report *environmental* failures — malformed input files,
+//    missing models, injected faults, diverged training — that a caller can
+//    handle. Errors carry a code, a message, and a context chain that grows
+//    as the error propagates (each CG_RETURN_IF_ERROR appends its file:line),
+//    so the CLI can print the full path the error took.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // Malformed input (bad CSV cell, bad flag value).
+  kNotFound = 2,          // Missing file / model / checkpoint.
+  kDataLoss = 3,          // Truncated or corrupt data (CRC mismatch, short read).
+  kFailedPrecondition = 4,  // Valid request against the wrong state.
+  kUnavailable = 5,       // Transient I/O failure (includes injected faults).
+  kAborted = 6,           // Gave up after retries (e.g. divergence watchdog).
+  kInternal = 7,          // Should-not-happen conditions surfaced as errors.
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns a copy with `context` prepended to the chain; identity for OK.
+  // Contexts read outermost-first: "ctx2: ctx1: original message".
+  Status WithContext(const std::string& context) const {
+    if (ok()) {
+      return *this;
+    }
+    return Status(code_, context + ": " + message_);
+  }
+
+  // "INVALID_ARGUMENT: jobs.csv:17: bad field" — the CLI-facing rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status DataLossError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+Status InternalError(std::string message);
+
+// A value or the error explaining its absence. Accessing value() on an error
+// is a programmer error (CG_CHECK).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    CG_CHECK_MSG(!status_.ok(), "StatusOr constructed from an OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CG_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  const T& value() const& {
+    CG_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    CG_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace status_internal {
+// "src/trace/trace_io.cc:84" context tag; basenames only to keep chains short.
+std::string LocationTag(const char* file, int line);
+}  // namespace status_internal
+
+}  // namespace cloudgen
+
+// Propagates a non-OK Status to the caller, annotated with this file:line so
+// the context chain records the propagation path.
+#define CG_RETURN_IF_ERROR(expr)                                              \
+  do {                                                                        \
+    ::cloudgen::Status cg_status_macro_ = (expr);                             \
+    if (!cg_status_macro_.ok()) {                                             \
+      return cg_status_macro_.WithContext(                                    \
+          ::cloudgen::status_internal::LocationTag(__FILE__, __LINE__));      \
+    }                                                                         \
+  } while (0)
+
+#define CG_STATUS_CONCAT_INNER_(a, b) a##b
+#define CG_STATUS_CONCAT_(a, b) CG_STATUS_CONCAT_INNER_(a, b)
+
+// CG_ASSIGN_OR_RETURN(auto x, MakeX()); unwraps a StatusOr or propagates.
+#define CG_ASSIGN_OR_RETURN(lhs, expr)                                        \
+  auto CG_STATUS_CONCAT_(cg_statusor_, __LINE__) = (expr);                    \
+  if (!CG_STATUS_CONCAT_(cg_statusor_, __LINE__).ok()) {                      \
+    return CG_STATUS_CONCAT_(cg_statusor_, __LINE__)                          \
+        .status()                                                             \
+        .WithContext(                                                         \
+            ::cloudgen::status_internal::LocationTag(__FILE__, __LINE__));    \
+  }                                                                           \
+  lhs = std::move(CG_STATUS_CONCAT_(cg_statusor_, __LINE__)).value()
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,7 +1,10 @@
 #include "src/util/strings.h"
 
+#include <cerrno>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cloudgen {
 
@@ -63,6 +66,49 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty() || s.size() > 32) {
+    return false;
+  }
+  char buf[33];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<int64_t>(parsed);
+  return true;
+}
+
+bool ParseInt32(std::string_view s, int32_t* out) {
+  int64_t wide = 0;
+  if (!ParseInt64(s, &wide) || wide < INT32_MIN || wide > INT32_MAX) {
+    return false;
+  }
+  *out = static_cast<int32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty() || s.size() > 64) {
+    return false;
+  }
+  char buf[65];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(buf, &end);
+  if (end != buf + s.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = parsed;
+  return true;
 }
 
 }  // namespace cloudgen

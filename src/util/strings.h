@@ -2,6 +2,7 @@
 #ifndef SRC_UTIL_STRINGS_H_
 #define SRC_UTIL_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,13 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 // True if `s` begins with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Strict numeric parsing for untrusted input (CSV cells, flag values, fault
+// specs): the whole string must be a single number — no trailing junk, no
+// empty input. Returns false (leaving *out untouched) on any violation.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseInt32(std::string_view s, int32_t* out);
+bool ParseDouble(std::string_view s, double* out);
 
 }  // namespace cloudgen
 

@@ -1,8 +1,8 @@
 #include "src/viz/trace_viz.h"
 
 #include <array>
-#include <fstream>
 
+#include "src/util/atomic_file.h"
 #include "src/util/check.h"
 #include "src/util/strings.h"
 
@@ -69,8 +69,8 @@ std::string RenderAnsi(const Trace& trace, const LifetimeBinning& binning,
   return out;
 }
 
-bool WritePpm(const Trace& trace, const LifetimeBinning& binning, const VizOptions& options,
-              const std::string& path, size_t row_height) {
+Status WritePpm(const Trace& trace, const LifetimeBinning& binning,
+                const VizOptions& options, const std::string& path, size_t row_height) {
   const int64_t from = options.from_period;
   const int64_t to = EffectiveEnd(trace, options);
   CG_CHECK(to > from);
@@ -107,14 +107,11 @@ bool WritePpm(const Trace& trace, const LifetimeBinning& binning, const VizOptio
     }
   }
 
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return false;
-  }
-  out << "P6\n" << width << ' ' << num_rows * row_height << "\n255\n";
-  out.write(reinterpret_cast<const char*>(image.data()),
-            static_cast<std::streamsize>(image.size()));
-  return static_cast<bool>(out);
+  return WriteFileAtomic(path, [&](std::ostream& out) {
+    out << "P6\n" << width << ' ' << num_rows * row_height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+  });
 }
 
 }  // namespace cloudgen

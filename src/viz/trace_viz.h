@@ -12,6 +12,7 @@
 
 #include "src/survival/binning.h"
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace cloudgen {
 
@@ -28,9 +29,10 @@ std::string RenderAnsi(const Trace& trace, const LifetimeBinning& binning,
                        const VizOptions& options);
 
 // PPM (P6) image rendering; each period is one pixel row scaled vertically by
-// `row_height`. Returns false on I/O failure.
-bool WritePpm(const Trace& trace, const LifetimeBinning& binning, const VizOptions& options,
-              const std::string& path, size_t row_height = 3);
+// `row_height`. Written atomically (temp + rename).
+Status WritePpm(const Trace& trace, const LifetimeBinning& binning,
+                const VizOptions& options, const std::string& path,
+                size_t row_height = 3);
 
 }  // namespace cloudgen
 

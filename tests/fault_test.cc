@@ -1,0 +1,178 @@
+// Fault-injection harness tests: spec parsing, deterministic schedules, and
+// the three injection sites (io_write commits, read_truncate payload reads,
+// nan_grad optimizer steps) together with the recovery behaviour each one
+// must trigger.
+#include "src/util/fault.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/flavor_model.h"
+#include "src/synth/synthetic_cloud.h"
+#include "src/util/atomic_file.h"
+#include "src/util/sealed_file.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Every test must leave the process-wide injector disarmed.
+class FaultTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(FaultTest, ConfigureParsesMultiKindSpecs) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io_write:0.5,nan_grad:1.0").ok());
+  EXPECT_TRUE(injector.Armed(FaultKind::kIoWrite));
+  EXPECT_FALSE(injector.Armed(FaultKind::kReadTruncate));
+  EXPECT_TRUE(injector.Armed(FaultKind::kNanGrad));
+}
+
+TEST_F(FaultTest, ConfigureRejectsMalformedSpecs) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.Configure("io_write").ok());          // Missing prob.
+  EXPECT_FALSE(injector.Configure("io_write:nope").ok());     // Non-numeric.
+  EXPECT_FALSE(injector.Configure("io_write:1.5").ok());      // Out of range.
+  EXPECT_FALSE(injector.Configure("io_write:-0.1").ok());     // Out of range.
+  EXPECT_FALSE(injector.Configure("disk_melt:0.5").ok());     // Unknown kind.
+  // A rejected spec leaves everything disarmed.
+  EXPECT_FALSE(injector.Armed(FaultKind::kIoWrite));
+}
+
+TEST_F(FaultTest, EmptySpecDisarms) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io_write:1.0").ok());
+  ASSERT_TRUE(injector.Configure("").ok());
+  EXPECT_FALSE(injector.Armed(FaultKind::kIoWrite));
+  EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));
+  EXPECT_EQ(injector.InjectedCount(FaultKind::kIoWrite), 0u);
+}
+
+TEST_F(FaultTest, ScheduleIsDeterministicForSeed) {
+  FaultInjector& injector = FaultInjector::Global();
+  std::vector<bool> first;
+  ASSERT_TRUE(injector.Configure("io_write:0.3", 99).ok());
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(injector.ShouldInject(FaultKind::kIoWrite));
+  }
+  ASSERT_TRUE(injector.Configure("io_write:0.3", 99).ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(injector.ShouldInject(FaultKind::kIoWrite), first[static_cast<size_t>(i)]);
+  }
+  EXPECT_GT(injector.InjectedCount(FaultKind::kIoWrite), 0u);
+  EXPECT_LT(injector.InjectedCount(FaultKind::kIoWrite), 64u);
+}
+
+TEST_F(FaultTest, IoWriteFaultFailsCommitAndPreservesDestination) {
+  const std::string path = TempPath("fault_io_write.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) { out << "good"; }).ok());
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("io_write:1.0").ok());
+  const Status status =
+      WriteFileAtomic(path, [](std::ostream& out) { out << "clobbered"; });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Global().InjectedCount(FaultKind::kIoWrite), 1u);
+  // The failed commit removed its temp file and left the old file intact.
+  EXPECT_EQ(ReadAll(path), "good");
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) { out << "after"; }).ok());
+  EXPECT_EQ(ReadAll(path), "after");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, ReadTruncateFaultSurfacesAsDataLoss) {
+  const std::string path = TempPath("fault_read_trunc.bin");
+  ASSERT_TRUE(WriteSealedFile(path, kSealFlavorModel, 0, "sixteen bytes!!!").ok());
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_truncate:1.0").ok());
+  std::string payload;
+  const Status status = ReadSealedFile(path, kSealFlavorModel, nullptr, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
+
+  // The file itself is fine once the fault is disarmed.
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(ReadSealedFile(path, kSealFlavorModel, nullptr, &payload).ok());
+  EXPECT_EQ(payload, "sixteen bytes!!!");
+  std::remove(path.c_str());
+}
+
+// A tiny trace + config so end-to-end training recovery runs in seconds.
+SynthProfile TinyProfile() {
+  SynthProfile profile = AzureLikeProfile(0.3);
+  profile.train_days = 1;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.num_flavors = 4;
+  profile.num_users = 20;
+  return profile;
+}
+
+FlavorModelConfig TinyConfig() {
+  FlavorModelConfig config;
+  config.hidden_dim = 12;
+  config.num_layers = 1;
+  config.seq_len = 24;
+  config.batch_size = 8;
+  config.epochs = 3;
+  return config;
+}
+
+TEST_F(FaultTest, NanGradFaultIsRecoveredByWatchdog) {
+  const Trace full = SyntheticCloud(TinyProfile(), 303).Generate();
+  const int64_t end = kPeriodsPerDay;
+  const Trace train = ApplyObservationWindow(full, 0, end, end);
+
+  // An occasional NaN gradient: some epochs get hit, the watchdog rolls them
+  // back, and training still completes.
+  ASSERT_TRUE(FaultInjector::Global().Configure("nan_grad:0.05", 13).ok());
+  FlavorLstmModel model;
+  Rng rng(21);
+  const Status status = model.Train(train, 1, TinyConfig(), rng);
+  const size_t injected = FaultInjector::Global().InjectedCount(FaultKind::kNanGrad);
+  FaultInjector::Global().Disarm();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(model.IsTrained());
+  EXPECT_GT(injected, 0u)
+      << "the fault schedule never fired; the test asserted nothing";
+}
+
+TEST_F(FaultTest, PersistentNanGradExhaustsRollbacksAndAborts) {
+  const Trace full = SyntheticCloud(TinyProfile(), 303).Generate();
+  const int64_t end = kPeriodsPerDay;
+  const Trace train = ApplyObservationWindow(full, 0, end, end);
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("nan_grad:1.0").ok());
+  FlavorModelConfig config = TinyConfig();
+  config.recovery.max_rollbacks = 2;
+  FlavorLstmModel model;
+  Rng rng(22);
+  const Status status = model.Train(train, 1, config, rng);
+  FaultInjector::Global().Disarm();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_NE(status.message().find("diverged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudgen

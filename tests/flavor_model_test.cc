@@ -151,10 +151,10 @@ TEST(FlavorLstm, SaveLoadPreservesEvaluation) {
   Rng rng(10);
   model.Train(fixture.train, 2, TinyConfig(), rng);
   const std::string path = ::testing::TempDir() + "/cg_flavor_model.bin";
-  ASSERT_TRUE(model.SaveToFile(path));
+  ASSERT_TRUE(model.SaveToFile(path).ok());
 
   FlavorLstmModel loaded;
-  ASSERT_TRUE(loaded.LoadFromFile(path, 2, fixture.train.NumFlavors()));
+  ASSERT_TRUE(loaded.LoadFromFile(path, 2, fixture.train.NumFlavors()).ok());
   const auto a = model.Evaluate(fixture.test);
   const auto b = loaded.Evaluate(fixture.test);
   EXPECT_NEAR(a.nll, b.nll, 1e-9);

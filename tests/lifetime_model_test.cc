@@ -157,9 +157,9 @@ TEST(LifetimeLstm, HeadSurvivesSaveLoad) {
   Rng rng(17);
   model.Train(fixture.train, fixture.binning, 2, config, rng);
   const std::string path = ::testing::TempDir() + "/cg_pmf_model.bin";
-  ASSERT_TRUE(model.SaveToFile(path));
+  ASSERT_TRUE(model.SaveToFile(path).ok());
   LifetimeLstmModel loaded;
-  ASSERT_TRUE(loaded.LoadFromFile(path, fixture.binning, 2, fixture.train.NumFlavors()));
+  ASSERT_TRUE(loaded.LoadFromFile(path, fixture.binning, 2, fixture.train.NumFlavors()).ok());
   const auto a = model.Evaluate(fixture.test);
   const auto b = loaded.Evaluate(fixture.test);
   EXPECT_NEAR(a.job_nll, b.job_nll, 1e-9);
@@ -172,10 +172,10 @@ TEST(LifetimeLstm, SaveLoadPreservesEvaluation) {
   Rng rng(15);
   model.Train(fixture.train, fixture.binning, 2, TinyConfig(), rng);
   const std::string path = ::testing::TempDir() + "/cg_lifetime_model.bin";
-  ASSERT_TRUE(model.SaveToFile(path));
+  ASSERT_TRUE(model.SaveToFile(path).ok());
 
   LifetimeLstmModel loaded;
-  ASSERT_TRUE(loaded.LoadFromFile(path, fixture.binning, 2, fixture.train.NumFlavors()));
+  ASSERT_TRUE(loaded.LoadFromFile(path, fixture.binning, 2, fixture.train.NumFlavors()).ok());
   const auto a = model.Evaluate(fixture.test);
   const auto b = loaded.Evaluate(fixture.test);
   EXPECT_NEAR(a.bce, b.bce, 1e-9);

@@ -1,0 +1,248 @@
+// Tests for the error-propagation utilities: Status/StatusOr, context
+// chaining via CG_RETURN_IF_ERROR, CRC-32, strict numeric parsing, atomic
+// file replacement, and the sealed-file container.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/atomic_file.h"
+#include "src/util/crc32.h"
+#include "src/util/sealed_file.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(OkStatus(), status);
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad cell");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad cell");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad cell");
+}
+
+TEST(Status, WithContextPrependsOutermostFirst) {
+  const Status status =
+      DataLossError("crc mismatch").WithContext("model.bin").WithContext("loading model");
+  EXPECT_EQ(status.message(), "loading model: model.bin: crc mismatch");
+}
+
+TEST(Status, WithContextIsIdentityForOk) {
+  EXPECT_TRUE(OkStatus().WithContext("ignored").ok());
+}
+
+Status FailingLeaf() { return NotFoundError("leaf"); }
+
+Status PropagatingCaller() {
+  CG_RETURN_IF_ERROR(FailingLeaf());
+  return OkStatus();
+}
+
+TEST(Status, ReturnIfErrorAppendsFileAndLine) {
+  const Status status = PropagatingCaller();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // The context tag is "<basename>:<line>" of the CG_RETURN_IF_ERROR site.
+  EXPECT_NE(status.message().find("status_test.cc:"), std::string::npos);
+  EXPECT_NE(status.message().find("leaf"), std::string::npos);
+}
+
+StatusOr<int> MaybeInt(bool ok) {
+  if (!ok) {
+    return InvalidArgumentError("no int");
+  }
+  return 41;
+}
+
+Status UseAssignOrReturn(bool ok, int* out) {
+  CG_ASSIGN_OR_RETURN(const int value, MaybeInt(ok));
+  *out = value + 1;
+  return OkStatus();
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  const StatusOr<int> good = MaybeInt(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 41);
+  const StatusOr<int> bad = MaybeInt(false);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, AssignOrReturnUnwrapsAndPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 42);
+  const Status status = UseAssignOrReturn(false, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("status_test.cc:"), std::string::npos);
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "cloud workloads are bursty";
+  uint32_t state = kCrc32Init;
+  state = Crc32Update(state, data.data(), 10);
+  state = Crc32Update(state, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(Crc32Finalize(state), Crc32(std::string_view(data)));
+}
+
+TEST(StrictParse, AcceptsExactNumbers) {
+  int64_t i64 = 0;
+  EXPECT_TRUE(ParseInt64("123", &i64));
+  EXPECT_EQ(i64, 123);
+  EXPECT_TRUE(ParseInt64("-7", &i64));
+  EXPECT_EQ(i64, -7);
+  int32_t i32 = 0;
+  EXPECT_TRUE(ParseInt32("2147483647", &i32));
+  EXPECT_EQ(i32, 2147483647);
+  double d = 0.0;
+  EXPECT_TRUE(ParseDouble("2.5e-3", &d));
+  EXPECT_DOUBLE_EQ(d, 2.5e-3);
+}
+
+TEST(StrictParse, RejectsJunk) {
+  int64_t i64 = 0;
+  EXPECT_FALSE(ParseInt64("", &i64));
+  EXPECT_FALSE(ParseInt64("12x", &i64));       // Trailing junk.
+  EXPECT_FALSE(ParseInt64("4 2", &i64));       // Embedded space.
+  EXPECT_FALSE(ParseInt64("1e3", &i64));       // Float syntax in an int cell.
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &i64));  // Overflow.
+  int32_t i32 = 0;
+  EXPECT_FALSE(ParseInt32("2147483648", &i32));  // Overflows int32.
+  double d = 0.0;
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("nanx", &d));
+  EXPECT_FALSE(ParseDouble("1.0.0", &d));
+}
+
+TEST(AtomicFile, CommitReplacesAndCleansUp) {
+  const std::string path = TempPath("atomic_commit.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) { out << "v1"; }).ok());
+  EXPECT_EQ(ReadAll(path), "v1");
+  // Overwrite: the previous content is replaced wholesale.
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) { out << "v2"; }).ok());
+  EXPECT_EQ(ReadAll(path), "v2");
+  // No temp file left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, AbandonedWriterLeavesDestinationUntouched) {
+  const std::string path = TempPath("atomic_abandon.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) { out << "keep"; }).ok());
+  {
+    AtomicFileWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.stream() << "discarded";
+    // Destructor without Commit() must roll back.
+  }
+  EXPECT_EQ(ReadAll(path), "keep");
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(SealedFile, RoundTripsPayloadAndExtra) {
+  const std::string path = TempPath("sealed_roundtrip.bin");
+  const std::string payload("weights\0weights", 15);  // Embedded NUL survives.
+  ASSERT_TRUE(WriteSealedFile(path, kSealFlavorModel, 7, payload).ok());
+  uint64_t extra = 0;
+  std::string loaded;
+  ASSERT_TRUE(ReadSealedFile(path, kSealFlavorModel, &extra, &loaded).ok());
+  EXPECT_EQ(extra, 7u);
+  EXPECT_EQ(loaded, payload);
+  std::remove(path.c_str());
+}
+
+TEST(SealedFile, MissingFileIsNotFound) {
+  std::string payload;
+  const Status status =
+      ReadSealedFile(TempPath("sealed_nonexistent.bin"), kSealFlavorModel, nullptr, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SealedFile, TagMismatchIsFailedPrecondition) {
+  const std::string path = TempPath("sealed_tag.bin");
+  ASSERT_TRUE(WriteSealedFile(path, kSealFlavorModel, 0, "abc").ok());
+  std::string payload;
+  const Status status = ReadSealedFile(path, kSealLifetimeModel, nullptr, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SealedFile, CorruptPayloadIsDataLoss) {
+  const std::string path = TempPath("sealed_corrupt.bin");
+  ASSERT_TRUE(WriteSealedFile(path, kSealFlavorModel, 0, "network bytes").ok());
+  std::string raw = ReadAll(path);
+  raw[raw.size() - 3] ^= 0x40;  // Flip a payload bit.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << raw;
+  }
+  std::string payload;
+  const Status status = ReadSealedFile(path, kSealFlavorModel, nullptr, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("CRC"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SealedFile, TruncatedFileIsDataLoss) {
+  const std::string path = TempPath("sealed_trunc.bin");
+  ASSERT_TRUE(WriteSealedFile(path, kSealFlavorModel, 0, "0123456789abcdef").ok());
+  const std::string raw = ReadAll(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << raw.substr(0, raw.size() - 5);  // Torn write.
+  }
+  std::string payload;
+  const Status status = ReadSealedFile(path, kSealFlavorModel, nullptr, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(SealedFile, BadMagicIsDataLoss) {
+  const std::string path = TempPath("sealed_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not a sealed file, but long enough for a header";
+  }
+  std::string payload;
+  const Status status = ReadSealedFile(path, kSealFlavorModel, nullptr, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,0 +1,202 @@
+// Corrupted-CSV corpus for the hardened trace reader: bad field counts,
+// non-numeric cells, CRLF line endings, trailing junk, semantic violations
+// (end < start, unknown flavors, out-of-window starts), and lenient-mode
+// skip-and-count behaviour.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_io.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr char kJobsHeader[] = "start_period,end_period,flavor,user,censored\n";
+constexpr char kFlavorsHeader[] = "id,name,cpus,memory_gb\n";
+
+class TraceIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    jobs_path_ = testing::TempDir() + "/trace_io_jobs.csv";
+    flavors_path_ = testing::TempDir() + "/trace_io_flavors.csv";
+    WriteFlavors(std::string(kFlavorsHeader) +
+                 "0,small,2.000,8.000\n"
+                 "1,large,8.000,32.000\n");
+  }
+
+  void TearDown() override {
+    std::remove(jobs_path_.c_str());
+    std::remove(flavors_path_.c_str());
+  }
+
+  void WriteJobs(const std::string& content) { WriteFile(jobs_path_, content); }
+  void WriteFlavors(const std::string& content) { WriteFile(flavors_path_, content); }
+
+  static void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  Status Read(Trace* out, bool lenient = false, TraceCsvReadReport* report = nullptr) {
+    TraceCsvReadOptions options;
+    options.lenient = lenient;
+    return ReadTraceCsv(jobs_path_, flavors_path_, options, out, report);
+  }
+
+  std::string jobs_path_;
+  std::string flavors_path_;
+};
+
+TEST_F(TraceIoTest, ReadsWellFormedRows) {
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,0\n5,30,1,2,1\n");
+  Trace trace;
+  TraceCsvReadReport report;
+  ASSERT_TRUE(Read(&trace, false, &report).ok());
+  EXPECT_EQ(trace.NumJobs(), 2u);
+  EXPECT_EQ(report.jobs_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 0u);
+}
+
+TEST_F(TraceIoTest, ToleratesCrlfLineEndings) {
+  WriteJobs("start_period,end_period,flavor,user,censored\r\n"
+            "0,10,0,1,0\r\n"
+            "5,30,1,2,1\r\n");
+  Trace trace;
+  ASSERT_TRUE(Read(&trace).ok());
+  EXPECT_EQ(trace.NumJobs(), 2u);
+  EXPECT_EQ(trace.Jobs()[1].end_period, 30);
+  EXPECT_TRUE(trace.Jobs()[1].censored);
+}
+
+TEST_F(TraceIoTest, MissingJobsFileIsNotFound) {
+  std::remove(jobs_path_.c_str());
+  Trace trace;
+  const Status status = Read(&trace);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceIoTest, BadFieldCountNamesFileAndLine) {
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,0\n1,2,3\n");
+  Trace trace;
+  const Status status = Read(&trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+  EXPECT_NE(status.message().find("expected 5 fields, got 3"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, BadFieldCountStopsEvenLenientMode) {
+  // The reader cannot resync past a structurally broken row, so lenient mode
+  // must not silently misalign subsequent fields.
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,0,trailing,junk\n");
+  Trace trace;
+  EXPECT_FALSE(Read(&trace, /*lenient=*/true).ok());
+}
+
+TEST_F(TraceIoTest, NonNumericCellIsInvalidArgument) {
+  WriteJobs(std::string(kJobsHeader) + "0,ten,0,1,0\n");
+  Trace trace;
+  const Status status = Read(&trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(jobs_path_), std::string::npos);
+  EXPECT_NE(status.message().find("end_period"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, TrailingJunkInNumericCellIsRejected) {
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1x,0\n");
+  Trace trace;
+  EXPECT_EQ(Read(&trace).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, CensoredMustBeZeroOrOne) {
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,2\n");
+  Trace trace;
+  EXPECT_EQ(Read(&trace).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, EndBeforeStartIsRejected) {
+  WriteJobs(std::string(kJobsHeader) + "20,10,0,1,0\n");
+  Trace trace;
+  const Status status = Read(&trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("end_period"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, UnknownFlavorIdIsRejected) {
+  WriteJobs(std::string(kJobsHeader) + "0,10,7,1,0\n");
+  Trace trace;
+  const Status status = Read(&trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, StartBeforeWindowIsRejected) {
+  WriteJobs(std::string(kJobsHeader) + "2,10,0,1,0\n");
+  Trace trace;
+  TraceCsvReadOptions options;
+  options.window_start = 5;
+  const Status status = ReadTraceCsv(jobs_path_, flavors_path_, options, &trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("window"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, StartPastExplicitWindowEndIsRejected) {
+  WriteJobs(std::string(kJobsHeader) + "80,90,0,1,0\n");
+  Trace trace;
+  TraceCsvReadOptions options;
+  options.window_end = 50;
+  EXPECT_FALSE(ReadTraceCsv(jobs_path_, flavors_path_, options, &trace).ok());
+}
+
+TEST_F(TraceIoTest, LenientModeSkipsAndCountsBadRows) {
+  WriteJobs(std::string(kJobsHeader) +
+            "0,10,0,1,0\n"
+            "20,10,0,1,0\n"   // end < start.
+            "5,15,9,2,0\n"    // Unknown flavor.
+            "6,oops,0,3,0\n"  // Non-numeric.
+            "7,20,1,4,1\n");
+  Trace trace;
+  TraceCsvReadReport report;
+  ASSERT_TRUE(Read(&trace, /*lenient=*/true, &report).ok());
+  EXPECT_EQ(report.jobs_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 3u);
+  // The first skipped row's rendered error is preserved for diagnostics.
+  EXPECT_NE(report.first_skipped.find("trace_io_jobs.csv:3:"), std::string::npos);
+  EXPECT_EQ(trace.NumJobs(), 2u);
+}
+
+TEST_F(TraceIoTest, MissingHeaderIsDataLoss) {
+  WriteJobs("");
+  Trace trace;
+  EXPECT_EQ(Read(&trace).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(TraceIoTest, FlavorCatalogMustBeDenseAndInOrder) {
+  WriteFlavors(std::string(kFlavorsHeader) +
+               "0,small,2.000,8.000\n"
+               "2,large,8.000,32.000\n");  // Gap: id 2 at index 1.
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,0\n");
+  Trace trace;
+  EXPECT_EQ(Read(&trace).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, FlavorResourcesMustBeFiniteAndNonNegative) {
+  WriteFlavors(std::string(kFlavorsHeader) + "0,small,-2.000,8.000\n");
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,0\n");
+  Trace trace;
+  EXPECT_EQ(Read(&trace).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, EmptyFlavorCatalogIsRejected) {
+  WriteFlavors(kFlavorsHeader);
+  WriteJobs(std::string(kJobsHeader) + "0,10,0,1,0\n");
+  Trace trace;
+  EXPECT_EQ(Read(&trace).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -176,10 +176,10 @@ TEST(TraceIo, CsvRoundTrip) {
   Job censored = MakeJob(3, 50, 1, 43);
   censored.censored = true;
   trace.Add(censored);
-  ASSERT_TRUE(WriteTraceCsv(trace, jobs_path, flavors_path));
+  ASSERT_TRUE(WriteTraceCsv(trace, jobs_path, flavors_path).ok());
 
   Trace loaded;
-  ASSERT_TRUE(ReadTraceCsv(jobs_path, flavors_path, 0, 50, &loaded));
+  ASSERT_TRUE(ReadTraceCsv(jobs_path, flavors_path, 0, 50, &loaded).ok());
   ASSERT_EQ(loaded.NumJobs(), 2u);
   EXPECT_EQ(loaded.NumFlavors(), 2u);
   EXPECT_DOUBLE_EQ(loaded.Flavors()[1].cpus, 8.0);

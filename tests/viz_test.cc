@@ -43,7 +43,7 @@ TEST(Viz, PpmHeaderAndSize) {
   options.to_period = 12;
   options.max_row_cells = 64;
   const std::string path = ::testing::TempDir() + "/cg_viz.ppm";
-  ASSERT_TRUE(WritePpm(trace, MakePaperBinning(), options, path, 2));
+  ASSERT_TRUE(WritePpm(trace, MakePaperBinning(), options, path, 2).ok());
 
   std::ifstream in(path, std::ios::binary);
   std::string magic;

@@ -209,9 +209,9 @@ TEST_F(WorkloadModelTest, ArrivalModelOverrideDrivesRates) {
 
 TEST_F(WorkloadModelTest, SaveLoadNetworksRoundTrip) {
   const std::string prefix = ::testing::TempDir() + "/cg_workload_model";
-  ASSERT_TRUE(model_->SaveToFiles(prefix));
+  ASSERT_TRUE(model_->SaveToFiles(prefix).ok());
   WorkloadModel loaded;
-  ASSERT_TRUE(loaded.LoadNetworksFromFiles(prefix, *train_, TinyConfig()));
+  ASSERT_TRUE(loaded.LoadNetworksFromFiles(prefix, *train_, TinyConfig()).ok());
   EXPECT_TRUE(loaded.IsTrained());
   // Generation from the loaded model matches the original bit-for-bit.
   WorkloadModel::GenerateOptions options;
