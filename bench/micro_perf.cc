@@ -1,9 +1,26 @@
-// Microbenchmarks (google-benchmark) for the performance-critical substrate:
-// GEMM, LSTM forward/BPTT, single-step generation, Kaplan-Meier fitting, and
-// packing decisions. Not a paper table — engineering telemetry for the
-// library itself.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the performance-critical substrate: GEMM (reference vs
+// blocked vs thread-sharded), data-parallel BPTT, parallel generation-style
+// stream stepping, Kaplan-Meier fitting, and packing decisions. Not a paper
+// table — engineering telemetry for the library itself.
+//
+// Every run writes machine-readable results to BENCH_perf.json (override the
+// path with CLOUDGEN_BENCH_OUT) so the perf trajectory is recorded:
+//   {
+//     "threads": <hardware parallelism used for the threaded variants>,
+//     "benchmarks": [{"name": "...", "ms_per_iter": ..., "iters": ...}, ...],
+//     "speedups": {"gemm_256": ..., "bptt": ..., "generation": ...}
+//   }
+// The speedups compare the seed's reference kernels / single-thread paths
+// against the blocked + thread-sharded substrate on the same machine.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "src/core/trainer.h"
 #include "src/nn/losses.h"
 #include "src/nn/sequence_network.h"
 #include "src/sched/cluster.h"
@@ -12,25 +29,67 @@
 #include "src/survival/kaplan_meier.h"
 #include "src/tensor/matrix.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
 
 namespace cloudgen {
 namespace {
 
-void BM_Gemm(benchmark::State& state) {
-  const auto n = static_cast<size_t>(state.range(0));
+struct BenchResult {
+  std::string name;
+  double ms_per_iter = 0.0;
+  size_t iters = 0;
+};
+
+std::vector<BenchResult> g_results;
+
+// Runs `fn` until ~0.3 s of wall clock has accumulated (at least twice after
+// one warm-up call), records the mean iteration time, and returns it in ms.
+double RunBench(const std::string& name, const std::function<void()>& fn) {
+  fn();  // Warm-up (first-touch allocation, icache).
+  Timer timer;
+  size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < 0.3 || iters < 2);
+  const double ms = timer.ElapsedSeconds() * 1000.0 / static_cast<double>(iters);
+  g_results.push_back({name, ms, iters});
+  std::printf("%-28s %10.3f ms/iter  (%zu iters)\n", name.c_str(), ms, iters);
+  return ms;
+}
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+// --- GEMM: reference oracle vs blocked vs thread-sharded -------------------
+
+double BenchGemm(size_t n, double* blocked_ms, double* threaded_ms) {
   Rng rng(1);
   Matrix a(n, n);
   Matrix b(n, n);
   Matrix c(n, n);
   a.RandomUniform(rng, 1.0f);
   b.RandomUniform(rng, 1.0f);
-  for (auto _ : state) {
+  const std::string dim = std::to_string(n);
+  const double ref_ms = RunBench("gemm_reference_" + dim, [&] {
+    GemmReference(false, false, 1.0f, a, b, 0.0f, &c);
+  });
+  SetGlobalThreads(1);
+  *blocked_ms = RunBench("gemm_blocked_" + dim, [&] {
     Gemm(false, false, 1.0f, a, b, 0.0f, &c);
-    benchmark::DoNotOptimize(c.Data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  });
+  SetGlobalThreads(HardwareThreads());
+  *threaded_ms = RunBench("gemm_threads_" + dim, [&] {
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  });
+  SetGlobalThreads(1);
+  return ref_ms;
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// --- Data-parallel BPTT ----------------------------------------------------
 
 SequenceNetwork MakeNetwork(size_t input, size_t hidden, size_t output) {
   Rng rng(2);
@@ -42,80 +101,152 @@ SequenceNetwork MakeNetwork(size_t input, size_t hidden, size_t output) {
   return SequenceNetwork(config, rng);
 }
 
-void BM_LstmForwardBackward(benchmark::State& state) {
-  const size_t steps = 64;
-  const size_t batch = 16;
-  SequenceNetwork network = MakeNetwork(64, static_cast<size_t>(state.range(0)), 20);
+double BenchBptt(size_t threads, const std::string& name) {
+  constexpr size_t kSteps = 32;
+  constexpr size_t kBatch = 16;
+  constexpr size_t kInput = 64;
+  SequenceNetwork network = MakeNetwork(kInput, 64, 20);
   Rng rng(3);
-  std::vector<Matrix> inputs(steps);
-  std::vector<std::vector<int32_t>> targets(steps, std::vector<int32_t>(batch, 1));
+  std::vector<Matrix> inputs(kSteps);
+  std::vector<std::vector<int32_t>> targets(kSteps, std::vector<int32_t>(kBatch, 1));
   for (auto& m : inputs) {
-    m.Resize(batch, 64);
+    m.Resize(kBatch, kInput);
     m.RandomUniform(rng, 1.0f);
   }
-  std::vector<Matrix> logits;
-  std::vector<Matrix> dlogits(steps);
-  for (auto _ : state) {
-    network.ZeroGrads();
-    network.ForwardSequence(inputs, &logits);
-    for (size_t t = 0; t < steps; ++t) {
-      SoftmaxCrossEntropy(logits[t], targets[t], &dlogits[t]);
+  SetGlobalThreads(threads);
+  DataParallelBptt bptt(&network, kBatch);
+  const auto loss_fn = [&](size_t r0, size_t r1, const std::vector<Matrix>& logits,
+                           std::vector<Matrix>* dlogits) {
+    const float weight =
+        static_cast<float>(r1 - r0) / static_cast<float>(kBatch * kSteps);
+    double sum = 0.0;
+    std::vector<int32_t> shard_targets;
+    for (size_t t = 0; t < kSteps; ++t) {
+      shard_targets.assign(targets[t].begin() + static_cast<ptrdiff_t>(r0),
+                           targets[t].begin() + static_cast<ptrdiff_t>(r1));
+      sum += SoftmaxCrossEntropy(logits[t], shard_targets, &(*dlogits)[t]);
+      (*dlogits)[t].Scale(weight);
     }
-    network.BackwardSequence(dlogits);
-  }
-  state.SetItemsProcessed(state.iterations() * steps * batch);
+    return sum * static_cast<double>(weight);
+  };
+  const double ms = RunBench(name, [&] { bptt.Run(inputs, loss_fn); });
+  SetGlobalThreads(1);
+  return ms;
 }
-BENCHMARK(BM_LstmForwardBackward)->Arg(32)->Arg(64);
 
-void BM_LstmGenerationStep(benchmark::State& state) {
-  SequenceNetwork network = MakeNetwork(96, 64, 47);
-  Rng rng(4);
-  Matrix x(1, 96);
-  x.RandomUniform(rng, 1.0f);
-  LstmState lstm_state = network.MakeState(1);
-  Matrix logits;
-  for (auto _ : state) {
-    network.StepLogits(x, &lstm_state, &logits);
-    benchmark::DoNotOptimize(logits.Data());
-  }
-  state.SetItemsProcessed(state.iterations());
+// --- Generation-style stream stepping --------------------------------------
+//
+// Mirrors WorkloadModel::GenerateMany sharding: independent single-step
+// generators, one seed-derived RNG stream each, fanned out over the pool.
+
+double BenchGeneration(size_t threads, const std::string& name) {
+  constexpr size_t kStreams = 8;
+  constexpr size_t kStepsPerStream = 48;
+  const SequenceNetwork network = MakeNetwork(96, 64, 47);
+  SetGlobalThreads(threads);
+  const double ms = RunBench(name, [&] {
+    GlobalThreadPool().ParallelFor(0, kStreams, [&](size_t s) {
+      Rng stream = Rng::Stream(7, s);
+      LstmState state = network.MakeState(1);
+      Matrix x(1, 96);
+      x.RandomUniform(stream, 1.0f);
+      Matrix logits;
+      for (size_t i = 0; i < kStepsPerStream; ++i) {
+        network.StepLogits(x, &state, &logits);
+      }
+    });
+  });
+  SetGlobalThreads(1);
+  return ms;
 }
-BENCHMARK(BM_LstmGenerationStep);
 
-void BM_KaplanMeierFit(benchmark::State& state) {
+// --- Survival + packing telemetry (kept from the seed bench) ---------------
+
+void BenchKaplanMeier() {
   Rng rng(5);
-  const auto n = static_cast<size_t>(state.range(0));
+  constexpr size_t kN = 100000;
   std::vector<LifetimeObservation> observations;
-  observations.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+  observations.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
     observations.push_back({rng.Exponential(1.0 / 7200.0), rng.Bernoulli(0.05)});
   }
   const LifetimeBinning binning = MakePaperBinning();
-  for (auto _ : state) {
+  RunBench("kaplan_meier_100k", [&] {
     const KaplanMeier km(observations, binning);
-    benchmark::DoNotOptimize(km.Hazard().data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+    (void)km.Hazard();
+  });
 }
-BENCHMARK(BM_KaplanMeierFit)->Arg(10000)->Arg(100000);
 
-void BM_PackingDecision(benchmark::State& state) {
+void BenchPacking() {
   Rng rng(6);
-  Cluster cluster(static_cast<size_t>(state.range(0)), Resources{64.0, 256.0});
-  // Pre-fill to ~50%.
+  Cluster cluster(1024, Resources{64.0, 256.0});
   for (size_t i = 0; i < cluster.NumServers(); ++i) {
     cluster.MutableServerAt(i).Place({32.0, 128.0});
   }
   const DeltaPerpDistance algorithm;
   const Resources demand{4.0, 16.0};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(algorithm.ChooseServer(cluster, demand, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * cluster.NumServers());
+  RunBench("packing_decision_1024", [&] {
+    volatile size_t chosen = algorithm.ChooseServer(cluster, demand, rng);
+    (void)chosen;
+  });
 }
-BENCHMARK(BM_PackingDecision)->Arg(32)->Arg(1024);
+
+void WriteJson(const std::string& path, size_t threads, double gemm_speedup,
+               double bptt_speedup, double gen_speedup) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_perf: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"threads\": %zu,\n  \"benchmarks\": [\n", threads);
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    const BenchResult& r = g_results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ms_per_iter\": %.6f, \"iters\": %zu}%s\n",
+                 r.name.c_str(), r.ms_per_iter, r.iters,
+                 i + 1 < g_results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"speedups\": {\"gemm_256\": %.3f, \"bptt\": %.3f, "
+               "\"generation\": %.3f}\n}\n",
+               gemm_speedup, bptt_speedup, gen_speedup);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Main() {
+  const size_t hw = HardwareThreads();
+  std::printf("micro_perf: %zu hardware thread(s)\n\n", hw);
+
+  double blocked_ms = 0.0;
+  double threaded_ms = 0.0;
+  BenchGemm(64, &blocked_ms, &threaded_ms);
+  BenchGemm(128, &blocked_ms, &threaded_ms);
+  const double gemm_ref_ms = BenchGemm(256, &blocked_ms, &threaded_ms);
+  const double gemm_best = std::min(blocked_ms, threaded_ms);
+  const double gemm_speedup = gemm_best > 0.0 ? gemm_ref_ms / gemm_best : 0.0;
+
+  const double bptt_serial = BenchBptt(1, "bptt_1thread");
+  const double bptt_parallel = BenchBptt(hw, "bptt_threads");
+  const double bptt_speedup = bptt_parallel > 0.0 ? bptt_serial / bptt_parallel : 0.0;
+
+  const double gen_serial = BenchGeneration(1, "generation_1thread");
+  const double gen_parallel = BenchGeneration(hw, "generation_threads");
+  const double gen_speedup = gen_parallel > 0.0 ? gen_serial / gen_parallel : 0.0;
+
+  BenchKaplanMeier();
+  BenchPacking();
+
+  std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx\n", gemm_speedup,
+              bptt_speedup, gen_speedup);
+
+  const char* override_path = std::getenv("CLOUDGEN_BENCH_OUT");
+  WriteJson(override_path != nullptr ? override_path : "BENCH_perf.json", hw,
+            gemm_speedup, bptt_speedup, gen_speedup);
+  return 0;
+}
 
 }  // namespace
 }  // namespace cloudgen
 
-BENCHMARK_MAIN();
+int main() { return cloudgen::Main(); }

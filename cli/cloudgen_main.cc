@@ -28,6 +28,7 @@
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 #include "src/viz/trace_viz.h"
 
 namespace cloudgen {
@@ -52,7 +53,8 @@ int Usage() {
       "            [--checkpoint CKPT_PREFIX] [--resume] [--lenient]\n"
       "  generate  --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --from-day D --days K [--arrival-scale S]\n"
-      "            [--eob-scale S] [--seed N] [--lenient] --out GEN.csv\n"
+      "            [--eob-scale S] [--seed N] [--traces N] [--lenient]\n"
+      "            --out GEN.csv\n"
       "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --eval-from-day D [--eval-days K]\n"
       "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv [--lenient]\n"
@@ -63,6 +65,10 @@ int Usage() {
       "  --lenient     skip (and count) malformed trace rows instead of failing\n"
       "  --checkpoint  write per-epoch training checkpoints under this prefix\n"
       "  --resume      resume training from --checkpoint files if present\n"
+      "  --threads     worker threads for training/generation (0 = all cores;\n"
+      "                default 1; results are identical for every N)\n"
+      "  --traces      generate: number of independent traces to sample; trace\n"
+      "                i goes to OUT with suffix .i before the extension\n"
       "\n"
       "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure\n");
   return kExitUsage;
@@ -208,14 +214,40 @@ int RunGenerate(const Flags& flags) {
   options.arrival_scale = flags.GetDouble("arrival-scale", 1.0);
   options.eob_scale = flags.GetDouble("eob-scale", 1.0);
   Rng rng(static_cast<uint64_t>(flags.GetLong("seed", 11)));
-  const Trace generated = model.Generate(options, rng);
   const std::string out = flags.GetString("out", "generated.csv");
-  const std::string out_flavors = flags.GetString("out-flavors", out + ".flavors.csv");
-  const Status written = WriteTraceCsv(generated, out, out_flavors);
-  if (!written.ok()) {
-    return Fail(1, written);
+  const long num_traces = flags.GetLong("traces", 1);
+  if (num_traces < 1) {
+    std::fprintf(stderr, "--traces must be >= 1\n");
+    return kExitUsage;
   }
-  std::printf("generated %zu jobs into %s\n", generated.NumJobs(), out.c_str());
+  if (num_traces == 1) {
+    const Trace generated = model.Generate(options, rng);
+    const std::string out_flavors = flags.GetString("out-flavors", out + ".flavors.csv");
+    const Status written = WriteTraceCsv(generated, out, out_flavors);
+    if (!written.ok()) {
+      return Fail(1, written);
+    }
+    std::printf("generated %zu jobs into %s\n", generated.NumJobs(), out.c_str());
+    return 0;
+  }
+  // Independent traces, generated in parallel (see --threads); trace i is
+  // written to OUT with ".i" spliced in before the extension.
+  const std::vector<Trace> traces =
+      model.GenerateMany(options, static_cast<size_t>(num_traces), rng);
+  const size_t dot = out.rfind('.');
+  const std::string stem = dot == std::string::npos ? out : out.substr(0, dot);
+  const std::string ext = dot == std::string::npos ? "" : out.substr(dot);
+  size_t total_jobs = 0;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const std::string path = stem + "." + std::to_string(i) + ext;
+    const Status written = WriteTraceCsv(traces[i], path, path + ".flavors.csv");
+    if (!written.ok()) {
+      return Fail(1, written);
+    }
+    total_jobs += traces[i].NumJobs();
+  }
+  std::printf("generated %zu jobs across %zu traces into %s.N%s\n", total_jobs,
+              traces.size(), stem.c_str(), ext.c_str());
   return 0;
 }
 
@@ -368,6 +400,14 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv, 2)) {
     return Usage();
   }
+  const long threads = flags.GetLong("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return kExitUsage;
+  }
+  // 0 = all hardware threads. Every parallel code path is deterministic in
+  // the thread count, so this only changes speed, never output.
+  SetGlobalThreads(static_cast<size_t>(threads));
   if (command == "synth") {
     return RunSynth(flags);
   }

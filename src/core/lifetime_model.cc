@@ -143,14 +143,73 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
   const size_t bins = binning.NumBins();
 
   std::vector<Matrix> inputs(batching.SeqLen());
-  std::vector<Matrix> logits;
-  std::vector<Matrix> dlogits(batching.SeqLen());
   std::vector<Matrix> targets(batching.SeqLen());
   std::vector<Matrix> masks(batching.SeqLen());
   std::vector<std::vector<int32_t>> bin_targets(
       batching.SeqLen(), std::vector<int32_t>(batching.BatchSize()));
   std::vector<std::vector<uint8_t>> censored_flags(
       batching.SeqLen(), std::vector<uint8_t>(batching.BatchSize()));
+  DataParallelBptt bptt(&network_, batching.BatchSize());
+  const auto shard_loss = [&](size_t r0, size_t r1, const std::vector<Matrix>& logits,
+                              std::vector<Matrix>* dlogits) {
+    // Each loss normalizes by its own (shard-local) counted total — unmasked
+    // elements for the hazard head, non-ignored rows for the CE head — so
+    // each step is rescaled by counted_shard/counted_all to land on the exact
+    // full-minibatch normalization serial training uses. The callback runs
+    // concurrently across shards but only touches shard-local buffers.
+    const size_t rows = r1 - r0;
+    const float inv_steps = 1.0f / static_cast<float>(batching.SeqLen());
+    double sum = 0.0;
+    Matrix shard_targets;
+    Matrix shard_masks;
+    std::vector<int32_t> shard_bins;
+    std::vector<uint8_t> shard_censored;
+    for (size_t t = 0; t < batching.SeqLen(); ++t) {
+      size_t counted_all = 0;
+      size_t counted_shard = 0;
+      double mean = 0.0;
+      if (config.head == LifetimeHead::kHazard) {
+        for (size_t b = 0; b < batching.BatchSize(); ++b) {
+          const float* mask_row = masks[t].Row(b);
+          size_t row_count = 0;
+          for (size_t j = 0; j < bins; ++j) {
+            row_count += static_cast<size_t>(mask_row[j] != 0.0f);
+          }
+          counted_all += row_count;
+          if (b >= r0 && b < r1) {
+            counted_shard += row_count;
+          }
+        }
+        shard_targets.Resize(rows, bins);
+        shard_masks.Resize(rows, bins);
+        std::copy(targets[t].Row(r0), targets[t].Row(r0) + rows * bins,
+                  shard_targets.Data());
+        std::copy(masks[t].Row(r0), masks[t].Row(r0) + rows * bins, shard_masks.Data());
+        mean = MaskedBceWithLogits(logits[t], shard_targets, shard_masks, &(*dlogits)[t]);
+      } else {
+        for (size_t b = 0; b < batching.BatchSize(); ++b) {
+          if (bin_targets[t][b] == kIgnoreTarget) {
+            continue;
+          }
+          ++counted_all;
+          counted_shard += static_cast<size_t>(b >= r0 && b < r1);
+        }
+        shard_bins.assign(bin_targets[t].begin() + static_cast<ptrdiff_t>(r0),
+                          bin_targets[t].begin() + static_cast<ptrdiff_t>(r1));
+        shard_censored.assign(censored_flags[t].begin() + static_cast<ptrdiff_t>(r0),
+                              censored_flags[t].begin() + static_cast<ptrdiff_t>(r1));
+        mean = CensoredSoftmaxCrossEntropy(logits[t], shard_bins, shard_censored,
+                                           &(*dlogits)[t]);
+      }
+      const float f = counted_all == 0
+                          ? 0.0f
+                          : static_cast<float>(counted_shard) /
+                                static_cast<float>(counted_all) * inv_steps;
+      (*dlogits)[t].Scale(f);
+      sum += mean * static_cast<double>(f);
+    }
+    return sum;
+  };
 
   ResilientTrainLoop loop(kCheckpointStageLifetime, config.recovery, config.learning_rate,
                           config.lr_decay, &network_, &optimizer, &rng);
@@ -180,20 +239,7 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
           }
         }
       }
-      network_.ZeroGrads();
-      network_.ForwardSequence(inputs, &logits);
-      double loss = 0.0;
-      for (size_t t = 0; t < batching.SeqLen(); ++t) {
-        if (config.head == LifetimeHead::kHazard) {
-          loss += MaskedBceWithLogits(logits[t], targets[t], masks[t], &dlogits[t]);
-        } else {
-          loss += CensoredSoftmaxCrossEntropy(logits[t], bin_targets[t],
-                                              censored_flags[t], &dlogits[t]);
-        }
-        dlogits[t].Scale(1.0f / static_cast<float>(batching.SeqLen()));
-      }
-      loss /= static_cast<double>(batching.SeqLen());
-      network_.BackwardSequence(dlogits);
+      const double loss = bptt.Run(inputs, shard_loss);
       MaybeInjectGradientFault(&network_);
       optimizer.Step();
       if (!std::isfinite(loss) || !std::isfinite(optimizer.LastGradNorm())) {

@@ -81,9 +81,38 @@ void SingleLstmModel::Train(const Trace& train, int history_days,
   const size_t eop = EopToken();
   const size_t dim = encoder_->Dim();
   std::vector<Matrix> inputs(batching.SeqLen());
-  std::vector<Matrix> logits;
-  std::vector<Matrix> dlogits(batching.SeqLen());
   std::vector<std::vector<int32_t>> targets(batching.SeqLen());
+  DataParallelBptt bptt(&network_, batching.BatchSize());
+  const auto shard_loss = [&](size_t r0, size_t r1, const std::vector<Matrix>& logits,
+                              std::vector<Matrix>* dlogits) {
+    // Rescale each step from the loss's shard-local mean to the exact
+    // full-minibatch normalization (counted non-ignored rows), matching
+    // serial training in real arithmetic.
+    const float inv_steps = 1.0f / static_cast<float>(batching.SeqLen());
+    double sum = 0.0;
+    std::vector<int32_t> shard_targets;
+    for (size_t t = 0; t < batching.SeqLen(); ++t) {
+      size_t counted_all = 0;
+      size_t counted_shard = 0;
+      for (size_t b = 0; b < batching.BatchSize(); ++b) {
+        if (targets[t][b] == kIgnoreTarget) {
+          continue;
+        }
+        ++counted_all;
+        counted_shard += static_cast<size_t>(b >= r0 && b < r1);
+      }
+      shard_targets.assign(targets[t].begin() + static_cast<ptrdiff_t>(r0),
+                           targets[t].begin() + static_cast<ptrdiff_t>(r1));
+      const double mean = SoftmaxCrossEntropy(logits[t], shard_targets, &(*dlogits)[t]);
+      const float f = counted_all == 0
+                          ? 0.0f
+                          : static_cast<float>(counted_shard) /
+                                static_cast<float>(counted_all) * inv_steps;
+      (*dlogits)[t].Scale(f);
+      sum += mean * static_cast<double>(f);
+    }
+    return sum;
+  };
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     double epoch_loss = 0.0;
@@ -100,16 +129,9 @@ void SingleLstmModel::Train(const Trace& train, int history_days,
           targets[t][b] = stream.tokens[step];
         }
       }
-      network_.ZeroGrads();
-      network_.ForwardSequence(inputs, &logits);
-      double loss = 0.0;
-      for (size_t t = 0; t < batching.SeqLen(); ++t) {
-        loss += SoftmaxCrossEntropy(logits[t], targets[t], &dlogits[t]);
-        dlogits[t].Scale(1.0f / static_cast<float>(batching.SeqLen()));
-      }
-      network_.BackwardSequence(dlogits);
+      const double loss = bptt.Run(inputs, shard_loss);
       optimizer.Step();
-      epoch_loss += loss / static_cast<double>(batching.SeqLen());
+      epoch_loss += loss;
       ++count;
     }
     CG_LOG_INFO(StrFormat("single LSTM epoch %zu/%zu: loss=%.4f", epoch + 1, config.epochs,

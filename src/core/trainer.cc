@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace cloudgen {
 
@@ -33,6 +34,96 @@ std::vector<size_t> SequenceBatching::EpochOrder(Rng& rng) const {
   std::iota(order.begin(), order.end(), 0);
   std::shuffle(order.begin(), order.end(), rng);
   return order;
+}
+
+namespace {
+
+// Fixed shard ceiling: a function of nothing but this constant and the batch
+// size, so the gradient-reduction order (and therefore training) cannot
+// depend on how many threads happen to be available.
+constexpr size_t kMaxBpttShards = 8;
+
+// Rows [r0, r1) of a row-major matrix are one contiguous block.
+Matrix SliceRows(const Matrix& m, size_t r0, size_t r1) {
+  Matrix out(r1 - r0, m.Cols());
+  std::copy(m.Row(r0), m.Row(r0) + (r1 - r0) * m.Cols(), out.Data());
+  return out;
+}
+
+}  // namespace
+
+DataParallelBptt::DataParallelBptt(SequenceNetwork* network, size_t batch_size)
+    : network_(network), batch_size_(batch_size) {
+  CG_CHECK(network != nullptr);
+  CG_CHECK(batch_size > 0);
+  const size_t num_shards = std::min(batch_size, kMaxBpttShards);
+  row_splits_.resize(num_shards + 1);
+  for (size_t s = 0; s <= num_shards; ++s) {
+    row_splits_[s] = batch_size * s / num_shards;
+  }
+  // Shard 0 runs on the main network; shards 1..S-1 get replicas.
+  if (num_shards > 1) {
+    replicas_.assign(num_shards - 1, *network);
+  }
+}
+
+double DataParallelBptt::Run(const std::vector<Matrix>& inputs, const ShardLossFn& loss_fn) {
+  CG_CHECK(!inputs.empty());
+  CG_CHECK(inputs[0].Rows() == batch_size_);
+  const size_t num_shards = NumShards();
+  const size_t steps = inputs.size();
+  network_->ZeroGrads();
+
+  if (num_shards == 1) {
+    std::vector<Matrix> logits;
+    std::vector<Matrix> dlogits(steps);
+    network_->ForwardSequence(inputs, &logits);
+    const double loss = loss_fn(0, batch_size_, logits, &dlogits);
+    network_->BackwardSequence(dlogits);
+    return loss;
+  }
+
+  // Refresh replica weights from the main network (the optimizer only ever
+  // steps the main copy).
+  const std::vector<Matrix*> main_params = network_->Params();
+  for (SequenceNetwork& replica : replicas_) {
+    const std::vector<Matrix*> replica_params = replica.Params();
+    for (size_t p = 0; p < main_params.size(); ++p) {
+      *replica_params[p] = *main_params[p];
+    }
+  }
+
+  std::vector<double> shard_loss(num_shards, 0.0);
+  GlobalThreadPool().ParallelFor(0, num_shards, [&](size_t s) {
+    SequenceNetwork& net = s == 0 ? *network_ : replicas_[s - 1];
+    const size_t r0 = row_splits_[s];
+    const size_t r1 = row_splits_[s + 1];
+    std::vector<Matrix> shard_inputs(steps);
+    for (size_t t = 0; t < steps; ++t) {
+      shard_inputs[t] = SliceRows(inputs[t], r0, r1);
+    }
+    net.ZeroGrads();
+    std::vector<Matrix> logits;
+    std::vector<Matrix> dlogits(steps);
+    net.ForwardSequence(shard_inputs, &logits);
+    shard_loss[s] = loss_fn(r0, r1, logits, &dlogits);
+    net.BackwardSequence(dlogits);
+  });
+
+  // Reduce replica gradients into the main network in ascending shard order;
+  // this fixed order keeps the float sums identical for every thread count.
+  const std::vector<Matrix*> main_grads = network_->Grads();
+  for (size_t s = 1; s < num_shards; ++s) {
+    const std::vector<Matrix*> replica_grads = replicas_[s - 1].Grads();
+    for (size_t g = 0; g < main_grads.size(); ++g) {
+      main_grads[g]->Add(*replica_grads[g]);
+    }
+  }
+  double loss = 0.0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    loss += shard_loss[s];
+  }
+  return loss;
 }
 
 }  // namespace cloudgen

@@ -12,7 +12,11 @@
 #define SRC_CORE_TRAINER_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
+
+#include "src/nn/sequence_network.h"
+#include "src/tensor/matrix.h"
 
 namespace cloudgen {
 
@@ -43,6 +47,45 @@ class SequenceBatching {
   size_t seq_len_;
   size_t batch_size_;
   size_t num_minibatches_;
+};
+
+// Data-parallel minibatch BPTT.
+//
+// The minibatch's rows are split into a FIXED number of shards (a function of
+// the batch size only, never of the thread count). Each shard runs
+// forward/backward on its own replica of the network — weights copied from
+// the main network, gradients accumulated into the replica's buffers — and
+// the replica gradients are reduced into the main network in ascending shard
+// order on the calling thread. Shard work is distributed over the global
+// thread pool, but because the shard partition and the reduction order are
+// fixed, training is bitwise-identical for any `--threads N`.
+class DataParallelBptt {
+ public:
+  // Loss callback, invoked once per shard (possibly concurrently across
+  // shards): given the shard's logits (T matrices covering minibatch rows
+  // [row_begin, row_end)), fill `dlogits` and return the shard's loss
+  // contribution. Contributions are summed in shard order, so the callback
+  // must scale its loss and gradients by the shard's share of the minibatch.
+  using ShardLossFn = std::function<double(size_t row_begin, size_t row_end,
+                                           const std::vector<Matrix>& logits,
+                                           std::vector<Matrix>* dlogits)>;
+
+  // `network` must outlive the executor. `batch_size` fixes the shard
+  // partition for every subsequent Run call.
+  DataParallelBptt(SequenceNetwork* network, size_t batch_size);
+
+  size_t NumShards() const { return row_splits_.size() - 1; }
+
+  // Zeroes the main network's gradients, runs forward/backward over all
+  // shards, reduces gradients, and returns the summed loss. `inputs` is T
+  // matrices of shape (batch_size, input_dim).
+  double Run(const std::vector<Matrix>& inputs, const ShardLossFn& loss_fn);
+
+ private:
+  SequenceNetwork* network_;
+  size_t batch_size_;
+  std::vector<size_t> row_splits_;        // NumShards() + 1 ascending offsets.
+  std::vector<SequenceNetwork> replicas_;  // One per shard beyond the first.
 };
 
 }  // namespace cloudgen

@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace cloudgen {
 
@@ -79,11 +80,15 @@ Trace WorkloadModel::GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
 
 std::vector<Trace> WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
                                                Rng& rng) const {
-  std::vector<Trace> traces;
-  traces.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    traces.push_back(Generate(options, rng));
-  }
+  // Each trace samples from its own seed-derived stream, so trace i's content
+  // depends only on (base, i) — never on which worker generated it or on the
+  // thread count. One draw from `rng` anchors the whole family.
+  const uint64_t base = rng.Next();
+  std::vector<Trace> traces(count);
+  GlobalThreadPool().ParallelFor(0, count, [&](size_t i) {
+    Rng stream = Rng::Stream(base, i);
+    traces[i] = Generate(options, stream);
+  });
   return traces;
 }
 

@@ -66,7 +66,10 @@ class WorkloadModel {
   Trace GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
                                  const GenerateOptions& options, Rng& rng) const;
 
-  // Repeated sampling for prediction intervals / scheduler tuning.
+  // Repeated sampling for prediction intervals / scheduler tuning. Traces
+  // are generated in parallel on the global thread pool, each from its own
+  // deterministic seed-derived RNG stream (Rng::Stream), so the result is
+  // bitwise-identical for any thread count.
   std::vector<Trace> GenerateMany(const GenerateOptions& options, size_t count,
                                   Rng& rng) const;
 

@@ -1,11 +1,13 @@
 #include "src/tensor/matrix.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace cloudgen {
 
@@ -88,10 +90,13 @@ Matrix Matrix::Transposed() const {
 
 namespace {
 
-// Plain kernels, all with a stride-1 inner loop over the output columns (or a
-// stride-1 dot product). A is m x k, B is k x n, C is m x n after op().
+// Plain reference kernels, all with a stride-1 inner loop over the output
+// columns (or a stride-1 dot product). A is m x k, B is k x n, C is m x n
+// after op(). Zero multipliers are NOT skipped: 0 * NaN must produce NaN so
+// that divergence in one operand always propagates to the output (the
+// training watchdog depends on non-finite values surfacing).
 
-void GemmNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+void RefGemmNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t m = a.Rows();
   const size_t k = a.Cols();
   const size_t n = b.Cols();
@@ -100,9 +105,6 @@ void GemmNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
     float* c_row = c->Row(i);
     for (size_t p = 0; p < k; ++p) {
       const float av = alpha * a_row[p];
-      if (av == 0.0f) {
-        continue;
-      }
       const float* b_row = b.Row(p);
       for (size_t j = 0; j < n; ++j) {
         c_row[j] += av * b_row[j];
@@ -111,29 +113,25 @@ void GemmNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
   }
 }
 
-void GemmTN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+void RefGemmTN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
   // C(i,j) += alpha * sum_p A(p,i) * B(p,j).
-  const size_t m = a.Cols();
   const size_t k = a.Rows();
+  const size_t m = a.Cols();
   const size_t n = b.Cols();
   for (size_t p = 0; p < k; ++p) {
     const float* a_row = a.Row(p);
     const float* b_row = b.Row(p);
     for (size_t i = 0; i < m; ++i) {
       const float av = alpha * a_row[i];
-      if (av == 0.0f) {
-        continue;
-      }
       float* c_row = c->Row(i);
       for (size_t j = 0; j < n; ++j) {
         c_row[j] += av * b_row[j];
       }
     }
   }
-  (void)m;
 }
 
-void GemmNT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+void RefGemmNT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
   // C(i,j) += alpha * dot(A.row(i), B.row(j)).
   const size_t m = a.Rows();
   const size_t k = a.Cols();
@@ -152,10 +150,192 @@ void GemmNT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
   }
 }
 
-void GemmTT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+void RefGemmTT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
   // Rare path: materialize A^T and reuse the NT kernel.
   const Matrix at = a.Transposed();
-  GemmNT(alpha, at, b, c);
+  RefGemmNT(alpha, at, b, c);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels.
+//
+// Register-tiled micro-kernels: a kRowTile x kColTile block of C is
+// accumulated in a local register tile over the whole k extent, then added to
+// C once. The inner j loop is stride-1 and carries kRowTile independent FMA
+// chains, so -O3 vectorizes it without -ffast-math.
+//
+// Determinism: each output element C(i,j) is one accumulation chain with p
+// strictly ascending, regardless of which tile (full or edge) covers it and
+// regardless of row sharding across threads. Results are therefore bitwise
+// identical for any thread count.
+
+constexpr size_t kRowTile = 4;   // C rows per register tile.
+constexpr size_t kColTile = 32;  // C cols per register tile.
+
+// NN micro-step for one (rows x cols) tile at (i0, j0); rows <= kRowTile,
+// cols <= kColTile. `a` is (m, k) row-major, `b` is (k, n) row-major.
+inline void TileNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c, size_t i0,
+                   size_t j0, size_t rows, size_t cols) {
+  const size_t k = a.Cols();
+  float acc[kRowTile][kColTile] = {};
+  const float* a_rows[kRowTile];
+  for (size_t r = 0; r < rows; ++r) {
+    a_rows[r] = a.Row(i0 + r);
+  }
+  if (rows == kRowTile && cols == kColTile) {
+    // Hot full-tile path with constant trip counts.
+    for (size_t p = 0; p < k; ++p) {
+      const float* bp = b.Row(p) + j0;
+      for (size_t r = 0; r < kRowTile; ++r) {
+        const float av = alpha * a_rows[r][p];
+        for (size_t jj = 0; jj < kColTile; ++jj) {
+          acc[r][jj] += av * bp[jj];
+        }
+      }
+    }
+  } else {
+    for (size_t p = 0; p < k; ++p) {
+      const float* bp = b.Row(p) + j0;
+      for (size_t r = 0; r < rows; ++r) {
+        const float av = alpha * a_rows[r][p];
+        for (size_t jj = 0; jj < cols; ++jj) {
+          acc[r][jj] += av * bp[jj];
+        }
+      }
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    float* c_row = c->Row(i0 + r) + j0;
+    for (size_t jj = 0; jj < cols; ++jj) {
+      c_row[jj] += acc[r][jj];
+    }
+  }
+}
+
+// TN micro-step: C(i,j) += alpha * sum_p A(p,i) * B(p,j). A is (k, m).
+inline void TileTN(float alpha, const Matrix& a, const Matrix& b, Matrix* c, size_t i0,
+                   size_t j0, size_t rows, size_t cols) {
+  const size_t k = a.Rows();
+  float acc[kRowTile][kColTile] = {};
+  if (rows == kRowTile && cols == kColTile) {
+    for (size_t p = 0; p < k; ++p) {
+      const float* ap = a.Row(p) + i0;
+      const float* bp = b.Row(p) + j0;
+      for (size_t r = 0; r < kRowTile; ++r) {
+        const float av = alpha * ap[r];
+        for (size_t jj = 0; jj < kColTile; ++jj) {
+          acc[r][jj] += av * bp[jj];
+        }
+      }
+    }
+  } else {
+    for (size_t p = 0; p < k; ++p) {
+      const float* ap = a.Row(p) + i0;
+      const float* bp = b.Row(p) + j0;
+      for (size_t r = 0; r < rows; ++r) {
+        const float av = alpha * ap[r];
+        for (size_t jj = 0; jj < cols; ++jj) {
+          acc[r][jj] += av * bp[jj];
+        }
+      }
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    float* c_row = c->Row(i0 + r) + j0;
+    for (size_t jj = 0; jj < cols; ++jj) {
+      c_row[jj] += acc[r][jj];
+    }
+  }
+}
+
+// Fixed-order partial-sum dot product: 8 interleaved chains plus a fixed
+// final reduction, so the result does not depend on the caller's tiling.
+inline float DotFixed(const float* x, const float* y, size_t k) {
+  float partial[8] = {};
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    for (size_t u = 0; u < 8; ++u) {
+      partial[u] += x[p + u] * y[p + u];
+    }
+  }
+  for (size_t u = 0; p + u < k; ++u) {
+    partial[u] += x[p + u] * y[p + u];
+  }
+  const float s01 = partial[0] + partial[1];
+  const float s23 = partial[2] + partial[3];
+  const float s45 = partial[4] + partial[5];
+  const float s67 = partial[6] + partial[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+// Row-range kernels: compute C rows [row_begin, row_end). These are the unit
+// of thread sharding; see the determinism note above.
+
+void BlockedNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c, size_t row_begin,
+               size_t row_end) {
+  const size_t n = b.Cols();
+  for (size_t i0 = row_begin; i0 < row_end; i0 += kRowTile) {
+    const size_t rows = std::min(kRowTile, row_end - i0);
+    for (size_t j0 = 0; j0 < n; j0 += kColTile) {
+      TileNN(alpha, a, b, c, i0, j0, rows, std::min(kColTile, n - j0));
+    }
+  }
+}
+
+void BlockedTN(float alpha, const Matrix& a, const Matrix& b, Matrix* c, size_t row_begin,
+               size_t row_end) {
+  const size_t n = b.Cols();
+  for (size_t i0 = row_begin; i0 < row_end; i0 += kRowTile) {
+    const size_t rows = std::min(kRowTile, row_end - i0);
+    for (size_t j0 = 0; j0 < n; j0 += kColTile) {
+      TileTN(alpha, a, b, c, i0, j0, rows, std::min(kColTile, n - j0));
+    }
+  }
+}
+
+void BlockedNT(float alpha, const Matrix& a, const Matrix& b, Matrix* c, size_t row_begin,
+               size_t row_end) {
+  // C(i,j) += alpha * dot(A.row(i), B.row(j)); both operands stride-1.
+  const size_t k = a.Cols();
+  const size_t n = b.Rows();
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = a.Row(i);
+    float* c_row = c->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      c_row[j] += alpha * DotFixed(a_row, b.Row(j), k);
+    }
+  }
+}
+
+using RangeKernel = void (*)(float, const Matrix&, const Matrix&, Matrix*, size_t, size_t);
+
+// Shards C's rows across the global pool when the problem is big enough to
+// amortize dispatch; runs inline otherwise.
+void RunSharded(RangeKernel kernel, float alpha, const Matrix& a, const Matrix& b,
+                Matrix* c, size_t k) {
+  const size_t m = c->Rows();
+  const size_t n = c->Cols();
+  // ~1 MFLOP minimum per parallel dispatch.
+  const bool parallel = 2 * m * n * k >= (1u << 20) && m >= 2 * kRowTile;
+  if (!parallel) {
+    kernel(alpha, a, b, c, 0, m);
+    return;
+  }
+  // Shard at row-tile granularity; chunking is free to vary (determinism is
+  // per-element, not per-chunk).
+  const size_t num_blocks = (m + kRowTile - 1) / kRowTile;
+  GlobalThreadPool().ParallelFor(0, num_blocks, [&](size_t block) {
+    const size_t lo = block * kRowTile;
+    kernel(alpha, a, b, c, lo, std::min(m, lo + kRowTile));
+  });
+}
+
+void ApplyBeta(float beta, Matrix* c) {
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    c->Scale(beta);
+  }
 }
 
 }  // namespace
@@ -169,19 +349,38 @@ void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix
   const size_t n = trans_b ? b.Rows() : b.Cols();
   CG_CHECK_MSG(ka == kb, "Gemm inner-dimension mismatch");
   CG_CHECK_MSG(c->Rows() == m && c->Cols() == n, "Gemm output shape mismatch");
-  if (beta == 0.0f) {
-    c->SetZero();
-  } else if (beta != 1.0f) {
-    c->Scale(beta);
-  }
+  ApplyBeta(beta, c);
   if (!trans_a && !trans_b) {
-    GemmNN(alpha, a, b, c);
+    RunSharded(BlockedNN, alpha, a, b, c, ka);
   } else if (trans_a && !trans_b) {
-    GemmTN(alpha, a, b, c);
+    RunSharded(BlockedTN, alpha, a, b, c, ka);
   } else if (!trans_a && trans_b) {
-    GemmNT(alpha, a, b, c);
+    RunSharded(BlockedNT, alpha, a, b, c, ka);
   } else {
-    GemmTT(alpha, a, b, c);
+    // Rare path: materialize A^T and reuse the NT kernel.
+    const Matrix at = a.Transposed();
+    RunSharded(BlockedNT, alpha, at, b, c, ka);
+  }
+}
+
+void GemmReference(bool trans_a, bool trans_b, float alpha, const Matrix& a,
+                   const Matrix& b, float beta, Matrix* c) {
+  CG_CHECK(c != nullptr);
+  const size_t m = trans_a ? a.Cols() : a.Rows();
+  const size_t ka = trans_a ? a.Rows() : a.Cols();
+  const size_t kb = trans_b ? b.Cols() : b.Rows();
+  const size_t n = trans_b ? b.Rows() : b.Cols();
+  CG_CHECK_MSG(ka == kb, "Gemm inner-dimension mismatch");
+  CG_CHECK_MSG(c->Rows() == m && c->Cols() == n, "Gemm output shape mismatch");
+  ApplyBeta(beta, c);
+  if (!trans_a && !trans_b) {
+    RefGemmNN(alpha, a, b, c);
+  } else if (trans_a && !trans_b) {
+    RefGemmTN(alpha, a, b, c);
+  } else if (!trans_a && trans_b) {
+    RefGemmNT(alpha, a, b, c);
+  } else {
+    RefGemmTT(alpha, a, b, c);
   }
 }
 

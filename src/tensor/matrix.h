@@ -72,11 +72,21 @@ class Matrix {
 };
 
 // C = alpha * op(A) * op(B) + beta * C, where op is optional transposition.
-// Shapes are validated with CG_CHECK. The kernel uses i-k-j loop order with the
-// transposed operands materialized on the fly only when needed for stride-1
-// inner loops (all four transpose combinations are stride-1 friendly).
+// Shapes are validated with CG_CHECK.
+//
+// Uses register-tiled, stride-1-vectorizable blocked kernels, sharded across
+// the global thread pool for large problems. Every output element is a
+// single fixed-order accumulation chain (k ascending), so the result is
+// bitwise-identical for any tile partitioning and any thread count.
 void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
           float beta, Matrix* c);
+
+// Reference implementation: the original plain i-k-j kernels, single
+// threaded and unblocked. Kept as the correctness oracle for the blocked
+// kernels (tests/benchmarks); same semantics as Gemm, different float
+// summation order.
+void GemmReference(bool trans_a, bool trans_b, float alpha, const Matrix& a,
+                   const Matrix& b, float beta, Matrix* c);
 
 // out[r] = sum_c m(r, c) — row sums into a vector of length Rows().
 std::vector<float> RowSums(const Matrix& m);

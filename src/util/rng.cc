@@ -71,6 +71,15 @@ void Rng::Jump() {
   state_[3] = s3;
 }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream_id) {
+  // Two splitmix64 rounds decorrelate consecutive ids; the golden-ratio
+  // offset keeps Stream(seed, 0) distinct from Rng(seed) itself.
+  uint64_t x = stream_id + 0x9E3779B97F4A7C15ull;
+  const uint64_t a = SplitMix64(x);
+  const uint64_t b = SplitMix64(x);
+  return Rng(seed ^ a ^ Rotl(b, 32));
+}
+
 Rng Rng::Fork() {
   Rng child = *this;
   child.has_cached_normal_ = false;

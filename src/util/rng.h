@@ -40,6 +40,15 @@ class Rng {
   // yield distinct streams.
   Rng Fork();
 
+  // Deterministic seed-derived stream: a pure function of (seed, stream_id),
+  // independent of any generator's consumption state. Work unit i of a
+  // parallel job draws from Stream(base, i), so the sampled values depend
+  // only on the unit index — never on which thread ran the unit or in what
+  // order — making `--threads N` bitwise-identical to `--threads 1`.
+  // The id is diffused through two splitmix64 rounds before being folded
+  // into the seed, so adjacent ids yield unrelated xoshiro states.
+  static Rng Stream(uint64_t seed, uint64_t stream_id);
+
   // Uniform double in [0, 1).
   double NextDouble();
   // Uniform double in [lo, hi).

@@ -107,6 +107,98 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Values(1, 3, 8),
                        ::testing::Values(1, 5), ::testing::Values(2, 7)));
 
+// The seed kernels short-circuited `a == 0` inner loops, which silently
+// swallowed NaN/Inf in the other operand (0 * NaN must be NaN). A poisoned
+// weight matrix has to surface through matmuls so the training divergence
+// watchdog can see it; these pin the fix for every transpose combination and
+// for the reference oracle.
+class GemmNanTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmNanTest, ZeroTimesNanPropagates) {
+  const auto [ta, tb] = GetParam();
+  // A is all zeros; B carries a single NaN. Every output column touching the
+  // NaN's row must be NaN even though every product has a zero factor.
+  constexpr size_t kM = 5;
+  constexpr size_t kK = 6;
+  constexpr size_t kN = 7;
+  Matrix a(ta ? kK : kM, ta ? kM : kK, 0.0f);
+  Matrix b(tb ? kN : kK, tb ? kK : kN, 1.0f);
+  const size_t poisoned_col = 3;
+  if (tb) {
+    b(poisoned_col, 2) = std::nanf("");
+  } else {
+    b(2, poisoned_col) = std::nanf("");
+  }
+  Matrix c(kM, kN, 0.0f);
+  Gemm(ta, tb, 1.0f, a, b, 0.0f, &c);
+  for (size_t i = 0; i < kM; ++i) {
+    for (size_t j = 0; j < kN; ++j) {
+      if (j == poisoned_col) {
+        EXPECT_TRUE(std::isnan(c(i, j))) << "NaN swallowed at " << i << "," << j;
+      } else {
+        EXPECT_FLOAT_EQ(c(i, j), 0.0f);
+      }
+    }
+  }
+  // The reference oracle must propagate identically.
+  Matrix cref(kM, kN, 0.0f);
+  GemmReference(ta, tb, 1.0f, a, b, 0.0f, &cref);
+  for (size_t i = 0; i < kM; ++i) {
+    EXPECT_TRUE(std::isnan(cref(i, poisoned_col))) << "reference swallowed NaN row " << i;
+  }
+}
+
+TEST_P(GemmNanTest, NanInZeroRowOfAPropagates) {
+  const auto [ta, tb] = GetParam();
+  // Mirror case: the NaN sits in A while B holds the zeros.
+  constexpr size_t kM = 4;
+  constexpr size_t kK = 5;
+  constexpr size_t kN = 3;
+  Matrix a(ta ? kK : kM, ta ? kM : kK, 1.0f);
+  const size_t poisoned_row = 1;
+  if (ta) {
+    a(2, poisoned_row) = std::nanf("");
+  } else {
+    a(poisoned_row, 2) = std::nanf("");
+  }
+  Matrix b(tb ? kN : kK, tb ? kK : kN, 0.0f);
+  Matrix c(kM, kN, 0.0f);
+  Gemm(ta, tb, 1.0f, a, b, 0.0f, &c);
+  for (size_t j = 0; j < kN; ++j) {
+    EXPECT_TRUE(std::isnan(c(poisoned_row, j))) << "NaN swallowed at col " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmNanTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+// The blocked/tiled kernels must agree with the plain reference kernels on
+// shapes that exercise full tiles, edge tiles, and the thread-sharding path.
+class GemmOracleTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {};
+
+TEST_P(GemmOracleTest, BlockedMatchesReferenceKernels) {
+  const auto [ta, tb, m, k, n] = GetParam();
+  Rng rng(2024);
+  const Matrix a = ta ? RandomMatrix(k, m, rng) : RandomMatrix(m, k, rng);
+  const Matrix b = tb ? RandomMatrix(n, k, rng) : RandomMatrix(k, n, rng);
+  Matrix c = RandomMatrix(m, n, rng);
+  Matrix cref = c;
+  Gemm(ta, tb, 1.25f, a, b, 0.5f, &c);
+  GemmReference(ta, tb, 1.25f, a, b, 0.5f, &cref);
+  for (size_t i = 0; i < c.Rows(); ++i) {
+    for (size_t j = 0; j < c.Cols(); ++j) {
+      EXPECT_NEAR(c(i, j), cref(i, j), 2e-3f) << "at " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileAndEdgeShapes, GemmOracleTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(4, 37, 64), ::testing::Values(19, 48),
+                       ::testing::Values(16, 33)));
+
 TEST(Gemm, BetaZeroOverwritesGarbage) {
   Rng rng(3);
   const Matrix a = RandomMatrix(2, 3, rng);

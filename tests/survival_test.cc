@@ -246,6 +246,79 @@ TEST(Interpolation, SampleDurationWithinBin) {
   }
 }
 
+// The paper binning's first bin is the degenerate {0} bin (lower edge ==
+// upper edge == 0). Interpolation must tolerate that zero width: no division
+// by zero, no NaN, no negative durations, and exact values at bin edges.
+TEST(Interpolation, ZeroWidthFirstBinSamplesZeroDuration) {
+  Rng rng(21);
+  const LifetimeBinning binning = MakePaperBinning();
+  ASSERT_DOUBLE_EQ(binning.LowerEdge(0), 0.0);
+  ASSERT_DOUBLE_EQ(binning.UpperEdge(0), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double stepped = SampleDurationInBin(binning, 0, Interpolation::kStepped, rng);
+    const double cdi = SampleDurationInBin(binning, 0, Interpolation::kCdi, rng);
+    EXPECT_FALSE(std::isnan(stepped));
+    EXPECT_FALSE(std::isnan(cdi));
+    EXPECT_DOUBLE_EQ(stepped, 0.0);
+    EXPECT_DOUBLE_EQ(cdi, 0.0);
+  }
+}
+
+TEST(Interpolation, SampledDurationsNeverNegativeAcrossAllBins) {
+  Rng rng(22);
+  const LifetimeBinning binning = MakePaperBinning();
+  for (size_t bin = 0; bin < binning.NumBins(); ++bin) {
+    for (int i = 0; i < 20; ++i) {
+      const double stepped = SampleDurationInBin(binning, bin, Interpolation::kStepped, rng);
+      const double cdi = SampleDurationInBin(binning, bin, Interpolation::kCdi, rng);
+      EXPECT_GE(stepped, 0.0) << "bin " << bin;
+      EXPECT_GE(cdi, 0.0) << "bin " << bin;
+      EXPECT_FALSE(std::isnan(stepped)) << "bin " << bin;
+      EXPECT_FALSE(std::isnan(cdi)) << "bin " << bin;
+      EXPECT_GE(stepped, binning.LowerEdge(bin)) << "bin " << bin;
+      EXPECT_GE(cdi, binning.LowerEdge(bin)) << "bin " << bin;
+    }
+  }
+}
+
+TEST(Interpolation, SurvivalCurveFiniteWithZeroWidthFirstBin) {
+  const LifetimeBinning binning = MakePaperBinning();
+  std::vector<double> hazard(binning.NumBins(), 0.1);
+  hazard[0] = 0.3;  // Mass in the degenerate bin — the risky case.
+  hazard.back() = 1.0;
+  for (const Interpolation interp : {Interpolation::kStepped, Interpolation::kCdi}) {
+    const SurvivalCurve curve(hazard, binning, interp);
+    // Exactly at t=0: all zero-lifetime mass is already gone.
+    EXPECT_NEAR(curve.Survival(0.0), 0.7, 1e-12);
+    // Monotone non-increasing and finite across edges and interior points.
+    double prev = curve.Survival(0.0);
+    for (double t : {1.0, 5 * kMinute, 5 * kMinute + 1.0, kHour, kHour + 30.0,
+                     2 * kDay, 10 * kDay, 40 * kDay, 100 * kDay}) {
+      const double s = curve.Survival(t);
+      EXPECT_FALSE(std::isnan(s)) << "t=" << t;
+      EXPECT_GE(s, 0.0) << "t=" << t;
+      EXPECT_LE(s, prev + 1e-12) << "t=" << t;
+      prev = s;
+    }
+  }
+}
+
+TEST(Interpolation, SteppedAndCdiAgreeOnEveryBinEdge) {
+  // At bin upper edges the two interpolations must coincide with the discrete
+  // survival; they only differ in bin interiors.
+  const LifetimeBinning binning = MakePaperBinning();
+  std::vector<double> hazard(binning.NumBins(), 0.05);
+  hazard.back() = 1.0;
+  const SurvivalCurve stepped(hazard, binning, Interpolation::kStepped);
+  const SurvivalCurve cdi(hazard, binning, Interpolation::kCdi);
+  const std::vector<double> discrete = HazardToSurvival(hazard);
+  for (size_t j = 0; j + 1 < binning.NumBins(); ++j) {
+    const double edge = binning.UpperEdge(j);
+    EXPECT_NEAR(stepped.Survival(edge), discrete[j], 1e-12) << "bin " << j;
+    EXPECT_NEAR(cdi.Survival(edge), discrete[j], 1e-12) << "bin " << j;
+  }
+}
+
 TEST(Metrics, SurvivalMseGridAndValues) {
   const std::vector<double> grid = MakeSurvivalMseGrid(100.0, 4);
   EXPECT_EQ(grid, (std::vector<double>{25.0, 50.0, 75.0, 100.0}));
