@@ -1,14 +1,21 @@
-// Shared helpers for the experiment harnesses: table printing and the
-// ground-truth test-window view used by the §6 experiments.
+// Shared helpers for the experiment harnesses: table printing, the
+// ground-truth test-window view used by the §6 experiments, and the
+// registry-backed timing utilities every bench reports through.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/eval/workbench.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/trace/trace.h"
+#include "src/util/atomic_file.h"
+#include "src/util/timer.h"
 
 namespace cloudgen {
 
@@ -33,6 +40,69 @@ inline std::string Pct(double fraction) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
   return buf;
+}
+
+// Runs `fn` until ~0.3 s of wall clock has accumulated (at least twice after
+// one warm-up call) and returns the mean iteration time in ms. The loop is
+// timed as a whole — the registry is only touched after the clock stops, so
+// sub-microsecond benches are not skewed — and the result lands in the global
+// registry as bench.<name>.ms_per_iter / bench.<name>.iters plus the shared
+// time.bench_iter_ms histogram.
+inline double RunBench(const std::string& name, const std::function<void()>& fn) {
+  fn();  // Warm-up (first-touch allocation, icache).
+  Timer timer;
+  size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < 0.3 || iters < 2);
+  const double ms = timer.ElapsedSeconds() * 1000.0 / static_cast<double>(iters);
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench." + name + ".ms_per_iter").Set(ms);
+  registry.GetCounter("bench." + name + ".iters").Add(iters);
+  registry.GetHistogram("time.bench_iter_ms").Observe(ms);
+  std::printf("%-28s %10.3f ms/iter  (%zu iters)\n", name.c_str(), ms, iters);
+  return ms;
+}
+
+// RAII wrapper for a one-shot bench stage: emits a trace span (visible with
+// --trace-out style collection) and records the stage's wall time as
+// bench.section.<name>.ms plus an observation in time.bench_section_ms.
+// `name` must outlive the section (string literals do).
+class TimedSection {
+ public:
+  explicit TimedSection(const char* name)
+      : name_(name),
+        span_(name),
+        timer_(&obs::Registry::Global().GetHistogram("time.bench_section_ms")) {}
+  TimedSection(const TimedSection&) = delete;
+  TimedSection& operator=(const TimedSection&) = delete;
+  ~TimedSection() {
+    obs::Registry::Global()
+        .GetGauge(std::string("bench.section.") + name_ + ".ms")
+        .Set(timer_.ElapsedSeconds() * 1000.0);
+  }
+
+ private:
+  const char* name_;
+  obs::ScopedSpan span_;
+  ScopedTimer timer_;
+};
+
+// Writes the global registry snapshot (schema cloudgen.metrics.v1) to
+// $CLOUDGEN_BENCH_OUT if set, else `default_path`. Atomic: readers never see
+// a half-written file.
+inline void WriteBenchSnapshot(const std::string& default_path) {
+  const char* override_path = std::getenv("CLOUDGEN_BENCH_OUT");
+  const std::string path = override_path != nullptr ? override_path : default_path;
+  const Status written = WriteFileAtomic(
+      path, [](std::ostream& out) { obs::Registry::Global().WriteJson(out); });
+  if (written.ok()) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench: failed to write %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+  }
 }
 
 }  // namespace cloudgen

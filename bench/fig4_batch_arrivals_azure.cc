@@ -15,6 +15,7 @@ namespace {
 
 void Run() {
   PrintBanner("Figure 4: batch arrivals, AzureLike test window");
+  TimedSection total("fig4.total");
   CloudWorkbench workbench = MakeArrivalWorkbench(CloudKind::kAzureLike);
 
   const ArrivalCoverageResult sampled = EvaluateArrivalCoverage(

@@ -4,25 +4,24 @@
 // table — engineering telemetry for the library itself.
 //
 // Every run writes machine-readable results to BENCH_perf.json (override the
-// path with CLOUDGEN_BENCH_OUT) so the perf trajectory is recorded:
-//   {
-//     "threads": <hardware parallelism used for the threaded variants>,
-//     "benchmarks": [{"name": "...", "ms_per_iter": ..., "iters": ...}, ...],
-//     "speedups": {"gemm_256": ..., "bptt": ..., "generation": ...}
-//   }
-// The speedups compare the seed's reference kernels / single-thread paths
-// against the blocked + thread-sharded substrate on the same machine.
+// path with CLOUDGEN_BENCH_OUT). The file is a cloudgen.metrics.v1 registry
+// snapshot (see docs/OBSERVABILITY.md): per-bench timings live under
+// bench.<name>.ms_per_iter / bench.<name>.iters, the cross-substrate speedups
+// under bench.speedup.{gemm_256,bptt,generation}, and the hardware parallelism
+// used for the threaded variants under bench.hardware_threads. The speedups
+// compare the seed's reference kernels / single-thread paths against the
+// blocked + thread-sharded substrate on the same machine.
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/core/trainer.h"
 #include "src/nn/losses.h"
 #include "src/nn/sequence_network.h"
+#include "src/obs/metrics.h"
 #include "src/sched/cluster.h"
 #include "src/sched/packing.h"
 #include "src/survival/binning.h"
@@ -30,34 +29,9 @@
 #include "src/tensor/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
-#include "src/util/timer.h"
 
 namespace cloudgen {
 namespace {
-
-struct BenchResult {
-  std::string name;
-  double ms_per_iter = 0.0;
-  size_t iters = 0;
-};
-
-std::vector<BenchResult> g_results;
-
-// Runs `fn` until ~0.3 s of wall clock has accumulated (at least twice after
-// one warm-up call), records the mean iteration time, and returns it in ms.
-double RunBench(const std::string& name, const std::function<void()>& fn) {
-  fn();  // Warm-up (first-touch allocation, icache).
-  Timer timer;
-  size_t iters = 0;
-  do {
-    fn();
-    ++iters;
-  } while (timer.ElapsedSeconds() < 0.3 || iters < 2);
-  const double ms = timer.ElapsedSeconds() * 1000.0 / static_cast<double>(iters);
-  g_results.push_back({name, ms, iters});
-  std::printf("%-28s %10.3f ms/iter  (%zu iters)\n", name.c_str(), ms, iters);
-  return ms;
-}
 
 size_t HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -191,32 +165,11 @@ void BenchPacking() {
   });
 }
 
-void WriteJson(const std::string& path, size_t threads, double gemm_speedup,
-               double bptt_speedup, double gen_speedup) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "micro_perf: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(out, "{\n  \"threads\": %zu,\n  \"benchmarks\": [\n", threads);
-  for (size_t i = 0; i < g_results.size(); ++i) {
-    const BenchResult& r = g_results[i];
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"ms_per_iter\": %.6f, \"iters\": %zu}%s\n",
-                 r.name.c_str(), r.ms_per_iter, r.iters,
-                 i + 1 < g_results.size() ? "," : "");
-  }
-  std::fprintf(out,
-               "  ],\n  \"speedups\": {\"gemm_256\": %.3f, \"bptt\": %.3f, "
-               "\"generation\": %.3f}\n}\n",
-               gemm_speedup, bptt_speedup, gen_speedup);
-  std::fclose(out);
-  std::printf("\nwrote %s\n", path.c_str());
-}
-
 int Main() {
   const size_t hw = HardwareThreads();
   std::printf("micro_perf: %zu hardware thread(s)\n\n", hw);
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.hardware_threads").Set(static_cast<double>(hw));
 
   double blocked_ms = 0.0;
   double threaded_ms = 0.0;
@@ -239,10 +192,11 @@ int Main() {
 
   std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx\n", gemm_speedup,
               bptt_speedup, gen_speedup);
+  registry.GetGauge("bench.speedup.gemm_256").Set(gemm_speedup);
+  registry.GetGauge("bench.speedup.bptt").Set(bptt_speedup);
+  registry.GetGauge("bench.speedup.generation").Set(gen_speedup);
 
-  const char* override_path = std::getenv("CLOUDGEN_BENCH_OUT");
-  WriteJson(override_path != nullptr ? override_path : "BENCH_perf.json", hw,
-            gemm_speedup, bptt_speedup, gen_speedup);
+  WriteBenchSnapshot("BENCH_perf.json");
   return 0;
 }
 

@@ -28,6 +28,8 @@ void PrintRow(const char* system, double nll, double err) {
 }
 
 void RunCloud(CloudKind kind) {
+  TimedSection cloud_section(kind == CloudKind::kAzureLike ? "table2.azure"
+                                                           : "table2.huawei");
   CloudWorkbench workbench(kind, DefaultWorkbenchOptions());
   const Trace& train = workbench.Splits().train;
   const Trace& test = workbench.Splits().test;

@@ -32,6 +32,8 @@ void PrintRow(const char* system, double bce, double err) {
 }
 
 void RunCloud(CloudKind kind) {
+  TimedSection cloud_section(kind == CloudKind::kAzureLike ? "table3.azure"
+                                                           : "table3.huawei");
   CloudWorkbench workbench(kind, DefaultWorkbenchOptions());
   const Trace& train = workbench.Splits().train;
   const Trace& test = workbench.Splits().test;

@@ -21,10 +21,13 @@
 
 #include "cli/flags.h"
 #include "src/core/workload_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/sched/reuse_distance.h"
 #include "src/synth/synthetic_cloud.h"
 #include "src/trace/stats.h"
 #include "src/trace/trace_io.h"
+#include "src/util/atomic_file.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -69,6 +72,10 @@ int Usage() {
       "                default 1; results are identical for every N)\n"
       "  --traces      generate: number of independent traces to sample; trace\n"
       "                i goes to OUT with suffix .i before the extension\n"
+      "  --metrics-out write a JSON metrics snapshot (counters, gauges,\n"
+      "                histograms, per-epoch series) to this path on exit\n"
+      "  --trace-out   record trace spans and write Chrome trace_event JSON to\n"
+      "                this path on exit (open in Perfetto / chrome://tracing)\n"
       "\n"
       "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure\n");
   return kExitUsage;
@@ -391,23 +398,7 @@ int RunViz(const Flags& flags) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) {
-    return Usage();
-  }
-  const std::string command = argv[1];
-  Flags flags;
-  if (!flags.Parse(argc, argv, 2)) {
-    return Usage();
-  }
-  const long threads = flags.GetLong("threads", 1);
-  if (threads < 0) {
-    std::fprintf(stderr, "--threads must be >= 0\n");
-    return kExitUsage;
-  }
-  // 0 = all hardware threads. Every parallel code path is deterministic in
-  // the thread count, so this only changes speed, never output.
-  SetGlobalThreads(static_cast<size_t>(threads));
+int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "synth") {
     return RunSynth(flags);
   }
@@ -428,6 +419,63 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
+}
+
+// Exports telemetry requested via --metrics-out / --trace-out. Written even
+// when the command failed — a snapshot of a failed run is exactly when the
+// telemetry is most useful. Export failures never change the exit code.
+void ExportTelemetry(const Flags& flags) {
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status written = WriteFileAtomic(metrics_out, [](std::ostream& out) {
+      obs::Registry::Global().WriteJson(out);
+    });
+    if (written.ok()) {
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to write %s: %s\n", metrics_out.c_str(),
+                   written.ToString().c_str());
+    }
+  }
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    const Status written = WriteFileAtomic(trace_out, [](std::ostream& out) {
+      obs::TraceCollector::Global().WriteChromeTrace(out);
+    });
+    if (written.ok()) {
+      std::fprintf(stderr, "wrote %zu trace span(s) to %s\n",
+                   obs::TraceCollector::Global().NumEvents(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to write %s: %s\n", trace_out.c_str(),
+                   written.ToString().c_str());
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  Flags flags;
+  if (!flags.Parse(argc, argv, 2)) {
+    return Usage();
+  }
+  const long threads = flags.GetLong("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return kExitUsage;
+  }
+  // 0 = all hardware threads. Every parallel code path is deterministic in
+  // the thread count, so this only changes speed, never output.
+  SetGlobalThreads(static_cast<size_t>(threads));
+  // Span recording stays off (one relaxed load per CG_SPAN) unless asked for.
+  if (!flags.GetString("trace-out", "").empty()) {
+    obs::TraceCollector::Global().SetEnabled(true);
+  }
+  const int rc = Dispatch(command, flags);
+  ExportTelemetry(flags);
+  return rc;
 }
 
 }  // namespace

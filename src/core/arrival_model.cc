@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/util/check.h"
+#include "src/util/log.h"
 #include "src/util/rng.h"
 
 namespace cloudgen {
@@ -30,6 +33,7 @@ std::vector<double> BuildFeatures(int64_t period, int doh_day, int history_days,
 
 void BatchArrivalModel::Fit(const Trace& train, ArrivalGranularity granularity,
                             const ArrivalModelConfig& config) {
+  CG_SPAN("fit_arrival_model");
   config_ = config;
   history_days_ = std::max<int>(
       1, static_cast<int>((train.WindowPeriods() + kPeriodsPerDay - 1) / kPeriodsPerDay));
@@ -54,7 +58,10 @@ void BatchArrivalModel::Fit(const Trace& train, ArrivalGranularity granularity,
   PoissonRegressionConfig reg_config;
   reg_config.penalty.lambda = config.lambda;
   reg_config.penalty.l1_ratio = config.l1_ratio;
-  regression_.Fit(features, counts, reg_config);
+  const double mean_deviance = regression_.Fit(features, counts, reg_config);
+  obs::Registry::Global().GetGauge("arrival.fit_deviance").Set(mean_deviance);
+  CG_LOGF_INFO("arrival IRLS fit: %zu periods, mean deviance %.4f", counts.size(),
+               mean_deviance);
 }
 
 double BatchArrivalModel::Rate(int64_t period, int doh_day) const {

@@ -101,8 +101,12 @@ class ResilientTrainLoop {
   int Rollbacks() const { return rollbacks_; }
 
  private:
+  // The payload carries the cumulative rollback count alongside the training
+  // state, so a resumed run keeps (and reports) the watchdog history instead
+  // of silently restarting it at zero. A watchdog rollback restores the
+  // state but keeps the live rollback counter (restore_rollbacks=false).
   std::string Serialize() const;
-  void Restore(const std::string& payload);
+  void Restore(const std::string& payload, bool restore_rollbacks);
 
   uint32_t stage_tag_;
   TrainRecoveryConfig config_;

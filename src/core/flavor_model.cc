@@ -6,6 +6,8 @@
 
 #include "src/core/trainer.h"
 #include "src/nn/losses.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/util/check.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
@@ -112,9 +114,21 @@ Status FlavorLstmModel::Train(const Trace& train, int history_days,
 
   ResilientTrainLoop loop(kCheckpointStageFlavor, config.recovery, config.learning_rate,
                           config.lr_decay, &network_, &optimizer, &rng);
+  // Per-epoch telemetry (observe-only: never feeds back into training).
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Series& loss_series = registry.GetSeries("train.flavor.loss");
+  obs::Series& grad_series = registry.GetSeries("train.flavor.grad_norm");
+  obs::Series& lr_series = registry.GetSeries("train.flavor.lr");
+  obs::Series& rate_series = registry.GetSeries("train.flavor.rows_per_sec");
+  obs::Counter& minibatch_counter = registry.GetCounter("train.flavor.minibatches");
+  obs::Histogram& epoch_hist = registry.GetHistogram("time.train_epoch_ms");
+
+  CG_SPAN("train.flavor");
   Timer timer;
   size_t epoch = loop.Begin();
   while (epoch < config.epochs) {
+    CG_SPAN("train.flavor_epoch");
+    ScopedTimer epoch_timer(&epoch_hist);
     optimizer.SetLearningRate(loop.LearningRate());
     double epoch_loss = 0.0;
     size_t epoch_minibatches = 0;
@@ -143,8 +157,10 @@ Status FlavorLstmModel::Train(const Trace& train, int history_days,
       }
       epoch_loss += loss;
       ++epoch_minibatches;
+      minibatch_counter.Add(1);
     }
     const double mean_loss = epoch_loss / std::max<size_t>(1, epoch_minibatches);
+    const float epoch_lr = loop.LearningRate();
     switch (loop.FinishEpoch(epoch, config.epochs, mean_loss, diverged)) {
       case ResilientTrainLoop::Verdict::kRetryEpoch:
         continue;
@@ -155,8 +171,16 @@ Status FlavorLstmModel::Train(const Trace& train, int history_days,
       case ResilientTrainLoop::Verdict::kNextEpoch:
         break;
     }
-    CG_LOG_INFO(StrFormat("flavor LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)", epoch + 1,
-                          config.epochs, mean_loss, timer.ElapsedSeconds()));
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
+    const double rows =
+        static_cast<double>(epoch_minibatches * batching.BatchSize() * batching.SeqLen());
+    loss_series.Append(static_cast<double>(epoch), mean_loss);
+    grad_series.Append(static_cast<double>(epoch), optimizer.LastGradNorm());
+    lr_series.Append(static_cast<double>(epoch), static_cast<double>(epoch_lr));
+    rate_series.Append(static_cast<double>(epoch),
+                       epoch_seconds > 0.0 ? rows / epoch_seconds : 0.0);
+    CG_LOGF_INFO("flavor LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)", epoch + 1,
+                 config.epochs, mean_loss, timer.ElapsedSeconds());
     ++epoch;
   }
   return OkStatus();
@@ -318,6 +342,7 @@ std::vector<std::vector<int32_t>> FlavorLstmModel::Generator::GeneratePeriod(
     } else {
       batches.back().push_back(static_cast<int32_t>(token));
       if (++total_jobs >= max_jobs) {
+        obs::Registry::Global().GetCounter("gen.period_truncations").Add(1);
         CG_LOG_WARN("flavor generator hit the per-period job cap; truncating period");
         break;
       }

@@ -8,6 +8,8 @@
 #include "src/nn/activations.h"
 #include "src/nn/adam.h"
 #include "src/nn/losses.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/survival/hazard.h"
 #include "src/util/check.h"
 #include "src/util/log.h"
@@ -213,9 +215,21 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
 
   ResilientTrainLoop loop(kCheckpointStageLifetime, config.recovery, config.learning_rate,
                           config.lr_decay, &network_, &optimizer, &rng);
+  // Per-epoch telemetry (observe-only: never feeds back into training).
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Series& loss_series = registry.GetSeries("train.lifetime.loss");
+  obs::Series& grad_series = registry.GetSeries("train.lifetime.grad_norm");
+  obs::Series& lr_series = registry.GetSeries("train.lifetime.lr");
+  obs::Series& rate_series = registry.GetSeries("train.lifetime.rows_per_sec");
+  obs::Counter& minibatch_counter = registry.GetCounter("train.lifetime.minibatches");
+  obs::Histogram& epoch_hist = registry.GetHistogram("time.train_epoch_ms");
+
+  CG_SPAN("train.lifetime");
   Timer timer;
   size_t epoch = loop.Begin();
   while (epoch < config.epochs) {
+    CG_SPAN("train.lifetime_epoch");
+    ScopedTimer epoch_timer(&epoch_hist);
     optimizer.SetLearningRate(loop.LearningRate());
     double epoch_loss = 0.0;
     size_t epoch_minibatches = 0;
@@ -250,8 +264,10 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
       }
       epoch_loss += loss;
       ++epoch_minibatches;
+      minibatch_counter.Add(1);
     }
     const double mean_loss = epoch_loss / std::max<size_t>(1, epoch_minibatches);
+    const float epoch_lr = loop.LearningRate();
     switch (loop.FinishEpoch(epoch, config.epochs, mean_loss, diverged)) {
       case ResilientTrainLoop::Verdict::kRetryEpoch:
         continue;
@@ -262,8 +278,16 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
       case ResilientTrainLoop::Verdict::kNextEpoch:
         break;
     }
-    CG_LOG_INFO(StrFormat("lifetime LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)",
-                          epoch + 1, config.epochs, mean_loss, timer.ElapsedSeconds()));
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
+    const double rows =
+        static_cast<double>(epoch_minibatches * batching.BatchSize() * batching.SeqLen());
+    loss_series.Append(static_cast<double>(epoch), mean_loss);
+    grad_series.Append(static_cast<double>(epoch), optimizer.LastGradNorm());
+    lr_series.Append(static_cast<double>(epoch), static_cast<double>(epoch_lr));
+    rate_series.Append(static_cast<double>(epoch),
+                       epoch_seconds > 0.0 ? rows / epoch_seconds : 0.0);
+    CG_LOGF_INFO("lifetime LSTM epoch %zu/%zu: loss=%.4f (%.1fs elapsed)", epoch + 1,
+                 config.epochs, mean_loss, timer.ElapsedSeconds());
     ++epoch;
   }
   return OkStatus();

@@ -6,10 +6,13 @@
 #include "src/core/trainer.h"
 #include "src/nn/adam.h"
 #include "src/nn/losses.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/util/check.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
+#include "src/util/timer.h"
 
 namespace cloudgen {
 namespace {
@@ -114,7 +117,15 @@ void SingleLstmModel::Train(const Trace& train, int history_days,
     return sum;
   };
 
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Series& loss_series = registry.GetSeries("train.single_lstm.loss");
+  obs::Series& rate_series = registry.GetSeries("train.single_lstm.rows_per_sec");
+  obs::Histogram& epoch_hist = registry.GetHistogram("time.train_epoch_ms");
+
+  CG_SPAN("train.single_lstm");
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    CG_SPAN("train.single_lstm_epoch");
+    ScopedTimer epoch_timer(&epoch_hist);
     double epoch_loss = 0.0;
     size_t count = 0;
     for (size_t mb : batching.EpochOrder(rng)) {
@@ -134,8 +145,15 @@ void SingleLstmModel::Train(const Trace& train, int history_days,
       epoch_loss += loss;
       ++count;
     }
-    CG_LOG_INFO(StrFormat("single LSTM epoch %zu/%zu: loss=%.4f", epoch + 1, config.epochs,
-                          epoch_loss / std::max<size_t>(1, count)));
+    const double mean_loss = epoch_loss / std::max<size_t>(1, count);
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
+    const double rows =
+        static_cast<double>(count * batching.BatchSize() * batching.SeqLen());
+    loss_series.Append(static_cast<double>(epoch), mean_loss);
+    rate_series.Append(static_cast<double>(epoch),
+                       epoch_seconds > 0.0 ? rows / epoch_seconds : 0.0);
+    CG_LOGF_INFO("single LSTM epoch %zu/%zu: loss=%.4f", epoch + 1, config.epochs,
+                 mean_loss);
     optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
   }
 }

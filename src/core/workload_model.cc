@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -17,11 +19,21 @@ Status WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& confi
 Status WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config,
                             const LifetimeBinning& binning, Rng& rng) {
   flavors_ = train.Flavors();
-  arrival_model_.Fit(train, ArrivalGranularity::kBatches, config.arrival);
-  CG_RETURN_IF_ERROR(
-      flavor_model_.Train(train, arrival_model_.HistoryDays(), config.flavor, rng));
-  CG_RETURN_IF_ERROR(lifetime_model_.Train(train, binning, arrival_model_.HistoryDays(),
-                                           config.lifetime, rng));
+  {
+    CG_SPAN("fit_arrivals");
+    arrival_model_.Fit(train, ArrivalGranularity::kBatches, config.arrival);
+  }
+  {
+    CG_SPAN("train_flavor");
+    CG_RETURN_IF_ERROR(
+        flavor_model_.Train(train, arrival_model_.HistoryDays(), config.flavor, rng));
+  }
+  {
+    CG_SPAN("train_lifetime");
+    CG_RETURN_IF_ERROR(lifetime_model_.Train(train, binning,
+                                             arrival_model_.HistoryDays(),
+                                             config.lifetime, rng));
+  }
   return OkStatus();
 }
 
@@ -36,6 +48,11 @@ Trace WorkloadModel::GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
   CG_CHECK(arrivals.IsFitted());
   CG_CHECK(options.to_period > options.from_period);
   CG_CHECK(options.arrival_scale > 0.0);
+  CG_SPAN("generate_trace");
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter& period_counter = registry.GetCounter("gen.periods");
+  obs::Counter& batch_counter = registry.GetCounter("gen.batches");
+  obs::Counter& job_counter = registry.GetCounter("gen.jobs");
 
   Trace trace(flavors_, options.from_period, options.to_period);
   // The LSTM stages' DOH day comes from the main model's history even when
@@ -53,13 +70,16 @@ Trace WorkloadModel::GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
     const int arrivals_doh = std::min(doh_day, std::max(1, arrivals.HistoryDays()));
     const double rate = arrivals.Rate(period, arrivals_doh) * options.arrival_scale;
     const int64_t n_batches = rng.Poisson(rate);
+    period_counter.Add(1);
     if (n_batches == 0) {
       continue;
     }
     const std::vector<std::vector<int32_t>> batches =
         flavor_gen.GeneratePeriod(period, n_batches, rng);
+    batch_counter.Add(batches.size());
     for (const std::vector<int32_t>& batch : batches) {
       const int64_t user = next_user++;
+      job_counter.Add(batch.size());
       for (int32_t flavor : batch) {
         const size_t bin = lifetime_gen.StepJob(period, flavor, batch.size(), rng);
         const double duration =
@@ -83,12 +103,14 @@ std::vector<Trace> WorkloadModel::GenerateMany(const GenerateOptions& options, s
   // Each trace samples from its own seed-derived stream, so trace i's content
   // depends only on (base, i) — never on which worker generated it or on the
   // thread count. One draw from `rng` anchors the whole family.
+  CG_SPAN("generate_many");
   const uint64_t base = rng.Next();
   std::vector<Trace> traces(count);
   GlobalThreadPool().ParallelFor(0, count, [&](size_t i) {
     Rng stream = Rng::Stream(base, i);
     traces[i] = Generate(options, stream);
   });
+  obs::Registry::Global().GetCounter("gen.traces").Add(count);
   return traces;
 }
 

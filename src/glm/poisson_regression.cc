@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
 #include "src/util/check.h"
 
 namespace cloudgen {
@@ -27,6 +29,7 @@ double PoissonDeviance(const std::vector<double>& counts, const std::vector<doub
 double PoissonRegression::Fit(const std::vector<std::vector<double>>& features,
                               const std::vector<double>& counts,
                               const PoissonRegressionConfig& config) {
+  CG_SPAN("glm.irls_fit");
   CG_CHECK(!features.empty());
   CG_CHECK(features.size() == counts.size());
   const size_t n = features.size();
@@ -69,6 +72,12 @@ double PoissonRegression::Fit(const std::vector<std::vector<double>>& features,
   }
   prev_deviance = PoissonDeviance(counts, mu);
 
+  // Per-iteration deviance trajectory; appends are cold (one per IRLS step).
+  obs::Series& deviance_series =
+      obs::Registry::Global().GetSeries("glm.irls_deviance");
+  obs::Counter& iter_counter = obs::Registry::Global().GetCounter("glm.irls_iters");
+  deviance_series.Append(0.0, prev_deviance / static_cast<double>(n));
+
   for (int iter = 0; iter < config.max_irls_iters; ++iter) {
     // Working weights w_i = mu_i and response z_i = eta_i + (y_i - mu_i)/mu_i
     // (canonical log link).
@@ -87,6 +96,9 @@ double PoissonRegression::Fit(const std::vector<std::vector<double>>& features,
     const double rel_change =
         std::fabs(prev_deviance - deviance) / (std::fabs(prev_deviance) + 1e-12);
     prev_deviance = deviance;
+    iter_counter.Add(1);
+    deviance_series.Append(static_cast<double>(iter + 1),
+                           deviance / static_cast<double>(n));
     if (rel_change < config.irls_tol) {
       break;
     }

@@ -1,0 +1,325 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudgen {
+namespace obs {
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace internal {
+
+void AtomicDoubleAdd(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t desired = std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + delta);
+    if (bits->compare_exchange_weak(observed, desired, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace internal
+
+// --- Counter ---------------------------------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardCell& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+void Gauge::Set(double v) {
+  bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) { internal::AtomicDoubleAdd(&bits_, delta); }
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), cells_(kMetricShards * (edges_.size() + 1)) {}
+
+void Histogram::Observe(double v) {
+  // Linear scan: bucket counts are small (~a dozen) and edges are hot in
+  // cache; a branchy binary search wins nothing here.
+  size_t bucket = edges_.size();  // Overflow bucket.
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (v <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  const size_t shard = ThreadId() & (kMetricShards - 1);
+  cells_[shard * NumBuckets() + bucket].value.fetch_add(1, std::memory_order_relaxed);
+  sums_[shard].count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicDoubleAdd(&sums_[shard].sum_bits, v);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(NumBuckets(), 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t b = 0; b < NumBuckets(); ++b) {
+      counts[b] += cells_[shard * NumBuckets() + b].value.load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const SumCell& cell : sums_) {
+    total += cell.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const SumCell& cell : sums_) {
+    total += std::bit_cast<double>(cell.sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (internal::ShardCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+  for (SumCell& cell : sums_) {
+    cell.sum_bits.store(0, std::memory_order_relaxed);
+    cell.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Series ----------------------------------------------------------------
+
+void Series::Append(double step, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.emplace_back(step, value);
+}
+
+std::vector<std::pair<double, double>> Series::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+// --- Registry --------------------------------------------------------------
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+      1000.0, 3000.0, 10000.0, 30000.0, 120000.0};
+  return *buckets;
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: pool workers and exit-time code may still be holding
+  // metric references; the registry must outlive every other static.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) {
+    slot.reset(new Counter());
+  }
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) {
+    slot.reset(new Gauge());
+  }
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::vector<double>& edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) {
+    slot.reset(new Histogram(edges));
+  }
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, LatencyBucketsMs());
+}
+
+Series& Registry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Series>& slot = series_[name];
+  if (!slot) {
+    slot.reset(new Series());
+  }
+  return *slot;
+}
+
+namespace {
+
+// Integral values print as integers; everything else round-trips via %.17g
+// (dyadic rationals like 0.25 still come out short).
+void AppendNumber(std::ostream& out, double v) {
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void AppendString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Registry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\n  \"schema\": \"cloudgen.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    AppendString(out, name);
+    out << ": " << counter->Value();
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    AppendString(out, name);
+    out << ": ";
+    AppendNumber(out, gauge->Value());
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    AppendString(out, name);
+    out << ": {\"edges\": [";
+    for (size_t i = 0; i < hist->Edges().size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      AppendNumber(out, hist->Edges()[i]);
+    }
+    out << "], \"counts\": [";
+    const std::vector<uint64_t> counts = hist->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << counts[i];
+    }
+    out << "], \"count\": " << hist->Count() << ", \"sum\": ";
+    AppendNumber(out, hist->Sum());
+    out << "}";
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
+  out << "  \"series\": {";
+  first = true;
+  for (const auto& [name, series] : series_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    AppendString(out, name);
+    out << ": [";
+    const auto points = series->Points();
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << "[";
+      AppendNumber(out, points[i].first);
+      out << ", ";
+      AppendNumber(out, points[i].second);
+      out << "]";
+    }
+    out << "]";
+  }
+  out << (first ? "}\n" : "\n  }\n");
+  out << "}\n";
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+  for (auto& [name, series] : series_) {
+    series->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace cloudgen

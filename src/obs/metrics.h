@@ -1,0 +1,178 @@
+// Lock-cheap metrics registry: counters, gauges, fixed-bucket histograms and
+// append-only series, exported as one JSON snapshot (`--metrics-out`).
+//
+// Hot-path contract: an update on an already-registered metric is a handful of
+// relaxed atomic operations — no locks, no allocation. Counters and histograms
+// shard their cells across a small fixed array indexed by a dense per-thread
+// id, so concurrent writers from the thread pool (ParallelFor, GEMM shards)
+// rarely touch the same cache line; a snapshot sums the shards. Registration
+// (name lookup) takes a mutex and is meant to happen once per call site —
+// cache the returned reference, e.g. in a function-local static.
+//
+// Telemetry is observe-only by design: nothing in this module reads or
+// advances an Rng, and nothing feeds back into model arithmetic, so traces and
+// model files are bitwise-identical whether or not a snapshot is ever taken.
+//
+// This library sits below src/util (cloudgen_util links cloudgen_obs), so it
+// depends only on the standard library.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cloudgen {
+namespace obs {
+
+// Dense id for the calling thread: 0 for the first thread that asks, 1 for
+// the next, and so on. Stable for the thread's lifetime; used to pick metric
+// shards and to tag log lines and trace spans.
+uint32_t ThreadId();
+
+// Shard fan-out for counters and histograms. A power of two so the shard
+// index is a mask of ThreadId(); collisions are still exact (fetch_add).
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+// Adds `delta` to an atomic double stored as bits (CAS loop; uncontended in
+// practice because each shard is written by few threads).
+void AtomicDoubleAdd(std::atomic<uint64_t>* bits, double delta);
+
+}  // namespace internal
+
+// Monotonically increasing integer metric. Snapshot value is exact: every
+// Add lands in some shard's fetch_add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThreadId() & (kMetricShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  void Reset();
+  internal::ShardCell shards_[kMetricShards];
+};
+
+// Last-write-wins double metric with an Add for up/down tracking (queue
+// depth, busy workers). Single cell: gauges are written at coarse points.
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double Value() const;
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  void Reset();
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations with
+// v <= edges[i] (and v > edges[i-1]); one final overflow bucket catches
+// v > edges.back(). Counts are exact; `sum` is a relaxed double accumulation.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  const std::vector<double>& Edges() const { return edges_; }
+  size_t NumBuckets() const { return edges_.size() + 1; }
+  // Aggregated per-bucket counts (NumBuckets() entries, overflow last).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> edges);
+  void Reset();
+
+  std::vector<double> edges_;
+  // kMetricShards rows of NumBuckets() bucket cells each.
+  std::vector<internal::ShardCell> cells_;
+  struct alignas(64) SumCell {
+    std::atomic<uint64_t> sum_bits{0};
+    std::atomic<uint64_t> count{0};
+  };
+  SumCell sums_[kMetricShards];
+};
+
+// Append-only (step, value) sequence for per-epoch/per-iteration telemetry
+// (loss curves, IRLS deviance). Appends take a mutex — strictly cold-path.
+class Series {
+ public:
+  void Append(double step, double value);
+  std::vector<std::pair<double, double>> Points() const;
+
+ private:
+  friend class Registry;
+  Series() = default;
+  void Reset();
+  mutable std::mutex mu_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+// Default histogram edges for millisecond timings: 0.01 ms .. ~2 min, one
+// bucket per decade half-step.
+const std::vector<double>& LatencyBucketsMs();
+
+// Name-keyed registry. Metrics are created on first Get* and live for the
+// process lifetime (Reset zeroes values but never invalidates references, so
+// cached references stay safe).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Process-wide registry (never destroyed).
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // An existing histogram is returned as-is; `edges` only applies on first
+  // registration and must be strictly increasing.
+  Histogram& GetHistogram(const std::string& name, const std::vector<double>& edges);
+  Histogram& GetHistogram(const std::string& name);  // LatencyBucketsMs().
+  Series& GetSeries(const std::string& name);
+
+  // JSON snapshot of every registered metric, keys sorted by name:
+  //   {"schema": "cloudgen.metrics.v1",
+  //    "counters": {...}, "gauges": {...},
+  //    "histograms": {name: {"edges": [...], "counts": [...],
+  //                          "count": N, "sum": S}},
+  //    "series": {name: [[step, value], ...]}}
+  void WriteJson(std::ostream& out) const;
+
+  // Zeroes all values in place (references stay valid). For tests.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace obs
+}  // namespace cloudgen
+
+#endif  // SRC_OBS_METRICS_H_

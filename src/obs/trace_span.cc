@@ -1,0 +1,78 @@
+#include "src/obs/trace_span.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace cloudgen {
+namespace obs {
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+          .count());
+}
+
+TraceCollector& TraceCollector::Global() {
+  // Leaked on purpose, like Registry::Global(): spans may close during
+  // exit-time teardown of other statics.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Record(const char* name, uint64_t ts_us, uint64_t dur_us,
+                            uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(SpanEvent{name, ts_us, dur_us, tid});
+}
+
+std::vector<SpanEvent> TraceCollector::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceCollector::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void TraceCollector::WriteChromeTrace(std::ostream& out) const {
+  std::vector<SpanEvent> sorted = Events();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.ts_us != b.ts_us) {
+                       return a.ts_us < b.ts_us;
+                     }
+                     // Parents start with their children but end later; emit
+                     // the longer span first so viewers nest correctly.
+                     return a.dur_us > b.dur_us;
+                   });
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const SpanEvent& e = sorted[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"name\": \"" << e.name
+        << "\", \"cat\": \"cloudgen\", \"ph\": \"X\", \"ts\": " << e.ts_us
+        << ", \"dur\": " << e.dur_us << ", \"pid\": 0, \"tid\": " << e.tid << "}";
+  }
+  out << (sorted.empty() ? "]}\n" : "\n]}\n");
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) {
+    return;
+  }
+  const uint64_t end_us = NowMicros();
+  TraceCollector::Global().Record(name_, start_us_, end_us - start_us_, ThreadId());
+}
+
+}  // namespace obs
+}  // namespace cloudgen

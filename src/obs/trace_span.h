@@ -1,0 +1,97 @@
+// Scoped trace spans exported in Chrome trace_event format (`--trace-out`),
+// so a run opens directly in Perfetto or chrome://tracing.
+//
+// Usage:
+//   CG_SPAN("train_epoch");          // records this scope's wall time
+//
+// Span names are static strings following the conventions in
+// docs/OBSERVABILITY.md (stage.verb, lower_snake_case). Collection is off by
+// default: a disabled collector makes CG_SPAN a single relaxed atomic load —
+// no clock reads, no allocation — and recording never touches an Rng, so
+// enabling tracing cannot perturb generated traces or trained models.
+#ifndef SRC_OBS_TRACE_SPAN_H_
+#define SRC_OBS_TRACE_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudgen {
+namespace obs {
+
+struct SpanEvent {
+  std::string name;
+  uint64_t ts_us = 0;   // Start, microseconds since collector start.
+  uint64_t dur_us = 0;  // Wall duration, microseconds.
+  uint32_t tid = 0;     // obs::ThreadId() of the recording thread.
+};
+
+// Microseconds on the steady clock since process start (well-ordered with
+// span timestamps; never wall-clock).
+uint64_t NowMicros();
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // Process-wide collector driven by --trace-out (never destroyed).
+  static TraceCollector& Global();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends a completed span. Called by ~ScopedSpan (and tests).
+  void Record(const char* name, uint64_t ts_us, uint64_t dur_us, uint32_t tid);
+
+  // Completion-ordered copy of the recorded spans.
+  std::vector<SpanEvent> Events() const;
+  size_t NumEvents() const;
+  void Reset();
+
+  // Chrome trace_event JSON ("X" complete events, ts/dur in microseconds),
+  // sorted by start time for stable output.
+  void WriteChromeTrace(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+// RAII span: snapshots the enabled flag at construction and records into the
+// global collector on destruction. `name` must outlive the span (use string
+// literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), active_(TraceCollector::Global().Enabled()) {
+    if (active_) {
+      start_us_ = NowMicros();
+    }
+  }
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cloudgen
+
+#define CG_SPAN_CONCAT_INNER(a, b) a##b
+#define CG_SPAN_CONCAT(a, b) CG_SPAN_CONCAT_INNER(a, b)
+// Records the enclosing scope as a span named `name` (a string literal).
+#define CG_SPAN(name) \
+  ::cloudgen::obs::ScopedSpan CG_SPAN_CONCAT(cg_span_, __COUNTER__)(name)
+
+#endif  // SRC_OBS_TRACE_SPAN_H_

@@ -1,7 +1,9 @@
 #include "src/util/fault.h"
 
 #include <cstdlib>
+#include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/env.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
@@ -110,6 +112,14 @@ bool FaultInjector::ShouldInject(FaultKind kind) {
     return false;
   }
   ++injected_[static_cast<int>(kind)];
+  // Every fired fault is visible both on stderr and as a counter in the
+  // --metrics-out snapshot (fault.injected.<kind>), so a resumed or batch run
+  // can account for its faults after the fact.
+  obs::Registry::Global()
+      .GetCounter(std::string("fault.injected.") + FaultKindName(kind))
+      .Add(1);
+  CG_LOGF_WARN("fault injected: %s (#%zu this run)", FaultKindName(kind),
+               injected_[static_cast<int>(kind)]);
   return true;
 }
 

@@ -1,8 +1,12 @@
 #include "src/util/log.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+
+#include "src/obs/metrics.h"
 
 namespace cloudgen {
 namespace {
@@ -27,6 +31,12 @@ LogLevel InitialLevel() {
   if (std::strcmp(env, "off") == 0) {
     return LogLevel::kOff;
   }
+  // InitialLevel runs once (function-local static init), so this warns once
+  // per process instead of silently ignoring the typo.
+  std::fprintf(stderr,
+               "[WARN] unknown CLOUDGEN_LOG value \"%s\" "
+               "(expected debug|info|warn|error|off); using info\n",
+               env);
   return LogLevel::kInfo;
 }
 
@@ -51,17 +61,50 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// "2026-08-07T12:34:56.789Z" into `buf` (UTC, millisecond resolution).
+void FormatTimestamp(char* buf, size_t size) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf, size, "%s.%03ldZ", date, ts.tv_nsec / 1000000L);
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return MutableLevel(); }
 
 void SetLogLevel(LogLevel level) { MutableLevel() = level; }
 
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MutableLevel());
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(MutableLevel())) {
+  if (!LogEnabled(level)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  char stamp[48];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::fprintf(stderr, "%s [%s] [t%u] %s\n", stamp, LevelName(level), obs::ThreadId(),
+               message.c_str());
+}
+
+void LogMessagef(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) {
+    return;
+  }
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  char stamp[48];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::fprintf(stderr, "%s [%s] [t%u] %s\n", stamp, LevelName(level), obs::ThreadId(),
+               message);
 }
 
 }  // namespace cloudgen

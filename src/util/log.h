@@ -1,5 +1,16 @@
 // Lightweight leveled logging to stderr. Experiments use INFO for progress
 // lines; set CLOUDGEN_LOG=debug|info|warn|error|off to adjust verbosity.
+//
+// Each line is prefixed with an ISO-8601 UTC timestamp and the dense
+// obs::ThreadId() of the emitting thread:
+//   2026-08-07T12:34:56.789Z [INFO] [t0] flavor LSTM epoch 3/12: loss=1.241
+//
+// Two macro families:
+//   CG_LOG_INFO(msg)          takes a ready std::string.
+//   CG_LOGF_INFO(fmt, ...)    printf-style; the format arguments are NOT
+//                             evaluated (and nothing is allocated) when the
+//                             level is filtered out, so hot loops can log
+//                             freely at DEBUG.
 #ifndef SRC_UTIL_LOG_H_
 #define SRC_UTIL_LOG_H_
 
@@ -10,11 +21,21 @@ namespace cloudgen {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 // Current threshold; initialized from the CLOUDGEN_LOG environment variable.
+// An unrecognized value falls back to INFO after warning once (a silent
+// fallback used to hide typos like CLOUDGEN_LOG=verbose).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-// Writes "[LEVEL] message\n" to stderr when `level` >= the threshold.
+// True when a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+// Writes "<iso8601> [LEVEL] [tN] message\n" to stderr when enabled.
 void LogMessage(LogLevel level, const std::string& message);
+
+// printf-style variant; prefer the CG_LOGF_* macros, which skip argument
+// evaluation entirely when the level is filtered.
+void LogMessagef(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 }  // namespace cloudgen
 
@@ -22,5 +43,17 @@ void LogMessage(LogLevel level, const std::string& message);
 #define CG_LOG_INFO(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kInfo, (msg))
 #define CG_LOG_WARN(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kWarn, (msg))
 #define CG_LOG_ERROR(msg) ::cloudgen::LogMessage(::cloudgen::LogLevel::kError, (msg))
+
+#define CG_LOGF_IMPL(level, ...)                     \
+  do {                                               \
+    if (::cloudgen::LogEnabled(level)) {             \
+      ::cloudgen::LogMessagef(level, __VA_ARGS__);   \
+    }                                                \
+  } while (0)
+
+#define CG_LOGF_DEBUG(...) CG_LOGF_IMPL(::cloudgen::LogLevel::kDebug, __VA_ARGS__)
+#define CG_LOGF_INFO(...) CG_LOGF_IMPL(::cloudgen::LogLevel::kInfo, __VA_ARGS__)
+#define CG_LOGF_WARN(...) CG_LOGF_IMPL(::cloudgen::LogLevel::kWarn, __VA_ARGS__)
+#define CG_LOGF_ERROR(...) CG_LOGF_IMPL(::cloudgen::LogLevel::kError, __VA_ARGS__)
 
 #endif  // SRC_UTIL_LOG_H_

@@ -6,12 +6,42 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace cloudgen {
 namespace {
 
 // Set while a thread is executing a pool task; nested parallel sections on
 // such a thread run inline instead of re-entering the queue.
 thread_local bool t_inside_pool_task = false;
+
+// Pool telemetry (docs/OBSERVABILITY.md). Cached references: registration
+// locks once per process, updates are relaxed atomics on the hot path.
+obs::Counter& TasksRunCounter() {
+  static obs::Counter& counter = obs::Registry::Global().GetCounter("pool.tasks_run");
+  return counter;
+}
+obs::Counter& InlineTasksCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("pool.tasks_inline");
+  return counter;
+}
+obs::Counter& ParallelForCounter() {
+  static obs::Counter& counter = obs::Registry::Global().GetCounter("pool.parallel_fors");
+  return counter;
+}
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::Registry::Global().GetGauge("pool.queue_depth");
+  return gauge;
+}
+obs::Gauge& BusyWorkersGauge() {
+  static obs::Gauge& gauge = obs::Registry::Global().GetGauge("pool.busy_workers");
+  return gauge;
+}
+obs::Gauge& WorkersGauge() {
+  static obs::Gauge& gauge = obs::Registry::Global().GetGauge("pool.workers");
+  return gauge;
+}
 
 }  // namespace
 
@@ -48,8 +78,12 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
     }
+    BusyWorkersGauge().Add(1.0);
+    TasksRunCounter().Add(1);
     task();
+    BusyWorkersGauge().Add(-1.0);
   }
 }
 
@@ -58,6 +92,7 @@ void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks) {
     return;
   }
   if (workers_.empty() || t_inside_pool_task || tasks.size() == 1) {
+    InlineTasksCounter().Add(tasks.size());
     for (const auto& task : tasks) {
       task();
     }
@@ -92,6 +127,7 @@ void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks) {
         }
       });
     }
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_all();
 
@@ -104,12 +140,14 @@ void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks) {
       if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop();
+        QueueDepthGauge().Set(static_cast<double>(queue_.size()));
       }
     }
     if (!task) {
       break;
     }
     t_inside_pool_task = true;
+    TasksRunCounter().Add(1);
     task();
     t_inside_pool_task = false;
   }
@@ -127,6 +165,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   if (begin >= end) {
     return;
   }
+  ParallelForCounter().Add(1);
   const size_t range = end - begin;
   if (workers_.empty() || t_inside_pool_task || range == 1) {
     for (size_t i = begin; i < end; ++i) {
@@ -174,6 +213,7 @@ void SetGlobalThreads(size_t num_threads) {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   g_pool = std::make_unique<ThreadPool>(num_threads);
   g_parallelism = num_threads;
+  WorkersGauge().Set(static_cast<double>(num_threads));
 }
 
 size_t GlobalParallelism() {

@@ -1,8 +1,15 @@
-// Wall-clock timer for progress reporting in training loops and benches.
+// Wall-clock timers for progress reporting and telemetry.
+//
+// Timer is the bare stopwatch used by training loops and benches.
+// ScopedTimer couples a Timer to an obs::Histogram: on destruction it feeds
+// the scope's elapsed milliseconds into the histogram, so call sites get
+// latency distributions in the --metrics-out snapshot for free.
 #ifndef SRC_UTIL_TIMER_H_
 #define SRC_UTIL_TIMER_H_
 
 #include <chrono>
+
+#include "src/obs/metrics.h"
 
 namespace cloudgen {
 
@@ -19,6 +26,28 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// Records the scope's wall time (in milliseconds) into `histogram` on
+// destruction; a null histogram makes it a plain Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(timer_.ElapsedSeconds() * 1000.0);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  void Reset() { timer_.Reset(); }
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  Timer timer_;
+  obs::Histogram* histogram_;
 };
 
 }  // namespace cloudgen

@@ -1,0 +1,354 @@
+// Telemetry subsystem tests: registry correctness under parallel hammering,
+// histogram bucket-edge semantics, span nesting and export formats, and the
+// observe-only contract (telemetry on vs off never changes model bytes or
+// generated traces).
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/workload_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_span.h"
+#include "src/synth/synthetic_cloud.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace cloudgen {
+namespace {
+
+// --- Counters under parallel load ------------------------------------------
+
+TEST(ObsCounter, ExactUnderParallelForHammering) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.GetCounter("test.hammer");
+  constexpr size_t kItems = 10000;
+  constexpr uint64_t kPerItem = 3;
+  SetGlobalThreads(8);
+  GlobalThreadPool().ParallelFor(0, kItems, [&](size_t) {
+    for (uint64_t i = 0; i < kPerItem; ++i) {
+      counter.Add();
+    }
+  });
+  SetGlobalThreads(1);
+  // Sharding may route different threads to the same cell, but every Add is a
+  // fetch_add — the aggregate must be exact, not approximate.
+  EXPECT_EQ(counter.Value(), kItems * kPerItem);
+}
+
+TEST(ObsCounter, AddWithArgumentAndIdentity) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.GetCounter("test.add");
+  counter.Add(5);
+  counter.Add();
+  EXPECT_EQ(counter.Value(), 6u);
+  // Same name must return the same metric instance.
+  EXPECT_EQ(&counter, &registry.GetCounter("test.add"));
+}
+
+// --- Gauges ------------------------------------------------------------------
+
+TEST(ObsGauge, SetAndAdd) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.GetGauge("test.gauge");
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(4.5);
+  EXPECT_EQ(gauge.Value(), 4.5);
+  gauge.Add(1.0);
+  gauge.Add(-0.5);
+  EXPECT_EQ(gauge.Value(), 5.0);
+  gauge.Set(-2.0);
+  EXPECT_EQ(gauge.Value(), -2.0);
+}
+
+// --- Histogram bucket semantics ---------------------------------------------
+
+TEST(ObsHistogram, BucketEdgeSemantics) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("test.hist", {1.0, 2.0, 4.0});
+  ASSERT_EQ(hist.NumBuckets(), 4u);  // 3 edges + overflow.
+  hist.Observe(0.5);  // <= 1        -> bucket 0
+  hist.Observe(1.0);  // == edge     -> bucket 0 (le semantics)
+  hist.Observe(1.5);  //             -> bucket 1
+  hist.Observe(4.0);  // == last edge-> bucket 2
+  hist.Observe(4.1);  // > last edge -> overflow
+  const std::vector<uint64_t> counts = hist.BucketCounts();
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(hist.Count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 0.5 + 1.0 + 1.5 + 4.0 + 4.1);
+}
+
+TEST(ObsHistogram, ExactCountUnderParallelObserve) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("test.phist", {10.0, 100.0});
+  constexpr size_t kItems = 5000;
+  SetGlobalThreads(8);
+  GlobalThreadPool().ParallelFor(0, kItems, [&](size_t i) {
+    hist.Observe(static_cast<double>(i % 150));
+  });
+  SetGlobalThreads(1);
+  EXPECT_EQ(hist.Count(), kItems);
+  const std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], kItems);
+  // i % 150: values 0..10 -> bucket 0, 11..100 -> bucket 1, 101..149 -> over.
+  // 5000 = 33 full cycles + a partial cycle of residues 0..49.
+  EXPECT_EQ(counts[0], (kItems / 150) * 11 + 11);
+  EXPECT_EQ(counts[2], (kItems / 150) * 49);
+}
+
+TEST(ObsHistogram, DefaultEdgesAreLatencyBuckets) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("test.default");
+  EXPECT_EQ(hist.Edges(), obs::LatencyBucketsMs());
+}
+
+// --- Series -----------------------------------------------------------------
+
+TEST(ObsSeries, PreservesAppendOrder) {
+  obs::Registry registry;
+  obs::Series& series = registry.GetSeries("test.series");
+  series.Append(0, 2.5);
+  series.Append(1, 1.25);
+  series.Append(2, 0.75);
+  const auto points = series.Points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0], std::make_pair(0.0, 2.5));
+  EXPECT_EQ(points[1], std::make_pair(1.0, 1.25));
+  EXPECT_EQ(points[2], std::make_pair(2.0, 0.75));
+}
+
+// --- ScopedTimer ------------------------------------------------------------
+
+TEST(ObsScopedTimer, FeedsHistogram) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("test.timer_ms");
+  {
+    ScopedTimer timer(&hist);
+    Timer spin;
+    while (spin.ElapsedSeconds() < 0.001) {
+    }
+  }
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_GE(hist.Sum(), 1.0);  // At least the 1 ms we spun.
+}
+
+TEST(ObsScopedTimer, NullHistogramIsPlainTimer) {
+  ScopedTimer timer(nullptr);  // Must not crash on destruction.
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+// --- Registry JSON snapshot --------------------------------------------------
+
+TEST(ObsRegistry, JsonGolden) {
+  obs::Registry registry;
+  registry.GetCounter("jobs").Add(3);
+  registry.GetGauge("rate").Set(2.5);
+  obs::Histogram& hist = registry.GetHistogram("lat", {1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  registry.GetSeries("loss").Append(0, 0.5);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"schema\": \"cloudgen.metrics.v1\",\n"
+            "  \"counters\": {\n"
+            "    \"jobs\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"rate\": 2.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"lat\": {\"edges\": [1, 10], \"counts\": [1, 1, 0], "
+            "\"count\": 2, \"sum\": 5.5}\n"
+            "  },\n"
+            "  \"series\": {\n"
+            "    \"loss\": [[0, 0.5]]\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ObsRegistry, EmptyJsonIsValid) {
+  obs::Registry registry;
+  std::ostringstream out;
+  registry.WriteJson(out);
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"schema\": \"cloudgen.metrics.v1\",\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"series\": {}\n"
+            "}\n");
+}
+
+TEST(ObsRegistry, ResetZeroesInPlaceKeepingReferences) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.GetCounter("c");
+  obs::Series& series = registry.GetSeries("s");
+  counter.Add(7);
+  series.Append(0, 1.0);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_TRUE(series.Points().empty());
+  counter.Add(1);  // The cached reference must still be live.
+  EXPECT_EQ(registry.GetCounter("c").Value(), 1u);
+}
+
+// --- Trace spans -------------------------------------------------------------
+
+// Serializes tests that mutate the global collector (the gtest default runner
+// is single-threaded, so a fixture reset is enough).
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceCollector::Global().Reset();
+    obs::TraceCollector::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::TraceCollector::Global().SetEnabled(false);
+    obs::TraceCollector::Global().Reset();
+  }
+};
+
+TEST_F(ObsSpanTest, DisabledCollectorRecordsNothing) {
+  obs::TraceCollector::Global().SetEnabled(false);
+  { CG_SPAN("invisible"); }
+  EXPECT_EQ(obs::TraceCollector::Global().NumEvents(), 0u);
+}
+
+TEST_F(ObsSpanTest, NestedSpansCloseInnerFirst) {
+  {
+    CG_SPAN("outer");
+    { CG_SPAN("inner"); }
+  }
+  const std::vector<obs::SpanEvent> events = obs::TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: inner closes before outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  // The outer span starts no later and ends no earlier than the inner one.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us, events[0].ts_us + events[0].dur_us);
+}
+
+TEST_F(ObsSpanTest, SpansRecordFromPoolThreads) {
+  SetGlobalThreads(4);
+  GlobalThreadPool().ParallelFor(0, 64, [&](size_t) { CG_SPAN("pool_item"); });
+  SetGlobalThreads(1);
+  EXPECT_EQ(obs::TraceCollector::Global().NumEvents(), 64u);
+}
+
+TEST(ObsTrace, ChromeTraceGolden) {
+  obs::TraceCollector collector;
+  // Parent and child share a start; the longer (parent) span must be emitted
+  // first so chrome://tracing nests them correctly.
+  collector.Record("child", 100, 40, 1);
+  collector.Record("parent", 100, 90, 1);
+  collector.Record("late", 500, 10, 2);
+  std::ostringstream out;
+  collector.WriteChromeTrace(out);
+  EXPECT_EQ(out.str(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+            "  {\"name\": \"parent\", \"cat\": \"cloudgen\", \"ph\": \"X\", "
+            "\"ts\": 100, \"dur\": 90, \"pid\": 0, \"tid\": 1},\n"
+            "  {\"name\": \"child\", \"cat\": \"cloudgen\", \"ph\": \"X\", "
+            "\"ts\": 100, \"dur\": 40, \"pid\": 0, \"tid\": 1},\n"
+            "  {\"name\": \"late\", \"cat\": \"cloudgen\", \"ph\": \"X\", "
+            "\"ts\": 500, \"dur\": 10, \"pid\": 0, \"tid\": 2}\n"
+            "]}\n");
+}
+
+TEST(ObsTrace, EmptyChromeTraceIsValid) {
+  obs::TraceCollector collector;
+  std::ostringstream out;
+  collector.WriteChromeTrace(out);
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n");
+}
+
+// --- Observe-only contract ---------------------------------------------------
+
+SynthProfile ObsTinyProfile() {
+  SynthProfile profile = AzureLikeProfile(0.3);
+  profile.train_days = 2;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.num_flavors = 4;
+  profile.num_users = 12;
+  return profile;
+}
+
+WorkloadModelConfig ObsTinyConfig() {
+  WorkloadModelConfig config;
+  config.flavor.hidden_dim = 8;
+  config.flavor.num_layers = 1;
+  config.flavor.seq_len = 16;
+  config.flavor.batch_size = 8;
+  config.flavor.epochs = 2;
+  config.lifetime.hidden_dim = 8;
+  config.lifetime.num_layers = 1;
+  config.lifetime.seq_len = 16;
+  config.lifetime.batch_size = 8;
+  config.lifetime.epochs = 2;
+  return config;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Trains + generates with span collection toggled and returns the model bytes
+// plus a digest of the generated jobs.
+std::pair<std::string, std::string> TrainAndGenerate(bool telemetry_on,
+                                                     const std::string& prefix) {
+  obs::TraceCollector::Global().SetEnabled(telemetry_on);
+  const Trace full = SyntheticCloud(ObsTinyProfile(), 321).Generate();
+  const Trace train =
+      ApplyObservationWindow(full, 0, 2 * kPeriodsPerDay, 2 * kPeriodsPerDay);
+  WorkloadModel model;
+  Rng rng(42);
+  EXPECT_TRUE(model.Train(train, ObsTinyConfig(), rng).ok());
+  EXPECT_TRUE(model.SaveToFiles(prefix).ok());
+
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 3 * kPeriodsPerDay;
+  options.to_period = 3 * kPeriodsPerDay + 12;
+  Rng gen_rng(99);
+  const Trace generated = model.Generate(options, gen_rng);
+  std::ostringstream digest;
+  for (const Job& job : generated.Jobs()) {
+    digest << job.start_period << "," << job.end_period << "," << job.flavor << ","
+           << job.user << ";";
+  }
+  obs::TraceCollector::Global().SetEnabled(false);
+  return {ReadFileBytes(prefix + ".flavor.bin") + ReadFileBytes(prefix + ".lifetime.bin"),
+          digest.str()};
+}
+
+// The tentpole invariant: telemetry is observe-only. Turning span collection
+// on (and letting every counter/series fire) must leave trained model bytes
+// and generated traces bitwise-identical.
+TEST(ObsDeterminism, TelemetryOnOffBitwiseIdentical) {
+  obs::TraceCollector::Global().Reset();
+  const std::string dir = ::testing::TempDir();
+  const auto off = TrainAndGenerate(false, dir + "obs_off");
+  const auto on = TrainAndGenerate(true, dir + "obs_on");
+  ASSERT_FALSE(off.first.empty());
+  EXPECT_EQ(off.first, on.first) << "model bytes differ with telemetry enabled";
+  EXPECT_EQ(off.second, on.second) << "generated jobs differ with telemetry enabled";
+  // The instrumented pipeline must actually have recorded spans when on.
+  EXPECT_GT(obs::TraceCollector::Global().NumEvents(), 0u);
+  obs::TraceCollector::Global().Reset();
+}
+
+}  // namespace
+}  // namespace cloudgen
