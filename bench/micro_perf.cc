@@ -7,18 +7,24 @@
 // path with CLOUDGEN_BENCH_OUT). The file is a cloudgen.metrics.v1 registry
 // snapshot (see docs/OBSERVABILITY.md): per-bench timings live under
 // bench.<name>.ms_per_iter / bench.<name>.iters, the cross-substrate speedups
-// under bench.speedup.{gemm_256,bptt,generation}, and the hardware parallelism
-// used for the threaded variants under bench.hardware_threads. The speedups
-// compare the seed's reference kernels / single-thread paths against the
-// blocked + thread-sharded substrate on the same machine.
+// under bench.speedup.{gemm_256,bptt,generation,gen_fastpath}, generation
+// throughput under bench.gen.{tokens_per_sec_fast,tokens_per_sec_naive,
+// jobs_per_sec_single,jobs_per_sec_many}, and the hardware parallelism used
+// for the threaded variants under bench.hardware_threads. The speedups
+// compare the seed's reference kernels / single-thread / pre-pack paths
+// against the blocked + thread-sharded + packed substrate on the same machine.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/trainer.h"
+#include "src/core/workload_model.h"
+#include "src/nn/activations.h"
 #include "src/nn/losses.h"
 #include "src/nn/sequence_network.h"
 #include "src/obs/metrics.h"
@@ -26,6 +32,7 @@
 #include "src/sched/packing.h"
 #include "src/survival/binning.h"
 #include "src/survival/kaplan_meier.h"
+#include "src/synth/synthetic_cloud.h"
 #include "src/tensor/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -134,6 +141,188 @@ double BenchGeneration(size_t threads, const std::string& name) {
   return ms;
 }
 
+// --- Inference fast path: packed stepper vs the pre-fast-path step ---------
+//
+// The naive stepper replicates the per-token inference path as it existed
+// before this fast path landed: the tile-dispatched GEMM kernel for every
+// shape (GemmTiled is exactly that kernel) and freshly allocated gate, state,
+// and hidden matrices on every token. Weight values are irrelevant to timing,
+// so it carries its own random parameters rather than reaching into private
+// network state.
+struct NaiveStepper {
+  struct Layer {
+    Matrix wx;  // (in, 4H)
+    Matrix wh;  // (H, 4H)
+    Matrix b;   // (1, 4H)
+  };
+  std::vector<Layer> layers;
+  Matrix head_w;  // (H, out)
+  Matrix head_b;  // (1, out)
+
+  static NaiveStepper Make(size_t input, size_t hidden, size_t num_layers,
+                           size_t output) {
+    Rng rng(2);
+    NaiveStepper s;
+    size_t in = input;
+    for (size_t l = 0; l < num_layers; ++l) {
+      Layer layer;
+      layer.wx.Resize(in, 4 * hidden);
+      layer.wx.RandomUniform(rng, 0.2f);
+      layer.wh.Resize(hidden, 4 * hidden);
+      layer.wh.RandomUniform(rng, 0.2f);
+      layer.b.Resize(1, 4 * hidden);
+      s.layers.push_back(std::move(layer));
+      in = hidden;
+    }
+    s.head_w.Resize(hidden, output);
+    s.head_w.RandomUniform(rng, 0.2f);
+    s.head_b.Resize(1, output);
+    return s;
+  }
+
+  void Step(const Matrix& x, std::vector<Matrix>* h, std::vector<Matrix>* c,
+            Matrix* logits) const {
+    Matrix current = x;
+    for (size_t l = 0; l < layers.size(); ++l) {
+      const Layer& layer = layers[l];
+      const size_t hidden = layer.wh.Rows();
+      Matrix gates(1, 4 * hidden);
+      GemmTiled(false, false, 1.0f, current, layer.wx, 0.0f, &gates);
+      GemmTiled(false, false, 1.0f, (*h)[l], layer.wh, 1.0f, &gates);
+      Matrix h_new(1, hidden);
+      Matrix c_new(1, hidden);
+      const float* bias = layer.b.Row(0);
+      const float* cp = (*c)[l].Row(0);
+      float* g = gates.Row(0);
+      for (size_t j = 0; j < hidden; ++j) {
+        const float i_gate = SigmoidScalar(g[j] + bias[j]);
+        const float f_gate = SigmoidScalar(g[hidden + j] + bias[hidden + j]);
+        const float g_gate = std::tanh(g[2 * hidden + j] + bias[2 * hidden + j]);
+        const float o_gate = SigmoidScalar(g[3 * hidden + j] + bias[3 * hidden + j]);
+        const float c_val = f_gate * cp[j] + i_gate * g_gate;
+        c_new.Row(0)[j] = c_val;
+        h_new.Row(0)[j] = o_gate * std::tanh(c_val);
+      }
+      (*h)[l] = std::move(h_new);
+      (*c)[l] = std::move(c_new);
+      current = (*h)[l];
+    }
+    logits->Resize(1, head_w.Cols());
+    GemmTiled(false, false, 1.0f, current, head_w, 0.0f, logits);
+    float* row = logits->Row(0);
+    const float* b = head_b.Row(0);
+    for (size_t j = 0; j < head_w.Cols(); ++j) {
+      row[j] += b[j];
+    }
+  }
+};
+
+double BenchGenFastPath() {
+  constexpr size_t kTokens = 256;
+  constexpr size_t kInput = 96;
+  constexpr size_t kHidden = 64;
+  constexpr size_t kLayers = 2;
+  constexpr size_t kOutput = 47;
+  SetGlobalThreads(1);
+  Rng rng(9);
+  Matrix x(1, kInput);
+  x.RandomUniform(rng, 1.0f);
+  Matrix logits;
+
+  const NaiveStepper naive = NaiveStepper::Make(kInput, kHidden, kLayers, kOutput);
+  std::vector<Matrix> h(kLayers, Matrix(1, kHidden));
+  std::vector<Matrix> c(kLayers, Matrix(1, kHidden));
+  const double naive_ms = RunBench("gen_step_naive", [&] {
+    for (size_t i = 0; i < kTokens; ++i) {
+      naive.Step(x, &h, &c, &logits);
+    }
+  });
+
+  SequenceNetwork network = MakeNetwork(kInput, kHidden, kOutput);
+  network.Prepack();
+  LstmState state = network.MakeState(1);
+  StepWorkspace ws;
+  const double fast_ms = RunBench("gen_step_fast", [&] {
+    for (size_t i = 0; i < kTokens; ++i) {
+      network.StepLogits(x, &state, &logits, &ws);
+    }
+  });
+
+  const double tokens = static_cast<double>(kTokens);
+  const double naive_tps = naive_ms > 0.0 ? tokens * 1000.0 / naive_ms : 0.0;
+  const double fast_tps = fast_ms > 0.0 ? tokens * 1000.0 / fast_ms : 0.0;
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.gen.tokens_per_sec_naive").Set(naive_tps);
+  registry.GetGauge("bench.gen.tokens_per_sec_fast").Set(fast_tps);
+  return naive_ms > 0.0 && fast_ms > 0.0 ? naive_ms / fast_ms : 0.0;
+}
+
+// --- End-to-end trace generation (tokens → jobs) ---------------------------
+//
+// Trains a deliberately tiny WorkloadModel on synthetic data (one epoch per
+// stage: the subject here is generation, not fit quality), then times a
+// single Generate and a threaded GenerateMany. Both exercise the packed fast
+// path through the real flavor + lifetime generator loops.
+void BenchTraceGeneration(size_t hw) {
+  SynthProfile profile = AzureLikeProfile(0.4);
+  profile.train_days = 2;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.num_flavors = 6;
+  profile.num_users = 30;
+  const Trace full = SyntheticCloud(profile, 505).Generate();
+  const Trace train =
+      ApplyObservationWindow(full, 0, 2 * kPeriodsPerDay, 2 * kPeriodsPerDay);
+
+  WorkloadModelConfig config;
+  config.flavor.hidden_dim = 24;
+  config.flavor.num_layers = 1;
+  config.flavor.seq_len = 48;
+  config.flavor.batch_size = 16;
+  config.flavor.epochs = 1;
+  config.lifetime.hidden_dim = 24;
+  config.lifetime.num_layers = 1;
+  config.lifetime.seq_len = 48;
+  config.lifetime.batch_size = 16;
+  config.lifetime.epochs = 1;
+  WorkloadModel model;
+  Rng train_rng(16);
+  const Status trained = model.Train(train, config, train_rng);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "trace-generation bench skipped: %s\n",
+                 trained.ToString().c_str());
+    return;
+  }
+
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 3 * kPeriodsPerDay;
+  options.to_period = 4 * kPeriodsPerDay;
+  Rng count_rng(17);
+  const double jobs_per_trace =
+      static_cast<double>(model.Generate(options, count_rng).NumJobs());
+
+  SetGlobalThreads(1);
+  const double single_ms = RunBench("gen_trace_single", [&] {
+    Rng rng(17);
+    (void)model.Generate(options, rng);
+  });
+  constexpr size_t kMany = 8;
+  SetGlobalThreads(hw);
+  const double many_ms = RunBench("gen_trace_many8", [&] {
+    Rng rng(17);
+    (void)model.GenerateMany(options, kMany, rng);
+  });
+  SetGlobalThreads(1);
+
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.gen.jobs_per_sec_single")
+      .Set(single_ms > 0.0 ? jobs_per_trace * 1000.0 / single_ms : 0.0);
+  registry.GetGauge("bench.gen.jobs_per_sec_many")
+      .Set(many_ms > 0.0
+               ? jobs_per_trace * static_cast<double>(kMany) * 1000.0 / many_ms
+               : 0.0);
+}
+
 // --- Survival + packing telemetry (kept from the seed bench) ---------------
 
 void BenchKaplanMeier() {
@@ -187,14 +376,19 @@ int Main() {
   const double gen_parallel = BenchGeneration(hw, "generation_threads");
   const double gen_speedup = gen_parallel > 0.0 ? gen_serial / gen_parallel : 0.0;
 
+  const double fastpath_speedup = BenchGenFastPath();
+  BenchTraceGeneration(hw);
+
   BenchKaplanMeier();
   BenchPacking();
 
-  std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx\n", gemm_speedup,
-              bptt_speedup, gen_speedup);
+  std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx, "
+              "gen_fastpath %.2fx\n",
+              gemm_speedup, bptt_speedup, gen_speedup, fastpath_speedup);
   registry.GetGauge("bench.speedup.gemm_256").Set(gemm_speedup);
   registry.GetGauge("bench.speedup.bptt").Set(bptt_speedup);
   registry.GetGauge("bench.speedup.generation").Set(gen_speedup);
+  registry.GetGauge("bench.speedup.gen_fastpath").Set(fastpath_speedup);
 
   WriteBenchSnapshot("BENCH_perf.json");
   return 0;

@@ -1,10 +1,12 @@
 #include "src/core/flavor_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "src/core/trainer.h"
+#include "src/nn/activations.h"
 #include "src/nn/losses.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
@@ -37,6 +39,17 @@ FlavorStream BuildFlavorStream(const Trace& trace, int history_days) {
     }
   }
   return stream;
+}
+
+size_t ArgmaxExcluding(const std::vector<double>& weights, size_t exclude) {
+  CG_CHECK(weights.size() >= 2 || exclude >= weights.size());
+  size_t best = exclude == 0 ? 1 : 0;
+  for (size_t c = best + 1; c < weights.size(); ++c) {
+    if (c != exclude && weights[c] > weights[best]) {
+      best = c;
+    }
+  }
+  return best;
 }
 
 FlavorStream FlavorLstmModel::BuildStream(const Trace& trace) const {
@@ -165,6 +178,7 @@ Status FlavorLstmModel::Train(const Trace& train, int history_days,
       case ResilientTrainLoop::Verdict::kRetryEpoch:
         continue;
       case ResilientTrainLoop::Verdict::kStop:
+        network_.Prepack();
         return OkStatus();
       case ResilientTrainLoop::Verdict::kFailed:
         return loop.status().WithContext("flavor LSTM training");
@@ -183,6 +197,8 @@ Status FlavorLstmModel::Train(const Trace& train, int history_days,
                  config.epochs, mean_loss, timer.ElapsedSeconds());
     ++epoch;
   }
+  // Parameters are final: build the packed inference weights once.
+  network_.Prepack();
   return OkStatus();
 }
 
@@ -265,17 +281,8 @@ std::vector<double> FlavorLstmModel::NextTokenProbs(const FlavorStream& stream,
     encoder_->EncodeInto(prev, stream.periods[ref], stream.doh_days[ref], input.Row(0));
     network_.StepLogits(input, &state, &logits);
   }
-  std::vector<double> probs(logits.Cols());
-  const float* row = logits.Row(0);
-  float max_v = row[0];
-  for (size_t c = 1; c < logits.Cols(); ++c) {
-    max_v = std::max(max_v, row[c]);
-  }
-  double sum = 0.0;
-  for (size_t c = 0; c < logits.Cols(); ++c) {
-    probs[c] = std::exp(static_cast<double>(row[c] - max_v));
-    sum += probs[c];
-  }
+  std::vector<double> probs;
+  const double sum = MaxShiftedExp(logits.Row(0), logits.Cols(), &probs);
   for (double& p : probs) {
     p /= sum;
   }
@@ -300,37 +307,33 @@ std::vector<std::vector<int32_t>> FlavorLstmModel::Generator::GeneratePeriod(
     return batches;
   }
   const size_t eob = model_.Vocab().EobToken();
+  // Hot-path metric handles, registered once per process (see metrics.h).
+  static obs::Counter& token_counter = obs::Registry::Global().GetCounter("gen.tokens");
+  static obs::Histogram& step_hist =
+      obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
   batches.emplace_back();
   size_t total_jobs = 0;
   while (static_cast<int64_t>(batches.size()) <= n_batches) {
     model_.encoder_->EncodeInto(prev_token_, period, doh_day_, input_.Row(0));
-    model_.network_.StepLogits(input_, &state_, &logits_);
+    const auto step_start = std::chrono::steady_clock::now();
+    model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
+    step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                              std::chrono::steady_clock::now() - step_start)
+                                              .count()));
+    token_counter.Add(1);
 
-    // Sample from the softmax distribution.
-    const float* row = logits_.Row(0);
-    const size_t classes = logits_.Cols();
-    float max_v = row[0];
-    for (size_t c = 1; c < classes; ++c) {
-      max_v = std::max(max_v, row[c]);
-    }
-    std::vector<double> probs(classes);
-    for (size_t c = 0; c < classes; ++c) {
-      probs[c] = std::exp(static_cast<double>(row[c] - max_v));
-    }
-    probs[eob] *= eob_scale_;  // What-if batch-size modification (footnote 5).
-    size_t token = rng.Categorical(probs);
+    // Sample from the softmax distribution (unnormalized weights; Categorical
+    // normalizes internally).
+    MaxShiftedExp(logits_.Row(0), logits_.Cols(), &ws_.probs);
+    ws_.probs[eob] *= eob_scale_;  // What-if batch-size modification (footnote 5).
+    size_t token = rng.Categorical(ws_.probs);
 
     // Safety: an empty batch is not representable in the data (every batch
     // has >= 1 job), so re-interpret an immediate EOB as the most likely
-    // flavor instead.
+    // flavor instead — explicitly excluding EOB wherever it sits in the
+    // vocabulary, rather than assuming it is the last token.
     if (token == eob && batches.back().empty()) {
-      size_t best = 0;
-      for (size_t c = 1; c < classes - 1; ++c) {
-        if (probs[c] > probs[best]) {
-          best = c;
-        }
-      }
-      token = best;
+      token = ArgmaxExcluding(ws_.probs, eob);
     }
 
     if (token == eob) {
@@ -379,6 +382,8 @@ Status FlavorLstmModel::LoadFromFile(const std::string& path, int history_days,
         "flavor model %s input dim %zu does not match the encoder dim (%d flavors)",
         path.c_str(), network_.Config().input_dim, static_cast<int>(num_flavors)));
   }
+  // Loaded parameters are final: build the packed inference weights once.
+  network_.Prepack();
   return OkStatus();
 }
 

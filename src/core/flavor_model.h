@@ -84,6 +84,12 @@ class FlavorLstmModel {
   // Next-token distribution given a context; exposed for tests.
   std::vector<double> NextTokenProbs(const FlavorStream& stream, size_t upto_step) const;
 
+  // Drops the packed inference weights so generation exercises the reference
+  // step path; used by equivalence tests to compare the two routes.
+  // PrepackForTest restores the normal (packed) state afterwards.
+  void InvalidatePackedForTest() { network_.InvalidatePacked(); }
+  void PrepackForTest() { network_.Prepack(); }
+
   // Stateful generator: call GeneratePeriod for consecutive periods of one
   // sampled trace (hidden state persists across periods, so cross-period
   // momentum carries through).
@@ -108,6 +114,9 @@ class FlavorLstmModel {
     size_t prev_token_;
     Matrix input_;
     Matrix logits_;
+    // Reused scratch: with packed weights ready, steady-state token sampling
+    // performs no heap allocation.
+    StepWorkspace ws_;
   };
 
   // Atomic (temp + rename) model persistence.
@@ -128,6 +137,12 @@ class FlavorLstmModel {
 // Stream construction is exposed for baselines and tests: every baseline in
 // Table 2 is evaluated on exactly this stream.
 FlavorStream BuildFlavorStream(const Trace& trace, int history_days);
+
+// Index of the largest weight among indices != `exclude` (ties keep the
+// lowest index). Used by the generator's empty-batch fallback: when an EOB is
+// sampled for an empty batch, the most likely *flavor* is emitted instead,
+// regardless of where the EOB token sits in the vocabulary. Exposed for tests.
+size_t ArgmaxExcluding(const std::vector<double>& weights, size_t exclude);
 
 }  // namespace cloudgen
 

@@ -1,6 +1,7 @@
 #include "src/core/lifetime_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -86,31 +87,32 @@ void LifetimeLstmModel::EncodeStep(const LifetimeStep& step, const PrevLifetime&
 }
 
 std::vector<double> LifetimeLstmModel::LogitsToHazard(const Matrix& logits) const {
+  std::vector<double> hazard;
+  std::vector<double> scratch;
+  LogitsToHazardInto(logits, &hazard, &scratch);
+  return hazard;
+}
+
+void LifetimeLstmModel::LogitsToHazardInto(const Matrix& logits,
+                                           std::vector<double>* hazard,
+                                           std::vector<double>* scratch) const {
+  CG_CHECK(hazard != nullptr && scratch != nullptr);
   const size_t bins = logits.Cols();
   const float* row = logits.Row(0);
   if (config_.head == LifetimeHead::kPmf) {
     // Softmax → PMF → equivalent hazard.
-    std::vector<double> pmf(bins);
-    float max_v = row[0];
-    for (size_t j = 1; j < bins; ++j) {
-      max_v = std::max(max_v, row[j]);
-    }
-    double sum = 0.0;
-    for (size_t j = 0; j < bins; ++j) {
-      pmf[j] = std::exp(static_cast<double>(row[j] - max_v));
-      sum += pmf[j];
-    }
-    for (double& p : pmf) {
+    const double sum = MaxShiftedExp(row, bins, scratch);
+    for (double& p : *scratch) {
       p /= sum;
     }
-    return PmfToHazard(pmf);
+    PmfToHazardInto(*scratch, hazard);
+    return;
   }
-  std::vector<double> hazard(bins);
+  hazard->resize(bins);
   for (size_t j = 0; j < bins; ++j) {
-    hazard[j] = SigmoidScalar(row[j]);
+    (*hazard)[j] = SigmoidScalar(row[j]);
   }
-  hazard.back() = 1.0;  // Open final bin.
-  return hazard;
+  hazard->back() = 1.0;  // Open final bin.
 }
 
 Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binning,
@@ -272,6 +274,7 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
       case ResilientTrainLoop::Verdict::kRetryEpoch:
         continue;
       case ResilientTrainLoop::Verdict::kStop:
+        network_.Prepack();
         return OkStatus();
       case ResilientTrainLoop::Verdict::kFailed:
         return loop.status().WithContext("lifetime LSTM training");
@@ -290,6 +293,8 @@ Status LifetimeLstmModel::Train(const Trace& train, const LifetimeBinning& binni
                  config.epochs, mean_loss, timer.ElapsedSeconds());
     ++epoch;
   }
+  // Parameters are final: build the packed inference weights once.
+  network_.Prepack();
   return OkStatus();
 }
 
@@ -378,9 +383,18 @@ size_t LifetimeLstmModel::Generator::StepJob(int64_t period, int32_t flavor,
   step.flavor = flavor;
   step.batch_size = batch_size;
   model_.EncodeStep(step, prev_, input_.Row(0));
-  model_.network_.StepLogits(input_, &state_, &logits_);
-  const std::vector<double> hazard = model_.LogitsToHazard(logits_);
-  const size_t bin = SampleBinFromHazard(hazard, rng);
+  // Hot-path metric handles, registered once per process (see metrics.h).
+  static obs::Counter& token_counter = obs::Registry::Global().GetCounter("gen.tokens");
+  static obs::Histogram& step_hist =
+      obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
+  const auto step_start = std::chrono::steady_clock::now();
+  model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
+  step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                            std::chrono::steady_clock::now() - step_start)
+                                            .count()));
+  token_counter.Add(1);
+  model_.LogitsToHazardInto(logits_, &hazard_, &ws_.scratch);
+  const size_t bin = SampleBinFromHazard(hazard_, rng);
   prev_.valid = true;
   prev_.bin = bin;
   prev_.censored = false;  // Generated lifetimes are always complete draws.
@@ -424,6 +438,8 @@ Status LifetimeLstmModel::LoadFromFile(const std::string& path,
     return FailedPreconditionError(
         path + ": loaded lifetime model does not match the encoder dimensions");
   }
+  // Loaded parameters are final: build the packed inference weights once.
+  network_.Prepack();
   return OkStatus();
 }
 

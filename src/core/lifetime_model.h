@@ -102,6 +102,12 @@ class LifetimeLstmModel {
   // Per-job predicted hazards under teacher forcing (for Survival-MSE).
   std::vector<std::vector<double>> PredictHazards(const Trace& test) const;
 
+  // Drops the packed inference weights so generation exercises the reference
+  // step path; used by equivalence tests to compare the two routes.
+  // PrepackForTest restores the normal (packed) state afterwards.
+  void InvalidatePackedForTest() { network_.InvalidatePacked(); }
+  void PrepackForTest() { network_.Prepack(); }
+
   // Stateful generator mirroring FlavorLstmModel::Generator: call StepJob for
   // every job of a sampled trace in generation order.
   class Generator {
@@ -119,6 +125,10 @@ class LifetimeLstmModel {
     PrevLifetime prev_;
     Matrix input_;
     Matrix logits_;
+    // Reused scratch: with packed weights ready, steady-state job sampling
+    // performs no heap allocation.
+    StepWorkspace ws_;
+    std::vector<double> hazard_;
   };
 
   // Atomic (temp + rename) model persistence.
@@ -136,6 +146,11 @@ class LifetimeLstmModel {
 
   void EncodeStep(const LifetimeStep& step, const PrevLifetime& prev, float* out) const;
   std::vector<double> LogitsToHazard(const Matrix& logits) const;
+  // Buffer-reusing form for the generation hot loop: writes the per-bin
+  // hazard into `hazard`; `scratch` holds the intermediate PMF for the
+  // softmax head. Identical arithmetic to LogitsToHazard.
+  void LogitsToHazardInto(const Matrix& logits, std::vector<double>* hazard,
+                          std::vector<double>* scratch) const;
 };
 
 }  // namespace cloudgen

@@ -1,9 +1,11 @@
 #include "src/core/single_lstm_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/core/trainer.h"
+#include "src/nn/activations.h"
 #include "src/nn/adam.h"
 #include "src/nn/losses.h"
 #include "src/obs/metrics.h"
@@ -156,6 +158,8 @@ void SingleLstmModel::Train(const Trace& train, int history_days,
                  mean_loss);
     optimizer.SetLearningRate(optimizer.Config().learning_rate * config.lr_decay);
   }
+  // Parameters are final: build the packed inference weights once.
+  network_.Prepack();
 }
 
 SingleLstmModel::Generator::Generator(const SingleLstmModel& model, int doh_day)
@@ -174,20 +178,20 @@ std::vector<std::vector<int32_t>> SingleLstmModel::Generator::GeneratePeriod(
   std::vector<std::vector<int32_t>> batches;
   std::vector<int32_t> current;
   size_t total_jobs = 0;
+  // Hot-path metric handles, registered once per process (see metrics.h).
+  static obs::Counter& token_counter = obs::Registry::Global().GetCounter("gen.tokens");
+  static obs::Histogram& step_hist =
+      obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
   while (true) {
     model_.encoder_->EncodeInto(prev_token_, period, doh_day_, input_.Row(0));
-    model_.network_.StepLogits(input_, &state_, &logits_);
-    const float* row = logits_.Row(0);
-    const size_t classes = logits_.Cols();
-    float max_v = row[0];
-    for (size_t c = 1; c < classes; ++c) {
-      max_v = std::max(max_v, row[c]);
-    }
-    std::vector<double> probs(classes);
-    for (size_t c = 0; c < classes; ++c) {
-      probs[c] = std::exp(static_cast<double>(row[c] - max_v));
-    }
-    const size_t token = rng.Categorical(probs);
+    const auto step_start = std::chrono::steady_clock::now();
+    model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
+    step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                              std::chrono::steady_clock::now() - step_start)
+                                              .count()));
+    token_counter.Add(1);
+    MaxShiftedExp(logits_.Row(0), logits_.Cols(), &ws_.probs);
+    const size_t token = rng.Categorical(ws_.probs);
     prev_token_ = token;
     if (token == eop) {
       if (!current.empty()) {

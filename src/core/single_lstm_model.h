@@ -57,6 +57,9 @@ class SingleLstmModel {
     size_t prev_token_;
     Matrix input_;
     Matrix logits_;
+    // Reused scratch: with packed weights ready, steady-state token sampling
+    // performs no heap allocation.
+    StepWorkspace ws_;
   };
 
  private:

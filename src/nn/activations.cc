@@ -56,4 +56,20 @@ void SoftmaxRowsInPlace(Matrix* logits) {
   }
 }
 
+double MaxShiftedExp(const float* row, size_t n, std::vector<double>* out) {
+  CG_CHECK(out != nullptr);
+  CG_CHECK(n > 0);
+  out->resize(n);
+  float max_v = row[0];
+  for (size_t c = 1; c < n; ++c) {
+    max_v = std::max(max_v, row[c]);
+  }
+  double sum = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    (*out)[c] = std::exp(static_cast<double>(row[c] - max_v));
+    sum += (*out)[c];
+  }
+  return sum;
+}
+
 }  // namespace cloudgen

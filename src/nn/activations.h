@@ -2,6 +2,9 @@
 #ifndef SRC_NN_ACTIVATIONS_H_
 #define SRC_NN_ACTIVATIONS_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "src/tensor/matrix.h"
 
 namespace cloudgen {
@@ -16,6 +19,17 @@ void TanhInPlace(Matrix* m);
 // Row-wise numerically-stable softmax: each row of `logits` becomes a
 // probability distribution.
 void SoftmaxRowsInPlace(Matrix* logits);
+
+// Max-shifted exponentials of a logits row, the shared front half of every
+// sampler softmax: out[c] = exp(double(row[c] - max(row))) for c in [0, n),
+// with the row maximum taken by std::max in ascending order and the float
+// subtraction done before widening — exactly the operation order the samplers
+// have always used, so their output distributions are bit-identical. Returns
+// the ascending-order sum of out; callers divide by it when they need
+// normalized probabilities (the categorical sampler consumes unnormalized
+// weights directly). `out` is resized to n; its capacity is reused across
+// calls, so a caller-owned buffer makes this allocation-free in steady state.
+double MaxShiftedExp(const float* row, size_t n, std::vector<double>* out);
 
 }  // namespace cloudgen
 

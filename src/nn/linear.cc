@@ -1,5 +1,6 @@
 #include "src/nn/linear.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/check.h"
@@ -35,6 +36,27 @@ void Linear::ForwardInference(const Matrix& x, Matrix* y) const {
   }
 }
 
+void Linear::StepForwardPacked(const float* x, float* acc, float* y) const {
+  CG_DCHECK(PackedReady());
+  const size_t in = weight_.Rows();
+  const size_t out = weight_.Cols();
+  std::fill(acc, acc + out, 0.0f);
+  GemvAccumulate(x, in, packed_.Row(0), out, acc);
+  const float* b = packed_.Row(in);
+  for (size_t j = 0; j < out; ++j) {
+    // Matches ForwardInference exactly: Gemm's beta=0 epilogue stores
+    // 0.0f + chain, then the bias loop adds b on top.
+    y[j] = (0.0f + acc[j]) + b[j];
+  }
+}
+
+void Linear::Prepack() {
+  const size_t in = weight_.Rows();
+  packed_.Resize(in + 1, weight_.Cols());
+  std::copy(weight_.Data(), weight_.Data() + weight_.Size(), packed_.Row(0));
+  std::copy(bias_.Data(), bias_.Data() + bias_.Size(), packed_.Row(in));
+}
+
 void Linear::Backward(const Matrix& dy, Matrix* dx) {
   CG_CHECK(dy.Rows() == cached_x_.Rows());
   CG_CHECK(dy.Cols() == weight_.Cols());
@@ -54,7 +76,12 @@ void Linear::Backward(const Matrix& dy, Matrix* dx) {
   }
 }
 
-std::vector<Matrix*> Linear::Params() { return {&weight_, &bias_}; }
+std::vector<Matrix*> Linear::Params() {
+  InvalidatePacked();
+  return {&weight_, &bias_};
+}
+
+std::vector<const Matrix*> Linear::Params() const { return {&weight_, &bias_}; }
 
 std::vector<Matrix*> Linear::Grads() { return {&grad_weight_, &grad_bias_}; }
 
@@ -71,6 +98,7 @@ void Linear::Save(std::ostream& out) const {
 void Linear::Load(std::istream& in) {
   weight_ = ReadMatrix(in);
   bias_ = ReadMatrix(in);
+  InvalidatePacked();
   grad_weight_.Resize(weight_.Rows(), weight_.Cols());
   grad_bias_.Resize(bias_.Rows(), bias_.Cols());
 }

@@ -1,5 +1,6 @@
 #include "src/nn/lstm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <istream>
@@ -10,6 +11,34 @@
 #include "src/util/rng.h"
 
 namespace cloudgen {
+namespace {
+
+// One row of gate activation and state update, shared by the reference step
+// (StepCompute) and the packed fast path (StepForwardFast) so both emit the
+// exact same float operations — including any FMA contraction the compiler
+// picks — keeping the two routes bitwise-identical. `g` holds pre-activation
+// gates [i|f|g|o] (bias not yet added) and is overwritten with
+// post-activation values. `cp` and `c_row` may alias (in-place state update):
+// each j reads cp[j] before writing c_row[j], and the loop stays scalar (the
+// libm calls block vectorization), so aliasing is safe.
+inline void ActivateGatesRow(const float* bias, const float* cp, float* g, float* h_row,
+                             float* c_row, size_t hidden) {
+  for (size_t j = 0; j < hidden; ++j) {
+    const float i_gate = SigmoidScalar(g[j] + bias[j]);
+    const float f_gate = SigmoidScalar(g[hidden + j] + bias[hidden + j]);
+    const float g_gate = std::tanh(g[2 * hidden + j] + bias[2 * hidden + j]);
+    const float o_gate = SigmoidScalar(g[3 * hidden + j] + bias[3 * hidden + j]);
+    const float c_val = f_gate * cp[j] + i_gate * g_gate;
+    g[j] = i_gate;
+    g[hidden + j] = f_gate;
+    g[2 * hidden + j] = g_gate;
+    g[3 * hidden + j] = o_gate;
+    c_row[j] = c_val;
+    h_row[j] = o_gate * std::tanh(c_val);
+  }
+}
+
+}  // namespace
 
 LstmState LstmState::Zero(size_t layers, size_t batch, size_t hidden) {
   LstmState state;
@@ -45,24 +74,8 @@ void LstmLayer::StepCompute(const Matrix& x, const Matrix& h_prev, const Matrix&
   h_new->Resize(batch, hidden_);
   c_new->Resize(batch, hidden_);
   for (size_t r = 0; r < batch; ++r) {
-    float* g = gates->Row(r);
-    const float* bias = b_.Row(0);
-    const float* cp = c_prev.Row(r);
-    float* h_row = h_new->Row(r);
-    float* c_row = c_new->Row(r);
-    for (size_t j = 0; j < hidden_; ++j) {
-      const float i_gate = SigmoidScalar(g[j] + bias[j]);
-      const float f_gate = SigmoidScalar(g[hidden_ + j] + bias[hidden_ + j]);
-      const float g_gate = std::tanh(g[2 * hidden_ + j] + bias[2 * hidden_ + j]);
-      const float o_gate = SigmoidScalar(g[3 * hidden_ + j] + bias[3 * hidden_ + j]);
-      const float c_val = f_gate * cp[j] + i_gate * g_gate;
-      g[j] = i_gate;
-      g[hidden_ + j] = f_gate;
-      g[2 * hidden_ + j] = g_gate;
-      g[3 * hidden_ + j] = o_gate;
-      c_row[j] = c_val;
-      h_row[j] = o_gate * std::tanh(c_val);
-    }
+    ActivateGatesRow(b_.Row(0), c_prev.Row(r), gates->Row(r), h_new->Row(r),
+                     c_new->Row(r), hidden_);
   }
 }
 
@@ -72,7 +85,10 @@ void LstmLayer::ForwardSequence(const std::vector<Matrix>& inputs,
   CG_CHECK(!inputs.empty());
   const size_t steps = inputs.size();
   const size_t batch = inputs[0].Rows();
-  cache_x_.resize(steps);
+  // View, not copy: the caller keeps `inputs` alive until BackwardSequence
+  // returns (see the header contract). Saves a full deep copy of the input
+  // sequence per layer per minibatch.
+  cache_inputs_ = &inputs;
   cache_h_prev_.resize(steps);
   cache_c_prev_.resize(steps);
   cache_gates_.resize(steps);
@@ -83,7 +99,6 @@ void LstmLayer::ForwardSequence(const std::vector<Matrix>& inputs,
   Matrix c(batch, hidden_);
   for (size_t t = 0; t < steps; ++t) {
     CG_CHECK(inputs[t].Rows() == batch && inputs[t].Cols() == wx_.Rows());
-    cache_x_[t] = inputs[t];
     cache_h_prev_[t] = h;
     cache_c_prev_[t] = c;
     Matrix h_new;
@@ -100,10 +115,12 @@ void LstmLayer::ForwardSequence(const std::vector<Matrix>& inputs,
 
 void LstmLayer::BackwardSequence(const std::vector<Matrix>& doutputs,
                                  std::vector<Matrix>* dinputs) {
-  const size_t steps = cache_x_.size();
+  CG_CHECK_MSG(cache_inputs_ != nullptr, "BackwardSequence before ForwardSequence");
+  const std::vector<Matrix>& cache_x = *cache_inputs_;
+  const size_t steps = cache_x.size();
   CG_CHECK_MSG(steps > 0, "BackwardSequence before ForwardSequence");
   CG_CHECK(doutputs.size() == steps);
-  const size_t batch = cache_x_[0].Rows();
+  const size_t batch = cache_x[0].Rows();
   if (dinputs != nullptr) {
     dinputs->resize(steps);
   }
@@ -149,7 +166,7 @@ void LstmLayer::BackwardSequence(const std::vector<Matrix>& doutputs,
     }
 
     // Parameter gradients.
-    Gemm(true, false, 1.0f, cache_x_[t], dgates, 1.0f, &grad_wx_);
+    Gemm(true, false, 1.0f, cache_x[t], dgates, 1.0f, &grad_wx_);
     Gemm(true, false, 1.0f, cache_h_prev_[t], dgates, 1.0f, &grad_wh_);
     for (size_t r = 0; r < batch; ++r) {
       const float* dg = dgates.Row(r);
@@ -180,7 +197,41 @@ void LstmLayer::StepForward(const Matrix& x, Matrix* h, Matrix* c) const {
   *c = c_new;
 }
 
-std::vector<Matrix*> LstmLayer::Params() { return {&wx_, &wh_, &b_}; }
+void LstmLayer::StepForwardFast(const float* x, float* h, float* c, float* gates,
+                                float* acc) const {
+  CG_DCHECK(PackedReady());
+  const size_t in = wx_.Rows();
+  const size_t h4 = 4 * hidden_;
+  // gates = x * wx, reproducing Gemm(beta=0)'s zero-then-accumulate epilogue
+  // (0.0f + chain) exactly, including its +0/-0 behaviour.
+  std::fill(acc, acc + h4, 0.0f);
+  GemvAccumulate(x, in, packed_.Row(0), h4, acc);
+  for (size_t j = 0; j < h4; ++j) {
+    gates[j] = 0.0f + acc[j];
+  }
+  // gates += h * wh (Gemm with beta=1: a second independent chain, added on).
+  std::fill(acc, acc + h4, 0.0f);
+  GemvAccumulate(h, hidden_, packed_.Row(in), h4, acc);
+  for (size_t j = 0; j < h4; ++j) {
+    gates[j] += acc[j];
+  }
+  ActivateGatesRow(b_.Row(0), c, gates, h, c, hidden_);
+}
+
+void LstmLayer::Prepack() {
+  const size_t in = wx_.Rows();
+  const size_t h4 = 4 * hidden_;
+  packed_.Resize(in + hidden_, h4);
+  std::copy(wx_.Data(), wx_.Data() + wx_.Size(), packed_.Row(0));
+  std::copy(wh_.Data(), wh_.Data() + wh_.Size(), packed_.Row(in));
+}
+
+std::vector<Matrix*> LstmLayer::Params() {
+  InvalidatePacked();
+  return {&wx_, &wh_, &b_};
+}
+
+std::vector<const Matrix*> LstmLayer::Params() const { return {&wx_, &wh_, &b_}; }
 
 std::vector<Matrix*> LstmLayer::Grads() { return {&grad_wx_, &grad_wh_, &grad_b_}; }
 
@@ -206,6 +257,7 @@ void LstmLayer::Load(std::istream& in) {
   wx_ = ReadMatrix(in);
   wh_ = ReadMatrix(in);
   b_ = ReadMatrix(in);
+  InvalidatePacked();
   grad_wx_.Resize(wx_.Rows(), wx_.Cols());
   grad_wh_.Resize(wh_.Rows(), wh_.Cols());
   grad_b_.Resize(b_.Rows(), b_.Cols());
@@ -256,6 +308,40 @@ void StackedLstm::StepForward(const Matrix& x, LstmState* state, Matrix* out) co
   *out = current;
 }
 
+void StackedLstm::StepForwardFast(const float* x, LstmState* state, float* gates,
+                                  float* acc) const {
+  CG_DCHECK(state != nullptr);
+  CG_DCHECK(state->h.size() == layers_.size() && state->c.size() == layers_.size());
+  const float* cur = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    float* h = state->h[l].Row(0);
+    float* c = state->c[l].Row(0);
+    layers_[l].StepForwardFast(cur, h, c, gates, acc);
+    cur = h;  // Next layer reads the state row directly; no inter-layer copy.
+  }
+}
+
+void StackedLstm::Prepack() {
+  for (auto& layer : layers_) {
+    layer.Prepack();
+  }
+}
+
+void StackedLstm::InvalidatePacked() {
+  for (auto& layer : layers_) {
+    layer.InvalidatePacked();
+  }
+}
+
+bool StackedLstm::PackedReady() const {
+  for (const auto& layer : layers_) {
+    if (!layer.PackedReady()) {
+      return false;
+    }
+  }
+  return !layers_.empty();
+}
+
 LstmState StackedLstm::ZeroState(size_t batch) const {
   return LstmState::Zero(layers_.size(), batch, HiddenDim());
 }
@@ -264,6 +350,16 @@ std::vector<Matrix*> StackedLstm::Params() {
   std::vector<Matrix*> params;
   for (auto& layer : layers_) {
     for (Matrix* p : layer.Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::vector<const Matrix*> StackedLstm::Params() const {
+  std::vector<const Matrix*> params;
+  for (const auto& layer : layers_) {
+    for (const Matrix* p : layer.Params()) {
       params.push_back(p);
     }
   }

@@ -48,6 +48,12 @@ class LstmLayer {
   // Runs the layer over `inputs` (T matrices of shape (B, in)), starting from
   // zero state, caching everything needed by BackwardSequence. Writes the T
   // hidden-state outputs (B, H) to `outputs`.
+  //
+  // Lifetime contract: the layer keeps a *view* of `inputs` (no per-timestep
+  // copy), so the caller must keep `inputs` alive and unmodified until the
+  // matching BackwardSequence returns (or until the next ForwardSequence
+  // replaces the view). Every current caller (trainers, tests) owns the input
+  // sequence across the forward+backward pair.
   void ForwardSequence(const std::vector<Matrix>& inputs, std::vector<Matrix>* outputs);
 
   // Given dL/dH_t for every step, accumulates parameter gradients and writes
@@ -58,7 +64,30 @@ class LstmLayer {
   // and are updated in place; `out_h` receives the new hidden state.
   void StepForward(const Matrix& x, Matrix* h, Matrix* c) const;
 
+  // Zero-allocation batch-1 step over the packed weights (PackedReady() must
+  // be true). `x` has InDim() elements; `h` and `c` (HiddenDim() each) are
+  // updated in place. `gates` and `acc` are caller-owned scratch of 4*H
+  // floats each. Bitwise-identical to StepForward: the GEMV chains match the
+  // blocked GEMM's per-element chains and the gate activation shares one
+  // helper with the reference path.
+  void StepForwardFast(const float* x, float* h, float* c, float* gates,
+                       float* acc) const;
+
+  // Packed-weight cache for the inference fast path: one contiguous
+  // [wx_; wh_] block built from the current parameters. Any route that can
+  // mutate parameters — mutable Params() and Load() — invalidates it, so a
+  // stale pack can never be consumed; callers re-Prepack() once after the
+  // last parameter update (end of training / model load).
+  void Prepack();
+  void InvalidatePacked() { packed_.Resize(0, 0); }
+  bool PackedReady() const { return !packed_.Empty(); }
+
+  // Mutable parameter access (optimizer, fault injection). Conservatively
+  // invalidates the packed weights — the caller may write through the
+  // returned pointers at any time.
   std::vector<Matrix*> Params();
+  // Read-only parameter access; leaves the packed weights valid.
+  std::vector<const Matrix*> Params() const;
   std::vector<Matrix*> Grads();
   void ZeroGrads();
 
@@ -71,12 +100,19 @@ class LstmLayer {
   Matrix wh_;  // (H, 4H)
   Matrix b_;   // (1, 4H); forget-gate slice initialized to 1.
 
+  // Inference fast-path cache: rows [0, in) mirror wx_, rows [in, in+H)
+  // mirror wh_, one contiguous (in+H, 4H) block. Empty = invalid.
+  Matrix packed_;
+
   Matrix grad_wx_;
   Matrix grad_wh_;
   Matrix grad_b_;
 
   // BPTT caches (one entry per timestep of the last ForwardSequence).
-  std::vector<Matrix> cache_x_;
+  // cache_inputs_ is a view of the caller's input sequence (see the
+  // ForwardSequence lifetime contract); the rest are owned snapshots of
+  // state the forward pass itself produced.
+  const std::vector<Matrix>* cache_inputs_ = nullptr;
   std::vector<Matrix> cache_h_prev_;
   std::vector<Matrix> cache_c_prev_;
   std::vector<Matrix> cache_gates_;   // post-activation [i f g o]
@@ -98,7 +134,8 @@ class StackedLstm {
   size_t InDim() const { return layers_.empty() ? 0 : layers_[0].InDim(); }
 
   // Whole-sequence forward from zero state; `outputs` receives the top
-  // layer's hidden states.
+  // layer's hidden states. `inputs` must stay alive and unmodified until the
+  // matching BackwardSequence returns (see LstmLayer::ForwardSequence).
   void ForwardSequence(const std::vector<Matrix>& inputs, std::vector<Matrix>* outputs);
 
   // Backward through all layers; input gradients are discarded.
@@ -108,9 +145,21 @@ class StackedLstm {
   // updated in place. `out` receives the top layer's new hidden state.
   void StepForward(const Matrix& x, LstmState* state, Matrix* out) const;
 
+  // Zero-allocation batch-1 step over packed weights (PackedReady() required;
+  // `state` batch must be 1). Updates `state` in place; the top layer's new
+  // hidden state is state->h.back().Row(0) — no inter-layer copies are made.
+  // `gates`/`acc` are caller scratch of 4*HiddenDim() floats each.
+  void StepForwardFast(const float* x, LstmState* state, float* gates, float* acc) const;
+
+  // Packed-weight cache management across all layers (see LstmLayer).
+  void Prepack();
+  void InvalidatePacked();
+  bool PackedReady() const;
+
   LstmState ZeroState(size_t batch) const;
 
   std::vector<Matrix*> Params();
+  std::vector<const Matrix*> Params() const;
   std::vector<Matrix*> Grads();
   void ZeroGrads();
 

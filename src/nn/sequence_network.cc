@@ -1,5 +1,6 @@
 #include "src/nn/sequence_network.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 
@@ -45,16 +46,56 @@ void SequenceNetwork::BackwardSequence(const std::vector<Matrix>& dlogits) {
 
 LstmState SequenceNetwork::MakeState(size_t batch) const { return lstm_.ZeroState(batch); }
 
-void SequenceNetwork::StepLogits(const Matrix& x, LstmState* state, Matrix* logits) const {
+void SequenceNetwork::StepLogits(const Matrix& x, LstmState* state, Matrix* logits,
+                                 StepWorkspace* ws) const {
   CG_CHECK(state != nullptr && logits != nullptr);
+  if (ws != nullptr && FastPathReady() && x.Rows() == 1 &&
+      x.Cols() == config_.input_dim && !state->h.empty() && state->h[0].Rows() == 1) {
+    const size_t h4 = 4 * config_.hidden_dim;
+    const size_t acc_cols = std::max(h4, config_.output_dim);
+    if (ws->gates.Rows() != 1 || ws->gates.Cols() != h4) {
+      ws->gates.Resize(1, h4);
+    }
+    if (ws->acc.Rows() != 1 || ws->acc.Cols() != acc_cols) {
+      ws->acc.Resize(1, acc_cols);
+    }
+    if (logits->Rows() != 1 || logits->Cols() != config_.output_dim) {
+      logits->Resize(1, config_.output_dim);
+    }
+    lstm_.StepForwardFast(x.Row(0), state, ws->gates.Row(0), ws->acc.Row(0));
+    head_.StepForwardPacked(state->h.back().Row(0), ws->acc.Row(0), logits->Row(0));
+    return;
+  }
   Matrix hidden;
   lstm_.StepForward(x, state, &hidden);
   head_.ForwardInference(hidden, logits);
 }
 
+void SequenceNetwork::Prepack() {
+  lstm_.Prepack();
+  head_.Prepack();
+}
+
+void SequenceNetwork::InvalidatePacked() {
+  lstm_.InvalidatePacked();
+  head_.InvalidatePacked();
+}
+
+bool SequenceNetwork::FastPathReady() const {
+  return lstm_.PackedReady() && head_.PackedReady();
+}
+
 std::vector<Matrix*> SequenceNetwork::Params() {
   std::vector<Matrix*> params = lstm_.Params();
   for (Matrix* p : head_.Params()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<const Matrix*> SequenceNetwork::Params() const {
+  std::vector<const Matrix*> params = lstm_.Params();
+  for (const Matrix* p : head_.Params()) {
     params.push_back(p);
   }
   return params;
@@ -75,7 +116,7 @@ void SequenceNetwork::ZeroGrads() {
 
 size_t SequenceNetwork::NumParameters() const {
   size_t count = 0;
-  for (Matrix* p : const_cast<SequenceNetwork*>(this)->Params()) {
+  for (const Matrix* p : Params()) {
     count += p->Size();
   }
   return count;

@@ -26,6 +26,19 @@ struct SequenceNetworkConfig {
   size_t output_dim = 0;
 };
 
+// Preallocated scratch for the zero-allocation generation step. One workspace
+// per generator (not shared across threads); buffers grow on first use and
+// are reused for every subsequent token, so the steady state performs no heap
+// allocation per step.
+struct StepWorkspace {
+  Matrix gates;  // (1, 4*hidden): packed gate pre/post-activations.
+  Matrix acc;    // (1, max(4*hidden, output)): GEMV accumulator scratch.
+  // Sampling-side buffers owned here so model generators stay allocation-free
+  // too (softmax probabilities, hazard/PMF conversions).
+  std::vector<double> probs;
+  std::vector<double> scratch;
+};
+
 class SequenceNetwork {
  public:
   SequenceNetwork() = default;
@@ -42,10 +55,23 @@ class SequenceNetwork {
   void BackwardSequence(const std::vector<Matrix>& dlogits);
 
   // Generation-time single-step inference. `state` persists across calls.
+  // With a workspace and packed weights ready (FastPathReady()), a batch-1
+  // step takes the zero-allocation packed route; outputs are bitwise-identical
+  // to the reference route. Without a workspace (or when the fast path is not
+  // applicable) it falls back to the allocating reference path.
   LstmState MakeState(size_t batch = 1) const;
-  void StepLogits(const Matrix& x, LstmState* state, Matrix* logits) const;
+  void StepLogits(const Matrix& x, LstmState* state, Matrix* logits,
+                  StepWorkspace* ws = nullptr) const;
+
+  // Packed-weight management for the generation fast path. Prepack() must be
+  // called after the last parameter update (training code and LoadFromFile do
+  // this); any mutable parameter access invalidates the packs.
+  void Prepack();
+  void InvalidatePacked();
+  bool FastPathReady() const;
 
   std::vector<Matrix*> Params();
+  std::vector<const Matrix*> Params() const;
   std::vector<Matrix*> Grads();
   void ZeroGrads();
   size_t NumParameters() const;

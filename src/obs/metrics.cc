@@ -140,6 +140,14 @@ const std::vector<double>& LatencyBucketsMs() {
   return *buckets;
 }
 
+const std::vector<double>& StepLatencyBucketsNs() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      250.0,     500.0,     1000.0,    2500.0,    5000.0,     10000.0,
+      25000.0,   50000.0,   100000.0,  250000.0,  500000.0,   1000000.0,
+      2500000.0, 5000000.0, 10000000.0};
+  return *buckets;
+}
+
 Registry& Registry::Global() {
   // Leaked on purpose: pool workers and exit-time code may still be holding
   // metric references; the registry must outlive every other static.

@@ -133,6 +133,10 @@ class Series {
 // bucket per decade half-step.
 const std::vector<double>& LatencyBucketsMs();
 
+// Histogram edges for nanosecond-scale timings (per-token generation steps):
+// 250 ns .. 10 ms, one bucket per decade half-step.
+const std::vector<double>& StepLatencyBucketsNs();
+
 // Name-keyed registry. Metrics are created on first Get* and live for the
 // process lifetime (Reset zeroes values but never invalidates references, so
 // cached references stay safe).

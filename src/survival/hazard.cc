@@ -47,19 +47,25 @@ std::vector<double> HazardToSurvival(const std::vector<double>& hazard) {
 }
 
 std::vector<double> PmfToHazard(const std::vector<double>& pmf) {
+  std::vector<double> hazard;
+  PmfToHazardInto(pmf, &hazard);
+  return hazard;
+}
+
+void PmfToHazardInto(const std::vector<double>& pmf, std::vector<double>* hazard) {
+  CG_CHECK(hazard != nullptr && hazard != &pmf);
   CG_CHECK(!pmf.empty());
-  std::vector<double> hazard(pmf.size(), 0.0);
+  hazard->resize(pmf.size());
   double survive = 1.0;
   for (size_t j = 0; j < pmf.size(); ++j) {
     if (survive <= 1e-15) {
-      hazard[j] = 1.0;
+      (*hazard)[j] = 1.0;
       continue;
     }
-    hazard[j] = std::clamp(pmf[j] / survive, 0.0, 1.0);
+    (*hazard)[j] = std::clamp(pmf[j] / survive, 0.0, 1.0);
     survive -= pmf[j];
   }
-  hazard.back() = 1.0;
-  return hazard;
+  hazard->back() = 1.0;
 }
 
 size_t ArgmaxBinFromHazard(const std::vector<double>& hazard) {

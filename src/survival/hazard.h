@@ -25,6 +25,12 @@ std::vector<double> HazardToSurvival(const std::vector<double>& hazard);
 // Hazard from PMF (inverse of HazardToPmf).
 std::vector<double> PmfToHazard(const std::vector<double>& pmf);
 
+// Buffer-reusing form of PmfToHazard for per-token sampling loops: writes
+// into `hazard` (resized to pmf.size(); capacity reused, so a caller-owned
+// buffer makes this allocation-free in steady state). `hazard` must not alias
+// `pmf`. Identical operation order to PmfToHazard.
+void PmfToHazardInto(const std::vector<double>& pmf, std::vector<double>* hazard);
+
 // Most-likely bin under the PMF induced by a hazard (used by 1-Best-Err).
 size_t ArgmaxBinFromHazard(const std::vector<double>& hazard);
 

@@ -268,6 +268,162 @@ inline float DotFixed(const float* x, const float* y, size_t k) {
   return (s01 + s23) + (s45 + s67);
 }
 
+// Strided variant of DotFixed: x is read at stride `xs` (a matrix column).
+// The products and the partial-sum structure are identical to DotFixed on the
+// materialized column, so the result is bitwise the same without the
+// transpose allocation.
+inline float DotFixedStrided(const float* x, size_t xs, const float* y, size_t k) {
+  float partial[8] = {};
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    for (size_t u = 0; u < 8; ++u) {
+      partial[u] += x[(p + u) * xs] * y[p + u];
+    }
+  }
+  for (size_t u = 0; p + u < k; ++u) {
+    partial[u] += x[(p + u) * xs] * y[p + u];
+  }
+  const float s01 = partial[0] + partial[1];
+  const float s23 = partial[2] + partial[3];
+  const float s45 = partial[4] + partial[5];
+  const float s67 = partial[6] + partial[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+// ---------------------------------------------------------------------------
+// Small-M (GEMV-shaped) kernels, used when op(A) has fewer rows than a tile.
+//
+// The tiled NN/TN kernels walk B once per kColTile-wide column strip, so a
+// one-row product streams the whole B matrix n/kColTile times. These kernels
+// keep a column strip of the accumulator in a stack buffer wide enough that B
+// is streamed exactly once, which is what makes per-token inference steps
+// (M = 1) fast. Each output element is still one p-ascending chain computed
+// into a zeroed local accumulator and added to C afterwards — element for
+// element the same float operations as TileNN/TileTN, so Gemm's result does
+// not depend on which path ran.
+
+constexpr size_t kGemvStripCols = 512;  // Accumulator strip held on the stack.
+
+// One register-resident accumulator chunk: racc[jj] starts from the caller's
+// acc value and accumulates (alpha * x[p]) * w(p, j0 + jj) for p ascending —
+// exactly the chain a p-outer loop over the caller's buffer would compute,
+// but with the chunk held in registers across the whole k loop so the
+// accumulator never round-trips through memory per p. `width` is kColTile on
+// the main path (constant trip count → the compiler keeps racc in vector
+// registers) and the remainder on the tail.
+// Register chunk width. Wider than kColTile so the k loop carries enough
+// independent accumulator registers to hide FMA latency (each output element
+// is one serial chain; parallelism comes only from neighboring elements).
+// The chunk width never affects results — chains are per-element.
+constexpr size_t kGemvChunkCols = 2 * kColTile;
+
+// Full-width chunk: constant trip count kGemvChunkCols, so racc lives in
+// vector registers for the whole k loop.
+inline void GemvChunkFull(float alpha, const float* x, size_t xs, size_t k, const float* w,
+                          size_t ld, float* acc) {
+  float racc[kGemvChunkCols];
+  for (size_t jj = 0; jj < kGemvChunkCols; ++jj) {
+    racc[jj] = acc[jj];
+  }
+  for (size_t p = 0; p < k; ++p) {
+    const float av = alpha * x[p * xs];
+    const float* wp = w + p * ld;
+    for (size_t jj = 0; jj < kGemvChunkCols; ++jj) {
+      racc[jj] += av * wp[jj];
+    }
+  }
+  for (size_t jj = 0; jj < kGemvChunkCols; ++jj) {
+    acc[jj] = racc[jj];
+  }
+}
+
+// Remainder chunk (width < kGemvChunkCols): same chains, runtime trip count.
+inline void GemvChunkTail(float alpha, const float* x, size_t xs, size_t k, const float* w,
+                          size_t ld, size_t width, float* acc) {
+  float racc[kGemvChunkCols];
+  for (size_t jj = 0; jj < width; ++jj) {
+    racc[jj] = acc[jj];
+  }
+  for (size_t p = 0; p < k; ++p) {
+    const float av = alpha * x[p * xs];
+    const float* wp = w + p * ld;
+    for (size_t jj = 0; jj < width; ++jj) {
+      racc[jj] += av * wp[jj];
+    }
+  }
+  for (size_t jj = 0; jj < width; ++jj) {
+    acc[jj] = racc[jj];
+  }
+}
+
+// Accumulator strip: acc[jj] += (alpha * x[p]) * w(p, j0 + jj), one fixed
+// p-ascending chain per element seeded from acc's existing value, with the
+// x element read at stride `xs` (1 for NN, the row length for TN).
+inline void GemvStrip(float alpha, const float* x, size_t xs, size_t k, const float* w,
+                      size_t ld, size_t cols, float* acc) {
+  size_t j0 = 0;
+  for (; j0 + kGemvChunkCols <= cols; j0 += kGemvChunkCols) {
+    GemvChunkFull(alpha, x, xs, k, w + j0, ld, acc + j0);
+  }
+  if (j0 < cols) {
+    GemvChunkTail(alpha, x, xs, k, w + j0, ld, cols - j0, acc + j0);
+  }
+}
+
+void SmallNN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.Rows();
+  const size_t k = a.Cols();
+  const size_t n = b.Cols();
+  float acc[kGemvStripCols];
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* c_row = c->Row(i);
+    for (size_t j0 = 0; j0 < n; j0 += kGemvStripCols) {
+      const size_t cols = std::min(kGemvStripCols, n - j0);
+      std::fill(acc, acc + cols, 0.0f);
+      GemvStrip(alpha, a_row, 1, k, b.Data() + j0, n, cols, acc);
+      for (size_t jj = 0; jj < cols; ++jj) {
+        c_row[j0 + jj] += acc[jj];
+      }
+    }
+  }
+}
+
+void SmallTN(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  // C(i,j) += alpha * sum_p A(p,i) * B(p,j); A is (k, m), column i is strided.
+  const size_t k = a.Rows();
+  const size_t m = a.Cols();
+  const size_t n = b.Cols();
+  float acc[kGemvStripCols];
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_col = a.Data() + i;
+    float* c_row = c->Row(i);
+    for (size_t j0 = 0; j0 < n; j0 += kGemvStripCols) {
+      const size_t cols = std::min(kGemvStripCols, n - j0);
+      std::fill(acc, acc + cols, 0.0f);
+      GemvStrip(alpha, a_col, m, k, b.Data() + j0, n, cols, acc);
+      for (size_t jj = 0; jj < cols; ++jj) {
+        c_row[j0 + jj] += acc[jj];
+      }
+    }
+  }
+}
+
+void SmallTT(float alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  // Matches BlockedNT on a materialized A^T (DotFixedStrided reproduces
+  // DotFixed's chains exactly) without the transpose allocation.
+  const size_t k = a.Rows();
+  const size_t m = a.Cols();
+  const size_t n = b.Rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_col = a.Data() + i;
+    float* c_row = c->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      c_row[j] += alpha * DotFixedStrided(a_col, m, b.Row(j), k);
+    }
+  }
+}
+
 // Row-range kernels: compute C rows [row_begin, row_end). These are the unit
 // of thread sharding; see the determinism note above.
 
@@ -338,29 +494,70 @@ void ApplyBeta(float beta, Matrix* c) {
   }
 }
 
-}  // namespace
-
-void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
-          float beta, Matrix* c) {
+void CheckGemmShapes(bool trans_a, bool trans_b, const Matrix& a, const Matrix& b,
+                     Matrix* c, size_t* m, size_t* k) {
   CG_CHECK(c != nullptr);
-  const size_t m = trans_a ? a.Cols() : a.Rows();
+  *m = trans_a ? a.Cols() : a.Rows();
   const size_t ka = trans_a ? a.Rows() : a.Cols();
   const size_t kb = trans_b ? b.Cols() : b.Rows();
   const size_t n = trans_b ? b.Rows() : b.Cols();
   CG_CHECK_MSG(ka == kb, "Gemm inner-dimension mismatch");
-  CG_CHECK_MSG(c->Rows() == m && c->Cols() == n, "Gemm output shape mismatch");
-  ApplyBeta(beta, c);
+  CG_CHECK_MSG(c->Rows() == *m && c->Cols() == n, "Gemm output shape mismatch");
+  *k = ka;
+}
+
+// The accumulate phase of the tile-only path (after ApplyBeta).
+void RunTiled(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
+              Matrix* c, size_t k) {
   if (!trans_a && !trans_b) {
-    RunSharded(BlockedNN, alpha, a, b, c, ka);
+    RunSharded(BlockedNN, alpha, a, b, c, k);
   } else if (trans_a && !trans_b) {
-    RunSharded(BlockedTN, alpha, a, b, c, ka);
+    RunSharded(BlockedTN, alpha, a, b, c, k);
   } else if (!trans_a && trans_b) {
-    RunSharded(BlockedNT, alpha, a, b, c, ka);
+    RunSharded(BlockedNT, alpha, a, b, c, k);
   } else {
     // Rare path: materialize A^T and reuse the NT kernel.
     const Matrix at = a.Transposed();
-    RunSharded(BlockedNT, alpha, at, b, c, ka);
+    RunSharded(BlockedNT, alpha, at, b, c, k);
   }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix* c) {
+  size_t m = 0;
+  size_t k = 0;
+  CheckGemmShapes(trans_a, trans_b, a, b, c, &m, &k);
+  ApplyBeta(beta, c);
+  if (m < kRowTile) {
+    // GEMV-shaped outputs: single pass over op(B), same per-element chains.
+    if (!trans_a && !trans_b) {
+      SmallNN(alpha, a, b, c);
+    } else if (trans_a && !trans_b) {
+      SmallTN(alpha, a, b, c);
+    } else if (!trans_a && trans_b) {
+      // BlockedNT is already row-by-row with no cross-row state.
+      BlockedNT(alpha, a, b, c, 0, m);
+    } else {
+      SmallTT(alpha, a, b, c);
+    }
+    return;
+  }
+  RunTiled(trans_a, trans_b, alpha, a, b, c, k);
+}
+
+void GemmTiled(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
+               float beta, Matrix* c) {
+  size_t m = 0;
+  size_t k = 0;
+  CheckGemmShapes(trans_a, trans_b, a, b, c, &m, &k);
+  ApplyBeta(beta, c);
+  RunTiled(trans_a, trans_b, alpha, a, b, c, k);
+}
+
+void GemvAccumulate(const float* x, size_t k, const float* w, size_t n, float* acc) {
+  GemvStrip(1.0f, x, 1, k, w, n, n, acc);
 }
 
 void GemmReference(bool trans_a, bool trans_b, float alpha, const Matrix& a,

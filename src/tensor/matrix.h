@@ -78,8 +78,30 @@ class Matrix {
 // the global thread pool for large problems. Every output element is a
 // single fixed-order accumulation chain (k ascending), so the result is
 // bitwise-identical for any tile partitioning and any thread count.
+//
+// When op(A) has fewer rows than the tile height, dispatches to GEMV-shaped
+// small-M kernels that stream op(B) exactly once instead of once per column
+// tile. Their per-element accumulation chains are identical to the tiled
+// kernels', so the dispatch is invisible in the output bits (enforced by
+// tests against GemmTiled).
 void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
           float beta, Matrix* c);
+
+// The tile-only blocked path with no small-M dispatch. This is bitwise- and
+// performance-identical to what Gemm did before the small-M kernels existed;
+// it is kept callable as the oracle for the small-M bitwise tests and as the
+// honest baseline for the generation fast-path benchmarks.
+void GemmTiled(bool trans_a, bool trans_b, float alpha, const Matrix& a, const Matrix& b,
+               float beta, Matrix* c);
+
+// acc[j] += sum_p x[p] * w(p, j) for j in [0, n), with p strictly ascending —
+// one accumulation chain per element, the same chain the blocked NN kernels
+// produce for a one-row A with alpha = 1. `w` is row-major with n columns;
+// `acc` is accumulated into, not zeroed. This is the building block of the
+// packed-weight inference step (src/nn): callers keep a preallocated `acc`
+// and add it to the destination afterwards, reproducing Gemm's
+// ApplyBeta-then-accumulate epilogue bit for bit.
+void GemvAccumulate(const float* x, size_t k, const float* w, size_t n, float* acc);
 
 // Reference implementation: the original plain i-k-j kernels, single
 // threaded and unblocked. Kept as the correctness oracle for the blocked

@@ -1,0 +1,169 @@
+// Enforces the zero-allocation guarantee of the packed generation fast path:
+// once a generator's workspace buffers are warm, stepping the network and
+// sampling the next token must perform no heap allocation at all.
+//
+// The check instruments the global allocator: operator new/new[] bump an
+// atomic counter while a test has counting enabled. Assertions run strictly
+// outside the counted region (gtest itself allocates freely).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/encoding.h"
+#include "src/glm/features.h"
+#include "src/nn/activations.h"
+#include "src/nn/sequence_network.h"
+#include "src/obs/metrics.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+// RAII guard: counts allocations from construction to Stop()/destruction.
+class AllocationCounter {
+ public:
+  AllocationCounter() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationCounter() { g_counting.store(false, std::memory_order_relaxed); }
+
+  size_t Stop() {
+    g_counting.store(false, std::memory_order_relaxed);
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace cloudgen {
+namespace {
+
+SequenceNetwork MakeNetwork(Rng& rng, size_t input_dim, size_t output_dim) {
+  SequenceNetworkConfig config;
+  config.input_dim = input_dim;
+  config.hidden_dim = 24;
+  config.num_layers = 2;
+  config.output_dim = output_dim;
+  return SequenceNetwork(config, rng);
+}
+
+TEST(AllocFree, PackedStepLogitsSteadyStateAllocatesNothing) {
+  Rng rng(31);
+  SequenceNetwork network = MakeNetwork(rng, 8, 9);
+  network.Prepack();
+  ASSERT_TRUE(network.FastPathReady());
+
+  LstmState state = network.MakeState(1);
+  StepWorkspace ws;
+  Matrix x(1, 8);
+  x.RandomUniform(rng, 1.0f);
+  Matrix logits;
+  // Warm-up sizes the workspace and logits buffers.
+  for (int i = 0; i < 4; ++i) {
+    network.StepLogits(x, &state, &logits, &ws);
+  }
+
+  size_t allocations = 0;
+  {
+    AllocationCounter counter;
+    for (int i = 0; i < 512; ++i) {
+      network.StepLogits(x, &state, &logits, &ws);
+    }
+    allocations = counter.Stop();
+  }
+  EXPECT_EQ(allocations, 0u) << "packed step path allocated on the heap";
+}
+
+// The full per-token hot loop of a flavor generator: encode the previous
+// token, step the network, softmax into the workspace, sample, and record
+// telemetry. All of it must be allocation-free in steady state.
+TEST(AllocFree, FullTokenLoopSteadyStateAllocatesNothing) {
+  Rng rng(32);
+  const size_t num_flavors = 6;
+  FlavorInputEncoder encoder(FlavorVocab(num_flavors), TemporalFeatureEncoder(2));
+  SequenceNetwork network = MakeNetwork(rng, encoder.Dim(), num_flavors + 1);
+  network.Prepack();
+  ASSERT_TRUE(network.FastPathReady());
+
+  LstmState state = network.MakeState(1);
+  StepWorkspace ws;
+  Matrix x(1, encoder.Dim());
+  Matrix logits;
+  obs::Counter& tokens = obs::Registry::Global().GetCounter("gen.tokens");
+  obs::Histogram& step_hist =
+      obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
+  Rng sample_rng(33);
+
+  size_t prev_token = num_flavors;  // Start from EOB, like the generator.
+  auto run_token = [&](int64_t period) {
+    encoder.EncodeInto(prev_token, period, 1, x.Row(0));
+    network.StepLogits(x, &state, &logits, &ws);
+    MaxShiftedExp(logits.Row(0), logits.Cols(), &ws.probs);
+    prev_token = sample_rng.Categorical(ws.probs);
+    tokens.Add(1);
+    step_hist.Observe(1000.0);
+  };
+  for (int64_t t = 0; t < 4; ++t) {
+    run_token(t);  // Warm-up: workspace buffers and metric shards.
+  }
+
+  size_t allocations = 0;
+  {
+    AllocationCounter counter;
+    for (int64_t t = 0; t < 512; ++t) {
+      run_token(t % 288);
+    }
+    allocations = counter.Stop();
+  }
+  EXPECT_EQ(allocations, 0u) << "token hot loop allocated on the heap";
+}
+
+// Sanity check on the instrumentation itself: the reference (non-workspace)
+// route allocates fresh matrices per step, so the counter must see it.
+TEST(AllocFree, CounterObservesReferenceRouteAllocations) {
+  Rng rng(34);
+  SequenceNetwork network = MakeNetwork(rng, 8, 9);
+  LstmState state = network.MakeState(1);
+  Matrix x(1, 8);
+  x.RandomUniform(rng, 1.0f);
+  Matrix logits;
+  network.StepLogits(x, &state, &logits);
+
+  size_t allocations = 0;
+  {
+    AllocationCounter counter;
+    for (int i = 0; i < 16; ++i) {
+      network.StepLogits(x, &state, &logits);
+    }
+    allocations = counter.Stop();
+  }
+  EXPECT_GT(allocations, 0u) << "allocation counter is not observing the allocator";
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -145,6 +145,30 @@ TEST(FlavorLstm, GeneratedBatchesAreSticky) {
       << "the model must reproduce within-batch flavor momentum";
 }
 
+// Regression coverage for the EOB-resampling fallback: when every non-EOB
+// probability underflows, the generator must pick the best *non-EOB* token.
+// The old loop scanned [1, size-1) and so could neither pick token 0 nor the
+// last token when EOB sat elsewhere.
+TEST(ArgmaxExcluding, PicksRunnerUpWhenMaxIsExcluded) {
+  EXPECT_EQ(ArgmaxExcluding({0.1, 0.7, 0.3}, 1), 2u);
+  EXPECT_EQ(ArgmaxExcluding({0.9, 0.2, 0.3}, 0), 2u);
+}
+
+TEST(ArgmaxExcluding, CanPickFirstAndLastToken) {
+  // Token 0 is the best non-excluded choice.
+  EXPECT_EQ(ArgmaxExcluding({0.8, 0.1, 0.9}, 2), 0u);
+  // The last token is the best non-excluded choice.
+  EXPECT_EQ(ArgmaxExcluding({0.9, 0.1, 0.8}, 0), 2u);
+  EXPECT_EQ(ArgmaxExcluding({0.2, 0.1, 0.8}, 1), 2u);
+}
+
+TEST(ArgmaxExcluding, TiesKeepLowestIndex) {
+  EXPECT_EQ(ArgmaxExcluding({0.5, 0.5, 0.5}, 1), 0u);
+  EXPECT_EQ(ArgmaxExcluding({0.5, 0.5, 0.5}, 0), 1u);
+  // All-zero weights (the underflow case that triggers the fallback).
+  EXPECT_EQ(ArgmaxExcluding({0.0, 0.0, 0.0, 0.0}, 3), 0u);
+}
+
 TEST(FlavorLstm, SaveLoadPreservesEvaluation) {
   const Fixture fixture;
   FlavorLstmModel model;

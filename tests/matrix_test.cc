@@ -3,6 +3,7 @@
 #include "src/tensor/matrix.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <tuple>
 
@@ -198,6 +199,110 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(4, 37, 64), ::testing::Values(19, 48),
                        ::testing::Values(16, 33)));
+
+// The generation fast path dispatches small-M products (M < the row tile) to
+// dedicated GEMV-style kernels. The contract is *bitwise* equality with the
+// tiled kernel (GemmTiled is the pre-dispatch Gemm), not just numerical
+// closeness: generated traces must be byte-identical whichever route ran.
+// memcmp (not EXPECT_EQ on floats) so a -0.0/+0.0 divergence cannot hide.
+class GemmSmallMBitwiseTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmSmallMBitwiseTest, MatchesTiledKernelBitwise) {
+  const auto [ta, tb] = GetParam();
+  // K values cross the 8-partial dot chain width; N values cross the column
+  // strip width (512) of the small-M kernels. M spans both sides of the
+  // dispatch boundary (M < 4 takes the small path).
+  const size_t ks[] = {1, 5, 7, 8, 16, 19, 33};
+  const size_t ns[] = {1, 3, 32, 47, 64, 513};
+  const float alphas[] = {1.0f, 0.5f};
+  const float betas[] = {0.0f, 1.0f, 0.7f};
+  Rng rng(4242);
+  for (size_t m = 1; m <= 5; ++m) {
+    for (size_t k : ks) {
+      for (size_t n : ns) {
+        const Matrix a = ta ? RandomMatrix(k, m, rng) : RandomMatrix(m, k, rng);
+        const Matrix b = tb ? RandomMatrix(n, k, rng) : RandomMatrix(k, n, rng);
+        const Matrix c0 = RandomMatrix(m, n, rng);
+        for (float alpha : alphas) {
+          for (float beta : betas) {
+            Matrix c = c0;
+            Matrix c_tiled = c0;
+            Gemm(ta, tb, alpha, a, b, beta, &c);
+            GemmTiled(ta, tb, alpha, a, b, beta, &c_tiled);
+            ASSERT_EQ(std::memcmp(c.Data(), c_tiled.Data(), c.Size() * sizeof(float)), 0)
+                << "ta=" << ta << " tb=" << tb << " m=" << m << " k=" << k
+                << " n=" << n << " alpha=" << alpha << " beta=" << beta;
+            // And numerically sane against the double-accumulation oracle.
+            Matrix c_ref = c0;
+            GemmReference(ta, tb, alpha, a, b, beta, &c_ref);
+            for (size_t i = 0; i < c.Size(); ++i) {
+              ASSERT_NEAR(c.Data()[i], c_ref.Data()[i], 2e-3f)
+                  << "ta=" << ta << " tb=" << tb << " m=" << m << " k=" << k
+                  << " n=" << n;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmSmallMBitwiseTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+// NaN propagation through the small-M kernels (M below the dispatch cutoff):
+// a zero row in A times a NaN in B must still produce NaN.
+class GemmSmallMNanTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmSmallMNanTest, ZeroTimesNanPropagatesAtSmallM) {
+  const auto [ta, tb] = GetParam();
+  constexpr size_t kK = 6;
+  constexpr size_t kN = 7;
+  const size_t poisoned_col = 3;
+  for (size_t m = 1; m <= 3; ++m) {
+    Matrix a(ta ? kK : m, ta ? m : kK, 0.0f);
+    Matrix b(tb ? kN : kK, tb ? kK : kN, 1.0f);
+    if (tb) {
+      b(poisoned_col, 2) = std::nanf("");
+    } else {
+      b(2, poisoned_col) = std::nanf("");
+    }
+    Matrix c(m, kN, 0.0f);
+    Gemm(ta, tb, 1.0f, a, b, 0.0f, &c);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < kN; ++j) {
+        if (j == poisoned_col) {
+          EXPECT_TRUE(std::isnan(c(i, j))) << "NaN swallowed at m=" << m;
+        } else {
+          EXPECT_FLOAT_EQ(c(i, j), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmSmallMNanTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(GemvAccumulate, AccumulatesOnTopOfExistingValues) {
+  // Contract: acc[j] += sum_p x[p] * W(p, j), without zeroing acc first. The
+  // bitwise guarantees of the fast path are pinned by the Gemm small-M suite
+  // above and the packed-step tests in nn_test; here we check the accumulate
+  // semantics numerically.
+  Rng rng(11);
+  const Matrix x = RandomMatrix(1, 9, rng);
+  const Matrix w = RandomMatrix(9, 13, rng);
+  const Matrix acc0 = RandomMatrix(1, 13, rng);
+  Matrix acc = acc0;
+  GemvAccumulate(x.Row(0), 9, w.Row(0), 13, acc.Row(0));
+  for (size_t j = 0; j < 13; ++j) {
+    double expected = acc0.At(0, j);
+    for (size_t p = 0; p < 9; ++p) {
+      expected += static_cast<double>(x.At(0, p)) * w.At(p, j);
+    }
+    EXPECT_NEAR(acc.At(0, j), expected, 1e-4);
+  }
+}
 
 TEST(Gemm, BetaZeroOverwritesGarbage) {
   Rng rng(3);

@@ -2,6 +2,7 @@
 // gradient), Linear and LSTM layers (numerical gradient checks), Adam, and a
 // learnability check on a toy sequence task.
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <sstream>
 #include <vector>
@@ -405,6 +406,216 @@ TEST(SequenceNetwork, SaveLoadRoundTrip) {
   loaded.StepLogits(x, &s2, &y2);
   for (size_t c = 0; c < 3; ++c) {
     EXPECT_FLOAT_EQ(y1(0, c), y2(0, c));
+  }
+}
+
+// The packed fast path promises *bitwise* identity with the reference step
+// route, so these comparisons use memcmp on the raw float storage rather than
+// EXPECT_FLOAT_EQ (which would treat -0.0f and +0.0f as equal).
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.Rows() == b.Rows() && a.Cols() == b.Cols() &&
+         std::memcmp(a.Data(), b.Data(), a.Size() * sizeof(float)) == 0;
+}
+
+TEST(LstmLayer, StepForwardFastBitwiseMatchesStepForward) {
+  Rng rng(7);
+  const size_t in_dim = 9;
+  const size_t hidden = 11;
+  LstmLayer layer(in_dim, hidden, rng);
+  layer.Prepack();
+  ASSERT_TRUE(layer.PackedReady());
+
+  Matrix h_ref(1, hidden);
+  Matrix c_ref(1, hidden);
+  Matrix h_fast(1, hidden);
+  Matrix c_fast(1, hidden);
+  std::vector<float> gates(4 * hidden);
+  std::vector<float> acc(4 * hidden);
+  for (int t = 0; t < 6; ++t) {
+    Matrix x(1, in_dim);
+    x.RandomUniform(rng, 2.0f);
+    layer.StepForward(x, &h_ref, &c_ref);
+    layer.StepForwardFast(x.Row(0), h_fast.Row(0), c_fast.Row(0), gates.data(),
+                          acc.data());
+    ASSERT_TRUE(BitwiseEqual(h_ref, h_fast)) << "h diverged at step " << t;
+    ASSERT_TRUE(BitwiseEqual(c_ref, c_fast)) << "c diverged at step " << t;
+  }
+}
+
+TEST(StackedLstm, StepForwardFastBitwiseMatchesStepForward) {
+  Rng rng(8);
+  const size_t in_dim = 7;
+  const size_t hidden = 10;
+  const size_t layers = 3;
+  StackedLstm stack(in_dim, hidden, layers, rng);
+  stack.Prepack();
+  ASSERT_TRUE(stack.PackedReady());
+
+  LstmState ref_state = stack.ZeroState(1);
+  LstmState fast_state = stack.ZeroState(1);
+  std::vector<float> gates(4 * hidden);
+  std::vector<float> acc(4 * hidden);
+  Matrix top;
+  for (int t = 0; t < 6; ++t) {
+    Matrix x(1, in_dim);
+    x.RandomUniform(rng, 2.0f);
+    stack.StepForward(x, &ref_state, &top);
+    stack.StepForwardFast(x.Row(0), &fast_state, gates.data(), acc.data());
+    for (size_t l = 0; l < layers; ++l) {
+      ASSERT_TRUE(BitwiseEqual(ref_state.h[l], fast_state.h[l]))
+          << "h[" << l << "] diverged at step " << t;
+      ASSERT_TRUE(BitwiseEqual(ref_state.c[l], fast_state.c[l]))
+          << "c[" << l << "] diverged at step " << t;
+    }
+    ASSERT_TRUE(BitwiseEqual(top, Matrix(fast_state.h.back())))
+        << "top output diverged at step " << t;
+  }
+}
+
+TEST(SequenceNetwork, PackedStepLogitsBitwiseMatchesReference) {
+  Rng rng(9);
+  SequenceNetworkConfig config;
+  config.input_dim = 6;
+  config.hidden_dim = 12;
+  config.num_layers = 2;
+  config.output_dim = 17;
+  SequenceNetwork network(config, rng);
+  network.Prepack();
+  ASSERT_TRUE(network.FastPathReady());
+
+  LstmState ref_state = network.MakeState(1);
+  LstmState fast_state = network.MakeState(1);
+  StepWorkspace ws;
+  Matrix ref_logits;
+  Matrix fast_logits;
+  for (int t = 0; t < 8; ++t) {
+    Matrix x(1, config.input_dim);
+    x.RandomUniform(rng, 2.0f);
+    network.StepLogits(x, &ref_state, &ref_logits);          // Reference route.
+    network.StepLogits(x, &fast_state, &fast_logits, &ws);   // Packed route.
+    ASSERT_TRUE(BitwiseEqual(ref_logits, fast_logits)) << "logits diverged at step " << t;
+    for (size_t l = 0; l < config.num_layers; ++l) {
+      ASSERT_TRUE(BitwiseEqual(ref_state.h[l], fast_state.h[l]))
+          << "h[" << l << "] diverged at step " << t;
+      ASSERT_TRUE(BitwiseEqual(ref_state.c[l], fast_state.c[l]))
+          << "c[" << l << "] diverged at step " << t;
+    }
+  }
+}
+
+TEST(SequenceNetwork, MutableParamsInvalidatePackAndFallbackStaysBitwise) {
+  Rng rng(10);
+  SequenceNetworkConfig config;
+  config.input_dim = 5;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.output_dim = 4;
+  SequenceNetwork network(config, rng);
+  network.Prepack();
+  ASSERT_TRUE(network.FastPathReady());
+
+  // Mutable parameter access must conservatively drop the packs: a caller may
+  // write through the returned pointers at any time.
+  auto params = network.Params();
+  ASSERT_FALSE(network.FastPathReady());
+  params[0]->Data()[0] += 0.25f;  // Actually change a weight.
+
+  // With the pack invalid, a workspace-carrying call silently falls back to
+  // the reference route and still sees the updated weights.
+  LstmState ref_state = network.MakeState(1);
+  LstmState ws_state = network.MakeState(1);
+  StepWorkspace ws;
+  Matrix ref_logits;
+  Matrix ws_logits;
+  Matrix x(1, config.input_dim);
+  x.RandomUniform(rng, 1.0f);
+  network.StepLogits(x, &ref_state, &ref_logits);
+  network.StepLogits(x, &ws_state, &ws_logits, &ws);
+  EXPECT_TRUE(BitwiseEqual(ref_logits, ws_logits));
+
+  // Re-packing after the update restores the fast path, bitwise again.
+  network.Prepack();
+  ASSERT_TRUE(network.FastPathReady());
+  LstmState fast_state = network.MakeState(1);
+  Matrix fast_logits;
+  network.StepLogits(x, &fast_state, &fast_logits, &ws);
+  EXPECT_TRUE(BitwiseEqual(ref_logits, fast_logits));
+}
+
+TEST(SequenceNetwork, LoadInvalidatesPackAndPrepackRestoresBitwise) {
+  Rng rng(11);
+  SequenceNetworkConfig config;
+  config.input_dim = 4;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  config.output_dim = 5;
+  SequenceNetwork network(config, rng);
+  network.Prepack();
+
+  std::stringstream stream;
+  network.Save(stream);
+  SequenceNetwork loaded;
+  loaded.Load(stream);
+  EXPECT_FALSE(loaded.FastPathReady()) << "Load must invalidate any stale pack";
+
+  loaded.Prepack();
+  ASSERT_TRUE(loaded.FastPathReady());
+  Matrix x(1, config.input_dim);
+  x.RandomUniform(rng, 1.0f);
+  LstmState ref_state = network.MakeState(1);
+  LstmState loaded_state = loaded.MakeState(1);
+  StepWorkspace ws;
+  Matrix ref_logits;
+  Matrix loaded_logits;
+  network.StepLogits(x, &ref_state, &ref_logits);
+  loaded.StepLogits(x, &loaded_state, &loaded_logits, &ws);
+  EXPECT_TRUE(BitwiseEqual(ref_logits, loaded_logits));
+}
+
+// ForwardSequence keeps a *view* of the caller's inputs instead of deep
+// copies; backprop through that view must be deterministic — two identical
+// forward+backward passes produce bitwise-identical gradients.
+TEST(LstmLayer, CachedInputViewGradientsAreBitwiseDeterministic) {
+  Rng rng(12);
+  const size_t in_dim = 5;
+  const size_t hidden = 7;
+  const size_t steps = 4;
+  const size_t batch = 3;
+  LstmLayer layer(in_dim, hidden, rng);
+
+  std::vector<Matrix> inputs(steps);
+  std::vector<Matrix> doutputs(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    inputs[t].Resize(batch, in_dim);
+    inputs[t].RandomUniform(rng, 1.0f);
+    doutputs[t].Resize(batch, hidden);
+    doutputs[t].RandomUniform(rng, 1.0f);
+  }
+
+  auto run = [&](std::vector<Matrix>* grads_out, std::vector<Matrix>* dinputs) {
+    std::vector<Matrix> outputs;
+    layer.ForwardSequence(inputs, &outputs);
+    layer.ZeroGrads();
+    layer.BackwardSequence(doutputs, dinputs);
+    grads_out->clear();
+    for (const Matrix* g : layer.Grads()) {
+      grads_out->push_back(*g);
+    }
+  };
+
+  std::vector<Matrix> grads1;
+  std::vector<Matrix> grads2;
+  std::vector<Matrix> dinputs1;
+  std::vector<Matrix> dinputs2;
+  run(&grads1, &dinputs1);
+  run(&grads2, &dinputs2);
+  ASSERT_EQ(grads1.size(), grads2.size());
+  for (size_t i = 0; i < grads1.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(grads1[i], grads2[i])) << "grad " << i;
+  }
+  ASSERT_EQ(dinputs1.size(), dinputs2.size());
+  for (size_t t = 0; t < dinputs1.size(); ++t) {
+    EXPECT_TRUE(BitwiseEqual(dinputs1[t], dinputs2[t])) << "dinput " << t;
   }
 }
 

@@ -9,6 +9,7 @@
 #include "src/synth/synthetic_cloud.h"
 #include "src/trace/stats.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace cloudgen {
 namespace {
@@ -205,6 +206,78 @@ TEST_F(WorkloadModelTest, ArrivalModelOverrideDrivesRates) {
   const size_t thin =
       model_->GenerateWithArrivalModel(tiny, options, rng2).NumJobs();
   EXPECT_LT(static_cast<double>(thin), 0.7 * static_cast<double>(full));
+}
+
+bool SameJobs(const Trace& a, const Trace& b) {
+  if (a.NumJobs() != b.NumJobs()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.NumJobs(); ++i) {
+    const Job& x = a.Jobs()[i];
+    const Job& y = b.Jobs()[i];
+    if (x.start_period != y.start_period || x.end_period != y.end_period ||
+        x.flavor != y.flavor || x.user != y.user || x.censored != y.censored) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Golden oracle for the inference fast path: the packed route (built eagerly
+// by Train) and the reference route (after dropping the packs) must produce
+// byte-identical traces from the same seed.
+TEST_F(WorkloadModelTest, FastPathGeneratesIdenticalTraces) {
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 0;
+  options.to_period = 36;
+  Rng rng_fast(23);
+  const Trace fast = model_->Generate(options, rng_fast);
+  ASSERT_GT(fast.NumJobs(), 0u);
+
+  model_->InvalidatePackedForTest();
+  Rng rng_ref(23);
+  const Trace reference = model_->Generate(options, rng_ref);
+  EXPECT_TRUE(SameJobs(fast, reference))
+      << "packed and reference generation routes diverged";
+
+  // Restore the normal (packed) state and confirm it matches again.
+  model_->PrepackForTest();
+  Rng rng_after(23);
+  EXPECT_TRUE(SameJobs(fast, model_->Generate(options, rng_after)));
+}
+
+// GenerateMany must be bitwise-deterministic for any thread count on both
+// routes: each trace draws from its own seed-derived RNG stream.
+TEST_F(WorkloadModelTest, GenerateManyIdenticalAcrossThreadsAndRoutes) {
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 0;
+  options.to_period = 36;
+  const size_t count = 6;
+
+  SetGlobalThreads(1);
+  Rng rng1(25);
+  const std::vector<Trace> serial = model_->GenerateMany(options, count, rng1);
+  ASSERT_EQ(serial.size(), count);
+
+  SetGlobalThreads(4);
+  Rng rng4(25);
+  const std::vector<Trace> threaded = model_->GenerateMany(options, count, rng4);
+  ASSERT_EQ(threaded.size(), count);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(SameJobs(serial[i], threaded[i])) << "trace " << i;
+  }
+
+  // Reference route, still at 4 threads, must match as well.
+  model_->InvalidatePackedForTest();
+  Rng rng_ref(25);
+  const std::vector<Trace> reference = model_->GenerateMany(options, count, rng_ref);
+  ASSERT_EQ(reference.size(), count);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(SameJobs(serial[i], reference[i])) << "trace " << i;
+  }
+  // Restore the library default (inline-only) pool and the packed state.
+  SetGlobalThreads(1);
+  model_->PrepackForTest();
 }
 
 TEST_F(WorkloadModelTest, SaveLoadNetworksRoundTrip) {
