@@ -9,7 +9,9 @@
 // bench.<name>.ms_per_iter / bench.<name>.iters, the cross-substrate speedups
 // under bench.speedup.{gemm_256,bptt,generation,gen_fastpath}, generation
 // throughput under bench.gen.{tokens_per_sec_fast,tokens_per_sec_naive,
-// jobs_per_sec_single,jobs_per_sec_many}, and the hardware parallelism used
+// tokens_per_sec_guarded,jobs_per_sec_single,jobs_per_sec_many}, the
+// numeric-guard cost under bench.gen.{guarded_step.ms_per_iter,
+// guard_overhead_pct}, and the hardware parallelism used
 // for the threaded variants under bench.hardware_threads. The speedups
 // compare the seed's reference kernels / single-thread / pre-pack paths
 // against the blocked + thread-sharded + packed substrate on the same machine.
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/gen_guard.h"
 #include "src/core/trainer.h"
 #include "src/core/workload_model.h"
 #include "src/nn/activations.h"
@@ -257,6 +260,72 @@ double BenchGenFastPath() {
   return naive_ms > 0.0 && fast_ms > 0.0 ? naive_ms / fast_ms : 0.0;
 }
 
+// Cost of the numeric-health guard on the generation hot loop: the same
+// packed step as gen_step_fast plus the per-step AllFinite scan that
+// --guard=abort (the default) adds. Returns the overhead in percent; the CI
+// gate keeps it under 5% so the guards can stay on by default.
+double BenchGenGuardedStep() {
+  constexpr size_t kTokens = 256;
+  constexpr size_t kInput = 96;
+  constexpr size_t kHidden = 64;
+  constexpr size_t kOutput = 47;
+  SetGlobalThreads(1);
+  Rng rng(9);
+  Matrix x(1, kInput);
+  x.RandomUniform(rng, 1.0f);
+  Matrix logits;
+
+  SequenceNetwork network = MakeNetwork(kInput, kHidden, kOutput);
+  network.Prepack();
+  LstmState state = network.MakeState(1);
+  StepWorkspace ws;
+  bool healthy = true;
+  const auto time_tokens = [&](bool guarded) {
+    Timer timer;
+    for (size_t i = 0; i < kTokens; ++i) {
+      network.StepLogits(x, &state, &logits, &ws);
+      if (guarded) {
+        healthy &= AllFinite(logits.Row(0), logits.Cols());
+      }
+    }
+    return timer.ElapsedSeconds() * 1000.0;
+  };
+
+  // The true overhead (one AllFinite scan of the logits per step) is tiny,
+  // so a single mean-of-0.3s measurement per variant drowns in scheduler
+  // noise. Alternate the variants and keep each one's minimum: mins discard
+  // the noise that only ever adds time, and interleaving keeps thermal /
+  // frequency drift from biasing one side.
+  (void)time_tokens(false);  // Warm-up.
+  (void)time_tokens(true);
+  double plain_ms = 0.0;
+  double guarded_ms = 0.0;
+  constexpr int kRounds = 24;
+  for (int round = 0; round < kRounds; ++round) {
+    const double plain = time_tokens(false);
+    const double guarded = time_tokens(true);
+    plain_ms = round == 0 ? plain : std::min(plain_ms, plain);
+    guarded_ms = round == 0 ? guarded : std::min(guarded_ms, guarded);
+  }
+  if (!healthy) {
+    std::fprintf(stderr, "guarded-step bench produced non-finite logits\n");
+  }
+  std::printf("%-28s %10.3f ms/iter  (min of %d)\n", "gen_step_unguarded",
+              plain_ms, kRounds);
+  std::printf("%-28s %10.3f ms/iter  (min of %d)\n", "gen_step_guarded",
+              guarded_ms, kRounds);
+
+  const double tokens = static_cast<double>(kTokens);
+  const double overhead_pct =
+      plain_ms > 0.0 ? (guarded_ms - plain_ms) / plain_ms * 100.0 : 0.0;
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.gen.guarded_step.ms_per_iter").Set(guarded_ms);
+  registry.GetGauge("bench.gen.tokens_per_sec_guarded")
+      .Set(guarded_ms > 0.0 ? tokens * 1000.0 / guarded_ms : 0.0);
+  registry.GetGauge("bench.gen.guard_overhead_pct").Set(overhead_pct);
+  return overhead_pct;
+}
+
 // --- End-to-end trace generation (tokens → jobs) ---------------------------
 //
 // Trains a deliberately tiny WorkloadModel on synthetic data (one epoch per
@@ -377,14 +446,16 @@ int Main() {
   const double gen_speedup = gen_parallel > 0.0 ? gen_serial / gen_parallel : 0.0;
 
   const double fastpath_speedup = BenchGenFastPath();
+  const double guard_overhead_pct = BenchGenGuardedStep();
   BenchTraceGeneration(hw);
 
   BenchKaplanMeier();
   BenchPacking();
 
   std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx, "
-              "gen_fastpath %.2fx\n",
-              gemm_speedup, bptt_speedup, gen_speedup, fastpath_speedup);
+              "gen_fastpath %.2fx; guard overhead %.2f%%\n",
+              gemm_speedup, bptt_speedup, gen_speedup, fastpath_speedup,
+              guard_overhead_pct);
   registry.GetGauge("bench.speedup.gemm_256").Set(gemm_speedup);
   registry.GetGauge("bench.speedup.bptt").Set(bptt_speedup);
   registry.GetGauge("bench.speedup.generation").Set(gen_speedup);

@@ -20,6 +20,7 @@
 #include <algorithm>
 
 #include "cli/flags.h"
+#include "src/core/gen_guard.h"
 #include "src/core/workload_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
@@ -27,7 +28,9 @@
 #include "src/synth/synthetic_cloud.h"
 #include "src/trace/stats.h"
 #include "src/trace/trace_io.h"
+#include "src/trace/trace_sink.h"
 #include "src/util/atomic_file.h"
+#include "src/util/cancel.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -38,10 +41,13 @@ namespace cloudgen {
 namespace {
 
 // Exit codes: 0 success, 1 other failure, 2 usage, 3 input/parse error,
-// 4 training failure.
+// 4 training failure, 5 generation interrupted at a safe boundary (rerun
+// with --resume-gen to continue), 6 numeric-guard abort.
 constexpr int kExitUsage = 2;
 constexpr int kExitInput = 3;
 constexpr int kExitTrain = 4;
+constexpr int kExitInterrupted = 5;
+constexpr int kExitGuard = 6;
 
 int Usage() {
   std::fprintf(
@@ -57,7 +63,10 @@ int Usage() {
       "  generate  --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --from-day D --days K [--arrival-scale S]\n"
       "            [--eob-scale S] [--seed N] [--traces N] [--lenient]\n"
-      "            --out GEN.csv\n"
+      "            --out GEN.csv | --out-dir DIR [--segment-bytes N]\n"
+      "            [--resume-gen] [--deadline-sec S]\n"
+      "            [--guard off|abort|resample|fallback]\n"
+      "  segcat    --dir DIR [--out FILE] [--allow-partial]\n"
       "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --eval-from-day D [--eval-days K]\n"
       "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv [--lenient]\n"
@@ -76,8 +85,16 @@ int Usage() {
       "                histograms, per-epoch series) to this path on exit\n"
       "  --trace-out   record trace spans and write Chrome trace_event JSON to\n"
       "                this path on exit (open in Perfetto / chrome://tracing)\n"
+      "  --out-dir     generate: stream into crash-consistent sealed segments in\n"
+      "                DIR (with a manifest + checkpoint) instead of one CSV;\n"
+      "                SIGINT/SIGTERM/--deadline-sec stop at a safe boundary\n"
+      "  --resume-gen  continue a --out-dir run from its checkpoint; the resumed\n"
+      "                output is byte-identical to an uninterrupted run\n"
+      "  --guard       numeric-health policy for generation steps (default\n"
+      "                abort; see docs/ROBUSTNESS.md)\n"
       "\n"
-      "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure\n");
+      "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure,\n"
+      "            5 generation interrupted (resumable), 6 numeric-guard abort\n");
   return kExitUsage;
 }
 
@@ -197,6 +214,69 @@ int RunTrain(const Flags& flags) {
   return 0;
 }
 
+// The crash-consistent --out-dir path: jobs stream into sealed segments, a
+// checkpoint follows every seal, and SIGINT/SIGTERM/--deadline-sec wind the
+// run down at a safe boundary so --resume-gen completes it byte-identically.
+int RunGenerateSegmented(const Flags& flags, const WorkloadModel& model,
+                         WorkloadModel::GenerateOptions options, Rng& rng, uint64_t seed,
+                         long num_traces, const std::string& out_dir) {
+  CancelToken& cancel = GlobalCancelToken();
+  InstallCancelSignalHandlers();
+  const double deadline_sec = flags.GetDouble("deadline-sec", 0.0);
+  if (deadline_sec > 0.0) {
+    cancel.SetDeadline(deadline_sec);
+  }
+  options.cancel = &cancel;
+
+  const bool resume = flags.Has("resume-gen");
+  SegmentedFileSink::Options sink_options;
+  sink_options.dir = out_dir;
+  sink_options.segment_bytes =
+      static_cast<uint64_t>(flags.GetLong("segment-bytes", 4 * 1024 * 1024));
+  sink_options.resume = resume;
+  SegmentedFileSink sink(sink_options);
+  Status status = sink.Init();
+  if (!status.ok()) {
+    return Fail(kExitInput, status);
+  }
+
+  WorkloadModel::GenerateRun run;
+  run.sink = &sink;
+  run.checkpoint_path = out_dir + "/gen.ckpt";
+  run.resume = resume;
+  run.config_fingerprint = seed;
+
+  WorkloadModel::GenerateReport report;
+  try {
+    status = num_traces == 1
+                 ? model.GenerateStreaming(options, rng, run, &report)
+                 : model.GenerateMany(options, static_cast<size_t>(num_traces), rng, run,
+                                      &report);
+  } catch (const GuardViolation& violation) {
+    std::fprintf(stderr, "cloudgen: generation aborted by numeric guard: %s\n",
+                 violation.what());
+    return kExitGuard;
+  }
+  if (!status.ok()) {
+    return Fail(kExitInput, status);
+  }
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "cloudgen: generation interrupted (%s) after %llu trace(s), %llu job(s); "
+                 "%zu sealed segment(s) in %s — rerun with --resume-gen to continue\n",
+                 CancelReasonName(cancel.Reason()),
+                 static_cast<unsigned long long>(report.traces),
+                 static_cast<unsigned long long>(report.jobs), sink.NumSegments(),
+                 out_dir.c_str());
+    return kExitInterrupted;
+  }
+  std::printf("generated %llu trace(s), %llu job(s) into %zu sealed segment(s) in %s%s\n",
+              static_cast<unsigned long long>(report.traces),
+              static_cast<unsigned long long>(report.jobs), sink.NumSegments(),
+              out_dir.c_str(), report.resumed ? " (resumed)" : "");
+  return 0;
+}
+
 int RunGenerate(const Flags& flags) {
   Trace trace;
   Trace train;
@@ -220,41 +300,87 @@ int RunGenerate(const Flags& flags) {
   options.to_period = options.from_period + flags.GetLong("days", 1) * kPeriodsPerDay;
   options.arrival_scale = flags.GetDouble("arrival-scale", 1.0);
   options.eob_scale = flags.GetDouble("eob-scale", 1.0);
-  Rng rng(static_cast<uint64_t>(flags.GetLong("seed", 11)));
+  if (!ParseGuardPolicy(flags.GetString("guard", "abort"), &options.guard)) {
+    std::fprintf(stderr, "--guard must be off|abort|resample|fallback\n");
+    return kExitUsage;
+  }
+  const auto seed = static_cast<uint64_t>(flags.GetLong("seed", 11));
+  Rng rng(seed);
   const std::string out = flags.GetString("out", "generated.csv");
   const long num_traces = flags.GetLong("traces", 1);
   if (num_traces < 1) {
     std::fprintf(stderr, "--traces must be >= 1\n");
     return kExitUsage;
   }
-  if (num_traces == 1) {
-    const Trace generated = model.Generate(options, rng);
-    const std::string out_flavors = flags.GetString("out-flavors", out + ".flavors.csv");
-    const Status written = WriteTraceCsv(generated, out, out_flavors);
-    if (!written.ok()) {
-      return Fail(1, written);
+  const std::string out_dir = flags.GetString("out-dir", "");
+  if (!out_dir.empty()) {
+    return RunGenerateSegmented(flags, model, options, rng, seed, num_traces, out_dir);
+  }
+  try {
+    if (num_traces == 1) {
+      const Trace generated = model.Generate(options, rng);
+      const std::string out_flavors =
+          flags.GetString("out-flavors", out + ".flavors.csv");
+      const Status written = WriteTraceCsv(generated, out, out_flavors);
+      if (!written.ok()) {
+        return Fail(1, written);
+      }
+      std::printf("generated %zu jobs into %s\n", generated.NumJobs(), out.c_str());
+      return 0;
     }
-    std::printf("generated %zu jobs into %s\n", generated.NumJobs(), out.c_str());
+    // Independent traces, generated in parallel (see --threads); trace i is
+    // written to OUT with ".i" spliced in before the extension.
+    const std::vector<Trace> traces =
+        model.GenerateMany(options, static_cast<size_t>(num_traces), rng);
+    const size_t dot = out.rfind('.');
+    const std::string stem = dot == std::string::npos ? out : out.substr(0, dot);
+    const std::string ext = dot == std::string::npos ? "" : out.substr(dot);
+    size_t total_jobs = 0;
+    for (size_t i = 0; i < traces.size(); ++i) {
+      const std::string path = stem + "." + std::to_string(i) + ext;
+      const Status written = WriteTraceCsv(traces[i], path, path + ".flavors.csv");
+      if (!written.ok()) {
+        return Fail(1, written);
+      }
+      total_jobs += traces[i].NumJobs();
+    }
+    std::printf("generated %zu jobs across %zu traces into %s.N%s\n", total_jobs,
+                traces.size(), stem.c_str(), ext.c_str());
+    return 0;
+  } catch (const GuardViolation& violation) {
+    std::fprintf(stderr, "cloudgen: generation aborted by numeric guard: %s\n",
+                 violation.what());
+    return kExitGuard;
+  }
+}
+
+// Reassembles a --out-dir run's segments into one byte stream, CRC-verifying
+// each segment against the manifest. Refuses incomplete runs unless
+// --allow-partial.
+int RunSegcat(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "--dir is required\n");
+    return kExitUsage;
+  }
+  std::string payload;
+  const Status status = ConcatSegments(dir, !flags.Has("allow-partial"), &payload);
+  if (!status.ok()) {
+    return Fail(kExitInput, status);
+  }
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
     return 0;
   }
-  // Independent traces, generated in parallel (see --threads); trace i is
-  // written to OUT with ".i" spliced in before the extension.
-  const std::vector<Trace> traces =
-      model.GenerateMany(options, static_cast<size_t>(num_traces), rng);
-  const size_t dot = out.rfind('.');
-  const std::string stem = dot == std::string::npos ? out : out.substr(0, dot);
-  const std::string ext = dot == std::string::npos ? "" : out.substr(dot);
-  size_t total_jobs = 0;
-  for (size_t i = 0; i < traces.size(); ++i) {
-    const std::string path = stem + "." + std::to_string(i) + ext;
-    const Status written = WriteTraceCsv(traces[i], path, path + ".flavors.csv");
-    if (!written.ok()) {
-      return Fail(1, written);
-    }
-    total_jobs += traces[i].NumJobs();
+  const Status written = WriteFileAtomic(
+      out, [&payload](std::ostream& stream) {
+        stream.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+      });
+  if (!written.ok()) {
+    return Fail(1, written);
   }
-  std::printf("generated %zu jobs across %zu traces into %s.N%s\n", total_jobs,
-              traces.size(), stem.c_str(), ext.c_str());
+  std::printf("wrote %zu byte(s) to %s\n", payload.size(), out.c_str());
   return 0;
 }
 
@@ -407,6 +533,9 @@ int Dispatch(const std::string& command, const Flags& flags) {
   }
   if (command == "generate") {
     return RunGenerate(flags);
+  }
+  if (command == "segcat") {
+    return RunSegcat(flags);
   }
   if (command == "eval") {
     return RunEval(flags);

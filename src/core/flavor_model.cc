@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "src/core/gen_checkpoint.h"
 #include "src/core/trainer.h"
 #include "src/nn/activations.h"
 #include "src/nn/losses.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
+#include "src/util/cancel.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/sealed_file.h"
@@ -290,18 +294,34 @@ std::vector<double> FlavorLstmModel::NextTokenProbs(const FlavorStream& stream,
 }
 
 FlavorLstmModel::Generator::Generator(const FlavorLstmModel& model, int doh_day,
-                                      double eob_scale)
+                                      double eob_scale, GuardPolicy guard)
     : model_(model),
       doh_day_(doh_day),
       eob_scale_(eob_scale),
+      guard_(guard),
       state_(model.network_.MakeState(1)),
       prev_token_(model.Vocab().EobToken()),
       input_(1, model.encoder_->Dim()) {
   CG_CHECK(eob_scale > 0.0);
 }
 
+void FlavorLstmModel::Generator::SaveState(std::ostream& out) const {
+  const auto prev = static_cast<uint64_t>(prev_token_);
+  out.write(reinterpret_cast<const char*>(&prev), sizeof(prev));
+  WriteLstmState(out, state_);
+}
+
+void FlavorLstmModel::Generator::LoadState(std::istream& in) {
+  uint64_t prev = 0;
+  in.read(reinterpret_cast<char*>(&prev), sizeof(prev));
+  CG_CHECK_MSG(static_cast<bool>(in), "truncated flavor generator state");
+  prev_token_ = static_cast<size_t>(prev);
+  ReadLstmState(in, &state_);
+}
+
 std::vector<std::vector<int32_t>> FlavorLstmModel::Generator::GeneratePeriod(
-    int64_t period, int64_t n_batches, Rng& rng, size_t max_jobs) {
+    int64_t period, int64_t n_batches, Rng& rng, size_t max_jobs,
+    const CancelToken* cancel) {
   std::vector<std::vector<int32_t>> batches;
   if (n_batches <= 0) {
     return batches;
@@ -314,18 +334,50 @@ std::vector<std::vector<int32_t>> FlavorLstmModel::Generator::GeneratePeriod(
   batches.emplace_back();
   size_t total_jobs = 0;
   while (static_cast<int64_t>(batches.size()) <= n_batches) {
+    if (cancel != nullptr && cancel->Cancelled()) {
+      break;  // Partial period: the caller discards the whole trace.
+    }
     model_.encoder_->EncodeInto(prev_token_, period, doh_day_, input_.Row(0));
+    if (guard_ == GuardPolicy::kFallback) {
+      fallback_state_ = state_;  // Same-shape copy: no steady-state allocation.
+    }
     const auto step_start = std::chrono::steady_clock::now();
     model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
     step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                               std::chrono::steady_clock::now() - step_start)
                                               .count()));
     token_counter.Add(1);
+    if (FaultInjector::Global().ShouldInject(FaultKind::kGenNanLogit)) {
+      logits_.Row(0)[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (guard_ != GuardPolicy::kOff && !AllFinite(logits_.Row(0), logits_.Cols())) {
+      CountGuardViolation();
+      if (guard_ == GuardPolicy::kAbort) {
+        GuardAbort(StrFormat("flavor logits non-finite at period %lld",
+                             static_cast<long long>(period)));
+      }
+      if (guard_ == GuardPolicy::kFallback) {
+        // Redo the step through the reference (non-packed) route from the
+        // pre-step snapshot; on healthy weights it is bitwise-identical to
+        // the fast path, so the recovered trace matches an unfaulted run.
+        state_ = fallback_state_;
+        model_.network_.StepLogits(input_, &state_, &logits_);
+        if (!AllFinite(logits_.Row(0), logits_.Cols())) {
+          GuardAbort("flavor logits non-finite on the reference route too");
+        }
+        CountGuardFallback();
+      }
+      // kResample: keep going; the weights are sanitized below.
+    }
 
     // Sample from the softmax distribution (unnormalized weights; Categorical
     // normalizes internally).
     MaxShiftedExp(logits_.Row(0), logits_.Cols(), &ws_.probs);
     ws_.probs[eob] *= eob_scale_;  // What-if batch-size modification (footnote 5).
+    if (guard_ == GuardPolicy::kResample && !ValidWeights(ws_.probs)) {
+      SanitizeWeights(&ws_.probs);
+      CountGuardResample();
+    }
     size_t token = rng.Categorical(ws_.probs);
 
     // Safety: an empty batch is not representable in the data (every batch

@@ -11,12 +11,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/checkpoint.h"
 #include "src/core/encoding.h"
+#include "src/core/gen_guard.h"
 #include "src/nn/adam.h"
 #include "src/nn/sequence_network.h"
 #include "src/trace/trace.h"
@@ -24,6 +26,7 @@
 
 namespace cloudgen {
 
+class CancelToken;
 class Rng;
 
 struct FlavorModelConfig {
@@ -99,17 +102,31 @@ class FlavorLstmModel {
     // (footnote 5 of the paper): values < 1 stretch batches, values > 1
     // shorten them — a what-if knob for simulating larger or smaller batches
     // without retraining. 1.0 leaves the learned distribution untouched.
-    Generator(const FlavorLstmModel& model, int doh_day, double eob_scale = 1.0);
+    // `guard` selects the numeric-health policy applied to every step's
+    // logits and sampling weights (src/core/gen_guard.h); on healthy
+    // outputs all policies are bitwise-identical.
+    Generator(const FlavorLstmModel& model, int doh_day, double eob_scale = 1.0,
+              GuardPolicy guard = GuardPolicy::kAbort);
 
     // Generates all jobs for `period` as `n_batches` batches of flavors.
-    // A safety cap bounds runaway sequences.
+    // A safety cap bounds runaway sequences. When `cancel` is set, the token
+    // loop winds down early once cancellation is requested (the partial
+    // period is discarded by the caller, never persisted).
     std::vector<std::vector<int32_t>> GeneratePeriod(int64_t period, int64_t n_batches,
-                                                     Rng& rng, size_t max_jobs = 20000);
+                                                     Rng& rng, size_t max_jobs = 20000,
+                                                     const CancelToken* cancel = nullptr);
+
+    // Exact generator state (hidden state + previous-token feedback) for
+    // streaming-mode generation checkpoints. LoadState requires a Generator
+    // constructed against the same model/options.
+    void SaveState(std::ostream& out) const;
+    void LoadState(std::istream& in);
 
    private:
     const FlavorLstmModel& model_;
     int doh_day_;
     double eob_scale_;
+    GuardPolicy guard_;
     LstmState state_;
     size_t prev_token_;
     Matrix input_;
@@ -117,6 +134,9 @@ class FlavorLstmModel {
     // Reused scratch: with packed weights ready, steady-state token sampling
     // performs no heap allocation.
     StepWorkspace ws_;
+    // Pre-step snapshot for --guard=fallback (same-shape copies: no
+    // steady-state allocation). Unused under other policies.
+    LstmState fallback_state_;
   };
 
   // Atomic (temp + rename) model persistence.

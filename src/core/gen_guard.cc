@@ -1,0 +1,119 @@
+#include "src/core/gen_guard.h"
+
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/util/log.h"
+
+namespace cloudgen {
+
+bool ParseGuardPolicy(std::string_view name, GuardPolicy* policy) {
+  if (name == "off") {
+    *policy = GuardPolicy::kOff;
+  } else if (name == "abort") {
+    *policy = GuardPolicy::kAbort;
+  } else if (name == "resample") {
+    *policy = GuardPolicy::kResample;
+  } else if (name == "fallback") {
+    *policy = GuardPolicy::kFallback;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* GuardPolicyName(GuardPolicy policy) {
+  switch (policy) {
+    case GuardPolicy::kOff:
+      return "off";
+    case GuardPolicy::kAbort:
+      return "abort";
+    case GuardPolicy::kResample:
+      return "resample";
+    case GuardPolicy::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
+bool AllFinite(const float* values, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidWeights(const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return false;
+    }
+    sum += w;
+  }
+  return sum > 0.0;
+}
+
+bool ValidHazard(const std::vector<double>& hazard) {
+  for (double h : hazard) {
+    if (!std::isfinite(h) || h < 0.0 || h > 1.0) {
+      return false;
+    }
+  }
+  return !hazard.empty();
+}
+
+void SanitizeWeights(std::vector<double>* weights) {
+  double sum = 0.0;
+  for (double& w : *weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      w = 0.0;
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    for (double& w : *weights) {
+      w = 1.0;  // Nothing valid survived: degrade to uniform.
+    }
+  }
+}
+
+void SanitizeHazard(std::vector<double>* hazard) {
+  for (double& h : *hazard) {
+    if (!std::isfinite(h)) {
+      h = 1.0;  // Pessimistic: terminate in this bin.
+    } else if (h < 0.0) {
+      h = 0.0;
+    } else if (h > 1.0) {
+      h = 1.0;
+    }
+  }
+}
+
+void CountGuardViolation() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("gen.guard.violations");
+  counter.Add(1);
+}
+
+void CountGuardResample() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("gen.guard.resamples");
+  counter.Add(1);
+}
+
+void CountGuardFallback() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("gen.guard.fallbacks");
+  counter.Add(1);
+}
+
+void GuardAbort(const std::string& message) {
+  obs::Registry::Global().GetCounter("gen.guard.aborts").Add(1);
+  CG_LOG_ERROR("numeric guard abort: " + message);
+  throw GuardViolation(message);
+}
+
+}  // namespace cloudgen

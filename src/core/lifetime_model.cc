@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "src/core/gen_checkpoint.h"
 #include "src/core/trainer.h"
 #include "src/nn/activations.h"
 #include "src/nn/adam.h"
@@ -13,6 +15,7 @@
 #include "src/obs/trace_span.h"
 #include "src/survival/hazard.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/sealed_file.h"
@@ -369,9 +372,11 @@ std::vector<std::vector<double>> LifetimeLstmModel::PredictHazards(const Trace& 
   return hazards;
 }
 
-LifetimeLstmModel::Generator::Generator(const LifetimeLstmModel& model, int doh_day)
+LifetimeLstmModel::Generator::Generator(const LifetimeLstmModel& model, int doh_day,
+                                        GuardPolicy guard)
     : model_(model),
       doh_day_(doh_day),
+      guard_(guard),
       state_(model.network_.MakeState(1)),
       input_(1, model.encoder_->Dim()) {}
 
@@ -387,18 +392,71 @@ size_t LifetimeLstmModel::Generator::StepJob(int64_t period, int32_t flavor,
   static obs::Counter& token_counter = obs::Registry::Global().GetCounter("gen.tokens");
   static obs::Histogram& step_hist =
       obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
+  if (guard_ == GuardPolicy::kFallback) {
+    fallback_state_ = state_;  // Same-shape copy: no steady-state allocation.
+  }
   const auto step_start = std::chrono::steady_clock::now();
   model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
   step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                             std::chrono::steady_clock::now() - step_start)
                                             .count()));
   token_counter.Add(1);
+  if (FaultInjector::Global().ShouldInject(FaultKind::kGenNanLogit)) {
+    logits_.Row(0)[0] = std::numeric_limits<float>::quiet_NaN();
+  }
   model_.LogitsToHazardInto(logits_, &hazard_, &ws_.scratch);
+  if (guard_ != GuardPolicy::kOff &&
+      (!AllFinite(logits_.Row(0), logits_.Cols()) || !ValidHazard(hazard_))) {
+    CountGuardViolation();
+    if (guard_ == GuardPolicy::kAbort) {
+      GuardAbort(StrFormat("lifetime hazard invalid at period %lld",
+                           static_cast<long long>(period)));
+    }
+    if (guard_ == GuardPolicy::kFallback) {
+      // Redo the step through the reference (non-packed) route from the
+      // pre-step snapshot; on healthy outputs it is bitwise-identical to the
+      // fast path, so the recovered trace matches an unfaulted run.
+      state_ = fallback_state_;
+      model_.network_.StepLogits(input_, &state_, &logits_);
+      model_.LogitsToHazardInto(logits_, &hazard_, &ws_.scratch);
+      if (!AllFinite(logits_.Row(0), logits_.Cols()) || !ValidHazard(hazard_)) {
+        GuardAbort("lifetime hazard invalid on the reference route too");
+      }
+      CountGuardFallback();
+    } else if (guard_ == GuardPolicy::kResample) {
+      SanitizeHazard(&hazard_);
+      CountGuardResample();
+    }
+  }
   const size_t bin = SampleBinFromHazard(hazard_, rng);
   prev_.valid = true;
   prev_.bin = bin;
   prev_.censored = false;  // Generated lifetimes are always complete draws.
   return bin;
+}
+
+void LifetimeLstmModel::Generator::SaveState(std::ostream& out) const {
+  const uint8_t valid = prev_.valid ? 1 : 0;
+  const uint8_t censored = prev_.censored ? 1 : 0;
+  const auto bin = static_cast<uint64_t>(prev_.bin);
+  out.write(reinterpret_cast<const char*>(&valid), sizeof(valid));
+  out.write(reinterpret_cast<const char*>(&censored), sizeof(censored));
+  out.write(reinterpret_cast<const char*>(&bin), sizeof(bin));
+  WriteLstmState(out, state_);
+}
+
+void LifetimeLstmModel::Generator::LoadState(std::istream& in) {
+  uint8_t valid = 0;
+  uint8_t censored = 0;
+  uint64_t bin = 0;
+  in.read(reinterpret_cast<char*>(&valid), sizeof(valid));
+  in.read(reinterpret_cast<char*>(&censored), sizeof(censored));
+  in.read(reinterpret_cast<char*>(&bin), sizeof(bin));
+  CG_CHECK_MSG(static_cast<bool>(in), "truncated lifetime generator state");
+  prev_.valid = valid != 0;
+  prev_.censored = censored != 0;
+  prev_.bin = static_cast<size_t>(bin);
+  ReadLstmState(in, &state_);
 }
 
 Status LifetimeLstmModel::SaveToFile(const std::string& path) const {

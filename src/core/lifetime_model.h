@@ -17,12 +17,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/checkpoint.h"
 #include "src/core/encoding.h"
+#include "src/core/gen_guard.h"
 #include "src/nn/sequence_network.h"
 #include "src/survival/binning.h"
 #include "src/trace/trace.h"
@@ -112,15 +114,26 @@ class LifetimeLstmModel {
   // every job of a sampled trace in generation order.
   class Generator {
    public:
-    Generator(const LifetimeLstmModel& model, int doh_day);
+    // `guard` selects the numeric-health policy applied to every step's
+    // logits and hazard vector (src/core/gen_guard.h); on healthy outputs
+    // all policies are bitwise-identical.
+    Generator(const LifetimeLstmModel& model, int doh_day,
+              GuardPolicy guard = GuardPolicy::kAbort);
 
     // Samples the lifetime *bin* for a job; feeds the sampled outcome back as
     // the next step's previous-lifetime features.
     size_t StepJob(int64_t period, int32_t flavor, size_t batch_size, Rng& rng);
 
+    // Exact generator state (hidden state + previous-lifetime feedback) for
+    // streaming-mode generation checkpoints. LoadState requires a Generator
+    // constructed against the same model/options.
+    void SaveState(std::ostream& out) const;
+    void LoadState(std::istream& in);
+
    private:
     const LifetimeLstmModel& model_;
     int doh_day_;
+    GuardPolicy guard_;
     LstmState state_;
     PrevLifetime prev_;
     Matrix input_;
@@ -129,6 +142,9 @@ class LifetimeLstmModel {
     // performs no heap allocation.
     StepWorkspace ws_;
     std::vector<double> hazard_;
+    // Pre-step snapshot for --guard=fallback (same-shape copies: no
+    // steady-state allocation). Unused under other policies.
+    LstmState fallback_state_;
   };
 
   // Atomic (temp + rename) model persistence.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "src/core/trainer.h"
 #include "src/nn/activations.h"
@@ -10,7 +11,9 @@
 #include "src/nn/losses.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
+#include "src/util/cancel.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
@@ -162,9 +165,11 @@ void SingleLstmModel::Train(const Trace& train, int history_days,
   network_.Prepack();
 }
 
-SingleLstmModel::Generator::Generator(const SingleLstmModel& model, int doh_day)
+SingleLstmModel::Generator::Generator(const SingleLstmModel& model, int doh_day,
+                                      GuardPolicy guard)
     : model_(model),
       doh_day_(doh_day),
+      guard_(guard),
       state_(model.network_.MakeState(1)),
       prev_token_(model.EopToken()),
       input_(1, model.encoder_->Dim()) {
@@ -172,7 +177,7 @@ SingleLstmModel::Generator::Generator(const SingleLstmModel& model, int doh_day)
 }
 
 std::vector<std::vector<int32_t>> SingleLstmModel::Generator::GeneratePeriod(
-    int64_t period, Rng& rng, size_t max_jobs) {
+    int64_t period, Rng& rng, size_t max_jobs, const CancelToken* cancel) {
   const size_t eob = model_.num_flavors_;
   const size_t eop = model_.EopToken();
   std::vector<std::vector<int32_t>> batches;
@@ -183,14 +188,42 @@ std::vector<std::vector<int32_t>> SingleLstmModel::Generator::GeneratePeriod(
   static obs::Histogram& step_hist =
       obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
   while (true) {
+    if (cancel != nullptr && cancel->Cancelled()) {
+      break;  // Partial period: the caller discards the whole trace.
+    }
     model_.encoder_->EncodeInto(prev_token_, period, doh_day_, input_.Row(0));
+    if (guard_ == GuardPolicy::kFallback) {
+      fallback_state_ = state_;  // Same-shape copy: no steady-state allocation.
+    }
     const auto step_start = std::chrono::steady_clock::now();
     model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
     step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                               std::chrono::steady_clock::now() - step_start)
                                               .count()));
     token_counter.Add(1);
+    if (FaultInjector::Global().ShouldInject(FaultKind::kGenNanLogit)) {
+      logits_.Row(0)[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (guard_ != GuardPolicy::kOff && !AllFinite(logits_.Row(0), logits_.Cols())) {
+      CountGuardViolation();
+      if (guard_ == GuardPolicy::kAbort) {
+        GuardAbort(StrFormat("single-LSTM logits non-finite at period %lld",
+                             static_cast<long long>(period)));
+      }
+      if (guard_ == GuardPolicy::kFallback) {
+        state_ = fallback_state_;
+        model_.network_.StepLogits(input_, &state_, &logits_);
+        if (!AllFinite(logits_.Row(0), logits_.Cols())) {
+          GuardAbort("single-LSTM logits non-finite on the reference route too");
+        }
+        CountGuardFallback();
+      }
+    }
     MaxShiftedExp(logits_.Row(0), logits_.Cols(), &ws_.probs);
+    if (guard_ == GuardPolicy::kResample && !ValidWeights(ws_.probs)) {
+      SanitizeWeights(&ws_.probs);
+      CountGuardResample();
+    }
     const size_t token = rng.Categorical(ws_.probs);
     prev_token_ = token;
     if (token == eop) {

@@ -45,14 +45,22 @@ class SingleLstmModel {
   // Periods must be requested in order (state persists).
   class Generator {
    public:
-    explicit Generator(const SingleLstmModel& model, int doh_day);
+    // `guard` selects the numeric-health policy applied to every step's
+    // logits and sampling weights (src/core/gen_guard.h).
+    explicit Generator(const SingleLstmModel& model, int doh_day,
+                       GuardPolicy guard = GuardPolicy::kAbort);
 
+    // When `cancel` is set, the token loop winds down early once
+    // cancellation is requested (the partial period is discarded by the
+    // caller, never persisted).
     std::vector<std::vector<int32_t>> GeneratePeriod(int64_t period, Rng& rng,
-                                                     size_t max_jobs = 20000);
+                                                     size_t max_jobs = 20000,
+                                                     const CancelToken* cancel = nullptr);
 
    private:
     const SingleLstmModel& model_;
     int doh_day_;
+    GuardPolicy guard_;
     LstmState state_;
     size_t prev_token_;
     Matrix input_;
@@ -60,6 +68,9 @@ class SingleLstmModel {
     // Reused scratch: with packed weights ready, steady-state token sampling
     // performs no heap allocation.
     StepWorkspace ws_;
+    // Pre-step snapshot for --guard=fallback (same-shape copies: no
+    // steady-state allocation). Unused under other policies.
+    LstmState fallback_state_;
   };
 
  private:

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
 
+#include "src/core/gen_checkpoint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
+#include "src/trace/trace_sink.h"
+#include "src/util/atomic_file.h"
+#include "src/util/cancel.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -37,6 +48,125 @@ Status WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& confi
   return OkStatus();
 }
 
+// Checkpointable per-trace generation state. Owns both stage generators and
+// the synthetic-user counter; one RunPeriod call reproduces exactly the
+// period loop body the monolithic Generate historically ran, emitting jobs
+// through a callback so the same engine drives in-memory traces and
+// streaming sinks.
+class WorkloadModel::PeriodEngine {
+ public:
+  PeriodEngine(const WorkloadModel& model, const BatchArrivalModel& arrivals,
+               const GenerateOptions& options, int doh_day)
+      : arrivals_(arrivals),
+        options_(options),
+        doh_day_(doh_day),
+        flavor_gen_(model.flavor_model_, doh_day, options.eob_scale, options.guard),
+        lifetime_gen_(model.lifetime_model_, doh_day, options.guard),
+        binning_(model.lifetime_model_.Binning()) {}
+
+  // Generates one period's jobs. `allow_midperiod_cancel` propagates
+  // options.cancel into the flavor token loop (many-trace mode, where a
+  // partial trace is discarded wholesale); streaming mode passes false so
+  // cancellation only lands at period boundaries and the engine state stays
+  // checkpointable.
+  void RunPeriod(int64_t period, Rng& rng, const std::function<void(const Job&)>& emit,
+                 bool allow_midperiod_cancel) {
+    // Hot-path metric handles, registered once per process (see metrics.h).
+    static obs::Counter& period_counter = obs::Registry::Global().GetCounter("gen.periods");
+    static obs::Counter& batch_counter = obs::Registry::Global().GetCounter("gen.batches");
+    static obs::Counter& job_counter = obs::Registry::Global().GetCounter("gen.jobs");
+    // A no-DOH arrival override ignores the day argument internally.
+    const int arrivals_doh = std::min(doh_day_, std::max(1, arrivals_.HistoryDays()));
+    const double rate = arrivals_.Rate(period, arrivals_doh) * options_.arrival_scale;
+    const int64_t n_batches = rng.Poisson(rate);
+    period_counter.Add(1);
+    if (n_batches == 0) {
+      return;
+    }
+    const CancelToken* cancel = allow_midperiod_cancel ? options_.cancel : nullptr;
+    const std::vector<std::vector<int32_t>> batches =
+        flavor_gen_.GeneratePeriod(period, n_batches, rng, /*max_jobs=*/20000, cancel);
+    batch_counter.Add(batches.size());
+    for (const std::vector<int32_t>& batch : batches) {
+      const int64_t user = next_user_++;
+      job_counter.Add(batch.size());
+      for (int32_t flavor : batch) {
+        const size_t bin = lifetime_gen_.StepJob(period, flavor, batch.size(), rng);
+        const double duration =
+            SampleDurationInBin(binning_, bin, options_.interpolation, rng);
+        Job job;
+        job.start_period = period;
+        job.end_period =
+            period + static_cast<int64_t>(std::llround(duration / kSecondsPerPeriod));
+        job.flavor = flavor;
+        job.user = user;
+        job.censored = false;
+        emit(job);
+      }
+    }
+  }
+
+  // Exact engine state at a period boundary (streaming checkpoints). The
+  // DOH day travels outside (it is a constructor argument).
+  void SaveState(std::ostream& out) const {
+    out.write(reinterpret_cast<const char*>(&next_user_), sizeof(next_user_));
+    flavor_gen_.SaveState(out);
+    lifetime_gen_.SaveState(out);
+  }
+  void LoadState(std::istream& in) {
+    in.read(reinterpret_cast<char*>(&next_user_), sizeof(next_user_));
+    CG_CHECK_MSG(static_cast<bool>(in), "truncated period-engine state");
+    flavor_gen_.LoadState(in);
+    lifetime_gen_.LoadState(in);
+  }
+
+ private:
+  const BatchArrivalModel& arrivals_;
+  const GenerateOptions& options_;
+  int doh_day_;
+  FlavorLstmModel::Generator flavor_gen_;
+  LifetimeLstmModel::Generator lifetime_gen_;
+  const LifetimeBinning& binning_;
+  int64_t next_user_ = 0;
+};
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Digest of everything that shapes the generated bytes. Stored in the
+// checkpoint and verified on resume, so continuing with different flags,
+// count, or caller context (seed) is rejected instead of splicing
+// incompatible RNG streams into one output.
+uint64_t GenerateFingerprint(const WorkloadModel::GenerateOptions& options, uint32_t mode,
+                             uint64_t count, uint64_t caller) {
+  uint64_t h = 0x43474547ull;  // 'CGEG'
+  h = HashMix(h, mode);
+  h = HashMix(h, count);
+  h = HashMix(h, static_cast<uint64_t>(options.from_period));
+  h = HashMix(h, static_cast<uint64_t>(options.to_period));
+  h = HashMix(h, static_cast<uint64_t>(options.doh_mode));
+  h = HashMix(h, DoubleBits(options.arrival_scale));
+  h = HashMix(h, DoubleBits(options.eob_scale));
+  h = HashMix(h, static_cast<uint64_t>(options.interpolation));
+  h = HashMix(h, caller);
+  return h;
+}
+
+Status FlushTraceToSink(TraceSink* sink, size_t index, const Trace& trace) {
+  CG_RETURN_IF_ERROR(sink->BeginTrace(index));
+  for (const Job& job : trace.Jobs()) {
+    CG_RETURN_IF_ERROR(sink->Append(job));
+  }
+  return sink->EndTrace();
+}
+
+}  // namespace
+
 Trace WorkloadModel::Generate(const GenerateOptions& options, Rng& rng) const {
   return GenerateWithArrivalModel(arrival_model_, options, rng);
 }
@@ -49,69 +179,288 @@ Trace WorkloadModel::GenerateWithArrivalModel(const BatchArrivalModel& arrivals,
   CG_CHECK(options.to_period > options.from_period);
   CG_CHECK(options.arrival_scale > 0.0);
   CG_SPAN("generate_trace");
-  obs::Registry& registry = obs::Registry::Global();
-  obs::Counter& period_counter = registry.GetCounter("gen.periods");
-  obs::Counter& batch_counter = registry.GetCounter("gen.batches");
-  obs::Counter& job_counter = registry.GetCounter("gen.jobs");
 
   Trace trace(flavors_, options.from_period, options.to_period);
   // The LSTM stages' DOH day comes from the main model's history even when
   // the arrival model is an override (a no-DOH arrival model has no meaningful
   // DOH day of its own).
   const int doh_day = arrival_model_.SampleDohDay(rng, options.doh_mode);
-
-  FlavorLstmModel::Generator flavor_gen(flavor_model_, doh_day, options.eob_scale);
-  LifetimeLstmModel::Generator lifetime_gen(lifetime_model_, doh_day);
-  const LifetimeBinning& binning = lifetime_model_.Binning();
-
-  int64_t next_user = 0;
+  PeriodEngine engine(*this, arrivals, options, doh_day);
   for (int64_t period = options.from_period; period < options.to_period; ++period) {
-    // A no-DOH arrival override ignores the day argument internally.
-    const int arrivals_doh = std::min(doh_day, std::max(1, arrivals.HistoryDays()));
-    const double rate = arrivals.Rate(period, arrivals_doh) * options.arrival_scale;
-    const int64_t n_batches = rng.Poisson(rate);
-    period_counter.Add(1);
-    if (n_batches == 0) {
-      continue;
+    if (options.cancel != nullptr && options.cancel->Poll()) {
+      break;  // Partial trace: sink-based callers discard it, never persist it.
     }
-    const std::vector<std::vector<int32_t>> batches =
-        flavor_gen.GeneratePeriod(period, n_batches, rng);
-    batch_counter.Add(batches.size());
-    for (const std::vector<int32_t>& batch : batches) {
-      const int64_t user = next_user++;
-      job_counter.Add(batch.size());
-      for (int32_t flavor : batch) {
-        const size_t bin = lifetime_gen.StepJob(period, flavor, batch.size(), rng);
-        const double duration =
-            SampleDurationInBin(binning, bin, options.interpolation, rng);
-        Job job;
-        job.start_period = period;
-        job.end_period =
-            period + static_cast<int64_t>(std::llround(duration / kSecondsPerPeriod));
-        job.flavor = flavor;
-        job.user = user;
-        job.censored = false;
-        trace.Add(job);
-      }
-    }
+    engine.RunPeriod(
+        period, rng, [&trace](const Job& job) { trace.Add(job); },
+        /*allow_midperiod_cancel=*/true);
   }
   return trace;
 }
 
 std::vector<Trace> WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
                                                Rng& rng) const {
-  // Each trace samples from its own seed-derived stream, so trace i's content
-  // depends only on (base, i) — never on which worker generated it or on the
-  // thread count. One draw from `rng` anchors the whole family.
+  InMemoryTraceSink sink(flavors_, options.from_period, options.to_period);
+  GenerateRun run;
+  run.sink = &sink;
+  GenerateReport report;
+  const Status status = GenerateMany(options, count, rng, run, &report);
+  CG_CHECK_MSG(status.ok(), status.message().c_str());
+  return std::move(sink.Traces());
+}
+
+Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count, Rng& rng,
+                                   const GenerateRun& run, GenerateReport* report) const {
+  CG_CHECK(run.sink != nullptr);
+  CG_CHECK(report != nullptr);
   CG_SPAN("generate_many");
-  const uint64_t base = rng.Next();
-  std::vector<Trace> traces(count);
-  GlobalThreadPool().ParallelFor(0, count, [&](size_t i) {
-    Rng stream = Rng::Stream(base, i);
-    traces[i] = Generate(options, stream);
-  });
-  obs::Registry::Global().GetCounter("gen.traces").Add(count);
-  return traces;
+  *report = GenerateReport();
+
+  GenCursor cursor;
+  cursor.mode = kGenModeManyTraces;
+  cursor.count = count;
+  cursor.fingerprint =
+      GenerateFingerprint(options, kGenModeManyTraces, count, run.config_fingerprint);
+
+  size_t start = 0;
+  if (run.resume && !run.checkpoint_path.empty() && FileExists(run.checkpoint_path)) {
+    GenCursor loaded;
+    CG_RETURN_IF_ERROR(LoadGenCheckpoint(run.checkpoint_path, &loaded));
+    if (loaded.mode != cursor.mode || loaded.fingerprint != cursor.fingerprint ||
+        loaded.count != count) {
+      obs::Registry::Global().GetCounter("gen.resume.rejected").Add(1);
+      return FailedPreconditionError(
+          "generation checkpoint does not match this run's options/seed; remove " +
+          run.checkpoint_path + " to start over");
+    }
+    cursor.base = loaded.base;
+    cursor.next_trace = loaded.next_trace;
+    cursor.segments_sealed = loaded.segments_sealed;
+    start = static_cast<size_t>(loaded.next_trace);
+    CG_RETURN_IF_ERROR(run.sink->ResumeAt(cursor.segments_sealed));
+    obs::Registry::Global().GetCounter("gen.resume.loaded").Add(1);
+    report->resumed = true;
+  } else {
+    if (run.resume) {
+      // Crash before the first checkpoint: drop any already-sealed segments
+      // the manifest may list so they are regenerated from trace 0.
+      CG_RETURN_IF_ERROR(run.sink->ResumeAt(0));
+    }
+    // One draw anchors the whole family — the exact draw order the legacy
+    // vector API always had, so same-seed runs stay byte-identical.
+    cursor.base = rng.Next();
+  }
+  const uint64_t base = cursor.base;
+
+  static obs::Counter& trace_counter = obs::Registry::Global().GetCounter("gen.traces");
+
+  // Workers generate out of order; flushes happen strictly in index order
+  // under the reorder lock so segment bytes never depend on thread count.
+  std::mutex mu;
+  std::map<size_t, Trace> pending;
+  size_t next_flush = start;
+  Status sink_status = OkStatus();
+  bool stop_flushing = false;
+
+  GlobalThreadPool().ParallelFor(
+      start, count,
+      [&](size_t i) {
+        // Trace i's content depends only on (base, i) — never on which
+        // worker generated it or on the thread count.
+        Rng stream = Rng::Stream(base, i);
+        Trace trace = Generate(options, stream);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!sink_status.ok() || stop_flushing) {
+          return;
+        }
+        if (options.cancel != nullptr && options.cancel->Cancelled()) {
+          // This trace (and any later one) may be partial; once cancellation
+          // is visible nothing more is flushed — the checkpoint cursor makes
+          // the resume run regenerate from next_flush.
+          stop_flushing = true;
+          return;
+        }
+        pending.emplace(i, std::move(trace));
+        while (!pending.empty() && pending.begin()->first == next_flush) {
+          const Trace& ready = pending.begin()->second;
+          Status st = FlushTraceToSink(run.sink, next_flush, ready);
+          if (!st.ok()) {
+            sink_status = st;
+            break;
+          }
+          report->traces += 1;
+          report->jobs += ready.NumJobs();
+          trace_counter.Add(1);
+          pending.erase(pending.begin());
+          ++next_flush;
+          bool sealed = false;
+          st = run.sink->CommitPoint(/*force=*/false, &sealed);
+          if (!st.ok()) {
+            sink_status = st;
+            break;
+          }
+          if (sealed) {
+            // The buffer drains fully at every seal, so everything before
+            // next_flush is durable: exactly what the cursor promises.
+            cursor.segments_sealed += 1;
+            cursor.next_trace = next_flush;
+            if (!run.checkpoint_path.empty()) {
+              st = SaveGenCheckpoint(run.checkpoint_path, cursor);
+              if (!st.ok()) {
+                sink_status = st;
+                break;
+              }
+            }
+          }
+        }
+      },
+      options.cancel);
+
+  if (!sink_status.ok()) {
+    return sink_status;
+  }
+
+  const bool interrupted =
+      options.cancel != nullptr && options.cancel->Cancelled() && next_flush < count;
+  // Seal the buffered tail; both exits want everything flushed to be durable.
+  bool sealed = false;
+  CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/true, &sealed));
+  if (sealed) {
+    cursor.segments_sealed += 1;
+  }
+  cursor.next_trace = interrupted ? next_flush : count;
+  if (!run.checkpoint_path.empty()) {
+    CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+  }
+  if (interrupted) {
+    obs::Registry::Global().GetCounter("gen.interrupted").Add(1);
+    report->interrupted = true;
+    return OkStatus();
+  }
+  return run.sink->Finish();
+}
+
+Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng,
+                                        const GenerateRun& run,
+                                        GenerateReport* report) const {
+  CG_CHECK(run.sink != nullptr);
+  CG_CHECK(report != nullptr);
+  CG_CHECK(IsTrained());
+  CG_CHECK(options.to_period > options.from_period);
+  CG_CHECK(options.arrival_scale > 0.0);
+  CG_SPAN("generate_streaming");
+  *report = GenerateReport();
+
+  GenCursor cursor;
+  cursor.mode = kGenModeStreaming;
+  cursor.count = 1;
+  cursor.fingerprint =
+      GenerateFingerprint(options, kGenModeStreaming, 1, run.config_fingerprint);
+  cursor.next_period = options.from_period;
+
+  std::unique_ptr<PeriodEngine> engine;
+  int64_t first_period = options.from_period;
+  int32_t doh_day = 0;
+
+  if (run.resume && !run.checkpoint_path.empty() && FileExists(run.checkpoint_path)) {
+    GenCursor loaded;
+    CG_RETURN_IF_ERROR(LoadGenCheckpoint(run.checkpoint_path, &loaded));
+    if (loaded.mode != cursor.mode || loaded.fingerprint != cursor.fingerprint) {
+      obs::Registry::Global().GetCounter("gen.resume.rejected").Add(1);
+      return FailedPreconditionError(
+          "generation checkpoint does not match this run's options/seed; remove " +
+          run.checkpoint_path + " to start over");
+    }
+    CG_RETURN_IF_ERROR(run.sink->ResumeAt(loaded.segments_sealed));
+    obs::Registry::Global().GetCounter("gen.resume.loaded").Add(1);
+    report->resumed = true;
+    if (loaded.next_trace >= 1) {
+      // The previous run generated everything; just ensure the manifest is
+      // marked complete (Finish is idempotent).
+      return run.sink->Finish();
+    }
+    cursor.segments_sealed = loaded.segments_sealed;
+    first_period = loaded.next_period;
+    // Restore the exact state captured at the checkpointed period boundary.
+    std::istringstream in(loaded.state_blob);
+    in.read(reinterpret_cast<char*>(&doh_day), sizeof(doh_day));
+    if (!in) {
+      return DataLossError("truncated streaming state in " + run.checkpoint_path);
+    }
+    engine = std::make_unique<PeriodEngine>(*this, arrival_model_, options, doh_day);
+    engine->LoadState(in);
+    rng.LoadState(in);
+  } else {
+    if (run.resume) {
+      CG_RETURN_IF_ERROR(run.sink->ResumeAt(0));
+    }
+    doh_day = arrival_model_.SampleDohDay(rng, options.doh_mode);
+    engine = std::make_unique<PeriodEngine>(*this, arrival_model_, options, doh_day);
+  }
+
+  const auto save_state_blob = [&]() {
+    std::ostringstream out;
+    out.write(reinterpret_cast<const char*>(&doh_day), sizeof(doh_day));
+    engine->SaveState(out);
+    rng.SaveState(out);
+    return std::move(out).str();
+  };
+
+  CG_RETURN_IF_ERROR(run.sink->BeginTrace(0));
+  for (int64_t period = first_period; period < options.to_period; ++period) {
+    if (options.cancel != nullptr && options.cancel->Poll()) {
+      // Graceful stop at a period boundary: seal everything generated so far
+      // and checkpoint the exact state needed to continue from `period`.
+      bool sealed = false;
+      CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/true, &sealed));
+      if (sealed) {
+        cursor.segments_sealed += 1;
+      }
+      cursor.next_period = period;
+      cursor.state_blob = save_state_blob();
+      if (!run.checkpoint_path.empty()) {
+        CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+      }
+      obs::Registry::Global().GetCounter("gen.interrupted").Add(1);
+      report->interrupted = true;
+      return OkStatus();
+    }
+    Status append_status = OkStatus();
+    engine->RunPeriod(
+        period, rng,
+        [&](const Job& job) {
+          if (append_status.ok()) {
+            append_status = run.sink->Append(job);
+            report->jobs += 1;
+          }
+        },
+        /*allow_midperiod_cancel=*/false);
+    CG_RETURN_IF_ERROR(append_status);
+    bool sealed = false;
+    CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/false, &sealed));
+    if (sealed) {
+      cursor.segments_sealed += 1;
+      cursor.next_period = period + 1;
+      cursor.state_blob = save_state_blob();
+      if (!run.checkpoint_path.empty()) {
+        CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+      }
+    }
+  }
+  CG_RETURN_IF_ERROR(run.sink->EndTrace());
+  bool sealed = false;
+  CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/true, &sealed));
+  if (sealed) {
+    cursor.segments_sealed += 1;
+  }
+  cursor.next_trace = 1;
+  cursor.next_period = options.to_period;
+  cursor.state_blob.clear();
+  if (!run.checkpoint_path.empty()) {
+    CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+  }
+  report->traces = 1;
+  obs::Registry::Global().GetCounter("gen.traces").Add(1);
+  return run.sink->Finish();
 }
 
 Status WorkloadModel::SaveToFiles(const std::string& prefix) const {

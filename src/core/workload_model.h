@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/arrival_model.h"
@@ -24,6 +25,8 @@
 #include "src/util/status.h"
 
 namespace cloudgen {
+
+class TraceSink;
 
 struct WorkloadModelConfig {
   ArrivalModelConfig arrival;
@@ -53,6 +56,14 @@ class WorkloadModel {
     // > 1 shortens them, by scaling the EOB token's sampled probability.
     double eob_scale = 1.0;
     Interpolation interpolation = Interpolation::kCdi;
+    // Numeric-health policy applied to every LSTM generation step
+    // (src/core/gen_guard.h). On healthy outputs all policies produce
+    // bitwise-identical traces.
+    GuardPolicy guard = GuardPolicy::kAbort;
+    // Optional cooperative cancellation (src/util/cancel.h). Generation
+    // winds down at the next safe boundary; sink-based runs seal what is
+    // buffered and checkpoint so --resume-gen continues bitwise-identically.
+    const CancelToken* cancel = nullptr;
   };
 
   // Samples one synthetic trace covering [from_period, to_period). One DOH
@@ -72,6 +83,47 @@ class WorkloadModel {
   // bitwise-identical for any thread count.
   std::vector<Trace> GenerateMany(const GenerateOptions& options, size_t count,
                                   Rng& rng) const;
+
+  // Sink-based generation: where the output goes and how the run is made
+  // crash-consistent and resumable.
+  struct GenerateRun {
+    TraceSink* sink = nullptr;  // Required.
+    // Checkpoint file updated after every sealed segment; empty disables
+    // checkpointing (and therefore resume).
+    std::string checkpoint_path;
+    // Load `checkpoint_path` (when present) and continue from its cursor.
+    // The checkpoint's fingerprint must match this run's options/count and
+    // `config_fingerprint`, otherwise FAILED_PRECONDITION.
+    bool resume = false;
+    // Caller context folded into the fingerprint (e.g. the CLI seed), so a
+    // resume with a different seed is rejected instead of silently mixing
+    // RNG streams.
+    uint64_t config_fingerprint = 0;
+  };
+  struct GenerateReport {
+    uint64_t traces = 0;  // Traces flushed to the sink by this run.
+    uint64_t jobs = 0;    // Jobs flushed to the sink by this run.
+    bool resumed = false;
+    // Cancellation stopped the run at a safe boundary; everything flushed is
+    // sealed + checkpointed and a resume run completes the output.
+    bool interrupted = false;
+  };
+
+  // Streams `count` traces into `run.sink` in index order, sealing and
+  // checkpointing as segments fill. Trace i is a pure function of the RNG
+  // base and i (Rng::Stream), so thread count never changes the bytes and
+  // resume regenerates exactly the missing suffix. Returns OK with
+  // report->interrupted when cancelled. The vector-returning GenerateMany
+  // delegates here through an InMemoryTraceSink.
+  Status GenerateMany(const GenerateOptions& options, size_t count, Rng& rng,
+                      const GenerateRun& run, GenerateReport* report) const;
+
+  // Streams ONE trace period by period — the month-scale serving shape. The
+  // periods of a trace share evolving LSTM/RNG state, so checkpoints carry
+  // an exact state blob (both generators, feedback features, Rng::SaveState)
+  // captured at a period boundary; resume is bitwise-identical.
+  Status GenerateStreaming(const GenerateOptions& options, Rng& rng,
+                           const GenerateRun& run, GenerateReport* report) const;
 
   // Stage accessors for stage-wise evaluation (§5).
   const BatchArrivalModel& ArrivalModel() const { return arrival_model_; }
@@ -101,6 +153,10 @@ class WorkloadModel {
                                const WorkloadModelConfig& config);
 
  private:
+  // Checkpointable per-trace generation state: both stage generators plus
+  // the synthetic-user counter. Defined in the .cc.
+  class PeriodEngine;
+
   BatchArrivalModel arrival_model_;
   FlavorLstmModel flavor_model_;
   LifetimeLstmModel lifetime_model_;

@@ -1,0 +1,282 @@
+#include "src/trace/trace_sink.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/atomic_file.h"
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+#include "src/util/fault.h"
+#include "src/util/log.h"
+#include "src/util/sealed_file.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr char kManifestHeader[] = "cloudgen.segments.v1";
+constexpr char kManifestCompleteMarker[] = "complete";
+
+Status MakeDirIfMissing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) {
+    return OkStatus();
+  }
+  return UnavailableError("cannot create directory " + dir);
+}
+
+obs::Counter& SealedSegmentsCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("gen.segments.sealed");
+  return counter;
+}
+
+}  // namespace
+
+void AppendJobRow(size_t trace_index, const Job& job, std::string* out) {
+  char buf[128];
+  const int n = std::snprintf(buf, sizeof(buf), "%zu,%lld,%lld,%d,%lld,%d\n",
+                              trace_index, static_cast<long long>(job.start_period),
+                              static_cast<long long>(job.end_period), job.flavor,
+                              static_cast<long long>(job.user), job.censored ? 1 : 0);
+  CG_CHECK(n > 0 && static_cast<size_t>(n) < sizeof(buf));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+Status TraceSink::ResumeAt(uint64_t /*segments_sealed*/) {
+  return FailedPreconditionError("this sink does not support resuming");
+}
+
+InMemoryTraceSink::InMemoryTraceSink(FlavorCatalog flavors, int64_t window_start,
+                                     int64_t window_end)
+    : flavors_(std::move(flavors)),
+      window_start_(window_start),
+      window_end_(window_end) {}
+
+Status InMemoryTraceSink::BeginTrace(size_t trace_index) {
+  CG_CHECK_MSG(!in_trace_, "BeginTrace without EndTrace");
+  CG_CHECK_MSG(trace_index == traces_.size(), "traces must arrive in index order");
+  traces_.emplace_back(flavors_, window_start_, window_end_);
+  in_trace_ = true;
+  return OkStatus();
+}
+
+Status InMemoryTraceSink::Append(const Job& job) {
+  CG_CHECK_MSG(in_trace_, "Append outside BeginTrace/EndTrace");
+  traces_.back().Add(job);
+  return OkStatus();
+}
+
+Status InMemoryTraceSink::EndTrace() {
+  CG_CHECK_MSG(in_trace_, "EndTrace without BeginTrace");
+  in_trace_ = false;
+  return OkStatus();
+}
+
+Status InMemoryTraceSink::CommitPoint(bool /*force*/, bool* sealed) {
+  if (sealed != nullptr) {
+    *sealed = false;  // Nothing to make durable.
+  }
+  return OkStatus();
+}
+
+Status InMemoryTraceSink::Finish() { return OkStatus(); }
+
+std::string SegmentedFileSink::ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+std::string SegmentedFileSink::SegmentFileName(size_t index) {
+  return StrFormat("segment-%06zu.seg", index);
+}
+
+Status LoadSegmentManifest(const std::string& dir, SegmentManifest* manifest) {
+  *manifest = SegmentManifest();
+  const std::string path = SegmentedFileSink::ManifestPath(dir);
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("no segment manifest at " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kManifestHeader) {
+    return DataLossError("bad segment manifest header in " + path);
+  }
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (trimmed == kManifestCompleteMarker) {
+      manifest->complete = true;
+      continue;
+    }
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    int64_t bytes = 0;
+    if (fields.size() != 3 || !ParseInt64(fields[1], &bytes) || bytes < 0) {
+      return DataLossError("malformed segment manifest row in " + path + ": " + line);
+    }
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(fields[2].c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      return DataLossError("malformed segment CRC in " + path + ": " + line);
+    }
+    manifest->segments.push_back(SegmentManifest::Segment{
+        fields[0], static_cast<uint64_t>(bytes), static_cast<uint32_t>(crc)});
+  }
+  return OkStatus();
+}
+
+Status ConcatSegments(const std::string& dir, bool require_complete, std::string* out) {
+  out->clear();
+  SegmentManifest manifest;
+  CG_RETURN_IF_ERROR(LoadSegmentManifest(dir, &manifest));
+  if (require_complete && !manifest.complete) {
+    return FailedPreconditionError(
+        "segment directory " + dir +
+        " is not complete (interrupted run; resume it or pass allow-partial)");
+  }
+  for (size_t i = 0; i < manifest.segments.size(); ++i) {
+    const SegmentManifest::Segment& segment = manifest.segments[i];
+    std::string payload;
+    uint64_t extra = 0;
+    CG_RETURN_IF_ERROR(
+        ReadSealedFile(dir + "/" + segment.file, kSealTraceSegment, &extra, &payload)
+            .WithContext("reading segment " + segment.file));
+    if (extra != i || payload.size() != segment.bytes ||
+        Crc32(payload) != segment.crc32) {
+      return DataLossError("segment " + segment.file +
+                           " does not match its manifest entry");
+    }
+    out->append(payload);
+  }
+  return OkStatus();
+}
+
+SegmentedFileSink::SegmentedFileSink(Options options) : options_(std::move(options)) {
+  CG_CHECK(!options_.dir.empty());
+  CG_CHECK(options_.segment_bytes > 0);
+}
+
+Status SegmentedFileSink::Init() {
+  CG_CHECK_MSG(!initialized_, "Init() called twice");
+  CG_RETURN_IF_ERROR(MakeDirIfMissing(options_.dir));
+  if (options_.resume) {
+    const Status loaded = LoadSegmentManifest(options_.dir, &manifest_);
+    if (loaded.code() == StatusCode::kNotFound) {
+      manifest_ = SegmentManifest();  // Resuming a run that never sealed.
+    } else if (!loaded.ok()) {
+      return loaded;
+    }
+  } else {
+    // A fresh run over an existing directory starts from an empty manifest;
+    // stale segment files are simply never referenced again.
+    manifest_ = SegmentManifest();
+    CG_RETURN_IF_ERROR(WriteManifest());
+  }
+  initialized_ = true;
+  return OkStatus();
+}
+
+Status SegmentedFileSink::BeginTrace(size_t trace_index) {
+  CG_CHECK_MSG(initialized_, "SegmentedFileSink used before Init()");
+  current_trace_ = trace_index;
+  return OkStatus();
+}
+
+Status SegmentedFileSink::Append(const Job& job) {
+  AppendJobRow(current_trace_, job, &buffer_);
+  return OkStatus();
+}
+
+Status SegmentedFileSink::EndTrace() { return OkStatus(); }
+
+Status SegmentedFileSink::CommitPoint(bool force, bool* sealed) {
+  if (sealed != nullptr) {
+    *sealed = false;
+  }
+  const bool should_seal =
+      !buffer_.empty() && (force || buffer_.size() >= options_.segment_bytes);
+  if (!should_seal) {
+    return OkStatus();
+  }
+  CG_RETURN_IF_ERROR(SealSegment());
+  if (sealed != nullptr) {
+    *sealed = true;
+  }
+  return OkStatus();
+}
+
+Status SegmentedFileSink::ResumeAt(uint64_t segments_sealed) {
+  CG_CHECK_MSG(initialized_, "SegmentedFileSink used before Init()");
+  if (manifest_.segments.size() < segments_sealed) {
+    // The checkpoint is written only after the manifest, so the manifest can
+    // run ahead of the cursor but never behind it.
+    return DataLossError(StrFormat(
+        "generation checkpoint expects %llu sealed segment(s) but the manifest "
+        "lists %zu — the segment directory does not belong to this checkpoint",
+        static_cast<unsigned long long>(segments_sealed), manifest_.segments.size()));
+  }
+  if (manifest_.segments.size() > segments_sealed) {
+    // Crash landed between a seal/manifest update and the checkpoint write:
+    // drop the uncovered tail; the generator re-derives those rows (and
+    // overwrites the orphan files) bitwise-identically.
+    CG_LOGF_WARN("dropping %zu segment(s) past the generation checkpoint",
+                 manifest_.segments.size() - static_cast<size_t>(segments_sealed));
+    manifest_.segments.resize(segments_sealed);
+  }
+  manifest_.complete = false;
+  return WriteManifest();
+}
+
+Status SegmentedFileSink::Finish() {
+  CG_CHECK_MSG(initialized_, "SegmentedFileSink used before Init()");
+  if (!buffer_.empty()) {
+    CG_RETURN_IF_ERROR(SealSegment());
+  }
+  if (manifest_.complete) {
+    return OkStatus();
+  }
+  manifest_.complete = true;
+  return WriteManifest();
+}
+
+Status SegmentedFileSink::SealSegment() {
+  const std::string file = SegmentFileName(manifest_.segments.size());
+  CG_RETURN_IF_ERROR(WriteSealedFile(options_.dir + "/" + file, kSealTraceSegment,
+                                     manifest_.segments.size(), buffer_));
+  if (FaultInjector::Global().ShouldInject(FaultKind::kGenWriteKill)) {
+    // A real crash in the nastiest window: the segment file is durable but
+    // the manifest (and therefore the checkpoint) never learns about it.
+    // _Exit skips destructors/atexit on purpose — nothing may "clean up".
+    CG_LOG_ERROR("fault gen_write_kill: dying between segment seal and manifest update");
+    std::_Exit(kFaultKillExitCode);
+  }
+  manifest_.segments.push_back(SegmentManifest::Segment{
+      file, static_cast<uint64_t>(buffer_.size()), Crc32(buffer_)});
+  CG_RETURN_IF_ERROR(WriteManifest());
+  buffer_.clear();
+  SealedSegmentsCounter().Add(1);
+  return OkStatus();
+}
+
+Status SegmentedFileSink::WriteManifest() const {
+  return WriteFileAtomic(ManifestPath(options_.dir), [this](std::ostream& out) {
+    out << kManifestHeader << "\n";
+    for (const SegmentManifest::Segment& segment : manifest_.segments) {
+      out << segment.file << ',' << segment.bytes << ','
+          << StrFormat("%08x", segment.crc32) << "\n";
+    }
+    if (manifest_.complete) {
+      out << kManifestCompleteMarker << "\n";
+    }
+  });
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,157 @@
+// Streaming trace sinks: where generated jobs go as they are produced.
+//
+// `WorkloadModel::GenerateMany` historically materialized every trace in
+// memory and returned a vector — fine for prediction-interval sampling,
+// fatal for the paper's month-scale serving runs where a crash at hour 20
+// threw away everything. A TraceSink decouples generation from persistence:
+//
+//   InMemoryTraceSink    preserves the old behavior (collects Trace objects).
+//   SegmentedFileSink    streams rows into size-bounded *segments*, each
+//                        sealed atomically as a CRC'd sealed-file container
+//                        (src/util/sealed_file.h, tag kSealTraceSegment) and
+//                        recorded in an atomically-rewritten manifest. A
+//                        crash loses at most the unsealed tail; everything
+//                        in the manifest is durable (fsync'd file + dir).
+//
+// Segment payloads are concatenations of AppendJobRow lines, so the
+// *concatenation* of all segments is invariant to where segment boundaries
+// fall — a resumed run whose seals land elsewhere (e.g. after a graceful
+// stop) still byte-compares equal to an uninterrupted run. That invariant is
+// what the kill/resume soak tests assert.
+//
+// Thread safety: sinks are driven by a single flusher (the generation
+// orchestrator serializes flushes under its reorder lock); they are not
+// internally synchronized.
+#ifndef SRC_TRACE_TRACE_SINK_H_
+#define SRC_TRACE_TRACE_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+// Serializes one generated job as a text row:
+//   <trace>,<start_period>,<end_period>,<flavor>,<user>,<censored>\n
+// The row carries its trace index so segment payloads are self-describing
+// and byte-comparable across different segmentations.
+void AppendJobRow(size_t trace_index, const Job& job, std::string* out);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Traces arrive strictly in index order; jobs within a trace in
+  // generation order. Begin/End bracket each trace's Append calls.
+  virtual Status BeginTrace(size_t trace_index) = 0;
+  virtual Status Append(const Job& job) = 0;
+  virtual Status EndTrace() = 0;
+
+  // Durability boundary, called by the orchestrator after each completed
+  // trace (many-trace mode) or period (streaming mode). The sink may seal
+  // buffered rows into a durable segment once its size bound is reached;
+  // `force` seals any non-empty buffer regardless (graceful stop, Finish).
+  // Reports whether a segment was sealed via `sealed` (may be null). At
+  // most one segment is sealed per call.
+  virtual Status CommitPoint(bool force, bool* sealed) = 0;
+
+  // Resume support: aligns the sink's durable state with a generation
+  // checkpoint cursor that recorded `segments_sealed` segments, dropping
+  // any manifest entries past it (a crash between a checkpoint write and
+  // the next one can leave the manifest ahead of the cursor; the dropped
+  // rows are regenerated identically). Default: resume unsupported.
+  virtual Status ResumeAt(uint64_t segments_sealed);
+
+  // Seals the remaining buffer and marks the output complete. Idempotent.
+  virtual Status Finish() = 0;
+};
+
+// Collects whole Trace objects; the vector-returning GenerateMany delegates
+// through this sink, preserving its exact legacy behavior.
+class InMemoryTraceSink final : public TraceSink {
+ public:
+  InMemoryTraceSink(FlavorCatalog flavors, int64_t window_start, int64_t window_end);
+
+  Status BeginTrace(size_t trace_index) override;
+  Status Append(const Job& job) override;
+  Status EndTrace() override;
+  Status CommitPoint(bool force, bool* sealed) override;
+  Status Finish() override;
+
+  // Completed traces, in index order.
+  std::vector<Trace>& Traces() { return traces_; }
+
+ private:
+  FlavorCatalog flavors_;
+  int64_t window_start_ = 0;
+  int64_t window_end_ = 0;
+  std::vector<Trace> traces_;
+  bool in_trace_ = false;
+};
+
+// The manifest is the segment directory's source of truth: only segments it
+// lists exist as far as readers are concerned (orphan files from a crash in
+// the seal→manifest window are overwritten on resume).
+struct SegmentManifest {
+  struct Segment {
+    std::string file;     // Relative to the sink directory.
+    uint64_t bytes = 0;   // Payload size.
+    uint32_t crc32 = 0;   // Payload CRC (same value the sealed header carries).
+  };
+  std::vector<Segment> segments;
+  bool complete = false;  // Finish() ran: the run produced all its traces.
+};
+
+Status LoadSegmentManifest(const std::string& dir, SegmentManifest* manifest);
+
+// CRC-verified concatenation of every manifest-listed segment payload, in
+// order. With `require_complete`, fails on a directory whose run never
+// finished. This is the byte string the kill/resume harness compares.
+Status ConcatSegments(const std::string& dir, bool require_complete, std::string* out);
+
+class SegmentedFileSink final : public TraceSink {
+ public:
+  struct Options {
+    std::string dir;                            // Created if missing.
+    uint64_t segment_bytes = 4 * 1024 * 1024;   // Seal threshold (soft bound).
+    bool resume = false;                        // Keep the existing manifest.
+  };
+
+  explicit SegmentedFileSink(Options options);
+
+  // Fresh run: creates the directory and resets the manifest to empty.
+  // Resume: loads the existing manifest (missing manifest = empty). Call
+  // once before streaming.
+  Status Init();
+
+  Status BeginTrace(size_t trace_index) override;
+  Status Append(const Job& job) override;
+  Status EndTrace() override;
+  Status CommitPoint(bool force, bool* sealed) override;
+  Status ResumeAt(uint64_t segments_sealed) override;
+  Status Finish() override;
+
+  size_t NumSegments() const { return manifest_.segments.size(); }
+  uint64_t BufferedBytes() const { return buffer_.size(); }
+  const std::string& Dir() const { return options_.dir; }
+
+  static std::string ManifestPath(const std::string& dir);
+  static std::string SegmentFileName(size_t index);
+
+ private:
+  Status SealSegment();
+  Status WriteManifest() const;
+
+  Options options_;
+  std::string buffer_;
+  size_t current_trace_ = 0;
+  SegmentManifest manifest_;
+  bool initialized_ = false;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_TRACE_TRACE_SINK_H_

@@ -49,7 +49,15 @@ Status WriteFileAtomic(const std::string& path,
 // Renames an already-written temp file over `path` (for writers like
 // CsvWriter that manage their own stream). Applies the same io_write fault
 // check and failure cleanup as AtomicFileWriter::Commit.
+//
+// Durability: unless CLOUDGEN_FSYNC=0, the temp file is fsync'd before the
+// rename and the parent directory is fsync'd after it, so a committed file
+// survives power loss as well as process death (counters io.fsync.file /
+// io.fsync.dir / io.fsync.failures track the syscalls).
 Status CommitTempFile(const std::string& tmp_path, const std::string& path);
+
+// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
 
 }  // namespace cloudgen
 

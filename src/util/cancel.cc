@@ -1,0 +1,89 @@
+#include "src/util/cancel.h"
+
+#include <chrono>
+#include <csignal>
+
+namespace cloudgen {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Set by InstallCancelSignalHandlers before any handler can fire; the
+// handler itself must not run the function-local-static initialization of
+// GlobalCancelToken.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+extern "C" void CancelOnSignal(int /*signum*/) {
+  CancelToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (token != nullptr) {
+    token->RequestCancel(CancelReason::kSignal);
+  }
+}
+
+}  // namespace
+
+const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kRequested:
+      return "requested";
+    case CancelReason::kSignal:
+      return "signal";
+    case CancelReason::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+void CancelToken::RequestCancel(CancelReason reason) {
+  int expected = static_cast<int>(CancelReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_relaxed);
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+void CancelToken::SetDeadline(double seconds_from_now) {
+  const auto delta_ns = static_cast<int64_t>(seconds_from_now * 1e9);
+  deadline_ns_.store(SteadyNowNs() + delta_ns, std::memory_order_relaxed);
+}
+
+bool CancelToken::Poll() const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && SteadyNowNs() >= deadline) {
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(CancelReason::kDeadline),
+                                    std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::Reset() {
+  cancelled_.store(false, std::memory_order_relaxed);
+  reason_.store(static_cast<int>(CancelReason::kNone), std::memory_order_relaxed);
+  deadline_ns_.store(0, std::memory_order_relaxed);
+}
+
+CancelToken& GlobalCancelToken() {
+  static CancelToken token;
+  return token;
+}
+
+void InstallCancelSignalHandlers() {
+  // Publish the token before arming the handlers so a signal arriving
+  // immediately after std::signal still finds it.
+  g_signal_token.store(&GlobalCancelToken(), std::memory_order_relaxed);
+  std::signal(SIGINT, CancelOnSignal);
+  std::signal(SIGTERM, CancelOnSignal);
+}
+
+}  // namespace cloudgen

@@ -18,6 +18,10 @@ bool ParseFaultKind(std::string_view name, FaultKind* kind) {
     *kind = FaultKind::kReadTruncate;
   } else if (name == "nan_grad") {
     *kind = FaultKind::kNanGrad;
+  } else if (name == "gen_nan_logit") {
+    *kind = FaultKind::kGenNanLogit;
+  } else if (name == "gen_write_kill") {
+    *kind = FaultKind::kGenWriteKill;
   } else {
     return false;
   }
@@ -34,6 +38,10 @@ const char* FaultKindName(FaultKind kind) {
       return "read_truncate";
     case FaultKind::kNanGrad:
       return "nan_grad";
+    case FaultKind::kGenNanLogit:
+      return "gen_nan_logit";
+    case FaultKind::kGenWriteKill:
+      return "gen_write_kill";
   }
   return "unknown";
 }
@@ -58,7 +66,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
-  double probability[kNumFaultKinds] = {0.0, 0.0, 0.0};
+  double probability[kNumFaultKinds] = {};
   if (!Trim(spec).empty()) {
     for (const std::string& entry : Split(spec, ',')) {
       const std::string_view trimmed = Trim(entry);
@@ -71,7 +79,8 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
       FaultKind kind;
       if (!ParseFaultKind(trimmed.substr(0, colon), &kind)) {
         return InvalidArgumentError(StrFormat(
-            "unknown fault kind in '%.*s' (expected io_write, read_truncate or nan_grad)",
+            "unknown fault kind in '%.*s' (expected io_write, read_truncate, nan_grad, "
+            "gen_nan_logit or gen_write_kill)",
             static_cast<int>(trimmed.size()), trimmed.data()));
       }
       double p = 0.0;

@@ -9,6 +9,17 @@
 //                 removed; any previous file at the destination survives).
 //   read_truncate A checkpoint/model payload read behaves as if truncated.
 //   nan_grad      A NaN is planted in the gradients before an optimizer step.
+//   gen_nan_logit A NaN is planted in a generation step's logits right after
+//                 the packed fast-path network step, exercising the numeric
+//                 guards (src/core/gen_guard.h). The guard's fallback path
+//                 recomputes through the reference route, which is *not*
+//                 poisoned, so --guard=fallback completes bitwise-identically
+//                 to a fault-free run.
+//   gen_write_kill The process _Exits with kFaultKillExitCode in the window
+//                 between sealing a trace segment and updating the segment
+//                 manifest — the worst-ordered real crash the resume path
+//                 must absorb (the orphan segment is regenerated
+//                 identically on --resume-gen).
 //
 // Injection sites query ShouldInject(kind); draws come from a private
 // deterministic stream, so a given spec + seed yields the same fault
@@ -31,8 +42,14 @@ enum class FaultKind : int {
   kIoWrite = 0,
   kReadTruncate = 1,
   kNanGrad = 2,
+  kGenNanLogit = 3,
+  kGenWriteKill = 4,
 };
-inline constexpr int kNumFaultKinds = 3;
+inline constexpr int kNumFaultKinds = 5;
+
+// Exit code used by the gen_write_kill fault (and asserted by the kill/resume
+// harness). Outside the CLI's real exit-code namespace (0-6).
+inline constexpr int kFaultKillExitCode = 42;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -62,8 +79,8 @@ class FaultInjector {
  private:
   FaultInjector();
 
-  double probability_[kNumFaultKinds] = {0.0, 0.0, 0.0};
-  size_t injected_[kNumFaultKinds] = {0, 0, 0};
+  double probability_[kNumFaultKinds] = {};
+  size_t injected_[kNumFaultKinds] = {};
   Rng rng_;
 };
 

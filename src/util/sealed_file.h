@@ -28,6 +28,11 @@ inline constexpr uint32_t kSealFlavorCheckpoint = 1;
 inline constexpr uint32_t kSealLifetimeCheckpoint = 2;
 inline constexpr uint32_t kSealFlavorModel = 100;
 inline constexpr uint32_t kSealLifetimeModel = 101;
+// Generation pipeline artifacts (src/trace/trace_sink.h,
+// src/core/gen_checkpoint.h). A segment's `extra` word is its index in the
+// manifest; a generation checkpoint's is its next-trace cursor.
+inline constexpr uint32_t kSealTraceSegment = 102;
+inline constexpr uint32_t kSealGenCheckpoint = 103;
 
 Status WriteSealedFile(const std::string& path, uint32_t tag, uint64_t extra,
                        std::string_view payload);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/util/cancel.h"
 
 namespace cloudgen {
 namespace {
@@ -188,6 +189,21 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     });
   }
   RunAll(tasks);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn,
+                             const CancelToken* cancel) {
+  if (cancel == nullptr) {
+    ParallelFor(begin, end, fn);
+    return;
+  }
+  ParallelFor(begin, end, [&fn, cancel](size_t i) {
+    if (cancel->Cancelled()) {
+      return;
+    }
+    fn(i);
+  });
 }
 
 namespace {

@@ -25,6 +25,8 @@
 
 namespace cloudgen {
 
+class CancelToken;
+
 class ThreadPool {
  public:
   // `num_threads` worker threads; 0 and 1 both mean "no workers, run
@@ -44,6 +46,15 @@ class ThreadPool {
   // The first exception thrown by any fn(i) is rethrown on the caller after
   // all work has drained. Called from inside a pool task, runs inline.
   void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn);
+
+  // Cancellation-aware variant: once `cancel` is set, remaining indices are
+  // skipped (each shard re-checks the token before every fn(i); the check is
+  // one relaxed load). Indices already started still run to completion —
+  // cancellation is cooperative, never mid-unit — so the caller knows that
+  // every index either ran fully or not at all. `cancel == nullptr` behaves
+  // exactly like the plain overload.
+  void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel);
 
   // Runs every task in `tasks` and returns when all have finished; same
   // exception and nesting semantics as ParallelFor.

@@ -1,0 +1,110 @@
+// CancelToken semantics: request/reason/reset, deadline polling, and the
+// cancellation-aware ParallelFor overload that generation shards use to
+// wind down without abandoning in-flight indices halfway.
+#include "src/util/cancel.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/thread_pool.h"
+
+namespace cloudgen {
+namespace {
+
+TEST(CancelTokenTest, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_FALSE(token.Poll());
+  EXPECT_EQ(token.Reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, RequestCancelIsStickyAndKeepsFirstReason) {
+  CancelToken token;
+  token.RequestCancel(CancelReason::kSignal);
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(token.Poll());
+  EXPECT_EQ(token.Reason(), CancelReason::kSignal);
+  // A later request does not overwrite the original reason.
+  token.RequestCancel(CancelReason::kRequested);
+  EXPECT_EQ(token.Reason(), CancelReason::kSignal);
+}
+
+TEST(CancelTokenTest, ResetClearsFlagAndReason) {
+  CancelToken token;
+  token.RequestCancel(CancelReason::kRequested);
+  token.Reset();
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_EQ(token.Reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, DeadlineFiresViaPoll) {
+  CancelToken token;
+  token.SetDeadline(0.02);
+  // Cancelled() alone never arms the deadline — only Poll() checks the clock.
+  EXPECT_FALSE(token.Cancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_TRUE(token.Poll());
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_EQ(token.Reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotFire) {
+  CancelToken token;
+  token.SetDeadline(3600.0);
+  EXPECT_FALSE(token.Poll());
+  EXPECT_FALSE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, ReasonNamesAreStable) {
+  EXPECT_STREQ(CancelReasonName(CancelReason::kNone), "none");
+  EXPECT_STREQ(CancelReasonName(CancelReason::kRequested), "requested");
+  EXPECT_STREQ(CancelReasonName(CancelReason::kSignal), "signal");
+  EXPECT_STREQ(CancelReasonName(CancelReason::kDeadline), "deadline");
+}
+
+TEST(CancelTokenTest, ParallelForSkipsRemainingIndicesOnceCancelled) {
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    CancelToken token;
+    std::atomic<size_t> ran{0};
+    pool.ParallelFor(
+        0, 1000,
+        [&](size_t i) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (i == 10) {
+            token.RequestCancel();
+          }
+        },
+        &token);
+    // ParallelFor returns only after in-flight indices finish; once the flag
+    // is visible, untouched indices are skipped entirely.
+    EXPECT_GE(ran.load(), 11u);
+    EXPECT_LT(ran.load(), 1000u);
+  }
+}
+
+TEST(CancelTokenTest, ParallelForNullTokenRunsEverything) {
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(
+      0, 64, [&](size_t) { ran.fetch_add(1, std::memory_order_relaxed); }, nullptr);
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(CancelTokenTest, ParallelForPreCancelledRunsNothing) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.RequestCancel();
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(
+      0, 64, [&](size_t) { ran.fetch_add(1, std::memory_order_relaxed); }, &token);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudgen

@@ -1,8 +1,10 @@
 // Fault-injection harness tests: spec parsing, deterministic schedules, and
-// the three injection sites (io_write commits, read_truncate payload reads,
-// nan_grad optimizer steps) together with the recovery behaviour each one
-// must trigger.
+// the injection sites (io_write commits, read_truncate payload reads,
+// nan_grad optimizer steps, gen_nan_logit generation steps, gen_write_kill
+// segment seals) together with the recovery behaviour each one must trigger.
 #include "src/util/fault.h"
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -13,6 +15,7 @@
 
 #include "src/core/flavor_model.h"
 #include "src/synth/synthetic_cloud.h"
+#include "src/trace/trace_sink.h"
 #include "src/util/atomic_file.h"
 #include "src/util/sealed_file.h"
 #include "src/util/status.h"
@@ -136,6 +139,49 @@ FlavorModelConfig TinyConfig() {
   config.batch_size = 8;
   config.epochs = 3;
   return config;
+}
+
+TEST_F(FaultTest, ConfigureParsesGenerationFaultKinds) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("gen_nan_logit:0.5,gen_write_kill:1.0").ok());
+  EXPECT_TRUE(injector.Armed(FaultKind::kGenNanLogit));
+  EXPECT_TRUE(injector.Armed(FaultKind::kGenWriteKill));
+  EXPECT_FALSE(injector.Armed(FaultKind::kIoWrite));
+  EXPECT_STREQ(FaultKindName(FaultKind::kGenNanLogit), "gen_nan_logit");
+  EXPECT_STREQ(FaultKindName(FaultKind::kGenWriteKill), "gen_write_kill");
+}
+
+TEST_F(FaultTest, GenWriteKillExitsInTheSealToManifestWindow) {
+  // Sink-level death test: the kill fires after the sealed segment file is
+  // written but before the manifest records it, so the surviving directory
+  // has an orphan segment and an empty manifest — exactly what the resume
+  // path (gen_resume_test) must absorb.
+  const std::string dir =
+      TempPath("fault_write_kill." + std::to_string(::getpid()));
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  EXPECT_EXIT(
+      {
+        ASSERT_TRUE(
+            FaultInjector::Global().Configure("gen_write_kill:1.0").ok());
+        SegmentedFileSink sink(options);
+        ASSERT_TRUE(sink.Init().ok());
+        ASSERT_TRUE(sink.BeginTrace(0).ok());
+        Job job;
+        job.start_period = 0;
+        job.end_period = 1;
+        ASSERT_TRUE(sink.Append(job).ok());
+        ASSERT_TRUE(sink.EndTrace().ok());
+        (void)sink.CommitPoint(/*force=*/true, nullptr);
+      },
+      ::testing::ExitedWithCode(kFaultKillExitCode), "");
+  // Parent view of the crash site: the segment file exists, the manifest
+  // does not list it.
+  EXPECT_TRUE(FileExists(dir + "/" + SegmentedFileSink::SegmentFileName(0)));
+  SegmentManifest manifest;
+  ASSERT_TRUE(LoadSegmentManifest(dir, &manifest).ok());
+  EXPECT_TRUE(manifest.segments.empty());
+  EXPECT_FALSE(manifest.complete);
 }
 
 TEST_F(FaultTest, NanGradFaultIsRecoveredByWatchdog) {

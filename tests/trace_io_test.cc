@@ -2,6 +2,8 @@
 // non-numeric cells, CRLF line endings, trailing junk, semantic violations
 // (end < start, unknown flavors, out-of-window starts), and lenient-mode
 // skip-and-count behaviour.
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -20,8 +22,11 @@ constexpr char kFlavorsHeader[] = "id,name,cpus,memory_gb\n";
 class TraceIoTest : public testing::Test {
  protected:
   void SetUp() override {
-    jobs_path_ = testing::TempDir() + "/trace_io_jobs.csv";
-    flavors_path_ = testing::TempDir() + "/trace_io_flavors.csv";
+    // Pid-unique paths: ctest runs each case as its own process, and a
+    // shared fixed name races against a concurrent case's TearDown.
+    const std::string pid = std::to_string(::getpid());
+    jobs_path_ = testing::TempDir() + "/" + pid + ".trace_io_jobs.csv";
+    flavors_path_ = testing::TempDir() + "/" + pid + ".trace_io_flavors.csv";
     WriteFlavors(std::string(kFlavorsHeader) +
                  "0,small,2.000,8.000\n"
                  "1,large,8.000,32.000\n");

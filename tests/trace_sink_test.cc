@@ -1,0 +1,304 @@
+// Trace-sink unit tests: the row format, the in-memory sink's legacy
+// behavior, segment sealing/manifest bookkeeping, CRC verification on
+// reassembly, resume trimming, and the fsync durability counters on the
+// atomic-rename path.
+#include "src/trace/trace_sink.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/util/atomic_file.h"
+#include "src/util/crc32.h"
+#include "src/util/sealed_file.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace {
+
+Job MakeJob(int64_t start, int64_t end, int32_t flavor, int64_t user) {
+  Job job;
+  job.start_period = start;
+  job.end_period = end;
+  job.flavor = flavor;
+  job.user = user;
+  job.censored = false;
+  return job;
+}
+
+FlavorCatalog TwoFlavors() {
+  FlavorCatalog flavors(2);
+  flavors[0].id = 0;
+  flavors[0].cpus = 2.0;
+  flavors[0].memory_gb = 8.0;
+  flavors[0].name = "small";
+  flavors[1].id = 1;
+  flavors[1].cpus = 8.0;
+  flavors[1].memory_gb = 32.0;
+  flavors[1].name = "large";
+  return flavors;
+}
+
+// Pid-unique directory: ctest runs cases as parallel processes.
+std::string TestDir(const std::string& name) {
+  const std::string dir =
+      testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
+  return dir;
+}
+
+TEST(AppendJobRowTest, GoldenFormat) {
+  std::string out;
+  AppendJobRow(7, MakeJob(288, 301, 3, 42), &out);
+  EXPECT_EQ(out, "7,288,301,3,42,0\n");
+  Job censored = MakeJob(0, 5, 0, 1);
+  censored.censored = true;
+  AppendJobRow(8, censored, &out);
+  EXPECT_EQ(out, "7,288,301,3,42,0\n8,0,5,0,1,1\n");
+}
+
+TEST(InMemoryTraceSinkTest, CollectsTracesInOrder) {
+  InMemoryTraceSink sink(TwoFlavors(), 0, 100);
+  ASSERT_TRUE(sink.BeginTrace(0).ok());
+  ASSERT_TRUE(sink.Append(MakeJob(1, 2, 0, 0)).ok());
+  ASSERT_TRUE(sink.Append(MakeJob(3, 9, 1, 1)).ok());
+  ASSERT_TRUE(sink.EndTrace().ok());
+  bool sealed = true;
+  ASSERT_TRUE(sink.CommitPoint(true, &sealed).ok());
+  EXPECT_FALSE(sealed);  // Nothing to make durable in memory.
+  ASSERT_TRUE(sink.BeginTrace(1).ok());
+  ASSERT_TRUE(sink.EndTrace().ok());
+  ASSERT_TRUE(sink.Finish().ok());
+  ASSERT_EQ(sink.Traces().size(), 2u);
+  EXPECT_EQ(sink.Traces()[0].NumJobs(), 2u);
+  EXPECT_EQ(sink.Traces()[0].WindowStart(), 0);
+  EXPECT_EQ(sink.Traces()[0].WindowEnd(), 100);
+  EXPECT_EQ(sink.Traces()[1].NumJobs(), 0u);
+}
+
+TEST(InMemoryTraceSinkTest, ResumeUnsupported) {
+  InMemoryTraceSink sink(TwoFlavors(), 0, 100);
+  EXPECT_EQ(sink.ResumeAt(0).code(), StatusCode::kFailedPrecondition);
+}
+
+class SegmentedFileSinkTest : public testing::Test {
+ protected:
+  // Streams `jobs` single-job traces through a sink with a tiny segment
+  // bound, one CommitPoint per trace, then Finish.
+  static Status Stream(SegmentedFileSink* sink, size_t jobs, size_t start = 0) {
+    for (size_t i = start; i < jobs; ++i) {
+      CG_RETURN_IF_ERROR(sink->BeginTrace(i));
+      CG_RETURN_IF_ERROR(sink->Append(MakeJob(static_cast<int64_t>(i),
+                                              static_cast<int64_t>(i) + 10,
+                                              static_cast<int32_t>(i % 2),
+                                              static_cast<int64_t>(i))));
+      CG_RETURN_IF_ERROR(sink->EndTrace());
+      CG_RETURN_IF_ERROR(sink->CommitPoint(false, nullptr));
+    }
+    return sink->Finish();
+  }
+};
+
+TEST_F(SegmentedFileSinkTest, SealsAtSizeBoundAndConcatenatesBackExactly) {
+  const std::string dir = TestDir("seal_bound");
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  options.segment_bytes = 32;  // A couple of rows per segment.
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+
+  std::string expected;
+  for (size_t i = 0; i < 10; ++i) {
+    AppendJobRow(i, MakeJob(static_cast<int64_t>(i), static_cast<int64_t>(i) + 10,
+                            static_cast<int32_t>(i % 2), static_cast<int64_t>(i)),
+                 &expected);
+  }
+  ASSERT_TRUE(Stream(&sink, 10).ok());
+  EXPECT_GT(sink.NumSegments(), 1u);
+  EXPECT_EQ(sink.BufferedBytes(), 0u);
+
+  std::string concatenated;
+  ASSERT_TRUE(ConcatSegments(dir, /*require_complete=*/true, &concatenated).ok());
+  EXPECT_EQ(concatenated, expected);
+
+  SegmentManifest manifest;
+  ASSERT_TRUE(LoadSegmentManifest(dir, &manifest).ok());
+  EXPECT_TRUE(manifest.complete);
+  EXPECT_EQ(manifest.segments.size(), sink.NumSegments());
+}
+
+TEST_F(SegmentedFileSinkTest, ForceSealsPartialBuffer) {
+  const std::string dir = TestDir("force_seal");
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  options.segment_bytes = 1 << 20;  // Never reached.
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+  ASSERT_TRUE(sink.BeginTrace(0).ok());
+  ASSERT_TRUE(sink.Append(MakeJob(0, 1, 0, 0)).ok());
+  ASSERT_TRUE(sink.EndTrace().ok());
+  bool sealed = true;
+  ASSERT_TRUE(sink.CommitPoint(false, &sealed).ok());
+  EXPECT_FALSE(sealed);  // Below the bound.
+  ASSERT_TRUE(sink.CommitPoint(true, &sealed).ok());
+  EXPECT_TRUE(sealed);
+  EXPECT_EQ(sink.NumSegments(), 1u);
+  // Empty buffer: force is a no-op, not an empty segment.
+  ASSERT_TRUE(sink.CommitPoint(true, &sealed).ok());
+  EXPECT_FALSE(sealed);
+  EXPECT_EQ(sink.NumSegments(), 1u);
+}
+
+TEST_F(SegmentedFileSinkTest, IncompleteDirectoryRejectedUnlessPartialAllowed) {
+  const std::string dir = TestDir("incomplete");
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+  ASSERT_TRUE(sink.BeginTrace(0).ok());
+  ASSERT_TRUE(sink.Append(MakeJob(0, 1, 0, 0)).ok());
+  ASSERT_TRUE(sink.EndTrace().ok());
+  ASSERT_TRUE(sink.CommitPoint(true, nullptr).ok());
+  // No Finish: the manifest lists one segment but no complete marker.
+  std::string concatenated;
+  EXPECT_EQ(ConcatSegments(dir, true, &concatenated).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(ConcatSegments(dir, false, &concatenated).ok());
+  EXPECT_EQ(concatenated, "0,0,1,0,0,0\n");
+}
+
+TEST_F(SegmentedFileSinkTest, CorruptedSegmentIsDataLoss) {
+  const std::string dir = TestDir("corrupt");
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+  ASSERT_TRUE(Stream(&sink, 3).ok());
+  // Flip a byte in the middle of the first segment payload.
+  const std::string segment_path = dir + "/" + SegmentedFileSink::SegmentFileName(0);
+  std::fstream file(segment_path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(static_cast<bool>(file));
+  file.seekp(40);
+  file.put('X');
+  file.close();
+  std::string concatenated;
+  EXPECT_EQ(ConcatSegments(dir, true, &concatenated).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SegmentedFileSinkTest, FreshInitResetsAnExistingManifest) {
+  const std::string dir = TestDir("fresh_reset");
+  {
+    SegmentedFileSink::Options options;
+    options.dir = dir;
+    SegmentedFileSink sink(options);
+    ASSERT_TRUE(sink.Init().ok());
+    ASSERT_TRUE(Stream(&sink, 3).ok());
+  }
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  options.resume = false;
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+  EXPECT_EQ(sink.NumSegments(), 0u);
+  SegmentManifest manifest;
+  ASSERT_TRUE(LoadSegmentManifest(dir, &manifest).ok());
+  EXPECT_TRUE(manifest.segments.empty());
+  EXPECT_FALSE(manifest.complete);
+}
+
+TEST_F(SegmentedFileSinkTest, ResumeAtTrimsManifestTailAndRejectsShortfall) {
+  const std::string dir = TestDir("resume_trim");
+  {
+    SegmentedFileSink::Options options;
+    options.dir = dir;
+    options.segment_bytes = 1;  // Seal every trace.
+    SegmentedFileSink sink(options);
+    ASSERT_TRUE(sink.Init().ok());
+    ASSERT_TRUE(Stream(&sink, 4).ok());
+    ASSERT_EQ(sink.NumSegments(), 4u);
+  }
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  options.resume = true;
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+  ASSERT_EQ(sink.NumSegments(), 4u);
+  // A cursor covering 5 segments cannot match a 4-segment manifest.
+  EXPECT_EQ(sink.ResumeAt(5).code(), StatusCode::kDataLoss);
+  // A cursor covering 2 trims the orphan tail (crash landed between the
+  // manifest update and the checkpoint write) and clears `complete`.
+  ASSERT_TRUE(sink.ResumeAt(2).ok());
+  EXPECT_EQ(sink.NumSegments(), 2u);
+  SegmentManifest manifest;
+  ASSERT_TRUE(LoadSegmentManifest(dir, &manifest).ok());
+  EXPECT_EQ(manifest.segments.size(), 2u);
+  EXPECT_FALSE(manifest.complete);
+}
+
+TEST_F(SegmentedFileSinkTest, ResumedRunRegeneratesTrimmedRowsIdentically) {
+  const std::string dir = TestDir("resume_bytes");
+  std::string expected;
+  for (size_t i = 0; i < 6; ++i) {
+    AppendJobRow(i, MakeJob(static_cast<int64_t>(i), static_cast<int64_t>(i) + 10,
+                            static_cast<int32_t>(i % 2), static_cast<int64_t>(i)),
+                 &expected);
+  }
+  {
+    SegmentedFileSink::Options options;
+    options.dir = dir;
+    options.segment_bytes = 1;
+    SegmentedFileSink sink(options);
+    ASSERT_TRUE(sink.Init().ok());
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(sink.BeginTrace(i).ok());
+      ASSERT_TRUE(sink.Append(MakeJob(static_cast<int64_t>(i),
+                                      static_cast<int64_t>(i) + 10,
+                                      static_cast<int32_t>(i % 2),
+                                      static_cast<int64_t>(i)))
+                      .ok());
+      ASSERT_TRUE(sink.EndTrace().ok());
+      ASSERT_TRUE(sink.CommitPoint(false, nullptr).ok());
+    }
+    // Crash here: no Finish, checkpoint covered only 3 of the 4 segments.
+  }
+  SegmentedFileSink::Options options;
+  options.dir = dir;
+  options.segment_bytes = 1;
+  options.resume = true;
+  SegmentedFileSink sink(options);
+  ASSERT_TRUE(sink.Init().ok());
+  ASSERT_TRUE(sink.ResumeAt(3).ok());
+  ASSERT_TRUE(Stream(&sink, 6, /*start=*/3).ok());
+  std::string concatenated;
+  ASSERT_TRUE(ConcatSegments(dir, true, &concatenated).ok());
+  EXPECT_EQ(concatenated, expected);
+}
+
+TEST(AtomicFileDurabilityTest, CommitSyncsFileAndParentDirectory) {
+  const char* fsync_env = ::getenv("CLOUDGEN_FSYNC");
+  if (fsync_env != nullptr && std::string(fsync_env) == "0") {
+    GTEST_SKIP() << "fsync disabled via CLOUDGEN_FSYNC=0";
+  }
+  obs::Registry& registry = obs::Registry::Global();
+  const double file_before = registry.GetCounter("io.fsync.file").Value();
+  const double dir_before = registry.GetCounter("io.fsync.dir").Value();
+  const std::string path =
+      testing::TempDir() + "/" + std::to_string(::getpid()) + ".fsync_probe";
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) { out << "payload"; }).ok());
+  // The rename-based commit must fsync the temp file before the rename and
+  // the parent directory after it — otherwise a power cut can lose the whole
+  // file even though rename() returned.
+  EXPECT_EQ(registry.GetCounter("io.fsync.file").Value(), file_before + 1.0);
+  EXPECT_EQ(registry.GetCounter("io.fsync.dir").Value(), dir_before + 1.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cloudgen
