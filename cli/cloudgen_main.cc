@@ -13,11 +13,19 @@
 //                  --model model --epochs 12
 //   cloudgen generate --jobs jobs.csv --flavors flavors.csv --train-days 16 \
 //                  --model model --from-day 18 --days 2 --out gen.csv
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <thread>
 
 #include "cli/flags.h"
 #include "src/core/gen_guard.h"
@@ -25,6 +33,10 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
 #include "src/sched/reuse_distance.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/util/crc32.h"
+#include "src/util/strings.h"
 #include "src/synth/synthetic_cloud.h"
 #include "src/trace/stats.h"
 #include "src/trace/trace_io.h"
@@ -42,12 +54,16 @@ namespace {
 
 // Exit codes: 0 success, 1 other failure, 2 usage, 3 input/parse error,
 // 4 training failure, 5 generation interrupted at a safe boundary (rerun
-// with --resume-gen to continue), 6 numeric-guard abort.
+// with --resume-gen to continue), 6 numeric-guard abort, 7 corrupt data
+// (truncated/empty manifest, CRC mismatch), 8 server rejected the request
+// (admission control / tenant quota).
 constexpr int kExitUsage = 2;
 constexpr int kExitInput = 3;
 constexpr int kExitTrain = 4;
 constexpr int kExitInterrupted = 5;
 constexpr int kExitGuard = 6;
+constexpr int kExitCorrupt = 7;
+constexpr int kExitRejected = 8;
 
 int Usage() {
   std::fprintf(
@@ -67,6 +83,14 @@ int Usage() {
       "            [--resume-gen] [--deadline-sec S]\n"
       "            [--guard off|abort|resample|fallback]\n"
       "  segcat    --dir DIR [--out FILE] [--allow-partial]\n"
+      "  serve     --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
+      "            --model PREFIX --from-day D --days K [--port P] [--bind A]\n"
+      "            [--state-dir DIR] [--max-streams N] [--max-streams-per-tenant N]\n"
+      "            [--max-buffer-mb N] [--idle-timeout-sec S] [--io-timeout-sec S]\n"
+      "  fetch     --port P [--host H] --tenant T --stream S --seed N --traces N\n"
+      "            --out FILE [--resume] [--retry-attempts N] [--retry-base-ms MS]\n"
+      "            [--credit-bytes N] [--io-timeout-sec S]\n"
+      "  fetch     --port P [--host H] --health | --metrics-json\n"
       "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --eval-from-day D [--eval-days K]\n"
       "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv [--lenient]\n"
@@ -94,7 +118,9 @@ int Usage() {
       "                abort; see docs/ROBUSTNESS.md)\n"
       "\n"
       "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure,\n"
-      "            5 generation interrupted (resumable), 6 numeric-guard abort\n");
+      "            5 generation interrupted (resumable), 6 numeric-guard abort,\n"
+      "            7 corrupt data (empty/truncated manifest, CRC mismatch),\n"
+      "            8 server rejected the request (quota/overload)\n");
   return kExitUsage;
 }
 
@@ -366,7 +392,10 @@ int RunSegcat(const Flags& flags) {
   std::string payload;
   const Status status = ConcatSegments(dir, !flags.Has("allow-partial"), &payload);
   if (!status.ok()) {
-    return Fail(kExitInput, status);
+    // DATA_LOSS (empty/truncated manifest, CRC mismatch) gets its own exit
+    // code so harnesses can tell "corrupt output" from "bad invocation".
+    return Fail(status.code() == StatusCode::kDataLoss ? kExitCorrupt : kExitInput,
+                status);
   }
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
@@ -381,6 +410,192 @@ int RunSegcat(const Flags& flags) {
     return Fail(1, written);
   }
   std::printf("wrote %zu byte(s) to %s\n", payload.size(), out.c_str());
+  return 0;
+}
+
+// The serve daemon: loads a trained model and streams deterministically
+// regenerated trace rows to TCP clients (see src/serve/server.h) until
+// SIGINT/SIGTERM, then drains gracefully — stops admitting, checkpoints
+// every active stream into --state-dir, and exits 0. A restarted daemon
+// with the same flags resumes every stream byte-identically.
+int RunServe(const Flags& flags) {
+  Trace trace;
+  Trace train;
+  int rc = LoadTrace(flags, &trace);
+  if (rc == 0) {
+    rc = TrainWindow(flags, trace, &train);
+  }
+  if (rc != 0) {
+    return rc;
+  }
+  const std::string prefix = flags.GetString("model", "model");
+  WorkloadModel model;
+  const Status loaded = model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load %s.*.bin (run `cloudgen train` first)\n",
+                 prefix.c_str());
+    return Fail(kExitInput, loaded);
+  }
+
+  serve::ServerOptions options;
+  options.bind_addr = flags.GetString("bind", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetLong("port", 0));
+  options.state_dir = flags.GetString("state-dir", "");
+  options.io_timeout_ms =
+      static_cast<int>(flags.GetDouble("io-timeout-sec", 10.0) * 1000.0);
+  options.idle_timeout_ms =
+      static_cast<int>(flags.GetDouble("idle-timeout-sec", 30.0) * 1000.0);
+  options.limits.max_streams =
+      static_cast<size_t>(flags.GetLong("max-streams", 64));
+  options.limits.max_streams_per_tenant =
+      static_cast<size_t>(flags.GetLong("max-streams-per-tenant", 8));
+  options.limits.max_total_buffer_bytes =
+      static_cast<size_t>(flags.GetLong("max-buffer-mb", 256)) << 20;
+  options.gen.from_period = flags.GetLong("from-day", 0) * kPeriodsPerDay;
+  options.gen.to_period =
+      options.gen.from_period + flags.GetLong("days", 1) * kPeriodsPerDay;
+  options.gen.arrival_scale = flags.GetDouble("arrival-scale", 1.0);
+  options.gen.eob_scale = flags.GetDouble("eob-scale", 1.0);
+  if (!ParseGuardPolicy(flags.GetString("guard", "abort"), &options.gen.guard)) {
+    std::fprintf(stderr, "--guard must be off|abort|resample|fallback\n");
+    return kExitUsage;
+  }
+  if (!options.state_dir.empty() &&
+      ::mkdir(options.state_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Fail(kExitInput,
+                UnavailableError("cannot create --state-dir " + options.state_dir));
+  }
+
+  serve::StreamServer server(&model, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    return Fail(1, status);
+  }
+  // Machine-readable: harnesses bind port 0 and scrape the real port here.
+  std::printf("serving on %s:%u (pid %d)\n", options.bind_addr.c_str(),
+              static_cast<unsigned>(server.Port()), static_cast<int>(getpid()));
+  std::fflush(stdout);
+
+  CancelToken& cancel = GlobalCancelToken();
+  InstallCancelSignalHandlers();
+  const double deadline_sec = flags.GetDouble("deadline-sec", 0.0);
+  if (deadline_sec > 0.0) {
+    cancel.SetDeadline(deadline_sec);
+  }
+  while (!cancel.Poll()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr,
+               "cloudgen: %s received; draining %zu active stream(s)\n",
+               CancelReasonName(cancel.Reason()), server.ActiveStreams());
+  server.RequestDrain();
+  status = server.Wait();
+  if (!status.ok()) {
+    return Fail(1, status);
+  }
+  std::printf("drained cleanly\n");
+  return 0;
+}
+
+// Client for `cloudgen serve`: fetches one stream to a file with retry/
+// backoff and reconnect-resume, or issues a one-shot HEALTH/METRICS verb.
+int RunFetch(const Flags& flags) {
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const long port = flags.GetLong("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--port is required (1..65535)\n");
+    return kExitUsage;
+  }
+  const int timeout_ms =
+      static_cast<int>(flags.GetDouble("io-timeout-sec", 10.0) * 1000.0);
+
+  if (flags.Has("health")) {
+    std::map<std::string, std::string> health;
+    const Status status = serve::FetchHealth(
+        host, static_cast<uint16_t>(port), timeout_ms, &health);
+    if (!status.ok()) {
+      return Fail(1, status);
+    }
+    for (const auto& [key, value] : health) {
+      std::printf("%s=%s\n", key.c_str(), value.c_str());
+    }
+    return 0;
+  }
+  if (flags.Has("metrics-json")) {
+    std::string json;
+    const Status status = serve::FetchMetricsJson(
+        host, static_cast<uint16_t>(port), timeout_ms, &json);
+    if (!status.ok()) {
+      return Fail(1, status);
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required (fetch writes a resumable file)\n");
+    return kExitUsage;
+  }
+  serve::FetchOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.tenant = flags.GetString("tenant", "default");
+  options.stream = flags.GetString("stream", "stream");
+  options.seed = static_cast<uint64_t>(flags.GetLong("seed", 11));
+  options.traces = static_cast<uint64_t>(flags.GetLong("traces", 1));
+  options.credit_bytes =
+      static_cast<size_t>(flags.GetLong("credit-bytes", 256 * 1024));
+  options.io_timeout_ms = timeout_ms;
+  options.retry.max_attempts =
+      static_cast<int>(flags.GetLong("retry-attempts", 5));
+  options.retry.base_backoff_sec = flags.GetDouble("retry-base-ms", 50.0) / 1000.0;
+
+  // --resume: pick up where an interrupted fetch left off — the existing
+  // bytes are folded into the CRC state so END still verifies the whole
+  // stream.
+  const bool resume = flags.Has("resume") && FileExists(out);
+  if (resume) {
+    std::ifstream existing(out, std::ios::binary);
+    std::string prefix_bytes((std::istreambuf_iterator<char>(existing)),
+                             std::istreambuf_iterator<char>());
+    options.start_offset = prefix_bytes.size();
+    options.start_crc_state =
+        Crc32Update(kCrc32Init, prefix_bytes.data(), prefix_bytes.size());
+  }
+  std::ofstream stream(out, resume ? std::ios::binary | std::ios::app
+                                   : std::ios::binary | std::ios::trunc);
+  if (!stream) {
+    return Fail(kExitInput, UnavailableError("cannot open --out " + out));
+  }
+
+  CancelToken& cancel = GlobalCancelToken();
+  InstallCancelSignalHandlers();
+  options.cancel = &cancel;
+
+  serve::FetchResult result;
+  const Status status = serve::FetchStream(options, stream, &result);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kResourceExhausted) {
+      return Fail(kExitRejected, status);  // Quota/overload: server said no.
+    }
+    if (status.code() == StatusCode::kDataLoss) {
+      return Fail(kExitCorrupt, status);  // CRC/framing: data is not trustworthy.
+    }
+    if (cancel.Cancelled()) {
+      return Fail(kExitInterrupted, status);  // Rerun with --resume to finish.
+    }
+    return Fail(1, status);
+  }
+  std::printf(
+      "fetched %llu byte(s) (%llu total, %llu row(s), crc %08x) into %s%s\n",
+      static_cast<unsigned long long>(result.bytes),
+      static_cast<unsigned long long>(result.total_bytes),
+      static_cast<unsigned long long>(result.rows),
+      static_cast<unsigned>(result.crc), out.c_str(),
+      result.reconnects > 0
+          ? StrFormat(" (%d reconnect(s))", result.reconnects).c_str()
+          : "");
   return 0;
 }
 
@@ -536,6 +751,12 @@ int Dispatch(const std::string& command, const Flags& flags) {
   }
   if (command == "segcat") {
     return RunSegcat(flags);
+  }
+  if (command == "serve") {
+    return RunServe(flags);
+  }
+  if (command == "fetch") {
+    return RunFetch(flags);
   }
   if (command == "eval") {
     return RunEval(flags);

@@ -339,6 +339,23 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   return run.sink->Finish();
 }
 
+uint64_t WorkloadModel::TraceFamilyBase(uint64_t seed) {
+  // Must match the fresh-path draw in GenerateMany above (cursor.base =
+  // rng.Next() on an Rng(seed) with no prior draws) — the serve byte-identity
+  // guarantee hangs on this.
+  Rng rng(seed);
+  return rng.Next();
+}
+
+void WorkloadModel::GenerateTraceRows(const GenerateOptions& options, uint64_t base,
+                                      size_t index, std::string* out) const {
+  Rng stream = Rng::Stream(base, index);
+  const Trace trace = Generate(options, stream);
+  for (const Job& job : trace.Jobs()) {
+    AppendJobRow(index, job, out);
+  }
+}
+
 Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng,
                                         const GenerateRun& run,
                                         GenerateReport* report) const {

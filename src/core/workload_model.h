@@ -125,6 +125,19 @@ class WorkloadModel {
   Status GenerateStreaming(const GenerateOptions& options, Rng& rng,
                            const GenerateRun& run, GenerateReport* report) const;
 
+  // Serve support (src/serve): the RNG anchor a sink-based GenerateMany run
+  // seeded with Rng(seed) derives on its fresh path (one draw). Trace i of
+  // that family is a pure function of (TraceFamilyBase(seed), i) via
+  // Rng::Stream, which lets the daemon regenerate any single trace of a
+  // requested family on demand — byte-identical to a single-process
+  // `generate --seed <seed>` run — without a sink or a manifest.
+  static uint64_t TraceFamilyBase(uint64_t seed);
+
+  // Appends trace `index`'s serialized rows (AppendJobRow format, the bytes
+  // GenerateMany flushes for that index) to `*out`.
+  void GenerateTraceRows(const GenerateOptions& options, uint64_t base,
+                         size_t index, std::string* out) const;
+
   // Stage accessors for stage-wise evaluation (§5).
   const BatchArrivalModel& ArrivalModel() const { return arrival_model_; }
   const FlavorLstmModel& FlavorModel() const { return flavor_model_; }

@@ -1,0 +1,226 @@
+#include "src/serve/client.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/serve/protocol.h"
+#include "src/util/cancel.h"
+#include "src/util/crc32.h"
+#include "src/util/log.h"
+#include "src/util/net.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace serve {
+namespace {
+
+// One connection's worth of fetching. Advances *progress / *crc_state for
+// every byte durably written to `out`, so the caller can resume from exactly
+// where this attempt died. Returns OK only on a verified END.
+Status FetchOnce(const FetchOptions& options, std::ostream& out,
+                 uint64_t* progress, uint32_t* crc_state,
+                 FetchResult* result) {
+  CG_ASSIGN_OR_RETURN(
+      Socket conn,
+      ConnectTcp(options.host, options.port, options.connect_timeout_ms));
+
+  std::map<std::string, std::string> open_kv;
+  open_kv["tenant"] = options.tenant;
+  open_kv["stream"] = options.stream;
+  open_kv["seed"] = std::to_string(options.seed);
+  open_kv["traces"] = std::to_string(options.traces);
+  open_kv["offset"] = std::to_string(*progress);
+  CG_RETURN_IF_ERROR(WriteFrame(conn, FrameType::kOpen, EncodeKv(open_kv),
+                                options.io_timeout_ms, options.cancel));
+
+  Frame frame;
+  CG_RETURN_IF_ERROR(ReadFrame(conn, &frame, options.io_timeout_ms,
+                               options.cancel));
+  if (frame.type == FrameType::kError) {
+    return DecodeErrorPayload(frame.payload)
+        .WithContext("server rejected OPEN");
+  }
+  if (frame.type != FrameType::kOpenOk) {
+    return DataLossError(StrFormat("expected OPEN_OK, got %s",
+                                   FrameTypeName(frame.type)));
+  }
+  std::map<std::string, std::string> ok_kv;
+  CG_RETURN_IF_ERROR(DecodeKv(frame.payload, &ok_kv));
+  uint64_t server_offset = 0;
+  CG_RETURN_IF_ERROR(KvGetU64(ok_kv, "offset", &server_offset));
+  if (server_offset != *progress) {
+    return DataLossError(StrFormat(
+        "server acknowledged offset %llu but client is at %llu",
+        static_cast<unsigned long long>(server_offset),
+        static_cast<unsigned long long>(*progress)));
+  }
+
+  // Open the flow-control window, then keep it topped up as bytes are
+  // consumed: each CREDIT doubles as an ack of everything written so far.
+  auto grant = [&](uint64_t n) {
+    std::string payload;
+    PutU64Le(&payload, n);
+    return WriteFrame(conn, FrameType::kCredit, payload, options.io_timeout_ms,
+                      options.cancel);
+  };
+  CG_RETURN_IF_ERROR(grant(options.credit_bytes));
+  uint64_t consumed_since_grant = 0;
+
+  for (;;) {
+    if (options.cancel != nullptr && options.cancel->Poll()) {
+      return AbortedError(StrFormat(
+          "fetch cancelled (%s)", CancelReasonName(options.cancel->Reason())));
+    }
+    CG_RETURN_IF_ERROR(ReadFrame(conn, &frame, options.io_timeout_ms,
+                                 options.cancel));
+    switch (frame.type) {
+      case FrameType::kData: {
+        uint64_t offset = 0;
+        if (!GetU64Le(frame.payload, 0, &offset)) {
+          return DataLossError("malformed DATA payload (no offset)");
+        }
+        if (offset != *progress) {
+          return DataLossError(StrFormat(
+              "DATA at offset %llu but client expects %llu",
+              static_cast<unsigned long long>(offset),
+              static_cast<unsigned long long>(*progress)));
+        }
+        const char* bytes = frame.payload.data() + 8;
+        const size_t n = frame.payload.size() - 8;
+        out.write(bytes, static_cast<std::streamsize>(n));
+        if (!out.good()) {
+          return InternalError("output stream write failed");
+        }
+        *crc_state = Crc32Update(*crc_state, bytes, n);
+        *progress += n;
+        result->bytes += n;
+        consumed_since_grant += n;
+        if (consumed_since_grant >= options.credit_bytes / 2) {
+          CG_RETURN_IF_ERROR(grant(consumed_since_grant));
+          consumed_since_grant = 0;
+        }
+        break;
+      }
+      case FrameType::kEnd: {
+        std::map<std::string, std::string> end_kv;
+        CG_RETURN_IF_ERROR(DecodeKv(frame.payload, &end_kv));
+        uint64_t total_bytes = 0;
+        uint64_t total_rows = 0;
+        uint64_t crc = 0;
+        CG_RETURN_IF_ERROR(KvGetU64(end_kv, "bytes", &total_bytes));
+        CG_RETURN_IF_ERROR(KvGetU64(end_kv, "rows", &total_rows));
+        CG_RETURN_IF_ERROR(KvGetU64(end_kv, "crc", &crc));
+        if (total_bytes != *progress) {
+          return DataLossError(StrFormat(
+              "END reports %llu byte(s) but client assembled %llu",
+              static_cast<unsigned long long>(total_bytes),
+              static_cast<unsigned long long>(*progress)));
+        }
+        const uint32_t local_crc = Crc32Finalize(*crc_state);
+        if (static_cast<uint32_t>(crc) != local_crc) {
+          return DataLossError(StrFormat(
+              "stream CRC mismatch: server %08x, client %08x (reassembled "
+              "stream is corrupt)",
+              static_cast<unsigned>(crc), local_crc));
+        }
+        out.flush();
+        if (!out.good()) {
+          return InternalError("output stream flush failed");
+        }
+        result->total_bytes = total_bytes;
+        result->rows = total_rows;
+        result->crc = local_crc;
+        return OkStatus();
+      }
+      case FrameType::kError:
+        return DecodeErrorPayload(frame.payload).WithContext("server error");
+      default:
+        return DataLossError(StrFormat("unexpected %s frame mid-stream",
+                                       FrameTypeName(frame.type)));
+    }
+  }
+}
+
+}  // namespace
+
+Status FetchStream(const FetchOptions& options, std::ostream& out,
+                   FetchResult* result) {
+  CG_CHECK(result != nullptr);
+  *result = FetchResult();
+  static obs::Counter& reconnects =
+      obs::Registry::Global().GetCounter("serve.client.reconnects");
+
+  uint64_t progress = options.start_offset;
+  uint32_t crc_state = options.start_crc_state;
+  Rng jitter_rng(options.retry.jitter_seed);
+  // Attempts are charged per stall: progress resets the counter, so only
+  // max_attempts *consecutive* fruitless connections give up.
+  int attempt = 0;
+  Status last = OkStatus();
+  for (;;) {
+    const uint64_t before = progress;
+    Status status = FetchOnce(options, out, &progress, &crc_state, result);
+    if (status.ok()) {
+      return status;
+    }
+    if (!IsRetryable(status)) {
+      return status;
+    }
+    last = status;
+    attempt = progress > before ? 1 : attempt + 1;
+    if (attempt >= options.retry.max_attempts) {
+      return retry_internal::GiveUp(options.retry, "fetch", last);
+    }
+    result->reconnects += 1;
+    reconnects.Add(1);
+    retry_internal::CountRetry("fetch");
+    CG_LOG_WARN("fetch: reconnecting after " + last.ToString());
+    if (!SleepWithCancel(BackoffSeconds(options.retry, attempt, jitter_rng),
+                         options.cancel)) {
+      return AbortedError("fetch cancelled while backing off: " +
+                          last.ToString());
+    }
+  }
+}
+
+namespace {
+
+Status ControlRoundTrip(const std::string& host, uint16_t port, int timeout_ms,
+                        FrameType request, FrameType expected_reply,
+                        std::string* payload) {
+  CG_ASSIGN_OR_RETURN(Socket conn, ConnectTcp(host, port, timeout_ms));
+  CG_RETURN_IF_ERROR(WriteFrame(conn, request, "", timeout_ms, nullptr));
+  Frame frame;
+  CG_RETURN_IF_ERROR(ReadFrame(conn, &frame, timeout_ms, nullptr));
+  if (frame.type == FrameType::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.type != expected_reply) {
+    return DataLossError(StrFormat("expected %s, got %s",
+                                   FrameTypeName(expected_reply),
+                                   FrameTypeName(frame.type)));
+  }
+  *payload = std::move(frame.payload);
+  return OkStatus();
+}
+
+}  // namespace
+
+Status FetchMetricsJson(const std::string& host, uint16_t port,
+                        int timeout_ms, std::string* json) {
+  return ControlRoundTrip(host, port, timeout_ms, FrameType::kMetrics,
+                          FrameType::kMetricsOk, json);
+}
+
+Status FetchHealth(const std::string& host, uint16_t port, int timeout_ms,
+                   std::map<std::string, std::string>* health) {
+  std::string payload;
+  CG_RETURN_IF_ERROR(ControlRoundTrip(host, port, timeout_ms,
+                                      FrameType::kHealth,
+                                      FrameType::kHealthOk, &payload));
+  return DecodeKv(payload, health);
+}
+
+}  // namespace serve
+}  // namespace cloudgen

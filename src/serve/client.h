@@ -1,0 +1,76 @@
+// Client for the cloudgen serve daemon: fetch a named stream's rows with
+// retry, exponential backoff + jitter, and transparent reconnect-resume.
+//
+// FetchStream is the durable entry point. It appends every received byte to
+// `out` in offset order and tracks its own progress; when the connection
+// drops (network fault, server drain/restart), it backs off per
+// `RetryPolicy` and reopens the stream at the last byte it wrote. The retry
+// budget is charged per *stall*, not per reconnect: any attempt that makes
+// forward progress resets the attempt counter, so a month-long stream with
+// occasional drops never exhausts a 5-attempt policy. On END the server's
+// whole-stream CRC-32 is checked against the client's own accumulation —
+// a mismatch is DATA_LOSS, never silently written.
+//
+// Error mapping (what the CLI turns into exit codes):
+//   RESOURCE_EXHAUSTED  admission reject (quota/overload) — not retried.
+//   DATA_LOSS           CRC mismatch or corrupt framing — not retried.
+//   ABORTED             cancelled locally, or retries exhausted.
+#ifndef SRC_SERVE_CLIENT_H_
+#define SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "src/util/retry.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+class CancelToken;
+
+namespace serve {
+
+struct FetchOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string tenant = "default";
+  std::string stream = "stream";
+  uint64_t seed = 11;
+  uint64_t traces = 1;
+  // Resume state: byte offset already durable at the client and the
+  // incremental CRC-32 state (kCrc32Init when starting fresh) covering it.
+  uint64_t start_offset = 0;
+  uint32_t start_crc_state = 0xFFFFFFFFu;
+  // Flow-control window granted to the server; also the ack granularity.
+  size_t credit_bytes = 256u << 10;
+  int io_timeout_ms = 10000;
+  int connect_timeout_ms = 5000;
+  RetryPolicy retry;
+  const CancelToken* cancel = nullptr;
+};
+
+struct FetchResult {
+  uint64_t bytes = 0;       // Bytes written by THIS call (excludes start_offset).
+  uint64_t total_bytes = 0; // Whole-stream size reported by END.
+  uint64_t rows = 0;        // Whole-stream row count reported by END.
+  uint32_t crc = 0;         // Whole-stream CRC-32 (verified).
+  int reconnects = 0;       // Dropped connections survived.
+};
+
+// Fetches the stream to `out` (appends starting at options.start_offset).
+// Returns OK only after END with a verified CRC.
+Status FetchStream(const FetchOptions& options, std::ostream& out,
+                   FetchResult* result);
+
+// One-shot control verbs.
+Status FetchMetricsJson(const std::string& host, uint16_t port,
+                        int timeout_ms, std::string* json);
+Status FetchHealth(const std::string& host, uint16_t port, int timeout_ms,
+                   std::map<std::string, std::string>* health);
+
+}  // namespace serve
+}  // namespace cloudgen
+
+#endif  // SRC_SERVE_CLIENT_H_

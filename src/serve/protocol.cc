@@ -1,0 +1,221 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+#include "src/util/cancel.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace serve {
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kOpen:
+      return "OPEN";
+    case FrameType::kOpenOk:
+      return "OPEN_OK";
+    case FrameType::kCredit:
+      return "CREDIT";
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kEnd:
+      return "END";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kMetrics:
+      return "METRICS";
+    case FrameType::kMetricsOk:
+      return "METRICS_OK";
+    case FrameType::kHealth:
+      return "HEALTH";
+    case FrameType::kHealthOk:
+      return "HEALTH_OK";
+    case FrameType::kClose:
+      return "CLOSE";
+  }
+  return "UNKNOWN";
+}
+
+Status WriteFrame(Socket& sock, FrameType type, std::string_view payload,
+                  int timeout_ms, const CancelToken* cancel) {
+  CG_CHECK_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
+  std::string wire;
+  wire.reserve(5 + payload.size());
+  const auto len = static_cast<uint32_t>(payload.size());
+  wire.push_back(static_cast<char>(len & 0xFF));
+  wire.push_back(static_cast<char>((len >> 8) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 24) & 0xFF));
+  wire.push_back(static_cast<char>(type));
+  wire.append(payload.data(), payload.size());
+  return WriteFully(sock, wire.data(), wire.size(), timeout_ms, cancel);
+}
+
+Status ReadFrame(Socket& sock, Frame* frame, int timeout_ms,
+                 const CancelToken* cancel, bool* clean_close) {
+  if (clean_close != nullptr) {
+    *clean_close = false;
+  }
+  unsigned char header[5];
+  size_t got = 0;
+  Status status = ReadFully(sock, header, sizeof(header), timeout_ms, cancel, &got);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kUnavailable && got > 0) {
+      // The peer died inside a frame header (injected net_partial_write
+      // lands here). The torn frame is discarded, nothing was consumed, so
+      // this is a retryable connection loss — reconnect and resume, never
+      // "corrupt data".
+      return UnavailableError(StrFormat(
+          "connection dropped mid-frame (%zu of %zu header byte(s)): %s", got,
+          sizeof(header), status.message().c_str()));
+    }
+    if (status.code() == StatusCode::kUnavailable && got == 0 &&
+        clean_close != nullptr &&
+        status.message().find("closed by peer") != std::string::npos) {
+      *clean_close = true;
+    }
+    return status;
+  }
+  const uint32_t len = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  if (len > kMaxFramePayload) {
+    return DataLossError(StrFormat(
+        "frame payload length %u exceeds the %u-byte protocol limit "
+        "(corrupt or incompatible peer)",
+        len, kMaxFramePayload));
+  }
+  frame->type = static_cast<FrameType>(header[4]);
+  frame->payload.resize(len);
+  if (len > 0) {
+    got = 0;
+    status = ReadFully(sock, frame->payload.data(), len, timeout_ms, cancel, &got);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kUnavailable) {
+        // Same taxonomy as a torn header: the partial payload is discarded,
+        // so the peer vanishing mid-payload is a retryable drop.
+        return UnavailableError(StrFormat(
+            "connection dropped mid-%s-frame (%zu of %u payload byte(s)): %s",
+            FrameTypeName(frame->type), got, len, status.message().c_str()));
+      }
+      return status;
+    }
+  }
+  return OkStatus();
+}
+
+std::string EncodeKv(const std::map<std::string, std::string>& kv) {
+  std::string out;
+  for (const auto& [key, value] : kv) {
+    CG_CHECK_MSG(key.find('\n') == std::string::npos &&
+                     key.find('=') == std::string::npos &&
+                     value.find('\n') == std::string::npos,
+                 "kv keys/values must not contain '\\n' (or '=' in keys)");
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+Status DecodeKv(std::string_view payload,
+                std::map<std::string, std::string>* kv) {
+  kv->clear();
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      eol = payload.size();
+    }
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgumentError(StrFormat(
+          "kv payload line '%.*s' has no '='", static_cast<int>(line.size()),
+          line.data()));
+    }
+    (*kv)[std::string(line.substr(0, eq))] = std::string(line.substr(eq + 1));
+  }
+  return OkStatus();
+}
+
+Status KvGet(const std::map<std::string, std::string>& kv,
+             const std::string& key, std::string* out) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    return InvalidArgumentError("missing required key '" + key + "'");
+  }
+  *out = it->second;
+  return OkStatus();
+}
+
+Status KvGetU64(const std::map<std::string, std::string>& kv,
+                const std::string& key, uint64_t* out) {
+  std::string raw;
+  CG_RETURN_IF_ERROR(KvGet(kv, key, &raw));
+  int64_t parsed = 0;
+  if (!ParseInt64(raw, &parsed) || parsed < 0) {
+    return InvalidArgumentError(StrFormat(
+        "key '%s' value '%s' is not a non-negative integer", key.c_str(),
+        raw.c_str()));
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return OkStatus();
+}
+
+void PutU64Le(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool GetU64Le(std::string_view data, size_t pos, uint64_t* out) {
+  if (pos + 8 > data.size()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[pos + i]))
+         << (8 * i);
+  }
+  *out = v;
+  return true;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::map<std::string, std::string> kv;
+  kv["code"] = std::to_string(static_cast<int>(status.code()));
+  std::string message = status.message();
+  // kv values are newline-delimited; flatten any embedded newlines.
+  for (char& c : message) {
+    if (c == '\n') {
+      c = ' ';
+    }
+  }
+  kv["message"] = message;
+  return EncodeKv(kv);
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  std::map<std::string, std::string> kv;
+  CG_RETURN_IF_ERROR(DecodeKv(payload, &kv));
+  uint64_t code = 0;
+  CG_RETURN_IF_ERROR(KvGetU64(kv, "code", &code));
+  std::string message;
+  CG_RETURN_IF_ERROR(KvGet(kv, "message", &message));
+  if (code == 0 || code > static_cast<uint64_t>(StatusCode::kResourceExhausted)) {
+    return InternalError(StrFormat("peer sent unknown status code %llu: %s",
+                                   static_cast<unsigned long long>(code),
+                                   message.c_str()));
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace serve
+}  // namespace cloudgen

@@ -1,0 +1,111 @@
+// The cloudgen serve wire protocol: length-prefixed frames over TCP.
+//
+// Frame layout (all integers little-endian):
+//   [u32 payload_len][u8 type][payload_len bytes]
+//
+// A session is either a STREAM session (OPEN .. DATA*/END) or a one-shot
+// control session (METRICS or HEALTH). Text payloads are newline-separated
+// key=value pairs; DATA payloads are a u64 byte offset followed by raw trace
+// rows (AppendJobRow lines).
+//
+//   client -> server                server -> client
+//   ----------------                ----------------
+//   OPEN    tenant=,stream=,        OPEN_OK offset=<resume offset>
+//           seed=,traces=,offset=   ERROR   code=,message=
+//   CREDIT  <u64 bytes granted>     DATA    <u64 offset><rows...>
+//   CLOSE                           END     bytes=,crc=,rows=
+//   METRICS                         METRICS_OK <metrics JSON>
+//   HEALTH                          HEALTH_OK  status=,streams_active=,...
+//
+// Flow control is credit-based and per-stream: the server may have at most
+// `credit` unsent bytes in flight; a slow consumer stalls only its own
+// stream (serve.backpressure.stalls). END carries the byte count, row count
+// and CRC-32 of the ENTIRE stream from offset 0 — even when the session
+// resumed mid-stream — so a client reassembling across reconnects can verify
+// the whole artifact.
+//
+// Robustness contract: any EOF — at a frame boundary or inside a frame
+// (injected net_partial_write) — is UNAVAILABLE: the torn frame is discarded
+// unconsumed, so a client reconnects and resumes. DATA_LOSS is reserved for
+// semantic corruption that retrying cannot fix: a frame length beyond
+// kMaxFramePayload, a DATA offset that contradicts the client's cursor, or
+// an END whose CRC disagrees with the assembled bytes.
+#ifndef SRC_SERVE_PROTOCOL_H_
+#define SRC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/util/net.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+class CancelToken;
+
+namespace serve {
+
+enum class FrameType : uint8_t {
+  kOpen = 1,
+  kOpenOk = 2,
+  kCredit = 3,
+  kData = 4,
+  kEnd = 5,
+  kError = 6,
+  kMetrics = 7,
+  kMetricsOk = 8,
+  kHealth = 9,
+  kHealthOk = 10,
+  kClose = 11,
+};
+
+const char* FrameTypeName(FrameType type);
+
+// Upper bound on a single frame payload; anything larger is a corrupt or
+// hostile peer, not a big message.
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// Writes one frame. Errors follow src/util/net.h taxonomy.
+Status WriteFrame(Socket& sock, FrameType type, std::string_view payload,
+                  int timeout_ms, const CancelToken* cancel);
+
+// Reads one frame. Any EOF -> UNAVAILABLE, with *clean_close=true (when
+// non-null) only for an EOF at a frame boundary; an oversized frame length
+// -> DATA_LOSS. Timeout -> UNAVAILABLE, cancel -> ABORTED.
+Status ReadFrame(Socket& sock, Frame* frame, int timeout_ms,
+                 const CancelToken* cancel, bool* clean_close = nullptr);
+
+// key=value\n text payloads. Keys and values must not contain '\n'; values
+// must not contain '=' is NOT required (split on first '=').
+std::string EncodeKv(const std::map<std::string, std::string>& kv);
+Status DecodeKv(std::string_view payload,
+                std::map<std::string, std::string>* kv);
+
+// Required-key accessors for decoded kv maps (missing/unparsable ->
+// INVALID_ARGUMENT naming the key).
+Status KvGet(const std::map<std::string, std::string>& kv,
+             const std::string& key, std::string* out);
+Status KvGetU64(const std::map<std::string, std::string>& kv,
+                const std::string& key, uint64_t* out);
+
+// Little-endian u64 helpers for binary payloads (DATA, CREDIT).
+void PutU64Le(std::string* out, uint64_t v);
+bool GetU64Le(std::string_view data, size_t pos, uint64_t* out);
+
+// ERROR payload round-trip: the server ships a Status, the client
+// reconstructs it (code + message survive; context chains flatten into the
+// message).
+std::string EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::string_view payload);
+
+}  // namespace serve
+}  // namespace cloudgen
+
+#endif  // SRC_SERVE_PROTOCOL_H_

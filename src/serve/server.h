@@ -1,0 +1,126 @@
+// The cloudgen serve daemon: streams deterministically generated trace rows
+// to TCP clients with admission control, per-stream backpressure, and
+// graceful drain.
+//
+// A stream request names (tenant, stream, seed, traces). The server derives
+// the family anchor WorkloadModel::TraceFamilyBase(seed) and regenerates
+// trace i on demand from Rng::Stream(base, i) — the exact bytes a local
+// `cloudgen generate --seed <seed> --traces <traces>` run writes. Nothing is
+// stored per stream beyond one trace buffer and a cursor, so server memory
+// is bounded by admission control (StreamRegistry), not by stream length or
+// client speed.
+//
+// Failure model (docs/ROBUSTNESS.md):
+//  * Overload: OPEN past a quota is rejected immediately with a structured
+//    RESOURCE_EXHAUSTED ERROR frame — never queued, never hung.
+//  * Slow consumer: credit-based flow control stalls only that stream
+//    (serve.backpressure.stalls); other streams keep flowing.
+//  * Idle/hung peer: every socket operation carries a deadline; a peer that
+//    stops talking is disconnected after idle_timeout_ms.
+//  * Drain (SIGTERM / RequestDrain): stop admitting, checkpoint every active
+//    stream's cursor (GenCursor in state_dir), send a retryable UNAVAILABLE
+//    to each client, exit. A restarted server resumes every stream
+//    byte-identically — the checkpoint is an *accelerator* (skip regenerating
+//    already-acked traces); correctness comes from the client's resume
+//    offset plus deterministic regeneration.
+//  * Generation guard trips and injected faults are contained per
+//    connection; the daemon itself never dies from a stream error.
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/core/workload_model.h"
+#include "src/serve/protocol.h"
+#include "src/serve/stream_registry.h"
+#include "src/util/cancel.h"
+#include "src/util/net.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace serve {
+
+struct ServerOptions {
+  std::string bind_addr = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read back with Port().
+  // Directory for drain checkpoints; empty disables checkpointing (drain
+  // still works — restarted streams just regenerate from trace 0).
+  std::string state_dir;
+  int io_timeout_ms = 10000;    // Per socket read/write.
+  int idle_timeout_ms = 30000;  // Max quiet time waiting for a client frame.
+  size_t max_chunk_bytes = 64u << 10;  // Largest single DATA payload.
+  ServeLimits limits;
+  // Generation options shared by every stream (per-request knobs are seed
+  // and trace count). `cancel` is ignored; the server installs its own.
+  WorkloadModel::GenerateOptions gen;
+};
+
+class StreamServer {
+ public:
+  // `model` must be trained and must outlive the server.
+  StreamServer(const WorkloadModel* model, ServerOptions options);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. Non-blocking.
+  Status Start();
+
+  // The bound port (valid after Start()).
+  uint16_t Port() const { return port_; }
+
+  // Begins graceful drain: stop accepting, interrupt active streams at their
+  // next safe boundary, checkpoint them. Idempotent, async-signal-unsafe
+  // (call from a normal thread that observed SIGTERM via CancelToken).
+  void RequestDrain();
+
+  // Blocks until the accept loop and every connection handler have finished.
+  // Returns OK after a clean drain; the first accept-loop hard error
+  // otherwise.
+  Status Wait();
+
+  size_t ActiveStreams() const { return registry_.ActiveStreams(); }
+  bool Draining() const { return drain_.Cancelled(); }
+
+ private:
+  class StreamSession;
+
+  void AcceptLoop();
+  void HandleConnection(Socket conn);
+  // Dispatches one framed session on `conn`; any returned error was NOT yet
+  // reported to the peer (HandleConnection sends the ERROR frame).
+  Status RunSession(Socket& conn);
+  Status RunStreamSession(Socket& conn, const Frame& open);
+  Status HandleMetrics(Socket& conn);
+  Status HandleHealth(Socket& conn);
+
+  // Drain-checkpoint path for (tenant, stream); stable across restarts.
+  std::string CheckpointPath(const std::string& tenant,
+                             const std::string& stream) const;
+
+  const WorkloadModel* model_;
+  ServerOptions options_;
+  StreamRegistry registry_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  CancelToken drain_;
+  std::thread accept_thread_;
+  Status accept_status_;
+
+  // Connection handlers run detached but counted, so Wait() can join them
+  // without tracking thread objects.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  size_t active_conns_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace cloudgen
+
+#endif  // SRC_SERVE_SERVER_H_

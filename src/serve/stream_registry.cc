@@ -1,0 +1,151 @@
+#include "src/serve/stream_registry.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace serve {
+namespace {
+
+void CountReject(const char* reason) {
+  obs::Registry::Global().GetCounter("serve.rejects").Add(1);
+  obs::Registry::Global()
+      .GetCounter(std::string("serve.rejects.") + reason)
+      .Add(1);
+}
+
+void PublishGauges(size_t active, size_t buffered) {
+  static obs::Gauge& streams =
+      obs::Registry::Global().GetGauge("serve.streams.active");
+  static obs::Gauge& bytes =
+      obs::Registry::Global().GetGauge("serve.queue.bytes");
+  streams.Set(static_cast<double>(active));
+  bytes.Set(static_cast<double>(buffered));
+}
+
+}  // namespace
+
+StreamRegistry::Lease& StreamRegistry::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    tenant_ = std::move(other.tenant_);
+    reserved_bytes_ = other.reserved_bytes_;
+    other.registry_ = nullptr;
+    other.reserved_bytes_ = 0;
+  }
+  return *this;
+}
+
+bool StreamRegistry::Lease::ReserveBytes(size_t n) {
+  CG_CHECK(valid());
+  // CAS loop: admit the reservation only if it fits under the global bound.
+  size_t current = registry_->buffered_bytes_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current + n > registry_->limits_.max_total_buffer_bytes) {
+      CountReject("buffer_bytes");
+      return false;
+    }
+    if (registry_->buffered_bytes_.compare_exchange_weak(
+            current, current + n, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  reserved_bytes_ += n;
+  PublishGauges(registry_->ActiveStreams(), registry_->BufferedBytes());
+  return true;
+}
+
+void StreamRegistry::Lease::ReleaseBytes(size_t n) {
+  CG_CHECK(valid());
+  CG_CHECK(n <= reserved_bytes_);
+  reserved_bytes_ -= n;
+  registry_->buffered_bytes_.fetch_sub(n, std::memory_order_relaxed);
+  PublishGauges(registry_->ActiveStreams(), registry_->BufferedBytes());
+}
+
+void StreamRegistry::Lease::Release() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  if (reserved_bytes_ > 0) {
+    registry_->buffered_bytes_.fetch_sub(reserved_bytes_,
+                                         std::memory_order_relaxed);
+    reserved_bytes_ = 0;
+  }
+  registry_->ReleaseStream(tenant_);
+  PublishGauges(registry_->ActiveStreams(), registry_->BufferedBytes());
+  registry_ = nullptr;
+}
+
+size_t StreamRegistry::ShardIndex(const std::string& tenant) const {
+  // FNV-1a; stable across runs (shard choice is an internal detail anyway).
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : tenant) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % kShards);
+}
+
+Status StreamRegistry::Admit(const std::string& tenant,
+                             const std::string& stream, Lease* lease) {
+  // Global bound first: a full server rejects before touching tenant state.
+  size_t active = active_streams_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (active >= limits_.max_streams) {
+      CountReject("server_full");
+      return ResourceExhaustedError(StrFormat(
+          "server_full: %zu/%zu streams active; retry when load drops "
+          "(tenant '%s', stream '%s')",
+          active, limits_.max_streams, tenant.c_str(), stream.c_str()));
+    }
+    if (active_streams_.compare_exchange_weak(active, active + 1,
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  Shard& shard = shards_[ShardIndex(tenant)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t& count = shard.streams_by_tenant[tenant];
+    if (count >= limits_.max_streams_per_tenant) {
+      const size_t have = count;
+      if (have == 0) {
+        shard.streams_by_tenant.erase(tenant);  // Don't leak a zero entry.
+      }
+      active_streams_.fetch_sub(1, std::memory_order_relaxed);
+      CountReject("tenant_quota");
+      return ResourceExhaustedError(StrFormat(
+          "tenant_quota: tenant '%s' already has %zu/%zu streams active "
+          "(stream '%s')",
+          tenant.c_str(), have, limits_.max_streams_per_tenant,
+          stream.c_str()));
+    }
+    ++count;
+  }
+  lease->Release();
+  lease->registry_ = this;
+  lease->tenant_ = tenant;
+  lease->reserved_bytes_ = 0;
+  PublishGauges(ActiveStreams(), BufferedBytes());
+  return OkStatus();
+}
+
+void StreamRegistry::ReleaseStream(const std::string& tenant) {
+  Shard& shard = shards_[ShardIndex(tenant)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.streams_by_tenant.find(tenant);
+    CG_CHECK(it != shard.streams_by_tenant.end() && it->second > 0);
+    if (--it->second == 0) {
+      shard.streams_by_tenant.erase(it);
+    }
+  }
+  active_streams_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace cloudgen

@@ -1,0 +1,108 @@
+// Multi-tenant admission control for the serve daemon.
+//
+// The registry answers one question at OPEN time — "may this tenant start
+// another stream right now?" — and tracks two global resources while streams
+// run: the active-stream count and the total bytes buffered across all
+// streams. Every bound is explicit and every rejection is an immediate,
+// structured RESOURCE_EXHAUSTED (serve.rejects / serve.rejects.<reason>):
+// an overloaded server says no fast; it never queues an OPEN or hangs a
+// client.
+//
+// Tenant state is sharded by tenant-name hash so concurrent OPENs from
+// different tenants rarely contend on one mutex; the global counters are
+// plain atomics. A Lease is the RAII grant: destroying it (connection close,
+// handler error, drain) releases the stream slot and any buffered-byte
+// reservation, so accounting can never leak past a failed handler.
+#ifndef SRC_SERVE_STREAM_REGISTRY_H_
+#define SRC_SERVE_STREAM_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace serve {
+
+struct ServeLimits {
+  size_t max_streams = 64;            // Active streams, all tenants.
+  size_t max_streams_per_tenant = 8;  // Active streams per tenant.
+  // Sum of per-stream trace buffers. One stream buffers one trace at a time,
+  // so this bounds daemon memory at max_streams x trace size; a stream whose
+  // next trace would burst past the bound gets a *retryable* UNAVAILABLE
+  // mid-stream rather than an admission reject.
+  size_t max_total_buffer_bytes = 256u << 20;
+};
+
+class StreamRegistry {
+ public:
+  explicit StreamRegistry(ServeLimits limits) : limits_(limits) {}
+  StreamRegistry(const StreamRegistry&) = delete;
+  StreamRegistry& operator=(const StreamRegistry&) = delete;
+
+  // RAII grant for one admitted stream. Move-only; releases on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Release(); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+
+    bool valid() const { return registry_ != nullptr; }
+
+    // Reserves `n` buffered bytes against the global bound; false when the
+    // bound would be exceeded (caller surfaces a retryable UNAVAILABLE).
+    bool ReserveBytes(size_t n);
+    // Returns `n` previously reserved bytes to the pool.
+    void ReleaseBytes(size_t n);
+
+    // Releases the stream slot and all reserved bytes now (idempotent).
+    void Release();
+
+   private:
+    friend class StreamRegistry;
+    StreamRegistry* registry_ = nullptr;
+    std::string tenant_;
+    size_t reserved_bytes_ = 0;
+  };
+
+  // Admits a new stream for `tenant`, or returns RESOURCE_EXHAUSTED with a
+  // reason ("server_full" / "tenant_quota") a client can act on. `stream` is
+  // used only for the rejection message.
+  Status Admit(const std::string& tenant, const std::string& stream,
+               Lease* lease);
+
+  size_t ActiveStreams() const {
+    return active_streams_.load(std::memory_order_relaxed);
+  }
+  size_t BufferedBytes() const {
+    return buffered_bytes_.load(std::memory_order_relaxed);
+  }
+  const ServeLimits& limits() const { return limits_; }
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, size_t> streams_by_tenant;
+  };
+
+  size_t ShardIndex(const std::string& tenant) const;
+  void ReleaseStream(const std::string& tenant);
+
+  const ServeLimits limits_;
+  Shard shards_[kShards];
+  std::atomic<size_t> active_streams_{0};
+  std::atomic<size_t> buffered_bytes_{0};
+};
+
+}  // namespace serve
+}  // namespace cloudgen
+
+#endif  // SRC_SERVE_STREAM_REGISTRY_H_

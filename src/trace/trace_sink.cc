@@ -105,7 +105,15 @@ Status LoadSegmentManifest(const std::string& dir, SegmentManifest* manifest) {
     return NotFoundError("no segment manifest at " + path);
   }
   std::string line;
-  if (!std::getline(in, line) || Trim(line) != kManifestHeader) {
+  if (!std::getline(in, line)) {
+    // Distinct from a bad header: an empty MANIFEST means the write that
+    // should have produced it never completed (or the file was truncated).
+    return DataLossError("segment manifest " + path +
+                         " is empty — the generation run that owns this "
+                         "directory was truncated before its first manifest "
+                         "write; regenerate or resume it");
+  }
+  if (Trim(line) != kManifestHeader) {
     return DataLossError("bad segment manifest header in " + path);
   }
   while (std::getline(in, line)) {
@@ -120,7 +128,8 @@ Status LoadSegmentManifest(const std::string& dir, SegmentManifest* manifest) {
     const std::vector<std::string> fields = Split(trimmed, ',');
     int64_t bytes = 0;
     if (fields.size() != 3 || !ParseInt64(fields[1], &bytes) || bytes < 0) {
-      return DataLossError("malformed segment manifest row in " + path + ": " + line);
+      return DataLossError("malformed segment manifest row in " + path + ": '" +
+                           line + "' (truncated or corrupt manifest)");
     }
     char* end = nullptr;
     const unsigned long crc = std::strtoul(fields[2].c_str(), &end, 16);
@@ -249,8 +258,11 @@ Status SegmentedFileSink::Finish() {
 
 Status SegmentedFileSink::SealSegment() {
   const std::string file = SegmentFileName(manifest_.segments.size());
-  CG_RETURN_IF_ERROR(WriteSealedFile(options_.dir + "/" + file, kSealTraceSegment,
-                                     manifest_.segments.size(), buffer_));
+  CG_RETURN_IF_ERROR(
+      RetryVoid(options_.write_retry, "segment seal", [this, &file] {
+        return WriteSealedFile(options_.dir + "/" + file, kSealTraceSegment,
+                               manifest_.segments.size(), buffer_);
+      }));
   if (FaultInjector::Global().ShouldInject(FaultKind::kGenWriteKill)) {
     // A real crash in the nastiest window: the segment file is durable but
     // the manifest (and therefore the checkpoint) never learns about it.
@@ -267,15 +279,17 @@ Status SegmentedFileSink::SealSegment() {
 }
 
 Status SegmentedFileSink::WriteManifest() const {
-  return WriteFileAtomic(ManifestPath(options_.dir), [this](std::ostream& out) {
-    out << kManifestHeader << "\n";
-    for (const SegmentManifest::Segment& segment : manifest_.segments) {
-      out << segment.file << ',' << segment.bytes << ','
-          << StrFormat("%08x", segment.crc32) << "\n";
-    }
-    if (manifest_.complete) {
-      out << kManifestCompleteMarker << "\n";
-    }
+  return RetryVoid(options_.write_retry, "segment manifest rewrite", [this] {
+    return WriteFileAtomic(ManifestPath(options_.dir), [this](std::ostream& out) {
+      out << kManifestHeader << "\n";
+      for (const SegmentManifest::Segment& segment : manifest_.segments) {
+        out << segment.file << ',' << segment.bytes << ','
+            << StrFormat("%08x", segment.crc32) << "\n";
+      }
+      if (manifest_.complete) {
+        out << kManifestCompleteMarker << "\n";
+      }
+    });
   });
 }
 

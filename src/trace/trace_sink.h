@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/trace/trace.h"
+#include "src/util/retry.h"
 #include "src/util/status.h"
 
 namespace cloudgen {
@@ -114,10 +115,23 @@ Status ConcatSegments(const std::string& dir, bool require_complete, std::string
 
 class SegmentedFileSink final : public TraceSink {
  public:
+  // Segment seals and manifest rewrites are both idempotent temp-then-rename
+  // commits, so a transient failure (injected io_write, an ENOSPC blip) is
+  // retried briefly before the error surfaces — it must cost a retry, not
+  // the run. Short backoffs: these writes gate generation progress.
+  static RetryPolicy DefaultWriteRetry() {
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.base_backoff_sec = 0.01;
+    policy.max_backoff_sec = 0.1;
+    return policy;
+  }
+
   struct Options {
     std::string dir;                            // Created if missing.
     uint64_t segment_bytes = 4 * 1024 * 1024;   // Seal threshold (soft bound).
     bool resume = false;                        // Keep the existing manifest.
+    RetryPolicy write_retry = DefaultWriteRetry();
   };
 
   explicit SegmentedFileSink(Options options);

@@ -22,6 +22,12 @@ bool ParseFaultKind(std::string_view name, FaultKind* kind) {
     *kind = FaultKind::kGenNanLogit;
   } else if (name == "gen_write_kill") {
     *kind = FaultKind::kGenWriteKill;
+  } else if (name == "net_accept_fail") {
+    *kind = FaultKind::kNetAcceptFail;
+  } else if (name == "net_partial_write") {
+    *kind = FaultKind::kNetPartialWrite;
+  } else if (name == "net_conn_drop") {
+    *kind = FaultKind::kNetConnDrop;
   } else {
     return false;
   }
@@ -42,6 +48,12 @@ const char* FaultKindName(FaultKind kind) {
       return "gen_nan_logit";
     case FaultKind::kGenWriteKill:
       return "gen_write_kill";
+    case FaultKind::kNetAcceptFail:
+      return "net_accept_fail";
+    case FaultKind::kNetPartialWrite:
+      return "net_partial_write";
+    case FaultKind::kNetConnDrop:
+      return "net_conn_drop";
   }
   return "unknown";
 }
@@ -80,7 +92,8 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
       if (!ParseFaultKind(trimmed.substr(0, colon), &kind)) {
         return InvalidArgumentError(StrFormat(
             "unknown fault kind in '%.*s' (expected io_write, read_truncate, nan_grad, "
-            "gen_nan_logit or gen_write_kill)",
+            "gen_nan_logit, gen_write_kill, net_accept_fail, net_partial_write or "
+            "net_conn_drop)",
             static_cast<int>(trimmed.size()), trimmed.data()));
       }
       double p = 0.0;
@@ -92,6 +105,7 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
       probability[static_cast<int>(kind)] = p;
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
   for (int i = 0; i < kNumFaultKinds; ++i) {
     probability_[i] = probability[i];
     injected_[i] = 0;
@@ -105,6 +119,7 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
 }
 
 void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (int i = 0; i < kNumFaultKinds; ++i) {
     probability_[i] = 0.0;
     injected_[i] = 0;
@@ -113,11 +128,12 @@ void FaultInjector::Disarm() {
 }
 
 bool FaultInjector::ShouldInject(FaultKind kind) {
-  const double p = probability_[static_cast<int>(kind)];
-  if (p <= 0.0) {
-    return false;
+  if (probability_[static_cast<int>(kind)] <= 0.0) {
+    return false;  // Lock-free fast path: disarmed kinds cost one load.
   }
-  if (!rng_.Bernoulli(p)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double p = probability_[static_cast<int>(kind)];
+  if (p <= 0.0 || !rng_.Bernoulli(p)) {
     return false;
   }
   ++injected_[static_cast<int>(kind)];

@@ -20,17 +20,31 @@
 //                 manifest — the worst-ordered real crash the resume path
 //                 must absorb (the orphan segment is regenerated
 //                 identically on --resume-gen).
+//   net_accept_fail  An accepted serve connection is torn down before the
+//                 handler sees it — accept(2) failing under fd pressure.
+//                 The daemon must count it and keep accepting, never exit.
+//   net_partial_write  A socket write delivers only a prefix of the frame
+//                 and the connection dies — the peer observes a truncated
+//                 frame followed by EOF. Clients must treat it as a
+//                 reconnect-and-resume, never as data.
+//   net_conn_drop A socket read/write fails as if the peer vanished
+//                 mid-stream. Exercises the serve client's retry/backoff
+//                 and offset-resume path.
 //
 // Injection sites query ShouldInject(kind); draws come from a private
 // deterministic stream, so a given spec + seed yields the same fault
 // schedule on every run — tests assert on recovery behaviour, not luck.
-// The injector is a process-wide singleton; tests reconfigure it directly
-// via Configure()/Disarm() instead of the environment.
+// (Under the multi-threaded serve daemon the *interleaving* of draws across
+// connections is scheduler-dependent; tests there assert recovery and byte
+// identity, not the exact fault schedule.) The injector is a process-wide
+// singleton and thread-safe; tests reconfigure it directly via
+// Configure()/Disarm() instead of the environment.
 #ifndef SRC_UTIL_FAULT_H_
 #define SRC_UTIL_FAULT_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "src/util/rng.h"
@@ -44,8 +58,11 @@ enum class FaultKind : int {
   kNanGrad = 2,
   kGenNanLogit = 3,
   kGenWriteKill = 4,
+  kNetAcceptFail = 5,
+  kNetPartialWrite = 6,
+  kNetConnDrop = 7,
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 8;
 
 // Exit code used by the gen_write_kill fault (and asserted by the kill/resume
 // harness). Outside the CLI's real exit-code namespace (0-6).
@@ -79,6 +96,10 @@ class FaultInjector {
  private:
   FaultInjector();
 
+  // Guards the draw stream and counters: serve connection handlers query
+  // injection sites concurrently. Armed() and the p<=0 fast path stay
+  // lock-free (configuration changes only happen while quiescent).
+  mutable std::mutex mu_;
   double probability_[kNumFaultKinds] = {};
   size_t injected_[kNumFaultKinds] = {};
   Rng rng_;

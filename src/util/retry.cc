@@ -1,0 +1,81 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/util/cancel.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng& rng) {
+  double sleep = policy.base_backoff_sec;
+  for (int i = 1; i < attempt && sleep < policy.max_backoff_sec; ++i) {
+    sleep *= policy.multiplier;
+  }
+  sleep = std::min(sleep, policy.max_backoff_sec);
+  if (policy.jitter > 0.0) {
+    sleep *= 1.0 + policy.jitter * (2.0 * rng.NextDouble() - 1.0);
+  }
+  return std::max(sleep, 0.0);
+}
+
+bool SleepWithCancel(double seconds, const CancelToken* cancel) {
+  auto remaining_us = static_cast<int64_t>(seconds * 1e6);
+  constexpr int64_t kSliceUs = 20 * 1000;
+  while (remaining_us > 0) {
+    if (cancel != nullptr && cancel->Poll()) {
+      return false;
+    }
+    const int64_t slice = std::min(remaining_us, kSliceUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    remaining_us -= slice;
+  }
+  return cancel == nullptr || !cancel->Poll();
+}
+
+namespace retry_internal {
+
+void CountRetry(const std::string& what) {
+  static obs::Counter& retries = obs::Registry::Global().GetCounter("retry.attempts");
+  retries.Add(1);
+  (void)what;
+}
+
+Status GiveUp(const RetryPolicy& policy, const std::string& what, const Status& last) {
+  static obs::Counter& giveups = obs::Registry::Global().GetCounter("retry.giveups");
+  giveups.Add(1);
+  return AbortedError(StrFormat("%s gave up after %d attempt(s): %s", what.c_str(),
+                                policy.max_attempts, last.ToString().c_str()));
+}
+
+}  // namespace retry_internal
+
+Status RetryVoid(const RetryPolicy& policy, const std::string& what,
+                 const std::function<Status()>& op, const CancelToken* cancel) {
+  Rng rng(policy.jitter_seed);
+  Status last = OkStatus();
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    Status status = op();
+    if (status.ok() || !IsRetryable(status)) {
+      return status;
+    }
+    last = status;
+    if (attempt == policy.max_attempts) {
+      break;
+    }
+    retry_internal::CountRetry(what);
+    if (!SleepWithCancel(BackoffSeconds(policy, attempt, rng), cancel)) {
+      return AbortedError(what + " cancelled while backing off: " + last.ToString());
+    }
+  }
+  return retry_internal::GiveUp(policy, what, last);
+}
+
+}  // namespace cloudgen

@@ -29,6 +29,8 @@ enum class StatusCode : int {
   kUnavailable = 5,       // Transient I/O failure (includes injected faults).
   kAborted = 6,           // Gave up after retries (e.g. divergence watchdog).
   kInternal = 7,          // Should-not-happen conditions surfaced as errors.
+  kResourceExhausted = 8,  // A quota or capacity bound rejected the request
+                           // (serve admission control, tenant stream limits).
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -73,6 +75,7 @@ Status FailedPreconditionError(std::string message);
 Status UnavailableError(std::string message);
 Status AbortedError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // A value or the error explaining its absence. Accessing value() on an error
 // is a programmer error (CG_CHECK).

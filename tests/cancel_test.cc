@@ -60,6 +60,31 @@ TEST(CancelTokenTest, FutureDeadlineDoesNotFire) {
   EXPECT_FALSE(token.Cancelled());
 }
 
+TEST(CancelTokenTest, AlreadyExpiredDeadlineTripsOnFirstPoll) {
+  // A zero/negative deadline (e.g. --deadline-sec consumed entirely by
+  // startup) must trip on the very next Poll, not hang or disarm.
+  for (const double expired : {0.0, -5.0}) {
+    CancelToken token;
+    token.SetDeadline(expired);
+    EXPECT_FALSE(token.Cancelled());  // Only Poll() reads the clock.
+    EXPECT_TRUE(token.Poll());
+    EXPECT_TRUE(token.Cancelled());
+    EXPECT_EQ(token.Reason(), CancelReason::kDeadline);
+  }
+}
+
+TEST(CancelTokenTest, SignalRacingAnExpiredDeadlineKeepsTheSignalReason) {
+  // Both a SIGTERM and an expired deadline are pending; whichever lands
+  // first owns the reason, and later Poll()s must not rewrite it.
+  CancelToken token;
+  token.SetDeadline(-1.0);  // Would fire as kDeadline on the next Poll.
+  token.RequestCancel(CancelReason::kSignal);
+  EXPECT_TRUE(token.Poll());
+  EXPECT_EQ(token.Reason(), CancelReason::kSignal);
+  EXPECT_TRUE(token.Poll());  // Re-polling the expired deadline: no rewrite.
+  EXPECT_EQ(token.Reason(), CancelReason::kSignal);
+}
+
 TEST(CancelTokenTest, ReasonNamesAreStable) {
   EXPECT_STREQ(CancelReasonName(CancelReason::kNone), "none");
   EXPECT_STREQ(CancelReasonName(CancelReason::kRequested), "requested");
@@ -85,6 +110,30 @@ TEST(CancelTokenTest, ParallelForSkipsRemainingIndicesOnceCancelled) {
     // is visible, untouched indices are skipped entirely.
     EXPECT_GE(ran.load(), 11u);
     EXPECT_LT(ran.load(), 1000u);
+  }
+}
+
+TEST(CancelTokenTest, ParallelForObservesDeadlineExpiringMidLoop) {
+  // Work bodies Poll() at their own safe boundaries (the documented
+  // contract); once a deadline expires mid-loop, the cancel-aware overload
+  // must skip the untouched indices.
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    CancelToken token;
+    std::atomic<size_t> ran{0};
+    pool.ParallelFor(
+        0, 1000,
+        [&](size_t i) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (i == 10) {
+            token.SetDeadline(-1.0);  // Expires "in the past", mid-loop.
+          }
+          token.Poll();
+        },
+        &token);
+    EXPECT_GE(ran.load(), 11u);
+    EXPECT_LT(ran.load(), 1000u);
+    EXPECT_EQ(token.Reason(), CancelReason::kDeadline);
   }
 }
 

@@ -4,6 +4,7 @@
 // atomic-rename path.
 #include "src/trace/trace_sink.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -279,6 +280,50 @@ TEST_F(SegmentedFileSinkTest, ResumedRunRegeneratesTrimmedRowsIdentically) {
   std::string concatenated;
   ASSERT_TRUE(ConcatSegments(dir, true, &concatenated).ok());
   EXPECT_EQ(concatenated, expected);
+}
+
+// What `cloudgen segcat` turns into its corrupt-data exit code (7): a
+// MANIFEST that exists but is unusable must be DATA_LOSS with a message that
+// says what happened and what to do — never NOT_FOUND, never a silent empty
+// concatenation.
+TEST(SegmentManifestTest, EmptyManifestIsDataLossWithActionableMessage) {
+  const std::string dir = TestDir("empty_manifest");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+  { std::ofstream out(SegmentedFileSink::ManifestPath(dir)); }  // Zero bytes.
+  SegmentManifest manifest;
+  const Status status = LoadSegmentManifest(dir, &manifest);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("is empty"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("regenerate or resume"), std::string::npos);
+  std::string bytes;
+  EXPECT_EQ(ConcatSegments(dir, /*require_complete=*/false, &bytes).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(SegmentManifestTest, TruncatedManifestRowIsDataLoss) {
+  const std::string dir = TestDir("truncated_manifest");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+  {
+    // A crash mid-rewrite chops a row after the second field.
+    std::ofstream out(SegmentedFileSink::ManifestPath(dir));
+    out << "cloudgen.segments.v1\nsegment-000000.seg,128\n";
+  }
+  SegmentManifest manifest;
+  const Status status = LoadSegmentManifest(dir, &manifest);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated or corrupt"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(SegmentManifestTest, MissingManifestStaysNotFound) {
+  // NOT_FOUND (nothing there: wrong directory, or a run that never started)
+  // must stay distinct from DATA_LOSS (something there, but damaged) — the
+  // CLI maps them to different exit codes.
+  const std::string dir = TestDir("no_manifest");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+  SegmentManifest manifest;
+  EXPECT_EQ(LoadSegmentManifest(dir, &manifest).code(), StatusCode::kNotFound);
 }
 
 TEST(AtomicFileDurabilityTest, CommitSyncsFileAndParentDirectory) {
