@@ -7,9 +7,10 @@
 // path with CLOUDGEN_BENCH_OUT). The file is a cloudgen.metrics.v1 registry
 // snapshot (see docs/OBSERVABILITY.md): per-bench timings live under
 // bench.<name>.ms_per_iter / bench.<name>.iters, the cross-substrate speedups
-// under bench.speedup.{gemm_256,bptt,generation,gen_fastpath}, generation
-// throughput under bench.gen.{tokens_per_sec_fast,tokens_per_sec_naive,
-// tokens_per_sec_guarded,jobs_per_sec_single,jobs_per_sec_many}, the
+// under bench.speedup.{gemm_256,bptt,generation,gen_fastpath,gen_batched},
+// generation throughput under bench.gen.{tokens_per_sec_fast,
+// tokens_per_sec_naive,tokens_per_sec_guarded,tokens_per_sec_batched,
+// jobs_per_sec_single,jobs_per_sec_many}, the
 // numeric-guard cost under bench.gen.{guarded_step.ms_per_iter,
 // guard_overhead_pct}, and the hardware parallelism used
 // for the threaded variants under bench.hardware_threads. The speedups
@@ -326,6 +327,61 @@ double BenchGenGuardedStep() {
   return overhead_pct;
 }
 
+// --- Batched multi-stream step vs single-stream fast path ------------------
+//
+// The batched inference engine's payoff: advancing B concurrent streams as
+// one blocked (and thread-sharded) GEMM batch per layer instead of B
+// per-stream GEMVs. Both variants run the packed route and produce bitwise
+// -identical per-row outputs (see tests/batch_gen_test.cc); this measures
+// only the throughput gap at the engine's gate batch size (64 streams).
+double BenchGenBatched(size_t hw) {
+  constexpr size_t kStreams = 64;
+  constexpr size_t kInput = 96;
+  constexpr size_t kHidden = 64;
+  constexpr size_t kOutput = 47;
+  SequenceNetwork network = MakeNetwork(kInput, kHidden, kOutput);
+  network.Prepack();
+  Rng rng(21);
+
+  // Single-stream route: each stream steps alone, exactly as the legacy
+  // per-trace generation path does (one state + workspace per stream).
+  SetGlobalThreads(1);
+  std::vector<LstmState> states;
+  std::vector<StepWorkspace> workspaces(kStreams);
+  Matrix inputs(kStreams, kInput);
+  inputs.RandomUniform(rng, 1.0f);
+  for (size_t s = 0; s < kStreams; ++s) {
+    states.push_back(network.MakeState(1));
+  }
+  Matrix x(1, kInput);
+  Matrix logits;
+  const double single_ms = RunBench("gen_step_single64", [&] {
+    for (size_t s = 0; s < kStreams; ++s) {
+      std::copy(inputs.Row(s), inputs.Row(s) + kInput, x.Row(0));
+      network.StepLogits(x, &states[s], &logits, &workspaces[s]);
+    }
+  });
+
+  // Batched route: the same 64 steps as one StepBatch tick, GEMMs sharded
+  // across the hardware threads like BatchTraceEngine runs them.
+  SetGlobalThreads(hw);
+  BatchStepWorkspace bws;
+  network.EnsureBatchStep(kStreams, &bws);
+  for (size_t s = 0; s < kStreams; ++s) {
+    std::copy(inputs.Row(s), inputs.Row(s) + kInput, bws.x.Row(s));
+  }
+  const double batched_ms = RunBench("gen_step_batched64", [&] {
+    network.StepBatch(&bws);
+  });
+  SetGlobalThreads(1);
+
+  const double tokens = static_cast<double>(kStreams);
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.gen.tokens_per_sec_batched")
+      .Set(batched_ms > 0.0 ? tokens * 1000.0 / batched_ms : 0.0);
+  return batched_ms > 0.0 ? single_ms / batched_ms : 0.0;
+}
+
 // --- End-to-end trace generation (tokens → jobs) ---------------------------
 //
 // Trains a deliberately tiny WorkloadModel on synthetic data (one epoch per
@@ -447,19 +503,21 @@ int Main() {
 
   const double fastpath_speedup = BenchGenFastPath();
   const double guard_overhead_pct = BenchGenGuardedStep();
+  const double batched_speedup = BenchGenBatched(hw);
   BenchTraceGeneration(hw);
 
   BenchKaplanMeier();
   BenchPacking();
 
   std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx, "
-              "gen_fastpath %.2fx; guard overhead %.2f%%\n",
+              "gen_fastpath %.2fx, gen_batched %.2fx; guard overhead %.2f%%\n",
               gemm_speedup, bptt_speedup, gen_speedup, fastpath_speedup,
-              guard_overhead_pct);
+              batched_speedup, guard_overhead_pct);
   registry.GetGauge("bench.speedup.gemm_256").Set(gemm_speedup);
   registry.GetGauge("bench.speedup.bptt").Set(bptt_speedup);
   registry.GetGauge("bench.speedup.generation").Set(gen_speedup);
   registry.GetGauge("bench.speedup.gen_fastpath").Set(fastpath_speedup);
+  registry.GetGauge("bench.speedup.gen_batched").Set(batched_speedup);
 
   WriteBenchSnapshot("BENCH_perf.json");
   return 0;

@@ -81,7 +81,7 @@ int Usage() {
       "            [--eob-scale S] [--seed N] [--traces N] [--lenient]\n"
       "            --out GEN.csv | --out-dir DIR [--segment-bytes N]\n"
       "            [--resume-gen] [--deadline-sec S]\n"
-      "            [--guard off|abort|resample|fallback]\n"
+      "            [--guard off|abort|resample|fallback] [--batch-window N]\n"
       "  segcat    --dir DIR [--out FILE] [--allow-partial]\n"
       "  serve     --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --from-day D --days K [--port P] [--bind A]\n"
@@ -116,6 +116,9 @@ int Usage() {
       "                output is byte-identical to an uninterrupted run\n"
       "  --guard       numeric-health policy for generation steps (default\n"
       "                abort; see docs/ROBUSTNESS.md)\n"
+      "  --batch-window  max traces stepped in lockstep by the batched\n"
+      "                inference engine (default 256; 0 = single-stream path;\n"
+      "                output bytes are identical for every setting)\n"
       "\n"
       "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure,\n"
       "            5 generation interrupted (resumable), 6 numeric-guard abort,\n"
@@ -330,6 +333,12 @@ int RunGenerate(const Flags& flags) {
     std::fprintf(stderr, "--guard must be off|abort|resample|fallback\n");
     return kExitUsage;
   }
+  const long batch_window = flags.GetLong("batch-window", 256);
+  if (batch_window < 0) {
+    std::fprintf(stderr, "--batch-window must be >= 0\n");
+    return kExitUsage;
+  }
+  options.batch_window = static_cast<size_t>(batch_window);
   const auto seed = static_cast<uint64_t>(flags.GetLong("seed", 11));
   Rng rng(seed);
   const std::string out = flags.GetString("out", "generated.csv");

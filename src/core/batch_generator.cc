@@ -1,0 +1,281 @@
+#include "src/core/batch_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/cancel.h"
+#include "src/util/check.h"
+
+namespace cloudgen {
+
+TraceStreamMachine::TraceStreamMachine(const WorkloadModel& model,
+                                       const WorkloadModel::GenerateOptions& options,
+                                       uint64_t base, size_t index)
+    : options_(options),
+      arrivals_(model.ArrivalModel()),
+      binning_(model.LifetimeModel().Binning()),
+      index_(index),
+      rng_(Rng::Stream(base, index)),
+      trace_(model.Flavors(), options.from_period, options.to_period),
+      // Same first draw as WorkloadModel::Generate: one DOH day per trace.
+      doh_day_(model.ArrivalModel().SampleDohDay(rng_, options.doh_mode)),
+      flavor_gen_(model.FlavorModel(), doh_day_, options.eob_scale, options.guard),
+      lifetime_gen_(model.LifetimeModel(), doh_day_, options.guard),
+      factored_flavor_(model.FlavorModel().Network().IsFactored()),
+      period_(options.from_period) {}
+
+void TraceStreamMachine::Advance() {
+  // Hot-path metric handles, registered once per process (see metrics.h).
+  // Same counters, bumped at the same points, as PeriodEngine::RunPeriod.
+  static obs::Counter& period_counter = obs::Registry::Global().GetCounter("gen.periods");
+  static obs::Counter& batch_counter = obs::Registry::Global().GetCounter("gen.batches");
+  static obs::Counter& job_counter = obs::Registry::Global().GetCounter("gen.jobs");
+  for (;;) {
+    switch (phase_) {
+      case Phase::kPeriodStart: {
+        if (period_ >= options_.to_period) {
+          need_ = Need::kDone;
+          return;
+        }
+        if (options_.cancel != nullptr && options_.cancel->Poll()) {
+          // Partial trace: the driver discards it, never persists it.
+          need_ = Need::kDone;
+          return;
+        }
+        // A no-DOH arrival override ignores the day argument internally.
+        const int arrivals_doh = std::min(doh_day_, std::max(1, arrivals_.HistoryDays()));
+        const double rate = arrivals_.Rate(period_, arrivals_doh) * options_.arrival_scale;
+        const int64_t n_batches = rng_.Poisson(rate);
+        period_counter.Add(1);
+        if (n_batches == 0) {
+          ++period_;
+          break;
+        }
+        flavor_gen_.StartPeriod(period_, n_batches, kGenMaxJobsPerPeriod);
+        phase_ = Phase::kFlavor;
+        break;
+      }
+      case Phase::kFlavor: {
+        if (flavor_gen_.PeriodActive() &&
+            !(options_.cancel != nullptr && options_.cancel->Cancelled())) {
+          need_ = Need::kFlavorStep;
+          return;
+        }
+        // Period's token stream is complete (or cancelled mid-stream, in
+        // which case the partial batches flow through the lifetime stage
+        // exactly as GeneratePeriod's early break does).
+        batches_ = flavor_gen_.TakeBatches();
+        batch_counter.Add(static_cast<uint64_t>(batches_.size()));
+        batch_idx_ = 0;
+        job_idx_ = 0;
+        if (!batches_.empty()) {
+          user_ = next_user_++;
+          job_counter.Add(static_cast<uint64_t>(batches_[0].size()));
+        }
+        phase_ = Phase::kLifetime;
+        break;
+      }
+      case Phase::kLifetime: {
+        while (batch_idx_ < batches_.size() &&
+               job_idx_ >= batches_[batch_idx_].size()) {
+          ++batch_idx_;
+          job_idx_ = 0;
+          if (batch_idx_ < batches_.size()) {
+            user_ = next_user_++;
+            job_counter.Add(static_cast<uint64_t>(batches_[batch_idx_].size()));
+          }
+        }
+        if (batch_idx_ < batches_.size()) {
+          need_ = Need::kLifetimeStep;
+          return;
+        }
+        ++period_;
+        phase_ = Phase::kPeriodStart;
+        break;
+      }
+    }
+  }
+}
+
+void TraceStreamMachine::BeginNeededStep(float* x_row) {
+  if (need_ == Need::kFlavorStep) {
+    flavor_gen_.BeginStep(x_row);
+    return;
+  }
+  CG_DCHECK(need_ == Need::kLifetimeStep);
+  const std::vector<int32_t>& batch = batches_[batch_idx_];
+  lifetime_gen_.BeginJobStep(period_, batch[job_idx_], batch.size(), x_row);
+}
+
+void TraceStreamMachine::FinishNeededStep() {
+  if (need_ == Need::kFlavorStep) {
+    flavor_gen_.ConsumeStep(rng_);
+  } else {
+    CG_DCHECK(need_ == Need::kLifetimeStep);
+    EmitJob(lifetime_gen_.ConsumeJobStep(rng_));
+  }
+  Advance();
+}
+
+void TraceStreamMachine::RunNeededStepSingle() {
+  if (need_ == Need::kFlavorStep) {
+    flavor_gen_.StepToken(rng_);
+  } else {
+    CG_DCHECK(need_ == Need::kLifetimeStep);
+    const std::vector<int32_t>& batch = batches_[batch_idx_];
+    EmitJob(lifetime_gen_.StepJob(period_, batch[job_idx_], batch.size(), rng_));
+  }
+  Advance();
+}
+
+void TraceStreamMachine::EmitJob(size_t bin) {
+  const double duration =
+      SampleDurationInBin(binning_, bin, options_.interpolation, rng_);
+  Job job;
+  job.start_period = period_;
+  job.end_period =
+      period_ + static_cast<int64_t>(std::llround(duration / kSecondsPerPeriod));
+  job.flavor = batches_[batch_idx_][job_idx_];
+  job.user = user_;
+  job.censored = false;
+  trace_.Add(job);
+  ++job_idx_;
+}
+
+LstmState* TraceStreamMachine::StepState() {
+  return need_ == Need::kFlavorStep ? flavor_gen_.MutableState()
+                                    : lifetime_gen_.MutableState();
+}
+
+Matrix* TraceStreamMachine::StepLogits() {
+  return need_ == Need::kFlavorStep ? flavor_gen_.MutableLogits()
+                                    : lifetime_gen_.MutableLogits();
+}
+
+bool TraceStreamMachine::StepWantsLogits() const {
+  return need_ != Need::kFlavorStep || !factored_flavor_;
+}
+
+BatchTraceEngine::BatchTraceEngine(const WorkloadModel& model,
+                                   const WorkloadModel::GenerateOptions& options,
+                                   uint64_t base)
+    : model_(model), options_(options), base_(base) {}
+
+void BatchTraceEngine::Run(size_t first, size_t count, size_t window,
+                           const std::function<bool(size_t, Trace&&)>& emit) {
+  window = std::max<size_t>(1, window);
+  // Hot-path metric handles, registered once per process (see metrics.h).
+  static obs::Counter& tick_counter =
+      obs::Registry::Global().GetCounter("gen.batch.ticks");
+  static obs::Counter& row_counter =
+      obs::Registry::Global().GetCounter("gen.batch.rows");
+
+  const SequenceNetwork& flavor_net = model_.FlavorModel().Network();
+  const SequenceNetwork& lifetime_net = model_.LifetimeModel().Network();
+  std::vector<std::unique_ptr<TraceStreamMachine>> active;
+  std::vector<TraceStreamMachine*> flavor_group;
+  std::vector<TraceStreamMachine*> lifetime_group;
+  size_t next = first;
+  const size_t end = first + count;
+
+  for (;;) {
+    // Retire finished traces (compacting the active set) and refill the
+    // window from the remaining indices.
+    size_t live = 0;
+    for (auto& m : active) {
+      if (m->need() == TraceStreamMachine::Need::kDone) {
+        if (!emit(m->index(), m->TakeTrace())) {
+          return;
+        }
+      } else {
+        active[live++] = std::move(m);
+      }
+    }
+    active.resize(live);
+    while (active.size() < window && next < end) {
+      auto m = std::make_unique<TraceStreamMachine>(model_, options_, base_, next);
+      ++next;
+      m->Advance();
+      if (m->need() == TraceStreamMachine::Need::kDone) {
+        if (!emit(m->index(), m->TakeTrace())) {
+          return;
+        }
+      } else {
+        active.push_back(std::move(m));
+      }
+    }
+    if (active.empty()) {
+      return;
+    }
+
+    // One tick: every active machine needs exactly one LSTM step; run each
+    // network's group as one gathered batch.
+    flavor_group.clear();
+    lifetime_group.clear();
+    for (auto& m : active) {
+      (m->need() == TraceStreamMachine::Need::kFlavorStep ? flavor_group
+                                                          : lifetime_group)
+          .push_back(m.get());
+    }
+    tick_counter.Add(1);
+    row_counter.Add(static_cast<uint64_t>(active.size()));
+    if (!flavor_group.empty()) {
+      StepGroup(flavor_net, flavor_group, &flavor_ws_);
+    }
+    if (!lifetime_group.empty()) {
+      StepGroup(lifetime_net, lifetime_group, &lifetime_ws_);
+    }
+  }
+}
+
+void BatchTraceEngine::StepGroup(const SequenceNetwork& net,
+                                 const std::vector<TraceStreamMachine*>& group,
+                                 BatchStepWorkspace* ws) {
+  static obs::Counter& single_counter =
+      obs::Registry::Global().GetCounter("gen.batch.singles");
+  if (group.size() == 1) {
+    // A 1-row batch is the same math with gather/scatter overhead on top;
+    // the single-stream fast path is the bitwise-identical shortcut.
+    single_counter.Add(1);
+    group[0]->RunNeededStepSingle();
+    return;
+  }
+  const size_t rows = group.size();
+  net.EnsureBatchStep(rows, ws);
+  const size_t layers = ws->state.h.size();
+  const size_t hidden = net.Config().hidden_dim;
+  for (size_t r = 0; r < rows; ++r) {
+    group[r]->BeginNeededStep(ws->x.Row(r));
+    const LstmState* state = group[r]->StepState();
+    for (size_t l = 0; l < layers; ++l) {
+      const float* h = state->h[l].Row(0);
+      const float* c = state->c[l].Row(0);
+      std::copy(h, h + hidden, ws->state.h[l].Row(r));
+      std::copy(c, c + hidden, ws->state.c[l].Row(r));
+    }
+  }
+  net.StepBatch(ws);
+  const size_t out_dim = net.Config().output_dim;
+  for (size_t r = 0; r < rows; ++r) {
+    LstmState* state = group[r]->StepState();
+    for (size_t l = 0; l < layers; ++l) {
+      const float* h = ws->state.h[l].Row(r);
+      const float* c = ws->state.c[l].Row(r);
+      std::copy(h, h + hidden, state->h[l].Row(0));
+      std::copy(c, c + hidden, state->c[l].Row(0));
+    }
+    if (group[r]->StepWantsLogits()) {
+      Matrix* logits = group[r]->StepLogits();
+      if (logits->Rows() != 1 || logits->Cols() != out_dim) {
+        logits->Resize(1, out_dim);
+      }
+      const float* src = ws->logits.Row(r);
+      std::copy(src, src + out_dim, logits->Row(0));
+    }
+    group[r]->FinishNeededStep();
+  }
+}
+
+}  // namespace cloudgen

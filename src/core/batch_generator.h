@@ -1,0 +1,134 @@
+// Batched multi-stream generation engine.
+//
+// The single-stream generator spends almost all of its time in batch-1 GEMVs:
+// one trace advances one token at a time, so every LSTM layer multiplies a
+// (1, H) row against (·, 4H) weights. This engine steps many independent
+// traces in lockstep instead: each tick it gathers the active streams' step
+// inputs and per-layer h/c rows into one matrix, runs a single blocked GEMM
+// per LSTM layer (SequenceNetwork::StepBatch), and scatters the results back.
+// Because every GEMM/GEMV kernel computes each output element as one fixed
+// p-ascending reduction, row r of a batched step is bitwise-identical to a
+// batch-1 step of that stream alone — and each stream samples only from its
+// own Rng::Stream — so generated traces are byte-identical for ANY window
+// size and thread count (the single-stream path is the oracle).
+//
+// Two layers:
+//  * TraceStreamMachine — one trace as a resumable state machine. Advance()
+//    runs everything that is not an LSTM step (arrival Poisson draws,
+//    duration sampling, job emission, period/phase transitions) until the
+//    machine either needs a flavor-token or lifetime-job LSTM step, or the
+//    trace is complete. The needed step can be run whole (single-stream
+//    route) or split into gather/scatter halves for batching.
+//  * BatchTraceEngine — the tick loop: partitions active machines by which
+//    network they need (flavor vs lifetime), steps each group as one batch,
+//    retires finished traces, and refills the window from the remaining
+//    indices. Ragged batches are handled by compaction: done machines leave
+//    the active set, so the batch shrinks to exactly the live streams.
+#ifndef SRC_CORE_BATCH_GENERATOR_H_
+#define SRC_CORE_BATCH_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/workload_model.h"
+#include "src/util/rng.h"
+
+namespace cloudgen {
+
+// One trace being generated, decomposed so the LSTM steps can be executed
+// externally. Draw-for-draw identical to WorkloadModel::Generate on the same
+// Rng::Stream(base, index).
+class TraceStreamMachine {
+ public:
+  enum class Need { kFlavorStep, kLifetimeStep, kDone };
+
+  TraceStreamMachine(const WorkloadModel& model,
+                     const WorkloadModel::GenerateOptions& options, uint64_t base,
+                     size_t index);
+
+  Need need() const { return need_; }
+  size_t index() const { return index_; }
+
+  // Runs all non-NN work until the next LSTM step is needed (or the trace is
+  // done). Must be called once after construction, and is re-entered
+  // automatically by FinishNeededStep/RunNeededStepSingle.
+  void Advance();
+
+  // Split execution of the needed step: BeginNeededStep encodes the step
+  // input into `x_row` (a gathered batch row); after the external batched
+  // LSTM step scatters h/c (and logits, when StepWantsLogits()) back through
+  // StepState()/StepLogits(), FinishNeededStep samples, applies the result,
+  // and advances to the next needed step.
+  void BeginNeededStep(float* x_row);
+  void FinishNeededStep();
+  // Runs the needed step entirely on the single-stream fast path — used when
+  // a tick group has exactly one machine, where a 1-row batch would be the
+  // same math with extra gather/scatter.
+  void RunNeededStepSingle();
+
+  // Gather/scatter access for the needed step's generator.
+  LstmState* StepState();
+  Matrix* StepLogits();
+  // False when the needed step's head samples from the hidden state directly
+  // (class-factored flavor head) and no logits row exists to scatter.
+  bool StepWantsLogits() const;
+
+  Trace&& TakeTrace() { return std::move(trace_); }
+
+ private:
+  void EmitJob(size_t bin);
+
+  const WorkloadModel::GenerateOptions& options_;
+  const BatchArrivalModel& arrivals_;
+  const LifetimeBinning& binning_;
+  size_t index_;
+  Rng rng_;
+  Trace trace_;
+  int doh_day_;
+  FlavorLstmModel::Generator flavor_gen_;
+  LifetimeLstmModel::Generator lifetime_gen_;
+  bool factored_flavor_;
+
+  enum class Phase { kPeriodStart, kFlavor, kLifetime };
+  Phase phase_ = Phase::kPeriodStart;
+  Need need_ = Need::kDone;
+  int64_t period_;
+  std::vector<std::vector<int32_t>> batches_;
+  size_t batch_idx_ = 0;
+  size_t job_idx_ = 0;
+  int64_t user_ = 0;
+  int64_t next_user_ = 0;
+};
+
+class BatchTraceEngine {
+ public:
+  BatchTraceEngine(const WorkloadModel& model,
+                   const WorkloadModel::GenerateOptions& options, uint64_t base);
+
+  // Generates traces [first, first + count) with at most `window` streams in
+  // flight. Completed traces are handed to `emit` in completion order (NOT
+  // index order — the caller reorders); `emit` returning false stops the
+  // engine early and abandons the remaining partial traces.
+  void Run(size_t first, size_t count, size_t window,
+           const std::function<bool(size_t, Trace&&)>& emit);
+
+ private:
+  void StepGroup(const SequenceNetwork& net,
+                 const std::vector<TraceStreamMachine*>& group,
+                 BatchStepWorkspace* ws);
+
+  const WorkloadModel& model_;
+  const WorkloadModel::GenerateOptions& options_;
+  uint64_t base_;
+  // One workspace per network; capacity persists across ticks, so the steady
+  // state performs no per-token heap allocation (see BatchStepWorkspace).
+  BatchStepWorkspace flavor_ws_;
+  BatchStepWorkspace lifetime_ws_;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_CORE_BATCH_GENERATOR_H_

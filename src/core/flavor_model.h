@@ -40,6 +40,13 @@ struct FlavorModelConfig {
   float clip_norm = 5.0f;
   // Multiplicative learning-rate decay applied after every epoch.
   float lr_decay = 1.0f;
+  // > 0 trains a class-factored two-level softmax head with this many
+  // balanced clusters instead of the dense head (src/nn/factored_softmax.h).
+  // Generation then samples cluster-then-member in O(sqrt(K)) per token.
+  // Draw counts differ from the dense head (two Categorical draws per
+  // token), so factored models are a different sampling distribution, not a
+  // bitwise variant of the dense oracle. 0 keeps the dense head.
+  size_t factored_clusters = 0;
   // Checkpointing, resume, and divergence-watchdog behaviour.
   TrainRecoveryConfig recovery;
 };
@@ -53,6 +60,11 @@ struct FlavorStream {
   // In-window DOH day of each step.
   std::vector<int32_t> doh_days;
 };
+
+// Safety cap on jobs sampled per period: bounds runaway token sequences.
+// Shared by the single-stream and batched generation drivers so the two
+// routes truncate at exactly the same point.
+inline constexpr size_t kGenMaxJobsPerPeriod = 20000;
 
 class FlavorLstmModel {
  public:
@@ -69,6 +81,9 @@ class FlavorLstmModel {
   bool IsTrained() const { return encoder_ != nullptr; }
   const FlavorVocab& Vocab() const;
   size_t NumParameters() const { return network_.NumParameters(); }
+  // Network access for the batched engine (src/core/batch_generator.h) and
+  // head-introspection in tests.
+  const SequenceNetwork& Network() const { return network_; }
 
   // Teacher-forced evaluation on a trace (future periods encode DOH = N).
   struct EvalResult {
@@ -112,9 +127,38 @@ class FlavorLstmModel {
     // A safety cap bounds runaway sequences. When `cancel` is set, the token
     // loop winds down early once cancellation is requested (the partial
     // period is discarded by the caller, never persisted).
-    std::vector<std::vector<int32_t>> GeneratePeriod(int64_t period, int64_t n_batches,
-                                                     Rng& rng, size_t max_jobs = 20000,
-                                                     const CancelToken* cancel = nullptr);
+    std::vector<std::vector<int32_t>> GeneratePeriod(
+        int64_t period, int64_t n_batches, Rng& rng,
+        size_t max_jobs = kGenMaxJobsPerPeriod, const CancelToken* cancel = nullptr);
+
+    // Decomposed token machine — the same per-token cycle GeneratePeriod
+    // runs, split open so the batched engine (src/core/batch_generator.h)
+    // can execute the LSTM step of many generators as one gathered batch.
+    // Protocol: StartPeriod, then while PeriodActive() either call
+    // StepToken (single-stream: encode + LSTM step + sample in one call;
+    // exactly one GeneratePeriod iteration) or the split halves —
+    // BeginStep(x_row) to encode this step's input into a gathered batch
+    // row, an external LSTM step that scatters h/c (and, for dense heads,
+    // the logits row) back into MutableState()/MutableLogits(), then
+    // ConsumeStep to sample and advance. Token draws come only from `rng`,
+    // so a stream's output depends only on its own Rng regardless of how
+    // steps are batched. TakeBatches() yields the finished period.
+    void StartPeriod(int64_t period, int64_t n_batches,
+                     size_t max_jobs = kGenMaxJobsPerPeriod);
+    bool PeriodActive() const { return period_active_; }
+    void StepToken(Rng& rng);
+    void BeginStep(float* x_row);
+    void ConsumeStep(Rng& rng);
+    std::vector<std::vector<int32_t>> TakeBatches() {
+      period_active_ = false;
+      return std::move(batches_);
+    }
+
+    // Gather/scatter access for the batched driver. MutableLogits() is only
+    // written for dense-head models; factored models sample from the
+    // scattered hidden state directly.
+    LstmState* MutableState() { return &state_; }
+    Matrix* MutableLogits() { return &logits_; }
 
     // Exact generator state (hidden state + previous-token feedback) for
     // streaming-mode generation checkpoints. LoadState requires a Generator
@@ -123,6 +167,13 @@ class FlavorLstmModel {
     void LoadState(std::istream& in);
 
    private:
+    // Shared post-sample tail: batch/EOB bookkeeping, job cap, feedback.
+    void AdvanceToken(size_t token, size_t eob);
+    // Two-level sample for factored heads (cluster draw + member draw, with
+    // the EOB scale folded in exactly); includes the guard handling and the
+    // empty-batch EOB reinterpretation.
+    size_t SampleFactoredToken(Rng& rng);
+
     const FlavorLstmModel& model_;
     int doh_day_;
     double eob_scale_;
@@ -137,6 +188,13 @@ class FlavorLstmModel {
     // Pre-step snapshot for --guard=fallback (same-shape copies: no
     // steady-state allocation). Unused under other policies.
     LstmState fallback_state_;
+    // Open-period machine state (StartPeriod .. TakeBatches).
+    std::vector<std::vector<int32_t>> batches_;
+    int64_t period_ = 0;
+    int64_t n_batches_ = 0;
+    size_t max_jobs_ = kGenMaxJobsPerPeriod;
+    size_t total_jobs_ = 0;
+    bool period_active_ = false;
   };
 
   // Atomic (temp + rename) model persistence.

@@ -382,25 +382,43 @@ LifetimeLstmModel::Generator::Generator(const LifetimeLstmModel& model, int doh_
 
 size_t LifetimeLstmModel::Generator::StepJob(int64_t period, int32_t flavor,
                                              size_t batch_size, Rng& rng) {
-  LifetimeStep step;
-  step.period = period;
-  step.doh_day = doh_day_;
-  step.flavor = flavor;
-  step.batch_size = batch_size;
-  model_.EncodeStep(step, prev_, input_.Row(0));
-  // Hot-path metric handles, registered once per process (see metrics.h).
-  static obs::Counter& token_counter = obs::Registry::Global().GetCounter("gen.tokens");
+  // Hot-path metric handle, registered once per process (see metrics.h).
   static obs::Histogram& step_hist =
       obs::Registry::Global().GetHistogram("gen.step_ns", obs::StepLatencyBucketsNs());
-  if (guard_ == GuardPolicy::kFallback) {
-    fallback_state_ = state_;  // Same-shape copy: no steady-state allocation.
-  }
+  BeginJobStep(period, flavor, batch_size, input_.Row(0));
   const auto step_start = std::chrono::steady_clock::now();
   model_.network_.StepLogits(input_, &state_, &logits_, &ws_);
   step_hist.Observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                             std::chrono::steady_clock::now() - step_start)
                                             .count()));
+  return ConsumeJobStep(rng);
+}
+
+void LifetimeLstmModel::Generator::BeginJobStep(int64_t period, int32_t flavor,
+                                                size_t batch_size, float* x_row) {
+  LifetimeStep step;
+  step.period = period;
+  step.doh_day = doh_day_;
+  step.flavor = flavor;
+  step.batch_size = batch_size;
+  // The step input always lands in input_ as well: the --guard=fallback
+  // re-run inside ConsumeJobStep replays the step from it.
+  float* own = input_.Row(0);
+  model_.EncodeStep(step, prev_, own);
+  pending_period_ = period;
+  if (guard_ == GuardPolicy::kFallback) {
+    fallback_state_ = state_;  // Same-shape copy: no steady-state allocation.
+  }
+  if (x_row != own) {
+    std::copy(own, own + input_.Cols(), x_row);
+  }
+}
+
+size_t LifetimeLstmModel::Generator::ConsumeJobStep(Rng& rng) {
+  // Hot-path metric handle, registered once per process (see metrics.h).
+  static obs::Counter& token_counter = obs::Registry::Global().GetCounter("gen.tokens");
   token_counter.Add(1);
+  const int64_t period = pending_period_;
   if (FaultInjector::Global().ShouldInject(FaultKind::kGenNanLogit)) {
     logits_.Row(0)[0] = std::numeric_limits<float>::quiet_NaN();
   }

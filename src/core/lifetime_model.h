@@ -89,6 +89,8 @@ class LifetimeLstmModel {
   bool IsTrained() const { return encoder_ != nullptr; }
   const LifetimeBinning& Binning() const;
   size_t NumParameters() const { return network_.NumParameters(); }
+  // Network access for the batched engine (src/core/batch_generator.h).
+  const SequenceNetwork& Network() const { return network_; }
 
   struct EvalResult {
     double bce = 0.0;           // Masked BCE over all hazard terms.
@@ -124,6 +126,19 @@ class LifetimeLstmModel {
     // the next step's previous-lifetime features.
     size_t StepJob(int64_t period, int32_t flavor, size_t batch_size, Rng& rng);
 
+    // Split halves for the batched engine (src/core/batch_generator.h),
+    // mirroring FlavorLstmModel::Generator::BeginStep/ConsumeStep:
+    // BeginJobStep encodes the job's input into `x_row`; an external batched
+    // LSTM step then scatters h/c and the logits row back into
+    // MutableState()/MutableLogits(), and ConsumeJobStep samples the bin and
+    // feeds it back. StepJob is exactly BeginJobStep + StepLogits +
+    // ConsumeJobStep, so the two routes draw identically from `rng`.
+    void BeginJobStep(int64_t period, int32_t flavor, size_t batch_size,
+                      float* x_row);
+    size_t ConsumeJobStep(Rng& rng);
+    LstmState* MutableState() { return &state_; }
+    Matrix* MutableLogits() { return &logits_; }
+
     // Exact generator state (hidden state + previous-lifetime feedback) for
     // streaming-mode generation checkpoints. LoadState requires a Generator
     // constructed against the same model/options.
@@ -145,6 +160,9 @@ class LifetimeLstmModel {
     // Pre-step snapshot for --guard=fallback (same-shape copies: no
     // steady-state allocation). Unused under other policies.
     LstmState fallback_state_;
+    // Period of the job between BeginJobStep and ConsumeJobStep (guard
+    // messages only).
+    int64_t pending_period_ = 0;
   };
 
   // Atomic (temp + rename) model persistence.

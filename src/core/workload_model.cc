@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/core/batch_generator.h"
 #include "src/core/gen_checkpoint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
@@ -85,7 +86,7 @@ class WorkloadModel::PeriodEngine {
     }
     const CancelToken* cancel = allow_midperiod_cancel ? options_.cancel : nullptr;
     const std::vector<std::vector<int32_t>> batches =
-        flavor_gen_.GeneratePeriod(period, n_batches, rng, /*max_jobs=*/20000, cancel);
+        flavor_gen_.GeneratePeriod(period, n_batches, rng, kGenMaxJobsPerPeriod, cancel);
     batch_counter.Add(batches.size());
     for (const std::vector<int32_t>& batch : batches) {
       const int64_t user = next_user_++;
@@ -253,67 +254,84 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
 
   static obs::Counter& trace_counter = obs::Registry::Global().GetCounter("gen.traces");
 
-  // Workers generate out of order; flushes happen strictly in index order
-  // under the reorder lock so segment bytes never depend on thread count.
+  // Traces complete out of order; flushes happen strictly in index order so
+  // segment bytes never depend on thread count or completion order.
   std::mutex mu;
   std::map<size_t, Trace> pending;
   size_t next_flush = start;
   Status sink_status = OkStatus();
   bool stop_flushing = false;
 
-  GlobalThreadPool().ParallelFor(
-      start, count,
-      [&](size_t i) {
-        // Trace i's content depends only on (base, i) — never on which
-        // worker generated it or on the thread count.
-        Rng stream = Rng::Stream(base, i);
-        Trace trace = Generate(options, stream);
-        std::lock_guard<std::mutex> lock(mu);
-        if (!sink_status.ok() || stop_flushing) {
-          return;
-        }
-        if (options.cancel != nullptr && options.cancel->Cancelled()) {
-          // This trace (and any later one) may be partial; once cancellation
-          // is visible nothing more is flushed — the checkpoint cursor makes
-          // the resume run regenerate from next_flush.
-          stop_flushing = true;
-          return;
-        }
-        pending.emplace(i, std::move(trace));
-        while (!pending.empty() && pending.begin()->first == next_flush) {
-          const Trace& ready = pending.begin()->second;
-          Status st = FlushTraceToSink(run.sink, next_flush, ready);
+  // In-order flush of completed trace i. Single-threaded in the batched
+  // path; the trace-parallel path calls it under `mu`. Returns false once
+  // flushing must stop (sink error or visible cancellation).
+  const auto flush_in_order = [&](size_t i, Trace&& trace) -> bool {
+    if (!sink_status.ok() || stop_flushing) {
+      return false;
+    }
+    if (options.cancel != nullptr && options.cancel->Cancelled()) {
+      // This trace (and any later one) may be partial; once cancellation
+      // is visible nothing more is flushed — the checkpoint cursor makes
+      // the resume run regenerate from next_flush.
+      stop_flushing = true;
+      return false;
+    }
+    pending.emplace(i, std::move(trace));
+    while (!pending.empty() && pending.begin()->first == next_flush) {
+      const Trace& ready = pending.begin()->second;
+      Status st = FlushTraceToSink(run.sink, next_flush, ready);
+      if (!st.ok()) {
+        sink_status = st;
+        break;
+      }
+      report->traces += 1;
+      report->jobs += ready.NumJobs();
+      trace_counter.Add(1);
+      pending.erase(pending.begin());
+      ++next_flush;
+      bool sealed = false;
+      st = run.sink->CommitPoint(/*force=*/false, &sealed);
+      if (!st.ok()) {
+        sink_status = st;
+        break;
+      }
+      if (sealed) {
+        // The buffer drains fully at every seal, so everything before
+        // next_flush is durable: exactly what the cursor promises.
+        cursor.segments_sealed += 1;
+        cursor.next_trace = next_flush;
+        if (!run.checkpoint_path.empty()) {
+          st = SaveGenCheckpoint(run.checkpoint_path, cursor);
           if (!st.ok()) {
             sink_status = st;
             break;
           }
-          report->traces += 1;
-          report->jobs += ready.NumJobs();
-          trace_counter.Add(1);
-          pending.erase(pending.begin());
-          ++next_flush;
-          bool sealed = false;
-          st = run.sink->CommitPoint(/*force=*/false, &sealed);
-          if (!st.ok()) {
-            sink_status = st;
-            break;
-          }
-          if (sealed) {
-            // The buffer drains fully at every seal, so everything before
-            // next_flush is durable: exactly what the cursor promises.
-            cursor.segments_sealed += 1;
-            cursor.next_trace = next_flush;
-            if (!run.checkpoint_path.empty()) {
-              st = SaveGenCheckpoint(run.checkpoint_path, cursor);
-              if (!st.ok()) {
-                sink_status = st;
-                break;
-              }
-            }
-          }
         }
-      },
-      options.cancel);
+      }
+    }
+    return sink_status.ok();
+  };
+
+  if (options.batch_window > 0) {
+    // Batched multi-stream engine: one driver steps up to batch_window
+    // traces in lockstep, turning per-trace GEMVs into blocked GEMMs (which
+    // shard across the pool). Trace i's bytes are identical to the legacy
+    // path below — each stream draws only from Rng::Stream(base, i).
+    BatchTraceEngine engine(*this, options, base);
+    engine.Run(start, count - start, options.batch_window, flush_in_order);
+  } else {
+    GlobalThreadPool().ParallelFor(
+        start, count,
+        [&](size_t i) {
+          // Trace i's content depends only on (base, i) — never on which
+          // worker generated it or on the thread count.
+          Rng stream = Rng::Stream(base, i);
+          Trace trace = Generate(options, stream);
+          std::lock_guard<std::mutex> lock(mu);
+          flush_in_order(i, std::move(trace));
+        },
+        options.cancel);
+  }
 
   if (!sink_status.ok()) {
     return sink_status;
@@ -349,11 +367,16 @@ uint64_t WorkloadModel::TraceFamilyBase(uint64_t seed) {
 
 void WorkloadModel::GenerateTraceRows(const GenerateOptions& options, uint64_t base,
                                       size_t index, std::string* out) const {
-  Rng stream = Rng::Stream(base, index);
-  const Trace trace = Generate(options, stream);
-  for (const Job& job : trace.Jobs()) {
-    AppendJobRow(index, job, out);
-  }
+  // One stream through the engine: every tick group has exactly one machine,
+  // so each step takes the single-stream shortcut and the rows are
+  // byte-identical to a direct Generate on Rng::Stream(base, index).
+  BatchTraceEngine engine(*this, options, base);
+  engine.Run(index, 1, 1, [out](size_t i, Trace&& trace) {
+    for (const Job& job : trace.Jobs()) {
+      AppendJobRow(i, job, out);
+    }
+    return true;
+  });
 }
 
 Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng,

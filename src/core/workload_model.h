@@ -64,6 +64,17 @@ class WorkloadModel {
     // winds down at the next safe boundary; sink-based runs seal what is
     // buffered and checkpoint so --resume-gen continues bitwise-identically.
     const CancelToken* cancel = nullptr;
+    // Max traces stepped in lockstep by the batched multi-stream engine
+    // (GenerateMany; see src/core/batch_generator.h): each tick runs the
+    // active streams' LSTM steps as one blocked GEMM batch instead of
+    // per-trace GEMVs. Output bytes are identical for every window — each
+    // stream draws only from its own Rng::Stream and batched GEMM rows are
+    // bitwise-equal to batch-1 steps — so this is purely a throughput knob.
+    // 0 disables the engine and keeps the legacy trace-parallel
+    // single-stream path (the bitwise oracle route). Deliberately NOT part
+    // of the resume fingerprint: checkpoints transfer across window
+    // settings.
+    size_t batch_window = 256;
   };
 
   // Samples one synthetic trace covering [from_period, to_period). One DOH

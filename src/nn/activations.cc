@@ -64,10 +64,27 @@ double MaxShiftedExp(const float* row, size_t n, std::vector<double>* out) {
   for (size_t c = 1; c < n; ++c) {
     max_v = std::max(max_v, row[c]);
   }
+  if (!std::isfinite(max_v)) {
+    // Every logit is -inf, or a NaN/+inf won the max: row[c] - max_v is NaN
+    // for at least the maximal element, so no valid distribution exists.
+    // Return all-zero weights and a zero sum — the one state every consumer
+    // already treats as degenerate (ValidWeights rejects it for the guard
+    // path; Rng::Categorical's fallback keeps unguarded draws in range) —
+    // instead of a buffer of NaNs that samples index 0 forever.
+    std::fill(out->begin(), out->end(), 0.0);
+    return 0.0;
+  }
   double sum = 0.0;
   for (size_t c = 0; c < n; ++c) {
     (*out)[c] = std::exp(static_cast<double>(row[c] - max_v));
     sum += (*out)[c];
+  }
+  if (!std::isfinite(sum)) {
+    // A NaN logit below a finite max slipped NaN into the weights. Every
+    // term is exp(x) with x <= 0, so a finite row always sums to (0, n] and
+    // never reaches here; only corrupt rows pay the zero-fill.
+    std::fill(out->begin(), out->end(), 0.0);
+    return 0.0;
   }
   return sum;
 }

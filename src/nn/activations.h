@@ -29,6 +29,13 @@ void SoftmaxRowsInPlace(Matrix* logits);
 // normalized probabilities (the categorical sampler consumes unnormalized
 // weights directly). `out` is resized to n; its capacity is reused across
 // calls, so a caller-owned buffer makes this allocation-free in steady state.
+//
+// Degenerate rows (all logits -inf, or any NaN/+inf present) cannot produce
+// a distribution; instead of silently emitting NaN weights, `out` is filled
+// with zeros and 0.0 is returned. A zero sum is therefore the corruption
+// signal: guard policies see it through ValidWeights, and the categorical
+// samplers' degenerate-weights fallback keeps even unguarded runs in range.
+// Finite rows are unaffected bit for bit (their sums are always in (0, n]).
 double MaxShiftedExp(const float* row, size_t n, std::vector<double>* out);
 
 }  // namespace cloudgen

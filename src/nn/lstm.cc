@@ -218,6 +218,28 @@ void LstmLayer::StepForwardFast(const float* x, float* h, float* c, float* gates
   ActivateGatesRow(b_.Row(0), c, gates, h, c, hidden_);
 }
 
+void LstmLayer::StepForwardBatch(const Matrix& x, Matrix* h, Matrix* c,
+                                 Matrix* gates) const {
+  CG_DCHECK(h != nullptr && c != nullptr && gates != nullptr);
+  const size_t batch = x.Rows();
+  const size_t h4 = 4 * hidden_;
+  CG_DCHECK(h->Rows() == batch && h->Cols() == hidden_);
+  CG_DCHECK(c->Rows() == batch && c->Cols() == hidden_);
+  if (gates->Rows() != batch || gates->Cols() != h4) {
+    gates->Resize(batch, h4);
+  }
+  // Same two-GEMM structure as StepCompute — never fused into one [x|h]
+  // product, which would change the accumulation chains. Both products
+  // fully consume `h` before the activation below overwrites it, so the
+  // in-place state update is safe.
+  Gemm(false, false, 1.0f, x, wx_, 0.0f, gates);
+  Gemm(false, false, 1.0f, *h, wh_, 1.0f, gates);
+  for (size_t r = 0; r < batch; ++r) {
+    ActivateGatesRow(b_.Row(0), c->Row(r), gates->Row(r), h->Row(r), c->Row(r),
+                     hidden_);
+  }
+}
+
 void LstmLayer::Prepack() {
   const size_t in = wx_.Rows();
   const size_t h4 = 4 * hidden_;
@@ -318,6 +340,17 @@ void StackedLstm::StepForwardFast(const float* x, LstmState* state, float* gates
     float* c = state->c[l].Row(0);
     layers_[l].StepForwardFast(cur, h, c, gates, acc);
     cur = h;  // Next layer reads the state row directly; no inter-layer copy.
+  }
+}
+
+void StackedLstm::StepForwardBatch(const Matrix& x, LstmState* state,
+                                   Matrix* gates) const {
+  CG_DCHECK(state != nullptr && gates != nullptr);
+  CG_DCHECK(state->h.size() == layers_.size() && state->c.size() == layers_.size());
+  const Matrix* cur = &x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].StepForwardBatch(*cur, &state->h[l], &state->c[l], gates);
+    cur = &state->h[l];
   }
 }
 

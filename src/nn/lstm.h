@@ -73,6 +73,15 @@ class LstmLayer {
   void StepForwardFast(const float* x, float* h, float* c, float* gates,
                        float* acc) const;
 
+  // Batched multi-stream step: row r of `x` (B, InDim) is stream r's input
+  // and row r of `h`/`c` (B, H each) is its recurrent state, updated in
+  // place. `gates` is caller-owned scratch, resized to (B, 4H). Row r's
+  // outputs are bitwise-identical to a batch-1 StepForward/StepForwardFast
+  // on that row alone: the two GEMMs compute every output element as one
+  // k-ascending chain independent of the other rows, and the gate
+  // activation is the same shared helper as both single-stream routes.
+  void StepForwardBatch(const Matrix& x, Matrix* h, Matrix* c, Matrix* gates) const;
+
   // Packed-weight cache for the inference fast path: one contiguous
   // [wx_; wh_] block built from the current parameters. Any route that can
   // mutate parameters — mutable Params() and Load() — invalidates it, so a
@@ -150,6 +159,13 @@ class StackedLstm {
   // hidden state is state->h.back().Row(0) — no inter-layer copies are made.
   // `gates`/`acc` are caller scratch of 4*HiddenDim() floats each.
   void StepForwardFast(const float* x, LstmState* state, float* gates, float* acc) const;
+
+  // Batched multi-stream step across all layers: `state` holds one (B, H)
+  // h and c matrix per layer, updated in place (layer l > 0 reads layer
+  // l-1's just-written h matrix directly — no inter-layer copies). `gates`
+  // is shared caller scratch, resized to (B, 4*HiddenDim()). Row r is
+  // bitwise-identical to a batch-1 step on that stream alone.
+  void StepForwardBatch(const Matrix& x, LstmState* state, Matrix* gates) const;
 
   // Packed-weight cache management across all layers (see LstmLayer).
   void Prepack();

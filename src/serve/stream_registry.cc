@@ -41,6 +41,12 @@ StreamRegistry::Lease& StreamRegistry::Lease::operator=(Lease&& other) noexcept 
 
 bool StreamRegistry::Lease::ReserveBytes(size_t n) {
   CG_CHECK(valid());
+  // A single reservation larger than the whole bound can never fit; reject
+  // up front so `current + n` below cannot wrap past the bound check.
+  if (n > registry_->limits_.max_total_buffer_bytes) {
+    CountReject("buffer_bytes");
+    return false;
+  }
   // CAS loop: admit the reservation only if it fits under the global bound.
   size_t current = registry_->buffered_bytes_.load(std::memory_order_relaxed);
   for (;;) {

@@ -471,8 +471,12 @@ void RunSharded(RangeKernel kernel, float alpha, const Matrix& a, const Matrix& 
                 Matrix* c, size_t k) {
   const size_t m = c->Rows();
   const size_t n = c->Cols();
-  // ~1 MFLOP minimum per parallel dispatch.
-  const bool parallel = 2 * m * n * k >= (1u << 20) && m >= 2 * kRowTile;
+  // ~1 MFLOP minimum per parallel dispatch. Without workers the pool would
+  // run inline anyway; skipping the dispatch entirely also skips the task
+  // closure allocations, which keeps the batched generation step
+  // allocation-free on a single-threaded pool.
+  const bool parallel = 2 * m * n * k >= (1u << 20) && m >= 2 * kRowTile &&
+                        GlobalThreadPool().HasWorkers();
   if (!parallel) {
     kernel(alpha, a, b, c, 0, m);
     return;
@@ -558,6 +562,11 @@ void GemmTiled(bool trans_a, bool trans_b, float alpha, const Matrix& a, const M
 
 void GemvAccumulate(const float* x, size_t k, const float* w, size_t n, float* acc) {
   GemvStrip(1.0f, x, 1, k, w, n, n, acc);
+}
+
+void GemvAccumulateStrided(const float* x, size_t k, const float* w, size_t ldw,
+                           size_t n, float* acc) {
+  GemvStrip(1.0f, x, 1, k, w, ldw, n, acc);
 }
 
 void GemmReference(bool trans_a, bool trans_b, float alpha, const Matrix& a,

@@ -214,39 +214,29 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     CG_DCHECK(w >= 0.0);
     total += w;
   }
-  CG_CHECK_MSG(total > 0.0, "Categorical requires a positive total weight");
-  double target = NextDouble() * total;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    target -= weights[i];
-    if (target < 0.0) {
-      return i;
-    }
+  // Draw before branching on weight health so healthy and degenerate paths
+  // consume the same single variate (stream state stays comparable).
+  const double u = NextDouble();
+  if (!std::isfinite(total) || total <= 0.0) {
+    // All-zero weights (e.g. MaxShiftedExp's corruption signal) or a
+    // NaN/inf total: no distribution exists. Fall back to a uniform draw
+    // over all indices — always in range — instead of aborting the process
+    // from inside an unguarded generation loop.
+    return std::min(weights.size() - 1,
+                    static_cast<size_t>(u * static_cast<double>(weights.size())));
   }
-  // Floating-point underflow: return the last index with positive weight.
-  for (size_t i = weights.size(); i-- > 0;) {
-    if (weights[i] > 0.0) {
-      return i;
-    }
-  }
-  return weights.size() - 1;
+  return WeightedIndexFromTarget(weights, u * total);
 }
 
 size_t Rng::CategoricalFromCdf(const std::vector<double>& cdf) {
   CG_CHECK(!cdf.empty());
   const double total = cdf.back();
-  CG_CHECK_MSG(total > 0.0, "CategoricalFromCdf requires a positive total weight");
-  const double target = NextDouble() * total;
-  size_t lo = 0;
-  size_t hi = cdf.size() - 1;
-  while (lo < hi) {
-    const size_t mid = (lo + hi) / 2;
-    if (cdf[mid] <= target) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
+  const double u = NextDouble();
+  if (!std::isfinite(total) || total <= 0.0) {
+    return std::min(cdf.size() - 1,
+                    static_cast<size_t>(u * static_cast<double>(cdf.size())));
   }
-  return lo;
+  return CdfIndexFromTarget(cdf, u * total);
 }
 
 void Rng::SaveState(std::ostream& out) const {
@@ -273,6 +263,53 @@ std::vector<double> BuildCdf(const std::vector<double>& weights) {
     cdf[i] = acc;
   }
   return cdf;
+}
+
+size_t WeightedIndexFromTarget(const std::vector<double>& weights, double target) {
+  CG_CHECK(!weights.empty());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  // target >= total mass: either the draw rounded up onto the total, or the
+  // tail of the walk lost mass to rounding. Return the last index that
+  // actually carries weight so zero-weight buckets stay impossible outcomes.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+size_t CdfIndexFromTarget(const std::vector<double>& cdf, double target) {
+  CG_CHECK(!cdf.empty());
+  size_t lo = 0;
+  size_t hi = cdf.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf[mid] <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // When target < cdf.back() the search lands on the first bucket with
+  // cdf[lo] > target, whose lower edge is <= target — positive width by
+  // construction. Otherwise (target rounded up onto the total) the search
+  // parked on the last bucket regardless of its width; step back to the
+  // last bucket whose upper edge actually rises above its lower edge.
+  const double lower = lo == 0 ? 0.0 : cdf[lo - 1];
+  if (cdf[lo] > target && cdf[lo] > lower) {
+    return lo;
+  }
+  size_t i = cdf.size() - 1;
+  while (i > 0 && !(cdf[i] > cdf[i - 1])) {
+    --i;
+  }
+  return i;
 }
 
 }  // namespace cloudgen

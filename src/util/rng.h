@@ -77,11 +77,20 @@ class Rng {
   bool Bernoulli(double p);
 
   // Samples an index in [0, weights.size()) proportionally to non-negative
-  // weights. Requires at least one strictly positive weight.
+  // weights. Degenerate weight vectors (all-zero, or a NaN/inf total, e.g.
+  // a corrupted softmax surfaced by MaxShiftedExp's zero-fill) fall back to
+  // a uniform draw over all indices rather than aborting, so an unguarded
+  // (--guard off) generation run stays in range; both paths consume exactly
+  // one draw, keeping downstream stream state independent of weight health.
   size_t Categorical(const std::vector<double>& weights);
 
-  // Samples an index from cumulative weights (ascending, last element > 0).
-  // O(log n); useful when the same distribution is sampled many times.
+  // Samples an index from cumulative weights (inclusive ascending prefix
+  // sums). O(log n); useful when the same distribution is sampled many
+  // times. Zero-width buckets (repeated CDF values) are never selected —
+  // including when the scaled draw rounds up to exactly the total mass,
+  // which previously skewed into a zero-weight final bucket. Degenerate
+  // CDFs (non-positive or non-finite total) use the same uniform fallback
+  // as Categorical.
   size_t CategoricalFromCdf(const std::vector<double>& cdf);
 
   // Exact binary state serialization (including the cached Box-Muller
@@ -99,6 +108,22 @@ class Rng {
 
 // Builds the inclusive prefix-sum of `weights` for CategoricalFromCdf.
 std::vector<double> BuildCdf(const std::vector<double>& weights);
+
+// Deterministic index-selection halves of the categorical samplers, exposed
+// so exact-boundary cases are testable without steering the generator state.
+//
+// WeightedIndexFromTarget walks `weights` subtracting from `target`: a
+// target landing exactly on a bucket boundary selects the next bucket with
+// positive weight, and target >= total mass (floating-point round-up of
+// u * total onto the total) returns the LAST positive-weight index instead
+// of sliding into trailing zero-weight buckets. Requires target >= 0.
+size_t WeightedIndexFromTarget(const std::vector<double>& weights, double target);
+
+// CdfIndexFromTarget binary-searches an inclusive prefix-sum CDF for the
+// first bucket whose upper edge exceeds `target`; any selected bucket has
+// positive width by construction. When target >= cdf.back() (the same
+// round-up case) it returns the last positive-width bucket.
+size_t CdfIndexFromTarget(const std::vector<double>& cdf, double target);
 
 }  // namespace cloudgen
 

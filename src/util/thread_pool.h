@@ -40,6 +40,11 @@ class ThreadPool {
   // Number of worker threads (0 when inline-only).
   size_t NumThreads() const { return workers_.size(); }
 
+  // True when worker threads exist, i.e. ParallelFor may actually dispatch.
+  // Allocation-sensitive callers (the batched generation step) use this to
+  // skip building task closures when everything would run inline anyway.
+  bool HasWorkers() const { return !workers_.empty(); }
+
   // Runs fn(i) for every i in [begin, end) and returns when all calls have
   // finished. Indices are grouped into contiguous chunks; chunking never
   // affects results because callers only submit index-independent work.

@@ -143,6 +143,36 @@ TEST(AllocFree, FullTokenLoopSteadyStateAllocatesNothing) {
   EXPECT_EQ(allocations, 0u) << "token hot loop allocated on the heap";
 }
 
+// The batched multi-stream step: once the workspace has seen its high-water
+// batch size, reshaping to any smaller (ragged) row count and stepping must
+// not touch the heap — Matrix::Resize and LstmState reshaping reuse capacity.
+TEST(AllocFree, BatchedStepSteadyStateAllocatesNothing) {
+  Rng rng(35);
+  SequenceNetwork network = MakeNetwork(rng, 8, 9);
+  network.Prepack();
+  ASSERT_TRUE(network.FastPathReady());
+
+  BatchStepWorkspace ws;
+  constexpr size_t kMaxRows = 16;  // High-water batch size.
+  network.EnsureBatchStep(kMaxRows, &ws);
+  ws.x.RandomUniform(rng, 1.0f);
+  for (int i = 0; i < 4; ++i) {
+    network.StepBatch(&ws);  // Warm-up sizes every buffer.
+  }
+
+  size_t allocations = 0;
+  {
+    AllocationCounter counter;
+    for (int i = 0; i < 256; ++i) {
+      const size_t rows = 1 + static_cast<size_t>(i) % kMaxRows;
+      network.EnsureBatchStep(rows, &ws);
+      network.StepBatch(&ws);
+    }
+    allocations = counter.Stop();
+  }
+  EXPECT_EQ(allocations, 0u) << "batched step path allocated on the heap";
+}
+
 // Sanity check on the instrumentation itself: the reference (non-workspace)
 // route allocates fresh matrices per step, so the counter must see it.
 TEST(AllocFree, CounterObservesReferenceRouteAllocations) {

@@ -1,0 +1,233 @@
+// Byte-identity suite for the batched multi-stream inference engine
+// (src/core/batch_generator.h). The engine's contract is that generation is
+// purely a throughput knob: for ANY batch window and ANY thread count, every
+// trace is bitwise-identical to the single-stream oracle route
+// (batch_window = 0, the legacy per-trace path), because each stream draws
+// only from its own Rng::Stream and batched GEMM rows reduce in the same
+// per-element order as batch-1 GEMVs.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/workload_model.h"
+#include "src/synth/synthetic_cloud.h"
+#include "src/trace/trace.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace cloudgen {
+namespace {
+
+SynthProfile TinyProfile() {
+  SynthProfile profile = AzureLikeProfile(0.4);
+  profile.train_days = 2;
+  profile.dev_days = 1;
+  profile.test_days = 1;
+  profile.num_flavors = 5;
+  profile.num_users = 20;
+  return profile;
+}
+
+WorkloadModelConfig TinyConfig() {
+  WorkloadModelConfig config;
+  config.flavor.hidden_dim = 16;
+  config.flavor.num_layers = 1;
+  config.flavor.seq_len = 32;
+  config.flavor.batch_size = 16;
+  config.flavor.epochs = 3;
+  config.lifetime.hidden_dim = 16;
+  config.lifetime.num_layers = 1;
+  config.lifetime.seq_len = 32;
+  config.lifetime.batch_size = 16;
+  config.lifetime.epochs = 3;
+  return config;
+}
+
+Trace TrainingTrace() {
+  const Trace full = SyntheticCloud(TinyProfile(), 606).Generate();
+  return ApplyObservationWindow(full, 0, 2 * kPeriodsPerDay, 2 * kPeriodsPerDay);
+}
+
+// Trains the shared dense-head model once; every test reuses it.
+const WorkloadModel& DenseModel() {
+  static const WorkloadModel* model = [] {
+    SetGlobalThreads(1);
+    auto* m = new WorkloadModel();
+    Rng rng(42);
+    CG_CHECK(m->Train(TrainingTrace(), TinyConfig(), rng).ok());
+    return m;
+  }();
+  return *model;
+}
+
+// Same training data, but with the class-factored softmax head on the flavor
+// network. A different sampling distribution than the dense head, so it is
+// only ever compared against its own single-stream oracle.
+const WorkloadModel& FactoredModel() {
+  static const WorkloadModel* model = [] {
+    SetGlobalThreads(1);
+    auto* m = new WorkloadModel();
+    WorkloadModelConfig config = TinyConfig();
+    config.flavor.factored_clusters = 3;
+    Rng rng(42);
+    CG_CHECK(m->Train(TrainingTrace(), config, rng).ok());
+    return m;
+  }();
+  return *model;
+}
+
+void ExpectSameTrace(const Trace& a, const Trace& b, size_t which,
+                     const std::string& what) {
+  ASSERT_EQ(a.NumJobs(), b.NumJobs()) << what << " trace " << which;
+  for (size_t j = 0; j < a.NumJobs(); ++j) {
+    const Job& x = a.Jobs()[j];
+    const Job& y = b.Jobs()[j];
+    ASSERT_EQ(x.start_period, y.start_period)
+        << what << " trace " << which << " job " << j;
+    ASSERT_EQ(x.end_period, y.end_period)
+        << what << " trace " << which << " job " << j;
+    ASSERT_EQ(x.flavor, y.flavor) << what << " trace " << which << " job " << j;
+    ASSERT_EQ(x.user, y.user) << what << " trace " << which << " job " << j;
+    ASSERT_EQ(x.censored, y.censored)
+        << what << " trace " << which << " job " << j;
+  }
+}
+
+std::vector<Trace> GenerateAt(const WorkloadModel& model,
+                              WorkloadModel::GenerateOptions options,
+                              size_t count, size_t window, size_t threads) {
+  SetGlobalThreads(threads);
+  options.batch_window = window;
+  Rng rng(99);
+  std::vector<Trace> traces = model.GenerateMany(options, count, rng);
+  SetGlobalThreads(1);
+  return traces;
+}
+
+void ExpectSameTraces(const std::vector<Trace>& oracle,
+                      const std::vector<Trace>& got, const std::string& what) {
+  ASSERT_EQ(oracle.size(), got.size()) << what;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    ExpectSameTrace(oracle[i], got[i], i, what);
+  }
+}
+
+WorkloadModel::GenerateOptions BaseOptions() {
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 3 * kPeriodsPerDay;
+  options.to_period = 3 * kPeriodsPerDay + 24;
+  return options;
+}
+
+// The tentpole identity: batched generation at every window size and thread
+// count reproduces the single-stream oracle byte for byte. Windows below the
+// trace count force constant retire/refill churn (the active set is ragged on
+// every tick); windows above it run the whole population in one batch.
+TEST(BatchGenIdentity, BatchedMatchesOracleAcrossWindowsAndThreads) {
+  const WorkloadModel& model = DenseModel();
+  const WorkloadModel::GenerateOptions options = BaseOptions();
+  constexpr size_t kCount = 70;  // > 64 so the 64-window actually refills.
+
+  const std::vector<Trace> oracle =
+      GenerateAt(model, options, kCount, /*window=*/0, /*threads=*/1);
+  size_t total_jobs = 0;
+  for (const Trace& trace : oracle) {
+    total_jobs += trace.NumJobs();
+  }
+  ASSERT_GT(total_jobs, 0u);  // The window must actually produce work.
+
+  for (const size_t window : {size_t{1}, size_t{7}, size_t{64}, size_t{513}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const std::string what = "window=" + std::to_string(window) +
+                               " threads=" + std::to_string(threads);
+      ExpectSameTraces(oracle, GenerateAt(model, options, kCount, window, threads),
+                       what);
+    }
+  }
+}
+
+// Staggered stream lengths: a longer horizon and a scaled arrival rate make
+// per-stream token counts diverge sharply, so mid-tick groups are ragged
+// (some streams in the flavor phase, others in the lifetime phase, retiring
+// at very different tick counts). Identity must survive all of it.
+TEST(BatchGenIdentity, RaggedStaggeredStreamsStayByteIdentical) {
+  const WorkloadModel& model = DenseModel();
+  WorkloadModel::GenerateOptions options = BaseOptions();
+  options.to_period = 3 * kPeriodsPerDay + 48;
+  options.arrival_scale = 2.0;
+  constexpr size_t kCount = 20;
+
+  const std::vector<Trace> oracle =
+      GenerateAt(model, options, kCount, /*window=*/0, /*threads=*/1);
+  ExpectSameTraces(oracle, GenerateAt(model, options, kCount, 7, 4),
+                   "ragged window=7 threads=4");
+  ExpectSameTraces(oracle, GenerateAt(model, options, kCount, 3, 1),
+                   "ragged window=3 threads=1");
+}
+
+// The what-if knobs ride the same sampling path; batching must not disturb
+// them (eob_scale reweights the EOB probability, stepped interpolation
+// changes the duration transform).
+TEST(BatchGenIdentity, WhatIfKnobsMatchOracle) {
+  const WorkloadModel& model = DenseModel();
+  WorkloadModel::GenerateOptions options = BaseOptions();
+  options.eob_scale = 0.5;
+  options.interpolation = Interpolation::kStepped;
+  constexpr size_t kCount = 12;
+
+  const std::vector<Trace> oracle =
+      GenerateAt(model, options, kCount, /*window=*/0, /*threads=*/1);
+  ExpectSameTraces(oracle, GenerateAt(model, options, kCount, 5, 4),
+                   "eob_scale window=5 threads=4");
+}
+
+// Class-factored softmax: a different sampling distribution than the dense
+// head (two draws per token), compared against its own single-stream oracle.
+TEST(BatchGenIdentity, FactoredHeadBatchedMatchesOracle) {
+  const WorkloadModel& model = FactoredModel();
+  ASSERT_TRUE(model.FlavorModel().Network().IsFactored());
+  const WorkloadModel::GenerateOptions options = BaseOptions();
+  constexpr size_t kCount = 24;
+
+  const std::vector<Trace> oracle =
+      GenerateAt(model, options, kCount, /*window=*/0, /*threads=*/1);
+  size_t total_jobs = 0;
+  for (const Trace& trace : oracle) {
+    total_jobs += trace.NumJobs();
+  }
+  ASSERT_GT(total_jobs, 0u);
+
+  for (const size_t window : {size_t{1}, size_t{7}, size_t{64}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const std::string what = "factored window=" + std::to_string(window) +
+                               " threads=" + std::to_string(threads);
+      ExpectSameTraces(oracle, GenerateAt(model, options, kCount, window, threads),
+                       what);
+    }
+  }
+}
+
+// The reference (unpacked) step route must agree with the packed fast path
+// inside the batched engine too, not just single-stream.
+TEST(BatchGenIdentity, PackedAndReferenceRoutesAgreeWhenBatched) {
+  WorkloadModel model;  // Private copy: this test mutates pack state.
+  Rng rng(42);
+  SetGlobalThreads(1);
+  ASSERT_TRUE(model.Train(TrainingTrace(), TinyConfig(), rng).ok());
+  const WorkloadModel::GenerateOptions options = BaseOptions();
+  constexpr size_t kCount = 8;
+
+  const std::vector<Trace> packed =
+      GenerateAt(model, options, kCount, /*window=*/4, /*threads=*/1);
+  model.InvalidatePackedForTest();
+  const std::vector<Trace> reference =
+      GenerateAt(model, options, kCount, /*window=*/4, /*threads=*/1);
+  model.PrepackForTest();
+  ExpectSameTraces(packed, reference, "packed vs reference batched");
+}
+
+}  // namespace
+}  // namespace cloudgen

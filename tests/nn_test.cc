@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -53,6 +54,54 @@ TEST(Activations, SoftmaxRowsSumToOne) {
     EXPECT_NEAR(sum, 1.0f, 1e-5);
   }
   EXPECT_GT(logits(0, 0), logits(0, 1));
+}
+
+TEST(Activations, MaxShiftedExpHealthyRowSumsAndOrders) {
+  const float row[4] = {1.0f, 2.0f, 0.5f, -3.0f};
+  std::vector<double> weights;
+  const double sum = MaxShiftedExp(row, 4, &weights);
+  ASSERT_EQ(weights.size(), 4u);
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LE(sum, 4.0);  // Every term is exp(x <= 0) so sum is in (0, n].
+  EXPECT_EQ(weights[1], 1.0);  // Max element exponentiates to exactly 1.
+  EXPECT_GT(weights[1], weights[0]);
+  EXPECT_GT(weights[0], weights[2]);
+  EXPECT_GT(weights[2], weights[3]);
+}
+
+// Regression: an all-(-inf) row used to produce weights of exp(-inf - -inf)
+// = exp(NaN) = NaN, which the categorical sampler then read as "always index
+// 0". The contract is now zero-fill + 0.0 sum — the degenerate signal every
+// consumer (guards, samplers) already understands.
+TEST(Activations, MaxShiftedExpDegenerateRowsZeroFill) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  const float pinf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+
+  const float all_ninf[3] = {ninf, ninf, ninf};
+  const float has_nan[3] = {1.0f, nan, 2.0f};
+  const float has_pinf[3] = {1.0f, pinf, 2.0f};
+  const float nan_wins_max[3] = {nan, nan, nan};
+  for (const float* row : {all_ninf, has_nan, has_pinf, nan_wins_max}) {
+    std::vector<double> weights(3, 123.0);
+    EXPECT_EQ(MaxShiftedExp(row, 3, &weights), 0.0);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(weights[c], 0.0);
+    }
+  }
+}
+
+// A single finite logit among -inf neighbours is a valid (deterministic)
+// distribution, not a degenerate row.
+TEST(Activations, MaxShiftedExpSingleFiniteLogitIsPointMass) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  const float row[3] = {ninf, 4.0f, ninf};
+  std::vector<double> weights;
+  const double sum = MaxShiftedExp(row, 3, &weights);
+  EXPECT_EQ(sum, 1.0);
+  EXPECT_EQ(weights[0], 0.0);
+  EXPECT_EQ(weights[1], 1.0);
+  EXPECT_EQ(weights[2], 0.0);
 }
 
 TEST(Losses, SoftmaxCrossEntropyValueAndGradient) {

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -251,6 +252,84 @@ TEST(Rng, BuildCdfPrefixSums) {
   EXPECT_DOUBLE_EQ(cdf[0], 1.0);
   EXPECT_DOUBLE_EQ(cdf[1], 3.0);
   EXPECT_DOUBLE_EQ(cdf[2], 6.0);
+}
+
+// Exact-boundary regressions for the categorical samplers' index-selection
+// halves. These are the cases that previously indexed out of range or landed
+// in zero-weight buckets: a target exactly on a bucket edge, a target rounded
+// up onto the total mass, and trailing zero-weight buckets after the last
+// positive one.
+TEST(Rng, WeightedIndexExactBoundaryPicksNextPositiveBucket) {
+  const std::vector<double> weights{1.0, 0.0, 2.0, 0.0};
+  // Landing exactly on bucket 0's edge: bucket 1 has zero weight, so the
+  // draw belongs to bucket 2 (the next positive one).
+  EXPECT_EQ(WeightedIndexFromTarget(weights, 1.0), 2u);
+  EXPECT_EQ(WeightedIndexFromTarget(weights, 0.0), 0u);
+  // Round-up onto (or past) the total mass: the LAST positive-weight index,
+  // never the trailing zero bucket and never out of range.
+  EXPECT_EQ(WeightedIndexFromTarget(weights, 3.0), 2u);
+  EXPECT_EQ(WeightedIndexFromTarget(weights, 1e9), 2u);
+}
+
+TEST(Rng, CdfIndexExactBoundaryPicksNextPositiveBucket) {
+  // weights {1, 0, 2, 0} as an inclusive prefix-sum CDF.
+  const std::vector<double> cdf{1.0, 1.0, 3.0, 3.0};
+  EXPECT_EQ(CdfIndexFromTarget(cdf, 0.0), 0u);
+  EXPECT_EQ(CdfIndexFromTarget(cdf, 0.999999), 0u);
+  // Exactly on the zero-width boundary: the zero-width bucket 1 must never
+  // be selected.
+  EXPECT_EQ(CdfIndexFromTarget(cdf, 1.0), 2u);
+  // Target == total mass (u * total rounded up): last positive-width bucket.
+  EXPECT_EQ(CdfIndexFromTarget(cdf, 3.0), 2u);
+  EXPECT_EQ(CdfIndexFromTarget(cdf, 1e9), 2u);
+}
+
+TEST(Rng, CategoricalDegenerateWeightsStayInRange) {
+  Rng rng(54);
+  const std::vector<double> zeros(5, 0.0);
+  const std::vector<double> nans(5, std::numeric_limits<double>::quiet_NaN());
+  const std::vector<double> infs(5, std::numeric_limits<double>::infinity());
+  std::vector<size_t> hits(5, 0);
+  for (int i = 0; i < 512; ++i) {
+    const size_t a = rng.Categorical(zeros);
+    const size_t b = rng.Categorical(nans);
+    const size_t c = rng.Categorical(infs);
+    ASSERT_LT(a, zeros.size());
+    ASSERT_LT(b, nans.size());
+    ASSERT_LT(c, infs.size());
+    ++hits[a];
+  }
+  // The fallback is uniform over all indices, not a constant.
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_GT(hits[i], 0u) << "index " << i << " never drawn";
+  }
+}
+
+TEST(Rng, CategoricalFromCdfDegenerateStaysInRange) {
+  Rng rng(55);
+  const std::vector<double> zero_cdf(4, 0.0);
+  const std::vector<double> nan_cdf{1.0, 2.0,
+                                    std::numeric_limits<double>::quiet_NaN(),
+                                    std::numeric_limits<double>::quiet_NaN()};
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_LT(rng.CategoricalFromCdf(zero_cdf), zero_cdf.size());
+    ASSERT_LT(rng.CategoricalFromCdf(nan_cdf), nan_cdf.size());
+  }
+}
+
+// Degenerate and healthy draws must consume exactly one uniform each, so a
+// stream's downstream state never depends on weight health.
+TEST(Rng, CategoricalDrawCountIndependentOfWeightHealth) {
+  Rng a(56);
+  Rng b(56);
+  const std::vector<double> healthy{1.0, 2.0, 3.0};
+  const std::vector<double> zeros(3, 0.0);
+  a.Categorical(healthy);
+  b.Categorical(zeros);
+  // Both streams advanced by exactly one draw: they agree forever after.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
 }
 
 TEST(Rng, WorksWithStdShuffle) {

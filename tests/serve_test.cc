@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -212,6 +214,79 @@ TEST(StreamRegistryTest, ByteReservationsAreBoundedAndReleasedWithTheLease) {
   EXPECT_EQ(registry.ActiveStreams(), 1u);
   a.Release();
   EXPECT_EQ(registry.ActiveStreams(), 0u);
+}
+
+TEST(StreamRegistryTest, OversizedReservationIsRejectedNotWrapped) {
+  ServeLimits limits;
+  limits.max_total_buffer_bytes = 100;
+  StreamRegistry registry(limits);
+  StreamRegistry::Lease a;
+  ASSERT_TRUE(registry.Admit("t1", "s", &a).ok());
+  // Larger than the whole bound: must reject up front (a wrapped
+  // current + n could otherwise slip under the bound check).
+  EXPECT_FALSE(a.ReserveBytes(std::numeric_limits<size_t>::max()));
+  EXPECT_FALSE(a.ReserveBytes(101));
+  EXPECT_EQ(registry.BufferedBytes(), 0u);
+}
+
+// Reserve/release balance under concurrency and early-error paths: leases
+// dropped with bytes still reserved (handler error), explicit partial
+// releases, move-assignment, and quota rejects all racing. The accounting
+// must never exceed the bound mid-run and must return to exactly zero.
+TEST(StreamRegistryTest, ReserveReleaseBalanceHammer) {
+  ServeLimits limits;
+  limits.max_streams = 16;
+  limits.max_streams_per_tenant = 4;
+  limits.max_total_buffer_bytes = 1 << 14;
+  StreamRegistry registry(limits);
+  std::atomic<bool> over_bound{false};
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &over_bound, &limits, t]() {
+      std::mt19937 gen(static_cast<unsigned>(1000 + t));
+      const std::string tenant = "tenant-" + std::to_string(t % 3);
+      for (int i = 0; i < kIters; ++i) {
+        StreamRegistry::Lease lease;
+        if (!registry.Admit(tenant, "s", &lease).ok()) {
+          continue;  // Quota reject: must leave no residue.
+        }
+        size_t held = 0;
+        for (int r = 0; r < 4; ++r) {
+          const size_t n = 1u + gen() % 512;
+          if (lease.ReserveBytes(n)) {
+            held += n;
+          }
+          if (registry.BufferedBytes() > limits.max_total_buffer_bytes) {
+            over_bound.store(true);
+          }
+        }
+        switch (gen() % 3) {
+          case 0:
+            // Early error: drop the lease with bytes still reserved.
+            break;
+          case 1:
+            // Well-behaved stream: return everything, then release.
+            lease.ReleaseBytes(held);
+            lease.Release();
+            break;
+          default: {
+            // Move the grant; the moved-from lease must be inert.
+            StreamRegistry::Lease moved = std::move(lease);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(over_bound.load());
+  EXPECT_EQ(registry.ActiveStreams(), 0u);
+  EXPECT_EQ(registry.BufferedBytes(), 0u);
 }
 
 // ---------------------------------------------------------------------------
