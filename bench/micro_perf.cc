@@ -12,7 +12,9 @@
 // tokens_per_sec_naive,tokens_per_sec_guarded,tokens_per_sec_batched,
 // jobs_per_sec_single,jobs_per_sec_many}, the
 // numeric-guard cost under bench.gen.{guarded_step.ms_per_iter,
-// guard_overhead_pct}, and the hardware parallelism used
+// guard_overhead_pct}, the fidelity-monitor cost under
+// bench.overhead.fidelity (enabled/disabled GenerateMany ratio, CI-gated
+// < 1.05), and the hardware parallelism used
 // for the threaded variants under bench.hardware_threads. The speedups
 // compare the seed's reference kernels / single-thread / pre-pack paths
 // against the blocked + thread-sharded + packed substrate on the same machine.
@@ -31,6 +33,7 @@
 #include "src/nn/activations.h"
 #include "src/nn/losses.h"
 #include "src/nn/sequence_network.h"
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/sched/cluster.h"
 #include "src/sched/packing.h"
@@ -388,7 +391,7 @@ double BenchGenBatched(size_t hw) {
 // stage: the subject here is generation, not fit quality), then times a
 // single Generate and a threaded GenerateMany. Both exercise the packed fast
 // path through the real flavor + lifetime generator loops.
-void BenchTraceGeneration(size_t hw) {
+bool TrainBenchModel(WorkloadModel* model) {
   SynthProfile profile = AzureLikeProfile(0.4);
   profile.train_days = 2;
   profile.dev_days = 1;
@@ -410,15 +413,17 @@ void BenchTraceGeneration(size_t hw) {
   config.lifetime.seq_len = 48;
   config.lifetime.batch_size = 16;
   config.lifetime.epochs = 1;
-  WorkloadModel model;
   Rng train_rng(16);
-  const Status trained = model.Train(train, config, train_rng);
+  const Status trained = model->Train(train, config, train_rng);
   if (!trained.ok()) {
     std::fprintf(stderr, "trace-generation bench skipped: %s\n",
                  trained.ToString().c_str());
-    return;
+    return false;
   }
+  return true;
+}
 
+void BenchTraceGeneration(size_t hw, const WorkloadModel& model) {
   WorkloadModel::GenerateOptions options;
   options.from_period = 3 * kPeriodsPerDay;
   options.to_period = 4 * kPeriodsPerDay;
@@ -446,6 +451,60 @@ void BenchTraceGeneration(size_t hw) {
       .Set(many_ms > 0.0
                ? jobs_per_trace * static_cast<double>(kMany) * 1000.0 / many_ms
                : 0.0);
+}
+
+// --- Fidelity-monitor overhead on the batched generation path --------------
+//
+// The same GenerateMany run with the observe-only fidelity monitor disabled
+// vs enabled. The per-job hook is one relaxed atomic load when the monitor is
+// off and a handful of relaxed fetch_adds into sharded sketch cells when on,
+// so — like the guard bench above — the signal drowns in scheduler noise
+// unless the variants alternate and each keeps its minimum. Returns the
+// enabled/disabled time ratio; the CI gate keeps bench.overhead.fidelity
+// under 1.05 so the monitor is cheap enough to leave on in soak runs.
+double BenchFidelityOverhead(size_t hw, const WorkloadModel& model) {
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 3 * kPeriodsPerDay;
+  options.to_period = 4 * kPeriodsPerDay;
+  constexpr size_t kMany = 4;
+  obs::FidelityMonitor& monitor = obs::FidelityMonitor::Global();
+  const obs::FidelityReference reference = model.ComputeFidelityReference(options);
+
+  SetGlobalThreads(hw);
+  const auto time_once = [&] {
+    Timer timer;
+    Rng rng(17);
+    (void)model.GenerateMany(options, kMany, rng);
+    return timer.ElapsedSeconds() * 1000.0;
+  };
+  monitor.Disable();
+  (void)time_once();  // Warm-up.
+  monitor.Enable(reference);
+  (void)time_once();
+
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  constexpr int kRounds = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    monitor.Disable();
+    const double off = time_once();
+    monitor.Enable(reference);
+    const double on = time_once();
+    off_ms = round == 0 ? off : std::min(off_ms, off);
+    on_ms = round == 0 ? on : std::min(on_ms, on);
+  }
+  monitor.Disable();
+  SetGlobalThreads(1);
+  std::printf("%-28s %10.3f ms/iter  (min of %d)\n", "gen_many4_fidelity_off",
+              off_ms, kRounds);
+  std::printf("%-28s %10.3f ms/iter  (min of %d)\n", "gen_many4_fidelity_on",
+              on_ms, kRounds);
+
+  const double ratio = off_ms > 0.0 ? on_ms / off_ms : 0.0;
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.gen.fidelity_on.ms_per_iter").Set(on_ms);
+  registry.GetGauge("bench.overhead.fidelity").Set(ratio);
+  return ratio;
 }
 
 // --- Survival + packing telemetry (kept from the seed bench) ---------------
@@ -504,15 +563,21 @@ int Main() {
   const double fastpath_speedup = BenchGenFastPath();
   const double guard_overhead_pct = BenchGenGuardedStep();
   const double batched_speedup = BenchGenBatched(hw);
-  BenchTraceGeneration(hw);
+  WorkloadModel bench_model;
+  double fidelity_ratio = 0.0;
+  if (TrainBenchModel(&bench_model)) {
+    BenchTraceGeneration(hw, bench_model);
+    fidelity_ratio = BenchFidelityOverhead(hw, bench_model);
+  }
 
   BenchKaplanMeier();
   BenchPacking();
 
   std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx, "
-              "gen_fastpath %.2fx, gen_batched %.2fx; guard overhead %.2f%%\n",
+              "gen_fastpath %.2fx, gen_batched %.2fx; guard overhead %.2f%%, "
+              "fidelity overhead %.3fx\n",
               gemm_speedup, bptt_speedup, gen_speedup, fastpath_speedup,
-              batched_speedup, guard_overhead_pct);
+              batched_speedup, guard_overhead_pct, fidelity_ratio);
   registry.GetGauge("bench.speedup.gemm_256").Set(gemm_speedup);
   registry.GetGauge("bench.speedup.bptt").Set(bptt_speedup);
   registry.GetGauge("bench.speedup.generation").Set(gen_speedup);

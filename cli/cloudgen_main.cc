@@ -24,12 +24,15 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "cli/flags.h"
 #include "src/core/gen_guard.h"
 #include "src/core/workload_model.h"
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
 #include "src/sched/reuse_distance.h"
@@ -44,6 +47,8 @@
 #include "src/util/atomic_file.h"
 #include "src/util/cancel.h"
 #include "src/util/log.h"
+#include "src/util/metrics_exporter.h"
+#include "src/util/metrics_json.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
@@ -83,6 +88,7 @@ int Usage() {
       "            [--resume-gen] [--deadline-sec S]\n"
       "            [--guard off|abort|resample|fallback] [--batch-window N]\n"
       "  segcat    --dir DIR [--out FILE] [--allow-partial]\n"
+      "  metrics-dump  --in METRICS.json [--prom]\n"
       "  serve     --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --from-day D --days K [--port P] [--bind A]\n"
       "            [--state-dir DIR] [--max-streams N] [--max-streams-per-tenant N]\n"
@@ -90,7 +96,7 @@ int Usage() {
       "  fetch     --port P [--host H] --tenant T --stream S --seed N --traces N\n"
       "            --out FILE [--resume] [--retry-attempts N] [--retry-base-ms MS]\n"
       "            [--credit-bytes N] [--io-timeout-sec S]\n"
-      "  fetch     --port P [--host H] --health | --metrics-json\n"
+      "  fetch     --port P [--host H] --health | --metrics-json | --metrics-prom\n"
       "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --eval-from-day D [--eval-days K]\n"
       "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv [--lenient]\n"
@@ -107,6 +113,12 @@ int Usage() {
       "                i goes to OUT with suffix .i before the extension\n"
       "  --metrics-out write a JSON metrics snapshot (counters, gauges,\n"
       "                histograms, per-epoch series) to this path on exit\n"
+      "  --metrics-interval-sec  with --metrics-out: additionally write rolling\n"
+      "                snapshots to PATH.roll-NNNNNN.json every S seconds from a\n"
+      "                background thread (atomic temp+rename; never torn)\n"
+      "  --fidelity    generate/serve: turn on the observe-only fidelity monitor\n"
+      "                (fidelity.* drift gauges vs model-derived references);\n"
+      "                generated bytes are identical with it on or off\n"
       "  --trace-out   record trace spans and write Chrome trace_event JSON to\n"
       "                this path on exit (open in Perfetto / chrome://tracing)\n"
       "  --out-dir     generate: stream into crash-consistent sealed segments in\n"
@@ -339,6 +351,11 @@ int RunGenerate(const Flags& flags) {
     return kExitUsage;
   }
   options.batch_window = static_cast<size_t>(batch_window);
+  if (flags.Has("fidelity")) {
+    // Observe-only: computes RNG-free references from the loaded networks and
+    // enables the global monitor. Generated bytes are unaffected.
+    model.EnableFidelityMonitor(options);
+  }
   const auto seed = static_cast<uint64_t>(flags.GetLong("seed", 11));
   Rng rng(seed);
   const std::string out = flags.GetString("out", "generated.csv");
@@ -469,6 +486,9 @@ int RunServe(const Flags& flags) {
     std::fprintf(stderr, "--guard must be off|abort|resample|fallback\n");
     return kExitUsage;
   }
+  if (flags.Has("fidelity")) {
+    model.EnableFidelityMonitor(options.gen);
+  }
   if (!options.state_dir.empty() &&
       ::mkdir(options.state_dir.c_str(), 0777) != 0 && errno != EEXIST) {
     return Fail(kExitInput,
@@ -540,6 +560,16 @@ int RunFetch(const Flags& flags) {
     std::printf("%s\n", json.c_str());
     return 0;
   }
+  if (flags.Has("metrics-prom")) {
+    std::string text;
+    const Status status = serve::FetchMetricsProm(
+        host, static_cast<uint16_t>(port), timeout_ms, &text);
+    if (!status.ok()) {
+      return Fail(1, status);
+    }
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
 
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
@@ -605,6 +635,67 @@ int RunFetch(const Flags& flags) {
       result.reconnects > 0
           ? StrFormat(" (%d reconnect(s))", result.reconnects).c_str()
           : "");
+  return 0;
+}
+
+// Offline snapshot tooling: parses a `cloudgen.metrics.v1` file (written by
+// --metrics-out, the rolling exporter, or the bench harness) and renders it
+// as a human-readable table, or as Prometheus text exposition with --prom —
+// no live registry or running daemon required.
+int RunMetricsDump(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "--in is required\n");
+    return kExitUsage;
+  }
+  std::ifstream file(in, std::ios::binary);
+  if (!file) {
+    return Fail(kExitInput, UnavailableError("cannot open --in " + in));
+  }
+  std::string json((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  obs::RegistrySnapshot snapshot;
+  const Status parsed = ParseMetricsSnapshot(json, &snapshot);
+  if (!parsed.ok()) {
+    return Fail(kExitInput, parsed);
+  }
+  if (flags.Has("prom")) {
+    obs::WritePrometheusText(snapshot, std::cout);
+    return 0;
+  }
+  if (!snapshot.counters.empty()) {
+    std::printf("counters:\n");
+    for (const auto& [name, value] : snapshot.counters) {
+      std::printf("  %-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    std::printf("gauges:\n");
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::printf("  %-44s %g\n", name.c_str(), value);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    std::printf("histograms:\n");
+    for (const auto& [name, histogram] : snapshot.histograms) {
+      std::printf("  %-44s n=%llu mean=%g p50=%g p95=%g p99=%g\n", name.c_str(),
+                  static_cast<unsigned long long>(histogram.count),
+                  histogram.count > 0
+                      ? histogram.sum / static_cast<double>(histogram.count)
+                      : 0.0,
+                  obs::HistogramQuantile(histogram, 0.5),
+                  obs::HistogramQuantile(histogram, 0.95),
+                  obs::HistogramQuantile(histogram, 0.99));
+    }
+  }
+  if (!snapshot.series.empty()) {
+    std::printf("series:\n");
+    for (const auto& [name, points] : snapshot.series) {
+      std::printf("  %-44s %zu point(s), last=%g\n", name.c_str(), points.size(),
+                  points.empty() ? 0.0 : points.back().second);
+    }
+  }
   return 0;
 }
 
@@ -761,6 +852,9 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "segcat") {
     return RunSegcat(flags);
   }
+  if (command == "metrics-dump") {
+    return RunMetricsDump(flags);
+  }
   if (command == "serve") {
     return RunServe(flags);
   }
@@ -786,6 +880,12 @@ int Dispatch(const std::string& command, const Flags& flags) {
 void ExportTelemetry(const Flags& flags) {
   const std::string metrics_out = flags.GetString("metrics-out", "");
   if (!metrics_out.empty()) {
+    // Fold in the live-sampled views before the final write: pool pressure
+    // gauges, fidelity drift gauges (no-op when the monitor is off), and
+    // histogram-derived percentile gauges.
+    GlobalThreadPool().PublishGauges();
+    obs::FidelityMonitor::Global().PublishDrift();
+    obs::Registry::Global().UpdatePercentileGauges();
     const Status written = WriteFileAtomic(metrics_out, [](std::ostream& out) {
       obs::Registry::Global().WriteJson(out);
     });
@@ -832,7 +932,26 @@ int Main(int argc, char** argv) {
   if (!flags.GetString("trace-out", "").empty()) {
     obs::TraceCollector::Global().SetEnabled(true);
   }
+  // Rolling telemetry trail: snapshot the registry every interval alongside
+  // the exit-time --metrics-out write.
+  const double metrics_interval = flags.GetDouble("metrics-interval-sec", 0.0);
+  std::unique_ptr<RollingMetricsExporter> exporter;
+  if (metrics_interval > 0.0) {
+    const std::string metrics_out = flags.GetString("metrics-out", "");
+    if (metrics_out.empty()) {
+      std::fprintf(stderr, "--metrics-interval-sec requires --metrics-out\n");
+      return kExitUsage;
+    }
+    RollingMetricsExporter::Options options;
+    options.base_path = metrics_out;
+    options.interval_sec = metrics_interval;
+    exporter = std::make_unique<RollingMetricsExporter>(options);
+    exporter->Start();
+  }
   const int rc = Dispatch(command, flags);
+  if (exporter != nullptr) {
+    exporter->Stop();
+  }
   ExportTelemetry(flags);
   return rc;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/util/cancel.h"
 #include "src/util/check.h"
@@ -32,6 +33,8 @@ void TraceStreamMachine::Advance() {
   static obs::Counter& period_counter = obs::Registry::Global().GetCounter("gen.periods");
   static obs::Counter& batch_counter = obs::Registry::Global().GetCounter("gen.batches");
   static obs::Counter& job_counter = obs::Registry::Global().GetCounter("gen.jobs");
+  // Observe-only fidelity hook, mirroring PeriodEngine::RunPeriod.
+  obs::FidelityMonitor& fidelity = obs::FidelityMonitor::Global();
   for (;;) {
     switch (phase_) {
       case Phase::kPeriodStart: {
@@ -49,6 +52,7 @@ void TraceStreamMachine::Advance() {
         const double rate = arrivals_.Rate(period_, arrivals_doh) * options_.arrival_scale;
         const int64_t n_batches = rng_.Poisson(rate);
         period_counter.Add(1);
+        fidelity.ObservePeriodBatches(n_batches);
         if (n_batches == 0) {
           ++period_;
           break;
@@ -140,6 +144,7 @@ void TraceStreamMachine::EmitJob(size_t bin) {
   job.flavor = batches_[batch_idx_][job_idx_];
   job.user = user_;
   job.censored = false;
+  obs::FidelityMonitor::Global().ObserveJob(job.LifetimeSeconds(), job.flavor);
   trace_.Add(job);
   ++job_idx_;
 }

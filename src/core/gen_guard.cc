@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/util/log.h"
 
@@ -96,6 +97,9 @@ void CountGuardViolation() {
   static obs::Counter& counter =
       obs::Registry::Global().GetCounter("gen.guard.violations");
   counter.Add(1);
+  // Guard interventions reshape sampled distributions; surface them next to
+  // the drift gauges they can distort.
+  obs::FidelityMonitor::Global().CountGuardEvent();
 }
 
 void CountGuardResample() {

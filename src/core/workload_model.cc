@@ -12,6 +12,7 @@
 
 #include "src/core/batch_generator.h"
 #include "src/core/gen_checkpoint.h"
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
 #include "src/trace/trace_sink.h"
@@ -76,11 +77,15 @@ class WorkloadModel::PeriodEngine {
     static obs::Counter& period_counter = obs::Registry::Global().GetCounter("gen.periods");
     static obs::Counter& batch_counter = obs::Registry::Global().GetCounter("gen.batches");
     static obs::Counter& job_counter = obs::Registry::Global().GetCounter("gen.jobs");
+    // Observe-only fidelity hook (src/obs/fidelity_monitor.h): one relaxed
+    // load when the monitor is off, never an Rng touch either way.
+    obs::FidelityMonitor& fidelity = obs::FidelityMonitor::Global();
     // A no-DOH arrival override ignores the day argument internally.
     const int arrivals_doh = std::min(doh_day_, std::max(1, arrivals_.HistoryDays()));
     const double rate = arrivals_.Rate(period, arrivals_doh) * options_.arrival_scale;
     const int64_t n_batches = rng.Poisson(rate);
     period_counter.Add(1);
+    fidelity.ObservePeriodBatches(n_batches);
     if (n_batches == 0) {
       return;
     }
@@ -102,6 +107,7 @@ class WorkloadModel::PeriodEngine {
         job.flavor = flavor;
         job.user = user;
         job.censored = false;
+        fidelity.ObserveJob(job.LifetimeSeconds(), job.flavor);
         emit(job);
       }
     }
@@ -501,6 +507,74 @@ Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng
   report->traces = 1;
   obs::Registry::Global().GetCounter("gen.traces").Add(1);
   return run.sink->Finish();
+}
+
+obs::FidelityReference WorkloadModel::ComputeFidelityReference(
+    const GenerateOptions& options) const {
+  obs::FidelityReference ref;
+
+  // Arrival: mean Poisson rate over the horizon. DOH day 1 is the modal day
+  // under the geometric DOH prior, and a no-DOH fit ignores the argument.
+  const int doh = 1;
+  double rate_sum = 0.0;
+  int64_t periods = 0;
+  for (int64_t p = options.from_period; p < options.to_period; ++p) {
+    rate_sum += arrival_model_.Rate(p, doh);
+    ++periods;
+  }
+  ref.mean_batches_per_period =
+      periods > 0 ? rate_sum / static_cast<double>(periods) * options.arrival_scale : 0.0;
+
+  // Flavor mix: teacher-forced next-token distribution from the EOB context
+  // at the horizon start; EOB stripped and renormalized to a distribution
+  // over flavor ids.
+  FlavorStream stream;
+  stream.tokens = {0};
+  stream.periods = {options.from_period};
+  stream.doh_days = {doh};
+  std::vector<double> probs = flavor_model_.NextTokenProbs(stream, 0);
+  const size_t eob = flavor_model_.Vocab().EobToken();
+  double flavor_mass = 0.0;
+  for (size_t k = 0; k < probs.size() && k < eob; ++k) {
+    flavor_mass += probs[k];
+  }
+  ref.flavor_marginals.assign(eob, 0.0);
+  if (flavor_mass > 0.0) {
+    for (size_t k = 0; k < probs.size() && k < eob; ++k) {
+      ref.flavor_marginals[k] = probs[k] / flavor_mass;
+    }
+  }
+
+  // Lifetimes: teacher-forced hazards for one probe job folded into a bin
+  // CDF at the finite bin edges; whatever survives the last hazard is the
+  // open bin's tail mass (its implicit CDF point is 1 and is omitted).
+  Trace probe(flavors_, options.from_period, options.to_period);
+  Job probe_job;
+  probe_job.start_period = options.from_period;
+  probe_job.end_period = options.from_period;
+  probe_job.flavor = 0;
+  probe_job.user = 0;
+  probe_job.censored = false;
+  probe.Add(probe_job);
+  const std::vector<std::vector<double>> hazards = lifetime_model_.PredictHazards(probe);
+  if (!hazards.empty()) {
+    const LifetimeBinning& binning = lifetime_model_.Binning();
+    const std::vector<double>& h = hazards.front();
+    double survival = 1.0;
+    double cdf = 0.0;
+    for (size_t bin = 0; bin + 1 < binning.NumBins(); ++bin) {
+      const double hazard = bin < h.size() ? std::min(1.0, std::max(0.0, h[bin])) : 0.0;
+      cdf += hazard * survival;
+      survival *= 1.0 - hazard;
+      ref.lifetime_edges_sec.push_back(binning.UpperEdge(bin));
+      ref.lifetime_cdf.push_back(std::min(1.0, cdf));
+    }
+  }
+  return ref;
+}
+
+void WorkloadModel::EnableFidelityMonitor(const GenerateOptions& options) const {
+  obs::FidelityMonitor::Global().Enable(ComputeFidelityReference(options));
 }
 
 Status WorkloadModel::SaveToFiles(const std::string& prefix) const {

@@ -20,6 +20,7 @@
 #include "src/core/arrival_model.h"
 #include "src/core/flavor_model.h"
 #include "src/core/lifetime_model.h"
+#include "src/obs/fidelity_monitor.h"
 #include "src/survival/interpolation.h"
 #include "src/trace/trace.h"
 #include "src/util/status.h"
@@ -148,6 +149,25 @@ class WorkloadModel {
   // GenerateMany flushes for that index) to `*out`.
   void GenerateTraceRows(const GenerateOptions& options, uint64_t base,
                          size_t index, std::string* out) const;
+
+  // Online fidelity telemetry (src/obs/fidelity_monitor.h): reference
+  // distributions the monitor compares the generated stream against, derived
+  // from the fitted stages without sampling —
+  //   arrival:  mean IRLS Poisson rate over [from_period, to_period) at DOH
+  //             day 1 (the modal day under the geometric DOH prior), times
+  //             arrival_scale;
+  //   flavors:  the flavor head's teacher-forced next-token distribution
+  //             from the start-of-batch (EOB) context, EOB stripped and
+  //             renormalized;
+  //   lifetime: teacher-forced hazards for a probe job folded into a bin
+  //             PMF/CDF (p_j = h_j * prod_{k<j}(1 - h_k), tail mass on the
+  //             open bin).
+  // All three sources are deterministic and RNG-free, so computing the
+  // reference never perturbs generation.
+  obs::FidelityReference ComputeFidelityReference(const GenerateOptions& options) const;
+  // Convenience: installs ComputeFidelityReference's output into the global
+  // monitor and enables it (CLI --fidelity, serve).
+  void EnableFidelityMonitor(const GenerateOptions& options) const;
 
   // Stage accessors for stage-wise evaluation (§5).
   const BatchArrivalModel& ArrivalModel() const { return arrival_model_; }

@@ -1,0 +1,132 @@
+#include "src/obs/fidelity_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+
+namespace cloudgen {
+namespace obs {
+
+FidelityMonitor& FidelityMonitor::Global() {
+  // Leaked like Registry::Global(): generation code caches no state from the
+  // monitor, but exit-time telemetry export may still publish from it.
+  static FidelityMonitor* monitor = new FidelityMonitor();
+  return *monitor;
+}
+
+FidelityMonitor::FidelityMonitor()
+    : lifetime_sketch_(/*relative_accuracy=*/0.01, /*min_value=*/1.0,
+                       /*max_value=*/4.0e9) {}
+
+void FidelityMonitor::Enable(FidelityReference reference) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  reference_ = std::move(reference);
+  lifetime_sketch_.Reset();
+  arrival_moments_.Reset();
+  const size_t universe = std::max<size_t>(1, reference_.flavor_marginals.size());
+  TopKCounter* counter = new TopKCounter(universe);
+  // Old counter is leaked on purpose: a racing hot-path Observe may still
+  // hold the previous pointer; Enable happens a handful of times per process.
+  flavor_counts_.store(counter, std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FidelityMonitor::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FidelityMonitor::ObserveJobImpl(double lifetime_seconds, int64_t flavor) {
+  static Counter& jobs = Registry::Global().GetCounter("fidelity.jobs.observed");
+  lifetime_sketch_.Observe(lifetime_seconds);
+  TopKCounter* counter = flavor_counts_.load(std::memory_order_acquire);
+  if (counter != nullptr) {
+    counter->Observe(flavor);
+  }
+  jobs.Add(1);
+}
+
+void FidelityMonitor::ObservePeriodBatchesImpl(int64_t n_batches) {
+  static Counter& periods = Registry::Global().GetCounter("fidelity.periods.observed");
+  arrival_moments_.Observe(static_cast<double>(n_batches));
+  periods.Add(1);
+}
+
+void FidelityMonitor::CountFallbackDraw() {
+  static Counter& fallback = Registry::Global().GetCounter("fidelity.fallback_draws");
+  fallback.Add(1);
+}
+
+void FidelityMonitor::CountGuardEvent() {
+  static Counter& guard = Registry::Global().GetCounter("fidelity.guard_events");
+  guard.Add(1);
+}
+
+TopKCounter::Snapshot FidelityMonitor::FlavorSnapshot() const {
+  TopKCounter* counter = flavor_counts_.load(std::memory_order_acquire);
+  if (counter == nullptr) {
+    return TopKCounter::Snapshot{};
+  }
+  return counter->TakeSnapshot();
+}
+
+FidelityReference FidelityMonitor::Reference() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reference_;
+}
+
+void FidelityMonitor::PublishDrift() {
+  if (!Enabled()) {
+    return;
+  }
+  static Gauge& ks_gauge = Registry::Global().GetGauge("fidelity.lifetime.ks");
+  static Gauge& tv_gauge = Registry::Global().GetGauge("fidelity.flavor.tv");
+  static Gauge& arrival_gauge = Registry::Global().GetGauge("fidelity.arrival.rel_err");
+  static Gauge& p50_gauge = Registry::Global().GetGauge("fidelity.lifetime.p50");
+  static Gauge& p95_gauge = Registry::Global().GetGauge("fidelity.lifetime.p95");
+  static Gauge& jobs_gauge = Registry::Global().GetGauge("fidelity.jobs.observed");
+  static Series& ks_series = Registry::Global().GetSeries("fidelity.lifetime.ks");
+  static Series& tv_series = Registry::Global().GetSeries("fidelity.flavor.tv");
+  static Series& arrival_series = Registry::Global().GetSeries("fidelity.arrival.rel_err");
+
+  const FidelityReference reference = Reference();
+  const QuantileSketch::Snapshot lifetimes = LifetimeSnapshot();
+  const StreamingMoments::Snapshot arrivals = ArrivalSnapshot();
+  const TopKCounter::Snapshot flavors = FlavorSnapshot();
+
+  // KS-style sup-distance between the sketch's empirical lifetime CDF and
+  // the model CDF, evaluated at the finite bin edges. Empty stream => 0
+  // drift (nothing observed contradicts nothing).
+  double ks = 0.0;
+  if (lifetimes.total > 0) {
+    for (size_t j = 0; j < reference.lifetime_edges_sec.size() &&
+                       j < reference.lifetime_cdf.size();
+         ++j) {
+      const double emp = lifetimes.CdfAtMost(reference.lifetime_edges_sec[j]);
+      ks = std::max(ks, std::fabs(emp - reference.lifetime_cdf[j]));
+    }
+  }
+  const double tv = flavors.TotalVariation(reference.flavor_marginals);
+  double arrival_rel_err = 0.0;
+  if (arrivals.count > 0) {
+    const double ref_mean = reference.mean_batches_per_period;
+    const double denom = std::max(std::fabs(ref_mean), 1e-12);
+    arrival_rel_err = std::fabs(arrivals.Mean() - ref_mean) / denom;
+  }
+
+  ks_gauge.Set(ks);
+  tv_gauge.Set(tv);
+  arrival_gauge.Set(arrival_rel_err);
+  p50_gauge.Set(lifetimes.Quantile(0.50));
+  p95_gauge.Set(lifetimes.Quantile(0.95));
+  jobs_gauge.Set(static_cast<double>(lifetimes.total));
+
+  const double seq = static_cast<double>(publish_seq_.fetch_add(1, std::memory_order_relaxed));
+  ks_series.Append(seq, ks);
+  tv_series.Append(seq, tv);
+  arrival_series.Append(seq, arrival_rel_err);
+}
+
+}  // namespace obs
+}  // namespace cloudgen

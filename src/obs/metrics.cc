@@ -1,5 +1,6 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -311,6 +312,147 @@ void Registry::WriteJson(std::ostream& out) const {
   }
   out << (first ? "}\n" : "\n  }\n");
   out << "}\n";
+}
+
+double HistogramQuantile(const HistogramData& hist, double q) {
+  if (hist.count == 0 || hist.counts.empty()) {
+    return 0.0;
+  }
+  const double clamped_q = std::min(1.0, std::max(0.0, q));
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(clamped_q * static_cast<double>(hist.count))));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < hist.counts.size(); ++b) {
+    const uint64_t in_bucket = hist.counts[b];
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (b >= hist.edges.size()) {
+      // Overflow bucket is unbounded; the last finite edge is the best
+      // defensible estimate.
+      return hist.edges.empty() ? 0.0 : hist.edges.back();
+    }
+    const double lo = b == 0 ? 0.0 : hist.edges[b - 1];
+    const double hi = hist.edges[b];
+    const double frac =
+        in_bucket == 0 ? 1.0
+                       : static_cast<double>(rank - cum) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return hist.edges.empty() ? 0.0 : hist.edges.back();
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name, const char* suffix = "") {
+  std::string out = "cloudgen_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  out += suffix;
+  return out;
+}
+
+}  // namespace
+
+void WritePrometheusText(const RegistrySnapshot& snap, std::ostream& out) {
+  for (const auto& [name, value] : snap.counters) {
+    // The conventional _total suffix also keeps counters from colliding with
+    // a same-named gauge (e.g. the fidelity.jobs.observed counter/gauge pair).
+    const std::string prom = PrometheusName(name, "_total");
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " ";
+    AppendNumber(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cum = 0;
+    for (size_t b = 0; b < hist.edges.size() && b < hist.counts.size(); ++b) {
+      cum += hist.counts[b];
+      out << prom << "_bucket{le=\"";
+      AppendNumber(out, hist.edges[b]);
+      out << "\"} " << cum << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    out << prom << "_sum ";
+    AppendNumber(out, hist.sum);
+    out << "\n" << prom << "_count " << hist.count << "\n";
+    if (hist.count > 0) {
+      // Derived percentile gauges: the scrape-side p95 most dashboards and
+      // the acceptance gates want, without needing recording rules.
+      const struct {
+        const char* suffix;
+        double q;
+      } kQuantiles[] = {{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+      for (const auto& [suffix, q] : kQuantiles) {
+        const std::string gauge = PrometheusName(name, suffix);
+        out << "# TYPE " << gauge << " gauge\n" << gauge << " ";
+        AppendNumber(out, HistogramQuantile(hist, q));
+        out << "\n";
+      }
+    }
+  }
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramData data;
+    data.edges = hist->Edges();
+    data.counts = hist->BucketCounts();
+    data.count = hist->Count();
+    data.sum = hist->Sum();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  for (const auto& [name, series] : series_) {
+    snap.series[name] = series->Points();
+  }
+  return snap;
+}
+
+void Registry::WritePrometheus(std::ostream& out) const {
+  WritePrometheusText(Snapshot(), out);
+}
+
+void Registry::UpdatePercentileGauges() {
+  // Snapshot first, then set gauges: GetGauge retakes mu_, so deriving while
+  // iterating histograms_ under the lock would self-deadlock.
+  std::vector<std::pair<std::string, HistogramData>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      if (hist->Count() == 0) {
+        continue;
+      }
+      HistogramData data;
+      data.edges = hist->Edges();
+      data.counts = hist->BucketCounts();
+      data.count = hist->Count();
+      data.sum = hist->Sum();
+      hists.emplace_back(name, std::move(data));
+    }
+  }
+  for (const auto& [name, data] : hists) {
+    GetGauge(name + ".p50").Set(HistogramQuantile(data, 0.50));
+    GetGauge(name + ".p95").Set(HistogramQuantile(data, 0.95));
+    GetGauge(name + ".p99").Set(HistogramQuantile(data, 0.99));
+  }
 }
 
 void Registry::Reset() {

@@ -137,6 +137,37 @@ const std::vector<double>& LatencyBucketsMs();
 // 250 ns .. 10 ms, one bucket per decade half-step.
 const std::vector<double>& StepLatencyBucketsNs();
 
+// Plain-data aggregate of a registry's state, decoupled from the live metric
+// objects so snapshots can also be reconstructed from a serialized
+// `cloudgen.metrics.v1` file (util/metrics_json.h) and re-rendered — e.g. by
+// `cloudgen metrics-dump --prom`.
+struct HistogramData {
+  std::vector<double> edges;
+  std::vector<uint64_t> counts;  // edges.size() + 1 entries, overflow last.
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, std::vector<std::pair<double, double>>> series;
+};
+
+// Quantile estimate (q in [0, 1]) from fixed-bucket histogram counts with
+// linear interpolation inside the target bucket; the overflow bucket reports
+// the last finite edge. Returns 0 for an empty histogram.
+double HistogramQuantile(const HistogramData& hist, double q);
+
+// Prometheus text exposition (version 0.0.4) of a snapshot: names are
+// sanitized (non [a-zA-Z0-9_] -> '_') and prefixed `cloudgen_`; histograms
+// render cumulative `_bucket{le=...}` rows plus `_sum`/`_count`, and every
+// non-empty histogram additionally emits derived `_p50`/`_p95`/`_p99`
+// gauges so latency percentiles are scrapeable directly. Series have no
+// Prometheus equivalent and are skipped (their latest values are published
+// as gauges by the producers that need them scraped).
+void WritePrometheusText(const RegistrySnapshot& snap, std::ostream& out);
+
 // Name-keyed registry. Metrics are created on first Get* and live for the
 // process lifetime (Reset zeroes values but never invalidates references, so
 // cached references stay safe).
@@ -164,6 +195,18 @@ class Registry {
   //                          "count": N, "sum": S}},
   //    "series": {name: [[step, value], ...]}}
   void WriteJson(std::ostream& out) const;
+
+  // Plain-data copy of every registered metric.
+  RegistrySnapshot Snapshot() const;
+
+  // Prometheus text exposition of the current state (see WritePrometheusText).
+  void WritePrometheus(std::ostream& out) const;
+
+  // Derives `<hist>.p50` / `<hist>.p95` / `<hist>.p99` gauges for every
+  // histogram with at least one observation (HistogramQuantile). Called at
+  // snapshot time by the rolling exporter and the exit-time export, so JSON
+  // snapshots carry scrape-ready percentiles without any hot-path cost.
+  void UpdatePercentileGauges();
 
   // Zeroes all values in place (references stay valid). For tests.
   void Reset();

@@ -1,0 +1,335 @@
+#include "src/obs/sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace cloudgen {
+namespace obs {
+
+namespace {
+
+// Rounds a cell count up so each shard's row starts on its own cache line
+// (8 u64 cells per 64-byte line).
+size_t PadStride(size_t cells) { return (cells + 7) & ~size_t{7}; }
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+}  // namespace
+
+// --- QuantileSketch --------------------------------------------------------
+
+QuantileSketch::QuantileSketch(double relative_accuracy, double min_value,
+                               double max_value)
+    : relative_accuracy_(relative_accuracy),
+      min_value_(min_value),
+      max_value_(max_value) {
+  assert(relative_accuracy > 0.0 && relative_accuracy < 1.0);
+  assert(min_value > 0.0 && max_value > min_value);
+  const double gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy);
+  const double log_gamma = std::log(gamma);
+  log_min_ = std::log(min_value);
+  inv_log_gamma_ = 1.0 / log_gamma;
+  const size_t log_buckets = static_cast<size_t>(
+      std::ceil((std::log(max_value) - log_min_) * inv_log_gamma_));
+  num_buckets_ = log_buckets + 2;  // + underflow + overflow.
+  stride_ = PadStride(num_buckets_);
+  cells_.reset(new std::atomic<uint64_t>[kMetricShards * stride_]);
+  Reset();
+}
+
+size_t QuantileSketch::BucketOf(double v) const {
+  if (!(v > min_value_)) {  // Also catches NaN, negatives, zero.
+    return 0;
+  }
+  // Bucket b >= 1 covers (min * gamma^(b-1), min * gamma^b].
+  const double pos = (std::log(v) - log_min_) * inv_log_gamma_;
+  const size_t b = static_cast<size_t>(std::ceil(pos));
+  const size_t clamped = b < 1 ? 1 : b;
+  return clamped >= num_buckets_ - 1 ? num_buckets_ - 1 : clamped;
+}
+
+void QuantileSketch::Observe(double v) {
+  const size_t shard = ThreadId() & (kMetricShards - 1);
+  cells_[shard * stride_ + BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void QuantileSketch::Reset() {
+  for (size_t i = 0; i < kMetricShards * stride_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+QuantileSketch::Snapshot QuantileSketch::TakeSnapshot() const {
+  Snapshot snap;
+  snap.relative_accuracy = relative_accuracy_;
+  snap.min_value = min_value_;
+  snap.max_value = max_value_;
+  snap.counts.assign(num_buckets_, 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      snap.counts[b] += cells_[shard * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  for (uint64_t c : snap.counts) {
+    snap.total += c;
+  }
+  return snap;
+}
+
+double QuantileSketch::Snapshot::Quantile(double q) const {
+  if (total == 0) {
+    return 0.0;
+  }
+  const double clamped_q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based); the smallest bucket whose
+  // cumulative count reaches it holds the quantile.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(clamped_q * static_cast<double>(total))));
+  uint64_t cum = 0;
+  size_t bucket = counts.size() - 1;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    cum += counts[b];
+    if (cum >= rank) {
+      bucket = b;
+      break;
+    }
+  }
+  if (bucket == 0) {
+    return 0.0;  // Underflow bucket: v <= min_value; report the floor.
+  }
+  if (bucket == counts.size() - 1) {
+    return max_value;
+  }
+  // Geometric midpoint of (min * gamma^(b-1), min * gamma^b].
+  const double gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy);
+  return min_value * std::pow(gamma, static_cast<double>(bucket) - 0.5);
+}
+
+double QuantileSketch::Snapshot::CdfAtMost(double v) const {
+  if (total == 0) {
+    return 0.0;
+  }
+  if (!(v > min_value)) {
+    return static_cast<double>(counts[0]) / static_cast<double>(total);
+  }
+  const double gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy);
+  const double pos = (std::log(v) - std::log(min_value)) / std::log(gamma);
+  uint64_t below = counts[0];
+  double partial = 0.0;
+  const size_t last = counts.size() - 1;
+  for (size_t b = 1; b < last; ++b) {
+    if (pos >= static_cast<double>(b)) {
+      below += counts[b];
+      continue;
+    }
+    const double frac = pos - static_cast<double>(b - 1);
+    if (frac > 0.0) {
+      partial = frac * static_cast<double>(counts[b]);
+    }
+    break;
+  }
+  if (pos >= static_cast<double>(last)) {
+    below += counts[last];
+  }
+  return (static_cast<double>(below) + partial) / static_cast<double>(total);
+}
+
+void QuantileSketch::Snapshot::MergeFrom(const Snapshot& other) {
+  assert(other.counts.size() == counts.size());
+  assert(other.relative_accuracy == relative_accuracy);
+  assert(other.min_value == min_value);
+  for (size_t b = 0; b < counts.size(); ++b) {
+    counts[b] += other.counts[b];
+  }
+  total += other.total;
+}
+
+std::string QuantileSketch::Snapshot::SerializeBytes() const {
+  std::string out;
+  out.reserve(8 * (counts.size() + 4));
+  PutDouble(&out, relative_accuracy);
+  PutDouble(&out, min_value);
+  PutDouble(&out, max_value);
+  PutU64(&out, total);
+  for (uint64_t c : counts) {
+    PutU64(&out, c);
+  }
+  return out;
+}
+
+// --- StreamingMoments ------------------------------------------------------
+
+void StreamingMoments::Observe(double v) {
+  Cell& cell = cells_[ThreadId() & (kMetricShards - 1)];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicDoubleAdd(&cell.sum_bits, v);
+  internal::AtomicDoubleAdd(&cell.sum_squares_bits, v * v);
+}
+
+void StreamingMoments::Reset() {
+  for (Cell& cell : cells_) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum_bits.store(0, std::memory_order_relaxed);
+    cell.sum_squares_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+StreamingMoments::Snapshot StreamingMoments::TakeSnapshot() const {
+  // Fixed shard order: for the monitor's integer-valued observations these
+  // double sums are exact (< 2^53), so the reduction order cannot matter;
+  // fixing it anyway keeps the bytes stable even for fractional inputs
+  // observed single-threaded.
+  Snapshot snap;
+  for (const Cell& cell : cells_) {
+    snap.count += cell.count.load(std::memory_order_relaxed);
+    uint64_t bits = cell.sum_bits.load(std::memory_order_relaxed);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    snap.sum += d;
+    bits = cell.sum_squares_bits.load(std::memory_order_relaxed);
+    std::memcpy(&d, &bits, sizeof(d));
+    snap.sum_squares += d;
+  }
+  return snap;
+}
+
+double StreamingMoments::Snapshot::Mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double StreamingMoments::Snapshot::Variance() const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  const double v = sum_squares / static_cast<double>(count) - mean * mean;
+  return v < 0.0 ? 0.0 : v;
+}
+
+void StreamingMoments::Snapshot::MergeFrom(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  sum_squares += other.sum_squares;
+}
+
+std::string StreamingMoments::Snapshot::SerializeBytes() const {
+  std::string out;
+  PutU64(&out, count);
+  PutDouble(&out, sum);
+  PutDouble(&out, sum_squares);
+  return out;
+}
+
+// --- TopKCounter -----------------------------------------------------------
+
+TopKCounter::TopKCounter(size_t universe)
+    : universe_(universe), stride_(PadStride(universe + 1)) {
+  cells_.reset(new std::atomic<uint64_t>[kMetricShards * stride_]);
+  Reset();
+}
+
+void TopKCounter::Observe(int64_t id) {
+  const size_t slot =
+      (id >= 0 && static_cast<size_t>(id) < universe_) ? static_cast<size_t>(id) : universe_;
+  const size_t shard = ThreadId() & (kMetricShards - 1);
+  cells_[shard * stride_ + slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+void TopKCounter::Reset() {
+  for (size_t i = 0; i < kMetricShards * stride_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+TopKCounter::Snapshot TopKCounter::TakeSnapshot() const {
+  Snapshot snap;
+  snap.counts.assign(universe_, 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t id = 0; id < universe_; ++id) {
+      snap.counts[id] += cells_[shard * stride_ + id].load(std::memory_order_relaxed);
+    }
+    snap.overflow += cells_[shard * stride_ + universe_].load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) {
+    snap.total += c;
+  }
+  snap.total += snap.overflow;
+  return snap;
+}
+
+std::vector<TopKCounter::Entry> TopKCounter::Snapshot::TopK(size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(counts.size());
+  for (size_t id = 0; id < counts.size(); ++id) {
+    if (counts[id] > 0) {
+      entries.push_back(Entry{static_cast<int64_t>(id), counts[id]});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.id < b.id;
+  });
+  if (entries.size() > k) {
+    entries.resize(k);
+  }
+  return entries;
+}
+
+double TopKCounter::Snapshot::TotalVariation(const std::vector<double>& ref) const {
+  if (total == 0) {
+    return 0.0;
+  }
+  double tv = 0.0;
+  for (size_t id = 0; id < counts.size(); ++id) {
+    const double emp = static_cast<double>(counts[id]) / static_cast<double>(total);
+    const double r = id < ref.size() ? ref[id] : 0.0;
+    tv += std::fabs(emp - r);
+  }
+  // Reference mass beyond the universe and empirical overflow mass both have
+  // zero mass on the other side.
+  for (size_t id = counts.size(); id < ref.size(); ++id) {
+    tv += std::fabs(ref[id]);
+  }
+  tv += static_cast<double>(overflow) / static_cast<double>(total);
+  return 0.5 * tv;
+}
+
+void TopKCounter::Snapshot::MergeFrom(const Snapshot& other) {
+  assert(other.counts.size() == counts.size());
+  for (size_t id = 0; id < counts.size(); ++id) {
+    counts[id] += other.counts[id];
+  }
+  overflow += other.overflow;
+  total += other.total;
+}
+
+std::string TopKCounter::Snapshot::SerializeBytes() const {
+  std::string out;
+  out.reserve(8 * (counts.size() + 2));
+  PutU64(&out, total);
+  PutU64(&out, overflow);
+  for (uint64_t c : counts) {
+    PutU64(&out, c);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cloudgen

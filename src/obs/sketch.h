@@ -1,0 +1,178 @@
+// Deterministic, mergeable streaming sketches for online fidelity telemetry:
+// a log-bucket quantile sketch, streaming moments, and a bounded-universe
+// top-k frequency counter. All three follow the registry's sharding contract
+// (src/obs/metrics.h): updates are relaxed atomics into one of kMetricShards
+// cache-line-separated cells picked by the dense thread id, so pool workers
+// hammering the same sketch rarely share a line, and a snapshot sums the
+// shards in a fixed order.
+//
+// Determinism contract: snapshots are byte-for-byte identical regardless of
+// how observations were interleaved across threads or how partial snapshots
+// are merged. That is why the quantile sketch uses deterministic DDSketch-
+// style logarithmic buckets rather than randomized KLL compaction — integer
+// bucket counts sum exactly in any order, while a KLL compactor's coin flips
+// would make the summary depend on arrival order. Likewise the moments
+// accumulator keeps per-shard raw sums (count, sum, sum of squares) reduced
+// in fixed shard order instead of a classic single-stream Welford recurrence,
+// whose merge (Chan's formula) is not bitwise order-independent; mean and
+// variance are derived at snapshot time. For the integer-valued quantities
+// the fidelity monitor feeds in (lifetimes in whole seconds, per-period batch
+// counts), double sums stay below 2^53 and are therefore exact — snapshots
+// memcmp-equal at any thread count.
+//
+// Like the rest of src/obs this header depends only on the standard library.
+#ifndef SRC_OBS_SKETCH_H_
+#define SRC_OBS_SKETCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace cloudgen {
+namespace obs {
+
+// Streaming quantile sketch over non-negative values with bounded relative
+// error: values land in geometric buckets (gamma = (1+a)/(1-a) for relative
+// accuracy `a`), so any quantile estimate is within relative `a` of some
+// value in the stream's true bucket. Values <= min_value (including zero)
+// share an exact underflow bucket; values past max_value share an overflow
+// bucket whose estimate saturates at max_value.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double relative_accuracy = 0.01,
+                          double min_value = 1.0, double max_value = 4.0e9);
+
+  // Relaxed atomics only; safe from any thread.
+  void Observe(double v);
+
+  // Zeroes every cell. NOT safe against concurrent Observe; call between
+  // runs (the fidelity monitor resets on Enable).
+  void Reset();
+
+  // Order-independent aggregate. Two snapshots built from the same multiset
+  // of observations — regardless of thread count, shard assignment, or merge
+  // order — serialize to identical bytes.
+  struct Snapshot {
+    double relative_accuracy = 0.0;
+    double min_value = 0.0;
+    double max_value = 0.0;
+    uint64_t total = 0;
+    // counts[0] is the underflow bucket (v <= min_value), counts.back() the
+    // overflow bucket (v > max_value); bucket i in between covers
+    // (min_value * gamma^(i-1), min_value * gamma^i].
+    std::vector<uint64_t> counts;
+
+    // Value estimate at quantile q in [0, 1] (geometric bucket midpoint;
+    // relative error <= relative_accuracy against the true quantile's
+    // bucket). Returns 0 when the snapshot is empty.
+    double Quantile(double q) const;
+    // Fraction of observations <= v, with linear interpolation inside the
+    // bucket containing v. Monotone in v; exact at bucket edges.
+    double CdfAtMost(double v) const;
+
+    // Adds another snapshot of the SAME configuration into this one.
+    void MergeFrom(const Snapshot& other);
+    // Canonical little-endian byte encoding (config + counts) for memcmp
+    // determinism checks and external diffing.
+    std::string SerializeBytes() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  size_t NumBuckets() const { return num_buckets_; }
+
+ private:
+  size_t BucketOf(double v) const;
+
+  double relative_accuracy_;
+  double min_value_;
+  double max_value_;
+  double log_min_;
+  double inv_log_gamma_;
+  size_t num_buckets_;  // Including underflow and overflow.
+  // kMetricShards rows of num_buckets_ cells; rows are cache-line padded by
+  // rounding the stride up to a multiple of 8 (64 bytes of u64 cells).
+  size_t stride_;
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+// Streaming mean/variance via per-shard raw moments (see the header comment
+// for why this beats a Welford recurrence under the merge-order contract).
+class StreamingMoments {
+ public:
+  StreamingMoments() = default;
+
+  void Observe(double v);
+  void Reset();
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double sum_squares = 0.0;
+
+    double Mean() const;
+    // Population variance, clamped at zero against rounding.
+    double Variance() const;
+    void MergeFrom(const Snapshot& other);
+    std::string SerializeBytes() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};
+    std::atomic<uint64_t> sum_squares_bits{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+// Exact frequency counter over a bounded id universe [0, universe); ids
+// outside the universe land in one overflow cell. "Top-k" is resolved at
+// snapshot time by sorting (count desc, id asc) — deterministic even on
+// ties — which is exact rather than approximate because the fidelity
+// monitor's universe (the flavor vocabulary) is small and known up front.
+class TopKCounter {
+ public:
+  explicit TopKCounter(size_t universe);
+
+  void Observe(int64_t id);
+  void Reset();
+
+  struct Entry {
+    int64_t id = 0;
+    uint64_t count = 0;
+  };
+  struct Snapshot {
+    uint64_t total = 0;
+    uint64_t overflow = 0;
+    std::vector<uint64_t> counts;  // counts[id] for id in [0, universe).
+
+    // Up to k entries with count > 0, ordered (count desc, id asc).
+    std::vector<Entry> TopK(size_t k) const;
+    // Total-variation distance 0.5 * sum |empirical - ref| against a
+    // reference distribution over the universe (ref is padded with zeros or
+    // truncated to the universe size; overflow mass counts fully against).
+    // Returns 0 for an empty snapshot.
+    double TotalVariation(const std::vector<double>& ref) const;
+    void MergeFrom(const Snapshot& other);
+    std::string SerializeBytes() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  size_t Universe() const { return universe_; }
+
+ private:
+  size_t universe_;
+  size_t stride_;  // universe_ + 1 overflow cell, padded to a cache line.
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+}  // namespace obs
+}  // namespace cloudgen
+
+#endif  // SRC_OBS_SKETCH_H_

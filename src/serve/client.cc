@@ -213,6 +213,12 @@ Status FetchMetricsJson(const std::string& host, uint16_t port,
                           FrameType::kMetricsOk, json);
 }
 
+Status FetchMetricsProm(const std::string& host, uint16_t port,
+                        int timeout_ms, std::string* text) {
+  return ControlRoundTrip(host, port, timeout_ms, FrameType::kMetricsProm,
+                          FrameType::kMetricsPromOk, text);
+}
+
 Status FetchHealth(const std::string& host, uint16_t port, int timeout_ms,
                    std::map<std::string, std::string>* health) {
   std::string payload;

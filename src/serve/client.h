@@ -67,6 +67,9 @@ Status FetchStream(const FetchOptions& options, std::ostream& out,
 // One-shot control verbs.
 Status FetchMetricsJson(const std::string& host, uint16_t port,
                         int timeout_ms, std::string* json);
+// Prometheus text exposition (METRICS_PROM).
+Status FetchMetricsProm(const std::string& host, uint16_t port,
+                        int timeout_ms, std::string* text);
 Status FetchHealth(const std::string& host, uint16_t port, int timeout_ms,
                    std::map<std::string, std::string>* health);
 

@@ -32,6 +32,10 @@ const char* FrameTypeName(FrameType type) {
       return "HEALTH_OK";
     case FrameType::kClose:
       return "CLOSE";
+    case FrameType::kMetricsProm:
+      return "METRICS_PROM";
+    case FrameType::kMetricsPromOk:
+      return "METRICS_PROM_OK";
   }
   return "UNKNOWN";
 }

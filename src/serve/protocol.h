@@ -59,6 +59,11 @@ enum class FrameType : uint8_t {
   kHealth = 9,
   kHealthOk = 10,
   kClose = 11,
+  // One-shot Prometheus text exposition of the metrics registry (the same
+  // snapshot kMetrics serves as JSON, rendered for scrapers). Payload of the
+  // OK frame is the text-format body, UTF-8.
+  kMetricsProm = 12,
+  kMetricsPromOk = 13,
 };
 
 const char* FrameTypeName(FrameType type);

@@ -1,6 +1,7 @@
 #include "src/serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -8,7 +9,9 @@
 
 #include "src/core/gen_checkpoint.h"
 #include "src/core/gen_guard.h"
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
+#include "src/util/thread_pool.h"
 #include "src/util/atomic_file.h"
 #include "src/util/crc32.h"
 #include "src/util/log.h"
@@ -122,6 +125,11 @@ Status StreamServer::Start() {
   CG_ASSIGN_OR_RETURN(const uint16_t port, LocalPort(listener_));
   port_ = port;
   started_ = true;
+  // Register the stream gauges up front so an idle daemon's very first
+  // METRICS/METRICS_PROM scrape already carries them at 0, instead of the
+  // series appearing only after the first admission.
+  obs::Registry::Global().GetGauge("serve.streams.active").Set(0.0);
+  obs::Registry::Global().GetGauge("serve.queue.bytes").Set(0.0);
   accept_thread_ = std::thread(&StreamServer::AcceptLoop, this);
   CG_LOGF_INFO("serve: listening on %s:%u (max_streams=%zu, per_tenant=%zu)",
                options_.bind_addr.c_str(), static_cast<unsigned>(port_),
@@ -213,17 +221,35 @@ Status StreamServer::RunSession(Socket& conn) {
     }
     return status;
   }
+  // Control-verb handling latency (dispatch to response written; the wait
+  // for the client's first frame is idle time, not verb work).
+  static obs::Histogram& verb_ms =
+      obs::Registry::Global().GetHistogram("serve.verb_ms");
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [dispatch_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - dispatch_start)
+        .count();
+  };
   switch (first.type) {
     case FrameType::kOpen:
       return RunStreamSession(conn, first);
-    case FrameType::kMetrics:
-      return HandleMetrics(conn);
-    case FrameType::kHealth:
-      return HandleHealth(conn);
+    case FrameType::kMetrics: {
+      const Status status = HandleMetrics(conn);
+      verb_ms.Observe(elapsed_ms());
+      return status;
+    }
+    case FrameType::kMetricsProm:
+      return HandleMetricsProm(conn, elapsed_ms());
+    case FrameType::kHealth: {
+      const Status status = HandleHealth(conn);
+      verb_ms.Observe(elapsed_ms());
+      return status;
+    }
     default:
-      return InvalidArgumentError(
-          StrFormat("unexpected first frame %s (want OPEN, METRICS or HEALTH)",
-                    FrameTypeName(first.type)));
+      return InvalidArgumentError(StrFormat(
+          "unexpected first frame %s (want OPEN, METRICS, METRICS_PROM or HEALTH)",
+          FrameTypeName(first.type)));
   }
 }
 
@@ -231,6 +257,20 @@ Status StreamServer::HandleMetrics(Socket& conn) {
   std::ostringstream json;
   obs::Registry::Global().WriteJson(json);
   return WriteFrame(conn, FrameType::kMetricsOk, json.str(),
+                    options_.io_timeout_ms, &drain_);
+}
+
+Status StreamServer::HandleMetricsProm(Socket& conn, double dispatch_ms) {
+  static obs::Histogram& verb_ms =
+      obs::Registry::Global().GetHistogram("serve.verb_ms");
+  verb_ms.Observe(dispatch_ms);
+  // Refresh derived state so a scrape is self-contained: live pool pressure,
+  // current fidelity drift, percentile gauges.
+  GlobalThreadPool().PublishGauges();
+  obs::FidelityMonitor::Global().PublishDrift();
+  std::ostringstream text;
+  obs::Registry::Global().WritePrometheus(text);
+  return WriteFrame(conn, FrameType::kMetricsPromOk, text.str(),
                     options_.io_timeout_ms, &drain_);
 }
 

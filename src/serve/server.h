@@ -97,6 +97,10 @@ class StreamServer {
   Status RunSession(Socket& conn);
   Status RunStreamSession(Socket& conn, const Frame& open);
   Status HandleMetrics(Socket& conn);
+  // Prometheus text exposition; `dispatch_ms` (read-to-dispatch latency) is
+  // observed into serve.verb_ms BEFORE the snapshot is taken, so the
+  // response always carries a non-empty verb-latency histogram.
+  Status HandleMetricsProm(Socket& conn, double dispatch_ms);
   Status HandleHealth(Socket& conn);
 
   // Drain-checkpoint path for (tenant, stream); stable across restarts.

@@ -1,0 +1,66 @@
+// Rolling metrics exporter: a background thread that periodically writes
+// atomic `cloudgen.metrics.v1` snapshots so crashes and long-running `serve`
+// daemons leave a telemetry trail instead of a single exit-time file.
+//
+// Each tick the exporter
+//   1. samples the thread-pool pressure gauges (queue depth, busy workers,
+//      utilization) so soak runs show live saturation rather than whatever
+//      the last coarse write point left behind,
+//   2. publishes the fidelity monitor's drift gauges (no-op when disabled),
+//   3. derives `<hist>.p50/.p95/.p99` gauges from every non-empty histogram
+//      (`gen.step_ns`, serve verb latencies, ...), and
+//   4. writes the registry snapshot to `<base_path>.roll-NNNNNN.json` via the
+//      temp+rename path (WriteFileAtomic), one sequence-numbered file per
+//      tick so a telemetry trail is a directory listing, not a race.
+//
+// One snapshot is written immediately on Start and a final one on Stop, so
+// even a run shorter than the interval leaves at least two trail points.
+#ifndef SRC_UTIL_METRICS_EXPORTER_H_
+#define SRC_UTIL_METRICS_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace cloudgen {
+
+class RollingMetricsExporter {
+ public:
+  struct Options {
+    // Snapshot files are "<base_path>.roll-NNNNNN.json".
+    std::string base_path;
+    double interval_sec = 1.0;
+  };
+
+  explicit RollingMetricsExporter(Options options);
+  ~RollingMetricsExporter();  // Stops (final snapshot) if still running.
+
+  RollingMetricsExporter(const RollingMetricsExporter&) = delete;
+  RollingMetricsExporter& operator=(const RollingMetricsExporter&) = delete;
+
+  // Writes snapshot 0 and launches the interval thread. Idempotent.
+  void Start();
+  // Stops the thread and writes one final snapshot. Idempotent.
+  void Stop();
+
+  // Snapshots written so far (including the Start and Stop ones).
+  uint64_t SnapshotsWritten() const;
+
+ private:
+  void Loop();
+  void WriteSnapshotOnce();
+
+  Options options_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_METRICS_EXPORTER_H_

@@ -1,0 +1,369 @@
+#include "src/util/metrics_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+// Cursor over the input with the few primitives a JSON grammar needs. All
+// Parse* methods return false on malformed input; the caller turns that into
+// one INVALID_ARGUMENT with the byte offset.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  size_t offset() const { return pos_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The writer only escapes control characters; anything else is
+          // preserved as a literal byte when it fits.
+          out->push_back(code < 0x100 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      // Accept the writer's non-finite spellings (%.17g emits inf/nan).
+      if (text_.substr(pos_).rfind("inf", 0) == 0) {
+        pos_ += 3;
+        *out = HUGE_VAL;
+        return true;
+      }
+      if (text_.substr(pos_).rfind("nan", 0) == 0) {
+        pos_ += 3;
+        *out = NAN;
+        return true;
+      }
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token == "-inf") {
+      *out = -HUGE_VAL;
+      return true;
+    }
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  // Skips any well-formed JSON value (unknown keys / future schema fields).
+  bool SkipValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{') {
+      ++pos_;
+      if (Consume('}')) {
+        return true;
+      }
+      do {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':') || !SkipValue()) {
+          return false;
+        }
+      } while (Consume(','));
+      return Consume('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      if (Consume(']')) {
+        return true;
+      }
+      do {
+        if (!SkipValue()) {
+          return false;
+        }
+      } while (Consume(','));
+      return Consume(']');
+    }
+    for (const char* literal : {"true", "false", "null"}) {
+      const std::string_view lit(literal);
+      if (text_.substr(pos_).rfind(lit, 0) == 0) {
+        pos_ += lit.size();
+        return true;
+      }
+    }
+    double ignored = 0.0;
+    return ParseNumber(&ignored);
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool ParseNumberArray(JsonCursor* cur, std::vector<double>* out) {
+  out->clear();
+  if (!cur->Consume('[')) {
+    return false;
+  }
+  if (cur->Consume(']')) {
+    return true;
+  }
+  do {
+    double v = 0.0;
+    if (!cur->ParseNumber(&v)) {
+      return false;
+    }
+    out->push_back(v);
+  } while (cur->Consume(','));
+  return cur->Consume(']');
+}
+
+bool ParseHistogram(JsonCursor* cur, obs::HistogramData* out) {
+  if (!cur->Consume('{')) {
+    return false;
+  }
+  if (cur->Consume('}')) {
+    return true;
+  }
+  do {
+    std::string key;
+    if (!cur->ParseString(&key) || !cur->Consume(':')) {
+      return false;
+    }
+    if (key == "edges") {
+      if (!ParseNumberArray(cur, &out->edges)) {
+        return false;
+      }
+    } else if (key == "counts") {
+      std::vector<double> counts;
+      if (!ParseNumberArray(cur, &counts)) {
+        return false;
+      }
+      out->counts.clear();
+      out->counts.reserve(counts.size());
+      for (double c : counts) {
+        out->counts.push_back(c < 0.0 ? 0 : static_cast<uint64_t>(c));
+      }
+    } else if (key == "count") {
+      double v = 0.0;
+      if (!cur->ParseNumber(&v)) {
+        return false;
+      }
+      out->count = v < 0.0 ? 0 : static_cast<uint64_t>(v);
+    } else if (key == "sum") {
+      if (!cur->ParseNumber(&out->sum)) {
+        return false;
+      }
+    } else if (!cur->SkipValue()) {
+      return false;
+    }
+  } while (cur->Consume(','));
+  return cur->Consume('}');
+}
+
+bool ParseSeries(JsonCursor* cur, std::vector<std::pair<double, double>>* out) {
+  out->clear();
+  if (!cur->Consume('[')) {
+    return false;
+  }
+  if (cur->Consume(']')) {
+    return true;
+  }
+  do {
+    std::vector<double> point;
+    if (!ParseNumberArray(cur, &point) || point.size() != 2) {
+      return false;
+    }
+    out->emplace_back(point[0], point[1]);
+  } while (cur->Consume(','));
+  return cur->Consume(']');
+}
+
+// Parses one of the four top-level sections ({name: <leaf>}).
+template <typename LeafFn>
+bool ParseSection(JsonCursor* cur, const LeafFn& leaf) {
+  if (!cur->Consume('{')) {
+    return false;
+  }
+  if (cur->Consume('}')) {
+    return true;
+  }
+  do {
+    std::string name;
+    if (!cur->ParseString(&name) || !cur->Consume(':') || !leaf(name)) {
+      return false;
+    }
+  } while (cur->Consume(','));
+  return cur->Consume('}');
+}
+
+}  // namespace
+
+Status ParseMetricsSnapshot(std::string_view json, obs::RegistrySnapshot* out) {
+  *out = obs::RegistrySnapshot{};
+  JsonCursor cur(json);
+  bool schema_ok = false;
+  bool parse_ok = [&] {
+    if (!cur.Consume('{')) {
+      return false;
+    }
+    if (cur.Consume('}')) {
+      return true;
+    }
+    do {
+      std::string key;
+      if (!cur.ParseString(&key) || !cur.Consume(':')) {
+        return false;
+      }
+      if (key == "schema") {
+        std::string schema;
+        if (!cur.ParseString(&schema)) {
+          return false;
+        }
+        schema_ok = schema == "cloudgen.metrics.v1";
+      } else if (key == "counters") {
+        if (!ParseSection(&cur, [&](const std::string& name) {
+              double v = 0.0;
+              if (!cur.ParseNumber(&v)) {
+                return false;
+              }
+              out->counters[name] = v < 0.0 ? 0 : static_cast<uint64_t>(v);
+              return true;
+            })) {
+          return false;
+        }
+      } else if (key == "gauges") {
+        if (!ParseSection(&cur, [&](const std::string& name) {
+              return cur.ParseNumber(&out->gauges[name]);
+            })) {
+          return false;
+        }
+      } else if (key == "histograms") {
+        if (!ParseSection(&cur, [&](const std::string& name) {
+              return ParseHistogram(&cur, &out->histograms[name]);
+            })) {
+          return false;
+        }
+      } else if (key == "series") {
+        if (!ParseSection(&cur, [&](const std::string& name) {
+              return ParseSeries(&cur, &out->series[name]);
+            })) {
+          return false;
+        }
+      } else if (!cur.SkipValue()) {
+        return false;
+      }
+    } while (cur.Consume(','));
+    return cur.Consume('}') && cur.AtEnd();
+  }();
+  if (!parse_ok) {
+    return InvalidArgumentError(
+        StrFormat("malformed metrics JSON near byte %zu", cur.offset()));
+  }
+  if (!schema_ok) {
+    return InvalidArgumentError("missing or unknown schema tag (want cloudgen.metrics.v1)");
+  }
+  for (const auto& [name, hist] : out->histograms) {
+    if (hist.counts.size() != hist.edges.size() + 1) {
+      return InvalidArgumentError(
+          StrFormat("histogram %s: %zu counts for %zu edges", name.c_str(),
+                    hist.counts.size(), hist.edges.size()));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace cloudgen

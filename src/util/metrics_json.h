@@ -1,0 +1,28 @@
+// Parser for serialized `cloudgen.metrics.v1` snapshots (the files written
+// by --metrics-out, the rolling exporter, and BENCH_perf.json), back into the
+// plain-data obs::RegistrySnapshot so tooling — `cloudgen metrics-dump`, the
+// Prometheus re-renderer — can work on any snapshot file without a live
+// registry.
+//
+// This is a deliberately small recursive-descent JSON reader, not a general
+// JSON library: it accepts the full JSON value grammar (so unknown keys and
+// future schema additions are skipped, not fatal) but only materializes the
+// shapes the v1 schema uses.
+#ifndef SRC_UTIL_METRICS_JSON_H_
+#define SRC_UTIL_METRICS_JSON_H_
+
+#include <string_view>
+
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+// Parses a `cloudgen.metrics.v1` document into `*out` (replacing its
+// contents). INVALID_ARGUMENT on malformed JSON or a wrong/missing schema
+// tag; histograms with inconsistent edges/counts lengths are rejected too.
+Status ParseMetricsSnapshot(std::string_view json, obs::RegistrySnapshot* out);
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_METRICS_JSON_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 
+#include "src/obs/fidelity_monitor.h"
 #include "src/util/check.h"
 
 namespace cloudgen {
@@ -221,7 +222,9 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     // All-zero weights (e.g. MaxShiftedExp's corruption signal) or a
     // NaN/inf total: no distribution exists. Fall back to a uniform draw
     // over all indices — always in range — instead of aborting the process
-    // from inside an unguarded generation loop.
+    // from inside an unguarded generation loop. Counted so fidelity drift
+    // scores can't be silently polluted by degenerate sampling.
+    obs::FidelityMonitor::Global().CountFallbackDraw();
     return std::min(weights.size() - 1,
                     static_cast<size_t>(u * static_cast<double>(weights.size())));
   }
@@ -233,6 +236,7 @@ size_t Rng::CategoricalFromCdf(const std::vector<double>& cdf) {
   const double total = cdf.back();
   const double u = NextDouble();
   if (!std::isfinite(total) || total <= 0.0) {
+    obs::FidelityMonitor::Global().CountFallbackDraw();
     return std::min(cdf.size() - 1,
                     static_cast<size_t>(u * static_cast<double>(cdf.size())));
   }

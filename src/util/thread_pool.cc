@@ -43,6 +43,10 @@ obs::Gauge& WorkersGauge() {
   static obs::Gauge& gauge = obs::Registry::Global().GetGauge("pool.workers");
   return gauge;
 }
+obs::Gauge& UtilizationGauge() {
+  static obs::Gauge& gauge = obs::Registry::Global().GetGauge("pool.utilization");
+  return gauge;
+}
 
 }  // namespace
 
@@ -220,6 +224,22 @@ ThreadPool& GlobalThreadPool() {
     g_pool = std::make_unique<ThreadPool>(1);
   }
   return *g_pool;
+}
+
+void ThreadPool::PublishGauges() {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_.size();
+  }
+  QueueDepthGauge().Set(static_cast<double>(depth));
+  const double workers = static_cast<double>(workers_.size());
+  WorkersGauge().Set(std::max(workers, 1.0));  // Inline-only pools count the caller.
+  // Busy tracking is the +1/-1 gauge the worker loop maintains; clamp into
+  // [0, workers] so a reader between the two writes never sees nonsense.
+  const double busy =
+      std::min(std::max(BusyWorkersGauge().Value(), 0.0), std::max(workers, 1.0));
+  UtilizationGauge().Set(workers > 0.0 ? busy / workers : 0.0);
 }
 
 void SetGlobalThreads(size_t num_threads) {

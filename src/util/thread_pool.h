@@ -65,6 +65,14 @@ class ThreadPool {
   // exception and nesting semantics as ParallelFor.
   void RunAll(const std::vector<std::function<void()>>& tasks);
 
+  // Refreshes the pool pressure gauges (`pool.queue_depth`,
+  // `pool.busy_workers`, `pool.workers`, `pool.utilization`) from current
+  // state. The enqueue/dequeue paths already keep the first three roughly
+  // current at their own write points; this gives periodic samplers (the
+  // rolling metrics exporter) a consistent reading on demand. Takes the
+  // queue mutex briefly — not for hot paths.
+  void PublishGauges();
+
  private:
   void WorkerLoop();
 

@@ -15,6 +15,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
 #include "src/synth/synthetic_cloud.h"
+#include "src/util/metrics_exporter.h"
+#include "src/util/metrics_json.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -198,6 +200,133 @@ TEST(ObsRegistry, ResetZeroesInPlaceKeepingReferences) {
   EXPECT_TRUE(series.Points().empty());
   counter.Add(1);  // The cached reference must still be live.
   EXPECT_EQ(registry.GetCounter("c").Value(), 1u);
+}
+
+// --- Histogram-derived percentiles ------------------------------------------
+
+TEST(ObsHistogramQuantile, InterpolatesWithinBucketsAndClampsOverflow) {
+  obs::HistogramData hist;
+  hist.edges = {1.0, 2.0, 4.0};
+  hist.counts = {2, 2, 0, 1};  // One observation past the last edge.
+  hist.count = 5;
+  hist.sum = 10.0;
+  // rank = max(1, ceil(q * count)); linear interpolation inside the bucket.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(hist, 0.0), 0.5);   // rank 1 of 2 in [0,1].
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(hist, 0.4), 1.0);   // rank 2 hits the edge.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(hist, 0.5), 1.5);   // rank 3 of 2 in (1,2].
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(hist, 1.0), 4.0);   // Overflow clamps.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(obs::HistogramData{}, 0.5), 0.0);
+}
+
+TEST(ObsRegistry, UpdatePercentileGaugesDerivesFromNonEmptyHistograms) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("verb.ms", {1.0, 10.0});
+  registry.GetHistogram("empty.ms", {1.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  registry.UpdatePercentileGauges();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("verb.ms.p50").Value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("verb.ms.p95").Value(), 10.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("verb.ms.p99").Value(), 10.0);
+  // Empty histograms contribute no gauges (checked via the snapshot so the
+  // probe itself doesn't create one).
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.gauges.count("empty.ms.p50"), 0u);
+}
+
+// --- Prometheus text exposition ----------------------------------------------
+
+TEST(ObsPrometheus, TextExpositionGolden) {
+  obs::Registry registry;
+  registry.GetCounter("jobs").Add(3);
+  registry.GetGauge("fidelity.lifetime.ks").Set(0.25);
+  obs::Histogram& hist = registry.GetHistogram("lat.ms", {1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  registry.GetSeries("loss").Append(0, 0.5);  // Series are not exposed.
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  EXPECT_EQ(out.str(),
+            "# TYPE cloudgen_jobs_total counter\n"
+            "cloudgen_jobs_total 3\n"
+            "# TYPE cloudgen_fidelity_lifetime_ks gauge\n"
+            "cloudgen_fidelity_lifetime_ks 0.25\n"
+            "# TYPE cloudgen_lat_ms histogram\n"
+            "cloudgen_lat_ms_bucket{le=\"1\"} 1\n"
+            "cloudgen_lat_ms_bucket{le=\"10\"} 2\n"
+            "cloudgen_lat_ms_bucket{le=\"+Inf\"} 2\n"
+            "cloudgen_lat_ms_sum 5.5\n"
+            "cloudgen_lat_ms_count 2\n"
+            "# TYPE cloudgen_lat_ms_p50 gauge\n"
+            "cloudgen_lat_ms_p50 1\n"
+            "# TYPE cloudgen_lat_ms_p95 gauge\n"
+            "cloudgen_lat_ms_p95 10\n"
+            "# TYPE cloudgen_lat_ms_p99 gauge\n"
+            "cloudgen_lat_ms_p99 10\n");
+}
+
+// --- Snapshot JSON round-trip ------------------------------------------------
+
+TEST(ObsMetricsJson, RoundTripsRegistrySnapshot) {
+  obs::Registry registry;
+  registry.GetCounter("jobs").Add(3);
+  registry.GetGauge("rate").Set(2.5);
+  obs::Histogram& hist = registry.GetHistogram("lat", {1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  registry.GetSeries("loss").Append(0, 0.5);
+  std::ostringstream out;
+  registry.WriteJson(out);
+
+  obs::RegistrySnapshot snap;
+  ASSERT_TRUE(ParseMetricsSnapshot(out.str(), &snap).ok());
+  EXPECT_EQ(snap.counters.at("jobs"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("rate"), 2.5);
+  const obs::HistogramData& parsed = snap.histograms.at("lat");
+  EXPECT_EQ(parsed.edges, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(parsed.counts, (std::vector<uint64_t>{1, 1, 0}));
+  EXPECT_EQ(parsed.count, 2u);
+  EXPECT_DOUBLE_EQ(parsed.sum, 5.5);
+  ASSERT_EQ(snap.series.at("loss").size(), 1u);
+  EXPECT_EQ(snap.series.at("loss")[0], std::make_pair(0.0, 0.5));
+}
+
+TEST(ObsMetricsJson, RejectsMalformedAndWrongSchema) {
+  obs::RegistrySnapshot snap;
+  EXPECT_FALSE(ParseMetricsSnapshot("{", &snap).ok());
+  EXPECT_FALSE(ParseMetricsSnapshot("", &snap).ok());
+  EXPECT_FALSE(ParseMetricsSnapshot("{\"schema\": \"other.v9\"}", &snap).ok());
+  // Histogram with counts/edges length mismatch is rejected, not mis-read.
+  EXPECT_FALSE(ParseMetricsSnapshot(
+                   "{\"schema\": \"cloudgen.metrics.v1\", \"counters\": {}, "
+                   "\"gauges\": {}, \"histograms\": {\"h\": {\"edges\": [1], "
+                   "\"counts\": [1], \"count\": 1, \"sum\": 1}}, "
+                   "\"series\": {}}",
+                   &snap)
+                   .ok());
+}
+
+// --- Rolling exporter ---------------------------------------------------------
+
+TEST(ObsExporter, StartAndStopEachWriteAParseableSnapshot) {
+  const std::string base = ::testing::TempDir() + "obs_exporter_test.json";
+  RollingMetricsExporter::Options options;
+  options.base_path = base;
+  options.interval_sec = 3600.0;  // Only the Start and Stop snapshots fire.
+  RollingMetricsExporter exporter(options);
+  exporter.Start();
+  exporter.Start();  // Idempotent.
+  exporter.Stop();
+  exporter.Stop();  // Idempotent.
+  EXPECT_EQ(exporter.SnapshotsWritten(), 2u);
+  for (const char* suffix : {".roll-000000.json", ".roll-000001.json"}) {
+    std::ifstream in(base + suffix, std::ios::binary);
+    ASSERT_TRUE(in) << suffix;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    obs::RegistrySnapshot snap;
+    EXPECT_TRUE(ParseMetricsSnapshot(buf.str(), &snap).ok()) << suffix;
+  }
 }
 
 // --- Trace spans -------------------------------------------------------------

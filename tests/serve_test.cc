@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/workload_model.h"
+#include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/serve/client.h"
 #include "src/serve/protocol.h"
@@ -750,6 +751,31 @@ TEST_F(ServeTest, HealthAndMetricsVerbsReportServeState) {
   std::string json;
   ASSERT_TRUE(FetchMetricsJson("127.0.0.1", server.Port(), 2000, &json).ok());
   EXPECT_NE(json.find("serve.conns.accepted"), std::string::npos);
+}
+
+TEST_F(ServeTest, MetricsPromVerbRendersFidelityAndLatencyGauges) {
+  ServerOptions server_options = BaseServerOptions();
+  StreamServer server(model_, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  model_->EnableFidelityMonitor(server_options.gen);
+
+  std::string text;
+  const Status fetched =
+      FetchMetricsProm("127.0.0.1", server.Port(), 2000, &text);
+  obs::FidelityMonitor::Global().Disable();
+  ASSERT_TRUE(fetched.ok()) << fetched.ToString();
+
+  EXPECT_NE(text.find("# TYPE "), std::string::npos);
+  // The verb's own dispatch latency is observed before the snapshot, so the
+  // response always carries a non-empty verb histogram + derived p95 gauge.
+  EXPECT_NE(text.find("cloudgen_serve_verb_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cloudgen_serve_verb_ms_p95 "), std::string::npos);
+  // The verb publishes fidelity drift gauges when the monitor is enabled.
+  EXPECT_NE(text.find("cloudgen_fidelity_lifetime_ks "), std::string::npos);
+  // The idle daemon registers its stream gauge at startup, so a scrape of a
+  // fresh server still reports it.
+  EXPECT_NE(text.find("cloudgen_serve_streams_active "), std::string::npos);
 }
 
 TEST_F(ServeTest, ConcurrentTenantsEachGetTheirOwnExactStream) {

@@ -1,0 +1,249 @@
+// Streaming-sketch tests: quantile rank-error bounds, exact moments on
+// integer streams, top-k tie ordering, and the determinism contract —
+// snapshots must be byte-identical regardless of thread count, shard
+// assignment, or merge order (memcmp via SerializeBytes).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/sketch.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace cloudgen {
+namespace {
+
+// --- QuantileSketch: accuracy ----------------------------------------------
+
+TEST(QuantileSketch, RankErrorBoundOnUniformStream) {
+  obs::QuantileSketch sketch(0.01, 1.0, 1.0e6);
+  constexpr int kN = 10000;
+  for (int i = 1; i <= kN; ++i) {
+    sketch.Observe(static_cast<double>(i));
+  }
+  const obs::QuantileSketch::Snapshot snap = sketch.TakeSnapshot();
+  EXPECT_EQ(snap.total, static_cast<uint64_t>(kN));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double truth = std::ceil(q * kN);  // True q-quantile of 1..N.
+    const double estimate = snap.Quantile(q);
+    // Bucket width gamma = 1.01/0.99, midpoint representative: relative
+    // error <= ~1%. 2.5% leaves room for rank discreteness.
+    EXPECT_NEAR(estimate / truth, 1.0, 0.025) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, RankErrorBoundOnExponentialStream) {
+  obs::QuantileSketch sketch(0.01, 1.0, 4.0e9);
+  Rng rng(7);
+  constexpr size_t kN = 20000;
+  std::vector<double> values;
+  values.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    values.push_back(rng.Exponential(1.0 / 3600.0));
+  }
+  for (double v : values) {
+    sketch.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  const obs::QuantileSketch::Snapshot snap = sketch.TakeSnapshot();
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(kN)));
+    const double truth = values[rank - 1];
+    if (truth <= 1.0) {
+      continue;  // Underflow bucket reports the floor, not a midpoint.
+    }
+    EXPECT_NEAR(snap.Quantile(q) / truth, 1.0, 0.025) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, UnderflowAndOverflowBuckets) {
+  obs::QuantileSketch sketch(0.01, 1.0, 100.0);
+  sketch.Observe(0.0);
+  sketch.Observe(-5.0);
+  sketch.Observe(0.5);
+  sketch.Observe(1.0e9);
+  const obs::QuantileSketch::Snapshot snap = sketch.TakeSnapshot();
+  EXPECT_EQ(snap.total, 4u);
+  EXPECT_EQ(snap.counts.front(), 3u);  // Zero/negative/below-min share it.
+  EXPECT_EQ(snap.counts.back(), 1u);
+  // Overflow estimates saturate at the configured ceiling.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 100.0);
+  // v <= min_value is the exact underflow fraction.
+  EXPECT_DOUBLE_EQ(snap.CdfAtMost(1.0), 0.75);
+  EXPECT_GE(snap.CdfAtMost(1.0e12), 1.0 - 1e-12);
+}
+
+TEST(QuantileSketch, CdfIsMonotone) {
+  obs::QuantileSketch sketch(0.01, 1.0, 1.0e6);
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Observe(rng.Exponential(1.0 / 500.0));
+  }
+  const obs::QuantileSketch::Snapshot snap = sketch.TakeSnapshot();
+  double prev = 0.0;
+  for (double v = 0.5; v < 2.0e4; v *= 1.37) {
+    const double cdf = snap.CdfAtMost(v);
+    EXPECT_GE(cdf, prev) << "v=" << v;
+    EXPECT_LE(cdf, 1.0 + 1e-12);
+    prev = cdf;
+  }
+}
+
+// --- Determinism: merge order and thread count ------------------------------
+
+std::vector<double> DeterministicValues(size_t n) {
+  Rng rng(11);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(rng.Exponential(1.0 / 7200.0));
+  }
+  return values;
+}
+
+TEST(QuantileSketch, SnapshotsAreMergeOrderIndependent) {
+  const std::vector<double> values = DeterministicValues(3000);
+  obs::QuantileSketch whole(0.01, 1.0, 4.0e9);
+  obs::QuantileSketch a(0.01, 1.0, 4.0e9);
+  obs::QuantileSketch b(0.01, 1.0, 4.0e9);
+  obs::QuantileSketch c(0.01, 1.0, 4.0e9);
+  for (double v : values) {
+    whole.Observe(v);
+  }
+  // Shards get the same partition, filled in opposite scan orders.
+  for (size_t i = 0; i < values.size(); ++i) {
+    obs::QuantileSketch& shard = i % 3 == 0 ? a : (i % 3 == 1 ? b : c);
+    shard.Observe(values[i]);
+  }
+  obs::QuantileSketch::Snapshot merged_abc = a.TakeSnapshot();
+  merged_abc.MergeFrom(b.TakeSnapshot());
+  merged_abc.MergeFrom(c.TakeSnapshot());
+  obs::QuantileSketch::Snapshot merged_cab = c.TakeSnapshot();
+  merged_cab.MergeFrom(a.TakeSnapshot());
+  merged_cab.MergeFrom(b.TakeSnapshot());
+  const std::string whole_bytes = whole.TakeSnapshot().SerializeBytes();
+  EXPECT_EQ(whole_bytes, merged_abc.SerializeBytes());
+  EXPECT_EQ(merged_abc.SerializeBytes(), merged_cab.SerializeBytes());
+}
+
+TEST(QuantileSketch, SnapshotBytesAreThreadCountInvariant) {
+  const std::vector<double> values = DeterministicValues(20000);
+  std::string reference;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    obs::QuantileSketch sketch(0.01, 1.0, 4.0e9);
+    SetGlobalThreads(threads);
+    GlobalThreadPool().ParallelFor(0, values.size(),
+                                   [&](size_t i) { sketch.Observe(values[i]); });
+    SetGlobalThreads(1);
+    const std::string bytes = sketch.TakeSnapshot().SerializeBytes();
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+  }
+}
+
+// --- StreamingMoments -------------------------------------------------------
+
+TEST(StreamingMoments, ExactOnIntegersAtAnyThreadCount) {
+  constexpr uint64_t kN = 10000;  // Observations 0..9999.
+  const auto closed_sum = static_cast<double>(kN * (kN - 1) / 2);
+  const auto closed_sum_squares =
+      static_cast<double>((kN - 1) * kN * (2 * kN - 1) / 6);
+  std::string reference;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    obs::StreamingMoments moments;
+    SetGlobalThreads(threads);
+    GlobalThreadPool().ParallelFor(0, kN, [&](size_t i) {
+      moments.Observe(static_cast<double>(i));
+    });
+    SetGlobalThreads(1);
+    const obs::StreamingMoments::Snapshot snap = moments.TakeSnapshot();
+    EXPECT_EQ(snap.count, kN);
+    // Integer-valued doubles below 2^53 sum exactly in any order.
+    EXPECT_EQ(snap.sum, closed_sum);
+    EXPECT_EQ(snap.sum_squares, closed_sum_squares);
+    EXPECT_DOUBLE_EQ(snap.Mean(), closed_sum / static_cast<double>(kN));
+    const std::string bytes = snap.SerializeBytes();
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamingMoments, MergePreservesExactSums) {
+  obs::StreamingMoments whole;
+  obs::StreamingMoments lo;
+  obs::StreamingMoments hi;
+  for (int i = 0; i < 1000; ++i) {
+    whole.Observe(i);
+    (i < 500 ? lo : hi).Observe(i);
+  }
+  obs::StreamingMoments::Snapshot merged = lo.TakeSnapshot();
+  merged.MergeFrom(hi.TakeSnapshot());
+  EXPECT_EQ(merged.SerializeBytes(), whole.TakeSnapshot().SerializeBytes());
+  EXPECT_GT(merged.Variance(), 0.0);
+}
+
+// --- TopKCounter ------------------------------------------------------------
+
+TEST(TopKCounter, ExactCountsAndDeterministicTieOrder) {
+  obs::TopKCounter counter(4);
+  for (int i = 0; i < 5; ++i) counter.Observe(2);
+  for (int i = 0; i < 3; ++i) counter.Observe(0);
+  for (int i = 0; i < 3; ++i) counter.Observe(1);
+  counter.Observe(7);    // Out of universe -> overflow.
+  counter.Observe(-1);   // Negative -> overflow.
+  const obs::TopKCounter::Snapshot snap = counter.TakeSnapshot();
+  EXPECT_EQ(snap.total, 13u);
+  EXPECT_EQ(snap.overflow, 2u);
+  EXPECT_EQ(snap.counts, (std::vector<uint64_t>{3, 3, 5, 0}));
+  const auto top = snap.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 2);
+  EXPECT_EQ(top[0].count, 5u);
+  // Ties (ids 0 and 1 both at 3) break toward the smaller id.
+  EXPECT_EQ(top[1].id, 0);
+}
+
+TEST(TopKCounter, TotalVariationAgainstReference) {
+  obs::TopKCounter counter(2);
+  for (int i = 0; i < 3; ++i) counter.Observe(0);
+  counter.Observe(1);
+  const obs::TopKCounter::Snapshot snap = counter.TakeSnapshot();
+  // Empirical (0.75, 0.25) vs reference (0.5, 0.5): TV = 0.25.
+  EXPECT_DOUBLE_EQ(snap.TotalVariation({0.5, 0.5}), 0.25);
+  // Identical distributions have zero distance.
+  EXPECT_DOUBLE_EQ(snap.TotalVariation({0.75, 0.25}), 0.0);
+  // Empty snapshot reports zero drift, not NaN.
+  EXPECT_DOUBLE_EQ(obs::TopKCounter(2).TakeSnapshot().TotalVariation({0.5, 0.5}),
+                   0.0);
+}
+
+TEST(TopKCounter, SnapshotBytesAreThreadCountInvariant) {
+  std::string reference;
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    obs::TopKCounter counter(16);
+    SetGlobalThreads(threads);
+    GlobalThreadPool().ParallelFor(0, 20000, [&](size_t i) {
+      counter.Observe(static_cast<int64_t>(i % 19));  // Some overflow ids.
+    });
+    SetGlobalThreads(1);
+    const std::string bytes = counter.TakeSnapshot().SerializeBytes();
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudgen
