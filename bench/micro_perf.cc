@@ -507,6 +507,61 @@ double BenchFidelityOverhead(size_t hw, const WorkloadModel& model) {
   return ratio;
 }
 
+// --- Sharded tick scheduler vs one batch window ----------------------------
+//
+// The sharded generation scheduler's payoff: GenerateMany with one batch
+// window in flight per pool worker (gen_shards = 0, auto) vs the
+// single-window batched engine (gen_shards = 1). The bytes are identical
+// either way (tests/batch_gen_test.cc); this measures only wall-clock. The
+// variants alternate and keep their minima — on few-core boxes the two do
+// nearly identical work, and one-sided scheduler noise would otherwise read
+// as a regression. Returns single-shard / sharded time (>= 1 means sharding
+// helps or is free; the CI gate expects >= 1.5 on >= 4 hardware threads).
+double BenchGenSharded(size_t hw, const WorkloadModel& model) {
+  WorkloadModel::GenerateOptions options;
+  options.from_period = 3 * kPeriodsPerDay;
+  options.to_period = 4 * kPeriodsPerDay;
+  // A small window keeps per-shard batches meaningful at this trace count
+  // (auto-sharding splits the 16 traces round-robin across the workers).
+  options.batch_window = 16;
+  constexpr size_t kMany = 16;
+
+  SetGlobalThreads(hw);
+  const auto time_once = [&](size_t shards) {
+    options.gen_shards = shards;
+    Timer timer;
+    Rng rng(17);
+    (void)model.GenerateMany(options, kMany, rng);
+    return timer.ElapsedSeconds() * 1000.0;
+  };
+  (void)time_once(1);  // Warm-up.
+  // Tokens (LSTM steps) per sharded run, for the throughput gauge.
+  obs::Counter& rows_counter = obs::Registry::Global().GetCounter("gen.batch.rows");
+  const uint64_t rows_before = rows_counter.Value();
+  (void)time_once(0);
+  const double tokens = static_cast<double>(rows_counter.Value() - rows_before);
+
+  double single_ms = 0.0;
+  double sharded_ms = 0.0;
+  constexpr int kRounds = 12;
+  for (int round = 0; round < kRounds; ++round) {
+    const double single = time_once(1);
+    const double sharded = time_once(0);
+    single_ms = round == 0 ? single : std::min(single_ms, single);
+    sharded_ms = round == 0 ? sharded : std::min(sharded_ms, sharded);
+  }
+  SetGlobalThreads(1);
+  std::printf("%-28s %10.3f ms/iter  (min of %d)\n", "gen_many16_1shard",
+              single_ms, kRounds);
+  std::printf("%-28s %10.3f ms/iter  (min of %d)\n", "gen_many16_sharded",
+              sharded_ms, kRounds);
+
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench.gen.tokens_per_sec_sharded")
+      .Set(sharded_ms > 0.0 ? tokens * 1000.0 / sharded_ms : 0.0);
+  return sharded_ms > 0.0 ? single_ms / sharded_ms : 0.0;
+}
+
 // --- Survival + packing telemetry (kept from the seed bench) ---------------
 
 void BenchKaplanMeier() {
@@ -565,24 +620,28 @@ int Main() {
   const double batched_speedup = BenchGenBatched(hw);
   WorkloadModel bench_model;
   double fidelity_ratio = 0.0;
+  double sharded_speedup = 0.0;
   if (TrainBenchModel(&bench_model)) {
     BenchTraceGeneration(hw, bench_model);
     fidelity_ratio = BenchFidelityOverhead(hw, bench_model);
+    sharded_speedup = BenchGenSharded(hw, bench_model);
   }
 
   BenchKaplanMeier();
   BenchPacking();
 
   std::printf("\nspeedups: gemm_256 %.2fx, bptt %.2fx, generation %.2fx, "
-              "gen_fastpath %.2fx, gen_batched %.2fx; guard overhead %.2f%%, "
-              "fidelity overhead %.3fx\n",
+              "gen_fastpath %.2fx, gen_batched %.2fx, gen_sharded %.2fx; "
+              "guard overhead %.2f%%, fidelity overhead %.3fx\n",
               gemm_speedup, bptt_speedup, gen_speedup, fastpath_speedup,
-              batched_speedup, guard_overhead_pct, fidelity_ratio);
+              batched_speedup, sharded_speedup, guard_overhead_pct,
+              fidelity_ratio);
   registry.GetGauge("bench.speedup.gemm_256").Set(gemm_speedup);
   registry.GetGauge("bench.speedup.bptt").Set(bptt_speedup);
   registry.GetGauge("bench.speedup.generation").Set(gen_speedup);
   registry.GetGauge("bench.speedup.gen_fastpath").Set(fastpath_speedup);
   registry.GetGauge("bench.speedup.gen_batched").Set(batched_speedup);
+  registry.GetGauge("bench.speedup.gen_sharded").Set(sharded_speedup);
 
   WriteBenchSnapshot("BENCH_perf.json");
   return 0;

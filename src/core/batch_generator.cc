@@ -1,13 +1,16 @@
 #include "src/core/batch_generator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <utility>
 
 #include "src/obs/fidelity_monitor.h"
 #include "src/obs/metrics.h"
 #include "src/util/cancel.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace cloudgen {
 
@@ -170,7 +173,14 @@ BatchTraceEngine::BatchTraceEngine(const WorkloadModel& model,
 
 void BatchTraceEngine::Run(size_t first, size_t count, size_t window,
                            const std::function<bool(size_t, Trace&&)>& emit) {
+  RunStrided(first, 1, first + count, window, emit);
+}
+
+void BatchTraceEngine::RunStrided(size_t first, size_t stride, size_t end,
+                                  size_t window,
+                                  const std::function<bool(size_t, Trace&&)>& emit) {
   window = std::max<size_t>(1, window);
+  stride = std::max<size_t>(1, stride);
   // Hot-path metric handles, registered once per process (see metrics.h).
   static obs::Counter& tick_counter =
       obs::Registry::Global().GetCounter("gen.batch.ticks");
@@ -183,7 +193,6 @@ void BatchTraceEngine::Run(size_t first, size_t count, size_t window,
   std::vector<TraceStreamMachine*> flavor_group;
   std::vector<TraceStreamMachine*> lifetime_group;
   size_t next = first;
-  const size_t end = first + count;
 
   for (;;) {
     // Retire finished traces (compacting the active set) and refill the
@@ -201,7 +210,7 @@ void BatchTraceEngine::Run(size_t first, size_t count, size_t window,
     active.resize(live);
     while (active.size() < window && next < end) {
       auto m = std::make_unique<TraceStreamMachine>(model_, options_, base_, next);
-      ++next;
+      next += stride;
       m->Advance();
       if (m->need() == TraceStreamMachine::Need::kDone) {
         if (!emit(m->index(), m->TakeTrace())) {
@@ -226,6 +235,8 @@ void BatchTraceEngine::Run(size_t first, size_t count, size_t window,
     }
     tick_counter.Add(1);
     row_counter.Add(static_cast<uint64_t>(active.size()));
+    ticks_ += 1;
+    rows_ += static_cast<uint64_t>(active.size());
     if (!flavor_group.empty()) {
       StepGroup(flavor_net, flavor_group, &flavor_ws_);
     }
@@ -280,6 +291,89 @@ void BatchTraceEngine::StepGroup(const SequenceNetwork& net,
       std::copy(src, src + out_dim, logits->Row(0));
     }
     group[r]->FinishNeededStep();
+  }
+}
+
+void RunShardedBatchEngines(const WorkloadModel& model,
+                            const WorkloadModel::GenerateOptions& options,
+                            uint64_t base, size_t first, size_t count,
+                            size_t window, size_t shards,
+                            const std::function<bool(size_t, Trace&&)>& emit) {
+  static obs::Counter& shard_tick_counter =
+      obs::Registry::Global().GetCounter("gen.shard.ticks");
+  static obs::Counter& shard_row_counter =
+      obs::Registry::Global().GetCounter("gen.shard.rows");
+  static obs::Gauge& occupancy_gauge =
+      obs::Registry::Global().GetGauge("gen.shard.occupancy");
+
+  window = std::max<size_t>(1, window);
+  shards = std::max<size_t>(1, std::min(shards, std::max<size_t>(1, count)));
+  const size_t end = first + count;
+
+  if (shards == 1) {
+    BatchTraceEngine engine(model, options, base);
+    engine.Run(first, count, window, emit);
+    shard_tick_counter.Add(engine.TicksRun());
+    shard_row_counter.Add(engine.RowsStepped());
+    if (engine.TicksRun() > 0) {
+      occupancy_gauge.Set(static_cast<double>(engine.RowsStepped()) /
+                          (static_cast<double>(engine.TicksRun()) *
+                           static_cast<double>(window)));
+    }
+    return;
+  }
+
+  // `emit` feeds the caller's reorder buffer, which is not thread-safe; one
+  // mutex serializes it across shards. A false return latches `stop` so
+  // every shard winds down at its next retire without touching `emit` again.
+  std::mutex emit_mu;
+  std::atomic<bool> stop{false};
+  auto shared_emit = [&emit, &emit_mu, &stop](size_t index, Trace&& trace) {
+    if (stop.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(emit_mu);
+    if (stop.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (!emit(index, std::move(trace))) {
+      stop.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+
+  // One engine per shard, each a pool task. The inner cap splits the pool
+  // evenly so shards x inner <= pool size (see ScopedInnerParallelism); with
+  // fewer cores than shards every shard's inner GEMMs just run inline.
+  const size_t inner = std::max<size_t>(1, GlobalParallelism() / shards);
+  std::vector<std::unique_ptr<BatchTraceEngine>> engines;
+  engines.reserve(shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    engines.push_back(std::make_unique<BatchTraceEngine>(model, options, base));
+    BatchTraceEngine* engine = engines.back().get();
+    const size_t shard_first = first + s;
+    tasks.push_back([engine, shard_first, shards, end, window, inner,
+                     &shared_emit] {
+      ScopedInnerParallelism scope(inner);
+      engine->RunStrided(shard_first, shards, end, window, shared_emit);
+    });
+  }
+  GlobalThreadPool().RunAll(tasks);
+
+  uint64_t ticks = 0;
+  uint64_t rows = 0;
+  for (const auto& engine : engines) {
+    ticks += engine->TicksRun();
+    rows += engine->RowsStepped();
+  }
+  shard_tick_counter.Add(ticks);
+  shard_row_counter.Add(rows);
+  if (ticks > 0) {
+    occupancy_gauge.Set(static_cast<double>(rows) /
+                        (static_cast<double>(ticks) * static_cast<double>(window)));
   }
 }
 

@@ -115,6 +115,21 @@ class BatchTraceEngine {
   void Run(size_t first, size_t count, size_t window,
            const std::function<bool(size_t, Trace&&)>& emit);
 
+  // Strided variant: generates the indices {first, first + stride, ...} that
+  // fall in [first, end). This is the shard view used by the sharded
+  // scheduler — shard s of S owns every S-th index starting at first + s, so
+  // the union over shards is exactly [first, end) and each shard's reorder
+  // backlog stays small. Run(f, c, w, emit) == RunStrided(f, 1, f + c, w, emit).
+  void RunStrided(size_t first, size_t stride, size_t end, size_t window,
+                  const std::function<bool(size_t, Trace&&)>& emit);
+
+  // Work tallies for this engine instance, cumulative across Run calls. A
+  // tick is one lockstep iteration (<= 2 batched network steps); rows is the
+  // total machine-steps executed, so rows / (ticks * window) is the mean
+  // window occupancy.
+  uint64_t TicksRun() const { return ticks_; }
+  uint64_t RowsStepped() const { return rows_; }
+
  private:
   void StepGroup(const SequenceNetwork& net,
                  const std::vector<TraceStreamMachine*>& group,
@@ -127,7 +142,29 @@ class BatchTraceEngine {
   // state performs no per-token heap allocation (see BatchStepWorkspace).
   BatchStepWorkspace flavor_ws_;
   BatchStepWorkspace lifetime_ws_;
+  uint64_t ticks_ = 0;
+  uint64_t rows_ = 0;
 };
+
+// Sharded tick scheduler: partitions [first, first + count) round-robin over
+// `shards` independent BatchTraceEngines (shard s owns indices first + s,
+// first + s + shards, ...) and runs one engine per ThreadPool task, so up to
+// `shards` batch windows are in flight at once. Each shard owns its own
+// machines, workspaces, and per-stream Rng::Streams, and runs its inner
+// per-layer GEMM fan-out under ScopedInnerParallelism(pool / shards) so
+// shards never oversubscribe the pool. Completed traces from all shards are
+// funneled through `emit` under one mutex, still in per-shard completion
+// order but interleaved across shards — the caller's reorder buffer restores
+// index order, and because every trace is a pure function of (base, index)
+// the merged output is byte-identical to a single engine at any shard count.
+// `emit` returning false stops every shard early. Records the
+// `gen.shard.{ticks,rows}` counters and `gen.shard.occupancy` gauge.
+// `shards <= 1` degenerates to one un-sharded engine on the calling thread.
+void RunShardedBatchEngines(const WorkloadModel& model,
+                            const WorkloadModel::GenerateOptions& options,
+                            uint64_t base, size_t first, size_t count,
+                            size_t window, size_t shards,
+                            const std::function<bool(size_t, Trace&&)>& emit);
 
 }  // namespace cloudgen
 

@@ -148,7 +148,10 @@ uint64_t DoubleBits(double v) {
 // Digest of everything that shapes the generated bytes. Stored in the
 // checkpoint and verified on resume, so continuing with different flags,
 // count, or caller context (seed) is rejected instead of splicing
-// incompatible RNG streams into one output.
+// incompatible RNG streams into one output. Pure throughput knobs that
+// provably never change the bytes — batch_window, gen_shards, cancel,
+// guard-on-healthy — are deliberately NOT hashed, so a checkpoint taken at
+// one window/shard/thread setting resumes byte-identically at any other.
 uint64_t GenerateFingerprint(const WorkloadModel::GenerateOptions& options, uint32_t mode,
                              uint64_t count, uint64_t caller) {
   uint64_t h = 0x43474547ull;  // 'CGEG'
@@ -268,9 +271,10 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   Status sink_status = OkStatus();
   bool stop_flushing = false;
 
-  // In-order flush of completed trace i. Single-threaded in the batched
-  // path; the trace-parallel path calls it under `mu`. Returns false once
-  // flushing must stop (sink error or visible cancellation).
+  // In-order flush of completed trace i. Never called concurrently: the
+  // batched path is single-threaded, the sharded scheduler serializes emits
+  // internally, and the trace-parallel path calls it under `mu`. Returns
+  // false once flushing must stop (sink error or visible cancellation).
   const auto flush_in_order = [&](size_t i, Trace&& trace) -> bool {
     if (!sink_status.ok() || stop_flushing) {
       return false;
@@ -319,12 +323,15 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   };
 
   if (options.batch_window > 0) {
-    // Batched multi-stream engine: one driver steps up to batch_window
-    // traces in lockstep, turning per-trace GEMVs into blocked GEMMs (which
-    // shard across the pool). Trace i's bytes are identical to the legacy
-    // path below — each stream draws only from Rng::Stream(base, i).
-    BatchTraceEngine engine(*this, options, base);
-    engine.Run(start, count - start, options.batch_window, flush_in_order);
+    // Batched multi-stream engine: each driver steps up to batch_window
+    // traces in lockstep, turning per-trace GEMVs into blocked GEMMs. With
+    // more than one shard, that many windows run in flight on the pool
+    // (sharded tick scheduler). Trace i's bytes are identical to the legacy
+    // path below at every (window, shard, thread) setting — each stream
+    // draws only from Rng::Stream(base, i) and flush_in_order reorders.
+    const size_t shards = EffectiveGenShards(options, count - start);
+    RunShardedBatchEngines(*this, options, base, start, count - start,
+                           options.batch_window, shards, flush_in_order);
   } else {
     GlobalThreadPool().ParallelFor(
         start, count,
@@ -363,6 +370,13 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   return run.sink->Finish();
 }
 
+size_t WorkloadModel::EffectiveGenShards(const GenerateOptions& options,
+                                         size_t count) {
+  const size_t requested =
+      options.gen_shards > 0 ? options.gen_shards : GlobalParallelism();
+  return std::max<size_t>(1, std::min(requested, std::max<size_t>(1, count)));
+}
+
 uint64_t WorkloadModel::TraceFamilyBase(uint64_t seed) {
   // Must match the fresh-path draw in GenerateMany above (cursor.base =
   // rng.Next() on an Rng(seed) with no prior draws) — the serve byte-identity
@@ -383,6 +397,38 @@ void WorkloadModel::GenerateTraceRows(const GenerateOptions& options, uint64_t b
     }
     return true;
   });
+}
+
+void WorkloadModel::GenerateTraceRowsRange(const GenerateOptions& options,
+                                           uint64_t base, size_t first,
+                                           size_t count, std::string* out) const {
+  if (count == 0) {
+    return;
+  }
+  if (count == 1) {
+    GenerateTraceRows(options, base, first, out);
+    return;
+  }
+  // One engine run over the whole range; the pending map restores index
+  // order across shard/completion interleaving exactly like GenerateMany's
+  // flush_in_order, so the concatenation matches per-index GenerateTraceRows
+  // calls byte for byte.
+  std::map<size_t, Trace> pending;
+  size_t next_flush = first;
+  const auto emit = [&](size_t i, Trace&& trace) -> bool {
+    pending.emplace(i, std::move(trace));
+    while (!pending.empty() && pending.begin()->first == next_flush) {
+      for (const Job& job : pending.begin()->second.Jobs()) {
+        AppendJobRow(next_flush, job, out);
+      }
+      pending.erase(pending.begin());
+      ++next_flush;
+    }
+    return true;
+  };
+  const size_t window = std::max<size_t>(1, options.batch_window);
+  const size_t shards = EffectiveGenShards(options, count);
+  RunShardedBatchEngines(*this, options, base, first, count, window, shards, emit);
 }
 
 Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng,

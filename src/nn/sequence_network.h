@@ -109,6 +109,11 @@ class SequenceNetwork {
   // from ws->state.h.back() rows. Row r of every output is
   // bitwise-identical to a single-stream StepLogits/StepRecurrent on that
   // stream alone (per-element GEMM chains are batch-size independent).
+  //
+  // Concurrency: both calls are const and read only the (eagerly prepacked)
+  // weights; all mutable scratch lives in `ws`. Concurrent callers with
+  // distinct workspaces — one BatchStepWorkspace pair per shard in the
+  // sharded generation scheduler — are safe and share nothing.
   void EnsureBatchStep(size_t rows, BatchStepWorkspace* ws) const;
   void StepBatch(BatchStepWorkspace* ws) const;
 

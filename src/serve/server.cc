@@ -416,14 +416,36 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
           "server draining; stream checkpointed, reconnect to resume");
     }
 
+    // Regenerate the next chunk of traces in one engine run, so the batched
+    // (and sharded) engine fills its windows across traces instead of paying
+    // a cold engine per trace. Chunking only changes how many bytes are
+    // buffered at once, never the bytes themselves.
+    uint64_t chunk_traces =
+        std::min<uint64_t>(std::max<size_t>(1, options_.gen_chunk_traces),
+                           traces - next_trace);
     buffer.clear();
-    model_->GenerateTraceRows(options_.gen, base, next_trace, &buffer);
+    model_->GenerateTraceRowsRange(options_.gen, base,
+                                   static_cast<size_t>(next_trace),
+                                   static_cast<size_t>(chunk_traces), &buffer);
     if (!lease.ReserveBytes(buffer.size())) {
-      checkpoint_boundary();
-      return UnavailableError(StrFormat(
-          "server buffer pressure (%zu bytes buffered, limit %zu); retry",
-          registry_.BufferedBytes(),
-          registry_.limits().max_total_buffer_bytes));
+      // A multi-trace chunk may exceed what admission control can buffer
+      // even though a single trace fits; drop to one trace before giving up
+      // so buffer pressure degrades throughput, not availability.
+      bool reserved = false;
+      if (chunk_traces > 1) {
+        chunk_traces = 1;
+        buffer.clear();
+        model_->GenerateTraceRows(options_.gen, base,
+                                  static_cast<size_t>(next_trace), &buffer);
+        reserved = lease.ReserveBytes(buffer.size());
+      }
+      if (!reserved) {
+        checkpoint_boundary();
+        return UnavailableError(StrFormat(
+            "server buffer pressure (%zu bytes buffered, limit %zu); retry",
+            registry_.BufferedBytes(),
+            registry_.limits().max_total_buffer_bytes));
+      }
     }
     const uint64_t trace_rows =
         static_cast<uint64_t>(std::count(buffer.begin(), buffer.end(), '\n'));
@@ -507,11 +529,12 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
     }
     CG_RETURN_IF_ERROR(send_status);
 
-    // Trace boundary reached: advance the durable cursor.
+    // Chunk boundary (a trace boundary by construction): advance the
+    // durable cursor past every trace in the chunk.
     crc = Crc32Update(crc, buffer.data(), buffer.size());
     offset = trace_end;
     rows += trace_rows;
-    next_trace += 1;
+    next_trace += chunk_traces;
     counters.rows_sent.Add(trace_rows);
   }
 

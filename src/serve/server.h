@@ -53,6 +53,13 @@ struct ServerOptions {
   int io_timeout_ms = 10000;    // Per socket read/write.
   int idle_timeout_ms = 30000;  // Max quiet time waiting for a client frame.
   size_t max_chunk_bytes = 64u << 10;  // Largest single DATA payload.
+  // Traces regenerated per engine run on the stream path. A chunk > 1 lets
+  // the batched (and, with gen.gen_shards, sharded) engine fill its windows
+  // across traces instead of paying a cold engine per trace; bytes are
+  // identical either way. When a chunk's buffer reservation trips admission
+  // control, the session falls back to one trace at a time, so forward
+  // progress needs only the single-trace buffer the limits always allowed.
+  size_t gen_chunk_traces = 8;
   ServeLimits limits;
   // Generation options shared by every stream (per-request knobs are seed
   // and trace count). `cancel` is ignored; the server installs its own.

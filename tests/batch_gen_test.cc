@@ -98,9 +98,11 @@ void ExpectSameTrace(const Trace& a, const Trace& b, size_t which,
 
 std::vector<Trace> GenerateAt(const WorkloadModel& model,
                               WorkloadModel::GenerateOptions options,
-                              size_t count, size_t window, size_t threads) {
+                              size_t count, size_t window, size_t threads,
+                              size_t shards = 1) {
   SetGlobalThreads(threads);
   options.batch_window = window;
+  options.gen_shards = shards;
   Rng rng(99);
   std::vector<Trace> traces = model.GenerateMany(options, count, rng);
   SetGlobalThreads(1);
@@ -208,6 +210,43 @@ TEST(BatchGenIdentity, FactoredHeadBatchedMatchesOracle) {
                        what);
     }
   }
+}
+
+// Sharded tick scheduler (RunShardedBatchEngines): the full shards x windows
+// x threads matrix must reproduce the gen_shards = 1 single-window oracle
+// byte for byte. Shards beyond the thread count still run (they just share
+// workers); windows below count/shards force per-shard retire/refill churn.
+TEST(BatchGenIdentity, ShardedMatchesOracleAcrossShardsWindowsAndThreads) {
+  const WorkloadModel& model = DenseModel();
+  const WorkloadModel::GenerateOptions options = BaseOptions();
+  constexpr size_t kCount = 70;
+
+  const std::vector<Trace> oracle =
+      GenerateAt(model, options, kCount, /*window=*/64, /*threads=*/1,
+                 /*shards=*/1);
+  size_t total_jobs = 0;
+  for (const Trace& trace : oracle) {
+    total_jobs += trace.NumJobs();
+  }
+  ASSERT_GT(total_jobs, 0u);
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (const size_t window : {size_t{1}, size_t{7}, size_t{64}}) {
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        const std::string what = "shards=" + std::to_string(shards) +
+                                 " window=" + std::to_string(window) +
+                                 " threads=" + std::to_string(threads);
+        ExpectSameTraces(
+            oracle, GenerateAt(model, options, kCount, window, threads, shards),
+            what);
+      }
+    }
+  }
+  // Auto-sharding (gen_shards = 0 sizes to the pool) is the same bytes too.
+  ExpectSameTraces(oracle,
+                   GenerateAt(model, options, kCount, /*window=*/7,
+                              /*threads=*/4, /*shards=*/0),
+                   "auto shards threads=4");
 }
 
 // The reference (unpacked) step route must agree with the packed fast path

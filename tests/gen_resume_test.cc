@@ -99,10 +99,13 @@ class GenResumeTest : public ::testing::Test {
   }
 
   // One sink-based run into `dir`. Returns the report; asserts OK status.
+  // `shards` is GenerateOptions::gen_shards (0 = auto-size to the pool).
   static WorkloadModel::GenerateReport RunSinkOnce(
-      const std::string& dir, bool resume, const CancelToken* cancel) {
+      const std::string& dir, bool resume, const CancelToken* cancel,
+      size_t shards = 0) {
     WorkloadModel::GenerateOptions options = Options();
     options.cancel = cancel;
+    options.gen_shards = shards;
     SegmentedFileSink::Options sink_options;
     sink_options.dir = dir;
     sink_options.segment_bytes = 256;  // Several seals per trace.
@@ -263,6 +266,80 @@ TEST_F(GenResumeTest, StreamingDeadlineInterruptsThenResumesByteIdentically) {
   }
   EXPECT_FALSE(report.interrupted);
   EXPECT_EQ(ConcatOrDie(dir), expected);
+}
+
+// gen_shards is excluded from the checkpoint fingerprint (like batch_window
+// and --threads), so a run checkpointed at one shard count must resume —
+// accepted, not FAILED_PRECONDITION — at any other, byte-identically.
+TEST_F(GenResumeTest, CheckpointTransfersAcrossShardCounts) {
+  const std::string expected = ExpectedBytes();
+
+  // Deterministic direction first: a pre-cancelled single-shard run leaves a
+  // trace-0 checkpoint that a 4-shard resume must accept and complete.
+  {
+    const std::string dir = Dir("cross_shard_pre");
+    CancelToken cancel;
+    cancel.RequestCancel();
+    const WorkloadModel::GenerateReport first =
+        RunSinkOnce(dir, /*resume=*/false, &cancel, /*shards=*/1);
+    EXPECT_TRUE(first.interrupted);
+    SetGlobalThreads(4);
+    const WorkloadModel::GenerateReport second =
+        RunSinkOnce(dir, /*resume=*/true, /*cancel=*/nullptr, /*shards=*/4);
+    EXPECT_TRUE(second.resumed);
+    EXPECT_FALSE(second.interrupted);
+    EXPECT_EQ(ConcatOrDie(dir), expected);
+  }
+
+  // Mid-run direction: interrupt a sharded run wherever the cancel lands and
+  // finish it single-shard.
+  {
+    const std::string dir = Dir("cross_shard_mid");
+    SetGlobalThreads(4);
+    CancelToken cancel;
+    std::thread trigger([&cancel] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      cancel.RequestCancel();
+    });
+    const WorkloadModel::GenerateReport first =
+        RunSinkOnce(dir, /*resume=*/false, &cancel, /*shards=*/4);
+    trigger.join();
+    SetGlobalThreads(1);
+    if (first.interrupted) {
+      const WorkloadModel::GenerateReport second =
+          RunSinkOnce(dir, /*resume=*/true, /*cancel=*/nullptr, /*shards=*/1);
+      EXPECT_FALSE(second.interrupted);
+      EXPECT_EQ(first.traces + second.traces, kCount);
+    }
+    EXPECT_EQ(ConcatOrDie(dir), expected);
+  }
+}
+
+// Sharded analog of MidRunCancelThenResumeIsByteIdentical: repeated mid-run
+// stops (the in-process SIGTERM path — the CLI's handler trips this same
+// CancelToken) with multiple windows in flight, resumed at a different shard
+// count each round.
+TEST_F(GenResumeTest, ShardedMidRunCancelThenResumeIsByteIdentical) {
+  const std::string expected = ExpectedBytes();
+  SetGlobalThreads(4);
+  for (int round = 0; round < 3; ++round) {
+    const std::string dir = Dir("sharded_midcancel_r" + std::to_string(round));
+    CancelToken cancel;
+    std::thread trigger([&cancel, round] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * round + 1));
+      cancel.RequestCancel();
+    });
+    const WorkloadModel::GenerateReport first =
+        RunSinkOnce(dir, /*resume=*/false, &cancel, /*shards=*/4);
+    trigger.join();
+    if (first.interrupted) {
+      const WorkloadModel::GenerateReport second = RunSinkOnce(
+          dir, /*resume=*/true, /*cancel=*/nullptr, /*shards=*/size_t{2});
+      EXPECT_FALSE(second.interrupted);
+      EXPECT_EQ(first.traces + second.traces, kCount);
+    }
+    EXPECT_EQ(ConcatOrDie(dir), expected) << "round=" << round;
+  }
 }
 
 TEST_F(GenResumeTest, KillBetweenSealAndManifestIsAbsorbedOnResume) {

@@ -238,8 +238,11 @@ TEST(ObsRegistry, UpdatePercentileGaugesDerivesFromNonEmptyHistograms) {
 
 TEST(ObsPrometheus, TextExpositionGolden) {
   obs::Registry registry;
+  registry.GetCounter("gen.shard.ticks").Add(12);
   registry.GetCounter("jobs").Add(3);
+  registry.GetGauge("bench.gen.tokens_per_sec_sharded").Set(50000);
   registry.GetGauge("fidelity.lifetime.ks").Set(0.25);
+  registry.GetGauge("gen.shard.occupancy").Set(0.75);
   obs::Histogram& hist = registry.GetHistogram("lat.ms", {1.0, 10.0});
   hist.Observe(0.5);
   hist.Observe(5.0);
@@ -247,10 +250,16 @@ TEST(ObsPrometheus, TextExpositionGolden) {
   std::ostringstream out;
   registry.WritePrometheus(out);
   EXPECT_EQ(out.str(),
+            "# TYPE cloudgen_gen_shard_ticks_total counter\n"
+            "cloudgen_gen_shard_ticks_total 12\n"
             "# TYPE cloudgen_jobs_total counter\n"
             "cloudgen_jobs_total 3\n"
+            "# TYPE cloudgen_bench_gen_tokens_per_sec_sharded gauge\n"
+            "cloudgen_bench_gen_tokens_per_sec_sharded 50000\n"
             "# TYPE cloudgen_fidelity_lifetime_ks gauge\n"
             "cloudgen_fidelity_lifetime_ks 0.25\n"
+            "# TYPE cloudgen_gen_shard_occupancy gauge\n"
+            "cloudgen_gen_shard_occupancy 0.75\n"
             "# TYPE cloudgen_lat_ms histogram\n"
             "cloudgen_lat_ms_bucket{le=\"1\"} 1\n"
             "cloudgen_lat_ms_bucket{le=\"10\"} 2\n"

@@ -4,9 +4,12 @@
 // the global pool configuration knobs.
 #include "src/util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,6 +82,114 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
     pool.ParallelFor(0, kInner, [&](size_t) { total.fetch_add(1); });
   });
   EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+// Bounded nested fan-out: a pool task under ScopedInnerParallelism(cap) may
+// run at most `cap` units of its nested section concurrently — and the
+// section must still complete (no deadlock) even when every worker is busy.
+TEST(ThreadPool, ScopedInnerParallelismBoundsNestedConcurrency) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 4;
+  constexpr size_t kInner = 64;
+  constexpr size_t kCap = 2;
+  std::atomic<size_t> total{0};
+  std::vector<std::function<void()>> outer;
+  for (size_t o = 0; o < kOuter; ++o) {
+    outer.emplace_back([&] {
+      ScopedInnerParallelism scope(kCap);
+      std::atomic<int> running{0};
+      std::atomic<int> high_water{0};
+      pool.ParallelFor(0, kInner, [&](size_t) {
+        const int now = running.fetch_add(1) + 1;
+        int seen = high_water.load();
+        while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        running.fetch_sub(1);
+        total.fetch_add(1);
+      });
+      EXPECT_LE(high_water.load(), static_cast<int>(kCap));
+    });
+  }
+  pool.RunAll(outer);
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+// After a bounded nested section, the task is still "inside the pool": a
+// later un-scoped nested ParallelFor must run inline again (the scope must
+// restore the default, including across the submitter's help-drain loop,
+// which runs stolen tasks in between).
+TEST(ThreadPool, NestedContextRestoredAfterBoundedSection) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  std::vector<std::function<void()>> outer;
+  for (size_t o = 0; o < 4; ++o) {
+    outer.emplace_back([&] {
+      {
+        ScopedInnerParallelism scope(2);
+        pool.ParallelFor(0, 8, [&](size_t) { total.fetch_add(1); });
+      }
+      // Un-scoped again: sequential inline execution proves the inner cap
+      // and the inside-pool flag both survived the bounded section.
+      std::vector<size_t> order;
+      pool.ParallelFor(0, 8, [&](size_t i) { order.push_back(i); });
+      ASSERT_EQ(order.size(), 8u);
+      for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[i], i);
+      }
+      total.fetch_add(8);
+    });
+  }
+  pool.RunAll(outer);
+  EXPECT_EQ(total.load(), 4u * 16u);
+}
+
+// Oversubscription regression for the sharded-generation pattern: N shard
+// tasks each running bounded nested sections with cap = pool/N must complete
+// under full queue pressure, and never exceed the pool in total concurrency.
+TEST(ThreadPool, ShardPatternNeverOversubscribesThePool) {
+  constexpr size_t kWorkers = 4;
+  constexpr size_t kShards = 2;
+  constexpr size_t kCap = kWorkers / kShards;
+  ThreadPool pool(kWorkers);
+  std::atomic<int> running{0};
+  std::atomic<int> high_water{0};
+  std::atomic<size_t> total{0};
+  std::vector<std::function<void()>> shards;
+  for (size_t s = 0; s < kShards; ++s) {
+    shards.emplace_back([&] {
+      ScopedInnerParallelism scope(kCap);
+      for (int tick = 0; tick < 20; ++tick) {
+        pool.ParallelFor(0, 8, [&](size_t) {
+          const int now = running.fetch_add(1) + 1;
+          int seen = high_water.load();
+          while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+          running.fetch_sub(1);
+          total.fetch_add(1);
+        });
+      }
+    });
+  }
+  pool.RunAll(shards);
+  EXPECT_EQ(total.load(), kShards * 20u * 8u);
+  // shards × cap concurrent units is the contract (the submitting shard
+  // thread helps drain its own section, never adding beyond the cap).
+  EXPECT_LE(high_water.load(), static_cast<int>(kShards * kCap));
+}
+
+// On a non-pool thread the scope bounds top-level sections too.
+TEST(ThreadPool, ScopeBoundsTopLevelSections) {
+  ThreadPool pool(4);
+  ScopedInnerParallelism scope(1);
+  // Cap 1 means inline: sequential ordered execution on the calling thread.
+  std::vector<size_t> order;
+  pool.ParallelFor(0, 8, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
 }
 
 TEST(ThreadPool, RunAllExecutesEveryTask) {
