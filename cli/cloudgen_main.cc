@@ -36,6 +36,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace_span.h"
 #include "src/sched/reuse_distance.h"
+#include "src/serve/chaos.h"
 #include "src/serve/client.h"
 #include "src/serve/server.h"
 #include "src/util/crc32.h"
@@ -46,6 +47,8 @@
 #include "src/trace/trace_sink.h"
 #include "src/util/atomic_file.h"
 #include "src/util/cancel.h"
+#include "src/util/fault.h"
+#include "src/util/fault_plan.h"
 #include "src/util/log.h"
 #include "src/util/metrics_exporter.h"
 #include "src/util/metrics_json.h"
@@ -94,11 +97,15 @@ int Usage() {
       "            --model PREFIX --from-day D --days K [--port P] [--bind A]\n"
       "            [--state-dir DIR] [--max-streams N] [--max-streams-per-tenant N]\n"
       "            [--max-buffer-mb N] [--idle-timeout-sec S] [--io-timeout-sec S]\n"
-      "            [--gen-shards N]\n"
+      "            [--stall-timeout-sec S] [--gen-shards N]\n"
       "  fetch     --port P [--host H] --tenant T --stream S --seed N --traces N\n"
       "            --out FILE [--resume] [--retry-attempts N] [--retry-base-ms MS]\n"
       "            [--credit-bytes N] [--io-timeout-sec S]\n"
       "  fetch     --port P [--host H] --health | --metrics-json | --metrics-prom\n"
+      "  chaos     --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
+      "            --model PREFIX --from-day D --days K [--clients N] [--traces N]\n"
+      "            [--seed N] [--fault-plan FILE] [--fault-seed N]\n"
+      "            [--state-dir DIR] [--stall-timeout-sec S] [--deadline-sec S]\n"
       "  eval      --jobs JOBS.csv --flavors FLAVORS.csv --train-days N\n"
       "            --model PREFIX --eval-from-day D [--eval-days K]\n"
       "  analyze   --jobs JOBS.csv --flavors FLAVORS.csv [--lenient]\n"
@@ -137,6 +144,10 @@ int Usage() {
       "                the thread pool (default 0 = one per worker thread;\n"
       "                1 = single window; output bytes are identical for\n"
       "                every setting)\n"
+      "  --fault-plan  arm the deterministic fault injector from a plan file\n"
+      "                (same grammar as CLOUDGEN_FAULT_PLAN; see\n"
+      "                docs/ROBUSTNESS.md); --fault-seed picks the schedule.\n"
+      "                chaos: the scenario plan (default: the composed one)\n"
       "\n"
       "exit codes: 0 ok, 2 usage, 3 input/parse error, 4 training failure,\n"
       "            5 generation interrupted (resumable), 6 numeric-guard abort,\n"
@@ -308,13 +319,26 @@ int RunGenerateSegmented(const Flags& flags, const WorkloadModel& model,
     return Fail(kExitInput, status);
   }
   if (report.interrupted) {
-    std::fprintf(stderr,
-                 "cloudgen: generation interrupted (%s) after %llu trace(s), %llu job(s); "
-                 "%zu sealed segment(s) in %s — rerun with --resume-gen to continue\n",
-                 CancelReasonName(cancel.Reason()),
-                 static_cast<unsigned long long>(report.traces),
-                 static_cast<unsigned long long>(report.jobs), sink.NumSegments(),
-                 out_dir.c_str());
+    if (report.parked) {
+      // Disk full: everything flushed is sealed + checkpointed, so the same
+      // resumable exit code applies — the run completes byte-identically
+      // once space returns.
+      std::fprintf(stderr,
+                   "cloudgen: generation parked (disk full) after %llu trace(s), %llu job(s); "
+                   "%zu sealed segment(s) in %s — free space and rerun with --resume-gen "
+                   "to complete\n",
+                   static_cast<unsigned long long>(report.traces),
+                   static_cast<unsigned long long>(report.jobs), sink.NumSegments(),
+                   out_dir.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "cloudgen: generation interrupted (%s) after %llu trace(s), %llu job(s); "
+                   "%zu sealed segment(s) in %s — rerun with --resume-gen to continue\n",
+                   CancelReasonName(cancel.Reason()),
+                   static_cast<unsigned long long>(report.traces),
+                   static_cast<unsigned long long>(report.jobs), sink.NumSegments(),
+                   out_dir.c_str());
+    }
     return kExitInterrupted;
   }
   std::printf("generated %llu trace(s), %llu job(s) into %zu sealed segment(s) in %s%s\n",
@@ -483,6 +507,8 @@ int RunServe(const Flags& flags) {
       static_cast<int>(flags.GetDouble("io-timeout-sec", 10.0) * 1000.0);
   options.idle_timeout_ms =
       static_cast<int>(flags.GetDouble("idle-timeout-sec", 30.0) * 1000.0);
+  options.stall_timeout_ms =
+      static_cast<int>(flags.GetDouble("stall-timeout-sec", 10.0) * 1000.0);
   options.limits.max_streams =
       static_cast<size_t>(flags.GetLong("max-streams", 64));
   options.limits.max_streams_per_tenant =
@@ -654,6 +680,87 @@ int RunFetch(const Flags& flags) {
           ? StrFormat(" (%d reconnect(s))", result.reconnects).c_str()
           : "");
   return 0;
+}
+
+// Chaos harness: an in-process serve daemon plus N concurrent fetch clients
+// under a declarative fault plan, with the serve failure model's invariants
+// (byte-identity vs a fault-free oracle, bounded buffering, no stuck
+// streams, daemon survival) checked end to end. Exit 0 iff every invariant
+// held. See src/serve/chaos.h.
+int RunChaos(const Flags& flags) {
+  Trace trace;
+  Trace train;
+  int rc = LoadTrace(flags, &trace);
+  if (rc == 0) {
+    rc = TrainWindow(flags, trace, &train);
+  }
+  if (rc != 0) {
+    return rc;
+  }
+  const std::string prefix = flags.GetString("model", "model");
+  WorkloadModel model;
+  const Status loaded = model.LoadNetworksFromFiles(prefix, train, ConfigFrom(flags));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load %s.*.bin (run `cloudgen train` first)\n",
+                 prefix.c_str());
+    return Fail(kExitInput, loaded);
+  }
+
+  serve::ChaosOptions options;
+  options.model = &model;
+  options.gen.from_period = flags.GetLong("from-day", 0) * kPeriodsPerDay;
+  options.gen.to_period =
+      options.gen.from_period + flags.GetLong("days", 1) * kPeriodsPerDay;
+  options.gen.arrival_scale = flags.GetDouble("arrival-scale", 1.0);
+  options.gen.eob_scale = flags.GetDouble("eob-scale", 1.0);
+  if (!ParseGuardPolicy(flags.GetString("guard", "abort"), &options.gen.guard)) {
+    std::fprintf(stderr, "--guard must be off|abort|resample|fallback\n");
+    return kExitUsage;
+  }
+  options.clients = static_cast<int>(flags.GetLong("clients", 8));
+  if (options.clients < 1) {
+    std::fprintf(stderr, "--clients must be >= 1\n");
+    return kExitUsage;
+  }
+  options.seed = static_cast<uint64_t>(flags.GetLong("seed", 77));
+  options.traces = static_cast<uint64_t>(flags.GetLong("traces", 4));
+  options.plan_seed = static_cast<uint64_t>(flags.GetLong(
+      "fault-seed", static_cast<long>(FaultInjector::kDefaultSeed)));
+  options.stall_timeout_ms =
+      static_cast<int>(flags.GetDouble("stall-timeout-sec", 0.4) * 1000.0);
+  options.deadline_sec = flags.GetDouble("deadline-sec", 120.0);
+
+  const std::string plan_file = flags.GetString("fault-plan", "");
+  if (!plan_file.empty()) {
+    std::ifstream file(plan_file, std::ios::binary);
+    if (!file) {
+      return Fail(kExitInput,
+                  UnavailableError("cannot open --fault-plan " + plan_file));
+    }
+    options.plan_spec.assign(std::istreambuf_iterator<char>(file),
+                             std::istreambuf_iterator<char>());
+  }
+
+  // The ENOSPC leg of the composed scenario needs serve checkpoints, which
+  // need a state dir — default one under TMPDIR when not given.
+  options.state_dir = flags.GetString("state-dir", "");
+  if (options.state_dir.empty()) {
+    const char* tmp = ::getenv("TMPDIR");
+    options.state_dir = std::string(tmp != nullptr ? tmp : "/tmp") +
+                        "/cloudgen-chaos-" + std::to_string(::getpid());
+  }
+  if (::mkdir(options.state_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Fail(kExitInput,
+                UnavailableError("cannot create --state-dir " + options.state_dir));
+  }
+
+  serve::ChaosReport report;
+  const Status status = serve::RunChaosScenario(options, &report);
+  if (!status.ok()) {
+    return Fail(1, status);
+  }
+  std::fputs(report.Summary().c_str(), stdout);
+  return report.ok() ? 0 : 1;
 }
 
 // Offline snapshot tooling: parses a `cloudgen.metrics.v1` file (written by
@@ -879,6 +986,9 @@ int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "fetch") {
     return RunFetch(flags);
   }
+  if (command == "chaos") {
+    return RunChaos(flags);
+  }
   if (command == "eval") {
     return RunEval(flags);
   }
@@ -946,6 +1056,23 @@ int Main(int argc, char** argv) {
   // 0 = all hardware threads. Every parallel code path is deterministic in
   // the thread count, so this only changes speed, never output.
   SetGlobalThreads(static_cast<size_t>(threads));
+  // Declarative fault plan from the command line — the flag twin of
+  // CLOUDGEN_FAULT_PLAN (grammar in src/util/fault_plan.h). The chaos
+  // subcommand owns the injector itself, so the flag is its scenario input
+  // there rather than a global arm.
+  const std::string fault_plan_file = flags.GetString("fault-plan", "");
+  if (!fault_plan_file.empty() && command != "chaos") {
+    FaultPlan plan;
+    Status armed = LoadFaultPlanFile(fault_plan_file, &plan);
+    if (armed.ok()) {
+      armed = FaultInjector::Global().ConfigurePlan(
+          plan, static_cast<uint64_t>(flags.GetLong(
+                    "fault-seed", static_cast<long>(FaultInjector::kDefaultSeed))));
+    }
+    if (!armed.ok()) {
+      return Fail(kExitInput, armed.WithContext("--fault-plan"));
+    }
+  }
   // Span recording stays off (one relaxed load per CG_SPAN) unless asked for.
   if (!flags.GetString("trace-out", "").empty()) {
     obs::TraceCollector::Global().SetEnabled(true);

@@ -19,10 +19,30 @@
 #include "src/util/atomic_file.h"
 #include "src/util/cancel.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
+#include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
 namespace cloudgen {
+namespace {
+
+// Disk-full park: everything sealed before the failure is durable and the
+// checkpoint on disk still points at the last seal, so the run ends OK with
+// report->parked — a --resume-gen run completes the output byte-identically
+// once space returns. Any other failure keeps propagating as an error.
+Status ParkGeneration(WorkloadModel::GenerateReport* report,
+                      const Status& cause) {
+  obs::Registry::Global().GetCounter("gen.parked").Add(1);
+  obs::Registry::Global().GetCounter("gen.interrupted").Add(1);
+  CG_LOG_WARN("generation parked at seal boundary (disk full): " +
+              cause.ToString());
+  report->interrupted = true;
+  report->parked = true;
+  return OkStatus();
+}
+
+}  // namespace
 
 Status WorkloadModel::Train(const Trace& train, const WorkloadModelConfig& config,
                             Rng& rng) {
@@ -223,6 +243,9 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   CG_CHECK(run.sink != nullptr);
   CG_CHECK(report != nullptr);
   CG_SPAN("generate_many");
+  // Plan rules scoped site=gen hit this run's checkpoint commits; segment
+  // seals re-scope themselves site=sink inside the sink.
+  ScopedFaultSite fault_site("gen");
   *report = GenerateReport();
 
   GenCursor cursor;
@@ -276,6 +299,10 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   // internally, and the trace-parallel path calls it under `mu`. Returns
   // false once flushing must stop (sink error or visible cancellation).
   const auto flush_in_order = [&](size_t i, Trace&& trace) -> bool {
+    // Pool workers call this without inheriting the caller's thread-local
+    // scope; re-establish it so site=gen rules see checkpoint commits from
+    // every flushing thread.
+    ScopedFaultSite flush_site("gen");
     if (!sink_status.ok() || stop_flushing) {
       return false;
     }
@@ -347,6 +374,9 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
   }
 
   if (!sink_status.ok()) {
+    if (IsDiskFull(sink_status)) {
+      return ParkGeneration(report, sink_status);
+    }
     return sink_status;
   }
 
@@ -354,20 +384,34 @@ Status WorkloadModel::GenerateMany(const GenerateOptions& options, size_t count,
       options.cancel != nullptr && options.cancel->Cancelled() && next_flush < count;
   // Seal the buffered tail; both exits want everything flushed to be durable.
   bool sealed = false;
-  CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/true, &sealed));
+  const Status tail_commit = run.sink->CommitPoint(/*force=*/true, &sealed);
+  if (IsDiskFull(tail_commit)) {
+    return ParkGeneration(report, tail_commit);
+  }
+  CG_RETURN_IF_ERROR(tail_commit);
   if (sealed) {
     cursor.segments_sealed += 1;
   }
   cursor.next_trace = interrupted ? next_flush : count;
   if (!run.checkpoint_path.empty()) {
-    CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+    const Status saved = SaveGenCheckpoint(run.checkpoint_path, cursor);
+    if (IsDiskFull(saved)) {
+      return ParkGeneration(report, saved);
+    }
+    CG_RETURN_IF_ERROR(saved);
   }
   if (interrupted) {
     obs::Registry::Global().GetCounter("gen.interrupted").Add(1);
     report->interrupted = true;
     return OkStatus();
   }
-  return run.sink->Finish();
+  const Status finished = run.sink->Finish();
+  if (IsDiskFull(finished)) {
+    // Everything is generated and checkpointed; only the manifest-complete
+    // marker is missing. Resume re-runs the idempotent Finish.
+    return ParkGeneration(report, finished);
+  }
+  return finished;
 }
 
 size_t WorkloadModel::EffectiveGenShards(const GenerateOptions& options,
@@ -440,6 +484,7 @@ Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng
   CG_CHECK(options.to_period > options.from_period);
   CG_CHECK(options.arrival_scale > 0.0);
   CG_SPAN("generate_streaming");
+  ScopedFaultSite fault_site("gen");
   *report = GenerateReport();
 
   GenCursor cursor;
@@ -503,14 +548,22 @@ Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng
       // Graceful stop at a period boundary: seal everything generated so far
       // and checkpoint the exact state needed to continue from `period`.
       bool sealed = false;
-      CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/true, &sealed));
+      const Status commit = run.sink->CommitPoint(/*force=*/true, &sealed);
+      if (IsDiskFull(commit)) {
+        return ParkGeneration(report, commit);
+      }
+      CG_RETURN_IF_ERROR(commit);
       if (sealed) {
         cursor.segments_sealed += 1;
       }
       cursor.next_period = period;
       cursor.state_blob = save_state_blob();
       if (!run.checkpoint_path.empty()) {
-        CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+        const Status saved = SaveGenCheckpoint(run.checkpoint_path, cursor);
+        if (IsDiskFull(saved)) {
+          return ParkGeneration(report, saved);
+        }
+        CG_RETURN_IF_ERROR(saved);
       }
       obs::Registry::Global().GetCounter("gen.interrupted").Add(1);
       report->interrupted = true;
@@ -528,19 +581,31 @@ Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng
         /*allow_midperiod_cancel=*/false);
     CG_RETURN_IF_ERROR(append_status);
     bool sealed = false;
-    CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/false, &sealed));
+    const Status commit = run.sink->CommitPoint(/*force=*/false, &sealed);
+    if (IsDiskFull(commit)) {
+      return ParkGeneration(report, commit);
+    }
+    CG_RETURN_IF_ERROR(commit);
     if (sealed) {
       cursor.segments_sealed += 1;
       cursor.next_period = period + 1;
       cursor.state_blob = save_state_blob();
       if (!run.checkpoint_path.empty()) {
-        CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+        const Status saved = SaveGenCheckpoint(run.checkpoint_path, cursor);
+        if (IsDiskFull(saved)) {
+          return ParkGeneration(report, saved);
+        }
+        CG_RETURN_IF_ERROR(saved);
       }
     }
   }
   CG_RETURN_IF_ERROR(run.sink->EndTrace());
   bool sealed = false;
-  CG_RETURN_IF_ERROR(run.sink->CommitPoint(/*force=*/true, &sealed));
+  const Status final_commit = run.sink->CommitPoint(/*force=*/true, &sealed);
+  if (IsDiskFull(final_commit)) {
+    return ParkGeneration(report, final_commit);
+  }
+  CG_RETURN_IF_ERROR(final_commit);
   if (sealed) {
     cursor.segments_sealed += 1;
   }
@@ -548,11 +613,19 @@ Status WorkloadModel::GenerateStreaming(const GenerateOptions& options, Rng& rng
   cursor.next_period = options.to_period;
   cursor.state_blob.clear();
   if (!run.checkpoint_path.empty()) {
-    CG_RETURN_IF_ERROR(SaveGenCheckpoint(run.checkpoint_path, cursor));
+    const Status saved = SaveGenCheckpoint(run.checkpoint_path, cursor);
+    if (IsDiskFull(saved)) {
+      return ParkGeneration(report, saved);
+    }
+    CG_RETURN_IF_ERROR(saved);
   }
   report->traces = 1;
   obs::Registry::Global().GetCounter("gen.traces").Add(1);
-  return run.sink->Finish();
+  const Status finished = run.sink->Finish();
+  if (IsDiskFull(finished)) {
+    return ParkGeneration(report, finished);
+  }
+  return finished;
 }
 
 obs::FidelityReference WorkloadModel::ComputeFidelityReference(

@@ -138,6 +138,11 @@ class WorkloadModel {
     // Cancellation stopped the run at a safe boundary; everything flushed is
     // sealed + checkpointed and a resume run completes the output.
     bool interrupted = false;
+    // The run stopped because the disk filled (RESOURCE_EXHAUSTED from the
+    // sink or checkpoint) — a parked run: everything sealed so far is
+    // durable and a resume run completes byte-identically once space
+    // returns. Implies `interrupted`.
+    bool parked = false;
   };
 
   // Streams `count` traces into `run.sink` in index order, sealing and

@@ -1,0 +1,241 @@
+#include "src/serve/chaos.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/util/cancel.h"
+#include "src/util/check.h"
+#include "src/util/fault_plan.h"
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace serve {
+namespace {
+
+// One client's life in the scenario: fetch the whole stream through whatever
+// the plan throws at it, then compare against the oracle. FetchStream's own
+// stall-charged retry loop does the reconnect-resume work; the harness only
+// records the outcome.
+struct ClientOutcome {
+  Status status = OkStatus();
+  std::string bytes;
+  int reconnects = 0;
+};
+
+void RunClient(const ChaosOptions& options, uint16_t port, int index,
+               const CancelToken* cancel, ClientOutcome* outcome) {
+  const std::string tenant = StrFormat("chaos-%d", index);
+
+  FetchOptions fetch;
+  fetch.port = port;
+  fetch.tenant = tenant;
+  fetch.stream = "chaos";
+  fetch.seed = options.seed;
+  fetch.traces = options.traces;
+  fetch.io_timeout_ms = options.io_timeout_ms;
+  fetch.connect_timeout_ms = 2000;
+  // Generous per-stall budget with fast backoff: degradation windows and
+  // watchdog cuts resolve in hundreds of milliseconds, and any attempt that
+  // makes progress resets the counter.
+  fetch.retry.max_attempts = 100;
+  fetch.retry.base_backoff_sec = 0.005;
+  fetch.retry.max_backoff_sec = 0.05;
+  fetch.retry.jitter_seed = 0xC4A05ull + static_cast<uint64_t>(index);
+  fetch.cancel = cancel;
+
+  std::ostringstream out;
+  FetchResult result;
+  outcome->status = FetchStream(fetch, out, &result);
+  outcome->bytes = out.str();
+  outcome->reconnects = result.reconnects;
+}
+
+}  // namespace
+
+std::string ComposedScenarioPlan() {
+  return
+      // Background network chaos on every connection, both directions.
+      "net_conn_drop prob=0.02, net_partial_write prob=0.02, "
+      // The server's first checkpoint commits hit a full disk: the daemon
+      // must degrade (shed new OPENs) instead of dying, then self-heal.
+      "io_enospc from=1 to=4 site=serve, "
+      // One session wedges mid-generation until the watchdog cuts it.
+      "stream_stall at=3 site=serve, "
+      // A two-call fd-exhaustion episode in the accept loop: back off, don't
+      // spin. Deliberately a bounded window, not every=N — shed OPENs come
+      // back as retries, so a rate-coupled trigger would re-arm the degraded
+      // state faster than clients drain it and starve the fleet.
+      "fd_exhaust from=20 to=21";
+}
+
+std::string ChaosReport::Summary() const {
+  std::ostringstream out;
+  const auto line = [&](const std::string& text) { out << text << "\n"; };
+  line(StrFormat("chaos: clients=%d oracle_bytes=%llu reconnects=%llu",
+                 clients, static_cast<unsigned long long>(oracle_bytes),
+                 static_cast<unsigned long long>(total_reconnects)));
+  for (size_t k = 0; k < static_cast<size_t>(kNumFaultKinds); ++k) {
+    if (injected[k] > 0) {
+      line(StrFormat("chaos: injected %s x%zu",
+                     FaultKindName(static_cast<FaultKind>(k)), injected[k]));
+    }
+  }
+  line(StrFormat("chaos: byte-identity vs fault-free oracle %s",
+                 bytes_identical ? "ok" : "FAILED"));
+  line(StrFormat("chaos: buffered-bytes peak %zu <= limit %zu %s",
+                 peak_buffered_bytes, buffer_limit_bytes,
+                 peak_buffered_bytes <= buffer_limit_bytes ? "ok" : "FAILED"));
+  line(StrFormat("chaos: streams after drain %zu %s", streams_after_drain,
+                 streams_after_drain == 0 ? "ok" : "FAILED"));
+  line(StrFormat("chaos: server survived %s",
+                 server_survived ? "ok" : "FAILED"));
+  for (const std::string& failure : failures) {
+    line("chaos: FAILURE: " + failure);
+  }
+  line(ok() ? "chaos: PASS" : "chaos: FAIL");
+  return out.str();
+}
+
+Status RunChaosScenario(const ChaosOptions& options, ChaosReport* report) {
+  CG_CHECK(report != nullptr);
+  *report = ChaosReport();
+  report->clients = options.clients;
+  if (options.model == nullptr || !options.model->IsTrained()) {
+    return FailedPreconditionError("chaos: model must be trained");
+  }
+  if (options.clients < 1) {
+    return InvalidArgumentError("chaos: clients must be >= 1");
+  }
+
+  const std::string spec =
+      options.plan_spec.empty() ? ComposedScenarioPlan() : options.plan_spec;
+  FaultPlan plan;
+  CG_RETURN_IF_ERROR(ParseFaultPlan(spec, &plan));
+
+  // Pre-check: the plan's schedule must replay identically for its seed, or
+  // a failing scenario cannot be reproduced and debugged.
+  CG_RETURN_IF_ERROR(VerifyPlanDeterminism(plan, options.plan_seed,
+                                           options.determinism_calls));
+
+  // The oracle: what every client must receive, computed with injection off.
+  FaultInjector::Global().Disarm();
+  std::string oracle;
+  options.model->GenerateTraceRowsRange(
+      options.gen, WorkloadModel::TraceFamilyBase(options.seed), 0,
+      static_cast<size_t>(options.traces), &oracle);
+  report->oracle_bytes = oracle.size();
+  if (oracle.empty()) {
+    return InternalError("chaos: fault-free oracle generated zero bytes");
+  }
+
+  ServerOptions server_options;
+  server_options.state_dir = options.state_dir;
+  server_options.io_timeout_ms = options.io_timeout_ms;
+  server_options.idle_timeout_ms = options.idle_timeout_ms;
+  server_options.stall_timeout_ms = options.stall_timeout_ms;
+  server_options.supervisor_interval_ms = options.supervisor_interval_ms;
+  server_options.degraded_cooldown_ms = options.degraded_cooldown_ms;
+  server_options.limits = options.limits;
+  server_options.gen = options.gen;
+  StreamServer server(options.model, server_options);
+  CG_RETURN_IF_ERROR(server.Start());
+
+  // Arm the plan only once the server is up, so scenario injection counts
+  // start at the first client byte, not at setup work.
+  CG_RETURN_IF_ERROR(
+      FaultInjector::Global().ConfigurePlan(plan, options.plan_seed));
+
+  CancelToken deadline;
+  deadline.SetDeadline(options.deadline_sec);
+  std::vector<ClientOutcome> outcomes(
+      static_cast<size_t>(options.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(outcomes.size());
+  for (int i = 0; i < options.clients; ++i) {
+    threads.emplace_back(RunClient, std::cref(options), server.Port(), i,
+                         &deadline, &outcomes[static_cast<size_t>(i)]);
+  }
+  // Watchdog for the harness itself: past the deadline, cancel every client
+  // (their SleepWithCancel / frame reads poll the token) instead of hanging.
+  std::atomic<bool> done{false};
+  std::thread reaper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (deadline.Poll()) {
+        return;  // Clients observe the token and abort.
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  done.store(true, std::memory_order_release);
+  reaper.join();
+  if (deadline.Cancelled()) {
+    report->failures.push_back(StrFormat(
+        "scenario exceeded its %.0fs deadline; clients cancelled",
+        options.deadline_sec));
+  }
+
+  // Capture injection counts before disarming (Configure/Disarm reset them),
+  // then run the drain with injection off so shutdown is not part of the
+  // scenario under test.
+  for (size_t k = 0; k < static_cast<size_t>(kNumFaultKinds); ++k) {
+    report->injected[k] =
+        FaultInjector::Global().InjectedCount(static_cast<FaultKind>(k));
+  }
+  FaultInjector::Global().Disarm();
+
+  server.RequestDrain();
+  const Status wait = server.Wait();
+  report->server_survived = wait.ok();
+  if (!wait.ok()) {
+    report->failures.push_back("server did not survive the scenario: " +
+                               wait.ToString());
+  }
+  report->streams_after_drain = server.ActiveStreams();
+  if (report->streams_after_drain != 0) {
+    report->failures.push_back(StrFormat(
+        "%zu stream(s) still active after drain (stuck sessions leaked)",
+        report->streams_after_drain));
+  }
+  report->peak_buffered_bytes = server.PeakBufferedBytes();
+  report->buffer_limit_bytes = server.limits().max_total_buffer_bytes;
+  if (report->peak_buffered_bytes > report->buffer_limit_bytes) {
+    report->failures.push_back(StrFormat(
+        "registry buffered-bytes peak %zu exceeded the %zu-byte bound",
+        report->peak_buffered_bytes, report->buffer_limit_bytes));
+  }
+
+  report->bytes_identical = true;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ClientOutcome& outcome = outcomes[i];
+    report->total_reconnects += static_cast<uint64_t>(outcome.reconnects);
+    if (!outcome.status.ok()) {
+      report->bytes_identical = false;
+      report->failures.push_back(StrFormat(
+          "client %zu failed: %s", i, outcome.status.ToString().c_str()));
+      continue;
+    }
+    if (outcome.bytes != oracle) {
+      report->bytes_identical = false;
+      report->failures.push_back(StrFormat(
+          "client %zu bytes diverge from the oracle (%zu vs %zu byte(s))",
+          i, outcome.bytes.size(), oracle.size()));
+    }
+  }
+
+  CG_LOG_INFO(StrFormat("chaos: scenario finished: %s",
+                        report->ok() ? "PASS" : "FAIL"));
+  return OkStatus();
+}
+
+}  // namespace serve
+}  // namespace cloudgen

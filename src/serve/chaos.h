@@ -1,0 +1,114 @@
+// In-process chaos harness for the serve daemon: run one daemon plus N
+// concurrent fetch clients under a named fault plan and check the
+// robustness invariants the failure model promises (src/serve/server.h,
+// docs/ROBUSTNESS.md), end to end, in one process.
+//
+// The harness is the executable form of the serve failure model. It
+//   1. disarms fault injection and computes the fault-free oracle — the
+//      exact bytes every client must end up with (all clients request the
+//      same (seed, traces) family, so one oracle covers them all);
+//   2. verifies the plan's schedule is deterministic for its seed
+//      (VerifyPlanDeterminism) so a failing scenario reproduces;
+//   3. starts an in-process StreamServer, arms the plan on the global
+//      injector, and runs `clients` concurrent FetchStream loops (distinct
+//      tenants) that survive drops, sheds, and watchdog cuts through the
+//      client's own reconnect-resume machinery;
+//   4. drains the server and checks the invariants:
+//        * every client's reassembled bytes are identical to the oracle;
+//        * the registry's buffered-bytes high-water mark stayed within
+//          max_total_buffer_bytes;
+//        * zero streams remained active after drain (no stuck sessions);
+//        * the server survived the whole scenario (Wait() returned OK —
+//          the daemon never crashed or hard-errored its accept loop).
+//
+// Every violation lands in ChaosReport::failures; an empty list is a PASS.
+// The `cloudgen chaos` subcommand and the chaos-soak CI job are thin
+// wrappers over RunChaosScenario.
+#ifndef SRC_SERVE_CHAOS_H_
+#define SRC_SERVE_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/workload_model.h"
+#include "src/serve/stream_registry.h"
+#include "src/util/fault.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace serve {
+
+struct ChaosOptions {
+  // Trained model the daemon serves from. Required; must outlive the run.
+  const WorkloadModel* model = nullptr;
+  WorkloadModel::GenerateOptions gen;
+
+  // Fault-plan source text (src/util/fault_plan.h grammar). Empty selects
+  // ComposedScenarioPlan().
+  std::string plan_spec;
+  uint64_t plan_seed = FaultInjector::kDefaultSeed;
+  // Calls per kind driven through VerifyPlanDeterminism's replay pre-check.
+  uint64_t determinism_calls = 512;
+
+  // Scenario shape.
+  int clients = 8;          // Concurrent fetch clients (distinct tenants).
+  uint64_t seed = 77;       // Stream family seed (shared by every client).
+  uint64_t traces = 4;      // Traces per stream.
+  // Directory for serve drain/cut checkpoints; empty disables them (resume
+  // then always regenerates from trace 0 — still byte-identical).
+  std::string state_dir;
+
+  // Server tuning, scaled down so watchdog cuts and degradation windows
+  // play out in seconds, not minutes.
+  int stall_timeout_ms = 400;
+  int supervisor_interval_ms = 20;
+  int degraded_cooldown_ms = 250;
+  int io_timeout_ms = 5000;
+  int idle_timeout_ms = 5000;
+  ServeLimits limits;
+
+  // Whole-scenario wall-clock budget; past it the harness cancels every
+  // client and records a failure instead of hanging the caller.
+  double deadline_sec = 120.0;
+};
+
+struct ChaosReport {
+  int clients = 0;
+  uint64_t oracle_bytes = 0;        // Per-client expected byte count.
+  uint64_t total_reconnects = 0;    // Summed over clients.
+  size_t peak_buffered_bytes = 0;   // Registry high-water mark.
+  size_t buffer_limit_bytes = 0;    // The bound it must respect.
+  size_t streams_after_drain = 0;   // Must be 0: nothing stuck.
+  bool server_survived = false;     // Wait() returned OK after drain.
+  bool bytes_identical = false;     // Every client matched the oracle.
+  // Injected-fault counts per kind, captured before disarm.
+  size_t injected[kNumFaultKinds] = {0};
+
+  // Invariant violations, one human-readable line each; empty == PASS.
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+
+  // Multi-line "chaos: <invariant> ok|FAILED ..." report ending in
+  // "chaos: PASS" or "chaos: FAIL".
+  std::string Summary() const;
+};
+
+// The composed scenario the issue's acceptance gate runs: connection drops
+// and partial writes throughout, an ENOSPC window on the server's first
+// checkpoint commits, one stream wedged until the watchdog cuts it, and
+// periodic fd exhaustion in the accept loop.
+std::string ComposedScenarioPlan();
+
+// Runs the scenario. Returns a non-OK status only for setup errors (untrained
+// model, unparseable plan, server failed to start); invariant violations are
+// reported through `report->failures` with an OK status so callers can print
+// the full report. Reconfigures and finally disarms the process-global
+// FaultInjector — do not run concurrently with other fault-injection users.
+Status RunChaosScenario(const ChaosOptions& options, ChaosReport* report);
+
+}  // namespace serve
+}  // namespace cloudgen
+
+#endif  // SRC_SERVE_CHAOS_H_

@@ -6,6 +6,7 @@
 #include "src/serve/protocol.h"
 #include "src/util/cancel.h"
 #include "src/util/crc32.h"
+#include "src/util/fault.h"
 #include "src/util/log.h"
 #include "src/util/net.h"
 #include "src/util/rng.h"
@@ -148,6 +149,9 @@ Status FetchStream(const FetchOptions& options, std::ostream& out,
                    FetchResult* result) {
   CG_CHECK(result != nullptr);
   *result = FetchResult();
+  // Client-side fault scope: plan rules with site=client (optionally a
+  // tenant filter) hit this thread's socket I/O; site=serve rules never do.
+  ScopedFaultSite fault_site("client", options.tenant);
   static obs::Counter& reconnects =
       obs::Registry::Global().GetCounter("serve.client.reconnects");
 

@@ -14,12 +14,20 @@
 #include "src/util/thread_pool.h"
 #include "src/util/atomic_file.h"
 #include "src/util/crc32.h"
+#include "src/util/fault.h"
 #include "src/util/log.h"
+#include "src/util/retry.h"
 #include "src/util/strings.h"
 
 namespace cloudgen {
 namespace serve {
 namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 uint64_t Fnv1a(std::string_view s) {
   uint64_t h = 1469598103934665603ull;
@@ -96,6 +104,14 @@ struct ServeCounters {
       obs::Registry::Global().GetCounter("serve.drain.checkpoints");
   obs::Counter& stream_errors =
       obs::Registry::Global().GetCounter("serve.stream.errors");
+  obs::Counter& watchdog_cuts =
+      obs::Registry::Global().GetCounter("serve.watchdog.cuts");
+  obs::Counter& degraded_sheds =
+      obs::Registry::Global().GetCounter("serve.degraded.sheds");
+  obs::Counter& accept_backoffs =
+      obs::Registry::Global().GetCounter("serve.accept.backoffs");
+  obs::Counter& exhaustion_events =
+      obs::Registry::Global().GetCounter("serve.exhaustion.events");
 
   static ServeCounters& Get() {
     static ServeCounters* counters = new ServeCounters();
@@ -104,6 +120,18 @@ struct ServeCounters {
 };
 
 }  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
 
 StreamServer::StreamServer(const WorkloadModel* model, ServerOptions options)
     : model_(model), options_(std::move(options)), registry_(options_.limits) {
@@ -130,7 +158,12 @@ Status StreamServer::Start() {
   // series appearing only after the first admission.
   obs::Registry::Global().GetGauge("serve.streams.active").Set(0.0);
   obs::Registry::Global().GetGauge("serve.queue.bytes").Set(0.0);
+  obs::Registry::Global().GetGauge("serve.queue.bytes.peak").Set(0.0);
+  obs::Registry::Global()
+      .GetGauge("serve.health")
+      .Set(static_cast<double>(HealthState::kHealthy));
   accept_thread_ = std::thread(&StreamServer::AcceptLoop, this);
+  supervisor_thread_ = std::thread(&StreamServer::SupervisorLoop, this);
   CG_LOGF_INFO("serve: listening on %s:%u (max_streams=%zu, per_tenant=%zu)",
                options_.bind_addr.c_str(), static_cast<unsigned>(port_),
                options_.limits.max_streams,
@@ -145,27 +178,117 @@ Status StreamServer::Wait() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    // The supervisor keeps cutting stalled sessions while we wait, so a
+    // wedged stream cannot hold the drain open past stall_timeout_ms.
+    conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  }
+  supervisor_stop_.store(true, std::memory_order_release);
+  if (supervisor_thread_.joinable()) {
+    supervisor_thread_.join();
+  }
   started_ = false;
   return accept_status_;
 }
 
+HealthState StreamServer::Health() const {
+  if (drain_.Cancelled()) {
+    return HealthState::kDraining;
+  }
+  if (NowMs() < degraded_until_ms_.load(std::memory_order_acquire)) {
+    return HealthState::kDegraded;
+  }
+  return HealthState::kHealthy;
+}
+
+void StreamServer::ReportExhaustion(const char* reason) {
+  degraded_reason_.store(reason, std::memory_order_release);
+  degraded_until_ms_.store(NowMs() + options_.degraded_cooldown_ms,
+                           std::memory_order_release);
+  ServeCounters::Get().exhaustion_events.Add(1);
+  CG_LOGF_WARN("serve: resource exhaustion (%s); degraded for %dms", reason,
+               options_.degraded_cooldown_ms);
+}
+
+std::shared_ptr<StreamServer::SessionWatch> StreamServer::RegisterWatch(
+    const std::string& tenant, const std::string& stream) {
+  auto watch = std::make_shared<SessionWatch>();
+  watch->tenant = tenant;
+  watch->stream = stream;
+  watch->last_progress_ms.store(NowMs(), std::memory_order_release);
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watch->id = next_watch_id_++;
+  watches_.emplace(watch->id, watch);
+  return watch;
+}
+
+void StreamServer::UnregisterWatch(
+    const std::shared_ptr<SessionWatch>& watch) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watches_.erase(watch->id);
+}
+
+void StreamServer::SupervisorLoop() {
+  static obs::Gauge& health_gauge =
+      obs::Registry::Global().GetGauge("serve.health");
+  ServeCounters& counters = ServeCounters::Get();
+  while (!supervisor_stop_.load(std::memory_order_acquire)) {
+    const HealthState health = Health();
+    health_gauge.Set(static_cast<double>(health));
+    if (options_.stall_timeout_ms > 0) {
+      const int64_t now = NowMs();
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      for (auto& entry : watches_) {
+        SessionWatch& watch = *entry.second;
+        if (watch.working.load(std::memory_order_acquire) &&
+            !watch.cut.load(std::memory_order_acquire) &&
+            now - watch.last_progress_ms.load(std::memory_order_acquire) >
+                options_.stall_timeout_ms) {
+          watch.cut.store(true, std::memory_order_release);
+          counters.watchdog_cuts.Add(1);
+          CG_LOGF_WARN(
+              "serve: watchdog cutting stalled stream %s/%s (no progress for "
+              ">%dms); checkpoint + retryable disconnect",
+              watch.tenant.c_str(), watch.stream.c_str(),
+              options_.stall_timeout_ms);
+        }
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max(1, options_.supervisor_interval_ms)));
+  }
+  health_gauge.Set(static_cast<double>(Health()));
+}
+
 void StreamServer::AcceptLoop() {
   ServeCounters& counters = ServeCounters::Get();
+  // Plan rules scoped site=serve see the accept-path injection points.
+  ScopedFaultSite fault_site("serve");
+  int backoff_ms = 0;
   while (!drain_.Cancelled()) {
     Socket conn;
     const Status status = AcceptConnection(listener_, 200, &drain_, &conn);
     if (!status.ok()) {
-      // Transient (EMFILE pressure, injected net_accept_fail): count it and
+      // Transient (injected net_accept_fail, peer teardown): count it and
       // keep accepting — an accept failure must never take the daemon down.
       counters.accept_errors.Add(1);
       CG_LOG_WARN("serve: accept failed: " + status.ToString());
+      if (status.code() == StatusCode::kResourceExhausted) {
+        // Out of fds (EMFILE/ENFILE or injected fd_exhaust): retrying
+        // immediately cannot succeed — back off exponentially instead of
+        // spinning, and shed new OPENs while the pressure lasts.
+        ReportExhaustion("accept: out of file descriptors");
+        backoff_ms = backoff_ms == 0 ? 10 : std::min(backoff_ms * 2, 500);
+        counters.accept_backoffs.Add(1);
+        SleepWithCancel(backoff_ms / 1000.0, &drain_);
+      }
       continue;
     }
     if (!conn.valid()) {
       continue;  // Poll slice expired; re-check drain.
     }
+    backoff_ms = 0;  // A successful accept ends the exhaustion episode.
     counters.conns_accepted.Add(1);
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
@@ -275,8 +398,15 @@ Status StreamServer::HandleMetricsProm(Socket& conn, double dispatch_ms) {
 }
 
 Status StreamServer::HandleHealth(Socket& conn) {
+  const HealthState health = Health();
   std::map<std::string, std::string> kv;
+  // `status` keeps its original two-value contract (ok|draining) for old
+  // probes; the richer state machine lives under `health`.
   kv["status"] = drain_.Cancelled() ? "draining" : "ok";
+  kv["health"] = HealthStateName(health);
+  if (health == HealthState::kDegraded) {
+    kv["degraded_reason"] = degraded_reason_.load(std::memory_order_acquire);
+  }
   kv["streams_active"] = std::to_string(registry_.ActiveStreams());
   kv["max_streams"] = std::to_string(registry_.limits().max_streams);
   kv["buffered_bytes"] = std::to_string(registry_.BufferedBytes());
@@ -319,8 +449,29 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
   if (drain_.Cancelled()) {
     return UnavailableError("server is draining; retry against the restarted server");
   }
+  // Session threads carry the serve scope (plus tenant) for plan rules; the
+  // stream checkpoint writes below inherit it.
+  ScopedFaultSite fault_site("serve", tenant);
+  if (Health() == HealthState::kDegraded) {
+    // Graceful degradation: existing streams keep flowing, new work is shed
+    // with a retryable signal until the exhaustion cooldown passes.
+    ServeCounters::Get().degraded_sheds.Add(1);
+    return UnavailableError(StrFormat(
+        "server degraded (%s); retry shortly",
+        degraded_reason_.load(std::memory_order_acquire)));
+  }
   StreamRegistry::Lease lease;
   CG_RETURN_IF_ERROR(registry_.Admit(tenant, stream, &lease));
+
+  const std::shared_ptr<SessionWatch> watch = RegisterWatch(tenant, stream);
+  struct WatchGuard {
+    StreamServer* server;
+    const std::shared_ptr<SessionWatch>& watch;
+    ~WatchGuard() { server->UnregisterWatch(watch); }
+  } watch_guard{this, watch};
+  const auto touch_progress = [&watch] {
+    watch->last_progress_ms.store(NowMs(), std::memory_order_release);
+  };
 
   const uint64_t fingerprint =
       StreamFingerprint(options_.gen, seed, traces, tenant, stream);
@@ -405,6 +556,12 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
     } else {
       // A failed checkpoint only costs regeneration time after restart.
       CG_LOG_WARN("serve: drain checkpoint failed: " + saved.ToString());
+      if (IsDiskFull(saved)) {
+        // Full state disk: flip to degraded so new OPENs shed while
+        // existing streams (whose correctness never needed the disk)
+        // keep flowing.
+        ReportExhaustion("disk full writing stream checkpoint");
+      }
     }
   };
 
@@ -415,11 +572,46 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
       return UnavailableError(
           "server draining; stream checkpointed, reconnect to resume");
     }
+    watch->working.store(true, std::memory_order_release);
+    touch_progress();
+    if (FaultInjector::Global().ShouldInject(FaultKind::kStreamStall)) {
+      // Simulated wedged generation step: sit here making no observable
+      // progress until the supervisor watchdog cuts the session (or the
+      // server drains). `working` stays true — this is exactly the state
+      // the watchdog exists for.
+      CG_LOGF_WARN("serve: injected stream_stall on %s/%s", tenant.c_str(),
+                   stream.c_str());
+      while (!watch->cut.load(std::memory_order_acquire) &&
+             !drain_.Cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    if (watch->cut.load(std::memory_order_acquire)) {
+      checkpoint_boundary();
+      return UnavailableError(StrFormat(
+          "stream made no progress for %dms; cut and checkpointed by the "
+          "watchdog — reconnect to resume",
+          options_.stall_timeout_ms));
+    }
+    if (drain_.Cancelled()) {
+      checkpoint_boundary();
+      return UnavailableError(
+          "server draining; stream checkpointed, reconnect to resume");
+    }
 
     // Regenerate the next chunk of traces in one engine run, so the batched
     // (and sharded) engine fills its windows across traces instead of paying
     // a cold engine per trace. Chunking only changes how many bytes are
     // buffered at once, never the bytes themselves.
+    //
+    // Model compute is bounded work, not an observable wait: under CPU
+    // oversubscription (many sessions regenerating at once) a chunk can
+    // legitimately take longer than the stall timeout, and cutting it only
+    // adds more regeneration load — a cut/reconnect livelock. Mark the
+    // session not-working for the duration; the watchdog's domain is wedged
+    // I/O and injected stalls, a sick model step is the numeric guards'
+    // business (GuardViolation, contained per connection).
+    watch->working.store(false, std::memory_order_release);
     uint64_t chunk_traces =
         std::min<uint64_t>(std::max<size_t>(1, options_.gen_chunk_traces),
                            traces - next_trace);
@@ -447,6 +639,8 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
             registry_.limits().max_total_buffer_bytes));
       }
     }
+    watch->working.store(true, std::memory_order_release);
+    touch_progress();
     const uint64_t trace_rows =
         static_cast<uint64_t>(std::count(buffer.begin(), buffer.end(), '\n'));
     const uint64_t trace_end = offset + buffer.size();
@@ -462,7 +656,7 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
     bool stalled = false;
     Status send_status = OkStatus();
     while (pos < buffer.size()) {
-      if (drain_.Cancelled()) {
+      if (drain_.Cancelled() || watch->cut.load(std::memory_order_acquire)) {
         break;  // Checkpointed below at the last durable boundary.
       }
       if (credit <= 0) {
@@ -470,11 +664,16 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
           stalled = true;
           counters.stalls.Add(1);
         }
-        // Wait for the consumer; its pace throttles only this stream.
+        // Wait for the consumer; its pace throttles only this stream. A
+        // client-paced wait is the idle-timeout's business, not the
+        // watchdog's: mark the session not-working so it cannot be cut.
+        watch->working.store(false, std::memory_order_release);
         Frame frame;
         bool clean = false;
         send_status = ReadFrame(conn, &frame, options_.idle_timeout_ms,
                                 &drain_, &clean);
+        watch->working.store(true, std::memory_order_release);
+        touch_progress();
         if (!send_status.ok()) {
           if (send_status.code() == StatusCode::kUnavailable && !clean &&
               send_status.message().find("timed out") != std::string::npos) {
@@ -520,12 +719,20 @@ Status StreamServer::RunStreamSession(Socket& conn, const Frame& open) {
       credit -= static_cast<int64_t>(chunk);
       sent = offset + pos;
       counters.bytes_sent.Add(chunk);
+      touch_progress();
     }
     lease.ReleaseBytes(buffer.size());
     if (drain_.Cancelled()) {
       checkpoint_boundary();
       return UnavailableError(
           "server draining; stream checkpointed, reconnect to resume");
+    }
+    if (watch->cut.load(std::memory_order_acquire)) {
+      checkpoint_boundary();
+      return UnavailableError(StrFormat(
+          "stream made no progress for %dms; cut and checkpointed by the "
+          "watchdog — reconnect to resume",
+          options_.stall_timeout_ms));
     }
     CG_RETURN_IF_ERROR(send_status);
 

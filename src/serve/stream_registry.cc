@@ -60,6 +60,18 @@ bool StreamRegistry::Lease::ReserveBytes(size_t n) {
     }
   }
   reserved_bytes_ += n;
+  // Track the high-water mark (serve.queue.bytes.peak); the CAS above
+  // already proved current + n fits under the bound.
+  size_t peak =
+      registry_->peak_buffered_bytes_.load(std::memory_order_relaxed);
+  while (peak < current + n &&
+         !registry_->peak_buffered_bytes_.compare_exchange_weak(
+             peak, current + n, std::memory_order_relaxed)) {
+  }
+  static obs::Gauge& peak_gauge =
+      obs::Registry::Global().GetGauge("serve.queue.bytes.peak");
+  peak_gauge.Set(
+      static_cast<double>(registry_->PeakBufferedBytes()));
   PublishGauges(registry_->ActiveStreams(), registry_->BufferedBytes());
   return true;
 }

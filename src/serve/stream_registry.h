@@ -83,6 +83,12 @@ class StreamRegistry {
   size_t BufferedBytes() const {
     return buffered_bytes_.load(std::memory_order_relaxed);
   }
+  // High-water mark of BufferedBytes() over the registry's lifetime. Every
+  // successful reservation was bounds-checked first, so this can never
+  // exceed max_total_buffer_bytes — the chaos harness asserts exactly that.
+  size_t PeakBufferedBytes() const {
+    return peak_buffered_bytes_.load(std::memory_order_relaxed);
+  }
   const ServeLimits& limits() const { return limits_; }
 
  private:
@@ -100,6 +106,7 @@ class StreamRegistry {
   Shard shards_[kShards];
   std::atomic<size_t> active_streams_{0};
   std::atomic<size_t> buffered_bytes_{0};
+  std::atomic<size_t> peak_buffered_bytes_{0};
 };
 
 }  // namespace serve

@@ -257,6 +257,8 @@ Status SegmentedFileSink::Finish() {
 }
 
 Status SegmentedFileSink::SealSegment() {
+  // Plan rules scoped site=sink target exactly the segment/manifest commits.
+  ScopedFaultSite fault_site("sink");
   const std::string file = SegmentFileName(manifest_.segments.size());
   CG_RETURN_IF_ERROR(
       RetryVoid(options_.write_retry, "segment seal", [this, &file] {

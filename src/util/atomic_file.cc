@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 
 #include "src/obs/metrics.h"
@@ -95,12 +96,17 @@ Status AtomicFileWriter::Commit() {
     return status_;
   }
   done_ = true;
+  errno = 0;
   out_.flush();
   const bool healthy = static_cast<bool>(out_);
+  const int flush_errno = errno;
   out_.close();
   if (!healthy) {
     std::remove(tmp_path_.c_str());
-    status_ = UnavailableError("short write to " + tmp_path_);
+    status_ = flush_errno == ENOSPC
+                  ? ResourceExhaustedError("no space left on device writing " +
+                                           tmp_path_)
+                  : UnavailableError("short write to " + tmp_path_);
     return status_;
   }
   return CommitTempFile(tmp_path_, path_);
@@ -110,6 +116,11 @@ Status CommitTempFile(const std::string& tmp_path, const std::string& path) {
   if (FaultInjector::Global().ShouldInject(FaultKind::kIoWrite)) {
     std::remove(tmp_path.c_str());
     return UnavailableError("injected io_write fault while committing " + path);
+  }
+  if (FaultInjector::Global().ShouldInject(FaultKind::kIoEnospc)) {
+    std::remove(tmp_path.c_str());
+    return ResourceExhaustedError(
+        "injected io_enospc: no space left on device committing " + path);
   }
   // Data must reach stable storage *before* the rename publishes the file:
   // otherwise a power loss can leave the destination pointing at pages that
@@ -121,8 +132,14 @@ Status CommitTempFile(const std::string& tmp_path, const std::string& path) {
       return synced;
     }
   }
+  errno = 0;
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;
     std::remove(tmp_path.c_str());
+    if (rename_errno == ENOSPC) {
+      return ResourceExhaustedError("no space left on device renaming " +
+                                    tmp_path + " -> " + path);
+    }
     return UnavailableError("rename " + tmp_path + " -> " + path + " failed");
   }
   if (FsyncEnabled()) {

@@ -2,10 +2,13 @@
 // destination. An interrupted or failed write leaves the previous file (if
 // any) untouched, so `--resume` and `eval` never read a truncated artifact.
 //
-// Commit() is the io_write fault-injection point: when CLOUDGEN_FAULT arms
-// io_write, Commit probabilistically fails with UNAVAILABLE, removing the
-// temp file — exactly the externally-visible behaviour of a full disk or a
-// crash before rename.
+// Commit() is the io_write / io_enospc fault-injection point: when
+// CLOUDGEN_FAULT arms io_write, Commit probabilistically fails with
+// UNAVAILABLE (a transient, retryable failure); io_enospc fails with
+// RESOURCE_EXHAUSTED — a full disk, which retrying cannot fix. Real ENOSPC
+// from the filesystem is classified the same way, so callers see one
+// disk-full signal (IsDiskFull) whether injected or genuine. Either way the
+// temp file is removed and the destination is untouched.
 #ifndef SRC_UTIL_ATOMIC_FILE_H_
 #define SRC_UTIL_ATOMIC_FILE_H_
 
@@ -58,6 +61,15 @@ Status CommitTempFile(const std::string& tmp_path, const std::string& path);
 
 // True when `path` exists (any file type).
 bool FileExists(const std::string& path);
+
+// True when `status` reports a full disk (injected io_enospc or a real
+// ENOSPC classified by the writers above). RESOURCE_EXHAUSTED is reserved
+// for capacity failures, so the code alone is the signal: generation parks
+// at the last durable seal instead of retrying, and the serve daemon flips
+// to degraded health.
+inline bool IsDiskFull(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
 
 }  // namespace cloudgen
 

@@ -2,16 +2,22 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/util/env.h"
+#include "src/util/fault_plan.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
 
 namespace cloudgen {
 namespace {
 
-bool ParseFaultKind(std::string_view name, FaultKind* kind) {
+thread_local FaultScope t_fault_scope;
+
+}  // namespace
+
+bool ParseFaultKindName(std::string_view name, FaultKind* kind) {
   if (name == "io_write") {
     *kind = FaultKind::kIoWrite;
   } else if (name == "read_truncate") {
@@ -28,13 +34,17 @@ bool ParseFaultKind(std::string_view name, FaultKind* kind) {
     *kind = FaultKind::kNetPartialWrite;
   } else if (name == "net_conn_drop") {
     *kind = FaultKind::kNetConnDrop;
+  } else if (name == "io_enospc") {
+    *kind = FaultKind::kIoEnospc;
+  } else if (name == "fd_exhaust") {
+    *kind = FaultKind::kFdExhaust;
+  } else if (name == "stream_stall") {
+    *kind = FaultKind::kStreamStall;
   } else {
     return false;
   }
   return true;
 }
-
-}  // namespace
 
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
@@ -54,19 +64,52 @@ const char* FaultKindName(FaultKind kind) {
       return "net_partial_write";
     case FaultKind::kNetConnDrop:
       return "net_conn_drop";
+    case FaultKind::kIoEnospc:
+      return "io_enospc";
+    case FaultKind::kFdExhaust:
+      return "fd_exhaust";
+    case FaultKind::kStreamStall:
+      return "stream_stall";
   }
   return "unknown";
 }
 
-FaultInjector::FaultInjector() : rng_(kDefaultSeed) {}
+ScopedFaultSite::ScopedFaultSite(const char* site, std::string tenant,
+                                 int64_t shard)
+    : saved_(t_fault_scope) {
+  t_fault_scope.site = site;
+  t_fault_scope.tenant = std::move(tenant);
+  t_fault_scope.shard = shard;
+}
+
+ScopedFaultSite::~ScopedFaultSite() { t_fault_scope = std::move(saved_); }
+
+const FaultScope& CurrentFaultScope() { return t_fault_scope; }
+
+FaultInjector::FaultInjector()
+    : plan_(new FaultPlan()), rng_(kDefaultSeed) {}
+
+FaultInjector::~FaultInjector() = default;
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = [] {
     auto* inj = new FaultInjector();
+    const uint64_t seed = static_cast<uint64_t>(
+        GetEnvLong("CLOUDGEN_FAULT_SEED", static_cast<long>(kDefaultSeed)));
+    const char* plan_path = std::getenv("CLOUDGEN_FAULT_PLAN");
+    if (plan_path != nullptr && plan_path[0] != '\0') {
+      FaultPlan plan;
+      Status status = LoadFaultPlanFile(plan_path, &plan);
+      if (status.ok()) {
+        status = inj->ConfigurePlan(plan, seed);
+      }
+      if (!status.ok()) {
+        CG_LOG_ERROR("ignoring CLOUDGEN_FAULT_PLAN: " + status.ToString());
+      }
+      return inj;
+    }
     const char* spec = std::getenv("CLOUDGEN_FAULT");
     if (spec != nullptr && spec[0] != '\0') {
-      const uint64_t seed = static_cast<uint64_t>(
-          GetEnvLong("CLOUDGEN_FAULT_SEED", static_cast<long>(kDefaultSeed)));
       const Status status = inj->Configure(spec, seed);
       if (!status.ok()) {
         CG_LOG_ERROR("ignoring CLOUDGEN_FAULT: " + status.ToString());
@@ -78,62 +121,90 @@ FaultInjector& FaultInjector::Global() {
 }
 
 Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
-  double probability[kNumFaultKinds] = {};
-  if (!Trim(spec).empty()) {
-    for (const std::string& entry : Split(spec, ',')) {
-      const std::string_view trimmed = Trim(entry);
-      const size_t colon = trimmed.find(':');
-      if (colon == std::string_view::npos) {
-        return InvalidArgumentError(StrFormat(
-            "fault spec entry '%.*s' is not of the form kind:probability",
-            static_cast<int>(trimmed.size()), trimmed.data()));
-      }
-      FaultKind kind;
-      if (!ParseFaultKind(trimmed.substr(0, colon), &kind)) {
-        return InvalidArgumentError(StrFormat(
-            "unknown fault kind in '%.*s' (expected io_write, read_truncate, nan_grad, "
-            "gen_nan_logit, gen_write_kill, net_accept_fail, net_partial_write or "
-            "net_conn_drop)",
-            static_cast<int>(trimmed.size()), trimmed.data()));
-      }
-      double p = 0.0;
-      if (!ParseDouble(trimmed.substr(colon + 1), &p) || p < 0.0 || p > 1.0) {
-        return InvalidArgumentError(StrFormat(
-            "fault probability in '%.*s' must be a number in [0, 1]",
-            static_cast<int>(trimmed.size()), trimmed.data()));
-      }
-      probability[static_cast<int>(kind)] = p;
-    }
+  FaultPlan plan;
+  CG_RETURN_IF_ERROR(ParseFaultPlan(spec, &plan));
+  return ConfigurePlan(plan, seed);
+}
+
+Status FaultInjector::ConfigurePlan(const FaultPlan& plan, uint64_t seed) {
+  uint32_t mask = 0;
+  for (const FaultRule& rule : plan.rules) {
+    mask |= 1u << static_cast<int>(rule.kind);
   }
   std::lock_guard<std::mutex> lock(mu_);
+  *plan_ = plan;
+  for (FaultRule& rule : plan_->rules) {
+    rule.calls = 0;
+    rule.fired = false;
+    CG_LOG_WARN("fault injection armed: " + rule.ToString());
+  }
   for (int i = 0; i < kNumFaultKinds; ++i) {
-    probability_[i] = probability[i];
     injected_[i] = 0;
-    if (probability[i] > 0.0) {
-      CG_LOG_WARN(StrFormat("fault injection armed: %s with p=%.3f",
-                            FaultKindName(static_cast<FaultKind>(i)), probability[i]));
-    }
   }
   rng_ = Rng(seed);
+  armed_mask_.store(mask, std::memory_order_release);
+  if (!plan_->rules.empty()) {
+    obs::Registry::Global().GetCounter("fault.plan.loads").Add(1);
+  }
+  obs::Registry::Global()
+      .GetGauge("fault.plan.rules")
+      .Set(static_cast<double>(plan_->rules.size()));
   return OkStatus();
 }
 
 void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
+  plan_->rules.clear();
   for (int i = 0; i < kNumFaultKinds; ++i) {
-    probability_[i] = 0.0;
     injected_[i] = 0;
   }
   rng_ = Rng(kDefaultSeed);
+  armed_mask_.store(0, std::memory_order_release);
 }
 
 bool FaultInjector::ShouldInject(FaultKind kind) {
-  if (probability_[static_cast<int>(kind)] <= 0.0) {
-    return false;  // Lock-free fast path: disarmed kinds cost one load.
+  // Lock-free fast path: kinds with no rule cost one atomic load.
+  const uint32_t mask = armed_mask_.load(std::memory_order_acquire);
+  if ((mask & (1u << static_cast<int>(kind))) == 0) {
+    return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  const double p = probability_[static_cast<int>(kind)];
-  if (p <= 0.0 || !rng_.Bernoulli(p)) {
+  const FaultScope& scope = CurrentFaultScope();
+  bool fire = false;
+  // Every matching rule sees the call — counters advance and probabilistic
+  // rules draw even after an earlier rule fired, so the deterministic stream
+  // consumption depends only on the call sequence, not on outcomes.
+  for (FaultRule& rule : plan_->rules) {
+    if (rule.kind != kind || !rule.MatchesScope(scope)) {
+      continue;
+    }
+    ++rule.calls;
+    switch (rule.trigger) {
+      case FaultTrigger::kProb:
+        if (rng_.Bernoulli(rule.probability)) {
+          fire = true;
+        }
+        break;
+      case FaultTrigger::kAt:
+        if (!rule.fired && rule.calls == rule.at) {
+          rule.fired = true;
+          fire = true;
+        }
+        break;
+      case FaultTrigger::kWindow:
+        if (rule.calls >= rule.from && rule.calls <= rule.to &&
+            (rule.probability >= 1.0 || rng_.Bernoulli(rule.probability))) {
+          fire = true;
+        }
+        break;
+      case FaultTrigger::kEvery:
+        if ((rule.calls - 1) % rule.every < rule.burst) {
+          fire = true;
+        }
+        break;
+    }
+  }
+  if (!fire) {
     return false;
   }
   ++injected_[static_cast<int>(kind)];
@@ -149,10 +220,12 @@ bool FaultInjector::ShouldInject(FaultKind kind) {
 }
 
 bool FaultInjector::Armed(FaultKind kind) const {
-  return probability_[static_cast<int>(kind)] > 0.0;
+  return (armed_mask_.load(std::memory_order_acquire) &
+          (1u << static_cast<int>(kind))) != 0;
 }
 
 size_t FaultInjector::InjectedCount(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return injected_[static_cast<int>(kind)];
 }
 

@@ -1,8 +1,14 @@
 // Deterministic fault injection for exercising cloudgen's recovery paths.
 //
 // Armed from the environment:
-//   CLOUDGEN_FAULT=io_write:0.3,nan_grad:0.1     # kind:probability pairs
+//   CLOUDGEN_FAULT=io_write:0.3,nan_grad:0.1     # flat kind:probability pairs
+//   CLOUDGEN_FAULT_PLAN=/path/to/plan            # declarative fault plan file
 //   CLOUDGEN_FAULT_SEED=1234                     # optional; fixed default
+//
+// CLOUDGEN_FAULT_PLAN takes precedence over CLOUDGEN_FAULT; the flat spec is
+// itself valid plan syntax (degenerate sugar for `kind prob=P` rules). The
+// full plan grammar — one-shots, call-count windows, periodic bursts,
+// site/tenant/shard scope arming — lives in src/util/fault_plan.h.
 //
 // Kinds:
 //   io_write      Commit of an atomic file write fails (the temp file is
@@ -30,6 +36,20 @@
 //   net_conn_drop A socket read/write fails as if the peer vanished
 //                 mid-stream. Exercises the serve client's retry/backoff
 //                 and offset-resume path.
+//   io_enospc     An atomic file commit fails as if the disk were full
+//                 (RESOURCE_EXHAUSTED). Segmented generation parks at the
+//                 seal boundary (exit 5, --resume-gen completes
+//                 byte-identically once space returns); the serve daemon
+//                 flips to degraded and sheds new OPENs with retryable
+//                 UNAVAILABLE.
+//   fd_exhaust    accept(2) fails as if the process were out of file
+//                 descriptors (EMFILE). The accept loop must back off
+//                 exponentially instead of spinning, and the daemon reports
+//                 degraded health while the pressure lasts.
+//   stream_stall  A serve stream's generation step wedges (makes no
+//                 progress) until the supervisor watchdog cuts it. The
+//                 session is checkpointed and the client resumes
+//                 byte-identically on reconnect.
 //
 // Injection sites query ShouldInject(kind); draws come from a private
 // deterministic stream, so a given spec + seed yields the same fault
@@ -42,8 +62,10 @@
 #ifndef SRC_UTIL_FAULT_H_
 #define SRC_UTIL_FAULT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -61,32 +83,82 @@ enum class FaultKind : int {
   kNetAcceptFail = 5,
   kNetPartialWrite = 6,
   kNetConnDrop = 7,
+  kIoEnospc = 8,
+  kFdExhaust = 9,
+  kStreamStall = 10,
 };
-inline constexpr int kNumFaultKinds = 8;
+inline constexpr int kNumFaultKinds = 11;
 
 // Exit code used by the gen_write_kill fault (and asserted by the kill/resume
-// harness). Outside the CLI's real exit-code namespace (0-6).
+// harness). Outside the CLI's real exit-code namespace (0-8).
 inline constexpr int kFaultKillExitCode = 42;
 
 const char* FaultKindName(FaultKind kind);
+// Parses a fault kind name; returns false for unknown names.
+bool ParseFaultKindName(std::string_view name, FaultKind* kind);
+
+// The ambient scope an injection-site call is made under, used by plan rules
+// with site=/tenant=/shard= filters. Thread-local: each thread carries its
+// own scope, set by the RAII ScopedFaultSite below at the boundaries where
+// work changes hats (serve session threads, sink seals, generation shards).
+struct FaultScope {
+  const char* site = "";  // "" = unscoped. Tags: serve, sink, gen, client.
+  std::string tenant;     // "" = no tenant attached.
+  int64_t shard = -1;     // <0 = no shard attached.
+};
+
+// Tags all ShouldInject calls made by this thread while alive. Nests;
+// the innermost scope wins, and the previous scope is restored on exit.
+// `site` must outlive the scope (string literals at the call sites).
+class ScopedFaultSite {
+ public:
+  explicit ScopedFaultSite(const char* site, std::string tenant = "",
+                           int64_t shard = -1);
+  ~ScopedFaultSite();
+  ScopedFaultSite(const ScopedFaultSite&) = delete;
+  ScopedFaultSite& operator=(const ScopedFaultSite&) = delete;
+
+ private:
+  FaultScope saved_;
+};
+
+// This thread's current fault scope.
+const FaultScope& CurrentFaultScope();
+
+struct FaultPlan;  // src/util/fault_plan.h
 
 class FaultInjector {
  public:
-  // Process-wide injector, armed once from CLOUDGEN_FAULT on first use.
+  // Process-wide injector, armed once from CLOUDGEN_FAULT_PLAN /
+  // CLOUDGEN_FAULT on first use.
   static FaultInjector& Global();
 
-  // Parses "kind:prob[,kind:prob...]"; probabilities in [0, 1]. An empty
-  // spec disarms everything. Replaces the previous configuration and resets
-  // the injection counters and the deterministic stream.
+  // Private injectors for tests and plan-determinism replays. Most code
+  // wants Global(); a private instance shares nothing but the thread-local
+  // scope.
+  FaultInjector();
+  ~FaultInjector();
+
+  // Parses `spec` as a fault plan — the legacy "kind:prob[,kind:prob...]"
+  // spec and the full plan grammar are both accepted. An empty spec disarms
+  // everything. Replaces the previous configuration and resets the injection
+  // counters and the deterministic stream.
   Status Configure(const std::string& spec, uint64_t seed = kDefaultSeed);
+
+  // Installs an already-parsed plan. Same reset semantics as Configure().
+  Status ConfigurePlan(const FaultPlan& plan, uint64_t seed = kDefaultSeed);
 
   // Disarms all kinds (used by tests to restore a clean state).
   void Disarm();
 
-  // True when a fault of `kind` fires at this site. Advances the
-  // deterministic stream only when `kind` is armed.
+  // True when a fault of `kind` fires at this site under the calling
+  // thread's current scope. Every rule matching (kind, scope) sees the call:
+  // rule call-counters advance and probabilistic rules draw from the
+  // deterministic stream whether or not an earlier rule already fired.
   bool ShouldInject(FaultKind kind);
 
+  // Lock-free: one relaxed atomic load against the armed-kind bitmask. True
+  // when any rule targets `kind`, regardless of scope filters.
   bool Armed(FaultKind kind) const;
   // Faults fired since the last Configure()/Disarm().
   size_t InjectedCount(FaultKind kind) const;
@@ -94,13 +166,14 @@ class FaultInjector {
   static constexpr uint64_t kDefaultSeed = 0x5EEDFA17C0FFEEull;
 
  private:
-  FaultInjector();
-
-  // Guards the draw stream and counters: serve connection handlers query
-  // injection sites concurrently. Armed() and the p<=0 fast path stay
-  // lock-free (configuration changes only happen while quiescent).
+  // Guards the rules, the draw stream and the counters: serve connection
+  // handlers query injection sites concurrently. Armed() and the
+  // disarmed-kind fast path in ShouldInject read armed_mask_ without the
+  // lock; Configure()/Disarm() publish the mask with release stores after
+  // swapping the rules under the lock.
   mutable std::mutex mu_;
-  double probability_[kNumFaultKinds] = {};
+  std::atomic<uint32_t> armed_mask_{0};
+  std::unique_ptr<FaultPlan> plan_;
   size_t injected_[kNumFaultKinds] = {};
   Rng rng_;
 };

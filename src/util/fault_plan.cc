@@ -1,0 +1,339 @@
+#include "src/util/fault_plan.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "src/util/strings.h"
+
+namespace cloudgen {
+namespace {
+
+constexpr const char* kKindList =
+    "io_write, read_truncate, nan_grad, gen_nan_logit, gen_write_kill, "
+    "net_accept_fail, net_partial_write, net_conn_drop, io_enospc, "
+    "fd_exhaust or stream_stall";
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(s.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+Status EntryError(std::string_view entry, const std::string& why) {
+  return InvalidArgumentError(StrFormat("fault plan entry '%.*s': %s",
+                                        static_cast<int>(entry.size()),
+                                        entry.data(), why.c_str()));
+}
+
+bool ParsePlanU64(std::string_view value, uint64_t* out) {
+  int64_t v = 0;
+  if (!ParseInt64(value, &v) || v < 0) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+Status ParseEntry(std::string_view entry, FaultPlan* plan) {
+  const std::vector<std::string_view> tokens = SplitWhitespace(entry);
+  FaultRule rule;
+  bool have_prob = false, have_at = false, have_from = false, have_to = false,
+       have_every = false, have_burst = false;
+
+  // First token: kind, or the legacy kind:prob sugar.
+  std::string_view head = tokens[0];
+  const size_t colon = head.find(':');
+  const std::string_view kind_name =
+      colon == std::string_view::npos ? head : head.substr(0, colon);
+  if (!ParseFaultKindName(kind_name, &rule.kind)) {
+    return EntryError(entry, StrFormat("unknown fault kind '%.*s' (expected %s)",
+                                       static_cast<int>(kind_name.size()),
+                                       kind_name.data(), kKindList));
+  }
+  if (colon != std::string_view::npos) {
+    if (!ParseDouble(head.substr(colon + 1), &rule.probability) ||
+        !std::isfinite(rule.probability) || rule.probability < 0.0 ||
+        rule.probability > 1.0) {
+      return EntryError(entry, "probability must be a number in [0, 1]");
+    }
+    have_prob = true;
+  }
+
+  for (size_t t = 1; t < tokens.size(); ++t) {
+    const std::string_view token = tokens[t];
+    const size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return EntryError(entry,
+                        StrFormat("token '%.*s' is not of the form key=value",
+                                  static_cast<int>(token.size()), token.data()));
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "prob") {
+      if (have_prob) {
+        return EntryError(entry, "probability given twice");
+      }
+      if (!ParseDouble(value, &rule.probability) ||
+          !std::isfinite(rule.probability) || rule.probability < 0.0 ||
+          rule.probability > 1.0) {
+        return EntryError(entry, "prob= must be a number in [0, 1]");
+      }
+      have_prob = true;
+    } else if (key == "at") {
+      if (!ParsePlanU64(value, &rule.at) || rule.at < 1) {
+        return EntryError(entry, "at= must be a call index >= 1");
+      }
+      have_at = true;
+    } else if (key == "from") {
+      if (!ParsePlanU64(value, &rule.from) || rule.from < 1) {
+        return EntryError(entry, "from= must be a call index >= 1");
+      }
+      have_from = true;
+    } else if (key == "to") {
+      if (!ParsePlanU64(value, &rule.to) || rule.to < 1) {
+        return EntryError(entry, "to= must be a call index >= 1");
+      }
+      have_to = true;
+    } else if (key == "every") {
+      if (!ParsePlanU64(value, &rule.every) || rule.every < 1) {
+        return EntryError(entry, "every= must be a period >= 1");
+      }
+      have_every = true;
+    } else if (key == "burst") {
+      if (!ParsePlanU64(value, &rule.burst) || rule.burst < 1) {
+        return EntryError(entry, "burst= must be a count >= 1");
+      }
+      have_burst = true;
+    } else if (key == "site") {
+      if (value.empty()) {
+        return EntryError(entry, "site= must name a scope tag");
+      }
+      rule.site = std::string(value);
+    } else if (key == "tenant") {
+      if (value.empty()) {
+        return EntryError(entry, "tenant= must name a tenant");
+      }
+      rule.tenant = std::string(value);
+    } else if (key == "shard") {
+      if (!ParseInt64(value, &rule.shard) || rule.shard < 0) {
+        return EntryError(entry, "shard= must be an integer >= 0");
+      }
+    } else {
+      return EntryError(
+          entry, StrFormat("unknown key '%.*s' (expected prob, at, from, to, "
+                           "every, burst, site, tenant or shard)",
+                           static_cast<int>(key.size()), key.data()));
+    }
+  }
+
+  // Resolve the trigger; exactly one of prob / at / from..to / every.
+  const int modes = (have_at ? 1 : 0) + (have_every ? 1 : 0) +
+                    ((have_from || have_to) ? 1 : 0);
+  if (modes > 1) {
+    return EntryError(entry,
+                      "at=, every= and from=/to= are mutually exclusive");
+  }
+  if (have_burst && !have_every) {
+    return EntryError(entry, "burst= requires every=");
+  }
+  if (have_at) {
+    if (have_prob) {
+      return EntryError(entry, "at= one-shots cannot carry a probability");
+    }
+    rule.trigger = FaultTrigger::kAt;
+  } else if (have_every) {
+    if (have_prob) {
+      return EntryError(entry, "every= bursts cannot carry a probability");
+    }
+    if (rule.burst > rule.every) {
+      return EntryError(entry, "burst= must be <= every=");
+    }
+    rule.trigger = FaultTrigger::kEvery;
+  } else if (have_from || have_to) {
+    if (!have_to) {
+      rule.to = UINT64_MAX;  // Open-ended window: from=N onwards.
+    }
+    if (rule.to < rule.from) {
+      return EntryError(entry, "window needs from= <= to=");
+    }
+    rule.trigger = FaultTrigger::kWindow;
+    if (!have_prob) {
+      rule.probability = 1.0;
+    } else if (rule.probability <= 0.0) {
+      return rule.probability == 0.0
+                 ? OkStatus()  // prob=0 window: explicitly disarmed, drop it.
+                 : EntryError(entry, "window prob= must be in (0, 1]");
+    }
+  } else if (have_prob) {
+    rule.trigger = FaultTrigger::kProb;
+    if (rule.probability <= 0.0) {
+      return OkStatus();  // kind:0 — disarmed, matching the legacy spec.
+    }
+  } else {
+    return EntryError(entry,
+                      "no trigger (want kind:P, prob=, at=, from=/to= or "
+                      "every=)");
+  }
+
+  plan->rules.push_back(std::move(rule));
+  return OkStatus();
+}
+
+}  // namespace
+
+bool FaultRule::MatchesScope(const FaultScope& scope) const {
+  if (!site.empty() && site != scope.site) {
+    return false;
+  }
+  if (!tenant.empty() && tenant != scope.tenant) {
+    return false;
+  }
+  if (shard >= 0 && shard != scope.shard) {
+    return false;
+  }
+  return true;
+}
+
+std::string FaultRule::ToString() const {
+  std::string out = FaultKindName(kind);
+  switch (trigger) {
+    case FaultTrigger::kProb:
+      out += StrFormat(" prob=%.3f", probability);
+      break;
+    case FaultTrigger::kAt:
+      out += StrFormat(" at=%llu", static_cast<unsigned long long>(at));
+      break;
+    case FaultTrigger::kWindow:
+      out += StrFormat(" from=%llu", static_cast<unsigned long long>(from));
+      if (to != UINT64_MAX) {
+        out += StrFormat(" to=%llu", static_cast<unsigned long long>(to));
+      }
+      if (probability < 1.0) {
+        out += StrFormat(" prob=%.3f", probability);
+      }
+      break;
+    case FaultTrigger::kEvery:
+      out += StrFormat(" every=%llu burst=%llu",
+                       static_cast<unsigned long long>(every),
+                       static_cast<unsigned long long>(burst));
+      break;
+  }
+  if (!site.empty()) {
+    out += " site=" + site;
+  }
+  if (!tenant.empty()) {
+    out += " tenant=" + tenant;
+  }
+  if (shard >= 0) {
+    out += StrFormat(" shard=%lld", static_cast<long long>(shard));
+  }
+  return out;
+}
+
+Status ParseFaultPlan(const std::string& text, FaultPlan* plan) {
+  FaultPlan out;
+  // Strip # comments line-wise, then split entries on commas, semicolons and
+  // newlines so the same grammar works as a one-line env var or a plan file.
+  std::string entry;
+  const auto flush = [&]() -> Status {
+    const std::string_view trimmed = Trim(entry);
+    Status status = OkStatus();
+    if (!trimmed.empty()) {
+      status = ParseEntry(trimmed, &out);
+    }
+    entry.clear();
+    return status;
+  };
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '\n') {
+      in_comment = false;
+      CG_RETURN_IF_ERROR(flush());
+    } else if (in_comment) {
+      continue;
+    } else if (c == '#') {
+      in_comment = true;
+    } else if (c == ',' || c == ';') {
+      CG_RETURN_IF_ERROR(flush());
+    } else {
+      entry += c;
+    }
+  }
+  CG_RETURN_IF_ERROR(flush());
+  *plan = std::move(out);
+  return OkStatus();
+}
+
+Status LoadFaultPlanFile(const std::string& path, FaultPlan* plan) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open fault plan file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) {
+    return UnavailableError("error reading fault plan file: " + path);
+  }
+  Status status = ParseFaultPlan(text.str(), plan);
+  if (!status.ok()) {
+    return Status(status.code(), path + ": " + status.message());
+  }
+  return OkStatus();
+}
+
+Status VerifyPlanDeterminism(const FaultPlan& plan, uint64_t seed,
+                             uint64_t calls) {
+  if (plan.empty()) {
+    return OkStatus();
+  }
+  // Drive the same single-threaded call sequence twice on a private
+  // injector: `calls` rounds, each visiting every kind the plan targets,
+  // once unscoped and once under each rule's own scope. Identical per-kind
+  // injected counts across the two replays is the reproducibility contract
+  // a plan+seed promises.
+  FaultInjector injector;
+  size_t counts[2][kNumFaultKinds] = {};
+  for (int round = 0; round < 2; ++round) {
+    CG_RETURN_IF_ERROR(injector.ConfigurePlan(plan, seed));
+    for (uint64_t i = 0; i < calls; ++i) {
+      for (const FaultRule& rule : plan.rules) {
+        injector.ShouldInject(rule.kind);
+        if (!rule.site.empty() || !rule.tenant.empty() || rule.shard >= 0) {
+          ScopedFaultSite scope(rule.site.c_str(), rule.tenant, rule.shard);
+          injector.ShouldInject(rule.kind);
+        }
+      }
+    }
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      counts[round][k] = injector.InjectedCount(static_cast<FaultKind>(k));
+    }
+  }
+  injector.Disarm();
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    if (counts[0][k] != counts[1][k]) {
+      return InternalError(StrFormat(
+          "fault plan schedule is not deterministic: kind %s fired %zu then "
+          "%zu times across two replays of the same plan+seed",
+          FaultKindName(static_cast<FaultKind>(k)), counts[0][k],
+          counts[1][k]));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace cloudgen

@@ -1,0 +1,107 @@
+// Declarative fault plans: scheduled, composable fault-injection rules that
+// go beyond flat per-kind probabilities.
+//
+// A plan is a list of rules. Each rule names a fault kind, exactly one
+// trigger, and an optional scope filter:
+//
+//   triggers (exactly one per rule)
+//     kind:P            degenerate sugar for `kind prob=P` (the legacy
+//                       CLOUDGEN_FAULT spec parses unchanged as a plan)
+//     prob=P            fire each matching call with probability P
+//     at=N              one-shot: fire exactly on the Nth matching call
+//     from=A to=B       call-count window: fire on matching calls A..B
+//                       (inclusive, 1-based); `prob=P` may thin the window
+//                       (default 1.0 = every call in the window)
+//     every=N burst=B   periodic bursts: of every N matching calls, fire
+//                       the first B (default burst=1)
+//
+//   scope filters (all optional; a filter left unset matches everything)
+//     site=TAG          only calls made under ScopedFaultSite(TAG) — the
+//                       instrumented sites tag themselves `serve`, `sink`,
+//                       `gen`, `client`
+//     tenant=T          only calls made on behalf of tenant T
+//     shard=N           only calls made from generation shard N
+//
+// Entries are separated by commas or newlines; `#` starts a line comment.
+// Example plan (a composed chaos scenario):
+//
+//   # drops on both sides, an ENOSPC window on serve checkpoints,
+//   # one wedged stream, periodic accept-fd pressure
+//   net_conn_drop prob=0.02
+//   net_partial_write prob=0.02
+//   io_enospc from=1 to=4 site=serve
+//   stream_stall at=3 site=serve
+//   fd_exhaust every=40
+//
+// Rule call counters count only *matching* calls (kind + scope), and every
+// probabilistic trigger draws from the injector's single deterministic
+// stream, so a plan + seed reproduces the same schedule run over run
+// (single-threaded; under the multi-threaded daemon the interleaving of
+// calls across connections is scheduler-dependent, but one-shots still fire
+// exactly once and windows still cover exactly their call range).
+#ifndef SRC_UTIL_FAULT_PLAN_H_
+#define SRC_UTIL_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/fault.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+
+enum class FaultTrigger : int {
+  kProb = 0,    // Bernoulli(probability) per matching call.
+  kAt = 1,      // One-shot on the at-th matching call.
+  kWindow = 2,  // Calls in [from, to], thinned by probability.
+  kEvery = 3,   // First `burst` of every `every` matching calls.
+};
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kIoWrite;
+  FaultTrigger trigger = FaultTrigger::kProb;
+  double probability = 1.0;  // kProb always; kWindow thinning (1.0 = all).
+  uint64_t at = 0;           // kAt: 1-based matching-call index.
+  uint64_t from = 1;         // kWindow: inclusive 1-based window start.
+  uint64_t to = 0;           // kWindow: inclusive window end.
+  uint64_t every = 0;        // kEvery: period in matching calls.
+  uint64_t burst = 1;        // kEvery: calls fired per period.
+
+  // Scope filters; empty / negative = match any.
+  std::string site;
+  std::string tenant;
+  int64_t shard = -1;
+
+  // Runtime state, owned by the FaultInjector holding the rule.
+  uint64_t calls = 0;  // Matching calls seen since Configure().
+  bool fired = false;  // kAt: the one-shot has fired.
+
+  bool MatchesScope(const FaultScope& scope) const;
+  // Human-readable rule summary for the arming log line.
+  std::string ToString() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+// Parses the grammar above. An empty/whitespace/comment-only text yields an
+// empty (disarmed) plan.
+Status ParseFaultPlan(const std::string& text, FaultPlan* plan);
+
+// Reads `path` and parses it as a plan.
+Status LoadFaultPlanFile(const std::string& path, FaultPlan* plan);
+
+// Replays the plan's schedule twice on a private injector — `calls`
+// ShouldInject calls per fault kind, cycling through every scope the plan
+// mentions — and fails unless both replays produce identical per-kind
+// injected counts. This is the single-threaded determinism contract a chaos
+// run relies on; `cloudgen chaos` runs it before arming the real plan.
+Status VerifyPlanDeterminism(const FaultPlan& plan, uint64_t seed,
+                             uint64_t calls);
+
+}  // namespace cloudgen
+
+#endif  // SRC_UTIL_FAULT_PLAN_H_

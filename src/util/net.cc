@@ -157,11 +157,21 @@ Status AcceptConnection(Socket& listener, int timeout_ms,
     if (ready == 0) {
       continue;
     }
+    if (FaultInjector::Global().ShouldInject(FaultKind::kFdExhaust)) {
+      return ResourceExhaustedError(
+          "injected fd_exhaust: accept: too many open files (EMFILE)");
+    }
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
           errno == ECONNABORTED) {
         continue;  // Raced another waiter or the peer gave up; keep going.
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds or kernel memory: retrying immediately cannot succeed
+        // and would spin the accept loop. Callers must back off.
+        return ResourceExhaustedError(Errno("accept"));
       }
       return UnavailableError(Errno("accept"));
     }

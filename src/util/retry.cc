@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "src/obs/metrics.h"
@@ -16,8 +17,16 @@ bool IsRetryable(const Status& status) {
 
 double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng& rng) {
   double sleep = policy.base_backoff_sec;
-  for (int i = 1; i < attempt && sleep < policy.max_backoff_sec; ++i) {
+  // Clamp the geometric walk: with multiplier <= 1 the `sleep < max` guard
+  // never trips, and doubling past ~2^1024 overflows to inf — either way a
+  // huge attempt count must neither spin nor poison the delay. 64 steps is
+  // beyond any representable growth that matters for a bounded backoff.
+  const int steps = std::min(attempt - 1, 64);
+  for (int i = 0; i < steps && sleep < policy.max_backoff_sec; ++i) {
     sleep *= policy.multiplier;
+  }
+  if (!std::isfinite(sleep)) {
+    sleep = policy.max_backoff_sec;
   }
   sleep = std::min(sleep, policy.max_backoff_sec);
   if (policy.jitter > 0.0) {

@@ -1,0 +1,380 @@
+// Fault-plan engine semantics: the grammar (legacy kind:prob sugar, trigger
+// keys, scope filters, comments/separators), per-trigger firing schedules,
+// scope arming, schedule determinism for a plan+seed, and the lock-free
+// Armed() fast path staying data-race-free under concurrent reconfiguration.
+#include "src/util/fault_plan.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/fault.h"
+#include "src/util/log.h"
+#include "src/util/status.h"
+
+namespace cloudgen {
+namespace {
+
+// The injector warns once per armed rule and once per fired fault; these
+// tests arm and fire thousands, so keep the binary's output readable.
+class QuietFaultLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { SetLogLevel(LogLevel::kError); }
+};
+const ::testing::Environment* const kQuietFaultLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietFaultLogs);
+
+FaultPlan MustParse(const std::string& spec) {
+  FaultPlan plan;
+  const Status status = ParseFaultPlan(spec, &plan);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return plan;
+}
+
+StatusCode ParseCode(const std::string& spec) {
+  FaultPlan plan;
+  return ParseFaultPlan(spec, &plan).code();
+}
+
+// Drives `calls` ShouldInject(kind) calls on a private injector armed with
+// `spec` and returns which call indices (1-based) fired.
+std::vector<uint64_t> FiringSchedule(const std::string& spec, uint64_t seed,
+                                     FaultKind kind, uint64_t calls) {
+  FaultInjector injector;
+  EXPECT_TRUE(injector.Configure(spec, seed).ok());
+  std::vector<uint64_t> fired;
+  for (uint64_t i = 1; i <= calls; ++i) {
+    if (injector.ShouldInject(kind)) {
+      fired.push_back(i);
+    }
+  }
+  EXPECT_EQ(injector.InjectedCount(kind), fired.size());
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Grammar.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanParseTest, LegacySugarAndFullGrammarCoexist) {
+  const FaultPlan plan = MustParse(
+      "io_write:0.25, net_conn_drop prob=0.5;io_enospc at=3\n"
+      "# a comment line\n"
+      "read_truncate from=2 to=9 prob=0.5 # trailing comment\n"
+      "fd_exhaust every=10 burst=2 site=serve tenant=acme shard=1");
+  ASSERT_EQ(plan.rules.size(), 5u);
+  EXPECT_EQ(plan.rules[0].trigger, FaultTrigger::kProb);
+  EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.25);
+  EXPECT_EQ(plan.rules[1].trigger, FaultTrigger::kProb);
+  EXPECT_EQ(plan.rules[2].trigger, FaultTrigger::kAt);
+  EXPECT_EQ(plan.rules[2].at, 3u);
+  EXPECT_EQ(plan.rules[3].trigger, FaultTrigger::kWindow);
+  EXPECT_EQ(plan.rules[3].from, 2u);
+  EXPECT_EQ(plan.rules[3].to, 9u);
+  EXPECT_DOUBLE_EQ(plan.rules[3].probability, 0.5);
+  EXPECT_EQ(plan.rules[4].trigger, FaultTrigger::kEvery);
+  EXPECT_EQ(plan.rules[4].every, 10u);
+  EXPECT_EQ(plan.rules[4].burst, 2u);
+  EXPECT_EQ(plan.rules[4].site, "serve");
+  EXPECT_EQ(plan.rules[4].tenant, "acme");
+  EXPECT_EQ(plan.rules[4].shard, 1);
+}
+
+TEST(FaultPlanParseTest, ProbZeroRulesAreDroppedAsDisarmed) {
+  // Legacy semantics: `kind:0` parses fine but arms nothing.
+  EXPECT_TRUE(MustParse("io_write:0.0").empty());
+  EXPECT_TRUE(MustParse("io_write prob=0").empty());
+  EXPECT_TRUE(MustParse("io_write from=1 to=5 prob=0").empty());
+  // And an empty/comment-only plan is a valid empty plan.
+  EXPECT_TRUE(MustParse("").empty());
+  EXPECT_TRUE(MustParse("# nothing armed\n\n").empty());
+}
+
+TEST(FaultPlanParseTest, MissingToMakesAnOpenEndedWindow) {
+  const FaultPlan plan = MustParse("io_write from=7");
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].trigger, FaultTrigger::kWindow);
+  EXPECT_EQ(plan.rules[0].from, 7u);
+  EXPECT_EQ(plan.rules[0].to, UINT64_MAX);
+}
+
+TEST(FaultPlanParseTest, InvalidEntriesAreRejectedWithContext) {
+  // A bare kind has no trigger — the legacy spec rejected it too.
+  EXPECT_EQ(ParseCode("io_write"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("no_such_kind:0.5"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write:1.5"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write prob=nan"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write at=0"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write at=3 every=5"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write at=3 prob=0.5"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write every=5 prob=0.5"),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write burst=2"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write every=2 burst=3"),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write from=5 to=2"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write from=2 to=9 prob=-0.1"),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write bogus=1"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write at"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write site="), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCode("io_write shard=-2 prob=0.5"),
+            StatusCode::kInvalidArgument);
+  // The error names the offending entry.
+  FaultPlan plan;
+  const Status status = ParseFaultPlan("io_write:0.5, zzz at=1", &plan);
+  EXPECT_NE(status.message().find("zzz"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(FaultPlanFileTest, LoadsParsesAndPrefixesErrorsWithThePath) {
+  const std::string path =
+      testing::TempDir() + "/" + std::to_string(::getpid()) + ".plan";
+  {
+    std::ofstream out(path);
+    out << "# chaos plan\nio_write at=2\nnet_conn_drop prob=0.1\n";
+  }
+  FaultPlan plan;
+  ASSERT_TRUE(LoadFaultPlanFile(path, &plan).ok());
+  EXPECT_EQ(plan.rules.size(), 2u);
+
+  {
+    std::ofstream out(path);
+    out << "io_write at=zero\n";
+  }
+  const Status bad = LoadFaultPlanFile(path, &plan);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find(path), std::string::npos) << bad.ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(LoadFaultPlanFile("/no/such/fault.plan", &plan).code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Trigger schedules.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTriggerTest, AtFiresExactlyOnce) {
+  EXPECT_EQ(FiringSchedule("io_write at=3", 1, FaultKind::kIoWrite, 10),
+            (std::vector<uint64_t>{3}));
+  EXPECT_EQ(FiringSchedule("io_write at=1", 1, FaultKind::kIoWrite, 10),
+            (std::vector<uint64_t>{1}));
+}
+
+TEST(FaultTriggerTest, WindowFiresOnEveryCallInRange) {
+  EXPECT_EQ(FiringSchedule("io_write from=2 to=4", 1, FaultKind::kIoWrite, 8),
+            (std::vector<uint64_t>{2, 3, 4}));
+  // Open-ended window: from=6 onwards.
+  EXPECT_EQ(FiringSchedule("io_write from=6", 1, FaultKind::kIoWrite, 8),
+            (std::vector<uint64_t>{6, 7, 8}));
+}
+
+TEST(FaultTriggerTest, EveryBurstFiresTheFirstBurstCallsOfEachPeriod) {
+  EXPECT_EQ(
+      FiringSchedule("io_write every=4 burst=2", 1, FaultKind::kIoWrite, 10),
+      (std::vector<uint64_t>{1, 2, 5, 6, 9, 10}));
+  EXPECT_EQ(FiringSchedule("io_write every=3", 1, FaultKind::kIoWrite, 7),
+            (std::vector<uint64_t>{1, 4, 7}));
+}
+
+TEST(FaultTriggerTest, ProbabilisticScheduleIsSeedDeterministic) {
+  const std::vector<uint64_t> first =
+      FiringSchedule("io_write:0.3", 42, FaultKind::kIoWrite, 200);
+  EXPECT_FALSE(first.empty());
+  EXPECT_LT(first.size(), 200u);
+  EXPECT_EQ(FiringSchedule("io_write:0.3", 42, FaultKind::kIoWrite, 200),
+            first);
+  // A different seed gives a different (but also deterministic) schedule.
+  EXPECT_NE(FiringSchedule("io_write:0.3", 43, FaultKind::kIoWrite, 200),
+            first);
+}
+
+TEST(FaultTriggerTest, WindowProbabilityDrawsOnlyInsideTheWindow) {
+  const std::vector<uint64_t> fired = FiringSchedule(
+      "io_write from=50 to=150 prob=0.5", 7, FaultKind::kIoWrite, 200);
+  EXPECT_FALSE(fired.empty());
+  for (const uint64_t call : fired) {
+    EXPECT_GE(call, 50u);
+    EXPECT_LE(call, 150u);
+  }
+  EXPECT_LT(fired.size(), 101u);  // p < 1 over a 101-call window.
+}
+
+// ---------------------------------------------------------------------------
+// Scope arming.
+// ---------------------------------------------------------------------------
+
+TEST(FaultScopeTest, SiteTenantAndShardFiltersGateFiring) {
+  FaultInjector injector;
+  ASSERT_TRUE(
+      injector.Configure("io_write from=1 site=sink", 1).ok());
+  EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));  // Unscoped.
+  {
+    ScopedFaultSite serve_site("serve");
+    EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));
+  }
+  {
+    ScopedFaultSite sink_site("sink");
+    EXPECT_TRUE(injector.ShouldInject(FaultKind::kIoWrite));
+  }
+
+  ASSERT_TRUE(injector
+                  .Configure("io_write from=1 site=serve tenant=acme shard=2", 1)
+                  .ok());
+  {
+    ScopedFaultSite wrong_tenant("serve", "umbrella", 2);
+    EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));
+  }
+  {
+    ScopedFaultSite wrong_shard("serve", "acme", 3);
+    EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));
+  }
+  {
+    ScopedFaultSite exact("serve", "acme", 2);
+    EXPECT_TRUE(injector.ShouldInject(FaultKind::kIoWrite));
+  }
+  injector.Disarm();
+}
+
+TEST(FaultScopeTest, ScopedFaultSiteRestoresTheOuterScopeOnExit) {
+  EXPECT_STREQ(CurrentFaultScope().site, "");
+  {
+    ScopedFaultSite outer("serve", "acme", 1);
+    EXPECT_STREQ(CurrentFaultScope().site, "serve");
+    {
+      ScopedFaultSite inner("sink");
+      EXPECT_STREQ(CurrentFaultScope().site, "sink");
+      EXPECT_EQ(CurrentFaultScope().tenant, "");
+    }
+    EXPECT_STREQ(CurrentFaultScope().site, "serve");
+    EXPECT_EQ(CurrentFaultScope().tenant, "acme");
+    EXPECT_EQ(CurrentFaultScope().shard, 1);
+  }
+  EXPECT_STREQ(CurrentFaultScope().site, "");
+}
+
+TEST(FaultScopeTest, ScopedCountersAdvancePerRuleNotPerThreadState) {
+  // The scope-filtered call counter belongs to the rule: calls that do not
+  // match the scope must not advance an at= trigger toward firing.
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("io_write at=2 site=sink", 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));  // No scope.
+  }
+  ScopedFaultSite sink_site("sink");
+  EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));  // Call 1.
+  EXPECT_TRUE(injector.ShouldInject(FaultKind::kIoWrite));   // Call 2 fires.
+  EXPECT_FALSE(injector.ShouldInject(FaultKind::kIoWrite));  // One-shot.
+  injector.Disarm();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanDeterminismTest, VerifierAcceptsPlansAndCountsMatchAcrossRuns) {
+  const FaultPlan plan = MustParse(
+      "net_conn_drop prob=0.02, net_partial_write prob=0.02, "
+      "io_enospc from=1 to=4 site=serve, stream_stall at=3 site=serve, "
+      "fd_exhaust every=40 burst=2");
+  ASSERT_TRUE(VerifyPlanDeterminism(plan, 0xC4A05u, 512).ok());
+
+  // The same contract, spelled out: two identical single-threaded runs give
+  // identical per-kind injected counts.
+  size_t counts[2][kNumFaultKinds] = {};
+  for (int round = 0; round < 2; ++round) {
+    FaultInjector injector;
+    ASSERT_TRUE(injector.ConfigurePlan(plan, 0xC4A05u).ok());
+    for (int i = 0; i < 300; ++i) {
+      for (int k = 0; k < kNumFaultKinds; ++k) {
+        injector.ShouldInject(static_cast<FaultKind>(k));
+      }
+      ScopedFaultSite serve_site("serve");
+      for (int k = 0; k < kNumFaultKinds; ++k) {
+        injector.ShouldInject(static_cast<FaultKind>(k));
+      }
+    }
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      counts[round][k] = injector.InjectedCount(static_cast<FaultKind>(k));
+    }
+  }
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    EXPECT_EQ(counts[0][k], counts[1][k]) << "kind " << k;
+  }
+  // And the scenario really injected something.
+  size_t total = 0;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    total += counts[0][k];
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(FaultPlanDeterminismTest, EarlierRuleFiringDoesNotShiftLaterDraws) {
+  // Two probabilistic rules on different kinds: the draw sequence for kind B
+  // depends only on the call sequence, not on whether kind A's rules fired —
+  // ShouldInject evaluates every matching rule even after one fires.
+  const std::vector<uint64_t> alone = FiringSchedule(
+      "read_truncate:0.3", 99, FaultKind::kReadTruncate, 100);
+  FaultInjector injector;
+  ASSERT_TRUE(
+      injector.Configure("io_write from=1, read_truncate:0.3", 99).ok());
+  std::vector<uint64_t> with_neighbor;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    // Alternate kinds per call: the io_write window rule always fires, but
+    // read_truncate's Bernoulli stream must advance exactly as before.
+    injector.ShouldInject(FaultKind::kIoWrite);
+    if (injector.ShouldInject(FaultKind::kReadTruncate)) {
+      with_neighbor.push_back(i);
+    }
+  }
+  EXPECT_EQ(with_neighbor, alone);
+  injector.Disarm();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: the lock-free Armed() fast path must be data-race-free
+// against concurrent Configure/Disarm (run under TSan in the faults lane).
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorConcurrencyTest, ConfigureVersusShouldInjectHammer) {
+  FaultInjector injector;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observed_armed{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&injector, &stop, &observed_armed, t] {
+      ScopedFaultSite site(t % 2 == 0 ? "serve" : "sink");
+      uint64_t armed = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (injector.Armed(FaultKind::kIoWrite)) {
+          ++armed;
+        }
+        injector.ShouldInject(FaultKind::kIoWrite);
+        injector.ShouldInject(FaultKind::kNetConnDrop);
+      }
+      observed_armed.fetch_add(armed, std::memory_order_relaxed);
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(injector.Configure("io_write:0.5, net_conn_drop at=7", i).ok());
+    ASSERT_TRUE(injector.Configure("io_write every=3 site=serve", i).ok());
+    injector.Disarm();
+  }
+  ASSERT_TRUE(injector.Configure("io_write:1.0", 1).ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : readers) {
+    thread.join();
+  }
+  // Sanity, not timing-dependent: the final configuration is armed.
+  EXPECT_TRUE(injector.Armed(FaultKind::kIoWrite));
+  EXPECT_FALSE(injector.Armed(FaultKind::kNetConnDrop));
+}
+
+}  // namespace
+}  // namespace cloudgen

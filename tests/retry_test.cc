@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,39 @@ TEST(RetryPolicyTest, BackoffGrowsGeometricallyAndRespectsCapAndJitter) {
   EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 3, rng), 0.4);
   EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 4, rng), 0.5);
   EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 9, rng), 0.5);
+}
+
+// Regression: the geometric walk used to multiply once per attempt with no
+// step bound, so a huge attempt number (a long-lived fetch loop that kept
+// making progress, then stalled) could walk the sleep to inf — and with
+// multiplier <= 1 the `sleep < max` guard never trips, making the loop
+// O(attempt). The clamp caps both the value and the work.
+TEST(RetryPolicyTest, HugeAttemptNumbersStayBoundedAndFast) {
+  RetryPolicy policy;
+  policy.base_backoff_sec = 0.05;
+  policy.multiplier = 2.0;
+  policy.max_backoff_sec = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(3);
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 100000, rng), 2.0);
+  EXPECT_DOUBLE_EQ(
+      BackoffSeconds(policy, std::numeric_limits<int>::max(), rng), 2.0);
+
+  // multiplier == 1 never crosses the cap; the step clamp must still keep
+  // the call O(1)-ish, not O(INT_MAX).
+  policy.multiplier = 1.0;
+  EXPECT_DOUBLE_EQ(
+      BackoffSeconds(policy, std::numeric_limits<int>::max(), rng), 0.05);
+
+  // A shrinking multiplier must stay finite and non-negative too.
+  policy.multiplier = 0.5;
+  const double sleep =
+      BackoffSeconds(policy, std::numeric_limits<int>::max(), rng);
+  EXPECT_TRUE(std::isfinite(sleep));
+  EXPECT_GE(sleep, 0.0);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
 }
 
 TEST(RetryVoidTest, SucceedsAfterTransientFailures) {

@@ -839,6 +839,133 @@ TEST_F(ServeTest, NewOpensAreTurnedAwayWhileDraining) {
   EXPECT_TRUE(server.Wait().ok());
 }
 
+TEST_F(ServeTest, WatchdogCutsWedgedStreamAndClientResumesByteIdentically) {
+  const std::string expected = ExpectedBytes();
+  ServerOptions server_options = BaseServerOptions();
+  server_options.state_dir = Dir("watchdog_cut");
+  server_options.stall_timeout_ms = 200;
+  server_options.supervisor_interval_ms = 20;
+  StreamServer server(model_, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const double cuts_before = CounterValue("serve.watchdog.cuts");
+
+  // The session's first serve-scoped stall check wedges it: no progress, no
+  // error, `working` stays true. The supervisor must cut it after
+  // stall_timeout_ms with a retryable UNAVAILABLE; the client reconnects
+  // against the checkpointed boundary and the stream still verifies.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("stream_stall at=1 site=serve", 7).ok());
+  FetchOptions fetch = BaseFetchOptions(server.Port());
+  fetch.credit_bytes = 1024;
+  fetch.retry.max_attempts = 10;
+  std::ostringstream out;
+  FetchResult result;
+  const Status status = FetchStream(fetch, out, &result);
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(out.str(), expected);
+  EXPECT_EQ(result.crc, Crc32(expected));
+  EXPECT_GE(result.reconnects, 1);
+  EXPECT_GT(CounterValue("serve.watchdog.cuts"), cuts_before);
+}
+
+TEST_F(ServeTest, FdExhaustionDegradesShedsNewOpensThenSelfHeals) {
+  const std::string expected = ExpectedBytes();
+  ServerOptions server_options = BaseServerOptions();
+  server_options.degraded_cooldown_ms = 800;
+  server_options.supervisor_interval_ms = 20;
+  StreamServer server(model_, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const double sheds_before = CounterValue("serve.degraded.sheds");
+  const double backoffs_before = CounterValue("serve.accept.backoffs");
+
+  // The first pending connection trips the injected EMFILE: the accept loop
+  // must back off instead of spinning, flip the daemon degraded, and then
+  // pick the still-queued connection up on the retry.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("fd_exhaust at=1 site=serve", 5).ok());
+  {
+    StatusOr<Socket> conn = ConnectTcp("127.0.0.1", server.Port(), 2000);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    std::map<std::string, std::string> kv;
+    kv["tenant"] = "acme";
+    kv["stream"] = "degraded";
+    kv["seed"] = std::to_string(kSeed);
+    kv["traces"] = std::to_string(kCount);
+    kv["offset"] = "0";
+    ASSERT_TRUE(
+        WriteFrame(conn.value(), FrameType::kOpen, EncodeKv(kv), 2000, nullptr)
+            .ok());
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(conn.value(), &frame, 5000, nullptr).ok());
+    // While degraded, new OPENs are shed with a retryable UNAVAILABLE that
+    // names the condition — load moves away, nothing errors terminally.
+    ASSERT_EQ(frame.type, FrameType::kError);
+    const Status shed = DecodeErrorPayload(frame.payload);
+    EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+    EXPECT_NE(shed.message().find("degraded"), std::string::npos)
+        << shed.ToString();
+  }
+  EXPECT_GT(CounterValue("serve.degraded.sheds"), sheds_before);
+  EXPECT_GT(CounterValue("serve.accept.backoffs"), backoffs_before);
+  FaultInjector::Global().Disarm();
+
+  // The stock client retry loop rides out the rest of the cooldown: once it
+  // expires the daemon self-heals and serves the exact stream.
+  FetchOptions fetch = BaseFetchOptions(server.Port());
+  fetch.retry.max_attempts = 40;
+  std::ostringstream out;
+  FetchResult result;
+  const Status status = FetchStream(fetch, out, &result);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(out.str(), expected);
+
+  std::map<std::string, std::string> health;
+  ASSERT_TRUE(FetchHealth("127.0.0.1", server.Port(), 2000, &health).ok());
+  EXPECT_EQ(health["health"], "healthy");
+}
+
+// Composed fault kinds in one soak: connection drops force mid-stream
+// reconnects, a one-shot stall draws a watchdog cut, and the cut boundary's
+// checkpoint commit fails with an injected io_write — three different fault
+// kinds interleaving in the same run. Checkpoint loss may cost regeneration
+// time, never bytes.
+TEST_F(ServeTest, ComposedConnDropStallAndIoWriteFaultsInOneSoak) {
+  const std::string expected = ExpectedBytes();
+  ServerOptions server_options = BaseServerOptions();
+  server_options.state_dir = Dir("composed_soak");
+  server_options.stall_timeout_ms = 200;
+  server_options.supervisor_interval_ms = 20;
+  StreamServer server(model_, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("net_conn_drop:0.03, stream_stall at=1 site=serve, "
+                             "io_write prob=1.0 site=serve",
+                             424242)
+                  .ok());
+  FetchOptions fetch = BaseFetchOptions(server.Port());
+  fetch.credit_bytes = 1024;  // More frames -> more drop opportunities.
+  fetch.retry.max_attempts = 20;
+  std::ostringstream out;
+  FetchResult result;
+  const Status status = FetchStream(fetch, out, &result);
+  const size_t drops =
+      FaultInjector::Global().InjectedCount(FaultKind::kNetConnDrop);
+  const size_t io_writes =
+      FaultInjector::Global().InjectedCount(FaultKind::kIoWrite);
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(out.str(), expected);
+  EXPECT_EQ(result.crc, Crc32(expected));
+  // The kinds really composed: the stall drew a watchdog cut whose
+  // serve-scoped checkpoint commit was injected, and the drops forced
+  // additional reconnects on top.
+  EXPECT_GT(drops, 0u);
+  EXPECT_GT(io_writes, 0u);
+  EXPECT_GE(result.reconnects, 1);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace cloudgen
